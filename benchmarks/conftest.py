@@ -1,0 +1,35 @@
+"""Benchmark-suite fixtures.
+
+Every bench both times its experiment (pytest-benchmark) and *prints the
+rows the paper reports*; the ``report`` fixture additionally appends each
+rendered table to ``benchmarks/results.txt`` so the regenerated numbers
+survive output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_RESULTS = Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    if _RESULTS.exists():
+        _RESULTS.unlink()
+    yield
+
+
+@pytest.fixture
+def report():
+    """Call ``report(title, text)`` to print + persist a result table."""
+
+    def _report(title: str, text: str) -> None:
+        block = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n"
+        print(block)
+        with _RESULTS.open("a") as fh:
+            fh.write(block)
+
+    return _report

@@ -1,0 +1,55 @@
+"""Ablation A1 — layer fusion vs 1:1 layer-to-PE mapping.
+
+§3.2: "for large CNNs [a 1:1 mapping] might not be possible given the
+available resources.  For this reason, our methodology includes the
+possibility to map multiple logical layers onto a single PE."  This bench
+quantifies the trade: fused configurations must use fewer LUT/FF (fewer
+PEs, fewer ports) at the cost of a larger initiation interval (the fused
+PE works through its layers sequentially).
+"""
+
+from repro.dse.space import fusion_candidates
+from repro.frontend.condor_format import CondorModel, DeploymentOption
+from repro.frontend.zoo import lenet_model
+from repro.hw.accelerator import build_accelerator
+from repro.hw.estimate import estimate_accelerator
+from repro.hw.perf import estimate_performance
+from repro.util.tables import TextTable
+
+
+def _run():
+    base = lenet_model()
+    model = CondorModel(network=base.network.features_subnetwork(),
+                        board=base.board, frequency_hz=base.frequency_hz,
+                        deployment=DeploymentOption.ON_PREMISE)
+    results = []
+    for config in fusion_candidates(model.network):
+        acc = build_accelerator(model, config)
+        perf = estimate_performance(acc)
+        est = estimate_accelerator(acc, include_shell=False)
+        results.append((len(config.pes), perf, est.total))
+    return results
+
+
+def test_fusion_tradeoff(benchmark, report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = TextTable(["PEs", "II cycles", "latency", "LUT", "FF", "DSP"])
+    for n_pes, perf, res in results:
+        table.add_row([n_pes, perf.ii_cycles,
+                       perf.pipeline_latency_cycles, res.lut, res.ff,
+                       res.dsp])
+    report("Ablation A1 - fusion vs 1:1 mapping (LeNet features)",
+           table.render())
+
+    results.sort(key=lambda r: r[0], reverse=True)  # most PEs first
+    unfolded = results[0]
+    fully_fused = results[-1]
+    assert unfolded[0] > fully_fused[0]
+    # fusion saves logic ...
+    assert fully_fused[2].lut < unfolded[2].lut
+    assert fully_fused[2].ff < unfolded[2].ff
+    # ... and costs throughput (II grows: layers run sequentially)
+    assert fully_fused[1].ii_cycles > unfolded[1].ii_cycles
+    # II of the fully fused design is (close to) the sum of the stages
+    assert fully_fused[1].ii_cycles >= 0.9 * sum(unfolded[1].stage_cycles)

@@ -1,0 +1,63 @@
+"""Ablation A2 — inter-layer parallelism sweep.
+
+§3.2: a layer can be implemented "as a single-input/single-output port PE,
+where input feature maps are read sequentially and output feature maps are
+equally serially computed, or increase the level of parallelism reading
+and processing multiple feature maps at once."  Sweeping the LeNet conv2
+PE's (in, out) port counts must show: stage cycles drop with the product
+of the degrees until ingest-bound, while DSP cost grows linearly with it.
+"""
+
+from repro.frontend.condor_format import CondorModel, LayerHints
+from repro.frontend.zoo import lenet_model
+from repro.hw.accelerator import build_accelerator
+from repro.hw.estimate import estimate_pe
+from repro.hw.perf import layer_cycles
+from repro.util.tables import TextTable
+
+SWEEP = [(1, 1), (1, 2), (2, 2), (2, 5), (4, 5), (4, 10), (8, 10),
+         (10, 25), (20, 50)]
+
+
+def _run():
+    rows = []
+    for in_ports, out_ports in SWEEP:
+        model = lenet_model()
+        model.hints = {"conv2": LayerHints(in_ports=in_ports,
+                                           out_ports=out_ports)}
+        acc = build_accelerator(model)
+        pe = acc.pe_for_layer("conv2")
+        cycles = layer_cycles(acc.network, acc.network["conv2"],
+                              in_ports, out_ports)
+        rows.append(((in_ports, out_ports), cycles, estimate_pe(pe)))
+    return rows
+
+
+def test_parallelism_sweep(benchmark, report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = TextTable(["(in, out)", "conv2 cycles", "speedup", "DSP",
+                       "DSP x cycles"])
+    base_cycles = rows[0][1]
+    base_dsp = rows[0][2].dsp
+    for (ports, cycles, res) in rows:
+        table.add_row([f"{ports[0]}x{ports[1]}", cycles,
+                       base_cycles / cycles, res.dsp, res.dsp * cycles])
+    report("Ablation A2 - inter-layer parallelism (LeNet conv2)",
+           table.render())
+
+    cycles_list = [cycles for _, cycles, _ in rows]
+    dsp_list = [res.dsp for _, _, res in rows]
+    # more ports never slow the PE down, and always cost more DSP
+    assert all(a >= b for a, b in zip(cycles_list, cycles_list[1:]))
+    assert all(a <= b for a, b in zip(dsp_list, dsp_list[1:]))
+    # the first doubling is near-ideal (compute-bound region)
+    assert rows[1][1] <= 0.55 * base_cycles
+    # DSP grows with the port product
+    product = SWEEP[-1][0] * SWEEP[-1][1]
+    assert dsp_list[-1] >= 0.8 * product * base_dsp
+    # the fully unfolded configuration is ingest-bound: cycles equal the
+    # time to stream the input maps in
+    net = build_accelerator(lenet_model()).network
+    in_shape = net.input_shape("conv2")
+    assert cycles_list[-1] == in_shape.spatial_size

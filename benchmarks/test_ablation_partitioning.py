@@ -1,0 +1,61 @@
+"""Ablation A3 — non-uniform memory partitioning vs full line buffering.
+
+§3.2: the filter/FIFO structure "reduces the on-chip storage requirements,
+as only the elements that are spatially located in between the first and
+the last access are buffered on-chip".  This bench sweeps window and image
+sizes and reports the buffered words of the partitioned chain against a
+conventional K-row line buffer, plus the resulting BRAM difference for a
+VGG-scale layer.
+"""
+
+from repro.hw.calibration import DEFAULT_CALIBRATION as CAL
+from repro.hw.components import Fifo
+from repro.hw.estimate import estimate_fifo
+from repro.hw.partitioning import partition_window_accesses
+from repro.util.tables import TextTable
+
+SWEEP = [
+    (3, 28), (5, 28), (3, 56), (5, 56), (7, 56),
+    (3, 224), (5, 224), (7, 224), (11, 224),
+]
+
+
+def _run():
+    rows = []
+    for k, width in SWEEP:
+        spec = partition_window_accesses((k, k), width)
+        rows.append((k, width, spec.buffered_words,
+                     spec.full_linebuffer_words))
+    return rows
+
+
+def test_partitioning_savings(benchmark, report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = TextTable(["window", "row width", "partitioned (words)",
+                       "line buffer (words)", "saved %"])
+    for k, width, part, full in rows:
+        table.add_row([f"{k}x{k}", width, part, full,
+                       100.0 * (full - part) / full])
+    report("Ablation A3 - non-uniform partitioning vs line buffer",
+           table.render())
+
+    for k, width, part, full in rows:
+        assert part == (k - 1) * width + (k - 1)
+        assert part < full
+        # the saving is exactly one row minus (K-1) elements
+        assert full - part == width - k + 1
+
+    # BRAM impact at VGG scale (3x3 over 224-wide rows): the partitioned
+    # chain stores its words across K*K-1 small FIFOs, the line buffer in
+    # one deep FIFO.
+    spec = partition_window_accesses((3, 3), 224)
+    chain_bram = sum(
+        estimate_fifo(Fifo(f"f{i}", depth=d)).bram_18k
+        for i, d in enumerate(spec.fifo_depths))
+    line_bram = estimate_fifo(
+        Fifo("lb", depth=spec.full_linebuffer_words)).bram_18k
+    report("Ablation A3 - BRAM at VGG scale (3x3 window, 224 rows)",
+           f"partitioned chain: {chain_bram} BRAM18,"
+           f" full line buffer: {line_bram} BRAM18")
+    assert chain_bram <= line_bram

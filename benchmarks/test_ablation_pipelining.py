@@ -1,0 +1,54 @@
+"""Ablation A7 — the high-level pipeline vs non-pipelined execution.
+
+Figure 5's batch behaviour exists because "the PEs are arranged as a
+high-level pipeline where the output of a PE is the input to the next
+one" with every PE "concurrently active".  This bench quantifies what
+that concurrency buys: a non-pipelined executor (each image traverses
+all stages exclusively — what a single time-shared engine would do)
+against the pipelined accelerator, across batch sizes.
+"""
+
+from repro.frontend.zoo import lenet_model, tc1_model
+from repro.hw.accelerator import build_accelerator
+from repro.hw.perf import estimate_performance
+from repro.util.tables import TextTable
+
+BATCHES = (1, 4, 16, 64)
+
+
+def _run():
+    rows = []
+    for name, model in (("TC1", tc1_model()), ("LeNet", lenet_model())):
+        perf = estimate_performance(build_accelerator(model))
+        # non-pipelined: every image pays the full stage sum
+        sequential = sum(perf.stage_latency)
+        for batch in BATCHES:
+            pipelined = perf.batch_cycles(batch) / batch
+            rows.append((name, batch, sequential, pipelined,
+                         sequential / pipelined))
+    return rows
+
+
+def test_pipelining_benefit(benchmark, report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = TextTable(["net", "batch", "sequential (cyc/img)",
+                       "pipelined (cyc/img)", "speedup"])
+    for name, batch, seq, pipe, speedup in rows:
+        table.add_row([name, batch, seq, pipe, speedup])
+    report("Ablation A7 - pipelined vs non-pipelined execution",
+           table.render())
+
+    by_key = {(name, batch): (seq, pipe, sp)
+              for name, batch, seq, pipe, sp in rows}
+    for name in ("TC1", "LeNet"):
+        # at batch 1 the pipeline is no better (same full traversal)
+        seq, pipe, speedup = by_key[(name, 1)]
+        assert speedup == 1.0
+        # speedup grows with batch and approaches sum(stages)/bottleneck
+        speedups = [by_key[(name, b)][2] for b in BATCHES]
+        assert all(a <= b for a, b in zip(speedups, speedups[1:]))
+    # TC1's 6 near-balanced stages pipeline well
+    assert by_key[("TC1", 64)][2] > 2.0
+    # LeNet is dominated by the serial ip1 stage: pipelining helps less
+    assert by_key[("LeNet", 64)][2] < by_key[("TC1", 64)][2]

@@ -1,0 +1,63 @@
+"""Ablation A6 — datapath precision (extension; cf. Qiu et al. [14]).
+
+"Data quantization is performed to reduce bandwidth requirements and
+resource utilization, with negligible impact on the resulting accuracy"
+— quantify that trade on LeNet: fp32 vs int16 vs int8 resource
+utilization through the full estimator, plus the accuracy proxy (top-1
+agreement with the fp32 engine on synthetic digits).
+"""
+
+from repro.frontend.weights import WeightStore
+from repro.frontend.zoo import lenet_model, synthetic_digits
+from repro.hw.accelerator import build_accelerator
+from repro.hw.estimate import estimate_accelerator
+from repro.hw.resources import device_for_board
+from repro.quant import QuantScheme
+from repro.quant.apply import top1_agreement
+from repro.util.tables import TextTable
+
+PRECISIONS = ("fp32", "int16", "int8")
+
+
+def _run():
+    cap = device_for_board("aws-f1-xcvu9p").capacity
+    net = lenet_model().network
+    weights = WeightStore.initialize(net, 0)
+    images, _ = synthetic_digits(24, size=28, seed=3)
+    rows = []
+    for precision in PRECISIONS:
+        model = lenet_model()
+        model.precision = precision
+        acc = build_accelerator(model)
+        util = estimate_accelerator(acc).utilization(cap)
+        if precision == "fp32":
+            agreement = 1.0
+        else:
+            scheme = QuantScheme.for_precision(precision)
+            agreement = top1_agreement(net, weights, scheme, images)
+        rows.append((precision, util, agreement))
+    return rows
+
+
+def test_quantization_tradeoff(benchmark, report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = TextTable(["precision", "LUT %", "DSP %", "BRAM %",
+                       "top-1 agreement vs fp32"])
+    for precision, util, agreement in rows:
+        table.add_row([precision, util["lut"], util["dsp"],
+                       util["bram_18k"], agreement])
+    report("Ablation A6 - datapath precision (LeNet)", table.render())
+
+    by_precision = {p: (u, a) for p, u, a in rows}
+    fp32_util, _ = by_precision["fp32"]
+    int16_util, int16_agree = by_precision["int16"]
+    int8_util, int8_agree = by_precision["int8"]
+
+    # resource claims
+    assert int16_util["dsp"] < 0.35 * fp32_util["dsp"]
+    assert int8_util["dsp"] < int16_util["dsp"]
+    assert int8_util["bram_18k"] < 0.5 * fp32_util["bram_18k"]
+    # "negligible impact on the resulting accuracy"
+    assert int16_agree >= 0.95
+    assert int8_agree >= 0.75

@@ -1,0 +1,109 @@
+"""Ablation A4 — discrete-event simulator vs closed-form model.
+
+Every performance number in Tables 1/2 and Figure 5 comes from the
+closed-form pipeline model; this bench validates that model against the
+event-driven execution of the same accelerators (randomized small networks
+plus TC1), requiring total batch cycles to agree within 25% and the
+functional outputs to match the reference engine.
+"""
+
+import numpy as np
+
+from repro.frontend.condor_format import CondorModel
+from repro.frontend.weights import WeightStore
+from repro.frontend.zoo import tc1_model
+from repro.hw.accelerator import build_accelerator
+from repro.hw.perf import estimate_performance
+from repro.ir.layers import (
+    Activation,
+    ConvLayer,
+    FullyConnectedLayer,
+    PoolLayer,
+    SoftmaxLayer,
+)
+from repro.ir.network import chain
+from repro.nn.engine import ReferenceEngine
+from repro.sim.dataflow import simulate_accelerator
+from repro.util.tables import TextTable
+
+
+def _random_network(seed: int):
+    rng = np.random.default_rng(seed)
+    size = int(rng.choice([10, 12, 16]))
+    channels = int(rng.choice([1, 2, 3]))
+    layers = [
+        ConvLayer("c1", num_output=int(rng.integers(2, 8)),
+                  kernel=int(rng.choice([3, 5])),
+                  activation=Activation.RELU),
+        PoolLayer("p1", kernel=2),
+    ]
+    layers.append(FullyConnectedLayer("fc", num_output=5))
+    layers.append(SoftmaxLayer("sm", log=False))
+    return chain(f"rand{seed}", (channels, size, size), layers)
+
+
+def _run_case(net, batch, seed):
+    model = CondorModel(network=net)
+    acc = build_accelerator(model)
+    weights = WeightStore.initialize(net, seed)
+    rng = np.random.default_rng(seed + 1)
+    images = rng.normal(size=(batch,) + net.input_shape().as_tuple()) \
+        .astype(np.float32)
+    sim = simulate_accelerator(acc, weights, images)
+    analytic = estimate_performance(acc).batch_cycles(batch)
+    ref = ReferenceEngine(net, weights).forward_batch(images)
+    func_err = max(float(np.abs(sim.outputs[i] - ref[i]).max())
+                   for i in range(batch))
+    return sim.total_cycles, analytic, func_err
+
+
+def _run_parallel_case():
+    """A Table-2-style inter-layer-parallel configuration."""
+    from repro.frontend.condor_format import LayerHints
+
+    model = tc1_model()
+    model.hints = {
+        "conv1": LayerHints(out_ports=4),
+        "pool1": LayerHints(in_ports=4, out_ports=4),
+        "conv2": LayerHints(in_ports=4, out_ports=4),
+        "pool2": LayerHints(in_ports=4, out_ports=4),
+    }
+    acc = build_accelerator(model)
+    net = model.network
+    weights = WeightStore.initialize(net, 11)
+    images = np.random.default_rng(12).normal(
+        size=(6,) + net.input_shape().as_tuple()).astype(np.float32)
+    sim = simulate_accelerator(acc, weights, images)
+    analytic = estimate_performance(acc).batch_cycles(6)
+    ref = ReferenceEngine(net, weights).forward_batch(images)
+    err = max(float(np.abs(sim.outputs[i] - ref[i]).max())
+              for i in range(6))
+    return sim.total_cycles, analytic, err
+
+
+def _run_all():
+    cases = []
+    for seed in (1, 2, 3, 4):
+        net = _random_network(seed)
+        cases.append((net.name, *_run_case(net, batch=4, seed=seed)))
+    cases.append(("tc1", *_run_case(tc1_model().network, batch=6,
+                                    seed=9)))
+    cases.append(("tc1 4x4-parallel", *_run_parallel_case()))
+    return cases
+
+
+def test_event_sim_matches_analytic_model(benchmark, report):
+    cases = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    table = TextTable(["network", "sim cycles", "model cycles", "ratio",
+                       "max |err|"])
+    for name, sim_cycles, analytic, err in cases:
+        table.add_row([name, sim_cycles, analytic,
+                       sim_cycles / analytic, f"{err:.1e}"])
+    report("Ablation A4 - event simulator vs closed-form model",
+           table.render())
+
+    for name, sim_cycles, analytic, err in cases:
+        ratio = sim_cycles / analytic
+        assert 0.75 < ratio < 1.25, f"{name}: ratio {ratio}"
+        assert err < 1e-3, f"{name}: functional divergence {err}"

@@ -1,0 +1,50 @@
+"""Figure 5 — mean time to process an image vs batch size.
+
+Regenerates both curves (TC1, LeNet) from the deployed accelerators and
+checks the claims the figure makes:
+
+* the mean time per image decreases monotonically with the batch size;
+* it converges to the bottleneck-stage asymptote;
+* "for both cases convergence is reached approximately when the batch
+  size is bigger than the total number of layers of the network";
+* a subset of TC1 points re-measured on the discrete-event simulator
+  agrees with the analytic curve.
+"""
+
+import pytest
+
+from repro.eval.figure5 import (
+    figure5_event_points,
+    figure5_series,
+    render_figure5,
+)
+
+
+def test_figure5_curves(benchmark, report):
+    series = benchmark(figure5_series)
+    report("Figure 5 - mean time per image vs batch size",
+           render_figure5(series))
+
+    for curve in series:
+        values = curve.mean_us_per_image
+        # monotone decrease
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        # converges to the asymptote from above
+        assert values[-1] >= curve.asymptote_us
+        assert values[-1] <= 1.05 * curve.asymptote_us
+        # convergence point is a small multiple of the stage count
+        assert curve.convergence_batch(0.10) <= 4 * curve.n_pipeline_stages
+        # batch 1 pays the full pipeline fill: visibly above the asymptote
+        assert values[0] > 1.2 * curve.asymptote_us
+
+
+def test_figure5_event_sim_crosscheck(benchmark, report):
+    sim_curve = benchmark.pedantic(figure5_event_points, rounds=1,
+                                   iterations=1)
+    analytic = next(c for c in figure5_series(tuple(sim_curve.batches))
+                    if c.name == "TC1")
+    report("Figure 5 - event-simulator cross-check (TC1)",
+           render_figure5([analytic, sim_curve]))
+    for a, s in zip(analytic.mean_us_per_image,
+                    sim_curve.mean_us_per_image):
+        assert s == pytest.approx(a, rel=0.20)

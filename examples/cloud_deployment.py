@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Cloud deployment: synthesize TC1, create an AFI, run it on an F1
+instance.
+
+Exercises flow step 8 (§3.3) and the runtime path a user follows on AWS:
+the framework uploads the design to S3 and starts AFI creation; once the
+image is available it is loaded onto an FPGA slot of an F1 instance with
+``fpga-load-local-image``, after which the slot behaves like a local
+board.
+
+Run:  python examples/cloud_deployment.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.cloud.client import AWSSession
+from repro.flow import CondorFlow, FlowInputs
+from repro.frontend.condor_format import DeploymentOption
+from repro.frontend.zoo import synthetic_digits, tc1_model
+from repro.runtime.opencl import (
+    Buffer,
+    CommandQueue,
+    Context,
+    Kernel,
+    Program,
+    pack_weights,
+)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="condor-cloud-"))
+    aws = AWSSession(region="us-east-1")
+
+    # 1. Run the flow with the AWS F1 deployment option: after linking the
+    #    xclbin, the flow uploads it to S3 and waits for the AFI.
+    flow = CondorFlow(workdir, aws=aws)
+    result = flow.run(FlowInputs(model=tc1_model(),
+                                 deployment=DeploymentOption.AWS_F1,
+                                 s3_bucket="my-condor-bucket"))
+    print(result.summary())
+    print(f"\nS3 objects: {aws.s3.list_objects('my-condor-bucket')}")
+    print(f"AFI: {result.afi_id}  (global id {result.agfi_id})")
+
+    # 2. Launch an F1 instance and program FPGA slot 0 with the AFI.
+    instance = aws.run_f1_instance("f1.2xlarge")
+    slot = instance.load_afi(0, result.agfi_id)
+    print(f"\nlaunched {instance.instance_id} ({instance.instance_type});"
+          f" slot states: {instance.describe_slots()}")
+
+    # 3. The programmed slot is an OpenCL device: run a batch sweep like
+    #    the generated host code does (the Figure 5 measurement).
+    context = Context(slot.device)
+    program = Program(context, slot.device.programmed)
+    kernel = Kernel(program, program.kernel_names()[0])
+    queue = CommandQueue(context, emulation="fast")
+    net = program.accelerator.network
+
+    weights = pack_weights(net, result.weights)
+    w_buf = Buffer(context, Buffer.READ_ONLY, weights.nbytes)
+    queue.enqueue_write_buffer(w_buf, weights)
+
+    # 4. What does this cost?  The economics behind the paper's cloud
+    #    argument: rent by the hour vs buying a board.
+    from repro.cloud.pricing import (
+        break_even_hours,
+        estimate_costs,
+        render_cost_table,
+    )
+    from repro.hw.perf import estimate_performance
+
+    perf = estimate_performance(result.accelerator)
+    print("\ncost across the F1 family (steady-state throughput):")
+    print(render_cost_table(estimate_costs(perf)))
+    hours = break_even_hours()
+    print(f"break-even vs buying a VU9P board: ~{hours:.0f} rental hours"
+          f" ({hours / 24 / 365:.1f} years of continuous use)")
+
+    print("\nbatch sweep on the F1 slot (mean us/image):")
+    for batch in (1, 2, 4, 8, 16, 32):
+        images, _ = synthetic_digits(batch, size=16, seed=batch)
+        in_buf = Buffer(context, Buffer.READ_ONLY, images.nbytes)
+        out_buf = Buffer(context, Buffer.WRITE_ONLY,
+                         batch * net.output_shape().size * 4)
+        queue.enqueue_write_buffer(in_buf, images)
+        kernel.set_arg(0, in_buf)
+        kernel.set_arg(1, out_buf)
+        kernel.set_arg(2, w_buf)
+        kernel.set_arg(3, batch)
+        event = queue.enqueue_task(kernel)
+        print(f"  batch {batch:3d}:"
+              f" {event.device_seconds / batch * 1e6:8.2f} us/image")
+
+
+if __name__ == "__main__":
+    main()

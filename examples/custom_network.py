@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Custom network through the Condor JSON format, validated bit-by-bit.
+
+Builds a small CNN directly in the internal representation (the "specify
+all the input files manually, according to the Condor internal
+specification" path of §3.1.1), saves/loads the Condor JSON, fuses two
+layers onto one PE via hardware hints, runs the flow, and then verifies the
+generated accelerator *functionally* by streaming images through the
+discrete-event simulator and comparing against the numpy reference engine.
+
+Run:  python examples/custom_network.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.flow import CondorFlow, FlowInputs
+from repro.frontend.condor_format import (
+    CondorModel,
+    LayerHints,
+    load_condor_json,
+    save_condor_json,
+)
+from repro.frontend.weights import WeightStore
+from repro.ir.layers import (
+    Activation,
+    ConvLayer,
+    FullyConnectedLayer,
+    PoolLayer,
+    SoftmaxLayer,
+)
+from repro.ir.network import chain
+from repro.nn.engine import ReferenceEngine
+from repro.sim.dataflow import simulate_accelerator
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="condor-custom-"))
+
+    # 1. Describe a CNN in the IR: a small CIFAR-ish feature extractor.
+    net = chain("custom_cnn", (3, 20, 20), [
+        ConvLayer("conv1", num_output=8, kernel=3, pad=1,
+                  activation=Activation.RELU),
+        PoolLayer("pool1", kernel=2),
+        ConvLayer("conv2", num_output=16, kernel=3,
+                  activation=Activation.RELU),
+        PoolLayer("pool2", kernel=2),
+        FullyConnectedLayer("fc", num_output=4),
+        SoftmaxLayer("prob", log=False),
+    ])
+    # Hardware intent: fuse conv2+pool2 onto one PE (the paper's layer
+    # clustering for resource-constrained targets).
+    model = CondorModel(network=net, frequency_hz=150e6, hints={
+        "conv2": LayerHints(cluster="tail"),
+        "pool2": LayerHints(cluster="tail"),
+    })
+
+    # 2. Round-trip through the Condor JSON file format.
+    path = save_condor_json(model, workdir / "custom_cnn.json")
+    model = load_condor_json(path)
+    print(f"condor JSON written to {path}")
+    print(model.network.summary(), "\n")
+
+    # 3. Run the flow from the JSON file.
+    flow = CondorFlow(workdir / "flow")
+    result = flow.run(FlowInputs(condor_json=path))
+    print(result.summary())
+    print("\naccelerator (note conv2+pool2 fused on one PE):")
+    print(result.accelerator.summary())
+
+    # 4. Functional verification: event-driven simulation of the actual
+    #    dataflow structure vs the reference engine.
+    weights = WeightStore.initialize(net, seed=42)
+    images = np.random.default_rng(0).normal(
+        size=(3, 3, 20, 20)).astype(np.float32)
+    sim = simulate_accelerator(result.accelerator, weights, images)
+    ref = ReferenceEngine(net, weights).forward_batch(images)
+    worst = max(float(np.abs(sim.outputs[i] - ref[i]).max())
+                for i in range(len(images)))
+    print(f"\nevent simulation: {sim.total_cycles} cycles for"
+          f" {len(images)} images")
+    print(f"max |sim - reference| = {worst:.2e}")
+    assert worst < 1e-4, "dataflow accelerator diverged from reference!"
+    print("functional check PASSED")
+
+    print("\nper-PE busy cycles:", sim.pe_busy_cycles)
+
+
+if __name__ == "__main__":
+    main()

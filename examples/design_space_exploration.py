@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Design-space exploration: automate the paper's manual step 2.
+
+Explores inter-layer parallelism configurations for the LeNet
+features-extraction stage (the Table 2 setting) and prints the improvement
+trajectory plus the Pareto frontier of (DSP, initiation interval), then
+compares the chosen configuration against the sequential baseline with the
+closed-form performance model.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.dse import explore
+from repro.frontend.condor_format import CondorModel, DeploymentOption
+from repro.frontend.zoo import lenet_model
+from repro.hw.accelerator import build_accelerator
+from repro.hw.mapping import default_mapping
+from repro.hw.perf import estimate_performance
+from repro.util.tables import TextTable
+
+
+def main() -> None:
+    base = lenet_model()
+    model = CondorModel(
+        network=base.network.features_subnetwork(),
+        board=base.board,
+        frequency_hz=base.frequency_hz,
+        deployment=DeploymentOption.ON_PREMISE,
+    )
+    print(f"exploring {model.network.name} at"
+          f" {model.frequency_hz / 1e6:.0f} MHz on {model.board}\n")
+
+    result = explore(model)
+
+    print(f"explorer ran {result.steps} steps,"
+          f" {len(result.explored)} configurations evaluated\n")
+    table = TextTable(["step", "II cycles", "DSP", "GFLOPS @ steady state"])
+    for i, point in enumerate(result.explored):
+        acc = build_accelerator(model, point.mapping)
+        perf = estimate_performance(acc)
+        table.add_row([i, point.ii_cycles, point.resources.dsp,
+                       perf.gflops()])
+    print(table.render())
+
+    print("\nchosen per-PE parallelism:")
+    config_table = TextTable(["PE", "layers", "in ports", "out ports"])
+    for pe in result.mapping.pes:
+        config_table.add_row([pe.name, ",".join(pe.layer_names),
+                              pe.in_parallel, pe.out_parallel])
+    print(config_table.render())
+
+    baseline = estimate_performance(
+        build_accelerator(model, default_mapping(model.network)))
+    speedup = baseline.ii_cycles / result.performance.ii_cycles
+    print(f"\nbaseline II {baseline.ii_cycles} cycles ->"
+          f" optimized II {result.performance.ii_cycles} cycles"
+          f"  ({speedup:.1f}x throughput)")
+    print(f"GFLOPS: {baseline.gflops():.2f} -> "
+          f"{result.performance.gflops():.2f}")
+
+    print("\nPareto frontier (DSP vs II):")
+    pareto = TextTable(["DSP", "II cycles"])
+    for point in result.pareto_frontier:
+        pareto.add_row([point.resources.dsp, point.ii_cycles])
+    print(pareto.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Profiling a deployed accelerator and scaling out across F1 slots.
+
+Part 1 runs TC1 through the discrete-event simulator with tracing
+attached: it prints the FIFO occupancy profile, ranks the channels by the
+stall cycles they cause (finding the pipeline bottleneck), and writes a
+GTKWave-compatible ``.vcd`` waveform of the run.
+
+Part 2 deploys the same AFI onto all eight FPGA slots of an
+``f1.16xlarge`` and shows the aggregate throughput scaling — the reason
+the paper targets the cloud in the first place ("dramatically increasing
+the use case scenarios for FPGAs").
+
+Run:  python examples/profiling_and_scaleout.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.cloud.client import AWSSession
+from repro.flow import CondorFlow, FlowInputs
+from repro.frontend.condor_format import DeploymentOption
+from repro.frontend.weights import WeightStore
+from repro.frontend.zoo import synthetic_digits, tc1_model
+from repro.runtime.opencl import (
+    Buffer,
+    CommandQueue,
+    Context,
+    Kernel,
+    Program,
+    pack_weights,
+)
+from repro.sim.dataflow import simulate_accelerator
+from repro.sim.trace import Trace
+from repro.sim.vcd import write_vcd
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="condor-profile-"))
+    aws = AWSSession()
+
+    # ------------------------------------------------------------------
+    # Part 1 — profile the generated accelerator
+    # ------------------------------------------------------------------
+    flow = CondorFlow(workdir, aws=aws)
+    result = flow.run(FlowInputs(model=tc1_model(),
+                                 deployment=DeploymentOption.AWS_F1))
+    weights = WeightStore.load(workdir / "weights")
+    images, _ = synthetic_digits(6, size=16, seed=0)
+
+    trace = Trace()
+    sim = simulate_accelerator(result.accelerator, weights, images,
+                               trace=trace)
+    print(f"simulated {sim.batch} images in {sim.total_cycles} cycles\n")
+    print("channel profile:")
+    print(trace.report())
+
+    top = trace.bottleneck_channels(3)
+    print("\nchannels causing the most stalls:")
+    for channel, cycles in top:
+        print(f"  {channel}: {cycles} blocked cycles")
+
+    vcd_path = write_vcd(trace, workdir / "tc1_run.vcd", module="tc1")
+    print(f"\nwaveform written to {vcd_path}"
+          f" ({vcd_path.stat().st_size} bytes, open with GTKWave)")
+
+    # ------------------------------------------------------------------
+    # Part 2 — scale out across the 8 slots of an f1.16xlarge
+    # ------------------------------------------------------------------
+    instance = aws.run_f1_instance("f1.16xlarge")
+    print(f"\nlaunched {instance.instance_id}"
+          f" ({len(instance.slots)} FPGA slots)")
+    packed = pack_weights(result.model.network, weights)
+    batch = 32
+    net = result.model.network
+
+    total_rate = 0.0
+    for slot_index in range(len(instance.slots)):
+        slot = instance.load_afi(slot_index, result.agfi_id)
+        context = Context(slot.device)
+        program = Program(context, slot.device.programmed)
+        kernel = Kernel(program, program.kernel_names()[0])
+        queue = CommandQueue(context, emulation="fast")
+
+        data, _ = synthetic_digits(batch, size=16, seed=slot_index)
+        in_buf = Buffer(context, Buffer.READ_ONLY, data.nbytes)
+        out_buf = Buffer(context, Buffer.WRITE_ONLY,
+                         batch * net.output_shape().size * 4)
+        w_buf = Buffer(context, Buffer.READ_ONLY, packed.nbytes)
+        queue.enqueue_write_buffer(in_buf, data)
+        queue.enqueue_write_buffer(w_buf, packed)
+        kernel.set_arg(0, in_buf)
+        kernel.set_arg(1, out_buf)
+        kernel.set_arg(2, w_buf)
+        kernel.set_arg(3, batch)
+        event = queue.enqueue_task(kernel)
+        rate = batch / event.device_seconds
+        total_rate += rate
+        print(f"  slot {slot_index}: {rate:10.0f} images/s")
+
+    single = total_rate / len(instance.slots)
+    print(f"\naggregate: {total_rate:.0f} images/s across"
+          f" {len(instance.slots)} slots"
+          f" ({total_rate / single:.1f}x a single slot)")
+
+
+if __name__ == "__main__":
+    main()

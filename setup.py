@@ -1,0 +1,5 @@
+"""Setup shim: enables `pip install -e .` / `setup.py develop` on
+environments without the `wheel` package (offline, PEP 660 unavailable)."""
+from setuptools import setup
+
+setup()

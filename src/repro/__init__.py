@@ -1,0 +1,47 @@
+"""Condor reproduction — CNN-to-FPGA dataflow acceleration with cloud
+integration.
+
+A from-scratch Python implementation of the framework of Raspa, Natale,
+Bacis & Santambrogio, *A Framework with Cloud Integration for CNN
+Acceleration on FPGA Devices* (RAW/IPDPSW 2018), with the Xilinx
+toolchain and AWS F1 substituted by faithful simulated substrates (see
+DESIGN.md).
+
+The convenient top-level surface::
+
+    from repro import CondorFlow, FlowInputs, DeploymentOption
+    result = CondorFlow("work").run(FlowInputs(prototxt="lenet.prototxt"))
+
+Heavier subsystems (simulator, toolchain, cloud, DSE, quantization) are
+imported from their subpackages; see the README for the map.
+"""
+
+from repro.errors import CondorError
+from repro.flow.condor import CondorFlow, FlowInputs, FlowResult
+from repro.frontend.condor_format import (
+    CondorModel,
+    DeploymentOption,
+    LayerHints,
+    load_condor_json,
+    save_condor_json,
+)
+from repro.frontend.weights import WeightStore
+from repro.ir.network import Network, chain
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CondorError",
+    "CondorFlow",
+    "FlowInputs",
+    "FlowResult",
+    "CondorModel",
+    "DeploymentOption",
+    "LayerHints",
+    "load_condor_json",
+    "save_condor_json",
+    "WeightStore",
+    "Network",
+    "chain",
+    "__version__",
+]

@@ -1,0 +1,256 @@
+"""The ``condor`` command-line interface.
+
+Exposes the framework the way the paper's users would drive it::
+
+    condor info   <model>                    # parse + summarize a model
+    condor build  <model> [--deploy aws-f1]  # run the full flow
+    condor dse    <model>                    # explore configurations
+    condor simulate <model> --batch N        # event-driven simulation
+    condor figure5                           # regenerate Figure 5
+
+``<model>`` is a ``.prototxt`` (with optional ``--weights x.caffemodel``),
+a ``.onnx`` file, or a Condor ``.json`` file; the format is picked by
+extension.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import CondorError
+from repro.flow.condor import CondorFlow, FlowInputs
+from repro.frontend.condor_format import DeploymentOption
+
+
+def _model_inputs(path: str, weights: str | None) -> FlowInputs:
+    p = Path(path)
+    suffix = p.suffix.lower()
+    if suffix == ".prototxt":
+        return FlowInputs(prototxt=p, caffemodel=weights)
+    if suffix == ".onnx":
+        return FlowInputs(onnx=p)
+    if suffix == ".json":
+        return FlowInputs(condor_json=p)
+    raise CondorError(
+        f"cannot infer the model format of {path!r}; expected .prototxt,"
+        " .onnx or .json")
+
+
+def _load_model(args) -> tuple:
+    """Run only the input-analysis step to get (model, weights)."""
+    flow = CondorFlow(args.workdir)
+    inputs = _model_inputs(args.model, getattr(args, "weights", None))
+    return flow._input_analysis(inputs), flow
+
+
+def cmd_info(args) -> int:
+    (model, weights), _ = _load_model(args)
+    net = model.network
+    print(f"network: {net.name}")
+    print(f"input:   {net.input_shape()}   output: {net.output_shape()}")
+    from repro.ir.flops import network_flops, network_macs
+    print(f"MACs:    {network_macs(net):,}   FLOPs:"
+          f" {network_flops(net):,}")
+    print(f"parameters: {weights.total_parameters():,}")
+    print()
+    print(net.summary())
+    return 0
+
+
+def cmd_build(args) -> int:
+    flow = CondorFlow(args.workdir)
+    inputs = _model_inputs(args.model, args.weights)
+    inputs.deployment = (DeploymentOption.AWS_F1 if args.deploy == "aws-f1"
+                         else DeploymentOption.ON_PREMISE)
+    if args.frequency:
+        from repro.util.units import parse_freq
+        inputs.frequency_hz = parse_freq(args.frequency)
+    if args.board:
+        inputs.board = args.board
+    inputs.run_dse = args.dse
+    result = flow.run(inputs)
+    print(result.summary())
+    print(f"\nartifacts in {result.workdir}")
+    for step in result.steps:
+        print(f"  {step.name}: {step.seconds:.2f}s")
+    return 0
+
+
+def cmd_dse(args) -> int:
+    (model, _), _ = _load_model(args)
+    from repro.dse import explore
+    result = explore(model)
+    print(f"explored {len(result.explored)} configurations in"
+          f" {result.steps} steps")
+    print(f"best II: {result.performance.ii_cycles} cycles "
+          f"({result.performance.gflops():.2f} GFLOPS at"
+          f" {model.frequency_hz / 1e6:.0f} MHz)")
+    print("\nchosen mapping:")
+    for pe in result.mapping.pes:
+        print(f"  {pe.name}: {','.join(pe.layer_names)}"
+              f"  in={pe.in_parallel} out={pe.out_parallel}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    import numpy as np
+
+    (model, weights), _ = _load_model(args)
+    from repro.frontend.weights import WeightStore
+    from repro.hw.accelerator import build_accelerator
+    from repro.hw.perf import estimate_performance
+    from repro.sim.dataflow import simulate_accelerator
+
+    net = model.network
+    if not weights.layers():
+        weights = WeightStore.initialize(net)
+    acc = build_accelerator(model)
+    rng = np.random.default_rng(args.seed)
+    images = rng.normal(size=(args.batch,) + net.input_shape().as_tuple()) \
+        .astype(np.float32)
+    result = simulate_accelerator(acc, weights, images)
+    perf = estimate_performance(acc)
+    print(f"simulated batch of {args.batch}: {result.total_cycles} cycles"
+          f" ({result.mean_time_per_image(acc.frequency_hz) * 1e6:.2f}"
+          " us/image)")
+    print(f"closed-form model: {perf.batch_cycles(args.batch)} cycles")
+    print("per-PE busy cycles:")
+    for name, busy in result.pe_busy_cycles.items():
+        blocked = result.pe_blocked_cycles[name]
+        print(f"  {name}: busy={busy} blocked={blocked}")
+    return 0
+
+
+def cmd_figure5(args) -> int:
+    from repro.eval.figure5 import figure5_series, render_figure5
+    print(render_figure5(figure5_series()))
+    return 0
+
+
+def cmd_convert(args) -> int:
+    """Convert between the supported model formats.
+
+    The target format comes from the output extension: ``.onnx``,
+    ``.json`` (Condor), or ``.prototxt`` (Caffe; a sibling
+    ``.caffemodel`` is written when weights exist).
+    """
+    from pathlib import Path
+
+    from repro.frontend.condor_format import CondorModel, save_condor_json
+
+    (model, weights), _ = _load_model(args)
+    out = Path(args.output)
+    suffix = out.suffix.lower()
+    if suffix == ".onnx":
+        from repro.frontend.onnx import save_onnx
+
+        save_onnx(model.network, out,
+                  weights if weights.layers() else None)
+        written = [out]
+    elif suffix == ".json":
+        save_condor_json(model, out)
+        if weights.layers():
+            weights.save(out.parent / (out.stem + "_weights"))
+        written = [out]
+    elif suffix == ".prototxt":
+        from repro.frontend.caffe import save_caffe_files
+
+        prototxt, caffemodel = save_caffe_files(
+            model.network, out.parent,
+            weights if weights.layers() else None,
+            basename=out.stem)
+        written = [prototxt] + ([caffemodel] if caffemodel else [])
+    else:
+        raise CondorError(
+            f"unknown target format {suffix!r}; use .onnx, .json or"
+            " .prototxt")
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.eval.report import full_report, write_report
+    if args.output:
+        path = write_report(args.output)
+        print(f"report written to {path}")
+    else:
+        print(full_report())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="condor",
+        description="CNN-to-FPGA dataflow acceleration framework"
+                    " (Condor reproduction)")
+    parser.add_argument("--workdir", default="condor-work",
+                        help="artifact directory (default: condor-work)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="summarize a model")
+    info.add_argument("model")
+    info.add_argument("--weights", help="caffemodel for .prototxt input")
+    info.set_defaults(func=cmd_info)
+
+    build = sub.add_parser("build", help="run the full automation flow")
+    build.add_argument("model")
+    build.add_argument("--weights")
+    build.add_argument("--deploy", choices=["on-premise", "aws-f1"],
+                       default="on-premise")
+    build.add_argument("--frequency", help="e.g. 180MHz")
+    build.add_argument("--board")
+    build.add_argument("--dse", action="store_true",
+                       help="run the design-space explorer")
+    build.set_defaults(func=cmd_build)
+
+    dse = sub.add_parser("dse", help="explore parallelism configurations")
+    dse.add_argument("model")
+    dse.add_argument("--weights")
+    dse.set_defaults(func=cmd_dse)
+
+    simulate = sub.add_parser("simulate",
+                              help="event-driven functional simulation")
+    simulate.add_argument("model")
+    simulate.add_argument("--weights")
+    simulate.add_argument("--batch", type=int, default=4)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=cmd_simulate)
+
+    figure5 = sub.add_parser("figure5",
+                             help="regenerate the Figure 5 series")
+    figure5.set_defaults(func=cmd_figure5)
+
+    report = sub.add_parser(
+        "report", help="regenerate the full evaluation (Tables 1-2 +"
+                       " Figure 5)")
+    report.add_argument("--output", help="write to a file instead of"
+                                         " stdout")
+    report.set_defaults(func=cmd_report)
+
+    convert = sub.add_parser(
+        "convert", help="convert a model between Caffe / ONNX / Condor"
+                        " JSON formats")
+    convert.add_argument("model")
+    convert.add_argument("output",
+                         help="target path; extension picks the format")
+    convert.add_argument("--weights", help="caffemodel for .prototxt"
+                                           " input")
+    convert.set_defaults(func=cmd_convert)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CondorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Simulated AWS services for the cloud deployment path (flow step 8).
+
+* :mod:`repro.cloud.s3` — an in-process object store with buckets/keys;
+* :mod:`repro.cloud.afi` — the Amazon FPGA Image service: asynchronous
+  ``pending`` → ``available`` creation from an xclbin (DCP) in S3,
+  ``afi-``/``agfi-`` identifiers;
+* :mod:`repro.cloud.f1` — F1 instances with FPGA slots that load AFIs;
+* :mod:`repro.cloud.client` — the boto/CLI-flavoured session facade the
+  flow drives (``create-fpga-image``, ``describe-fpga-images``, ...).
+"""
+
+from repro.cloud.s3 import S3Store
+from repro.cloud.afi import AFIService, AFIState
+from repro.cloud.f1 import F1Instance, F1_INSTANCE_TYPES, FpgaSlot
+from repro.cloud.client import AWSSession
+
+__all__ = [
+    "S3Store",
+    "AFIService",
+    "AFIState",
+    "F1Instance",
+    "F1_INSTANCE_TYPES",
+    "FpgaSlot",
+    "AWSSession",
+]

@@ -1,0 +1,64 @@
+"""The AWS session facade the flow drives.
+
+Bundles the region's S3 store + AFI service behind the CLI-flavoured verbs
+the paper's step 8 uses: upload the tarball to a user-specified bucket,
+``create-fpga-image``, poll ``describe-fpga-images``, launch an F1
+instance, ``fpga-load-local-image``.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.afi import AFIRecord, AFIService
+from repro.cloud.f1 import F1Instance
+from repro.cloud.s3 import S3Store
+from repro.util.logging import get_logger
+
+_log = get_logger("cloud.client")
+
+
+class AWSSession:
+    """One simulated account/region."""
+
+    def __init__(self, region: str = "us-east-1"):
+        self.region = region
+        self.s3 = S3Store()
+        self.afi = AFIService(self.s3)
+        self._instances: list[F1Instance] = []
+
+    # -- S3 verbs -----------------------------------------------------------
+
+    def ensure_bucket(self, bucket: str) -> None:
+        if not self.s3.bucket_exists(bucket):
+            self.s3.create_bucket(bucket)
+
+    def upload(self, bucket: str, key: str, data: bytes) -> str:
+        """``aws s3 cp`` — returns the object URI."""
+        self.ensure_bucket(bucket)
+        return self.s3.put_object(bucket, key, data).uri
+
+    # -- EC2/AFI verbs ----------------------------------------------------------
+
+    def create_fpga_image(self, *, name: str, bucket: str, key: str,
+                          description: str = "") -> AFIRecord:
+        """``aws ec2 create-fpga-image``."""
+        return self.afi.create_fpga_image(
+            name=name, description=description,
+            input_storage_location=f"s3://{bucket}/{key}")
+
+    def wait_for_afi(self, afi_id: str) -> AFIRecord:
+        """Poll ``describe-fpga-images`` until the AFI is available."""
+        return self.afi.wait_until_available(afi_id)
+
+    def run_f1_instance(self, instance_type: str = "f1.2xlarge") \
+            -> F1Instance:
+        """``aws ec2 run-instances`` for an F1 type."""
+        instance = F1Instance(
+            instance_type, self.afi,
+            instance_id=f"i-{len(self._instances):017x}")
+        self._instances.append(instance)
+        _log.info("launched %s (%s)", instance.instance_id, instance_type)
+        return instance
+
+    @property
+    def instances(self) -> list[F1Instance]:
+        return list(self._instances)

@@ -1,0 +1,88 @@
+"""Simulated EC2 F1 instances.
+
+F1 instances carry 1, 2 or 8 Virtex UltraScale+ FPGA cards; loading an
+*available* AFI onto a slot programs that card's simulated device, after
+which the OpenCL runtime can open it like a local board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.afi import AFIService, AFIState
+from repro.errors import InstanceError
+from repro.hw.resources import device_for_board
+from repro.runtime.opencl import SimDevice
+from repro.toolchain.xclbin import read_xclbin
+from repro.util.logging import get_logger
+
+_log = get_logger("cloud.f1")
+
+#: instance type -> FPGA slot count.
+F1_INSTANCE_TYPES: dict[str, int] = {
+    "f1.2xlarge": 1,
+    "f1.4xlarge": 2,
+    "f1.16xlarge": 8,
+}
+
+
+@dataclass
+class FpgaSlot:
+    index: int
+    device: SimDevice
+    agfi_id: str | None = None
+
+
+class F1Instance:
+    """One running F1 instance."""
+
+    def __init__(self, instance_type: str, afi_service: AFIService,
+                 instance_id: str = "i-0123456789abcdef0"):
+        try:
+            slots = F1_INSTANCE_TYPES[instance_type]
+        except KeyError:
+            raise InstanceError(
+                f"unknown F1 instance type {instance_type!r}; known:"
+                f" {sorted(F1_INSTANCE_TYPES)}") from None
+        self.instance_type = instance_type
+        self.instance_id = instance_id
+        self.afi_service = afi_service
+        hw = device_for_board("aws-f1-xcvu9p")
+        self.slots = [
+            FpgaSlot(index=i,
+                     device=SimDevice(f"xilinx_aws-vu9p-f1_slot{i}", hw))
+            for i in range(slots)
+        ]
+
+    def slot(self, index: int) -> FpgaSlot:
+        if not 0 <= index < len(self.slots):
+            raise InstanceError(
+                f"{self.instance_type} has {len(self.slots)} FPGA"
+                f" slot(s); no slot {index}")
+        return self.slots[index]
+
+    def load_afi(self, slot_index: int, agfi_id: str) -> FpgaSlot:
+        """``fpga-load-local-image``: program a slot with an AFI."""
+        record = self.afi_service.resolve_agfi(agfi_id)
+        if record.state is not AFIState.AVAILABLE:
+            raise InstanceError(
+                f"AFI {record.afi_id} is {record.state.value}, cannot"
+                " load")
+        slot = self.slot(slot_index)
+        assert record.xclbin_bytes is not None
+        slot.device.program(read_xclbin(record.xclbin_bytes))
+        slot.agfi_id = agfi_id
+        _log.info("loaded %s onto slot %d of %s", agfi_id, slot_index,
+                  self.instance_id)
+        return slot
+
+    def clear_slot(self, slot_index: int) -> None:
+        """``fpga-clear-local-image``."""
+        slot = self.slot(slot_index)
+        slot.device.programmed = None
+        slot.agfi_id = None
+
+    def describe_slots(self) -> list[dict]:
+        return [{"slot": s.index, "agfi": s.agfi_id,
+                 "programmed": s.device.programmed is not None}
+                for s in self.slots]

@@ -1,0 +1,103 @@
+"""An in-process S3 object store.
+
+Buckets hold keyed byte blobs with ETags (MD5, as S3 computes for simple
+puts).  Only the operations the AFI-creation flow needs are implemented,
+with S3's error behaviour (missing bucket vs missing key are distinct
+failures).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+
+from repro.errors import S3Error
+
+_BUCKET_RE = re.compile(r"^[a-z0-9][a-z0-9.-]{1,61}[a-z0-9]$")
+
+
+@dataclass(frozen=True)
+class S3Object:
+    bucket: str
+    key: str
+    data: bytes
+    etag: str
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def uri(self) -> str:
+        return f"s3://{self.bucket}/{self.key}"
+
+
+class S3Store:
+    """All buckets of one simulated region."""
+
+    def __init__(self):
+        self._buckets: dict[str, dict[str, S3Object]] = {}
+
+    # -- buckets ------------------------------------------------------------
+
+    def create_bucket(self, name: str) -> None:
+        if not _BUCKET_RE.match(name):
+            raise S3Error(f"invalid bucket name {name!r}")
+        if name in self._buckets:
+            raise S3Error(f"bucket {name!r} already exists"
+                          " (BucketAlreadyOwnedByYou)")
+        self._buckets[name] = {}
+
+    def bucket_exists(self, name: str) -> bool:
+        return name in self._buckets
+
+    def list_buckets(self) -> list[str]:
+        return sorted(self._buckets)
+
+    def _bucket(self, name: str) -> dict[str, S3Object]:
+        try:
+            return self._buckets[name]
+        except KeyError:
+            raise S3Error(f"no such bucket {name!r} (NoSuchBucket)") \
+                from None
+
+    # -- objects --------------------------------------------------------------
+
+    def put_object(self, bucket: str, key: str, data: bytes) -> S3Object:
+        if not key or key.startswith("/"):
+            raise S3Error(f"invalid key {key!r}")
+        obj = S3Object(bucket=bucket, key=key, data=bytes(data),
+                       etag=hashlib.md5(data).hexdigest())
+        self._bucket(bucket)[key] = obj
+        return obj
+
+    def get_object(self, bucket: str, key: str) -> S3Object:
+        objects = self._bucket(bucket)
+        try:
+            return objects[key]
+        except KeyError:
+            raise S3Error(
+                f"no such key {key!r} in bucket {bucket!r} (NoSuchKey)"
+            ) from None
+
+    def head_object(self, bucket: str, key: str) -> dict:
+        obj = self.get_object(bucket, key)
+        return {"ContentLength": obj.size, "ETag": obj.etag}
+
+    def delete_object(self, bucket: str, key: str) -> None:
+        objects = self._bucket(bucket)
+        objects.pop(key, None)  # S3 delete is idempotent
+
+    def list_objects(self, bucket: str, prefix: str = "") -> list[str]:
+        return sorted(k for k in self._bucket(bucket)
+                      if k.startswith(prefix))
+
+    def parse_uri(self, uri: str) -> tuple[str, str]:
+        if not uri.startswith("s3://"):
+            raise S3Error(f"not an S3 URI: {uri!r}")
+        rest = uri[len("s3://"):]
+        bucket, _, key = rest.partition("/")
+        if not bucket or not key:
+            raise S3Error(f"malformed S3 URI: {uri!r}")
+        return bucket, key

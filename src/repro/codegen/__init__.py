@@ -1,0 +1,23 @@
+"""HLS C code generation (flow steps 3a, 3b and 4 of §3.3).
+
+The framework writes the C sources Vivado HLS would synthesize: one kernel
+per PE, one per filter, one for the datamover, plus the default OpenCL host
+program of step 7.  Each source carries a machine-readable ``@condor``
+metadata header that the simulated HLS front-end parses back (the same
+contract the real flow has through Tcl directives).
+"""
+
+from repro.codegen.bundle import generate_sources, SourceBundle
+from repro.codegen.pe import generate_pe_source
+from repro.codegen.filters import generate_filter_source
+from repro.codegen.datamover import generate_datamover_source
+from repro.codegen.host import generate_host_source
+
+__all__ = [
+    "generate_sources",
+    "SourceBundle",
+    "generate_pe_source",
+    "generate_filter_source",
+    "generate_datamover_source",
+    "generate_host_source",
+]

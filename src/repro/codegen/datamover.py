@@ -1,0 +1,81 @@
+"""Datamover kernel generation.
+
+The custom datamover exchanges data between the on-board DDR (AXI4 master)
+and the accelerator's streaming connections: input images in, results out,
+weights and partial results to/from the PEs that need them.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.ctemplates import HEADER_INCLUDES, file_header, stream_arg
+from repro.hw.components import Accelerator
+from repro.util.naming import sanitize_identifier
+
+
+def generate_datamover_source(acc: Accelerator) -> str:
+    """Emit the HLS C kernel for the datamover."""
+    dm = acc.datamover
+    net = acc.network
+    in_size = net.input_shape().size
+    out_size = net.output_shape().size
+    weight_targets = [pe for pe in acc.pes if pe.weight_words]
+    metadata = {
+        "kind": "datamover",
+        "dm.stream_ports": dm.stream_ports,
+        "dm.input_words": in_size,
+        "dm.output_words": out_size,
+        "dm.weight_words": sum(pe.weight_words for pe in weight_targets),
+    }
+    args = ["const float *ddr_in", "float *ddr_out",
+            "const float *ddr_weights", "int batch",
+            stream_arg("to_accel"), stream_arg("from_accel")]
+    args += [stream_arg(f"weights_{sanitize_identifier(pe.name)}")
+             for pe in weight_targets]
+    weight_blocks = []
+    offset = 0
+    for pe in weight_targets:
+        ident = sanitize_identifier(pe.name)
+        weight_blocks.append(f"""\
+    // preload weights for {pe.name} ({pe.weight_words} words)
+    load_{ident}:
+    for (int i = 0; i < {pe.weight_words}; ++i) {{
+#pragma HLS PIPELINE II=1
+        weights_{ident}.write(ddr_weights[{offset} + i]);
+    }}""")
+        offset += pe.weight_words
+    stream_names = ["to_accel", "from_accel"] + [
+        f"weights_{sanitize_identifier(pe.name)}" for pe in weight_targets]
+    stream_pragmas = "\n".join(
+        f"#pragma HLS INTERFACE axis port={name}" for name in stream_names)
+    args_joined = ",\n    ".join(args)
+    weight_code = "\n".join(weight_blocks)
+    body = f"""\
+void {sanitize_identifier(dm.name)}(
+    {args_joined})
+{{
+#pragma HLS INTERFACE m_axi port=ddr_in offset=slave bundle=gmem0
+#pragma HLS INTERFACE m_axi port=ddr_out offset=slave bundle=gmem1
+#pragma HLS INTERFACE m_axi port=ddr_weights offset=slave bundle=gmem2
+{stream_pragmas}
+#pragma HLS INTERFACE s_axilite port=batch
+#pragma HLS INTERFACE s_axilite port=return
+
+{weight_code}
+
+    images:
+    for (int b = 0; b < batch; ++b) {{
+        feed:
+        for (int i = 0; i < {in_size}; ++i) {{
+#pragma HLS PIPELINE II=1
+            to_accel.write(ddr_in[b * {in_size} + i]);
+        }}
+        drain:
+        for (int i = 0; i < {out_size}; ++i) {{
+#pragma HLS PIPELINE II=1
+            ddr_out[b * {out_size} + i] = from_accel.read();
+        }}
+    }}
+}}
+"""
+    return (file_header("Datamover", metadata) + HEADER_INCLUDES + "\n"
+            + body)

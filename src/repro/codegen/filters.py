@@ -1,0 +1,95 @@
+"""Filter kernel generation (flow step 3b).
+
+"Each filter is associated to a set of inequalities that are used to select
+which of the elements present in the input stream of the filter have to be
+sent to the PE" — the inequalities below select, in the raster-order stream
+of one (padded) input feature map, the elements whose position matches the
+filter's window access (m, n): elements at ``(row, col)`` with
+``m ≤ row ≤ H − K_h + m`` and ``n ≤ col ≤ W − K_w + n`` (stride conditions
+applied on top).  The filter also forwards every element to the next filter
+of the chain over the interleaving FIFO.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.ctemplates import HEADER_INCLUDES, file_header, stream_arg
+from repro.hw.components import FilterNode, MemorySubsystem
+from repro.hw.partitioning import FilterChainSpec
+from repro.util.naming import sanitize_identifier
+
+
+def filter_inequalities(spec: FilterChainSpec, node: FilterNode,
+                        input_height: int,
+                        stride: tuple[int, int] = (1, 1)) -> list[str]:
+    """The C guard conditions for one filter (documented form)."""
+    kh, kw = spec.window
+    m, n = node.offset
+    w = spec.input_width
+    h = input_height
+    sh, sw = stride
+    conds = [
+        f"row >= {m}", f"row <= {h - kh + m}",
+        f"col >= {n}", f"col <= {w - kw + n}",
+    ]
+    if sh != 1:
+        conds.append(f"(row - {m}) % {sh} == 0")
+    if sw != 1:
+        conds.append(f"(col - {n}) % {sw} == 0")
+    return conds
+
+
+def generate_filter_source(subsystem: MemorySubsystem, node: FilterNode,
+                           input_height: int,
+                           stride: tuple[int, int] = (1, 1)) -> str:
+    """Emit the HLS C kernel for one filter of a memory pipeline."""
+    spec = subsystem.spec
+    name = sanitize_identifier(node.name)
+    last = node.position == len(subsystem.filters) - 1
+    metadata = {
+        "kind": "filter",
+        "filter.offset": f"{node.offset[0]},{node.offset[1]}",
+        "filter.position": node.position,
+        "filter.window": f"{spec.window[0]}x{spec.window[1]}",
+        "filter.input_width": spec.input_width,
+        "filter.last": str(last).lower(),
+    }
+    conds = " && ".join(
+        filter_inequalities(spec, node, input_height, stride))
+    args = [stream_arg("in_stream"), stream_arg("to_pe")]
+    if not last:
+        args.append(stream_arg("to_next"))
+    forward = "" if last else "\n        to_next.write(v);"
+    body = f"""\
+void {name}(
+    {", ".join(args)})
+{{
+#pragma HLS INTERFACE axis port=in_stream
+#pragma HLS INTERFACE axis port=to_pe
+{"" if last else "#pragma HLS INTERFACE axis port=to_next"}
+    filter_scan:
+    for (int row = 0; row < {input_height}; ++row) {{
+    for (int col = 0; col < {spec.input_width}; ++col) {{
+#pragma HLS PIPELINE II=1
+        float v = in_stream.read();
+        // selection inequalities for window access ({node.offset[0]}, {node.offset[1]})
+        if ({conds}) {{
+            to_pe.write(v);
+        }}{forward}
+    }}
+    }}
+}}
+"""
+    return (file_header(f"Filter {node.name} (access {node.offset})",
+                        metadata) + HEADER_INCLUDES + "\n" + body)
+
+
+def generate_subsystem_sources(subsystem: MemorySubsystem,
+                               input_height: int,
+                               stride: tuple[int, int] = (1, 1)) \
+        -> dict[str, str]:
+    """All filter sources of one memory pipeline, keyed by file name."""
+    return {
+        f"{sanitize_identifier(node.name)}.cpp":
+            generate_filter_source(subsystem, node, input_height, stride)
+        for node in subsystem.filters
+    }

@@ -1,0 +1,100 @@
+"""Default host code generation (flow step 7).
+
+"We also generate and provide the user with a default host code to run and
+test the performance of the resulting accelerator" — an OpenCL C++ program
+that loads the xclbin, pushes a batch of images, and reports the mean time
+per image (the Figure 5 measurement loop).
+"""
+
+from __future__ import annotations
+
+from repro.codegen.ctemplates import file_header
+from repro.hw.components import Accelerator
+from repro.util.naming import sanitize_identifier
+
+
+def generate_host_source(acc: Accelerator, *,
+                         xclbin_name: str | None = None) -> str:
+    net = acc.network
+    kernel = sanitize_identifier(acc.name)
+    xclbin = xclbin_name or f"{kernel}.xclbin"
+    in_size = net.input_shape().size
+    out_size = net.output_shape().size
+    weight_words = sum(pe.weight_words for pe in acc.pes)
+    metadata = {
+        "kind": "host",
+        "host.kernel": kernel,
+        "host.xclbin": xclbin,
+        "host.input_words": in_size,
+        "host.output_words": out_size,
+    }
+    return file_header(f"Default host program for {acc.name}", metadata) + f"""\
+#include <CL/cl2.hpp>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+// Runs the {acc.name} accelerator over a batch and prints the mean time
+// per image for increasing batch sizes.
+int main(int argc, char **argv) {{
+    const char *xclbin_path = argc > 1 ? argv[1] : "{xclbin}";
+    const int max_batch = argc > 2 ? std::atoi(argv[2]) : 64;
+
+    std::vector<cl::Platform> platforms;
+    cl::Platform::get(&platforms);
+    cl::Platform platform = platforms.front();
+    std::vector<cl::Device> devices;
+    platform.getDevices(CL_DEVICE_TYPE_ACCELERATOR, &devices);
+    cl::Device device = devices.front();
+    cl::Context context(device);
+    cl::CommandQueue queue(context, device, CL_QUEUE_PROFILING_ENABLE);
+
+    std::ifstream bin_file(xclbin_path, std::ifstream::binary);
+    std::vector<unsigned char> bin(
+        (std::istreambuf_iterator<char>(bin_file)),
+        std::istreambuf_iterator<char>());
+    cl::Program::Binaries bins{{{{bin.data(), bin.size()}}}};
+    cl::Program program(context, {{device}}, bins);
+    cl::Kernel kernel(program, "{kernel}");
+
+    std::vector<float> weights({weight_words});
+    // load weights from the external files produced by the flow
+    std::ifstream wf("weights.bin", std::ifstream::binary);
+    wf.read(reinterpret_cast<char *>(weights.data()),
+            weights.size() * sizeof(float));
+
+    for (int batch = 1; batch <= max_batch; batch *= 2) {{
+        std::vector<float> input(batch * {in_size}, 0.5f);
+        std::vector<float> output(batch * {out_size});
+        cl::Buffer in_buf(context, CL_MEM_READ_ONLY,
+                          input.size() * sizeof(float));
+        cl::Buffer out_buf(context, CL_MEM_WRITE_ONLY,
+                           output.size() * sizeof(float));
+        cl::Buffer w_buf(context, CL_MEM_READ_ONLY,
+                         weights.size() * sizeof(float));
+        kernel.setArg(0, in_buf);
+        kernel.setArg(1, out_buf);
+        kernel.setArg(2, w_buf);
+        kernel.setArg(3, batch);
+        queue.enqueueWriteBuffer(in_buf, CL_TRUE, 0,
+                                 input.size() * sizeof(float),
+                                 input.data());
+        queue.enqueueWriteBuffer(w_buf, CL_TRUE, 0,
+                                 weights.size() * sizeof(float),
+                                 weights.data());
+        auto start = std::chrono::high_resolution_clock::now();
+        queue.enqueueTask(kernel);
+        queue.finish();
+        auto stop = std::chrono::high_resolution_clock::now();
+        queue.enqueueReadBuffer(out_buf, CL_TRUE, 0,
+                                output.size() * sizeof(float),
+                                output.data());
+        double us = std::chrono::duration<double, std::micro>(
+            stop - start).count();
+        std::cout << "batch " << batch << ": "
+                  << us / batch << " us/image\\n";
+    }}
+    return 0;
+}}
+"""

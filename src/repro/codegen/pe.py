@@ -1,0 +1,178 @@
+"""PE kernel generation (flow step 3a / step 4).
+
+Each PE becomes one HLS C function: stream interfaces in and out, on-chip
+weight storage, the fused-layer outer loop with the layer-select
+conditionals of §3.2, and the window MAC loop fully unrolled (intra-layer
+parallelism).  Classifier PEs degenerate to the 1×1-convolution form of
+§3.3 step 4.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.ctemplates import (
+    HEADER_INCLUDES,
+    file_header,
+    indent,
+    stream_arg,
+)
+from repro.hw.components import Accelerator, PEKind, ProcessingElement
+from repro.ir.layers import ConvLayer, FullyConnectedLayer, PoolLayer, PoolOp
+from repro.util.naming import sanitize_identifier
+
+
+def _interface_pragmas(pe: ProcessingElement) -> list[str]:
+    pragmas = []
+    for port in range(pe.in_parallel):
+        pragmas.append(f"#pragma HLS INTERFACE axis port=in_stream{port}")
+    for port in range(pe.out_parallel):
+        pragmas.append(f"#pragma HLS INTERFACE axis port=out_stream{port}")
+    if pe.weight_words:
+        pragmas.append("#pragma HLS INTERFACE axis port=weight_stream")
+    pragmas.append("#pragma HLS INTERFACE s_axilite port=return")
+    return pragmas
+
+
+def _layer_body(acc: Accelerator, pe: ProcessingElement,
+                layer_name: str) -> str:
+    net = acc.network
+    layer = net[layer_name]
+    in_shape = net.input_shape(layer)
+    out_shape = net.output_shape(layer)
+    ident = sanitize_identifier(layer_name)
+    if isinstance(layer, ConvLayer):
+        kh, kw = layer.kernel
+        return f"""\
+// layer {layer_name}: conv {layer.num_output}x{kh}x{kw}
+conv_{ident}_out:
+for (int f = 0; f < {layer.num_output}; f += {pe.out_parallel}) {{
+    conv_{ident}_in:
+    for (int c = 0; c < {in_shape.channels}; c += {pe.in_parallel}) {{
+        conv_{ident}_spatial:
+        for (int xy = 0; xy < {out_shape.spatial_size}; ++xy) {{
+#pragma HLS PIPELINE II=1
+            float acc = bias_{ident}[f];
+            conv_{ident}_win:
+            for (int k = 0; k < {kh * kw}; ++k) {{
+#pragma HLS UNROLL
+                acc += weights_{ident}[(f * {in_shape.channels} + c) * {kh * kw} + k]
+                     * window_{ident}[k];
+            }}
+            partial_{ident}[xy] += acc;
+        }}
+    }}
+}}"""
+    if isinstance(layer, PoolLayer):
+        kh, kw = layer.kernel
+        op = "fmaxf(v, w)" if layer.op is PoolOp.MAX else "v + w"
+        post = "" if layer.op is PoolOp.MAX else \
+            f" * (1.0f / {kh * kw}.0f)"
+        return f"""\
+// layer {layer_name}: {layer.op.value}-pool {kh}x{kw}
+pool_{ident}_maps:
+for (int c = 0; c < {in_shape.channels}; c += {pe.in_parallel}) {{
+    pool_{ident}_spatial:
+    for (int xy = 0; xy < {out_shape.spatial_size}; ++xy) {{
+#pragma HLS PIPELINE II=1
+        float v = window_{ident}[0];
+        pool_{ident}_win:
+        for (int k = 1; k < {kh * kw}; ++k) {{
+#pragma HLS UNROLL
+            float w = window_{ident}[k];
+            v = {op};
+        }}
+        out_stream0.write(v{post});
+    }}
+}}"""
+    if isinstance(layer, FullyConnectedLayer):
+        return f"""\
+// layer {layer_name}: fully-connected as 1x1 conv,
+// single-input/single-output (paper 3.3 step 4)
+fc_{ident}_out:
+for (int n = 0; n < {layer.num_output}; ++n) {{
+    float acc = bias_{ident}[n];
+    fc_{ident}_in:
+    for (int k = 0; k < {in_shape.size}; ++k) {{
+#pragma HLS PIPELINE II=1
+        acc += weights_{ident}[n * {in_shape.size} + k] * x_{ident}[k];
+    }}
+    out_stream0.write(acc);
+}}"""
+    # activation / softmax bodies
+    return f"""\
+// layer {layer_name}: {layer.type_name}
+ew_{ident}:
+for (int i = 0; i < {in_shape.size}; ++i) {{
+#pragma HLS PIPELINE II=1
+    out_stream0.write(activation_{ident}(in_stream0.read()));
+}}"""
+
+
+def generate_pe_source(acc: Accelerator, pe: ProcessingElement) -> str:
+    """Emit the HLS C kernel for one PE."""
+    net = acc.network
+    name = sanitize_identifier(pe.name)
+    in_shape = acc.input_shape_of(pe)
+    out_shape = acc.output_shape_of(pe)
+    metadata = {
+        "kind": "pe",
+        "pe.kind": pe.kind.value,
+        "pe.layers": ",".join(pe.layer_names),
+        "pe.in_parallel": pe.in_parallel,
+        "pe.out_parallel": pe.out_parallel,
+        "pe.window": f"{pe.window[0]}x{pe.window[1]}",
+        "pe.weight_words": pe.weight_words,
+        "pe.buffer_words": pe.buffer_words,
+        "pe.in_shape": str(in_shape),
+        "pe.out_shape": str(out_shape),
+    }
+    args = [stream_arg(f"in_stream{p}") for p in range(pe.in_parallel)]
+    args += [stream_arg(f"out_stream{p}") for p in range(pe.out_parallel)]
+    if pe.weight_words:
+        args.append(stream_arg("weight_stream"))
+
+    storage = []
+    for layer_name in pe.layer_names:
+        layer = net[layer_name]
+        ident = sanitize_identifier(layer_name)
+        shapes = layer.weight_shapes(net.input_shape(layer))
+        if "weights" in shapes:
+            size = 1
+            for d in shapes["weights"]:
+                size *= d
+            storage.append(f"    static float weights_{ident}[{size}];")
+            storage.append(
+                f"#pragma HLS ARRAY_PARTITION variable=weights_{ident}"
+                f" cyclic factor={pe.window_size} dim=1")
+        if "bias" in shapes:
+            storage.append(
+                f"    static float bias_{ident}[{shapes['bias'][0]}];")
+    if pe.buffer_words:
+        storage.append(f"    static float x_buffer[{pe.buffer_words}];")
+
+    fused = len(pe.layer_names) > 1
+    bodies = []
+    for i, layer_name in enumerate(pe.layer_names):
+        body = indent(_layer_body(acc, pe, layer_name), 2 if fused else 1)
+        if fused:
+            bodies.append(f"    if (layer == {i}) {{\n{body}\n    }}")
+        else:
+            bodies.append(body)
+    if fused:
+        loop = ("    // outer loop over fused logical layers (3.2)\n"
+                "    layer_loop:\n"
+                f"    for (int layer = 0; layer < {len(pe.layer_names)};"
+                " ++layer) {\n"
+                + "\n".join(indent(b, 1) for b in bodies) + "\n    }")
+    else:
+        loop = "\n".join(bodies)
+
+    pragmas = indent("\n".join(_interface_pragmas(pe)), 0)
+    return (
+        file_header(f"Processing element {pe.name}", metadata)
+        + HEADER_INCLUDES + "\n"
+        + f"void {name}(\n    " + ",\n    ".join(args) + ")\n{\n"
+        + pragmas + "\n"
+        + ("\n".join(storage) + "\n" if storage else "")
+        + "#pragma HLS DATAFLOW\n\n"
+        + loop + "\n}\n"
+    )

@@ -1,0 +1,13 @@
+"""Design-space exploration (flow step 2).
+
+The paper leaves this step manual ("this phase is still not automated...
+in the future it will be performed automatically relying on resource
+consumption and performance models"); this package implements that future
+work on top of :mod:`repro.hw.estimate` and :mod:`repro.hw.perf`.
+"""
+
+from repro.dse.explorer import DSEResult, explore
+from repro.dse.space import fusion_candidates, parallelism_moves
+
+__all__ = ["DSEResult", "explore", "fusion_candidates",
+           "parallelism_moves"]

@@ -1,0 +1,134 @@
+"""The greedy bottleneck-driven explorer.
+
+Start from the sequential configuration (all degrees 1), then repeatedly
+attack the pipeline bottleneck: double its in- or out-parallelism, keep the
+move that improves the initiation interval most per DSP spent, and stop
+when the bottleneck admits no move or the resource budget is exhausted.
+This mirrors how the authors describe choosing configurations by hand
+("given the available FPGA resources, different configurations are
+explored to find the optimal tradeoff between resource consumption and
+performance") and converges to a balanced pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DSEError
+from repro.frontend.condor_format import CondorModel
+from repro.hw.accelerator import build_accelerator
+from repro.hw.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.hw.estimate import estimate_accelerator
+from repro.hw.mapping import MappingConfig, default_mapping
+from repro.hw.perf import AcceleratorPerformance, estimate_performance
+from repro.hw.resources import ResourceVector, device_for_board
+from repro.dse.space import parallelism_moves
+from repro.util.logging import get_logger
+
+_log = get_logger("dse")
+
+
+@dataclass
+class DSEPoint:
+    """One explored configuration."""
+
+    mapping: MappingConfig
+    ii_cycles: int
+    resources: ResourceVector
+
+    def dominates(self, other: "DSEPoint") -> bool:
+        return (self.ii_cycles <= other.ii_cycles and
+                self.resources.dsp <= other.resources.dsp and
+                (self.ii_cycles < other.ii_cycles or
+                 self.resources.dsp < other.resources.dsp))
+
+
+@dataclass
+class DSEResult:
+    """The chosen configuration plus the explored frontier."""
+
+    mapping: MappingConfig
+    performance: AcceleratorPerformance
+    resources: ResourceVector
+    explored: list[DSEPoint] = field(default_factory=list)
+    steps: int = 0
+
+    @property
+    def pareto_frontier(self) -> list[DSEPoint]:
+        frontier = [p for p in self.explored
+                    if not any(q.dominates(p) for q in self.explored)]
+        unique: dict[tuple[int, float], DSEPoint] = {}
+        for point in frontier:
+            unique.setdefault((point.ii_cycles, point.resources.dsp),
+                              point)
+        return sorted(unique.values(), key=lambda p: p.ii_cycles)
+
+
+def _evaluate(model: CondorModel, mapping: MappingConfig,
+              cal: Calibration):
+    acc = build_accelerator(model, mapping)
+    perf = estimate_performance(acc, cal)
+    estimate = estimate_accelerator(acc, cal)
+    return acc, perf, estimate.total
+
+
+def explore(model: CondorModel, *,
+            mapping: MappingConfig | None = None,
+            cal: Calibration = DEFAULT_CALIBRATION,
+            max_steps: int = 64) -> DSEResult:
+    """Run the greedy explorer for ``model``; returns the best mapping
+    found under the calibration's DSP/BRAM budget fractions."""
+    net = model.network
+    device = device_for_board(model.board)
+    budget = ResourceVector(
+        lut=device.capacity.lut,
+        ff=device.capacity.ff,
+        dsp=device.capacity.dsp * cal.dse_dsp_budget_fraction,
+        bram_18k=device.capacity.bram_18k * cal.dse_bram_budget_fraction,
+    )
+    current = mapping or default_mapping(net)
+    _, perf, resources = _evaluate(model, current, cal)
+    if not resources.fits_in(budget):
+        raise DSEError(
+            f"the sequential baseline configuration already exceeds the"
+            f" budget on {model.board}: {resources}")
+    explored = [DSEPoint(current, perf.ii_cycles, resources)]
+    steps = 0
+
+    def objective(p: AcceleratorPerformance) -> tuple[int, ...]:
+        """Stage cycles sorted descending: lexicographic comparison
+        reduces the initiation interval and breaks bottleneck ties (a
+        move that lowers one of several tied bottleneck stages is
+        progress even while II itself is unchanged)."""
+        return tuple(sorted(p.stage_cycles, reverse=True))
+
+    while steps < max_steps:
+        steps += 1
+        ii = perf.ii_cycles
+        tied = [i for i, c in enumerate(perf.stage_cycles) if c == ii]
+        best = None  # (objective, dsp, mapping, perf, resources)
+        for index in tied:
+            bottleneck = current.pes[index]
+            for move in parallelism_moves(net, current, bottleneck,
+                                          cal.max_ports):
+                try:
+                    _, move_perf, move_res = _evaluate(model, move, cal)
+                except Exception:
+                    continue
+                if not move_res.fits_in(budget):
+                    continue
+                key = (objective(move_perf), move_res.dsp)
+                if key[0] >= objective(perf):
+                    continue
+                if best is None or key < best[:2]:
+                    best = (key[0], key[1], move, move_perf, move_res)
+        if best is None:
+            break
+        _, _, current, perf, resources = best
+        explored.append(DSEPoint(current, perf.ii_cycles, resources))
+        _log.debug("step %d: II=%d DSP=%.0f", steps, perf.ii_cycles,
+                   resources.dsp)
+
+    acc, perf, resources = _evaluate(model, current, cal)
+    return DSEResult(mapping=current, performance=perf,
+                     resources=resources, explored=explored, steps=steps)

@@ -1,0 +1,92 @@
+"""The configuration space: fusion clusterings and parallelism moves."""
+
+from __future__ import annotations
+
+from repro.hw.components import PEKind
+from repro.hw.mapping import MappingConfig, PEMapping, _kind_of_cluster
+from repro.ir.layers import ConvLayer, FullyConnectedLayer, PoolLayer
+from repro.ir.network import Network
+
+
+def fusion_candidates(net: Network) -> list[MappingConfig]:
+    """Clustering options for the fusion ablation.
+
+    Three points on the spectrum §3.2 describes: full unfold (1:1
+    layer→PE), conv+pool pairs fused, and the whole features-extraction
+    stage on one PE (classifier layers always stay on their own PEs —
+    they are a different computation class).
+    """
+    from repro.hw.mapping import default_mapping
+
+    configs = [default_mapping(net)]
+
+    # conv+pool pairs
+    pes: list[PEMapping] = []
+    compute = net.compute_layers()
+    i = 0
+    while i < len(compute):
+        layer = compute[i]
+        if (isinstance(layer, ConvLayer) and i + 1 < len(compute)
+                and isinstance(compute[i + 1], PoolLayer)):
+            pes.append(PEMapping(
+                name=f"pe_{layer.name}_{compute[i + 1].name}",
+                layer_names=(layer.name, compute[i + 1].name)))
+            i += 2
+        else:
+            pes.append(PEMapping(name=f"pe_{layer.name}",
+                                 layer_names=(layer.name,)))
+            i += 1
+    configs.append(MappingConfig(pes=pes))
+
+    # whole features stage on one PE
+    features = [l.name for l in net.features_layers()]
+    classifier = [l for l in compute if isinstance(
+        l, (FullyConnectedLayer,)) or net.stage_of(l).value == "classifier"]
+    if len(features) > 1:
+        pes = [PEMapping(name="pe_features", layer_names=tuple(features))]
+        seen = set(features)
+        for layer in compute:
+            if layer.name in seen:
+                continue
+            pes.append(PEMapping(name=f"pe_{layer.name}",
+                                 layer_names=(layer.name,)))
+        configs.append(MappingConfig(pes=pes))
+    return configs
+
+
+def parallelism_moves(net: Network, config: MappingConfig,
+                      bottleneck: PEMapping, max_ports: int) \
+        -> list[MappingConfig]:
+    """Neighbour configurations: double the bottleneck PE's in- or
+    out-parallelism (powers of two, capped by the channel counts and the
+    port limit).  Classifier PEs admit no moves (§3.3 step 4)."""
+    layers = [net[name] for name in bottleneck.layer_names]
+    kind = _kind_of_cluster(layers)
+    if kind not in (PEKind.CONV, PEKind.POOL):
+        return []
+    in_shape = net.input_shape(bottleneck.layer_names[0])
+    out_shape = net.output_shape(bottleneck.layer_names[-1])
+    moves = []
+    new_in = min(bottleneck.in_parallel * 2, in_shape.channels, max_ports)
+    new_out = min(bottleneck.out_parallel * 2, out_shape.channels,
+                  max_ports)
+    candidates = []
+    if kind is PEKind.POOL:
+        # pooling preserves maps: in == out
+        step = min(new_in, new_out)
+        if step > bottleneck.in_parallel:
+            candidates.append((step, step))
+    else:
+        if new_out > bottleneck.out_parallel:
+            candidates.append((bottleneck.in_parallel, new_out))
+        if new_in > bottleneck.in_parallel:
+            candidates.append((new_in, bottleneck.out_parallel))
+    for in_par, out_par in candidates:
+        pes = [PEMapping(name=pe.name, layer_names=pe.layer_names,
+                         in_parallel=in_par if pe is bottleneck
+                         else pe.in_parallel,
+                         out_parallel=out_par if pe is bottleneck
+                         else pe.out_parallel)
+               for pe in config.pes]
+        moves.append(MappingConfig(pes=pes))
+    return moves

@@ -1,0 +1,32 @@
+"""Evaluation harness: regenerate every table and figure of §4.
+
+* :mod:`repro.eval.table1` — Table 1 (AWS F1 deployment results);
+* :mod:`repro.eval.table2` — Table 2 (improved methodology, features
+  extraction only, DSE-chosen configurations);
+* :mod:`repro.eval.figure5` — Figure 5 (mean time per image vs batch).
+
+Each module exposes a ``*_rows`` / ``*_series`` function returning plain
+data plus a ``render_*`` function producing the text table the benchmark
+harness prints, with the paper's published values alongside.
+"""
+
+from repro.eval.table1 import PAPER_TABLE1, render_table1, table1_rows
+from repro.eval.table2 import (
+    PAPER_TABLE2,
+    render_table2,
+    table2_rows,
+    vgg16_classifier_is_unsynthesizable,
+)
+from repro.eval.figure5 import figure5_series, render_figure5
+
+__all__ = [
+    "PAPER_TABLE1",
+    "render_table1",
+    "table1_rows",
+    "PAPER_TABLE2",
+    "render_table2",
+    "table2_rows",
+    "vgg16_classifier_is_unsynthesizable",
+    "figure5_series",
+    "render_figure5",
+]

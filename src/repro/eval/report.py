@@ -1,0 +1,74 @@
+"""One-shot evaluation report: every table and figure plus an ASCII plot.
+
+``python -m repro report`` (or :func:`full_report`) regenerates the whole
+of §4 and renders it as a single text document — the programmatic
+counterpart of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.eval.figure5 import Figure5Series, figure5_series, render_figure5
+from repro.eval.table1 import render_table1, table1_rows
+from repro.eval.table2 import (
+    render_table2,
+    table2_rows,
+    vgg16_classifier_is_unsynthesizable,
+)
+
+
+def ascii_chart(series: Figure5Series, *, width: int = 56,
+                height: int = 12) -> str:
+    """A log-free ASCII rendition of one Figure 5 curve.
+
+    The y-axis spans [asymptote, max]; each batch size becomes a column
+    of ``*`` at its mean-time level, so the downward convergence of the
+    curve is visible in plain text.
+    """
+    values = series.mean_us_per_image
+    lo, hi = series.asymptote_us, max(values)
+    if hi <= lo:
+        hi = lo * 1.01
+    columns = []
+    for value in values:
+        level = round((value - lo) / (hi - lo) * (height - 1))
+        columns.append(max(0, min(height - 1, level)))
+    rows = []
+    for row in range(height - 1, -1, -1):
+        y_label = lo + (hi - lo) * row / (height - 1)
+        cells = "".join("  * " if col == row else "    "
+                        for col in columns)
+        rows.append(f"{y_label:10.2f} |{cells}")
+    axis = " " * 11 + "+" + "-" * (4 * len(values))
+    labels = " " * 11 + " " + "".join(f"{b:>4d}" for b in series.batches)
+    return (f"{series.name} — mean us/image vs batch"
+            f" (asymptote {series.asymptote_us:.2f})\n"
+            + "\n".join(rows) + "\n" + axis + "\n" + labels)
+
+
+def full_report(*, include_charts: bool = True) -> str:
+    """Regenerate Tables 1/2 + Figure 5 and render the combined report."""
+    parts = ["CONDOR REPRODUCTION — EVALUATION REPORT", "=" * 48, ""]
+    parts.append(render_table1(table1_rows()))
+    parts.append("")
+    parts.append(render_table2(table2_rows()))
+    parts.append("")
+    unsynth = vgg16_classifier_is_unsynthesizable()
+    parts.append("VGG-16 fully-connected layers synthesizable with the"
+                 f" current methodology: {'no' if unsynth else 'yes'}"
+                 " (paper: no)")
+    parts.append("")
+    series = figure5_series()
+    parts.append(render_figure5(series))
+    if include_charts:
+        for curve in series:
+            parts.append("")
+            parts.append(ascii_chart(curve))
+    return "\n".join(parts) + "\n"
+
+
+def write_report(path: str | Path, **kwargs) -> Path:
+    path = Path(path)
+    path.write_text(full_report(**kwargs))
+    return path

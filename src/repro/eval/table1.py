@@ -1,0 +1,81 @@
+"""Table 1 — AWS F1 deployment results.
+
+Runs the full flow (input analysis → … → xclbin) for the two test cases at
+the published configurations (TC1 @ 100 MHz, LeNet @ 180 MHz, sequential
+feature maps, full intra-layer parallelism, xcvu9p) and reports the same
+six columns the paper prints: LUT %, FF %, DSP %, BRAM %, GFLOPS and
+GFLOPS/W.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+
+from repro.flow.condor import CondorFlow, FlowInputs
+from repro.frontend.condor_format import DeploymentOption
+from repro.frontend.zoo import lenet_model, tc1_model
+from repro.util.tables import TextTable
+
+#: The published Table 1, for side-by-side reporting.
+PAPER_TABLE1: dict[str, dict[str, float]] = {
+    "TC1": {"lut": 10.47, "ff": 9.02, "dsp": 5.63, "bram": 0.97,
+            "gflops": 8.36, "gflops_per_w": 1.56},
+    "LeNet": {"lut": 9.48, "ff": 8.6, "dsp": 2.53, "bram": 24.38,
+              "gflops": 3.35, "gflops_per_w": 0.78},
+}
+
+
+@dataclass
+class Table1Row:
+    name: str
+    lut: float
+    ff: float
+    dsp: float
+    bram: float
+    gflops: float
+    gflops_per_w: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {"lut": self.lut, "ff": self.ff, "dsp": self.dsp,
+                "bram": self.bram, "gflops": self.gflops,
+                "gflops_per_w": self.gflops_per_w}
+
+
+def table1_rows(workdir: str | None = None) -> list[Table1Row]:
+    """Regenerate Table 1 through the full flow."""
+    rows = []
+    cases = [("TC1", tc1_model()), ("LeNet", lenet_model())]
+    with tempfile.TemporaryDirectory() as tmp:
+        base = workdir or tmp
+        for name, model in cases:
+            # Table 1 reports the on-device utilization; the AFI step does
+            # not change any number, so deploy on-premise for speed.
+            model.deployment = DeploymentOption.ON_PREMISE
+            flow = CondorFlow(f"{base}/{name.lower()}")
+            result = flow.run(FlowInputs(model=model))
+            util = result.utilization
+            gflops = result.performance.gflops()
+            rows.append(Table1Row(
+                name=name,
+                lut=util["lut"], ff=util["ff"], dsp=util["dsp"],
+                bram=util["bram_18k"],
+                gflops=gflops,
+                gflops_per_w=gflops / result.power_watts,
+            ))
+    return rows
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    """The Table 1 layout, measured and paper values interleaved."""
+    table = TextTable(["", "LUT %", "FF %", "DSP %", "BRAM %", "GFLOPS",
+                       "GFLOPS/W"])
+    for row in rows:
+        table.add_row([row.name, row.lut, row.ff, row.dsp, row.bram,
+                       row.gflops, row.gflops_per_w])
+        paper = PAPER_TABLE1.get(row.name)
+        if paper:
+            table.add_row([f"{row.name} (paper)", paper["lut"],
+                           paper["ff"], paper["dsp"], paper["bram"],
+                           paper["gflops"], paper["gflops_per_w"]])
+    return "Table 1. AWS F1 deployment results\n" + table.render()

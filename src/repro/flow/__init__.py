@@ -1,0 +1,12 @@
+"""The end-to-end automation flow (paper §3.3).
+
+:class:`~repro.flow.condor.CondorFlow` drives the eight steps: input
+analysis, design-space exploration, creation of the features-extraction
+stage, creation of the classification stage, connection of the layers,
+SDAccel integration, deployment on board, and (for cloud deployments) AFI
+creation.
+"""
+
+from repro.flow.condor import CondorFlow, FlowInputs, FlowResult
+
+__all__ = ["CondorFlow", "FlowInputs", "FlowResult"]

@@ -1,0 +1,326 @@
+"""The Condor flow driver.
+
+Orchestrates §3.3's steps over the framework tiers and records an artifact
+per step under a working directory, so a run leaves the same trail the real
+tool leaves (generated sources, reports, the ``.xo``, the ``.xclbin``, the
+default host code, and — for cloud deployments — the AFI identifiers).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cloud.client import AWSSession
+from repro.codegen.bundle import generate_sources
+from repro.codegen.host import generate_host_source
+from repro.dse.explorer import DSEResult, explore
+from repro.errors import CondorError, FlowError
+from repro.frontend.caffe import load_caffemodel, load_prototxt
+from repro.frontend.caffe.converter import convert_caffe_model
+from repro.frontend.condor_format import (
+    CondorModel,
+    DeploymentOption,
+    load_condor_json,
+    save_condor_json,
+)
+from repro.frontend.weights import WeightStore
+from repro.hw.accelerator import build_accelerator
+from repro.hw.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.hw.components import Accelerator
+from repro.hw.estimate import ResourceEstimate, estimate_accelerator
+from repro.hw.mapping import MappingConfig, default_mapping, mapping_from_model
+from repro.hw.perf import (
+    AcceleratorPerformance,
+    estimate_performance,
+    estimate_power_watts,
+)
+from repro.hw.resources import device_for_board
+from repro.toolchain.assemble import AssemblyResult, build_network_ip
+from repro.toolchain.hls import VivadoHLS
+from repro.toolchain.sdaccel import (
+    generate_kernel_xml,
+    package_xo,
+    xocc_link,
+)
+from repro.toolchain.xclbin import Xclbin, write_xclbin
+from repro.util.logging import get_logger, log_context
+
+_log = get_logger("flow")
+
+
+@dataclass
+class FlowInputs:
+    """What the user hands to the frontend (paper §3.1.1).
+
+    Exactly one of ``model`` / ``condor_json`` / ``prototxt`` must be
+    given; ``caffemodel`` or ``weights_dir`` supply weights (optional —
+    the flow initializes pseudo-trained weights otherwise, for test runs).
+    """
+
+    model: CondorModel | None = None
+    condor_json: Path | str | None = None
+    prototxt: Path | str | None = None
+    caffemodel: Path | str | None = None
+    onnx: Path | str | None = None
+    weights_dir: Path | str | None = None
+    deployment: DeploymentOption | None = None
+    frequency_hz: float | None = None
+    board: str | None = None
+    run_dse: bool = False
+    #: Bucket used for AFI creation (cloud deployments).
+    s3_bucket: str = "condor-afis"
+
+
+@dataclass
+class StepRecord:
+    name: str
+    seconds: float
+    detail: str = ""
+
+
+@dataclass
+class FlowResult:
+    """Everything a flow run produces."""
+
+    model: CondorModel
+    weights: WeightStore
+    mapping: MappingConfig
+    accelerator: Accelerator
+    estimate: ResourceEstimate
+    performance: AcceleratorPerformance
+    power_watts: float
+    xclbin: Xclbin
+    workdir: Path
+    xclbin_path: Path
+    host_path: Path
+    steps: list[StepRecord] = field(default_factory=list)
+    dse: DSEResult | None = None
+    afi_id: str | None = None
+    agfi_id: str | None = None
+
+    @property
+    def utilization(self) -> dict[str, float]:
+        return self.xclbin.resources["utilization_pct"]
+
+    def summary(self) -> str:
+        from repro.util.tables import TextTable
+
+        util = self.utilization
+        table = TextTable(["metric", "value"])
+        table.add_row(["network", self.model.network.name])
+        table.add_row(["device", self.xclbin.part])
+        table.add_row(["frequency",
+                       f"{self.xclbin.frequency_hz / 1e6:.0f} MHz"])
+        for key in ("lut", "ff", "dsp", "bram_18k"):
+            table.add_row([f"{key} %", util[key]])
+        table.add_row(["GFLOPS", self.performance.gflops()])
+        table.add_row(["GFLOPS/W",
+                       self.performance.gflops() / self.power_watts])
+        if self.agfi_id:
+            table.add_row(["AGFI", self.agfi_id])
+        return table.render()
+
+
+def _hints_from_mapping(mapping: MappingConfig) -> dict:
+    """Express a mapping as per-layer Condor JSON hardware hints."""
+    from repro.frontend.condor_format import LayerHints
+
+    hints = {}
+    for pe in mapping.pes:
+        cluster = pe.name if len(pe.layer_names) > 1 else None
+        for layer_name in pe.layer_names:
+            hints[layer_name] = LayerHints(
+                in_ports=pe.in_parallel, out_ports=pe.out_parallel,
+                cluster=cluster)
+    return hints
+
+
+class CondorFlow:
+    """Run the automation flow inside a working directory."""
+
+    def __init__(self, workdir: Path | str,
+                 cal: Calibration = DEFAULT_CALIBRATION,
+                 aws: AWSSession | None = None):
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.cal = cal
+        self.aws = aws or AWSSession()
+        self._steps: list[StepRecord] = []
+
+    # -- step harness ---------------------------------------------------------
+
+    def _step(self, name: str):
+        flow = self
+
+        class _Ctx:
+            def __enter__(self):
+                self._t0 = time.perf_counter()
+                self._log_ctx = log_context(name)
+                self._log_ctx.__enter__()
+                _log.info("step %s", name)
+                return self
+
+            def __exit__(self, exc_type, exc, tb):
+                self._log_ctx.__exit__(exc_type, exc, tb)
+                seconds = time.perf_counter() - self._t0
+                if exc is None:
+                    flow._steps.append(StepRecord(name, seconds))
+                    return False
+                if isinstance(exc, FlowError):
+                    return False
+                if isinstance(exc, CondorError):
+                    raise FlowError(name, str(exc)) from exc
+                return False
+
+        return _Ctx()
+
+    # -- steps ------------------------------------------------------------------
+
+    def _input_analysis(self, inputs: FlowInputs) \
+            -> tuple[CondorModel, WeightStore]:
+        sources = [inputs.model, inputs.condor_json, inputs.prototxt,
+                   inputs.onnx]
+        if sum(s is not None for s in sources) != 1:
+            raise FlowError(
+                "input_analysis",
+                "provide exactly one of model / condor_json / prototxt /"
+                " onnx")
+        weights = WeightStore()
+        if inputs.model is not None:
+            model = inputs.model
+        elif inputs.condor_json is not None:
+            model = load_condor_json(inputs.condor_json)
+        elif inputs.onnx is not None:
+            from repro.frontend.onnx import convert_onnx_model, load_onnx
+            converted_onnx = convert_onnx_model(load_onnx(inputs.onnx))
+            model = CondorModel(network=converted_onnx.network)
+            weights = converted_onnx.weights
+        else:
+            prototxt = load_prototxt(inputs.prototxt)
+            caffemodel = (load_caffemodel(inputs.caffemodel)
+                          if inputs.caffemodel else None)
+            converted = convert_caffe_model(prototxt, caffemodel)
+            model = CondorModel(network=converted.network)
+            weights = converted.weights
+        if inputs.weights_dir is not None:
+            weights = WeightStore.load(inputs.weights_dir)
+        # deployment / board / frequency overrides
+        if inputs.board or inputs.frequency_hz or inputs.deployment:
+            model = CondorModel(
+                network=model.network,
+                board=inputs.board or model.board,
+                frequency_hz=inputs.frequency_hz or model.frequency_hz,
+                deployment=inputs.deployment or model.deployment,
+                hints=model.hints,
+            )
+        if not weights.layers():
+            _log.info("no weights given; initializing pseudo-trained"
+                      " weights")
+            weights = WeightStore.initialize(model.network)
+        weights.validate(model.network)
+        save_condor_json(model, self.workdir / "network.condor.json")
+        weights.save(self.workdir / "weights")
+        return model, weights
+
+    # -- the public entry point ----------------------------------------------------
+
+    def run(self, inputs: FlowInputs) -> FlowResult:
+        """Execute steps 1..7 (8 for AWS_F1 deployments)."""
+        self._steps = []
+        dse_result: DSEResult | None = None
+
+        with self._step("1-input-analysis"):
+            model, weights = self._input_analysis(inputs)
+
+        with self._step("2-design-space-exploration"):
+            if inputs.run_dse:
+                dse_result = explore(model, cal=self.cal)
+                mapping = dse_result.mapping
+                # fold the chosen configuration back into the model's
+                # hardware hints so it travels inside every downstream
+                # artifact (Condor JSON, xclbin NETW section) and the
+                # runtime reconstructs the same accelerator
+                model = CondorModel(
+                    network=model.network, board=model.board,
+                    frequency_hz=model.frequency_hz,
+                    deployment=model.deployment,
+                    hints=_hints_from_mapping(mapping))
+                save_condor_json(model,
+                                 self.workdir / "network.condor.json")
+            elif model.hints:
+                mapping = mapping_from_model(model)
+            else:
+                mapping = default_mapping(model.network)
+
+        with self._step("3-5-hardware-generation"):
+            accelerator = build_accelerator(model, mapping)
+            sources = generate_sources(accelerator)
+            sources.write_to(self.workdir / "sources")
+            hls = VivadoHLS(device_for_board(model.board).part,
+                            model.frequency_hz, self.cal)
+            assembly: AssemblyResult = build_network_ip(
+                accelerator, hls, self.cal)
+            estimate = estimate_accelerator(accelerator, self.cal)
+            (self.workdir / "reports").mkdir(exist_ok=True)
+            (self.workdir / "reports" / "resources.txt").write_text(
+                estimate.summary(
+                    device_for_board(model.board).capacity) + "\n")
+            hls_dir = self.workdir / "reports" / "hls"
+            hls_dir.mkdir(exist_ok=True)
+            for hls_report in hls.reports:
+                (hls_dir / f"{hls_report.kernel}_csynth.rpt").write_text(
+                    hls_report.render(model.frequency_hz))
+            from repro.ir.dot import accelerator_to_dot, network_to_dot
+            (self.workdir / "network.dot").write_text(
+                network_to_dot(model.network))
+            (self.workdir / "accelerator.dot").write_text(
+                accelerator_to_dot(accelerator))
+
+        with self._step("6-sdaccel-integration"):
+            kernel_xml = generate_kernel_xml(assembly.accelerator_ip)
+            (self.workdir / "kernel.xml").write_text(kernel_xml + "\n")
+            xo = package_xo(assembly.accelerator_ip, kernel_xml,
+                            model=model)
+            (self.workdir / f"{accelerator.name}.xo").write_bytes(xo.data)
+
+        with self._step("7-deployment-on-board"):
+            device = device_for_board(model.board)
+            xclbin = xocc_link(xo, device, model.frequency_hz, self.cal)
+            xclbin_path = self.workdir / f"{accelerator.name}.xclbin"
+            write_xclbin(xclbin, xclbin_path)
+            accelerator.frequency_hz = xclbin.frequency_hz
+            host_path = self.workdir / "host.cpp"
+            host_path.write_text(generate_host_source(
+                accelerator, xclbin_name=xclbin_path.name))
+            performance = estimate_performance(accelerator, self.cal)
+            power = estimate_power_watts(accelerator, estimate, self.cal)
+
+        afi_id = agfi_id = None
+        if model.deployment is DeploymentOption.AWS_F1:
+            with self._step("8-afi-creation"):
+                uri_key = f"dcp/{accelerator.name}.xclbin"
+                self.aws.upload(inputs.s3_bucket, uri_key,
+                                write_xclbin(xclbin))
+                record = self.aws.create_fpga_image(
+                    name=accelerator.name, bucket=inputs.s3_bucket,
+                    key=uri_key,
+                    description=f"Condor accelerator for"
+                                f" {model.network.name}")
+                record = self.aws.wait_for_afi(record.afi_id)
+                afi_id, agfi_id = record.afi_id, record.agfi_id
+                (self.workdir / "afi.json").write_text(json.dumps({
+                    "afi_id": afi_id, "agfi_id": agfi_id,
+                    "bucket": inputs.s3_bucket, "key": uri_key,
+                }, indent=2) + "\n")
+
+        return FlowResult(
+            model=model, weights=weights, mapping=mapping,
+            accelerator=accelerator, estimate=estimate,
+            performance=performance, power_watts=power, xclbin=xclbin,
+            workdir=self.workdir, xclbin_path=xclbin_path,
+            host_path=host_path, steps=list(self._steps),
+            dse=dse_result, afi_id=afi_id, agfi_id=agfi_id,
+        )

@@ -1,0 +1,22 @@
+"""Frontend tier (paper §3.1.1).
+
+Collects everything needed to design the accelerator: the network
+representation (Condor JSON or Caffe prototxt), the weights (Condor weight
+directory or caffemodel), and the deployment option.
+"""
+
+from repro.frontend.weights import WeightStore
+from repro.frontend.condor_format import (
+    CondorModel,
+    DeploymentOption,
+    load_condor_json,
+    save_condor_json,
+)
+
+__all__ = [
+    "WeightStore",
+    "CondorModel",
+    "DeploymentOption",
+    "load_condor_json",
+    "save_condor_json",
+]

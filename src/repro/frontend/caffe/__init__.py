@@ -1,0 +1,34 @@
+"""Caffe integration (paper §3.1.1, frontend tier).
+
+A self-contained reimplementation of the slice of protobuf that Caffe model
+files use:
+
+* :mod:`repro.frontend.caffe.wire` — the protobuf binary wire format
+  (``caffemodel`` files are wire-format-encoded ``NetParameter`` messages);
+* :mod:`repro.frontend.caffe.schema` — dynamic message objects plus the
+  descriptor subset transcribed from ``caffe.proto``;
+* :mod:`repro.frontend.caffe.textformat` — the protobuf text format
+  (``prototxt`` files);
+* :mod:`repro.frontend.caffe.model` — file-level load/save helpers;
+* :mod:`repro.frontend.caffe.converter` — lowering Caffe nets into the
+  Condor IR + weight store.
+"""
+
+from repro.frontend.caffe.model import (
+    load_caffemodel,
+    load_prototxt,
+    save_caffemodel,
+    save_prototxt,
+)
+from repro.frontend.caffe.converter import convert_caffe_model
+from repro.frontend.caffe.export import export_caffe, save_caffe_files
+
+__all__ = [
+    "load_caffemodel",
+    "load_prototxt",
+    "save_caffemodel",
+    "save_prototxt",
+    "convert_caffe_model",
+    "export_caffe",
+    "save_caffe_files",
+]

@@ -1,0 +1,270 @@
+"""The ``caffe.proto`` schema subset, transcribed by hand.
+
+Field names, numbers, types and enum values below follow BVLC Caffe's
+``src/caffe/proto/caffe.proto`` for every message the inference frontend
+needs: ``NetParameter`` with both the modern ``layer`` (``LayerParameter``)
+and the legacy ``layers`` (``V1LayerParameter``) lists, the per-layer
+parameter messages for the layer types Condor supports, and the blob
+containers that carry trained weights.
+
+Messages/fields Condor never reads (solver state, data layers' sources,
+fillers, …) are deliberately omitted — the decoder preserves them as unknown
+fields, so a model containing them still round-trips byte-for-byte at the
+wire level.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.caffe.schema import (
+    EnumDescriptor,
+    FieldDescriptor as F,
+    FieldType as T,
+    Label,
+    Message,
+    MessageDescriptor,
+)
+
+R = Label.REPEATED
+
+# ---------------------------------------------------------------------------
+# enums
+# ---------------------------------------------------------------------------
+
+POOL_METHOD = EnumDescriptor("PoolMethod", {
+    "MAX": 0,
+    "AVE": 1,
+    "STOCHASTIC": 2,
+})
+
+PHASE = EnumDescriptor("Phase", {"TRAIN": 0, "TEST": 1})
+
+#: V1LayerParameter.LayerType — the legacy layer-type enum (subset used for
+#: decode; the full list is kept so genuine old models resolve names).
+V1_LAYER_TYPE = EnumDescriptor("V1LayerType", {
+    "NONE": 0, "ACCURACY": 1, "BNLL": 2, "CONCAT": 3, "CONVOLUTION": 4,
+    "DATA": 5, "DROPOUT": 6, "EUCLIDEAN_LOSS": 7, "FLATTEN": 8,
+    "HDF5_DATA": 9, "HDF5_OUTPUT": 10, "IM2COL": 11, "IMAGE_DATA": 12,
+    "INFOGAIN_LOSS": 13, "INNER_PRODUCT": 14, "LRN": 15,
+    "MULTINOMIAL_LOGISTIC_LOSS": 16, "POOLING": 17, "RELU": 18,
+    "SIGMOID": 19, "SOFTMAX": 20, "SOFTMAX_LOSS": 21, "SPLIT": 22,
+    "TANH": 23, "WINDOW_DATA": 24, "ELTWISE": 25, "POWER": 26,
+    "SIGMOID_CROSS_ENTROPY_LOSS": 27, "HINGE_LOSS": 28, "MEMORY_DATA": 29,
+    "ARGMAX": 30, "THRESHOLD": 31, "DUMMY_DATA": 32, "SLICE": 33,
+    "MVN": 34, "ABSVAL": 35, "SILENCE": 36, "CONTRASTIVE_LOSS": 37,
+    "EXP": 38, "DECONVOLUTION": 39,
+})
+
+# ---------------------------------------------------------------------------
+# blobs
+# ---------------------------------------------------------------------------
+
+BLOB_SHAPE = MessageDescriptor("BlobShape", [
+    F("dim", 1, T.INT64, R, packed=True),
+])
+
+BLOB_PROTO = MessageDescriptor("BlobProto", [
+    F("num", 1, T.INT32),
+    F("channels", 2, T.INT32),
+    F("height", 3, T.INT32),
+    F("width", 4, T.INT32),
+    F("data", 5, T.FLOAT, R, packed=True),
+    F("diff", 6, T.FLOAT, R, packed=True),
+    F("shape", 7, T.MESSAGE, message_type=BLOB_SHAPE),
+    F("double_data", 8, T.DOUBLE, R, packed=True),
+    F("double_diff", 9, T.DOUBLE, R, packed=True),
+])
+
+# ---------------------------------------------------------------------------
+# per-layer parameter messages
+# ---------------------------------------------------------------------------
+
+FILLER_PARAMETER = MessageDescriptor("FillerParameter", [
+    F("type", 1, T.STRING, default="constant"),
+    F("value", 2, T.FLOAT, default=0.0),
+    F("min", 3, T.FLOAT, default=0.0),
+    F("max", 4, T.FLOAT, default=1.0),
+    F("mean", 5, T.FLOAT, default=0.0),
+    F("std", 6, T.FLOAT, default=1.0),
+    F("sparse", 7, T.INT32, default=-1),
+])
+
+PARAM_SPEC = MessageDescriptor("ParamSpec", [
+    F("name", 1, T.STRING),
+    F("lr_mult", 3, T.FLOAT, default=1.0),
+    F("decay_mult", 4, T.FLOAT, default=1.0),
+])
+
+CONVOLUTION_PARAMETER = MessageDescriptor("ConvolutionParameter", [
+    F("num_output", 1, T.UINT32),
+    F("bias_term", 2, T.BOOL, default=True),
+    F("pad", 3, T.UINT32, R),
+    F("kernel_size", 4, T.UINT32, R),
+    F("group", 5, T.UINT32, default=1),
+    F("stride", 6, T.UINT32, R),
+    F("weight_filler", 7, T.MESSAGE, message_type=FILLER_PARAMETER),
+    F("bias_filler", 8, T.MESSAGE, message_type=FILLER_PARAMETER),
+    F("pad_h", 9, T.UINT32),
+    F("pad_w", 10, T.UINT32),
+    F("kernel_h", 11, T.UINT32),
+    F("kernel_w", 12, T.UINT32),
+    F("stride_h", 13, T.UINT32),
+    F("stride_w", 14, T.UINT32),
+    F("axis", 16, T.INT32, default=1),
+    F("dilation", 18, T.UINT32, R),
+])
+
+POOLING_PARAMETER = MessageDescriptor("PoolingParameter", [
+    F("pool", 1, T.ENUM, enum_type=POOL_METHOD, default=0),
+    F("kernel_size", 2, T.UINT32),
+    F("stride", 3, T.UINT32, default=1),
+    F("pad", 4, T.UINT32, default=0),
+    F("kernel_h", 5, T.UINT32),
+    F("kernel_w", 6, T.UINT32),
+    F("stride_h", 7, T.UINT32),
+    F("stride_w", 8, T.UINT32),
+    F("pad_h", 9, T.UINT32, default=0),
+    F("pad_w", 10, T.UINT32, default=0),
+    F("global_pooling", 12, T.BOOL, default=False),
+])
+
+INNER_PRODUCT_PARAMETER = MessageDescriptor("InnerProductParameter", [
+    F("num_output", 1, T.UINT32),
+    F("bias_term", 2, T.BOOL, default=True),
+    F("weight_filler", 3, T.MESSAGE, message_type=FILLER_PARAMETER),
+    F("bias_filler", 4, T.MESSAGE, message_type=FILLER_PARAMETER),
+    F("axis", 5, T.INT32, default=1),
+    F("transpose", 6, T.BOOL, default=False),
+])
+
+INPUT_PARAMETER = MessageDescriptor("InputParameter", [
+    F("shape", 1, T.MESSAGE, R, message_type=BLOB_SHAPE),
+])
+
+RELU_PARAMETER = MessageDescriptor("ReLUParameter", [
+    F("negative_slope", 1, T.FLOAT, default=0.0),
+])
+
+SOFTMAX_PARAMETER = MessageDescriptor("SoftmaxParameter", [
+    F("axis", 2, T.INT32, default=1),
+])
+
+DROPOUT_PARAMETER = MessageDescriptor("DropoutParameter", [
+    F("dropout_ratio", 1, T.FLOAT, default=0.5),
+])
+
+FLATTEN_PARAMETER = MessageDescriptor("FlattenParameter", [
+    F("axis", 1, T.INT32, default=1),
+    F("end_axis", 2, T.INT32, default=-1),
+])
+
+BATCH_NORM_PARAMETER = MessageDescriptor("BatchNormParameter", [
+    F("use_global_stats", 1, T.BOOL),
+    F("moving_average_fraction", 2, T.FLOAT, default=0.999),
+    F("eps", 3, T.FLOAT, default=1e-5),
+])
+
+SCALE_PARAMETER = MessageDescriptor("ScaleParameter", [
+    F("axis", 1, T.INT32, default=1),
+    F("num_axes", 2, T.INT32, default=1),
+    F("filler", 3, T.MESSAGE, message_type=FILLER_PARAMETER),
+    F("bias_term", 4, T.BOOL, default=False),
+    F("bias_filler", 5, T.MESSAGE, message_type=FILLER_PARAMETER),
+])
+
+TRANSFORMATION_PARAMETER = MessageDescriptor("TransformationParameter", [
+    F("scale", 1, T.FLOAT, default=1.0),
+    F("mirror", 2, T.BOOL, default=False),
+    F("crop_size", 3, T.UINT32, default=0),
+    F("mean_file", 4, T.STRING),
+    F("mean_value", 5, T.FLOAT, R),
+])
+
+NET_STATE_RULE = MessageDescriptor("NetStateRule", [
+    F("phase", 1, T.ENUM, enum_type=PHASE),
+    F("min_level", 2, T.INT32),
+    F("max_level", 3, T.INT32),
+    F("stage", 4, T.STRING, R),
+    F("not_stage", 5, T.STRING, R),
+])
+
+# ---------------------------------------------------------------------------
+# layers
+# ---------------------------------------------------------------------------
+
+LAYER_PARAMETER = MessageDescriptor("LayerParameter", [
+    F("name", 1, T.STRING),
+    F("type", 2, T.STRING),
+    F("bottom", 3, T.STRING, R),
+    F("top", 4, T.STRING, R),
+    F("loss_weight", 5, T.FLOAT, R),
+    F("param", 6, T.MESSAGE, R, message_type=PARAM_SPEC),
+    F("blobs", 7, T.MESSAGE, R, message_type=BLOB_PROTO),
+    F("include", 8, T.MESSAGE, R, message_type=NET_STATE_RULE),
+    F("exclude", 9, T.MESSAGE, R, message_type=NET_STATE_RULE),
+    F("phase", 10, T.ENUM, enum_type=PHASE),
+    F("transform_param", 100, T.MESSAGE,
+      message_type=TRANSFORMATION_PARAMETER),
+    F("batch_norm_param", 139, T.MESSAGE,
+      message_type=BATCH_NORM_PARAMETER),
+    F("scale_param", 142, T.MESSAGE, message_type=SCALE_PARAMETER),
+    F("convolution_param", 106, T.MESSAGE,
+      message_type=CONVOLUTION_PARAMETER),
+    F("dropout_param", 108, T.MESSAGE, message_type=DROPOUT_PARAMETER),
+    F("flatten_param", 135, T.MESSAGE, message_type=FLATTEN_PARAMETER),
+    F("inner_product_param", 117, T.MESSAGE,
+      message_type=INNER_PRODUCT_PARAMETER),
+    F("input_param", 143, T.MESSAGE, message_type=INPUT_PARAMETER),
+    F("pooling_param", 121, T.MESSAGE, message_type=POOLING_PARAMETER),
+    F("relu_param", 123, T.MESSAGE, message_type=RELU_PARAMETER),
+    F("softmax_param", 125, T.MESSAGE, message_type=SOFTMAX_PARAMETER),
+])
+
+V1_LAYER_PARAMETER = MessageDescriptor("V1LayerParameter", [
+    F("bottom", 2, T.STRING, R),
+    F("top", 3, T.STRING, R),
+    F("name", 4, T.STRING),
+    F("type", 5, T.ENUM, enum_type=V1_LAYER_TYPE),
+    F("blobs", 6, T.MESSAGE, R, message_type=BLOB_PROTO),
+    F("convolution_param", 10, T.MESSAGE,
+      message_type=CONVOLUTION_PARAMETER),
+    F("dropout_param", 12, T.MESSAGE, message_type=DROPOUT_PARAMETER),
+    F("inner_product_param", 17, T.MESSAGE,
+      message_type=INNER_PRODUCT_PARAMETER),
+    F("pooling_param", 19, T.MESSAGE, message_type=POOLING_PARAMETER),
+    F("relu_param", 30, T.MESSAGE, message_type=RELU_PARAMETER),
+    F("include", 32, T.MESSAGE, R, message_type=NET_STATE_RULE),
+    F("exclude", 33, T.MESSAGE, R, message_type=NET_STATE_RULE),
+    F("softmax_param", 39, T.MESSAGE, message_type=SOFTMAX_PARAMETER),
+])
+
+NET_PARAMETER = MessageDescriptor("NetParameter", [
+    F("name", 1, T.STRING),
+    F("layers", 2, T.MESSAGE, R, message_type=V1_LAYER_PARAMETER),
+    F("input", 3, T.STRING, R),
+    F("input_dim", 4, T.INT32, R),
+    F("force_backward", 5, T.BOOL, default=False),
+    F("input_shape", 8, T.MESSAGE, R, message_type=BLOB_SHAPE),
+    F("layer", 100, T.MESSAGE, R, message_type=LAYER_PARAMETER),
+])
+
+#: Name -> descriptor registry used by the text-format parser for the
+#: top-level document type and by tests.
+MESSAGE_TYPES: dict[str, MessageDescriptor] = {
+    d.name: d for d in (
+        BLOB_SHAPE, BLOB_PROTO, FILLER_PARAMETER, PARAM_SPEC,
+        BATCH_NORM_PARAMETER, SCALE_PARAMETER,
+        TRANSFORMATION_PARAMETER,
+        CONVOLUTION_PARAMETER, POOLING_PARAMETER,
+        INNER_PRODUCT_PARAMETER, INPUT_PARAMETER, RELU_PARAMETER,
+        SOFTMAX_PARAMETER, DROPOUT_PARAMETER, FLATTEN_PARAMETER,
+        NET_STATE_RULE, LAYER_PARAMETER, V1_LAYER_PARAMETER, NET_PARAMETER,
+    )
+}
+
+
+def new_net(name: str = "") -> Message:
+    """Create an empty ``NetParameter`` message."""
+    net = Message(NET_PARAMETER)
+    if name:
+        net.name = name
+    return net

@@ -1,0 +1,525 @@
+"""Lower Caffe ``NetParameter`` messages into the Condor IR (flow step 1).
+
+Handles both the modern ``layer`` list and the legacy ``layers``
+(V1LayerParameter) list, deploy-style inputs (``input`` + ``input_dim`` /
+``input_shape`` or an ``Input`` layer), in-place activation fusion, and the
+inference-time pruning Caffe itself performs (Dropout becomes a no-op,
+train-only layers are dropped, ``SoftmaxWithLoss`` degrades to ``Softmax``).
+
+The accelerator template supports linear chains only, so the converter also
+verifies the bottom/top wiring forms a chain and reports anything else as
+unsupported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import (
+    SchemaError,
+    UnsupportedLayerError,
+    ValidationError,
+    WeightsError,
+)
+from repro.frontend.caffe.caffe_pb import (
+    NET_PARAMETER,
+    PHASE,
+    V1_LAYER_TYPE,
+)
+from repro.frontend.caffe.model import blob_to_array
+from repro.frontend.caffe.schema import Message
+from repro.frontend.weights import WeightStore
+from repro.ir.layers import (
+    Activation,
+    ActivationLayer,
+    ConvLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    Layer,
+    PoolLayer,
+    PoolOp,
+    SoftmaxLayer,
+)
+from repro.ir.network import Network
+from repro.ir.shapes import TensorShape
+from repro.util.logging import get_logger
+
+_log = get_logger("frontend.caffe")
+
+#: V1 enum number -> modern type string (subset Condor understands; other
+#: numbers map through the enum name for error messages).
+_V1_TYPE_NAMES = {
+    "CONVOLUTION": "Convolution",
+    "POOLING": "Pooling",
+    "INNER_PRODUCT": "InnerProduct",
+    "RELU": "ReLU",
+    "SIGMOID": "Sigmoid",
+    "TANH": "TanH",
+    "SOFTMAX": "Softmax",
+    "SOFTMAX_LOSS": "SoftmaxWithLoss",
+    "FLATTEN": "Flatten",
+    "DROPOUT": "Dropout",
+    "DATA": "Data",
+    "ACCURACY": "Accuracy",
+}
+
+#: Layer types silently dropped at inference time.
+_SKIPPED_TYPES = {"Dropout", "Accuracy", "Data", "HDF5Data", "ImageData",
+                  "MemoryData", "Silence"}
+
+_ACTIVATION_TYPES = {"ReLU": Activation.RELU, "Sigmoid": Activation.SIGMOID,
+                     "TanH": Activation.TANH}
+
+
+@dataclass
+class ConvertedModel:
+    """The converter's result: IR network + weights extracted from blobs."""
+
+    network: Network
+    weights: WeightStore
+    caffe_name: str
+    #: Host-side input transformation (Caffe ``transform_param``).
+    preprocessor: "Preprocessor | None" = None
+
+
+@dataclass
+class _CaffeLayer:
+    """A normalized view over LayerParameter / V1LayerParameter."""
+
+    name: str
+    type: str
+    bottoms: list[str]
+    tops: list[str]
+    message: Message
+    phase: str | None  # None = both phases
+
+
+def _normalize_layers(net: Message) -> list[_CaffeLayer]:
+    modern = list(net.layer)
+    legacy = list(net.layers)
+    if modern and legacy:
+        raise SchemaError(
+            "NetParameter mixes modern 'layer' and legacy 'layers' lists")
+    out: list[_CaffeLayer] = []
+    for msg in modern or legacy:
+        if msg.descriptor.name == "V1LayerParameter":
+            enum_name = V1_LAYER_TYPE.name_of(int(msg.type))
+            type_name = _V1_TYPE_NAMES.get(enum_name, enum_name)
+        else:
+            type_name = msg.type
+        phase = None
+        for rule in msg.include:
+            if rule.has_field("phase"):
+                phase = PHASE.name_of(int(rule.phase))
+        out.append(_CaffeLayer(
+            name=msg.name,
+            type=type_name,
+            bottoms=list(msg.bottom),
+            tops=list(msg.top),
+            message=msg,
+            phase=phase,
+        ))
+    return out
+
+
+def _input_declaration(net: Message,
+                       layers: list[_CaffeLayer]) -> tuple[str, TensorShape]:
+    """Find the input blob name and its (C, H, W) shape.
+
+    Priority: explicit ``input`` + ``input_shape``/``input_dim`` fields
+    (deploy prototxt), then an ``Input`` layer, then a ``Data`` layer is an
+    error (train prototxt without deploy shapes).
+    """
+    if net.input:
+        names = list(net.input)
+        if len(names) != 1:
+            raise UnsupportedLayerError(
+                "multi-input", f"inputs {names}")
+        if net.input_shape:
+            dims = [int(d) for d in net.input_shape[0].dim]
+        elif net.input_dim:
+            dims = [int(d) for d in net.input_dim]
+        else:
+            raise SchemaError(
+                "net declares 'input' but neither input_shape nor"
+                " input_dim")
+        return names[0], _dims_to_shape(dims)
+    for layer in layers:
+        if layer.type == "Input":
+            param = layer.message.input_param
+            if param is None or not param.shape:
+                raise SchemaError(
+                    f"Input layer {layer.name!r} has no shape")
+            dims = [int(d) for d in param.shape[0].dim]
+            if not layer.tops:
+                raise SchemaError(
+                    f"Input layer {layer.name!r} has no top")
+            return layer.tops[0], _dims_to_shape(dims)
+    raise SchemaError(
+        "cannot determine the input shape: provide a deploy prototxt with"
+        " 'input'/'input_dim' or an Input layer")
+
+
+def _dims_to_shape(dims: list[int]) -> TensorShape:
+    if len(dims) == 4:  # (batch, C, H, W) - batch is a host-side concern
+        return TensorShape(dims[1], dims[2], dims[3])
+    if len(dims) == 3:
+        return TensorShape(dims[0], dims[1], dims[2])
+    if len(dims) == 2:  # (batch, N) flat input
+        return TensorShape(dims[1], 1, 1)
+    raise SchemaError(f"unsupported input rank: {dims}")
+
+
+def _pair_param(param: Message, base: str, default: int,
+                *, repeated: bool, hw_base: str | None = None) -> tuple[int, int]:
+    """Resolve Caffe's scalar-or-h/w parameter convention.
+
+    ``hw_base`` names the ``_h``/``_w`` field pair when it differs from
+    ``base`` (``kernel_size`` pairs with ``kernel_h``/``kernel_w``).
+    """
+    hw_base = hw_base or base
+    h_name, w_name = f"{hw_base}_h", f"{hw_base}_w"
+    if param.has_field(h_name) or param.has_field(w_name):
+        return int(getattr(param, h_name)), int(getattr(param, w_name))
+    if repeated:
+        values = [int(v) for v in getattr(param, base)]
+        if not values:
+            return (default, default)
+        if len(values) == 1:
+            return (values[0], values[0])
+        return (values[0], values[1])
+    if param.has_field(base):
+        value = int(getattr(param, base))
+        return (value, value)
+    return (default, default)
+
+
+def _convert_conv(layer: _CaffeLayer) -> ConvLayer:
+    param = layer.message.convolution_param
+    if param is None or not param.has_field("num_output"):
+        raise SchemaError(
+            f"convolution layer {layer.name!r} missing num_output")
+    if int(param.group) != 1:
+        raise UnsupportedLayerError("grouped convolution", layer.name)
+    dilation = [int(v) for v in param.dilation]
+    if any(d != 1 for d in dilation):
+        raise UnsupportedLayerError("dilated convolution", layer.name)
+    kernel = _pair_param(param, "kernel_size", 0, repeated=True,
+                         hw_base="kernel")
+    if kernel[0] <= 0 or kernel[1] <= 0:
+        raise SchemaError(
+            f"convolution layer {layer.name!r} missing kernel size")
+    stride = _pair_param(param, "stride", 1, repeated=True)
+    pad = _pair_param(param, "pad", 0, repeated=True)
+    return ConvLayer(
+        layer.name,
+        num_output=int(param.num_output),
+        kernel=kernel,
+        stride=stride,
+        pad=pad,
+        bias=bool(param.bias_term),
+    )
+
+
+def _convert_pool(layer: _CaffeLayer, in_shape: TensorShape) -> PoolLayer:
+    param = layer.message.pooling_param
+    if param is None:
+        raise SchemaError(f"pooling layer {layer.name!r} missing"
+                          " pooling_param")
+    method = int(param.pool)
+    if method == 0:
+        op = PoolOp.MAX
+    elif method == 1:
+        op = PoolOp.AVG
+    else:
+        raise UnsupportedLayerError("stochastic pooling", layer.name)
+    if bool(param.global_pooling):
+        kernel = (in_shape.height, in_shape.width)
+        stride = (1, 1)
+        pad = (0, 0)
+    else:
+        kernel = _pair_param(param, "kernel_size", 0, repeated=False,
+                             hw_base="kernel")
+        if kernel[0] <= 0:
+            raise SchemaError(
+                f"pooling layer {layer.name!r} missing kernel size")
+        stride = _pair_param(param, "stride", 1, repeated=False)
+        pad = _pair_param(param, "pad", 0, repeated=False)
+    return PoolLayer(layer.name, op=op, kernel=kernel, stride=stride,
+                     pad=pad, ceil_mode=True)
+
+
+def _convert_fc(layer: _CaffeLayer) -> FullyConnectedLayer:
+    param = layer.message.inner_product_param
+    if param is None or not param.has_field("num_output"):
+        raise SchemaError(
+            f"inner product layer {layer.name!r} missing num_output")
+    return FullyConnectedLayer(
+        layer.name,
+        num_output=int(param.num_output),
+        bias=bool(param.bias_term),
+    )
+
+
+def convert_net(net: Message,
+                folds: dict[str, list] | None = None) -> Network:
+    """Convert a ``NetParameter`` topology into an IR :class:`Network`.
+
+    ``folds``, when given, accumulates the BatchNorm/Scale layers that
+    were folded into their producing convolution (conv name → list of
+    normalized Caffe layers, in order); the weight extractor applies them
+    numerically.
+    """
+    if net.descriptor is not NET_PARAMETER:
+        raise SchemaError(
+            f"expected NetParameter, got {net.descriptor.name}")
+    caffe_layers = [l for l in _normalize_layers(net)
+                    if l.phase != "TRAIN"]
+    blob_name, input_shape = _input_declaration(net, caffe_layers)
+
+    ir_layers: list[Layer] = [InputLayer("data", shape=input_shape)]
+    current_blob = blob_name
+    current_shape = input_shape
+    taken_names = {"data"}
+
+    for layer in caffe_layers:
+        if layer.type in ("Input",) or layer.type in _SKIPPED_TYPES:
+            if layer.type == "Dropout":
+                _log.debug("dropping inference no-op layer %s", layer.name)
+            continue
+        relevant_bottoms = [b for b in layer.bottoms if b != "label"]
+        if relevant_bottoms and relevant_bottoms[0] != current_blob:
+            raise ValidationError(
+                f"layer {layer.name!r} reads blob"
+                f" {relevant_bottoms[0]!r} but the current chain output is"
+                f" {current_blob!r}; only linear chains are supported")
+        if len(relevant_bottoms) > 1:
+            raise UnsupportedLayerError(
+                f"multi-input layer of type {layer.type}", layer.name)
+        if layer.name in taken_names:
+            raise ValidationError(f"duplicate layer name {layer.name!r}")
+
+        if layer.type == "Convolution":
+            ir_layer: Layer = _convert_conv(layer)
+        elif layer.type in ("BatchNorm", "Scale"):
+            prev = ir_layers[-1] if ir_layers else None
+            if not isinstance(prev, ConvLayer) or \
+                    prev.activation is not Activation.NONE:
+                raise UnsupportedLayerError(
+                    f"{layer.type} not directly after a convolution",
+                    layer.name)
+            if not prev.bias:
+                # folding produces a non-zero bias term: enable it
+                ir_layers[-1] = ConvLayer(
+                    prev.name, num_output=prev.num_output,
+                    kernel=prev.kernel, stride=prev.stride, pad=prev.pad,
+                    bias=True, activation=prev.activation)
+            if folds is not None:
+                folds.setdefault(prev.name, []).append(layer)
+            _log.debug("folding %s layer %s into conv %s", layer.type,
+                       layer.name, prev.name)
+            current_blob = layer.tops[0] if layer.tops else current_blob
+            continue
+        elif layer.type == "Pooling":
+            ir_layer = _convert_pool(layer, current_shape)
+        elif layer.type == "InnerProduct":
+            ir_layer = _convert_fc(layer)
+        elif layer.type in _ACTIVATION_TYPES:
+            kind = _ACTIVATION_TYPES[layer.type]
+            fused = _try_fuse_activation(ir_layers, layer, kind)
+            if fused:
+                current_blob = layer.tops[0] if layer.tops else current_blob
+                continue
+            ir_layer = ActivationLayer(layer.name, kind=kind)
+        elif layer.type in ("Softmax", "SoftmaxWithLoss"):
+            ir_layer = SoftmaxLayer(layer.name, log=False)
+        else:
+            raise UnsupportedLayerError(layer.type, layer.name)
+
+        taken_names.add(layer.name)
+        ir_layers.append(ir_layer)
+        current_shape = ir_layer.output_shape(current_shape)
+        current_blob = layer.tops[0] if layer.tops else current_blob
+
+    return Network(net.name or "caffe_net", ir_layers)
+
+
+def _try_fuse_activation(ir_layers: list[Layer], layer: _CaffeLayer,
+                         kind: Activation) -> bool:
+    """Fuse an (in-place) activation into the preceding conv/FC layer.
+
+    Caffe emits ReLU as a separate in-place layer; the Condor PE computes it
+    inside the MAC loop, so the converter folds it into the producing layer
+    whenever that layer supports a fused activation and has none yet.
+    """
+    if not ir_layers:
+        return False
+    prev = ir_layers[-1]
+    if isinstance(prev, (ConvLayer, FullyConnectedLayer)) and \
+            prev.activation is Activation.NONE:
+        if isinstance(prev, ConvLayer):
+            fused: Layer = ConvLayer(
+                prev.name, num_output=prev.num_output, kernel=prev.kernel,
+                stride=prev.stride, pad=prev.pad, bias=prev.bias,
+                activation=kind)
+        else:
+            fused = FullyConnectedLayer(
+                prev.name, num_output=prev.num_output, bias=prev.bias,
+                activation=kind)
+        ir_layers[-1] = fused
+        _log.debug("fused activation %s into layer %s", layer.name,
+                   prev.name)
+        return True
+    return False
+
+
+def extract_weights(model: Message, network: Network,
+                    folds: dict[str, list] | None = None) -> WeightStore:
+    """Pull trained blobs out of a caffemodel into a :class:`WeightStore`.
+
+    Blob 0 is the weight tensor, blob 1 the bias.  Legacy 4-D FC blobs
+    (1, 1, N, K) are squeezed to (N, K); conv blobs must already be
+    (F, C, KH, KW).  BatchNorm/Scale layers recorded in ``folds`` are
+    folded numerically into their convolution's weights and bias.
+    """
+    import numpy as np
+
+    store = WeightStore()
+    by_name = {l.name: l for l in _normalize_layers(model)}
+    for layer in network.layers:
+        expected = layer.weight_shapes(network.input_shape(layer))
+        if not expected:
+            continue
+        source = by_name.get(layer.name)
+        if source is None:
+            raise WeightsError(
+                f"caffemodel has no layer {layer.name!r}")
+        blobs = [blob_to_array(b) for b in source.message.blobs]
+        if not blobs:
+            raise WeightsError(
+                f"caffemodel layer {layer.name!r} carries no blobs")
+        weights = blobs[0]
+        want = expected["weights"]
+        if weights.shape != tuple(want):
+            squeezed = weights.reshape(
+                [d for d in weights.shape if d != 1] or [1])
+            if squeezed.size == int(_prod(want)):
+                weights = squeezed.reshape(want)
+            else:
+                raise WeightsError(
+                    f"layer {layer.name!r}: weight blob shape"
+                    f" {weights.shape} incompatible with {tuple(want)}")
+        bias = None
+        if "bias" in expected:
+            if len(blobs) >= 2:
+                bias = blobs[1].reshape(-1)
+            elif folds and layer.name in folds:
+                # conv had bias_term: false; the folded normalization
+                # contributes the bias
+                bias = np.zeros(expected["bias"], dtype=np.float32)
+            else:
+                raise WeightsError(
+                    f"layer {layer.name!r} expects a bias blob")
+            if bias.shape != tuple(expected["bias"]):
+                raise WeightsError(
+                    f"layer {layer.name!r}: bias blob shape {bias.shape}"
+                    f" != {tuple(expected['bias'])}")
+        if folds and layer.name in folds:
+            weights, bias = _apply_folds(
+                layer.name, weights, bias, folds[layer.name], by_name)
+        store.set(layer.name, "weights", weights)
+        if bias is not None:
+            store.set(layer.name, "bias", bias)
+    return store
+
+
+def _apply_folds(conv_name: str, weights, bias, fold_layers,
+                 by_name) -> tuple:
+    """Fold BatchNorm / Scale parameters into conv weights and bias.
+
+    BatchNorm (inference): y = (x − mean) / sqrt(var + eps), with blobs
+    [mean, var, scale_factor] where the stored moments are divided by
+    ``scale_factor``.  Scale: y = γ·x (+ β).  Both are per-output-channel
+    affine maps, so they compose into w' = a·w, b' = a·b + c.
+    """
+    import numpy as np
+
+    for fold in fold_layers:
+        source = by_name.get(fold.name)
+        if source is None:
+            raise WeightsError(
+                f"caffemodel has no layer {fold.name!r} (folded into"
+                f" {conv_name!r})")
+        blobs = [blob_to_array(b).reshape(-1)
+                 for b in source.message.blobs]
+        if fold.type == "BatchNorm":
+            if len(blobs) < 2:
+                raise WeightsError(
+                    f"BatchNorm {fold.name!r} needs mean/variance blobs")
+            mean, var = blobs[0], blobs[1]
+            if len(blobs) >= 3 and blobs[2].size and blobs[2][0] != 0:
+                factor = 1.0 / blobs[2][0]
+                mean = mean * factor
+                var = var * factor
+            param = fold.message.batch_norm_param
+            eps = float(param.eps) if param is not None else 1e-5
+            a = 1.0 / np.sqrt(var + eps)
+            c = -mean * a
+        elif fold.type == "Scale":
+            if not blobs:
+                raise WeightsError(
+                    f"Scale {fold.name!r} carries no blobs")
+            a = blobs[0]
+            c = blobs[1] if len(blobs) > 1 else np.zeros_like(a)
+        else:  # pragma: no cover - convert_net only records these two
+            raise WeightsError(f"cannot fold layer type {fold.type!r}")
+        if a.shape[0] != weights.shape[0]:
+            raise WeightsError(
+                f"fold {fold.name!r}: {a.shape[0]} channels vs conv"
+                f" {weights.shape[0]}")
+        weights = weights * a[:, None, None, None]
+        if bias is not None:
+            bias = bias * a + c
+    return weights.astype(np.float32), \
+        None if bias is None else bias.astype(np.float32)
+
+
+def _prod(values) -> int:
+    out = 1
+    for v in values:
+        out *= int(v)
+    return out
+
+
+def extract_preprocessor(prototxt: Message) -> "Preprocessor":
+    """Pull the input transformation out of the net (first
+    ``transform_param`` on any non-train layer wins; deploy nets carry at
+    most one)."""
+    from repro.frontend.preprocess import Preprocessor
+
+    for layer in _normalize_layers(prototxt):
+        if layer.phase == "TRAIN":
+            continue
+        param = getattr(layer.message, "transform_param", None) \
+            if "transform_param" in layer.message.descriptor.by_name \
+            else None
+        if param is not None:
+            return Preprocessor.from_transform_param(param)
+    return Preprocessor()
+
+
+def convert_caffe_model(prototxt: Message,
+                        caffemodel: Message | None = None) -> ConvertedModel:
+    """Full conversion: topology from ``prototxt``, weights from
+    ``caffemodel`` (when given; otherwise the store is left empty for the
+    caller to initialize or load separately)."""
+    folds: dict[str, list] = {}
+    network = convert_net(prototxt, folds)
+    if caffemodel is not None:
+        weights = extract_weights(caffemodel, network, folds)
+        weights.validate(network)
+    else:
+        weights = WeightStore()
+    return ConvertedModel(network=network, weights=weights,
+                          caffe_name=prototxt.name or network.name,
+                          preprocessor=extract_preprocessor(prototxt))

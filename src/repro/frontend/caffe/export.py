@@ -1,0 +1,174 @@
+"""Export a Condor IR network (+ weights) as Caffe model files.
+
+The inverse of :mod:`repro.frontend.caffe.converter`: emits a
+deploy-style ``NetParameter`` (``input`` + ``input_dim`` declaration,
+modern layer list, fused activations expanded back into in-place ReLU/
+Sigmoid/TanH layers) and, when weights are given, the matching binary
+caffemodel.  Round-tripping any supported network through
+export → parse → convert reproduces the original semantics bit-for-bit —
+a property the test suite enforces.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import UnsupportedLayerError
+from repro.frontend.caffe import caffe_pb
+from repro.frontend.caffe.model import (
+    array_to_blob,
+    save_caffemodel,
+    save_prototxt,
+)
+from repro.frontend.caffe.schema import Message
+from repro.frontend.weights import WeightStore
+from repro.ir.layers import (
+    Activation,
+    ActivationLayer,
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    PoolLayer,
+    PoolOp,
+    SoftmaxLayer,
+)
+from repro.ir.network import Network
+
+_ACT_TYPES = {Activation.RELU: "ReLU", Activation.SIGMOID: "Sigmoid",
+              Activation.TANH: "TanH"}
+
+
+def _conv_param(layer: ConvLayer) -> Message:
+    param = Message(caffe_pb.CONVOLUTION_PARAMETER)
+    param.num_output = layer.num_output
+    if layer.kernel[0] == layer.kernel[1]:
+        param.kernel_size = [layer.kernel[0]]
+    else:
+        param.kernel_h, param.kernel_w = layer.kernel
+    if layer.stride != (1, 1):
+        if layer.stride[0] == layer.stride[1]:
+            param.stride = [layer.stride[0]]
+        else:
+            param.stride_h, param.stride_w = layer.stride
+    if layer.pad != (0, 0):
+        if layer.pad[0] == layer.pad[1]:
+            param.pad = [layer.pad[0]]
+        else:
+            param.pad_h, param.pad_w = layer.pad
+    if not layer.bias:
+        param.bias_term = False
+    return param
+
+
+def _pool_param(layer: PoolLayer) -> Message:
+    param = Message(caffe_pb.POOLING_PARAMETER)
+    param.pool = 0 if layer.op is PoolOp.MAX else 1
+    if layer.kernel[0] == layer.kernel[1]:
+        param.kernel_size = layer.kernel[0]
+    else:
+        param.kernel_h, param.kernel_w = layer.kernel
+    assert layer.stride is not None
+    if layer.stride[0] == layer.stride[1]:
+        param.stride = layer.stride[0]
+    else:
+        param.stride_h, param.stride_w = layer.stride
+    if layer.pad != (0, 0):
+        if layer.pad[0] == layer.pad[1]:
+            param.pad = layer.pad[0]
+        else:
+            param.pad_h, param.pad_w = layer.pad
+    return param
+
+
+def export_caffe(net: Network,
+                 weights: WeightStore | None = None) -> Message:
+    """Build a deploy ``NetParameter`` for ``net``.
+
+    Fused conv/FC activations become separate in-place layers, exactly
+    the form Caffe tooling writes; Flatten layers are dropped (Caffe's
+    InnerProduct flattens implicitly).
+    """
+    model = caffe_pb.new_net(net.name)
+    in_shape = net.input_shape()
+    model.input = ["data"]
+    model.input_dim = [1, *in_shape.as_tuple()]
+    current = "data"
+
+    def add_layer(name: str, type_name: str, top: str) -> Message:
+        layer = model.add("layer")
+        layer.name = name
+        layer.type = type_name
+        layer.bottom = [current]
+        layer.top = [top]
+        return layer
+
+    def attach_blobs(msg: Message, layer_name: str) -> None:
+        if weights is None or layer_name not in weights:
+            return
+        blobs = weights.blobs(layer_name)
+        out = [array_to_blob(blobs["weights"])]
+        if "bias" in blobs:
+            out.append(array_to_blob(blobs["bias"]))
+        msg.blobs = out
+
+    for layer in net.layers[1:]:
+        if isinstance(layer, InputLayer) or isinstance(layer,
+                                                       FlattenLayer):
+            continue
+        if isinstance(layer, ConvLayer):
+            msg = add_layer(layer.name, "Convolution", layer.name)
+            msg.convolution_param = _conv_param(layer)
+            attach_blobs(msg, layer.name)
+            current = layer.name
+            if layer.activation is not Activation.NONE:
+                act = add_layer(f"{layer.name}_act",
+                                _ACT_TYPES[layer.activation], current)
+                act.top = [current]  # in-place, as Caffe writes it
+        elif isinstance(layer, PoolLayer):
+            msg = add_layer(layer.name, "Pooling", layer.name)
+            msg.pooling_param = _pool_param(layer)
+            current = layer.name
+        elif isinstance(layer, ActivationLayer):
+            add_layer(layer.name, _ACT_TYPES[layer.kind], current)
+            # in-place on the current blob
+        elif isinstance(layer, FullyConnectedLayer):
+            msg = add_layer(layer.name, "InnerProduct", layer.name)
+            param = Message(caffe_pb.INNER_PRODUCT_PARAMETER)
+            param.num_output = layer.num_output
+            if not layer.bias:
+                param.bias_term = False
+            msg.inner_product_param = param
+            attach_blobs(msg, layer.name)
+            current = layer.name
+            if layer.activation is not Activation.NONE:
+                act = add_layer(f"{layer.name}_act",
+                                _ACT_TYPES[layer.activation], current)
+                act.top = [current]
+        elif isinstance(layer, SoftmaxLayer):
+            if layer.log:
+                raise UnsupportedLayerError(
+                    "LogSoftmax has no Caffe deploy layer", layer.name)
+            add_layer(layer.name, "Softmax", layer.name)
+            current = layer.name
+        else:
+            raise UnsupportedLayerError(type(layer).__name__, layer.name)
+    return model
+
+
+def save_caffe_files(net: Network, directory: str | Path,
+                     weights: WeightStore | None = None,
+                     *, basename: str | None = None) -> tuple[Path, Path | None]:
+    """Write ``<basename>.prototxt`` (topology only) and, when weights are
+    given, ``<basename>.caffemodel``.  Returns the two paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    base = basename or net.name.lower().replace(" ", "_")
+    topology = export_caffe(net, None)
+    prototxt_path = save_prototxt(topology, directory / f"{base}.prototxt")
+    caffemodel_path = None
+    if weights is not None:
+        full = export_caffe(net, weights)
+        caffemodel_path = save_caffemodel(
+            full, directory / f"{base}.caffemodel")
+    return prototxt_path, caffemodel_path

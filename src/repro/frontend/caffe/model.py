@@ -1,0 +1,125 @@
+"""File-level Caffe model IO.
+
+``prototxt`` files are text-format ``NetParameter`` documents;
+``caffemodel`` files are the same message, wire-format encoded, with the
+trained blobs filled in.  Blob helpers convert between ``BlobProto`` and
+numpy arrays (both the modern ``shape`` field and the legacy
+num/channels/height/width quadruple are supported).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SchemaError, WeightsError
+from repro.frontend.caffe.caffe_pb import BLOB_PROTO, NET_PARAMETER
+from repro.frontend.caffe.schema import Message, decode_message, encode_message
+from repro.frontend.caffe.textformat import format_text, parse_text
+
+
+def load_prototxt(path: str | Path) -> Message:
+    """Parse a ``.prototxt`` file into a ``NetParameter`` message."""
+    path = Path(path)
+    return parse_text(path.read_text(), NET_PARAMETER, source=str(path))
+
+
+def parse_prototxt(text: str, source: str | None = None) -> Message:
+    """Parse prototxt text into a ``NetParameter`` message."""
+    return parse_text(text, NET_PARAMETER, source=source)
+
+
+def save_prototxt(net: Message, path: str | Path) -> Path:
+    """Write a ``NetParameter`` message as a ``.prototxt`` file."""
+    _check_net(net)
+    path = Path(path)
+    path.write_text(format_text(net) + "\n")
+    return path
+
+
+def load_caffemodel(path: str | Path) -> Message:
+    """Decode a binary ``.caffemodel`` file into a ``NetParameter``."""
+    path = Path(path)
+    return decode_message(NET_PARAMETER, path.read_bytes())
+
+
+def loads_caffemodel(data: bytes) -> Message:
+    """Decode in-memory caffemodel bytes."""
+    return decode_message(NET_PARAMETER, data)
+
+
+def save_caffemodel(net: Message, path: str | Path) -> Path:
+    """Encode a ``NetParameter`` message as a binary ``.caffemodel`` file."""
+    _check_net(net)
+    path = Path(path)
+    path.write_bytes(encode_message(net))
+    return path
+
+
+def dumps_caffemodel(net: Message) -> bytes:
+    """Encode a ``NetParameter`` message to caffemodel bytes."""
+    _check_net(net)
+    return encode_message(net)
+
+
+def _check_net(net: Message) -> None:
+    if net.descriptor is not NET_PARAMETER:
+        raise SchemaError(
+            f"expected a NetParameter message, got {net.descriptor.name}")
+
+
+# ---------------------------------------------------------------------------
+# blob <-> numpy
+# ---------------------------------------------------------------------------
+
+
+def blob_to_array(blob: Message) -> np.ndarray:
+    """Convert a ``BlobProto`` to a numpy array.
+
+    Prefers ``double_data`` when present (as Caffe does), falls back to
+    ``data``; the shape comes from ``shape.dim`` or, in legacy blobs, from
+    the num/channels/height/width quadruple with leading singleton axes
+    squeezed the way Caffe's ``Blob::FromProto`` reshapes.
+    """
+    if blob.has_field("double_data"):
+        flat = np.asarray(blob.double_data, dtype=np.float64)
+    else:
+        flat = np.asarray(blob.data, dtype=np.float32)
+    if blob.has_field("shape"):
+        dims = tuple(int(d) for d in blob.shape.dim)
+    elif any(blob.has_field(f) for f in ("num", "channels", "height",
+                                         "width")):
+        dims = (int(blob.num or 1), int(blob.channels or 1),
+                int(blob.height or 1), int(blob.width or 1))
+    else:
+        dims = (flat.size,)
+    expected = int(np.prod(dims)) if dims else 1
+    if flat.size != expected:
+        raise WeightsError(
+            f"blob data has {flat.size} elements but shape {dims} implies"
+            f" {expected}")
+    return flat.reshape(dims)
+
+
+def array_to_blob(array: np.ndarray, *, legacy: bool = False) -> Message:
+    """Convert a numpy array to a ``BlobProto``.
+
+    ``legacy=True`` writes the old 4-D num/channels/height/width header
+    (padding with leading 1s), which is what pre-2015 caffemodels contain.
+    """
+    array = np.asarray(array, dtype=np.float32)
+    blob = Message(BLOB_PROTO)
+    blob.data = [float(v) for v in array.reshape(-1)]
+    if legacy:
+        if array.ndim > 4:
+            raise WeightsError(
+                f"legacy blobs are at most 4-D, got {array.ndim}-D")
+        dims = (1,) * (4 - array.ndim) + array.shape
+        blob.num, blob.channels, blob.height, blob.width = (
+            int(d) for d in dims)
+    else:
+        shape = Message(BLOB_PROTO.by_name["shape"].message_type)
+        shape.dim = [int(d) for d in array.shape]
+        blob.shape = shape
+    return blob

@@ -1,0 +1,427 @@
+"""Descriptor-driven dynamic protobuf messages.
+
+A small reflection layer: :class:`FieldDescriptor` / :class:`MessageDescriptor`
+describe a proto2 schema, :class:`Message` is the dynamic value object, and
+:func:`encode_message` / :func:`decode_message` map messages to and from the
+wire format of :mod:`repro.frontend.caffe.wire`.
+
+Supported field types cover everything ``caffe.proto`` uses: varint integers,
+bool, enum, float, double, string, bytes and nested messages, with optional /
+repeated labels and packed repeated scalars (Caffe writes ``BlobProto.data``
+packed).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field as dc_field
+from typing import Any
+
+from repro.errors import SchemaError, WireFormatError
+from repro.frontend.caffe import wire
+from repro.frontend.caffe.wire import WireType
+
+
+class FieldType(enum.Enum):
+    INT32 = "int32"
+    INT64 = "int64"
+    UINT32 = "uint32"
+    UINT64 = "uint64"
+    SINT32 = "sint32"
+    SINT64 = "sint64"
+    BOOL = "bool"
+    ENUM = "enum"
+    FLOAT = "float"
+    DOUBLE = "double"
+    STRING = "string"
+    BYTES = "bytes"
+    MESSAGE = "message"
+
+
+class Label(enum.Enum):
+    OPTIONAL = "optional"
+    REPEATED = "repeated"
+
+
+_VARINT_TYPES = {
+    FieldType.INT32, FieldType.INT64, FieldType.UINT32, FieldType.UINT64,
+    FieldType.SINT32, FieldType.SINT64, FieldType.BOOL, FieldType.ENUM,
+}
+_SIGNED_TYPES = {FieldType.INT32, FieldType.INT64}
+_ZIGZAG_TYPES = {FieldType.SINT32, FieldType.SINT64}
+_SCALAR_NUMERIC = _VARINT_TYPES | {FieldType.FLOAT, FieldType.DOUBLE}
+
+
+@dataclass(frozen=True)
+class EnumDescriptor:
+    """A named proto enum: bidirectional name <-> number mapping."""
+
+    name: str
+    values: dict[str, int]
+
+    def number_of(self, name: str) -> int:
+        try:
+            return self.values[name]
+        except KeyError:
+            raise SchemaError(
+                f"enum {self.name} has no value {name!r}") from None
+
+    def name_of(self, number: int) -> str:
+        for name, value in self.values.items():
+            if value == number:
+                return name
+        raise SchemaError(f"enum {self.name} has no number {number}")
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.values
+
+
+@dataclass(frozen=True)
+class FieldDescriptor:
+    name: str
+    number: int
+    type: FieldType
+    label: Label = Label.OPTIONAL
+    message_type: "MessageDescriptor | None" = None
+    enum_type: EnumDescriptor | None = None
+    packed: bool = False
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if self.type is FieldType.MESSAGE and self.message_type is None:
+            raise SchemaError(f"field {self.name}: message fields need a"
+                              " message_type")
+        if self.type is FieldType.ENUM and self.enum_type is None:
+            raise SchemaError(f"field {self.name}: enum fields need an"
+                              " enum_type")
+        if self.packed and self.type not in _SCALAR_NUMERIC:
+            raise SchemaError(f"field {self.name}: only scalar numeric"
+                              " fields can be packed")
+        if self.packed and self.label is not Label.REPEATED:
+            raise SchemaError(f"field {self.name}: packed requires repeated")
+
+
+class MessageDescriptor:
+    """A message schema: ordered fields, indexed by name and number.
+
+    Mutable after construction via :meth:`add_field` so mutually recursive
+    schemas can be declared (not needed by Caffe but supported).
+    """
+
+    def __init__(self, name: str, fields: list[FieldDescriptor] | None = None):
+        self.name = name
+        self.fields: list[FieldDescriptor] = []
+        self.by_name: dict[str, FieldDescriptor] = {}
+        self.by_number: dict[int, FieldDescriptor] = {}
+        for f in fields or []:
+            self.add_field(f)
+
+    def add_field(self, f: FieldDescriptor) -> None:
+        if f.name in self.by_name:
+            raise SchemaError(f"{self.name}: duplicate field name {f.name!r}")
+        if f.number in self.by_number:
+            raise SchemaError(f"{self.name}: duplicate field number"
+                              f" {f.number}")
+        self.fields.append(f)
+        self.by_name[f.name] = f
+        self.by_number[f.number] = f
+
+    def __repr__(self) -> str:
+        return f"MessageDescriptor({self.name!r}, {len(self.fields)} fields)"
+
+
+_TYPE_DEFAULTS: dict[FieldType, Any] = {
+    FieldType.BOOL: False,
+    FieldType.FLOAT: 0.0,
+    FieldType.DOUBLE: 0.0,
+    FieldType.STRING: "",
+    FieldType.BYTES: b"",
+}
+
+
+class Message:
+    """A dynamic message instance.
+
+    Field access is attribute-style (``net.layer[0].name``).  Reading an
+    unset optional field returns its default; reading an unset repeated field
+    returns a (live) empty list.  ``has_field`` distinguishes unset from
+    default-valued.  Unknown wire fields encountered at decode time are
+    preserved verbatim and re-emitted on encode, like real protobuf.
+    """
+
+    __slots__ = ("descriptor", "_values", "_unknown")
+
+    def __init__(self, descriptor: MessageDescriptor, **kwargs: Any):
+        object.__setattr__(self, "descriptor", descriptor)
+        object.__setattr__(self, "_values", {})
+        object.__setattr__(self, "_unknown", [])
+        for name, value in kwargs.items():
+            setattr(self, name, value)
+
+    # -- attribute protocol -------------------------------------------------
+
+    def _field(self, name: str) -> FieldDescriptor:
+        try:
+            return self.descriptor.by_name[name]
+        except KeyError:
+            raise AttributeError(
+                f"message {self.descriptor.name} has no field {name!r}"
+            ) from None
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        f = self._field(name)
+        values = object.__getattribute__(self, "_values")
+        if f.label is Label.REPEATED:
+            return values.setdefault(name, [])
+        if name in values:
+            return values[name]
+        if f.default is not None:
+            return f.default
+        if f.type is FieldType.MESSAGE:
+            return None
+        if f.type is FieldType.ENUM:
+            assert f.enum_type is not None
+            return min(f.enum_type.values.values())
+        return _TYPE_DEFAULTS.get(f.type, 0)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        f = self._field(name)
+        if f.label is Label.REPEATED:
+            value = list(value)
+        self._values[name] = value
+
+    # -- explicit API ---------------------------------------------------------
+
+    def has_field(self, name: str) -> bool:
+        """True when the field was explicitly set (or decoded)."""
+        f = self._field(name)
+        if f.label is Label.REPEATED:
+            return bool(self._values.get(name))
+        return name in self._values
+
+    def clear_field(self, name: str) -> None:
+        self._field(name)
+        self._values.pop(name, None)
+
+    def add(self, name: str) -> "Message":
+        """Append and return a new element of a repeated message field."""
+        f = self._field(name)
+        if f.label is not Label.REPEATED or f.type is not FieldType.MESSAGE:
+            raise SchemaError(
+                f"add() needs a repeated message field, {name!r} is not")
+        assert f.message_type is not None
+        child = Message(f.message_type)
+        self._values.setdefault(name, []).append(child)
+        return child
+
+    def set_fields(self, **kwargs: Any) -> "Message":
+        """Set several fields; returns ``self`` for chaining."""
+        for name, value in kwargs.items():
+            setattr(self, name, value)
+        return self
+
+    @property
+    def unknown_fields(self) -> list[tuple[int, WireType, object]]:
+        return list(self._unknown)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (self.descriptor.name == other.descriptor.name and
+                self._comparable() == other._comparable())
+
+    def _comparable(self):
+        out = {}
+        for name, value in self._values.items():
+            if isinstance(value, list):
+                if not value:
+                    continue
+                out[name] = [v._comparable() if isinstance(v, Message) else v
+                             for v in value]
+            else:
+                out[name] = (value._comparable()
+                             if isinstance(value, Message) else value)
+        return out
+
+    def __repr__(self) -> str:
+        names = sorted(self._values)
+        return f"Message({self.descriptor.name}, fields={names})"
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+
+def _encode_scalar(f: FieldDescriptor, value: Any) -> bytes:
+    if f.type in _ZIGZAG_TYPES:
+        return wire.encode_varint(wire.zigzag_encode(int(value)))
+    if f.type in _SIGNED_TYPES:
+        return wire.encode_signed_varint(int(value))
+    if f.type in _VARINT_TYPES:  # unsigned, bool, enum
+        if f.type is FieldType.BOOL:
+            return wire.encode_varint(1 if value else 0)
+        if f.type is FieldType.ENUM:
+            return wire.encode_signed_varint(int(value))
+        return wire.encode_varint(int(value))
+    if f.type is FieldType.FLOAT:
+        return wire.encode_float(float(value))
+    if f.type is FieldType.DOUBLE:
+        return wire.encode_double(float(value))
+    raise SchemaError(f"field {f.name}: {f.type} is not scalar")
+
+
+def _wire_type_for(f: FieldDescriptor) -> WireType:
+    if f.type in _VARINT_TYPES:
+        return WireType.VARINT
+    if f.type is FieldType.FLOAT:
+        return WireType.I32
+    if f.type is FieldType.DOUBLE:
+        return WireType.I64
+    return WireType.LEN
+
+
+def encode_message(msg: Message) -> bytes:
+    """Serialize ``msg`` to protobuf wire format (fields in number order)."""
+    out = bytearray()
+    for f in sorted(msg.descriptor.fields, key=lambda f: f.number):
+        if not msg.has_field(f.name):
+            continue
+        value = msg._values[f.name]
+        values = value if f.label is Label.REPEATED else [value]
+        if f.packed:
+            payload = b"".join(_encode_scalar(f, v) for v in values)
+            out += wire.encode_tag(f.number, WireType.LEN)
+            out += wire.encode_length_delimited(payload)
+            continue
+        for v in values:
+            if f.type is FieldType.MESSAGE:
+                if not isinstance(v, Message):
+                    raise SchemaError(
+                        f"field {f.name}: expected Message, got"
+                        f" {type(v).__name__}")
+                out += wire.encode_tag(f.number, WireType.LEN)
+                out += wire.encode_length_delimited(encode_message(v))
+            elif f.type is FieldType.STRING:
+                out += wire.encode_tag(f.number, WireType.LEN)
+                out += wire.encode_length_delimited(str(v).encode("utf-8"))
+            elif f.type is FieldType.BYTES:
+                out += wire.encode_tag(f.number, WireType.LEN)
+                out += wire.encode_length_delimited(bytes(v))
+            else:
+                out += wire.encode_tag(f.number, _wire_type_for(f))
+                out += _encode_scalar(f, v)
+    for number, wtype, raw in msg._unknown:
+        out += wire.encode_tag(number, wtype)
+        if wtype is WireType.VARINT:
+            out += wire.encode_varint(raw)  # type: ignore[arg-type]
+        elif wtype is WireType.LEN:
+            out += wire.encode_length_delimited(raw)  # type: ignore[arg-type]
+        else:
+            out += raw  # type: ignore[operator]
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+
+
+def _decode_varint_value(f: FieldDescriptor, raw: int) -> Any:
+    if f.type in _ZIGZAG_TYPES:
+        return wire.zigzag_decode(raw)
+    if f.type in _SIGNED_TYPES or f.type is FieldType.ENUM:
+        return raw - (1 << 64) if raw >= 1 << 63 else raw
+    if f.type is FieldType.BOOL:
+        return bool(raw)
+    return raw
+
+
+def _decode_scalar_record(f: FieldDescriptor, wtype: WireType,
+                          raw: object) -> Any:
+    expected = _wire_type_for(f)
+    if f.type in _VARINT_TYPES:
+        if wtype is not WireType.VARINT:
+            raise WireFormatError(
+                f"field {f.name}: expected varint, got {wtype.name}")
+        return _decode_varint_value(f, raw)  # type: ignore[arg-type]
+    if f.type is FieldType.FLOAT:
+        if wtype is not WireType.I32:
+            raise WireFormatError(
+                f"field {f.name}: expected I32, got {wtype.name}")
+        return wire.decode_float(raw)[0]  # type: ignore[arg-type]
+    if f.type is FieldType.DOUBLE:
+        if wtype is not WireType.I64:
+            raise WireFormatError(
+                f"field {f.name}: expected I64, got {wtype.name}")
+        return wire.decode_double(raw)[0]  # type: ignore[arg-type]
+    raise SchemaError(f"field {f.name}: unexpected type {expected}")
+
+
+def _decode_packed(f: FieldDescriptor, payload: bytes) -> list[Any]:
+    values: list[Any] = []
+    pos = 0
+    if f.type is FieldType.FLOAT:
+        while pos < len(payload):
+            value, pos = wire.decode_float(payload, pos)
+            values.append(value)
+    elif f.type is FieldType.DOUBLE:
+        while pos < len(payload):
+            value, pos = wire.decode_double(payload, pos)
+            values.append(value)
+    else:
+        while pos < len(payload):
+            raw, pos = wire.decode_varint(payload, pos)
+            values.append(_decode_varint_value(f, raw))
+    return values
+
+
+def decode_message(descriptor: MessageDescriptor, data: bytes) -> Message:
+    """Parse wire-format ``data`` into a :class:`Message`.
+
+    Unknown field numbers are retained (round-tripped); repeated scalars
+    accept both packed and unpacked encodings, like real protobuf parsers.
+    """
+    msg = Message(descriptor)
+    for number, wtype, raw in wire.iter_records(data):
+        f = descriptor.by_number.get(number)
+        if f is None:
+            msg._unknown.append((number, wtype, raw))
+            continue
+        if f.type is FieldType.MESSAGE:
+            if wtype is not WireType.LEN:
+                raise WireFormatError(
+                    f"field {f.name}: embedded message must be"
+                    " length-delimited")
+            assert f.message_type is not None
+            value: Any = decode_message(f.message_type, raw)  # type: ignore[arg-type]
+        elif f.type is FieldType.STRING:
+            if wtype is not WireType.LEN:
+                raise WireFormatError(f"field {f.name}: string must be"
+                                      " length-delimited")
+            try:
+                value = raw.decode("utf-8")  # type: ignore[union-attr]
+            except UnicodeDecodeError as exc:
+                raise WireFormatError(
+                    f"field {f.name}: invalid UTF-8: {exc}") from exc
+        elif f.type is FieldType.BYTES:
+            if wtype is not WireType.LEN:
+                raise WireFormatError(f"field {f.name}: bytes must be"
+                                      " length-delimited")
+            value = bytes(raw)  # type: ignore[arg-type]
+        elif (f.label is Label.REPEATED and wtype is WireType.LEN
+              and f.type in _SCALAR_NUMERIC):
+            # packed repeated scalars
+            msg._values.setdefault(f.name, []).extend(
+                _decode_packed(f, raw))  # type: ignore[arg-type]
+            continue
+        else:
+            value = _decode_scalar_record(f, wtype, raw)
+        if f.label is Label.REPEATED:
+            msg._values.setdefault(f.name, []).append(value)
+        else:
+            # proto2 last-one-wins for repeated occurrences of optional
+            msg._values[f.name] = value
+    return msg

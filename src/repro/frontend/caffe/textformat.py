@@ -1,0 +1,338 @@
+"""The protobuf text format — how ``prototxt`` files are written.
+
+A tokenizer plus a schema-driven recursive-descent parser producing
+:class:`~repro.frontend.caffe.schema.Message` objects, and the inverse
+serializer.  The dialect is the one the protobuf C++ TextFormat
+implementation accepts, restricted to what appears in real-world prototxt
+files:
+
+* ``field: value`` for scalars, with enums by name or number and bools as
+  ``true``/``false``/``1``/``0``;
+* ``field { ... }`` (or ``field: { ... }``, or angle brackets ``< ... >``)
+  for nested messages;
+* ``field: [v1, v2]`` short-hand for repeated scalars;
+* adjacent string literals concatenate; ``#`` starts a line comment;
+  ``,``/``;`` separators after a field are tolerated.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError, SchemaError
+from repro.frontend.caffe.schema import (
+    FieldDescriptor,
+    FieldType,
+    Label,
+    Message,
+    MessageDescriptor,
+)
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>[ \t\r\n]+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>[-+]?(?:
+        0[xX][0-9a-fA-F]+
+      | \.[0-9]+(?:[eE][-+]?[0-9]+)?
+      | [0-9]+\.[0-9]*(?:[eE][-+]?[0-9]+)?
+      | [0-9]+(?:[eE][-+]?[0-9]+)?
+    )(?:[fF])?)
+  | (?P<string>"(?:\\.|[^"\\\n])*"|'(?:\\.|[^'\\\n])*')
+  | (?P<punct>[{}<>\[\]:,;])
+""", re.VERBOSE)
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "\\": "\\", "'": "'", '"': '"',
+    "a": "\a", "b": "\b", "f": "\f", "v": "\v", "0": "\0",
+}
+
+
+def tokenize(text: str, source: str | None = None) -> list[Token]:
+    """Split ``text`` into tokens; raises :class:`ParseError` on garbage."""
+    tokens: list[Token] = []
+    line, line_start = 1, 0
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[pos]!r}", line=line,
+                column=pos - line_start + 1, source=source)
+        kind = match.lastgroup
+        value = match.group()
+        column = pos - line_start + 1
+        if kind == "ident":
+            tokens.append(Token(TokenKind.IDENT, value, line, column))
+        elif kind == "number":
+            tokens.append(Token(TokenKind.NUMBER, value, line, column))
+        elif kind == "string":
+            tokens.append(Token(TokenKind.STRING, value, line, column))
+        elif kind == "punct":
+            tokens.append(Token(TokenKind.PUNCT, value, line, column))
+        # whitespace / comments: track line numbers
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + value.rfind("\n") + 1
+        pos = match.end()
+    tokens.append(Token(TokenKind.EOF, "", line, len(text) - line_start + 1))
+    return tokens
+
+
+def _unquote(token: Token, source: str | None) -> str:
+    raw = token.text[1:-1]
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "\\":
+            i += 1
+            if i >= len(raw):
+                raise ParseError("dangling escape in string",
+                                 line=token.line, column=token.column,
+                                 source=source)
+            esc = raw[i]
+            if esc in _ESCAPES:
+                out.append(_ESCAPES[esc])
+            elif esc == "x" and i + 2 < len(raw) + 1:
+                hex_digits = raw[i + 1:i + 3]
+                try:
+                    out.append(chr(int(hex_digits, 16)))
+                except ValueError:
+                    raise ParseError(
+                        f"bad hex escape \\x{hex_digits}", line=token.line,
+                        column=token.column, source=source) from None
+                i += 2
+            else:
+                out.append(esc)
+            i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source: str | None):
+        self.tokens = tokens
+        self.pos = 0
+        self.source = source
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str, token: Token | None = None) -> ParseError:
+        token = token or self.peek()
+        return ParseError(message, line=token.line, column=token.column,
+                          source=self.source)
+
+    def accept_punct(self, text: str) -> bool:
+        token = self.peek()
+        if token.kind is TokenKind.PUNCT and token.text == text:
+            self.next()
+            return True
+        return False
+
+    def expect_punct(self, text: str) -> None:
+        if not self.accept_punct(text):
+            raise self.error(f"expected {text!r}, got {self.peek().text!r}")
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_message(self, descriptor: MessageDescriptor,
+                      terminator: str | None) -> Message:
+        msg = Message(descriptor)
+        while True:
+            token = self.peek()
+            if token.kind is TokenKind.EOF:
+                if terminator is None:
+                    return msg
+                raise self.error(f"unexpected end of input, expected"
+                                 f" {terminator!r}")
+            if terminator is not None and token.kind is TokenKind.PUNCT \
+                    and token.text == terminator:
+                self.next()
+                return msg
+            if token.kind is not TokenKind.IDENT:
+                raise self.error(
+                    f"expected field name, got {token.text!r}")
+            self.parse_field(msg)
+            # tolerate optional separators between fields
+            while self.accept_punct(",") or self.accept_punct(";"):
+                pass
+
+    def parse_field(self, msg: Message) -> None:
+        name_token = self.next()
+        field = msg.descriptor.by_name.get(name_token.text)
+        if field is None:
+            raise self.error(
+                f"message {msg.descriptor.name} has no field"
+                f" {name_token.text!r}", name_token)
+        has_colon = self.accept_punct(":")
+        if field.type is FieldType.MESSAGE:
+            open_token = self.peek()
+            if open_token.kind is TokenKind.PUNCT and \
+                    open_token.text in "{<":
+                self.next()
+                close = "}" if open_token.text == "{" else ">"
+                assert field.message_type is not None
+                value: object = self.parse_message(field.message_type, close)
+                self.store(msg, field, value)
+                return
+            raise self.error(
+                f"field {field.name!r} expects a message body")
+        if not has_colon:
+            raise self.error(
+                f"expected ':' after scalar field {field.name!r}")
+        if self.accept_punct("["):
+            if field.label is not Label.REPEATED:
+                raise self.error(
+                    f"list value for non-repeated field {field.name!r}",
+                    name_token)
+            if not self.accept_punct("]"):
+                while True:
+                    self.store(msg, field, self.parse_scalar(field))
+                    if self.accept_punct("]"):
+                        break
+                    self.expect_punct(",")
+            return
+        self.store(msg, field, self.parse_scalar(field))
+
+    def store(self, msg: Message, field: FieldDescriptor,
+              value: object) -> None:
+        if field.label is Label.REPEATED:
+            msg._values.setdefault(field.name, []).append(value)
+        else:
+            msg._values[field.name] = value
+
+    def parse_scalar(self, field: FieldDescriptor) -> object:
+        token = self.next()
+        try:
+            return self.convert_scalar(field, token)
+        except (ValueError, SchemaError) as exc:
+            raise self.error(
+                f"invalid value {token.text!r} for field {field.name!r}:"
+                f" {exc}", token) from exc
+
+    def convert_scalar(self, field: FieldDescriptor, token: Token) -> object:
+        if field.type is FieldType.STRING or field.type is FieldType.BYTES:
+            if token.kind is not TokenKind.STRING:
+                raise ValueError("expected a quoted string")
+            text = _unquote(token, self.source)
+            # adjacent string literals concatenate
+            while self.peek().kind is TokenKind.STRING:
+                text += _unquote(self.next(), self.source)
+            if field.type is FieldType.BYTES:
+                return text.encode("latin-1")
+            return text
+        if field.type is FieldType.BOOL:
+            if token.kind is TokenKind.IDENT and token.text in (
+                    "true", "false"):
+                return token.text == "true"
+            if token.kind is TokenKind.NUMBER and token.text in ("0", "1"):
+                return token.text == "1"
+            raise ValueError("expected true/false/0/1")
+        if field.type is FieldType.ENUM:
+            assert field.enum_type is not None
+            if token.kind is TokenKind.IDENT:
+                return field.enum_type.number_of(token.text)
+            if token.kind is TokenKind.NUMBER:
+                number = int(token.text, 0)
+                field.enum_type.name_of(number)  # validates
+                return number
+            raise ValueError("expected enum name or number")
+        if field.type in (FieldType.FLOAT, FieldType.DOUBLE):
+            if token.kind is not TokenKind.NUMBER:
+                raise ValueError("expected a number")
+            return float(token.text.rstrip("fF"))
+        # integer types
+        if token.kind is not TokenKind.NUMBER:
+            raise ValueError("expected an integer")
+        value = int(token.text, 0)
+        if field.type in (FieldType.UINT32, FieldType.UINT64) and value < 0:
+            raise ValueError("unsigned field cannot be negative")
+        return value
+
+
+def parse_text(text: str, descriptor: MessageDescriptor,
+               source: str | None = None) -> Message:
+    """Parse protobuf text format into a message of type ``descriptor``."""
+    tokens = tokenize(text, source)
+    return _Parser(tokens, source).parse_message(descriptor, None)
+
+
+# ---------------------------------------------------------------------------
+# serialization
+# ---------------------------------------------------------------------------
+
+_STRING_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n", "\t": "\\t",
+                   "\r": "\\r"}
+
+
+def _quote(text: str) -> str:
+    return '"' + "".join(_STRING_ESCAPES.get(c, c) for c in text) + '"'
+
+
+def _format_scalar(field: FieldDescriptor, value: object) -> str:
+    if field.type in (FieldType.STRING,):
+        return _quote(str(value))
+    if field.type is FieldType.BYTES:
+        return _quote(bytes(value).decode("latin-1"))  # type: ignore[arg-type]
+    if field.type is FieldType.BOOL:
+        return "true" if value else "false"
+    if field.type is FieldType.ENUM:
+        assert field.enum_type is not None
+        return field.enum_type.name_of(int(value))  # type: ignore[arg-type]
+    if field.type in (FieldType.FLOAT, FieldType.DOUBLE):
+        return repr(float(value))  # type: ignore[arg-type]
+    return str(int(value))  # type: ignore[arg-type]
+
+
+def format_text(msg: Message, indent: int = 0) -> str:
+    """Serialize a message to protobuf text format (2-space indent)."""
+    pad = "  " * indent
+    lines: list[str] = []
+    for field in msg.descriptor.fields:
+        if not msg.has_field(field.name):
+            continue
+        raw = msg._values[field.name]
+        values = raw if field.label is Label.REPEATED else [raw]
+        for value in values:
+            if field.type is FieldType.MESSAGE:
+                body = format_text(value, indent + 1)  # type: ignore[arg-type]
+                lines.append(f"{pad}{field.name} {{")
+                if body:
+                    lines.append(body)
+                lines.append(f"{pad}}}")
+            else:
+                lines.append(
+                    f"{pad}{field.name}: {_format_scalar(field, value)}")
+    return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""The protobuf binary wire format, from scratch.
+
+Implements exactly the encoding layer of protocol buffers (proto2 as used by
+``caffe.proto``): base-128 varints, zigzag for signed types, 32/64-bit fixed
+fields, and length-delimited records.  The schema layer on top of this lives
+in :mod:`repro.frontend.caffe.schema`.
+
+Reference: the protobuf encoding documentation.  Wire types::
+
+    0  VARINT           int32, int64, uint32, uint64, sint32, sint64, bool, enum
+    1  I64              fixed64, sfixed64, double
+    2  LEN              string, bytes, embedded messages, packed repeated
+    5  I32              fixed32, sfixed32, float
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from collections.abc import Iterator
+
+from repro.errors import WireFormatError
+
+
+class WireType(enum.IntEnum):
+    VARINT = 0
+    I64 = 1
+    LEN = 2
+    # 3 (SGROUP) and 4 (EGROUP) are deprecated group markers; caffe.proto
+    # never uses them, so we reject them on decode.
+    I32 = 5
+
+
+_MAX_VARINT_BYTES = 10  # 64 bits / 7 bits per byte, rounded up
+
+
+# ---------------------------------------------------------------------------
+# varints
+# ---------------------------------------------------------------------------
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer (< 2**64) as a base-128 varint."""
+    if value < 0:
+        raise WireFormatError(f"varint value must be non-negative: {value}")
+    if value >= 1 << 64:
+        raise WireFormatError(f"varint value exceeds 64 bits: {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, pos: int = 0) -> tuple[int, int]:
+    """Decode a varint at ``pos``; return ``(value, next_pos)``."""
+    result = 0
+    shift = 0
+    start = pos
+    while True:
+        if pos >= len(data):
+            raise WireFormatError("truncated varint")
+        if pos - start >= _MAX_VARINT_BYTES:
+            raise WireFormatError("varint longer than 10 bytes")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if result >= 1 << 64:
+                raise WireFormatError("varint overflows 64 bits")
+            return result, pos
+        shift += 7
+
+
+def encode_signed_varint(value: int) -> bytes:
+    """Encode a possibly-negative int64 as protobuf does for int32/int64:
+    two's complement extended to 64 bits (negative values take 10 bytes)."""
+    if value < 0:
+        value += 1 << 64
+    return encode_varint(value)
+
+
+def decode_signed_varint(data: bytes, pos: int = 0) -> tuple[int, int]:
+    """Inverse of :func:`encode_signed_varint`."""
+    value, pos = decode_varint(data, pos)
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value, pos
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed integer onto unsigned zigzag order (sint32/sint64)."""
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+# ---------------------------------------------------------------------------
+# tags and scalar payloads
+# ---------------------------------------------------------------------------
+
+
+def encode_tag(field_number: int, wire_type: WireType) -> bytes:
+    """Encode a field tag (field number + wire type)."""
+    if field_number < 1 or field_number > (1 << 29) - 1:
+        raise WireFormatError(f"invalid field number {field_number}")
+    return encode_varint((field_number << 3) | int(wire_type))
+
+
+def decode_tag(data: bytes, pos: int = 0) -> tuple[int, WireType, int]:
+    """Decode a tag; return ``(field_number, wire_type, next_pos)``."""
+    key, pos = decode_varint(data, pos)
+    field_number = key >> 3
+    wire_value = key & 0x7
+    if field_number < 1:
+        raise WireFormatError(f"invalid field number {field_number}")
+    try:
+        wire_type = WireType(wire_value)
+    except ValueError:
+        raise WireFormatError(
+            f"unsupported wire type {wire_value} (field {field_number})"
+        ) from None
+    return field_number, wire_type, pos
+
+
+def encode_float(value: float) -> bytes:
+    """IEEE-754 single precision, little endian (wire type I32)."""
+    return struct.pack("<f", value)
+
+
+def decode_float(data: bytes, pos: int = 0) -> tuple[float, int]:
+    if pos + 4 > len(data):
+        raise WireFormatError("truncated float")
+    return struct.unpack_from("<f", data, pos)[0], pos + 4
+
+
+def encode_double(value: float) -> bytes:
+    """IEEE-754 double precision, little endian (wire type I64)."""
+    return struct.pack("<d", value)
+
+
+def decode_double(data: bytes, pos: int = 0) -> tuple[float, int]:
+    if pos + 8 > len(data):
+        raise WireFormatError("truncated double")
+    return struct.unpack_from("<d", data, pos)[0], pos + 8
+
+
+def encode_length_delimited(payload: bytes) -> bytes:
+    """Length prefix + payload (wire type LEN)."""
+    return encode_varint(len(payload)) + payload
+
+
+def decode_length_delimited(data: bytes, pos: int = 0) -> tuple[bytes, int]:
+    length, pos = decode_varint(data, pos)
+    end = pos + length
+    if end > len(data):
+        raise WireFormatError(
+            f"length-delimited field of {length} bytes overruns buffer")
+    return data[pos:end], end
+
+
+# ---------------------------------------------------------------------------
+# record iteration
+# ---------------------------------------------------------------------------
+
+
+def iter_records(data: bytes) -> Iterator[tuple[int, WireType, object]]:
+    """Iterate ``(field_number, wire_type, raw_value)`` over a message buffer.
+
+    ``raw_value`` is an ``int`` for VARINT, ``bytes`` for LEN, and the raw
+    little-endian ``bytes`` for I32/I64 (the schema layer knows whether they
+    are floats or fixed ints).
+    """
+    pos = 0
+    while pos < len(data):
+        field_number, wire_type, pos = decode_tag(data, pos)
+        if wire_type is WireType.VARINT:
+            value, pos = decode_varint(data, pos)
+        elif wire_type is WireType.LEN:
+            value, pos = decode_length_delimited(data, pos)
+        elif wire_type is WireType.I32:
+            if pos + 4 > len(data):
+                raise WireFormatError("truncated I32 field")
+            value, pos = data[pos:pos + 4], pos + 4
+        else:  # I64
+            if pos + 8 > len(data):
+                raise WireFormatError("truncated I64 field")
+            value, pos = data[pos:pos + 8], pos + 8
+        yield field_number, wire_type, value

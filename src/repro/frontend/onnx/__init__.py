@@ -1,0 +1,16 @@
+"""ONNX integration — the paper's stated future work (§3.1.1: "we are
+considering adding support to the ONNX format").
+
+Built on the same from-scratch protobuf machinery as the Caffe frontend:
+
+* :mod:`repro.frontend.onnx.schema` — the ``onnx.proto`` subset
+  (ModelProto / GraphProto / NodeProto / TensorProto / …);
+* :mod:`repro.frontend.onnx.convert` — ONNX graph → Condor IR + weights;
+* :mod:`repro.frontend.onnx.export` — Condor IR + weights → ONNX model
+  (round-trip capable, used to produce genuine wire-format test inputs).
+"""
+
+from repro.frontend.onnx.convert import convert_onnx_model, load_onnx
+from repro.frontend.onnx.export import export_onnx, save_onnx
+
+__all__ = ["convert_onnx_model", "load_onnx", "export_onnx", "save_onnx"]

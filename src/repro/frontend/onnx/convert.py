@@ -1,0 +1,267 @@
+"""Lower an ONNX model into the Condor IR + weight store.
+
+Supported operators: ``Conv``, ``MaxPool``, ``AveragePool``,
+``GlobalAveragePool``, ``Relu``, ``Sigmoid``, ``Tanh``, ``Flatten``,
+``Reshape`` (to a flat vector only), ``Gemm`` (transB form), ``Softmax``,
+``LogSoftmax``, ``Dropout`` (inference no-op), ``Identity``.  Activations
+fuse into a preceding conv/Gemm when possible, like the Caffe converter.
+Only single-chain graphs map onto the accelerator template.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SchemaError, UnsupportedLayerError, ValidationError
+from repro.frontend.caffe.converter import _try_fuse_activation
+from repro.frontend.caffe.schema import Message, decode_message
+from repro.frontend.onnx import schema as S
+from repro.frontend.weights import WeightStore
+from repro.ir.layers import (
+    Activation,
+    ActivationLayer,
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    Layer,
+    PoolLayer,
+    PoolOp,
+    SoftmaxLayer,
+)
+from repro.ir.network import Network
+from repro.ir.shapes import TensorShape
+
+_ACT_OPS = {"Relu": Activation.RELU, "Sigmoid": Activation.SIGMOID,
+            "Tanh": Activation.TANH}
+_SKIP_OPS = {"Dropout", "Identity"}
+
+
+@dataclass
+class ConvertedOnnxModel:
+    network: Network
+    weights: WeightStore
+    onnx_name: str
+
+
+def load_onnx(path: str | Path) -> Message:
+    """Decode a binary ``.onnx`` file into a ModelProto message."""
+    return decode_message(S.MODEL_PROTO, Path(path).read_bytes())
+
+
+def _tensor_to_array(tensor: Message) -> np.ndarray:
+    dims = tuple(int(d) for d in tensor.dims)
+    dtype_num = int(tensor.data_type)
+    name = S.TENSOR_DATA_TYPE.name_of(dtype_num)
+    if tensor.has_field("raw_data"):
+        if name == "FLOAT":
+            flat = np.frombuffer(tensor.raw_data, dtype="<f4")
+        elif name == "INT64":
+            flat = np.frombuffer(tensor.raw_data, dtype="<i8")
+        elif name == "DOUBLE":
+            flat = np.frombuffer(tensor.raw_data, dtype="<f8")
+        else:
+            raise SchemaError(
+                f"initializer {tensor.name!r}: unsupported raw dtype"
+                f" {name}")
+    elif tensor.float_data:
+        flat = np.asarray(tensor.float_data, dtype=np.float32)
+    elif tensor.int64_data:
+        flat = np.asarray(tensor.int64_data, dtype=np.int64)
+    elif tensor.double_data:
+        flat = np.asarray(tensor.double_data, dtype=np.float64)
+    else:
+        flat = np.zeros(0, dtype=np.float32)
+    expected = int(np.prod(dims)) if dims else flat.size
+    if flat.size != expected:
+        raise SchemaError(
+            f"initializer {tensor.name!r}: {flat.size} values for dims"
+            f" {dims}")
+    return flat.reshape(dims)
+
+
+def _attrs(node: Message) -> dict[str, Message]:
+    return {a.name: a for a in node.attribute}
+
+
+def _ints(attrs: dict[str, Message], name: str,
+          default: list[int] | None = None) -> list[int]:
+    if name in attrs:
+        return [int(v) for v in attrs[name].ints]
+    if default is None:
+        raise SchemaError(f"missing required attribute {name!r}")
+    return default
+
+
+def _int(attrs: dict[str, Message], name: str, default: int) -> int:
+    if name in attrs:
+        return int(attrs[name].i)
+    return default
+
+
+def _pads_to_pair(pads: list[int], who: str) -> tuple[int, int]:
+    if not pads:
+        return (0, 0)
+    if len(pads) == 2:
+        return (pads[0], pads[1])
+    if len(pads) == 4:
+        if pads[0] != pads[2] or pads[1] != pads[3]:
+            raise UnsupportedLayerError("asymmetric padding", who)
+        return (pads[0], pads[1])
+    raise SchemaError(f"{who}: bad pads {pads}")
+
+
+def _input_shape(graph: Message,
+                 initializer_names: set[str]) -> tuple[str, TensorShape]:
+    graph_inputs = [vi for vi in graph.input
+                    if vi.name not in initializer_names]
+    if len(graph_inputs) != 1:
+        raise UnsupportedLayerError(
+            "multi-input graph",
+            ", ".join(vi.name for vi in graph_inputs))
+    info = graph_inputs[0]
+    if info.type is None or info.type.tensor_type is None or \
+            info.type.tensor_type.shape is None:
+        raise SchemaError(f"graph input {info.name!r} has no shape")
+    dims = [int(d.dim_value) if d.has_field("dim_value") else 1
+            for d in info.type.tensor_type.shape.dim]
+    if len(dims) == 4:
+        shape = TensorShape(dims[1], dims[2], dims[3])
+    elif len(dims) == 2:
+        shape = TensorShape(dims[1], 1, 1)
+    elif len(dims) == 3:
+        shape = TensorShape(*dims)
+    else:
+        raise SchemaError(f"unsupported input rank {dims}")
+    return info.name, shape
+
+
+def convert_onnx_model(model: Message) -> ConvertedOnnxModel:
+    """Convert a ModelProto into the IR + weights."""
+    if model.descriptor is not S.MODEL_PROTO:
+        raise SchemaError(
+            f"expected ModelProto, got {model.descriptor.name}")
+    graph = model.graph
+    if graph is None:
+        raise SchemaError("model carries no graph")
+    initializers = {t.name: _tensor_to_array(t)
+                    for t in graph.initializer}
+    blob_name, input_shape = _input_shape(graph, set(initializers))
+
+    layers: list[Layer] = [InputLayer("data", shape=input_shape)]
+    weights = WeightStore()
+    current = blob_name
+    current_shape = input_shape
+    taken = {"data"}
+
+    for node in graph.node:
+        op = node.op_type
+        name = node.name or (node.output[0] if node.output else op)
+        data_inputs = [i for i in node.input if i not in initializers]
+        if op in _SKIP_OPS:
+            if data_inputs and data_inputs[0] == current and node.output:
+                current = node.output[0]
+            continue
+        if not data_inputs or data_inputs[0] != current:
+            raise ValidationError(
+                f"node {name!r} reads {data_inputs[:1]} but the chain"
+                f" output is {current!r}; only linear chains are"
+                " supported")
+        if name in taken:
+            raise ValidationError(f"duplicate node name {name!r}")
+        attrs = _attrs(node)
+
+        if op == "Conv":
+            if _int(attrs, "group", 1) != 1:
+                raise UnsupportedLayerError("grouped Conv", name)
+            dil = _ints(attrs, "dilations", [1, 1])
+            if any(d != 1 for d in dil):
+                raise UnsupportedLayerError("dilated Conv", name)
+            w = initializers[node.input[1]]
+            kernel = _ints(attrs, "kernel_shape", list(w.shape[2:]))
+            stride = _ints(attrs, "strides", [1, 1])
+            pad = _pads_to_pair(_ints(attrs, "pads", [0, 0, 0, 0]), name)
+            bias = len(node.input) > 2
+            layer: Layer = ConvLayer(
+                name, num_output=int(w.shape[0]),
+                kernel=tuple(kernel), stride=tuple(stride), pad=pad,
+                bias=bias)
+            weights.set(name, "weights", w)
+            if bias:
+                weights.set(name, "bias", initializers[node.input[2]])
+        elif op in ("MaxPool", "AveragePool"):
+            kernel = _ints(attrs, "kernel_shape")
+            stride = _ints(attrs, "strides", kernel)
+            pad = _pads_to_pair(_ints(attrs, "pads", [0, 0, 0, 0]), name)
+            layer = PoolLayer(
+                name,
+                op=PoolOp.MAX if op == "MaxPool" else PoolOp.AVG,
+                kernel=tuple(kernel), stride=tuple(stride), pad=pad,
+                ceil_mode=bool(_int(attrs, "ceil_mode", 0)))
+        elif op == "GlobalAveragePool":
+            layer = PoolLayer(
+                name, op=PoolOp.AVG,
+                kernel=(current_shape.height, current_shape.width),
+                stride=(1, 1))
+        elif op in _ACT_OPS:
+            if _try_fuse_activation(layers, _FakeCaffeLayer(name),
+                                    _ACT_OPS[op]):
+                current = node.output[0]
+                continue
+            layer = ActivationLayer(name, kind=_ACT_OPS[op])
+        elif op in ("Flatten", "Reshape"):
+            layer = FlattenLayer(name)
+        elif op == "Gemm":
+            if _int(attrs, "transA", 0) != 0:
+                raise UnsupportedLayerError("Gemm with transA", name)
+            w = initializers[node.input[1]]
+            if _int(attrs, "transB", 0) == 0:
+                w = w.T.copy()
+            layer = FullyConnectedLayer(name, num_output=int(w.shape[0]),
+                                        bias=len(node.input) > 2)
+            weights.set(name, "weights", w)
+            if len(node.input) > 2:
+                weights.set(name, "bias",
+                            initializers[node.input[2]].reshape(-1))
+        elif op in ("Softmax", "LogSoftmax"):
+            layer = SoftmaxLayer(name, log=(op == "LogSoftmax"))
+        else:
+            raise UnsupportedLayerError(op, name)
+
+        taken.add(name)
+        layers.append(layer)
+        current_shape = layer.output_shape(current_shape)
+        current = node.output[0]
+
+    network = Network(graph.name or "onnx_net", layers)
+    # FC weight shapes may need reshaping once the true input is known
+    _fixup_fc_weights(network, weights)
+    return ConvertedOnnxModel(network=network, weights=weights,
+                              onnx_name=graph.name or network.name)
+
+
+def _fixup_fc_weights(network: Network, weights: WeightStore) -> None:
+    for layer in network.layers:
+        if not isinstance(layer, FullyConnectedLayer):
+            continue
+        if layer.name not in weights:
+            continue
+        expected = layer.weight_shapes(
+            network.input_shape(layer))["weights"]
+        array = weights.get(layer.name, "weights")
+        if tuple(array.shape) != tuple(expected):
+            if array.size != expected[0] * expected[1]:
+                raise SchemaError(
+                    f"Gemm {layer.name!r}: weight size {array.size} does"
+                    f" not match {expected}")
+            weights.set(layer.name, "weights", array.reshape(expected))
+
+
+@dataclass
+class _FakeCaffeLayer:
+    """Adapter so the Caffe fusion helper's logging works for ONNX."""
+
+    name: str

@@ -1,0 +1,182 @@
+"""Export a Condor IR network (+ weights) as an ONNX model.
+
+Emits the standard inference-graph form: ``Conv`` (+ separate activation
+node), ``MaxPool``/``AveragePool``, ``Flatten`` + ``Gemm``, ``Softmax`` /
+``LogSoftmax``.  Weights travel as float initializers in ``raw_data``
+(little-endian fp32, as onnx writes them).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import UnsupportedLayerError
+from repro.frontend.caffe.schema import Message, encode_message
+from repro.frontend.onnx import schema as S
+from repro.frontend.weights import WeightStore
+from repro.ir.layers import (
+    Activation,
+    ActivationLayer,
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    PoolLayer,
+    PoolOp,
+    SoftmaxLayer,
+)
+from repro.ir.network import Network
+
+_ACT_OPS = {Activation.RELU: "Relu", Activation.SIGMOID: "Sigmoid",
+            Activation.TANH: "Tanh"}
+
+
+def _attr_ints(name: str, values: list[int]) -> Message:
+    attr = Message(S.ATTRIBUTE_PROTO)
+    attr.name = name
+    attr.ints = [int(v) for v in values]
+    attr.type = S.ATTRIBUTE_TYPE.number_of("INTS")
+    return attr
+
+
+def _attr_int(name: str, value: int) -> Message:
+    attr = Message(S.ATTRIBUTE_PROTO)
+    attr.name = name
+    attr.i = int(value)
+    attr.type = S.ATTRIBUTE_TYPE.number_of("INT")
+    return attr
+
+
+def _tensor(name: str, array: np.ndarray) -> Message:
+    tensor = Message(S.TENSOR_PROTO)
+    tensor.name = name
+    tensor.dims = [int(d) for d in array.shape]
+    tensor.data_type = S.TENSOR_DATA_TYPE.number_of("FLOAT")
+    tensor.raw_data = np.ascontiguousarray(
+        array, dtype="<f4").tobytes()
+    return tensor
+
+
+def _value_info(name: str, dims: list[int]) -> Message:
+    info = Message(S.VALUE_INFO)
+    info.name = name
+    tensor_type = Message(S.TYPE_TENSOR)
+    tensor_type.elem_type = S.TENSOR_DATA_TYPE.number_of("FLOAT")
+    shape = Message(S.TENSOR_SHAPE)
+    for d in dims:
+        dim = shape.add("dim")
+        dim.dim_value = int(d)
+    tensor_type.shape = shape
+    type_proto = Message(S.TYPE_PROTO)
+    type_proto.tensor_type = tensor_type
+    info.type = type_proto
+    return info
+
+
+def export_onnx(net: Network, weights: WeightStore | None = None) -> Message:
+    """Build a ModelProto for ``net`` (weights optional but recommended —
+    downstream importers expect initializers)."""
+    model = S.new_model()
+    graph = Message(S.GRAPH_PROTO)
+    graph.name = net.name
+
+    in_shape = net.input_shape()
+    graph.input = [_value_info("data", [1, *in_shape.as_tuple()])]
+    current = "data"
+    nodes: list[Message] = []
+    initializers: list[Message] = []
+
+    def add_node(op: str, name: str, inputs: list[str],
+                 attrs: list[Message] = ()) -> str:
+        node = Message(S.NODE_PROTO)
+        node.op_type = op
+        node.name = name
+        node.input = list(inputs)
+        node.output = [name + "_out"]
+        if attrs:
+            node.attribute = list(attrs)
+        nodes.append(node)
+        return node.output[0]
+
+    for layer in net.layers[1:]:
+        if isinstance(layer, InputLayer):
+            continue
+        if isinstance(layer, ConvLayer):
+            inputs = [current, f"{layer.name}.weight"]
+            w = weights.get(layer.name, "weights") if weights else \
+                np.zeros(layer.weight_shapes(
+                    net.input_shape(layer))["weights"], dtype=np.float32)
+            initializers.append(_tensor(f"{layer.name}.weight", w))
+            if layer.bias:
+                b = weights.get(layer.name, "bias") if weights else \
+                    np.zeros((layer.num_output,), dtype=np.float32)
+                initializers.append(_tensor(f"{layer.name}.bias", b))
+                inputs.append(f"{layer.name}.bias")
+            current = add_node("Conv", layer.name, inputs, [
+                _attr_ints("kernel_shape", list(layer.kernel)),
+                _attr_ints("strides", list(layer.stride)),
+                _attr_ints("pads", [layer.pad[0], layer.pad[1],
+                                    layer.pad[0], layer.pad[1]]),
+            ])
+            if layer.activation is not Activation.NONE:
+                current = add_node(_ACT_OPS[layer.activation],
+                                   f"{layer.name}_act", [current])
+        elif isinstance(layer, PoolLayer):
+            op = "MaxPool" if layer.op is PoolOp.MAX else "AveragePool"
+            assert layer.stride is not None
+            current = add_node(op, layer.name, [current], [
+                _attr_ints("kernel_shape", list(layer.kernel)),
+                _attr_ints("strides", list(layer.stride)),
+                _attr_ints("pads", [layer.pad[0], layer.pad[1],
+                                    layer.pad[0], layer.pad[1]]),
+                _attr_int("ceil_mode", 1 if layer.ceil_mode else 0),
+            ])
+        elif isinstance(layer, ActivationLayer):
+            current = add_node(_ACT_OPS[layer.kind], layer.name,
+                               [current])
+        elif isinstance(layer, FlattenLayer):
+            current = add_node("Flatten", layer.name, [current],
+                               [_attr_int("axis", 1)])
+        elif isinstance(layer, FullyConnectedLayer):
+            in_size = net.input_shape(layer).size
+            if not net.input_shape(layer).is_vector():
+                current = add_node("Flatten", f"{layer.name}_flatten",
+                                   [current], [_attr_int("axis", 1)])
+            inputs = [current, f"{layer.name}.weight"]
+            w = weights.get(layer.name, "weights") if weights else \
+                np.zeros((layer.num_output, in_size), dtype=np.float32)
+            initializers.append(_tensor(f"{layer.name}.weight", w))
+            if layer.bias:
+                b = weights.get(layer.name, "bias") if weights else \
+                    np.zeros((layer.num_output,), dtype=np.float32)
+                initializers.append(_tensor(f"{layer.name}.bias", b))
+                inputs.append(f"{layer.name}.bias")
+            current = add_node("Gemm", layer.name, inputs, [
+                _attr_int("transB", 1),
+            ])
+            if layer.activation is not Activation.NONE:
+                current = add_node(_ACT_OPS[layer.activation],
+                                   f"{layer.name}_act", [current])
+        elif isinstance(layer, SoftmaxLayer):
+            op = "LogSoftmax" if layer.log else "Softmax"
+            current = add_node(op, layer.name, [current],
+                               [_attr_int("axis", 1)])
+        else:
+            raise UnsupportedLayerError(type(layer).__name__, layer.name)
+
+    graph.node = nodes
+    graph.initializer = initializers
+    out_shape = net.output_shape()
+    graph.output = [_value_info(current, [1, out_shape.size])]
+    model.graph = graph
+    return model
+
+
+def save_onnx(net: Network, path: str | Path,
+              weights: WeightStore | None = None) -> Path:
+    """Write ``net`` as a binary ``.onnx`` file."""
+    path = Path(path)
+    path.write_bytes(encode_message(export_onnx(net, weights)))
+    return path

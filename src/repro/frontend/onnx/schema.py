@@ -1,0 +1,126 @@
+"""The ``onnx.proto`` schema subset, transcribed by hand.
+
+Field names and numbers follow the upstream ONNX protobuf definition for
+the messages an inference-graph frontend needs.  Like the Caffe subset,
+unknown fields survive decode/encode untouched.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.caffe.schema import (
+    EnumDescriptor,
+    FieldDescriptor as F,
+    FieldType as T,
+    Label,
+    Message,
+    MessageDescriptor,
+)
+
+R = Label.REPEATED
+
+#: TensorProto.DataType (subset).
+TENSOR_DATA_TYPE = EnumDescriptor("TensorDataType", {
+    "UNDEFINED": 0, "FLOAT": 1, "UINT8": 2, "INT8": 3, "INT32": 6,
+    "INT64": 7, "BOOL": 9, "DOUBLE": 11,
+})
+
+#: AttributeProto.AttributeType (subset).
+ATTRIBUTE_TYPE = EnumDescriptor("AttributeType", {
+    "UNDEFINED": 0, "FLOAT": 1, "INT": 2, "STRING": 3, "TENSOR": 4,
+    "FLOATS": 6, "INTS": 7, "STRINGS": 8,
+})
+
+TENSOR_SHAPE_DIM = MessageDescriptor("TensorShapeProto.Dimension", [
+    F("dim_value", 1, T.INT64),
+    F("dim_param", 2, T.STRING),
+])
+
+TENSOR_SHAPE = MessageDescriptor("TensorShapeProto", [
+    F("dim", 1, T.MESSAGE, R, message_type=TENSOR_SHAPE_DIM),
+])
+
+TENSOR_PROTO = MessageDescriptor("TensorProto", [
+    F("dims", 1, T.INT64, R),
+    F("data_type", 2, T.ENUM, enum_type=TENSOR_DATA_TYPE, default=0),
+    F("float_data", 4, T.FLOAT, R, packed=True),
+    F("int32_data", 5, T.INT32, R, packed=True),
+    F("string_data", 6, T.BYTES, R),
+    F("int64_data", 7, T.INT64, R, packed=True),
+    F("name", 8, T.STRING),
+    F("raw_data", 9, T.BYTES),
+    F("double_data", 10, T.DOUBLE, R, packed=True),
+])
+
+TYPE_TENSOR = MessageDescriptor("TypeProto.Tensor", [
+    F("elem_type", 1, T.ENUM, enum_type=TENSOR_DATA_TYPE, default=0),
+    F("shape", 2, T.MESSAGE, message_type=TENSOR_SHAPE),
+])
+
+TYPE_PROTO = MessageDescriptor("TypeProto", [
+    F("tensor_type", 1, T.MESSAGE, message_type=TYPE_TENSOR),
+])
+
+VALUE_INFO = MessageDescriptor("ValueInfoProto", [
+    F("name", 1, T.STRING),
+    F("type", 2, T.MESSAGE, message_type=TYPE_PROTO),
+    F("doc_string", 3, T.STRING),
+])
+
+ATTRIBUTE_PROTO = MessageDescriptor("AttributeProto", [
+    F("name", 1, T.STRING),
+    F("f", 2, T.FLOAT),
+    F("i", 3, T.INT64),
+    F("s", 4, T.BYTES),
+    F("t", 5, T.MESSAGE, message_type=TENSOR_PROTO),
+    F("floats", 6, T.FLOAT, R, packed=True),
+    F("ints", 7, T.INT64, R, packed=True),
+    F("strings", 8, T.BYTES, R),
+    F("type", 20, T.ENUM, enum_type=ATTRIBUTE_TYPE, default=0),
+])
+
+NODE_PROTO = MessageDescriptor("NodeProto", [
+    F("input", 1, T.STRING, R),
+    F("output", 2, T.STRING, R),
+    F("name", 3, T.STRING),
+    F("op_type", 4, T.STRING),
+    F("attribute", 5, T.MESSAGE, R, message_type=ATTRIBUTE_PROTO),
+    F("doc_string", 6, T.STRING),
+    F("domain", 7, T.STRING),
+])
+
+GRAPH_PROTO = MessageDescriptor("GraphProto", [
+    F("node", 1, T.MESSAGE, R, message_type=NODE_PROTO),
+    F("name", 2, T.STRING),
+    F("initializer", 5, T.MESSAGE, R, message_type=TENSOR_PROTO),
+    F("doc_string", 10, T.STRING),
+    F("input", 11, T.MESSAGE, R, message_type=VALUE_INFO),
+    F("output", 12, T.MESSAGE, R, message_type=VALUE_INFO),
+    F("value_info", 13, T.MESSAGE, R, message_type=VALUE_INFO),
+])
+
+OPERATOR_SET_ID = MessageDescriptor("OperatorSetIdProto", [
+    F("domain", 1, T.STRING),
+    F("version", 2, T.INT64),
+])
+
+MODEL_PROTO = MessageDescriptor("ModelProto", [
+    F("ir_version", 1, T.INT64),
+    F("producer_name", 2, T.STRING),
+    F("producer_version", 3, T.STRING),
+    F("domain", 4, T.STRING),
+    F("model_version", 5, T.INT64),
+    F("doc_string", 6, T.STRING),
+    F("graph", 7, T.MESSAGE, message_type=GRAPH_PROTO),
+    F("opset_import", 8, T.MESSAGE, R, message_type=OPERATOR_SET_ID),
+])
+
+
+def new_model() -> Message:
+    """An empty ModelProto with the header fields Condor emits."""
+    model = Message(MODEL_PROTO)
+    model.ir_version = 7
+    model.producer_name = "condor"
+    opset = model.add("opset_import")
+    opset.domain = ""
+    opset.version = 13
+    return model

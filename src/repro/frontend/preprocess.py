@@ -1,0 +1,83 @@
+"""Input preprocessing (Caffe ``transform_param``).
+
+Deploy-time Caffe models often carry per-input transformations — a
+multiplicative ``scale`` (e.g. 0.00390625 = 1/256 for MNIST-trained
+LeNet), per-channel ``mean_value`` subtraction, and center ``crop_size``.
+These run on the host before the image enters the accelerator; the
+converter extracts them into a :class:`Preprocessor` so host code applies
+exactly what the model was trained with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Preprocessor:
+    """A host-side input transformation: crop → mean-subtract → scale."""
+
+    scale: float = 1.0
+    mean_values: tuple[float, ...] = ()
+    crop_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.crop_size < 0:
+            raise SchemaError("crop_size must be non-negative")
+
+    @property
+    def is_identity(self) -> bool:
+        return (self.scale == 1.0 and not self.mean_values
+                and self.crop_size == 0)
+
+    def apply(self, image: np.ndarray) -> np.ndarray:
+        """Transform one (C, H, W) image."""
+        image = np.asarray(image, dtype=np.float32)
+        if image.ndim != 3:
+            raise SchemaError(
+                f"preprocessor expects (C, H, W), got {image.shape}")
+        if self.crop_size:
+            c, h, w = image.shape
+            if self.crop_size > h or self.crop_size > w:
+                raise SchemaError(
+                    f"crop_size {self.crop_size} larger than image"
+                    f" {h}x{w}")
+            y0 = (h - self.crop_size) // 2
+            x0 = (w - self.crop_size) // 2
+            image = image[:, y0:y0 + self.crop_size,
+                          x0:x0 + self.crop_size]
+        if self.mean_values:
+            means = np.asarray(self.mean_values, dtype=np.float32)
+            if len(means) == 1:
+                image = image - means[0]
+            elif len(means) == image.shape[0]:
+                image = image - means[:, None, None]
+            else:
+                raise SchemaError(
+                    f"{len(means)} mean values for {image.shape[0]}"
+                    " channels")
+        if self.scale != 1.0:
+            image = image * np.float32(self.scale)
+        return image
+
+    def apply_batch(self, batch: np.ndarray) -> np.ndarray:
+        return np.stack([self.apply(image) for image in batch])
+
+    @classmethod
+    def from_transform_param(cls, param) -> "Preprocessor":
+        """Build from a Caffe ``TransformationParameter`` message."""
+        if param is None:
+            return cls()
+        if param.has_field("mean_file"):
+            raise SchemaError(
+                "mean_file preprocessing is not supported; use"
+                " mean_value")
+        return cls(
+            scale=float(param.scale),
+            mean_values=tuple(float(v) for v in param.mean_value),
+            crop_size=int(param.crop_size),
+        )

@@ -1,0 +1,40 @@
+"""Bundled models and synthetic datasets used by the paper's evaluation.
+
+* :mod:`repro.frontend.zoo.tc1` — the USPS CNN of [25] ("TC1");
+* :mod:`repro.frontend.zoo.lenet` — LeNet, including the genuine Caffe
+  ``examples/mnist/lenet.prototxt`` text used by the paper;
+* :mod:`repro.frontend.zoo.vgg16` — VGG-16 (Table 2 workload);
+* :mod:`repro.frontend.zoo.usps` — deterministic synthetic digit images
+  (see DESIGN.md substitutions — the real USPS/MNIST sets are not needed
+  for any performance or resource result).
+"""
+
+from repro.frontend.zoo.tc1 import tc1_model, tc1_network
+from repro.frontend.zoo.lenet import (
+    LENET_PROTOTXT,
+    lenet_caffe_files,
+    lenet_model,
+    lenet_network,
+)
+from repro.frontend.zoo.vgg16 import vgg16_model, vgg16_network
+from repro.frontend.zoo.cifar10 import (
+    CIFAR10_PROTOTXT,
+    cifar10_model,
+    cifar10_network,
+)
+from repro.frontend.zoo.usps import synthetic_digits
+
+__all__ = [
+    "CIFAR10_PROTOTXT",
+    "cifar10_model",
+    "cifar10_network",
+    "tc1_model",
+    "tc1_network",
+    "LENET_PROTOTXT",
+    "lenet_caffe_files",
+    "lenet_model",
+    "lenet_network",
+    "vgg16_model",
+    "vgg16_network",
+    "synthetic_digits",
+]

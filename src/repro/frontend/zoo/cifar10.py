@@ -1,0 +1,179 @@
+"""CIFAR-10 "quick" CNN — the third classic Caffe example network.
+
+Follows ``examples/cifar10/cifar10_quick.prototxt`` from the BVLC
+repository: three 5×5 convolutions with pad 2 (32/32/64 maps) interleaved
+with 3×3 stride-2 pooling (max, then average twice), two inner products.
+Unlike LeNet, it exercises padded convolutions, overlapping pooling
+windows (kernel 3, stride 2, Caffe ceil-mode shapes) and average pooling
+through the whole stack — a good stress case for the converter and the
+accelerator generator.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.condor_format import CondorModel, DeploymentOption
+from repro.ir.layers import (
+    Activation,
+    ConvLayer,
+    FullyConnectedLayer,
+    PoolLayer,
+    PoolOp,
+    SoftmaxLayer,
+)
+from repro.ir.network import Network, chain
+
+#: Deploy-style prototxt for the quick model (upstream layer parameters).
+CIFAR10_PROTOTXT = '''\
+name: "CIFAR10_quick"
+input: "data"
+input_dim: 1
+input_dim: 3
+input_dim: 32
+input_dim: 32
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  convolution_param {
+    num_output: 32
+    pad: 2
+    kernel_size: 5
+    stride: 1
+  }
+}
+layer {
+  name: "pool1"
+  type: "Pooling"
+  bottom: "conv1"
+  top: "pool1"
+  pooling_param {
+    pool: MAX
+    kernel_size: 3
+    stride: 2
+  }
+}
+layer {
+  name: "relu1"
+  type: "ReLU"
+  bottom: "pool1"
+  top: "pool1"
+}
+layer {
+  name: "conv2"
+  type: "Convolution"
+  bottom: "pool1"
+  top: "conv2"
+  convolution_param {
+    num_output: 32
+    pad: 2
+    kernel_size: 5
+    stride: 1
+  }
+}
+layer {
+  name: "relu2"
+  type: "ReLU"
+  bottom: "conv2"
+  top: "conv2"
+}
+layer {
+  name: "pool2"
+  type: "Pooling"
+  bottom: "conv2"
+  top: "pool2"
+  pooling_param {
+    pool: AVE
+    kernel_size: 3
+    stride: 2
+  }
+}
+layer {
+  name: "conv3"
+  type: "Convolution"
+  bottom: "pool2"
+  top: "conv3"
+  convolution_param {
+    num_output: 64
+    pad: 2
+    kernel_size: 5
+    stride: 1
+  }
+}
+layer {
+  name: "relu3"
+  type: "ReLU"
+  bottom: "conv3"
+  top: "conv3"
+}
+layer {
+  name: "pool3"
+  type: "Pooling"
+  bottom: "conv3"
+  top: "pool3"
+  pooling_param {
+    pool: AVE
+    kernel_size: 3
+    stride: 2
+  }
+}
+layer {
+  name: "ip1"
+  type: "InnerProduct"
+  bottom: "pool3"
+  top: "ip1"
+  inner_product_param {
+    num_output: 64
+  }
+}
+layer {
+  name: "ip2"
+  type: "InnerProduct"
+  bottom: "ip1"
+  top: "ip2"
+  inner_product_param {
+    num_output: 10
+  }
+}
+layer {
+  name: "prob"
+  type: "Softmax"
+  bottom: "ip2"
+  top: "prob"
+}
+'''
+
+
+def cifar10_network() -> Network:
+    """The quick model as hand-built IR (relu1 stays standalone: in Caffe
+    it follows pool1, which cannot fuse an activation)."""
+    from repro.ir.layers import ActivationLayer
+
+    return chain("CIFAR10_quick", (3, 32, 32), [
+        ConvLayer("conv1", num_output=32, kernel=5, pad=2),
+        PoolLayer("pool1", op=PoolOp.MAX, kernel=3, stride=2),
+        ActivationLayer("relu1", kind=Activation.RELU),
+        ConvLayer("conv2", num_output=32, kernel=5, pad=2,
+                  activation=Activation.RELU),
+        PoolLayer("pool2", op=PoolOp.AVG, kernel=3, stride=2),
+        ConvLayer("conv3", num_output=64, kernel=5, pad=2,
+                  activation=Activation.RELU),
+        PoolLayer("pool3", op=PoolOp.AVG, kernel=3, stride=2),
+        FullyConnectedLayer("ip1", num_output=64),
+        FullyConnectedLayer("ip2", num_output=10),
+        SoftmaxLayer("prob", log=False),
+    ])
+
+
+def cifar10_model(
+    deployment: DeploymentOption = DeploymentOption.ON_PREMISE,
+    *,
+    frequency_hz: float = 150e6,
+) -> CondorModel:
+    """CIFAR-10 quick with a mid-range clock on the F1 board."""
+    return CondorModel(
+        network=cifar10_network(),
+        board="aws-f1-xcvu9p",
+        frequency_hz=frequency_hz,
+        deployment=deployment,
+    )

@@ -1,0 +1,227 @@
+"""LeNet — the paper's second test case, "generated starting from a Caffe
+model" (footnote 3 points at ``examples/mnist/lenet.prototxt`` in the BVLC
+Caffe repository).
+
+:data:`LENET_PROTOTXT` reproduces that upstream file verbatim so the Caffe
+integration is exercised on genuine input; :func:`lenet_caffe_files` writes a
+prototxt + a binary caffemodel (with deterministic pseudo-trained weights)
+to disk for end-to-end frontend runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.frontend.caffe import caffe_pb
+from repro.frontend.caffe.converter import convert_net
+from repro.frontend.caffe.model import (
+    array_to_blob,
+    parse_prototxt,
+    save_caffemodel,
+)
+from repro.frontend.condor_format import CondorModel, DeploymentOption
+from repro.frontend.weights import WeightStore
+from repro.ir.layers import (
+    Activation,
+    ConvLayer,
+    FullyConnectedLayer,
+    PoolLayer,
+    SoftmaxLayer,
+)
+from repro.ir.network import Network, chain
+
+#: Operating frequency reported for LeNet in §4 of the paper.
+LENET_FREQUENCY_HZ = 180e6
+
+#: BVLC Caffe ``examples/mnist/lenet.prototxt`` (deploy variant), verbatim.
+LENET_PROTOTXT = '''\
+name: "LeNet"
+layer {
+  name: "data"
+  type: "Input"
+  top: "data"
+  input_param { shape: { dim: 64 dim: 1 dim: 28 dim: 28 } }
+}
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  param {
+    lr_mult: 1
+  }
+  param {
+    lr_mult: 2
+  }
+  convolution_param {
+    num_output: 20
+    kernel_size: 5
+    stride: 1
+    weight_filler {
+      type: "xavier"
+    }
+    bias_filler {
+      type: "constant"
+    }
+  }
+}
+layer {
+  name: "pool1"
+  type: "Pooling"
+  bottom: "conv1"
+  top: "pool1"
+  pooling_param {
+    pool: MAX
+    kernel_size: 2
+    stride: 2
+  }
+}
+layer {
+  name: "conv2"
+  type: "Convolution"
+  bottom: "pool1"
+  top: "conv2"
+  param {
+    lr_mult: 1
+  }
+  param {
+    lr_mult: 2
+  }
+  convolution_param {
+    num_output: 50
+    kernel_size: 5
+    stride: 1
+    weight_filler {
+      type: "xavier"
+    }
+    bias_filler {
+      type: "constant"
+    }
+  }
+}
+layer {
+  name: "pool2"
+  type: "Pooling"
+  bottom: "conv2"
+  top: "pool2"
+  pooling_param {
+    pool: MAX
+    kernel_size: 2
+    stride: 2
+  }
+}
+layer {
+  name: "ip1"
+  type: "InnerProduct"
+  bottom: "pool2"
+  top: "ip1"
+  param {
+    lr_mult: 1
+  }
+  param {
+    lr_mult: 2
+  }
+  inner_product_param {
+    num_output: 500
+    weight_filler {
+      type: "xavier"
+    }
+    bias_filler {
+      type: "constant"
+    }
+  }
+}
+layer {
+  name: "relu1"
+  type: "ReLU"
+  bottom: "ip1"
+  top: "ip1"
+}
+layer {
+  name: "ip2"
+  type: "InnerProduct"
+  bottom: "ip1"
+  top: "ip2"
+  param {
+    lr_mult: 1
+  }
+  param {
+    lr_mult: 2
+  }
+  inner_product_param {
+    num_output: 10
+    weight_filler {
+      type: "xavier"
+    }
+    bias_filler {
+      type: "constant"
+    }
+  }
+}
+layer {
+  name: "prob"
+  type: "Softmax"
+  bottom: "ip2"
+  top: "prob"
+}
+'''
+
+
+def lenet_network() -> Network:
+    """LeNet IR, equivalent to converting :data:`LENET_PROTOTXT`."""
+    return chain("LeNet", (1, 28, 28), [
+        ConvLayer("conv1", num_output=20, kernel=5),
+        PoolLayer("pool1", kernel=2),
+        ConvLayer("conv2", num_output=50, kernel=5),
+        PoolLayer("pool2", kernel=2),
+        FullyConnectedLayer("ip1", num_output=500,
+                            activation=Activation.RELU),
+        FullyConnectedLayer("ip2", num_output=10),
+        SoftmaxLayer("prob", log=False),
+    ])
+
+
+def lenet_model(
+    deployment: DeploymentOption = DeploymentOption.AWS_F1,
+) -> CondorModel:
+    """LeNet with the Table 1 hardware intent (180 MHz, F1 board)."""
+    return CondorModel(
+        network=lenet_network(),
+        board="aws-f1-xcvu9p",
+        frequency_hz=LENET_FREQUENCY_HZ,
+        deployment=deployment,
+    )
+
+
+def lenet_caffe_files(directory: str | Path,
+                      seed: int = 0) -> tuple[Path, Path]:
+    """Write ``lenet.prototxt`` + ``lenet.caffemodel`` under ``directory``.
+
+    The caffemodel carries deterministic pseudo-trained weights in genuine
+    protobuf wire format; the pair drives the complete Caffe input path of
+    the framework.  Returns ``(prototxt_path, caffemodel_path)``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    prototxt_path = directory / "lenet.prototxt"
+    prototxt_path.write_text(LENET_PROTOTXT)
+
+    net_msg = parse_prototxt(LENET_PROTOTXT)
+    network = convert_net(net_msg)
+    weights = WeightStore.initialize(network, seed=seed)
+
+    model_msg = caffe_pb.new_net("LeNet")
+    for layer_msg in net_msg.layer:
+        out = model_msg.add("layer")
+        out.name = layer_msg.name
+        out.type = layer_msg.type
+        out.bottom = list(layer_msg.bottom)
+        out.top = list(layer_msg.top)
+        if layer_msg.name in weights:
+            blobs = weights.blobs(layer_msg.name)
+            out.blobs = [array_to_blob(blobs["weights"])]
+            if "bias" in blobs:
+                out.blobs = list(out.blobs) + [array_to_blob(blobs["bias"])]
+    caffemodel_path = directory / "lenet.caffemodel"
+    save_caffemodel(model_msg, caffemodel_path)
+    return prototxt_path, caffemodel_path

@@ -1,0 +1,58 @@
+"""TC1 — "the CNN used in [25] trained on the USPS dataset".
+
+[25] (Bacis et al., IPDPSW'17) evaluated a small LeNet-style network on
+16×16 USPS digit images.  The paper under reproduction does not restate the
+topology, so we fix it as documented in DESIGN.md::
+
+    input 1x16x16
+    conv1: 12 maps, 5x5       -> 12x12x12
+    pool1: max 2x2            -> 12x6x6
+    conv2: 12 maps, 5x5       -> 12x2x2
+    pool2: max 2x2            -> 12x1x1
+    fc:    10 outputs
+    prob:  logsoftmax
+
+Table 1 runs TC1 at 100 MHz with sequential feature-map processing and full
+intra-layer parallelism (one PE per layer).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.condor_format import CondorModel, DeploymentOption
+from repro.ir.layers import (
+    Activation,
+    ConvLayer,
+    FullyConnectedLayer,
+    PoolLayer,
+    SoftmaxLayer,
+)
+from repro.ir.network import Network, chain
+
+#: Operating frequency reported for TC1 in §4 of the paper.
+TC1_FREQUENCY_HZ = 100e6
+
+
+def tc1_network() -> Network:
+    """Build the TC1 IR network."""
+    return chain("tc1", (1, 16, 16), [
+        ConvLayer("conv1", num_output=12, kernel=5,
+                  activation=Activation.RELU),
+        PoolLayer("pool1", kernel=2),
+        ConvLayer("conv2", num_output=12, kernel=5,
+                  activation=Activation.RELU),
+        PoolLayer("pool2", kernel=2),
+        FullyConnectedLayer("fc", num_output=10),
+        SoftmaxLayer("prob", log=True),
+    ])
+
+
+def tc1_model(
+    deployment: DeploymentOption = DeploymentOption.AWS_F1,
+) -> CondorModel:
+    """TC1 with the Table 1 hardware intent (100 MHz, F1 board)."""
+    return CondorModel(
+        network=tc1_network(),
+        board="aws-f1-xcvu9p",
+        frequency_hz=TC1_FREQUENCY_HZ,
+        deployment=deployment,
+    )

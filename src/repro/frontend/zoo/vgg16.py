@@ -1,0 +1,69 @@
+"""VGG-16 (Simonyan & Zisserman) — the large workload of Table 2.
+
+The paper reports preliminary GFLOPS for the *features extraction part* of
+VGG-16 under the improved methodology, and notes that the fully-connected
+layers "would not be synthesizable with the current methodology" — our
+resource model reproduces that failure (see the Table 2 bench).
+
+The topology is configuration D: thirteen 3×3 convolutions with same-padding
+in five blocks separated by 2×2 max-pooling, then fc6/fc7 (4096) and fc8
+(1000).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.condor_format import CondorModel, DeploymentOption
+from repro.ir.layers import (
+    Activation,
+    ConvLayer,
+    FullyConnectedLayer,
+    PoolLayer,
+    SoftmaxLayer,
+)
+from repro.ir.network import Network, chain
+
+#: (block, filters, convs-per-block) for configuration D.
+_BLOCKS = [
+    (1, 64, 2),
+    (2, 128, 2),
+    (3, 256, 3),
+    (4, 512, 3),
+    (5, 512, 3),
+]
+
+
+def vgg16_network(*, include_classifier: bool = True) -> Network:
+    """Build VGG-16; ``include_classifier=False`` stops after pool5."""
+    layers = []
+    for block, filters, convs in _BLOCKS:
+        for i in range(1, convs + 1):
+            layers.append(ConvLayer(
+                f"conv{block}_{i}", num_output=filters, kernel=3, pad=1,
+                activation=Activation.RELU))
+        layers.append(PoolLayer(f"pool{block}", kernel=2))
+    if include_classifier:
+        layers.extend([
+            FullyConnectedLayer("fc6", num_output=4096,
+                                activation=Activation.RELU),
+            FullyConnectedLayer("fc7", num_output=4096,
+                                activation=Activation.RELU),
+            FullyConnectedLayer("fc8", num_output=1000),
+            SoftmaxLayer("prob", log=False),
+        ])
+    name = "vgg16" if include_classifier else "vgg16_features"
+    return chain(name, (3, 224, 224), layers)
+
+
+def vgg16_model(
+    deployment: DeploymentOption = DeploymentOption.AWS_F1,
+    *,
+    include_classifier: bool = True,
+    frequency_hz: float = 180e6,
+) -> CondorModel:
+    """VGG-16 with F1 hardware intent."""
+    return CondorModel(
+        network=vgg16_network(include_classifier=include_classifier),
+        board="aws-f1-xcvu9p",
+        frequency_hz=frequency_hz,
+        deployment=deployment,
+    )

@@ -1,0 +1,261 @@
+"""Build the spatial accelerator graph from a network and a mapping.
+
+This is the structural half of flow steps 3–5: every PE is created with its
+memory subsystem (filter chain per parallel input map), the inter-PE stream
+FIFOs are instantiated, and the datamover is wired for input, output and
+weight streams.  The result is consumed by the estimator, the performance
+model, the simulator, and the code generator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MappingError
+from repro.frontend.condor_format import CondorModel
+from repro.hw.components import (
+    Accelerator,
+    DataMover,
+    Fifo,
+    FilterNode,
+    MemorySubsystem,
+    PEKind,
+    ProcessingElement,
+    StreamEdge,
+)
+from repro.hw.mapping import (
+    MappingConfig,
+    _kind_of_cluster,
+    default_mapping,
+    validate_mapping,
+)
+from repro.hw.partitioning import partition_window_accesses
+from repro.hw.resources import device_for_board
+from repro.ir.layers import (
+    ConvLayer,
+    FullyConnectedLayer,
+    Layer,
+    PoolLayer,
+)
+from repro.ir.network import Network
+from repro.util.naming import sanitize_identifier
+
+#: Minimum depth of inter-PE / datamover decoupling FIFOs (words).
+_STREAM_FIFO_MIN_DEPTH = 32
+
+
+#: Cap on the decoupling FIFO depth: two maps of slack is cheap for the
+#: small feature maps of LeNet/TC1-class networks, but two 224×224 maps
+#: would burn hundreds of BRAMs per edge; past this cap the decoupling is
+#: partial (large layers stream near-synchronously, as the real design
+#: does once maps stop fitting on chip).
+_STREAM_FIFO_MAX_DEPTH = 4096
+
+
+def _stream_depth(consumer_spatial: int) -> int:
+    """Inter-PE FIFO sizing rule: two input feature maps of the consumer.
+
+    A PE that computes its output maps in sequential groups ingests in
+    bursts (it replays its on-chip buffer between bursts); two maps of
+    slack decouple the producer's emission phase from the consumer's
+    ingest phase, so the pipeline initiation interval is set by the
+    slowest PE rather than by phase alignment.  (Cross-validated against
+    the event simulator — see the A4 ablation.)
+    """
+    return max(_STREAM_FIFO_MIN_DEPTH,
+               min(2 * consumer_spatial, _STREAM_FIFO_MAX_DEPTH))
+
+
+def _max_window(layers: list[Layer]) -> tuple[int, int]:
+    kh = kw = 1
+    for layer in layers:
+        if isinstance(layer, (ConvLayer, PoolLayer)):
+            kh = max(kh, layer.kernel[0])
+            kw = max(kw, layer.kernel[1])
+    return (kh, kw)
+
+
+def _max_input_width(net: Network, layers: list[Layer]) -> int:
+    """Width used to size the filter-chain FIFOs: "the layer with the
+    greatest input feature maps size" (§3.2)."""
+    widths = [net.input_shape(l).width + 2 * getattr(l, "pad", (0, 0))[1]
+              for l in layers if isinstance(l, (ConvLayer, PoolLayer))]
+    return max(widths, default=1)
+
+
+def _weight_words(net: Network, layers: list[Layer]) -> int:
+    words = 0
+    for layer in layers:
+        for shape in layer.weight_shapes(net.input_shape(layer)).values():
+            size = 1
+            for d in shape:
+                size *= d
+            words += size
+    return words
+
+
+def _buffer_words(net: Network, layers: list[Layer],
+                  out_parallel: int) -> int:
+    """On-chip input-activation buffering.
+
+    A conv layer whose output maps are computed in ``g > 1`` sequential
+    groups must re-read its input feature maps ``g`` times, so the PE
+    buffers the whole input locally.  A fully-connected PE likewise sweeps
+    the input once per output neuron.
+    """
+    words = 0
+    for layer in layers:
+        in_shape = net.input_shape(layer)
+        if isinstance(layer, ConvLayer):
+            groups = -(-layer.num_output // out_parallel)
+            if groups > 1:
+                words = max(words, in_shape.size)
+        elif isinstance(layer, FullyConnectedLayer):
+            words = max(words, in_shape.size)
+    return words
+
+
+def build_accelerator(model: CondorModel,
+                      mapping: MappingConfig | None = None) -> Accelerator:
+    """Construct the accelerator for ``model``.
+
+    When ``mapping`` is omitted it is derived from the model's hardware
+    hints (falling back to the 1:1 default when there are none).
+    """
+    net = model.network
+    device = device_for_board(model.board)
+    if mapping is None:
+        from repro.hw.mapping import mapping_from_model
+        mapping = mapping_from_model(model) if model.hints \
+            else default_mapping(net)
+    validate_mapping(net, mapping)
+
+    acc = Accelerator(
+        name=sanitize_identifier(net.name),
+        network=net,
+        device_part=device.part.split("-")[0],
+        frequency_hz=model.frequency_hz,
+    )
+
+    for pe_map in mapping.pes:
+        layers = [net[name] for name in pe_map.layer_names]
+        kind = _kind_of_cluster(layers)
+        window = _max_window(layers) if kind in (PEKind.CONV, PEKind.POOL) \
+            else (1, 1)
+        memory: tuple[MemorySubsystem, ...] = ()
+        if kind in (PEKind.CONV, PEKind.POOL):
+            width = _max_input_width(net, layers)
+            spec = partition_window_accesses(window, width)
+            subsystems = []
+            for port in range(pe_map.in_parallel):
+                base = f"{sanitize_identifier(pe_map.name)}_mem{port}"
+                filters = tuple(
+                    FilterNode(name=f"{base}_f{i}", offset=offset,
+                               position=i)
+                    for i, offset in enumerate(spec.accesses))
+                fifos = tuple(
+                    Fifo(name=f"{base}_fifo{i}", depth=depth)
+                    for i, depth in enumerate(spec.fifo_depths))
+                subsystems.append(MemorySubsystem(
+                    name=base, filters=filters, fifos=fifos, spec=spec))
+            memory = tuple(subsystems)
+        acc.pes.append(ProcessingElement(
+            name=sanitize_identifier(pe_map.name),
+            kind=kind,
+            layer_names=pe_map.layer_names,
+            in_parallel=pe_map.in_parallel,
+            out_parallel=pe_map.out_parallel,
+            memory=memory,
+            window=window,
+            weight_words=_weight_words(net, layers),
+            buffer_words=_buffer_words(net, layers, pe_map.out_parallel),
+            precision=model.precision,
+        ))
+
+    _assign_storage_placement(acc, device)
+    _wire_streams(acc)
+    return acc
+
+
+def _assign_storage_placement(acc: Accelerator, device) -> None:
+    """Spill-to-DDR policy (§3.2).
+
+    All weights and re-read buffers start on chip; while the total exceeds
+    the allowed fraction of device BRAM, the single largest on-chip
+    consumer moves to DDR streaming.  For small networks (TC1, LeNet)
+    nothing spills — Table 1's BRAM column depends on that — while VGG-16
+    sheds its large conv weights and early activation buffers.
+    """
+    import dataclasses
+
+    from repro.hw.calibration import DEFAULT_CALIBRATION as _cal
+
+    budget_words = (device.capacity.bram_18k * _cal.bram18_words *
+                    _cal.onchip_storage_fraction)
+
+    def consumers() -> list[tuple[float, int, str]]:
+        out = []
+        for i, pe in enumerate(acc.pes):
+            if pe.weight_words and pe.weights_on_chip:
+                out.append((pe.weight_words * _cal.weight_pingpong, i,
+                            "weights"))
+            if pe.buffer_words and pe.buffer_on_chip:
+                out.append((float(pe.buffer_words), i, "buffer"))
+        return out
+
+    while True:
+        live = consumers()
+        total = sum(words for words, _, _ in live)
+        if total <= budget_words or not live:
+            return
+        _, index, kind = max(live)
+        pe = acc.pes[index]
+        if kind == "weights":
+            acc.pes[index] = dataclasses.replace(pe, weights_on_chip=False)
+        else:
+            acc.pes[index] = dataclasses.replace(pe, buffer_on_chip=False)
+
+
+def _wire_streams(acc: Accelerator) -> None:
+    """Create the stream edges: datamover → first PE, PE → PE, last PE →
+    datamover, plus one weight stream per weight-carrying PE."""
+    if not acc.pes:
+        raise MappingError("accelerator has no PEs")
+    net = acc.network
+    dm = acc.datamover.name
+
+    def consumer_unit(pe: ProcessingElement) -> int:
+        """The consumer's ingest unit: one *group* of feature maps
+        (``in_parallel`` maps move together) for features PEs, the whole
+        input vector for classifier PEs (which sweep all of it before
+        producing anything)."""
+        shape = net.input_shape(pe.layer_names[0])
+        if pe.kind in (PEKind.FC, PEKind.SOFTMAX):
+            return shape.size
+        return shape.spatial_size * pe.in_parallel
+
+    first = acc.pes[0]
+    acc.edges.append(StreamEdge(
+        source=dm, dest=first.name,
+        fifo=Fifo(name=f"{first.name}_in",
+                  depth=_stream_depth(consumer_unit(first)))))
+
+    for producer, consumer in zip(acc.pes, acc.pes[1:]):
+        acc.edges.append(StreamEdge(
+            source=producer.name, dest=consumer.name,
+            fifo=Fifo(name=f"{producer.name}_to_{consumer.name}",
+                      depth=_stream_depth(consumer_unit(consumer)))))
+
+    last = acc.pes[-1]
+    acc.edges.append(StreamEdge(
+        source=last.name, dest=dm,
+        fifo=Fifo(name=f"{last.name}_out", depth=_STREAM_FIFO_MIN_DEPTH)))
+
+    for pe in acc.pes:
+        if pe.weight_words:
+            acc.edges.append(StreamEdge(
+                source=dm, dest=pe.name,
+                fifo=Fifo(name=f"{pe.name}_weights",
+                          depth=_STREAM_FIFO_MIN_DEPTH)))
+
+    ports = sum(1 for e in acc.edges
+                if dm in (e.source, e.dest))
+    acc.datamover = DataMover(name=dm, stream_ports=ports)

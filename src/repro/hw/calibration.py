@@ -1,0 +1,133 @@
+"""Model constants for resource, timing and power estimation.
+
+These constants were fitted once against the paper's Table 1 (TC1 and LeNet
+on the F1 VU9P at the stated frequencies and the stated mapping: one PE per
+layer, sequential feature-map processing, full intra-layer parallelism) and
+then frozen; every benchmark regenerates its numbers through the models, the
+constants are never tuned per experiment.
+
+The structural story the constants encode (derived in DESIGN.md):
+
+* floating-point arithmetic on UltraScale+ costs 3 DSP per fp32 multiply and
+  2 per fp32 add (the Xilinx floating-point operator defaults Vivado HLS
+  uses);
+* "full intra-layer parallelism" means the kernel-window MAC loop of a conv
+  PE is fully unrolled — one output point per cycle — so a K×K window costs
+  K² multipliers plus a (K²−1)-adder reduction tree;
+* weights are held on-chip in BRAM and (re)loaded at runtime through the
+  datamover (paper §3.1.1: weights are external files loaded dynamically,
+  with no re-synthesis).  This is what makes LeNet's BRAM dominate Table 1:
+  ip1 alone is 400 k fp32 words.  A ping-pong factor covers the update path;
+* a features PE whose output maps are computed sequentially must re-read its
+  input feature maps C_out times, so it buffers them on-chip;
+* the SDAccel shell + datamover contribute a large constant LUT/FF term,
+  which is why TC1 and LeNet report nearly the same LUT% in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """All fitted constants in one (immutable) place."""
+
+    # -- arithmetic -----------------------------------------------------------
+    dsp_per_fmul: int = 3
+    dsp_per_fadd: int = 2
+    #: LUT/FF that accompany each floating-point operator instance.
+    lut_per_fop: float = 120.0
+    ff_per_fop: float = 260.0
+
+    # -- PEs --------------------------------------------------------------------
+    pe_base_lut: float = 1_400.0
+    pe_base_ff: float = 2_100.0
+    #: Extra control logic per fused logical layer beyond the first
+    #: (the outer layer-select loop and port conditionals of §3.2).
+    pe_fused_layer_lut: float = 450.0
+    pe_fused_layer_ff: float = 600.0
+    #: Per stream port (AXI4-Stream interface + handshake).
+    pe_port_lut: float = 320.0
+    pe_port_ff: float = 480.0
+    #: Pooling comparator / accumulator per parallel map (LUT-only).
+    pool_op_lut: float = 90.0
+    pool_op_ff: float = 140.0
+
+    # -- filters (memory subsystem) ---------------------------------------------
+    filter_lut: float = 180.0
+    filter_ff: float = 240.0
+
+    # -- FIFOs -------------------------------------------------------------------
+    #: Depth (in 32-bit words) up to which a FIFO maps to LUTRAM/SRL.
+    fifo_lutram_max_depth: int = 64
+    fifo_lutram_lut_per_word: float = 0.6
+    fifo_base_lut: float = 40.0
+    fifo_base_ff: float = 60.0
+    #: 18 Kb BRAM: 512 words of 36 bits; a 32-bit FIFO consumes
+    #: ceil(depth/512) blocks.
+    bram18_words: int = 512
+
+    # -- on-chip weight / activation storage ---------------------------------------
+    #: Ping-pong (double-buffer) factor for runtime-reloadable weights.
+    weight_pingpong: float = 1.4
+    #: Total fraction of device BRAM the generator may allocate to
+    #: on-chip weights + re-read buffers; when exceeded, the largest
+    #: consumers spill to DDR one by one (§3.2's spill rule: "we rely on
+    #: the on-board memory ... when they do not fit on the on-chip
+    #: storage").
+    onchip_storage_fraction: float = 0.70
+
+    # -- datamover ------------------------------------------------------------------
+    datamover_lut: float = 9_000.0
+    datamover_ff: float = 14_000.0
+    datamover_dsp: float = 6.0
+    datamover_bram: float = 16.0
+    datamover_port_lut: float = 350.0
+    datamover_port_ff: float = 520.0
+
+    # -- platform shell (SDAccel static region as seen by the kernel report) -------
+    shell_lut: float = 86_000.0
+    shell_ff: float = 160_000.0
+    shell_dsp: float = 12.0
+    shell_bram: float = 14.0
+
+    # -- timing ------------------------------------------------------------------
+    #: Pipeline fill depth of a conv PE (window reduction tree + accumulate).
+    conv_pipeline_depth: int = 12
+    pool_pipeline_depth: int = 4
+    fc_pipeline_depth: int = 10
+    #: Cycles per weight word when (re)loading weights from DDR.
+    weight_load_cycles_per_word: float = 1.0
+
+    # -- frequency-closure model (used by the xocc link stage) ----------------------
+    #: Fraction of device fmax reachable at low utilization.
+    fmax_headroom: float = 1.0
+    #: Achievable frequency degrades linearly with LUT utilization beyond
+    #: this knee.
+    timing_knee_utilization: float = 0.55
+    timing_slope: float = 0.9
+
+    # -- power ------------------------------------------------------------------------
+    #: Dynamic power coefficients, watts per (unit × Hz).
+    power_per_lut_hz: float = 4.0e-14
+    power_per_ff_hz: float = 1.5e-14
+    power_per_dsp_hz: float = 6.0e-12
+    #: BRAM dynamic power is dominated by access activity, not capacity;
+    #: most of LeNet's weight BRAM is idle in any given cycle, so the
+    #: per-block coefficient is small.
+    power_per_bram18_hz: float = 2.0e-12
+    #: Datamover / DDR interface activity power (W, frequency-independent).
+    ddr_active_power_w: float = 1.1
+
+    # -- DSE defaults -------------------------------------------------------------------
+    #: Fraction of device DSPs the explorer may allocate to MAC trees.
+    dse_dsp_budget_fraction: float = 0.60
+    #: Fraction of device BRAM the explorer may allocate.
+    dse_bram_budget_fraction: float = 0.75
+    #: Maximum stream ports per PE side (AXI interconnect practicality).
+    max_ports: int = 16
+
+
+#: The frozen calibration used everywhere unless a caller overrides it.
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,222 @@
+"""Structural description of the generated accelerator (paper §3.2, Fig. 4).
+
+The accelerator is "a composition of a set of building blocks with different
+functionalities": *PEs* implement the layer computation, *filters* feed the
+PEs and realize on-chip buffering via non-uniform memory partitioning,
+*FIFOs* implement every communication channel, and a custom *datamover*
+exchanges input/output/weights/partials with the on-board memory over
+streaming connections.
+
+These dataclasses are the shared vocabulary of the estimator, the
+performance model, the simulator and the code generator; they describe
+structure only — behaviour lives in those consumers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import HardwareError
+from repro.hw.partitioning import FilterChainSpec
+from repro.ir.network import Network
+from repro.ir.shapes import TensorShape
+
+
+class PEKind(enum.Enum):
+    """What computation a PE implements."""
+
+    CONV = "conv"
+    POOL = "pool"
+    FC = "fc"
+    ACTIVATION = "activation"
+    SOFTMAX = "softmax"
+
+
+@dataclass(frozen=True)
+class Fifo:
+    """A FIFO channel: ``depth`` 32-bit words.
+
+    FIFOs appear in two roles: inside a filter chain (where the depth equals
+    the spatial distance between the two accesses at its ends, §3.2) and as
+    inter-PE / datamover stream channels.
+    """
+
+    name: str
+    depth: int
+    width_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise HardwareError(f"fifo {self.name!r}: depth must be >= 1")
+        if self.width_bits < 1:
+            raise HardwareError(f"fifo {self.name!r}: width must be >= 1")
+
+    @property
+    def bits(self) -> int:
+        return self.depth * self.width_bits
+
+
+@dataclass(frozen=True)
+class FilterNode:
+    """One filter of a memory pipeline.
+
+    Represents a single access of the sliding window: it forwards the input
+    stream to the next filter and extracts the elements belonging to its
+    data domain (``offset`` within the window) for the PE.
+    """
+
+    name: str
+    #: (row, col) access offset inside the window.
+    offset: tuple[int, int]
+    #: Position in the (inverse-lexicographic) pipeline, 0 = first.
+    position: int
+
+
+@dataclass(frozen=True)
+class MemorySubsystem:
+    """The filter pipeline + interleaved FIFOs for one parallel input map."""
+
+    name: str
+    filters: tuple[FilterNode, ...]
+    fifos: tuple[Fifo, ...]
+    spec: FilterChainSpec
+
+    def __post_init__(self) -> None:
+        if len(self.fifos) != max(len(self.filters) - 1, 0):
+            raise HardwareError(
+                f"memory subsystem {self.name!r}: need exactly one FIFO"
+                " between consecutive filters")
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """A PE, possibly implementing several fused logical layers (§3.2).
+
+    ``in_parallel``/``out_parallel`` are the inter-layer parallelism degrees:
+    how many input feature maps are read, and output feature maps computed,
+    concurrently.  ``memory`` holds one subsystem per parallel input map
+    (empty for classifier PEs — the 1×1 window needs no filter chain,
+    §3.3 step 4).
+    """
+
+    name: str
+    kind: PEKind
+    #: Names of the logical layers fused into this PE, in network order.
+    layer_names: tuple[str, ...]
+    in_parallel: int = 1
+    out_parallel: int = 1
+    memory: tuple[MemorySubsystem, ...] = ()
+    #: Window fully unrolled (full intra-layer parallelism)?
+    unroll_window: bool = True
+    #: Max window size across fused layers (1,1 for classifier PEs).
+    window: tuple[int, int] = (1, 1)
+    #: Weight words of the fused layers (ping-pong excluded).
+    weight_words: int = 0
+    #: Input-activation buffer words (for sequential re-reads).
+    buffer_words: int = 0
+    #: Storage placement (paper §3.2: "we rely on the on-board memory to
+    #: transfer input, output, weights and store partial results when
+    #: they do not fit on the on-chip storage").  When False, the data
+    #: streams from DDR through the datamover and only a small staging
+    #: buffer stays on chip.
+    weights_on_chip: bool = True
+    buffer_on_chip: bool = True
+    #: Datapath precision of the PE arithmetic and local storage.
+    precision: str = "fp32"
+
+    def __post_init__(self) -> None:
+        if not self.layer_names:
+            raise HardwareError(f"PE {self.name!r} implements no layers")
+        if self.in_parallel < 1 or self.out_parallel < 1:
+            raise HardwareError(
+                f"PE {self.name!r}: parallelism degrees must be >= 1")
+        if self.kind in (PEKind.CONV, PEKind.POOL) and \
+                len(self.memory) != self.in_parallel:
+            raise HardwareError(
+                f"PE {self.name!r}: features PEs need one memory subsystem"
+                f" per parallel input map ({self.in_parallel}),"
+                f" got {len(self.memory)}")
+
+    @property
+    def mac_units(self) -> int:
+        """Concurrent multiply-accumulate window engines."""
+        if self.kind in (PEKind.POOL, PEKind.ACTIVATION, PEKind.SOFTMAX):
+            return 0
+        return self.in_parallel * self.out_parallel
+
+    @property
+    def window_size(self) -> int:
+        return self.window[0] * self.window[1]
+
+
+@dataclass(frozen=True)
+class DataMover:
+    """The custom datamover interfacing the accelerator with DDR."""
+
+    name: str = "datamover"
+    #: Streaming connections to the accelerator (weights, input, output,
+    #: partial results).
+    stream_ports: int = 2
+
+
+@dataclass(frozen=True)
+class StreamEdge:
+    """A directed stream connection between two components, over a FIFO."""
+
+    source: str
+    dest: str
+    fifo: Fifo
+
+
+@dataclass
+class Accelerator:
+    """The complete generated accelerator for one network."""
+
+    name: str
+    network: Network
+    device_part: str
+    frequency_hz: float
+    pes: list[ProcessingElement] = field(default_factory=list)
+    datamover: DataMover = field(default_factory=DataMover)
+    edges: list[StreamEdge] = field(default_factory=list)
+
+    def pe_for_layer(self, layer_name: str) -> ProcessingElement:
+        for pe in self.pes:
+            if layer_name in pe.layer_names:
+                return pe
+        raise KeyError(f"no PE implements layer {layer_name!r}")
+
+    def pe(self, name: str) -> ProcessingElement:
+        for pe in self.pes:
+            if pe.name == name:
+                return pe
+        raise KeyError(f"no PE named {name!r}")
+
+    def all_fifos(self) -> list[Fifo]:
+        """Every FIFO in the design (filter-chain + stream edges)."""
+        fifos = [edge.fifo for edge in self.edges]
+        for pe in self.pes:
+            for subsystem in pe.memory:
+                fifos.extend(subsystem.fifos)
+        return fifos
+
+    def input_shape_of(self, pe: ProcessingElement) -> TensorShape:
+        return self.network.input_shape(pe.layer_names[0])
+
+    def output_shape_of(self, pe: ProcessingElement) -> TensorShape:
+        return self.network.output_shape(pe.layer_names[-1])
+
+    def summary(self) -> str:
+        from repro.util.tables import TextTable
+
+        table = TextTable(
+            ["PE", "kind", "layers", "in||", "out||", "window", "filters"])
+        for pe in self.pes:
+            n_filters = sum(len(m.filters) for m in pe.memory)
+            table.add_row([
+                pe.name, pe.kind.value, ",".join(pe.layer_names),
+                pe.in_parallel, pe.out_parallel,
+                f"{pe.window[0]}x{pe.window[1]}", n_filters,
+            ])
+        return table.render()

@@ -1,0 +1,201 @@
+"""Resource estimation for accelerator components.
+
+Produces the LUT/FF/DSP/BRAM numbers the simulated Vivado HLS reports and
+the xocc link stage checks against the device; Table 1's utilization
+columns come from :func:`estimate_accelerator` through the full flow.
+All constants live in :mod:`repro.hw.calibration`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.hw.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.hw.components import (
+    Accelerator,
+    DataMover,
+    Fifo,
+    PEKind,
+    ProcessingElement,
+)
+from repro.hw.resources import ResourceVector
+
+
+def _bram_blocks(words: int, cal: Calibration) -> int:
+    """18 Kb blocks for ``words`` 32-bit words (512 words per block)."""
+    return math.ceil(words / cal.bram18_words) if words > 0 else 0
+
+
+def estimate_fifo(fifo: Fifo, cal: Calibration = DEFAULT_CALIBRATION) \
+        -> ResourceVector:
+    """A FIFO maps to LUTRAM/SRL up to the threshold depth, BRAM above."""
+    if fifo.depth <= cal.fifo_lutram_max_depth:
+        lut = cal.fifo_base_lut + cal.fifo_lutram_lut_per_word * fifo.depth
+        return ResourceVector(lut=lut, ff=cal.fifo_base_ff)
+    blocks = _bram_blocks(fifo.depth, cal) * math.ceil(fifo.width_bits / 36)
+    return ResourceVector(lut=cal.fifo_base_lut, ff=cal.fifo_base_ff,
+                          bram_18k=blocks)
+
+
+def _mac_tree(pe: ProcessingElement, cal: Calibration) -> ResourceVector:
+    """Arithmetic of one PE: ``mac_units`` window engines.
+
+    With the window unrolled (full intra-layer parallelism) each engine
+    has ``window_size`` multipliers, a ``window_size − 1`` adder reduction
+    tree, and an accumulate/bias adder.  fp32 operators cost 3 (mul) / 2
+    (add) DSP; fixed-point MACs use the packed-DSP costs of
+    :data:`repro.quant.scheme.PRECISIONS` and proportionally less fabric.
+    """
+    if pe.mac_units == 0:
+        return ResourceVector()
+    ws = pe.window_size if pe.unroll_window else 1
+    muls = ws
+    adds = (ws - 1) + 1  # reduction tree + accumulator/bias
+    if pe.precision == "fp32":
+        dsp = pe.mac_units * (muls * cal.dsp_per_fmul +
+                              adds * cal.dsp_per_fadd)
+        op_scale = 1.0
+    else:
+        from repro.quant.scheme import PRECISIONS
+
+        info = PRECISIONS[pe.precision]
+        dsp = math.ceil(pe.mac_units * ws * info["dsp_per_mac"])
+        op_scale = info["bits"] / 32.0
+    fops = pe.mac_units * (muls + adds)
+    return ResourceVector(lut=fops * cal.lut_per_fop * op_scale,
+                          ff=fops * cal.ff_per_fop * op_scale,
+                          dsp=dsp)
+
+
+def _storage_words(pe: ProcessingElement, words: int) -> int:
+    """On-chip storage scales with the datapath word width (two int16 or
+    four int8 values pack per 32-bit word)."""
+    from repro.quant.scheme import PRECISIONS
+
+    bits = PRECISIONS[pe.precision]["bits"]
+    return math.ceil(words * bits / 32.0)
+
+
+def estimate_pe_core(pe: ProcessingElement,
+                     cal: Calibration = DEFAULT_CALIBRATION) \
+        -> ResourceVector:
+    """Resources of the PE kernel alone (what Vivado HLS reports for the
+    PE source): control, ports, MAC trees and on-chip storage — without
+    the filter-chain memory subsystem, which is synthesized as separate
+    filter kernels and composed at the layer-IP level."""
+    total = ResourceVector(lut=cal.pe_base_lut, ff=cal.pe_base_ff)
+    extra_layers = len(pe.layer_names) - 1
+    total += ResourceVector(lut=extra_layers * cal.pe_fused_layer_lut,
+                            ff=extra_layers * cal.pe_fused_layer_ff)
+    ports = pe.in_parallel + pe.out_parallel
+    total += ResourceVector(lut=ports * cal.pe_port_lut,
+                            ff=ports * cal.pe_port_ff)
+    total += _mac_tree(pe, cal)
+    if pe.kind is PEKind.POOL:
+        ops = pe.out_parallel * pe.window_size
+        total += ResourceVector(lut=ops * cal.pool_op_lut,
+                                ff=ops * cal.pool_op_ff)
+    if pe.weight_words:
+        if pe.weights_on_chip:
+            words = math.ceil(pe.weight_words * cal.weight_pingpong)
+        else:
+            # streamed from DDR: double-buffer one output group's slice
+            words = 2 * pe.window_size * pe.in_parallel * pe.out_parallel \
+                * max(len(pe.layer_names), 1) * 64
+            words = min(words, pe.weight_words)
+        total += ResourceVector(
+            bram_18k=max(1, _bram_blocks(_storage_words(pe, words), cal)))
+    if pe.buffer_words:
+        if pe.buffer_on_chip:
+            words = pe.buffer_words
+        else:
+            # DDR spill: keep only a staging window of rows on chip
+            words = min(pe.buffer_words, 4096)
+        total += ResourceVector(
+            bram_18k=_bram_blocks(_storage_words(pe, words), cal))
+    return total.ceil()
+
+
+def estimate_memory_subsystems(pe: ProcessingElement,
+                               cal: Calibration = DEFAULT_CALIBRATION) \
+        -> ResourceVector:
+    """Resources of a PE's filter chains and their interleaving FIFOs."""
+    total = ResourceVector()
+    for subsystem in pe.memory:
+        total += ResourceVector(
+            lut=len(subsystem.filters) * cal.filter_lut,
+            ff=len(subsystem.filters) * cal.filter_ff)
+        for fifo in subsystem.fifos:
+            total += estimate_fifo(fifo, cal)
+    return total.ceil()
+
+
+def estimate_pe(pe: ProcessingElement,
+                cal: Calibration = DEFAULT_CALIBRATION) -> ResourceVector:
+    """Resources of a PE including its memory subsystem and local storage."""
+    return estimate_pe_core(pe, cal) + estimate_memory_subsystems(pe, cal)
+
+
+def estimate_datamover(dm: DataMover,
+                       cal: Calibration = DEFAULT_CALIBRATION) \
+        -> ResourceVector:
+    return ResourceVector(
+        lut=cal.datamover_lut + dm.stream_ports * cal.datamover_port_lut,
+        ff=cal.datamover_ff + dm.stream_ports * cal.datamover_port_ff,
+        dsp=cal.datamover_dsp,
+        bram_18k=cal.datamover_bram,
+    ).ceil()
+
+
+@dataclass
+class ResourceEstimate:
+    """Per-component breakdown plus the total."""
+
+    components: dict[str, ResourceVector] = field(default_factory=dict)
+
+    @property
+    def total(self) -> ResourceVector:
+        total = ResourceVector()
+        for vec in self.components.values():
+            total += vec
+        return total
+
+    def utilization(self, capacity: ResourceVector) -> dict[str, float]:
+        return self.total.utilization(capacity)
+
+    def summary(self, capacity: ResourceVector | None = None) -> str:
+        from repro.util.tables import TextTable
+
+        table = TextTable(["component", "LUT", "FF", "DSP", "BRAM18"])
+        for name, vec in self.components.items():
+            table.add_row([name, vec.lut, vec.ff, vec.dsp, vec.bram_18k])
+        total = self.total
+        table.add_row(["TOTAL", total.lut, total.ff, total.dsp,
+                       total.bram_18k])
+        if capacity is not None:
+            util = total.utilization(capacity)
+            table.add_row(["% of device", util["lut"], util["ff"],
+                           util["dsp"], util["bram_18k"]])
+        return table.render()
+
+
+def estimate_accelerator(acc: Accelerator,
+                         cal: Calibration = DEFAULT_CALIBRATION,
+                         *, include_shell: bool = True) -> ResourceEstimate:
+    """Estimate the whole design (optionally including the static shell,
+    which Table 1's percentages contain)."""
+    estimate = ResourceEstimate()
+    if include_shell:
+        estimate.components["shell"] = ResourceVector(
+            lut=cal.shell_lut, ff=cal.shell_ff, dsp=cal.shell_dsp,
+            bram_18k=cal.shell_bram)
+    estimate.components[acc.datamover.name] = estimate_datamover(
+        acc.datamover, cal)
+    for pe in acc.pes:
+        estimate.components[pe.name] = estimate_pe(pe, cal)
+    stream_total = ResourceVector()
+    for edge in acc.edges:
+        stream_total += estimate_fifo(edge.fifo, cal)
+    estimate.components["stream_fifos"] = stream_total.ceil()
+    return estimate

@@ -1,0 +1,176 @@
+"""Layer→PE mapping and parallelism configuration (paper §3.2).
+
+A PE can implement multiple subsequent logical layers, "so long as they
+implement a similar computation (that is, we cluster together in a single PE
+either layers from the features extraction part or fully-connected layers)".
+Unfolded fully, there is a 1:1 mapping of layers onto PEs — full intra-layer
+parallelism.  Orthogonally, each features PE can read ``in_parallel`` input
+feature maps and compute ``out_parallel`` output feature maps concurrently
+(inter-layer parallelism).  Fully-connected layers are implemented as
+single-input/single-output 1×1-convolution PEs (§3.3 step 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MappingError
+from repro.frontend.condor_format import CondorModel
+from repro.hw.components import PEKind
+from repro.ir.layers import (
+    ActivationLayer,
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    Layer,
+    PoolLayer,
+    SoftmaxLayer,
+)
+from repro.ir.network import Network
+from repro.ir.shapes import TensorShape
+
+
+@dataclass(frozen=True)
+class PEMapping:
+    """One PE: the (contiguous) layers it implements and its parallelism."""
+
+    name: str
+    layer_names: tuple[str, ...]
+    in_parallel: int = 1
+    out_parallel: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.layer_names:
+            raise MappingError(f"PE mapping {self.name!r} has no layers")
+        if self.in_parallel < 1 or self.out_parallel < 1:
+            raise MappingError(
+                f"PE mapping {self.name!r}: parallelism must be >= 1")
+
+
+@dataclass
+class MappingConfig:
+    """An ordered list of PE mappings covering every compute layer."""
+
+    pes: list[PEMapping] = field(default_factory=list)
+
+    def pe_of(self, layer_name: str) -> PEMapping:
+        for pe in self.pes:
+            if layer_name in pe.layer_names:
+                return pe
+        raise KeyError(f"layer {layer_name!r} is not mapped")
+
+
+def _kind_of_cluster(layers: list[Layer]) -> PEKind:
+    if any(isinstance(l, ConvLayer) for l in layers):
+        return PEKind.CONV
+    if any(isinstance(l, PoolLayer) for l in layers):
+        return PEKind.POOL
+    if any(isinstance(l, FullyConnectedLayer) for l in layers):
+        return PEKind.FC
+    if any(isinstance(l, SoftmaxLayer) for l in layers):
+        return PEKind.SOFTMAX
+    if any(isinstance(l, ActivationLayer) for l in layers):
+        return PEKind.ACTIVATION
+    raise MappingError(
+        f"cannot classify PE for layers {[l.name for l in layers]}")
+
+
+_FEATURES_TYPES = (ConvLayer, PoolLayer, ActivationLayer)
+_CLASSIFIER_TYPES = (FullyConnectedLayer, SoftmaxLayer)
+
+
+def validate_mapping(net: Network, config: MappingConfig) -> None:
+    """Check a mapping against the network and the template's rules.
+
+    * every compute layer mapped exactly once, clusters contiguous and in
+      network order;
+    * a cluster holds either features-extraction layers or classifier
+      layers, never both (§3.2);
+    * classifier PEs are single-input/single-output (§3.3 step 4);
+    * parallelism degrees cannot exceed the channel counts they unfold;
+    * pooling-only PEs preserve channels, so ``in == out``.
+    """
+    compute = [l.name for l in net.compute_layers()]
+    mapped = [name for pe in config.pes for name in pe.layer_names]
+    if mapped != compute:
+        raise MappingError(
+            f"mapping covers {mapped}, network compute layers are"
+            f" {compute} (order and coverage must match exactly)")
+    names = [pe.name for pe in config.pes]
+    if len(set(names)) != len(names):
+        raise MappingError(f"duplicate PE names in mapping: {names}")
+
+    for pe in config.pes:
+        layers = [net[name] for name in pe.layer_names]
+        is_features = all(isinstance(l, _FEATURES_TYPES) for l in layers)
+        is_classifier = all(isinstance(l, _CLASSIFIER_TYPES) for l in layers)
+        if not (is_features or is_classifier):
+            raise MappingError(
+                f"PE {pe.name!r} mixes features-extraction and classifier"
+                f" layers: {list(pe.layer_names)}")
+        kind = _kind_of_cluster(layers)
+        if kind is PEKind.FC and (pe.in_parallel != 1 or
+                                  pe.out_parallel != 1):
+            raise MappingError(
+                f"PE {pe.name!r}: fully-connected PEs are single-input/"
+                "single-output")
+        in_shape = net.input_shape(pe.layer_names[0])
+        out_shape = net.output_shape(pe.layer_names[-1])
+        if is_features:
+            if pe.in_parallel > in_shape.channels:
+                raise MappingError(
+                    f"PE {pe.name!r}: in_parallel {pe.in_parallel} exceeds"
+                    f" input channels {in_shape.channels}")
+            if pe.out_parallel > out_shape.channels:
+                raise MappingError(
+                    f"PE {pe.name!r}: out_parallel {pe.out_parallel}"
+                    f" exceeds output channels {out_shape.channels}")
+        if kind is PEKind.POOL and pe.in_parallel != pe.out_parallel:
+            raise MappingError(
+                f"PE {pe.name!r}: pooling preserves feature maps, so"
+                " in_parallel must equal out_parallel")
+
+
+def default_mapping(net: Network) -> MappingConfig:
+    """The Table 1 configuration: 1:1 layer→PE, sequential feature maps
+    (in = out = 1), full intra-layer parallelism."""
+    pes = [PEMapping(name=f"pe_{layer.name}", layer_names=(layer.name,))
+           for layer in net.compute_layers()]
+    config = MappingConfig(pes=pes)
+    validate_mapping(net, config)
+    return config
+
+
+def mapping_from_model(model: CondorModel) -> MappingConfig:
+    """Build a mapping from the Condor JSON hints.
+
+    Layers sharing a ``cluster`` id fuse into one PE; ``in_ports`` /
+    ``out_ports`` set the parallelism (a cluster takes the max hint of its
+    members).  Unhinted layers get their own PE with degree 1.
+    """
+    net = model.network
+    groups: list[tuple[str | None, list[str]]] = []
+    for layer in net.compute_layers():
+        hint = model.hint_for(layer.name)
+        if groups and hint.cluster is not None and \
+                groups[-1][0] == hint.cluster:
+            groups[-1][1].append(layer.name)
+        else:
+            groups.append((hint.cluster, [layer.name]))
+    taken: set[str] = set()
+    pes = []
+    for cluster, layer_names in groups:
+        from repro.util.naming import unique_name
+        base = f"pe_{cluster}" if cluster else f"pe_{layer_names[0]}"
+        in_par = max((model.hint_for(n).in_ports or 1) for n in layer_names)
+        out_par = max((model.hint_for(n).out_ports or 1)
+                      for n in layer_names)
+        pes.append(PEMapping(
+            name=unique_name(base, taken),
+            layer_names=tuple(layer_names),
+            in_parallel=in_par,
+            out_parallel=out_par,
+        ))
+    config = MappingConfig(pes=pes)
+    validate_mapping(net, config)
+    return config

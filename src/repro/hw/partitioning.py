@@ -1,0 +1,104 @@
+"""Non-uniform memory partitioning of the data-reuse buffer.
+
+Implements the microarchitecture of Cong et al., DAC'14 [28], which the
+paper uses for the features-extraction memory subsystem (§3.2): for each
+input feature map read in parallel, a pipeline of *filters* interleaved by
+FIFOs.
+
+Each filter corresponds to one access of the sliding window — one point
+(m, n) of the K_h×K_w stencil.  Data streams through the pipeline in raster
+order; the FIFO between two consecutive filters buffers exactly the elements
+that are *spatially located between* the two accesses, so its depth equals
+the distance between the two access offsets linearized on the input row
+width.  Consequently the total on-chip storage is the span between the first
+and last access — ``(K_h − 1)·W + (K_w − 1)`` words, the classic reuse
+distance — instead of the K_h·W full line buffer, and all K_h·K_w window
+elements can be read concurrently with no memory-port contention.
+
+For the pipeline to run without stalls, the filters are ordered in
+*lexicographically inverse* order of their access offsets (the access that
+sees each element latest is the first to receive it from the stream): the
+stream enters at the (K_h−1, K_w−1) access and exits at (0, 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+
+
+@dataclass(frozen=True)
+class FilterChainSpec:
+    """The computed structure of one filter pipeline.
+
+    ``accesses`` are window offsets in pipeline order (lexicographically
+    inverse); ``fifo_depths[i]`` is the depth of the FIFO between
+    ``accesses[i]`` and ``accesses[i+1]``.
+    """
+
+    window: tuple[int, int]
+    input_width: int
+    accesses: tuple[tuple[int, int], ...]
+    fifo_depths: tuple[int, ...]
+
+    @property
+    def num_filters(self) -> int:
+        return len(self.accesses)
+
+    @property
+    def buffered_words(self) -> int:
+        """Total on-chip words held in the inter-filter FIFOs."""
+        return sum(self.fifo_depths)
+
+    @property
+    def full_linebuffer_words(self) -> int:
+        """What a conventional K_h-row line buffer would store (for the
+        partitioning-ablation bench)."""
+        return self.window[0] * self.input_width
+
+
+def window_accesses_inverse_lex(window: tuple[int, int]) -> \
+        list[tuple[int, int]]:
+    """All (row, col) offsets of a window in lexicographically inverse
+    order — the required filter ordering [28]."""
+    kh, kw = window
+    return [(m, n)
+            for m in range(kh - 1, -1, -1)
+            for n in range(kw - 1, -1, -1)]
+
+
+def partition_window_accesses(window: tuple[int, int],
+                              input_width: int) -> FilterChainSpec:
+    """Build the filter-chain spec for a window sliding over rows of
+    ``input_width`` elements.
+
+    The linear position of access (m, n) in raster order is
+    ``m·input_width + n``; the FIFO between consecutive accesses in the
+    inverse-lex chain holds the elements between their linear positions.
+    A zero distance (only possible for a 1×1 window, which yields a single
+    filter and no FIFOs) never produces a FIFO.
+    """
+    kh, kw = window
+    if kh < 1 or kw < 1:
+        raise HardwareError(f"invalid window {window}")
+    if input_width < kw:
+        raise HardwareError(
+            f"window {window} wider than the input row ({input_width})")
+    accesses = window_accesses_inverse_lex(window)
+    depths: list[int] = []
+    for (m0, n0), (m1, n1) in zip(accesses, accesses[1:]):
+        pos0 = m0 * input_width + n0
+        pos1 = m1 * input_width + n1
+        distance = pos0 - pos1
+        if distance <= 0:
+            raise HardwareError(
+                "filter ordering violated: non-positive reuse distance"
+                f" between {(m0, n0)} and {(m1, n1)}")
+        depths.append(distance)
+    return FilterChainSpec(
+        window=(kh, kw),
+        input_width=input_width,
+        accesses=tuple(accesses),
+        fifo_depths=tuple(depths),
+    )

@@ -1,0 +1,155 @@
+"""FPGA resource vectors and the device catalog.
+
+The paper deploys on AWS F1, whose FPGA is a Xilinx Virtex UltraScale+
+XCVU9P; Table 1 reports utilization as percentages of that device.  A couple
+of on-premise boards are included for the ON_PREMISE deployment option.
+BRAM is counted in 18 Kb half-blocks (the granularity Vivado reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ResourceError
+
+_FIELDS = ("lut", "ff", "dsp", "bram_18k")
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """An amount of FPGA fabric: LUTs, flip-flops, DSP slices, BRAM (18 Kb)."""
+
+    lut: float = 0.0
+    ff: float = 0.0
+    dsp: float = 0.0
+    bram_18k: float = 0.0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(*(getattr(self, f) + getattr(other, f)
+                                for f in _FIELDS))
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(*(getattr(self, f) - getattr(other, f)
+                                for f in _FIELDS))
+
+    def __mul__(self, scale: float) -> "ResourceVector":
+        return ResourceVector(*(getattr(self, f) * scale for f in _FIELDS))
+
+    __rmul__ = __mul__
+
+    def ceil(self) -> "ResourceVector":
+        """Round every component up to an integer (hardware is discrete)."""
+        import math
+        return ResourceVector(*(float(math.ceil(getattr(self, f) - 1e-9))
+                                for f in _FIELDS))
+
+    def fits_in(self, capacity: "ResourceVector") -> bool:
+        return all(getattr(self, f) <= getattr(capacity, f) for f in _FIELDS)
+
+    def check_fits(self, capacity: "ResourceVector", *,
+                   context: str = "design") -> None:
+        """Raise :class:`ResourceError` naming the first violated resource."""
+        for f in _FIELDS:
+            required = getattr(self, f)
+            available = getattr(capacity, f)
+            if required > available:
+                raise ResourceError(
+                    f"{context} does not fit on the device",
+                    resource=f, required=required, available=available)
+
+    def utilization(self, capacity: "ResourceVector") -> dict[str, float]:
+        """Per-resource utilization percentages against ``capacity``."""
+        out = {}
+        for f in _FIELDS:
+            total = getattr(capacity, f)
+            out[f] = 100.0 * getattr(self, f) / total if total else 0.0
+        return out
+
+    def as_dict(self) -> dict[str, float]:
+        return {f: getattr(self, f) for f in _FIELDS}
+
+    def __str__(self) -> str:
+        return (f"LUT={self.lut:.0f} FF={self.ff:.0f} DSP={self.dsp:.0f}"
+                f" BRAM18={self.bram_18k:.0f}")
+
+
+@dataclass(frozen=True)
+class Device:
+    """A target FPGA."""
+
+    name: str
+    part: str
+    family: str
+    capacity: ResourceVector
+    #: Highest clock the fabric model allows (Hz).
+    fmax_hz: float
+    #: Static (leakage + always-on shell) power in watts.
+    static_power_w: float
+    #: DDR interface count (the F1 card exposes 4 DDR4 channels).
+    ddr_channels: int = 1
+    #: Bytes/s per DDR channel.
+    ddr_bandwidth: float = 16e9
+    #: Static platform region (SDAccel shell / PS interface) as counted in
+    #: the utilization reports.
+    shell: ResourceVector = ResourceVector()
+
+
+#: Catalog of supported devices, keyed by part name.
+DEVICES: dict[str, Device] = {
+    "xcvu9p": Device(
+        name="AWS F1 (Virtex UltraScale+ VU9P)",
+        part="xcvu9p-flgb2104-2-i",
+        family="virtexuplus",
+        capacity=ResourceVector(lut=1_182_240, ff=2_364_480, dsp=6_840,
+                                bram_18k=4_320),
+        fmax_hz=250e6,
+        static_power_w=3.0,
+        ddr_channels=4,
+        ddr_bandwidth=16e9,
+        shell=ResourceVector(lut=86_000, ff=160_000, dsp=12, bram_18k=14),
+    ),
+    "xcku115": Device(
+        name="Xilinx KCU1500 (Kintex UltraScale KU115)",
+        part="xcku115-flvb2104-2-e",
+        family="kintexu",
+        capacity=ResourceVector(lut=663_360, ff=1_326_720, dsp=5_520,
+                                bram_18k=4_320),
+        fmax_hz=250e6,
+        static_power_w=2.2,
+        ddr_channels=4,
+        ddr_bandwidth=12e9,
+        shell=ResourceVector(lut=62_000, ff=115_000, dsp=10, bram_18k=12),
+    ),
+    "xc7z020": Device(
+        name="Zynq-7020 (PYNQ-Z1 / ZedBoard)",
+        part="xc7z020-clg484-1",
+        family="zynq",
+        capacity=ResourceVector(lut=53_200, ff=106_400, dsp=220,
+                                bram_18k=280),
+        fmax_hz=150e6,
+        static_power_w=0.3,
+        ddr_channels=1,
+        ddr_bandwidth=4.2e9,
+        shell=ResourceVector(lut=9_000, ff=14_000, dsp=2, bram_18k=6),
+    ),
+}
+
+#: Board name (as written in Condor JSON) -> device part.
+BOARDS: dict[str, str] = {
+    "aws-f1-xcvu9p": "xcvu9p",
+    "aws-f1": "xcvu9p",
+    "kcu1500": "xcku115",
+    "pynq-z1": "xc7z020",
+    "zedboard": "xc7z020",
+}
+
+
+def device_for_board(board: str) -> Device:
+    """Resolve a board name (or a bare part name) to a :class:`Device`."""
+    part = BOARDS.get(board, board)
+    try:
+        return DEVICES[part]
+    except KeyError:
+        known = sorted(set(BOARDS) | set(DEVICES))
+        raise ResourceError(
+            f"unknown board or part {board!r}; known: {known}") from None

@@ -1,0 +1,49 @@
+"""Internal network representation (IR).
+
+The IR is the hinge of the framework: the frontend lowers Caffe or Condor
+JSON models into it, and the core logic maps it onto the spatial dataflow
+accelerator.  Networks are linear chains of layers — the accelerator template
+of the paper (§3.2) is a high-level pipeline where the output of a PE feeds
+the next, so a chain is exactly the supported topology; the validator rejects
+anything else at the frontend boundary.
+"""
+
+from repro.ir.shapes import TensorShape, conv_output_hw, pool_output_hw
+from repro.ir.layers import (
+    Activation,
+    ActivationLayer,
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    Layer,
+    PoolLayer,
+    PoolOp,
+    SoftmaxLayer,
+    Stage,
+)
+from repro.ir.network import Network
+from repro.ir.flops import layer_flops, layer_macs, network_flops
+from repro.ir.validate import validate_network
+
+__all__ = [
+    "TensorShape",
+    "conv_output_hw",
+    "pool_output_hw",
+    "Activation",
+    "ActivationLayer",
+    "ConvLayer",
+    "FlattenLayer",
+    "FullyConnectedLayer",
+    "InputLayer",
+    "Layer",
+    "PoolLayer",
+    "PoolOp",
+    "SoftmaxLayer",
+    "Stage",
+    "Network",
+    "layer_flops",
+    "layer_macs",
+    "network_flops",
+    "validate_network",
+]

@@ -1,0 +1,84 @@
+"""Graphviz DOT export for networks and accelerators.
+
+Textual analogues of the paper's Figure 1 (CNN structure) and Figure 4
+(accelerator template): render with ``dot -Tpng``.  The accelerator view
+shows PEs with their fused layers, the datamover, every stream edge with
+its FIFO depth, and per-PE filter-chain summaries.
+"""
+
+from __future__ import annotations
+
+from repro.hw.components import Accelerator, PEKind
+from repro.ir.network import Network
+
+_STAGE_COLORS = {
+    "features": "#cfe2ff",
+    "classifier": "#ffe3cf",
+}
+
+_KIND_COLORS = {
+    PEKind.CONV: "#cfe2ff",
+    PEKind.POOL: "#d8f3dc",
+    PEKind.FC: "#ffe3cf",
+    PEKind.ACTIVATION: "#ede7f6",
+    PEKind.SOFTMAX: "#fde2e4",
+}
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def network_to_dot(net: Network) -> str:
+    """The layer chain with shapes on the edges (Figure 1 analogue)."""
+    lines = [f"digraph {_quote(net.name)} {{",
+             "  rankdir=LR;",
+             "  node [shape=box, style=filled, fontname=Helvetica];"]
+    for i, layer in enumerate(net.layers):
+        if i == 0:
+            color = "#f5f5f5"
+        else:
+            color = _STAGE_COLORS.get(net.stage_of(layer).value,
+                                      "#ffffff")
+        label = f"{layer.name}\\n{layer.type_name}"
+        lines.append(f"  {_quote(layer.name)} [label={_quote(label)},"
+                     f" fillcolor={_quote(color)}];")
+    for a, b in zip(net.layers, net.layers[1:]):
+        shape = net.output_shape(a)
+        lines.append(f"  {_quote(a.name)} -> {_quote(b.name)}"
+                     f" [label={_quote(str(shape))}];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def accelerator_to_dot(acc: Accelerator) -> str:
+    """The spatial accelerator (Figure 4 analogue)."""
+    lines = [f"digraph {_quote(acc.name)} {{",
+             "  rankdir=LR;",
+             "  node [shape=record, style=filled, fontname=Helvetica];",
+             f"  {_quote(acc.datamover.name)} [shape=box3d,"
+             " fillcolor=\"#eeeeee\","
+             f" label={_quote('datamover | ' + str(acc.datamover.stream_ports) + ' stream ports')}];"]
+    for pe in acc.pes:
+        parts = [pe.name, "+".join(pe.layer_names),
+                 f"{pe.in_parallel}x{pe.out_parallel} ports"]
+        if pe.memory:
+            chain = pe.memory[0]
+            parts.append(f"{len(chain.filters)} filters /"
+                         f" {chain.spec.buffered_words} buffered words")
+        if pe.weight_words:
+            where = "on-chip" if pe.weights_on_chip else "DDR-streamed"
+            parts.append(f"{pe.weight_words} weights ({where})")
+        label = " | ".join(parts)
+        color = _KIND_COLORS.get(pe.kind, "#ffffff")
+        lines.append(f"  {_quote(pe.name)} [label={_quote(label)},"
+                     f" fillcolor={_quote(color)}];")
+    for edge in acc.edges:
+        style = ", style=dashed" if edge.fifo.name.endswith("weights") \
+            else ""
+        lines.append(
+            f"  {_quote(edge.source)} -> {_quote(edge.dest)}"
+            f" [label={_quote('fifo[' + str(edge.fifo.depth) + ']')}"
+            f"{style}];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,87 @@
+"""FLOP and MAC accounting.
+
+GFLOPS numbers in the paper's Tables 1 and 2 are computed as network
+floating-point operations divided by execution time; this module provides
+the numerator.  Conventions (the ones common in the FPGA CNN literature the
+paper compares against):
+
+* a multiply-accumulate counts as 2 FLOPs;
+* convolution MACs per output point = C_in · K_h · K_w, plus one add for an
+  optional bias;
+* average pooling counts one add per window element plus one divide;
+  max pooling counts one compare per window element (treated as a FLOP,
+  consistent with how [25] reports it);
+* activations count one FLOP per element;
+* softmax counts ~4 FLOPs per element (exp, add, div amortized).
+"""
+
+from __future__ import annotations
+
+from repro.ir.layers import (
+    ActivationLayer,
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    Layer,
+    PoolLayer,
+    PoolOp,
+    SoftmaxLayer,
+)
+from repro.ir.network import Network
+from repro.ir.shapes import TensorShape
+
+
+def layer_macs(layer: Layer, in_shape: TensorShape) -> int:
+    """Multiply-accumulate count of a layer for one input sample."""
+    if isinstance(layer, ConvLayer):
+        out = layer.output_shape(in_shape)
+        per_point = in_shape.channels * layer.kernel[0] * layer.kernel[1]
+        return out.size * per_point
+    if isinstance(layer, FullyConnectedLayer):
+        return layer.num_output * in_shape.size
+    return 0
+
+
+def layer_flops(layer: Layer, in_shape: TensorShape) -> int:
+    """Floating-point operation count of a layer for one input sample."""
+    if isinstance(layer, (InputLayer, FlattenLayer)):
+        return 0
+    if isinstance(layer, ConvLayer):
+        out = layer.output_shape(in_shape)
+        flops = 2 * layer_macs(layer, in_shape)
+        if layer.bias:
+            flops += out.size
+        if layer.activation.value != "none":
+            flops += out.size
+        return flops
+    if isinstance(layer, FullyConnectedLayer):
+        flops = 2 * layer_macs(layer, in_shape)
+        if layer.bias:
+            flops += layer.num_output
+        if layer.activation.value != "none":
+            flops += layer.num_output
+        return flops
+    if isinstance(layer, PoolLayer):
+        out = layer.output_shape(in_shape)
+        window = layer.kernel[0] * layer.kernel[1]
+        if layer.op is PoolOp.AVG:
+            return out.size * window  # window-1 adds + 1 divide
+        return out.size * (window - 1)  # compares
+    if isinstance(layer, ActivationLayer):
+        return in_shape.size
+    if isinstance(layer, SoftmaxLayer):
+        return 4 * in_shape.size
+    raise TypeError(f"unknown layer type {type(layer).__name__}")
+
+
+def network_flops(net: Network) -> int:
+    """Total FLOPs for one forward pass of the network."""
+    return sum(layer_flops(layer, net.input_shape(layer))
+               for layer in net.layers)
+
+
+def network_macs(net: Network) -> int:
+    """Total MACs for one forward pass of the network."""
+    return sum(layer_macs(layer, net.input_shape(layer))
+               for layer in net.layers)

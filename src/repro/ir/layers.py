@@ -1,0 +1,217 @@
+"""Layer definitions of the Condor IR.
+
+The layer set mirrors §2 of the paper: convolutional layers (§2.1, eq. 1),
+sub-sampling layers (§2.2, eq. 3), fully-connected layers (§2.3, eq. 4) and
+the LogSoftMax normalization (eq. 5), plus the point-wise activations (ReLU,
+sigmoid, tanh) the paper lists.  Each layer computes its output shape from an
+input shape, classifies itself into the *features extraction* or
+*classification* stage, and reports its parameter blob shapes (used by the
+weight store and the Caffe converter).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ShapeError
+from repro.ir.shapes import TensorShape, conv_output_hw, pool_output_hw
+
+
+class Stage(enum.Enum):
+    """The two phases of a CNN identified in §2 of the paper."""
+
+    FEATURES = "features"
+    CLASSIFIER = "classifier"
+    # Layers that belong to whichever stage surrounds them (activations,
+    # flatten, softmax).
+    NEUTRAL = "neutral"
+
+
+class Activation(enum.Enum):
+    """Point-wise non-linearities from §2.1."""
+
+    NONE = "none"
+    RELU = "relu"
+    SIGMOID = "sigmoid"
+    TANH = "tanh"
+
+
+class PoolOp(enum.Enum):
+    """Sub-sampling operators from §2.2."""
+
+    MAX = "max"
+    AVG = "avg"
+
+
+def _pair(value: int | tuple[int, int]) -> tuple[int, int]:
+    if isinstance(value, int):
+        return (value, value)
+    pair = tuple(int(v) for v in value)
+    if len(pair) != 2:
+        raise ShapeError(f"expected scalar or pair, got {value!r}")
+    return pair  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base class for all IR layers."""
+
+    name: str
+
+    #: Stage classification; overridden per subclass.
+    stage: Stage = field(default=Stage.NEUTRAL, init=False, repr=False)
+
+    def output_shape(self, in_shape: TensorShape) -> TensorShape:
+        """Infer the output shape for ``in_shape`` (identity by default)."""
+        return in_shape
+
+    def weight_shapes(self, in_shape: TensorShape) -> dict[str, tuple[int, ...]]:
+        """Names and shapes of this layer's learnable blobs (may be empty)."""
+        return {}
+
+    @property
+    def type_name(self) -> str:
+        return type(self).__name__.removesuffix("Layer").lower()
+
+
+@dataclass(frozen=True)
+class InputLayer(Layer):
+    """Declares the network input shape (channels, height, width)."""
+
+    shape: TensorShape = TensorShape(1, 1, 1)
+
+    def output_shape(self, in_shape: TensorShape) -> TensorShape:
+        return self.shape
+
+
+@dataclass(frozen=True)
+class ConvLayer(Layer):
+    """A convolutional layer — eq. (1) with optional fused activation.
+
+    ``kernel``, ``stride`` and ``pad`` take either a scalar (square window)
+    or an ``(h, w)`` pair, matching Caffe's ``kernel_size`` /
+    ``kernel_h``/``kernel_w`` convention.
+    """
+
+    num_output: int = 1
+    kernel: tuple[int, int] = (1, 1)
+    stride: tuple[int, int] = (1, 1)
+    pad: tuple[int, int] = (0, 0)
+    bias: bool = True
+    activation: Activation = Activation.NONE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kernel", _pair(self.kernel))
+        object.__setattr__(self, "stride", _pair(self.stride))
+        object.__setattr__(self, "pad", _pair(self.pad))
+        object.__setattr__(self, "stage", Stage.FEATURES)
+        if self.num_output <= 0:
+            raise ShapeError(
+                f"conv layer {self.name!r}: num_output must be positive")
+
+    def output_shape(self, in_shape: TensorShape) -> TensorShape:
+        h, w = conv_output_hw((in_shape.height, in_shape.width),
+                              self.kernel, self.stride, self.pad)
+        return TensorShape(self.num_output, h, w)
+
+    def weight_shapes(self, in_shape: TensorShape) -> dict[str, tuple[int, ...]]:
+        shapes = {
+            "weights": (self.num_output, in_shape.channels,
+                        self.kernel[0], self.kernel[1]),
+        }
+        if self.bias:
+            shapes["bias"] = (self.num_output,)
+        return shapes
+
+
+@dataclass(frozen=True)
+class PoolLayer(Layer):
+    """A sub-sampling layer — eq. (3).
+
+    ``stride`` defaults to the kernel size (non-overlapping windows, the
+    common 2×2/ρ=2 configuration the paper calls the most common and
+    smallest).  ``ceil_mode`` reproduces Caffe's output-size rounding.
+    """
+
+    op: PoolOp = PoolOp.MAX
+    kernel: tuple[int, int] = (2, 2)
+    stride: tuple[int, int] | None = None
+    pad: tuple[int, int] = (0, 0)
+    ceil_mode: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kernel", _pair(self.kernel))
+        stride = self.kernel if self.stride is None else _pair(self.stride)
+        object.__setattr__(self, "stride", stride)
+        object.__setattr__(self, "pad", _pair(self.pad))
+        object.__setattr__(self, "stage", Stage.FEATURES)
+
+    def output_shape(self, in_shape: TensorShape) -> TensorShape:
+        assert self.stride is not None
+        h, w = pool_output_hw((in_shape.height, in_shape.width),
+                              self.kernel, self.stride, self.pad,
+                              ceil_mode=self.ceil_mode)
+        return TensorShape(in_shape.channels, h, w)
+
+
+@dataclass(frozen=True)
+class ActivationLayer(Layer):
+    """A standalone point-wise non-linearity (ReLU / sigmoid / tanh)."""
+
+    kind: Activation = Activation.RELU
+
+    def __post_init__(self) -> None:
+        if self.kind is Activation.NONE:
+            raise ShapeError(
+                f"activation layer {self.name!r} must specify a function")
+
+
+@dataclass(frozen=True)
+class FlattenLayer(Layer):
+    """Reshape the feature maps into a vector for the MLP stage."""
+
+    def output_shape(self, in_shape: TensorShape) -> TensorShape:
+        return in_shape.flattened()
+
+
+@dataclass(frozen=True)
+class FullyConnectedLayer(Layer):
+    """A fully-connected layer — eq. (4), with optional fused activation.
+
+    Accepts either a flat or a spatial input shape (Caffe's InnerProduct
+    flattens implicitly); the weight matrix is sized on the flattened input.
+    """
+
+    num_output: int = 1
+    bias: bool = True
+    activation: Activation = Activation.NONE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stage", Stage.CLASSIFIER)
+        if self.num_output <= 0:
+            raise ShapeError(
+                f"fc layer {self.name!r}: num_output must be positive")
+
+    def output_shape(self, in_shape: TensorShape) -> TensorShape:
+        return TensorShape(self.num_output, 1, 1)
+
+    def weight_shapes(self, in_shape: TensorShape) -> dict[str, tuple[int, ...]]:
+        shapes = {"weights": (self.num_output, in_shape.size)}
+        if self.bias:
+            shapes["bias"] = (self.num_output,)
+        return shapes
+
+
+@dataclass(frozen=True)
+class SoftmaxLayer(Layer):
+    """The normalization layer of eq. (5); ``log=True`` gives LogSoftMax."""
+
+    log: bool = True
+
+    def output_shape(self, in_shape: TensorShape) -> TensorShape:
+        if not in_shape.is_vector():
+            raise ShapeError(
+                f"softmax layer {self.name!r} expects a flat input,"
+                f" got {in_shape}")
+        return in_shape

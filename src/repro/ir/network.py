@@ -1,0 +1,174 @@
+"""The :class:`Network` container: an ordered chain of layers with inferred
+shapes.
+
+The accelerator template (paper §3.2) is a linear high-level pipeline, so the
+IR models networks as chains.  Shape inference runs eagerly at construction;
+every layer's input and output shape is available afterwards in O(1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import ValidationError
+from repro.ir.layers import (
+    ActivationLayer,
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    Layer,
+    PoolLayer,
+    SoftmaxLayer,
+    Stage,
+)
+from repro.ir.shapes import TensorShape
+
+
+class Network:
+    """An immutable chain of layers with pre-computed activation shapes.
+
+    The first layer must be an :class:`InputLayer`.  Layer names must be
+    unique — they key the weight store and name generated hardware modules.
+    """
+
+    def __init__(self, name: str, layers: Sequence[Layer]):
+        if not layers:
+            raise ValidationError("network must contain at least one layer")
+        if not isinstance(layers[0], InputLayer):
+            raise ValidationError(
+                f"first layer must be an InputLayer, got"
+                f" {type(layers[0]).__name__}")
+        names = [layer.name for layer in layers]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValidationError(
+                f"duplicate layer names: {sorted(duplicates)}")
+        self.name = name
+        self._layers: tuple[Layer, ...] = tuple(layers)
+        self._by_name = {layer.name: layer for layer in layers}
+        self._in_shapes: dict[str, TensorShape] = {}
+        self._out_shapes: dict[str, TensorShape] = {}
+        shape = layers[0].output_shape(TensorShape(1, 1, 1))
+        for layer in layers:
+            self._in_shapes[layer.name] = shape
+            shape = layer.output_shape(shape)
+            self._out_shapes[layer.name] = shape
+
+    # -- container protocol -------------------------------------------------
+
+    @property
+    def layers(self) -> tuple[Layer, ...]:
+        return self._layers
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, key: int | str) -> Layer:
+        if isinstance(key, str):
+            try:
+                return self._by_name[key]
+            except KeyError:
+                raise KeyError(
+                    f"network {self.name!r} has no layer {key!r}") from None
+        return self._layers[key]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def index(self, name: str) -> int:
+        for i, layer in enumerate(self._layers):
+            if layer.name == name:
+                return i
+        raise KeyError(f"network {self.name!r} has no layer {name!r}")
+
+    # -- shapes --------------------------------------------------------------
+
+    def input_shape(self, layer: str | Layer | None = None) -> TensorShape:
+        """Input shape of ``layer`` (or of the whole network when omitted)."""
+        if layer is None:
+            return self._out_shapes[self._layers[0].name]
+        name = layer if isinstance(layer, str) else layer.name
+        return self._in_shapes[name]
+
+    def output_shape(self, layer: str | Layer | None = None) -> TensorShape:
+        """Output shape of ``layer`` (or of the whole network when omitted)."""
+        if layer is None:
+            return self._out_shapes[self._layers[-1].name]
+        name = layer if isinstance(layer, str) else layer.name
+        return self._out_shapes[name]
+
+    # -- stage structure -----------------------------------------------------
+
+    def stage_of(self, layer: str | Layer) -> Stage:
+        """Resolve the effective stage of a layer.
+
+        NEUTRAL layers (activations, flatten, softmax) inherit the stage of
+        the nearest preceding non-neutral layer; leading neutral layers
+        belong to the features-extraction stage.
+        """
+        name = layer if isinstance(layer, str) else layer.name
+        idx = self.index(name)
+        for i in range(idx, -1, -1):
+            stage = self._layers[i].stage
+            if stage is not Stage.NEUTRAL:
+                return stage
+        return Stage.FEATURES
+
+    def features_layers(self) -> list[Layer]:
+        """Layers of the features-extraction stage (conv / pool chain)."""
+        return [l for l in self._layers[1:]
+                if self.stage_of(l) is Stage.FEATURES]
+
+    def classifier_layers(self) -> list[Layer]:
+        """Layers of the classification stage (the MLP)."""
+        return [l for l in self._layers[1:]
+                if self.stage_of(l) is Stage.CLASSIFIER]
+
+    def features_subnetwork(self, name: str | None = None) -> "Network":
+        """A new network containing only the features-extraction stage.
+
+        Used by the Table 2 experiments, which evaluate the improved
+        methodology on the sole features-extraction part.
+        """
+        layers: list[Layer] = [self._layers[0]]
+        layers.extend(self.features_layers())
+        if len(layers) == 1:
+            raise ValidationError(
+                f"network {self.name!r} has no features-extraction layers")
+        return Network(name or f"{self.name}_features", layers)
+
+    # -- misc -----------------------------------------------------------------
+
+    def compute_layers(self) -> list[Layer]:
+        """Layers that perform work mapped onto PEs (everything except the
+        input declaration and flatten reshapes)."""
+        return [l for l in self._layers[1:]
+                if not isinstance(l, FlattenLayer)]
+
+    def summary(self) -> str:
+        """A human-readable per-layer table (name, type, output shape)."""
+        from repro.util.tables import TextTable
+
+        table = TextTable(["#", "layer", "type", "output", "stage"])
+        for i, layer in enumerate(self._layers):
+            table.add_row([
+                i, layer.name, layer.type_name,
+                str(self.output_shape(layer)),
+                self.stage_of(layer).value if i else "-",
+            ])
+        return table.render()
+
+    def __repr__(self) -> str:
+        return (f"Network({self.name!r}, {len(self._layers)} layers,"
+                f" {self.input_shape()} -> {self.output_shape()})")
+
+
+def chain(name: str, input_shape: tuple[int, int, int],
+          layers: Iterable[Layer]) -> Network:
+    """Convenience constructor: prepend an input layer and build a network."""
+    input_layer = InputLayer("data", shape=TensorShape(*input_shape))
+    return Network(name, [input_layer, *layers])

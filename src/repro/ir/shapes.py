@@ -1,0 +1,111 @@
+"""Tensor shapes and the output-size equations of the paper.
+
+Equation (2) of the paper gives the convolution output size for unit stride
+and no padding; equation (3) gives the sub-sampling output size with window
+amplitude ρ.  Both are implemented here in their standard generalized form
+(stride ``s``, symmetric zero-padding ``p``)::
+
+    out = floor((in + 2p - k) / s) + 1
+
+which reduces exactly to the paper's equations for s=1, p=0 (conv) and
+s=ρ, p=0 (pooling).  Caffe computes pooling output sizes with *ceil* instead
+of floor; the ``ceil_mode`` flag reproduces that behaviour so that shapes
+inferred from genuine Caffe prototxt files match Caffe's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ShapeError
+
+
+@dataclass(frozen=True, order=True)
+class TensorShape:
+    """A (channels, height, width) activation shape.
+
+    Fully-connected activations are represented as ``(n, 1, 1)`` — the same
+    convention Caffe uses after flattening, and the one the paper exploits to
+    implement FC layers as 1×1 convolutions (§3.3, step 4).
+    """
+
+    channels: int
+    height: int = 1
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        for field in ("channels", "height", "width"):
+            value = getattr(self, field)
+            if not isinstance(value, int) or value <= 0:
+                raise ShapeError(
+                    f"{field} must be a positive integer, got {value!r}")
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.channels * self.height * self.width
+
+    @property
+    def spatial_size(self) -> int:
+        """Elements per feature map (height × width)."""
+        return self.height * self.width
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.channels, self.height, self.width)
+
+    def is_vector(self) -> bool:
+        """True when the shape is flat (1×1 spatial extent)."""
+        return self.height == 1 and self.width == 1
+
+    def flattened(self) -> "TensorShape":
+        return TensorShape(self.size, 1, 1)
+
+    def __str__(self) -> str:
+        return f"{self.channels}x{self.height}x{self.width}"
+
+
+def _window_output(in_size: int, kernel: int, stride: int, pad: int,
+                   *, ceil_mode: bool) -> int:
+    if kernel <= 0 or stride <= 0 or pad < 0:
+        raise ShapeError(
+            f"invalid window parameters kernel={kernel} stride={stride}"
+            f" pad={pad}")
+    padded = in_size + 2 * pad
+    if kernel > padded:
+        raise ShapeError(
+            f"window of size {kernel} does not fit input of size {in_size}"
+            f" with padding {pad}")
+    span = padded - kernel
+    steps = math.ceil(span / stride) if ceil_mode else span // stride
+    out = steps + 1
+    if ceil_mode and pad > 0 and (out - 1) * stride >= in_size + pad:
+        # Caffe clips the last window so it starts inside the padded input.
+        out -= 1
+    return out
+
+
+def conv_output_hw(in_hw: tuple[int, int], kernel: tuple[int, int],
+                   stride: tuple[int, int] = (1, 1),
+                   pad: tuple[int, int] = (0, 0)) -> tuple[int, int]:
+    """Output (height, width) of a convolution — paper eq. (2) generalized."""
+    h = _window_output(in_hw[0], kernel[0], stride[0], pad[0], ceil_mode=False)
+    w = _window_output(in_hw[1], kernel[1], stride[1], pad[1], ceil_mode=False)
+    return (h, w)
+
+
+def pool_output_hw(in_hw: tuple[int, int], kernel: tuple[int, int],
+                   stride: tuple[int, int],
+                   pad: tuple[int, int] = (0, 0),
+                   *, ceil_mode: bool = True) -> tuple[int, int]:
+    """Output (height, width) of a pooling layer — paper eq. (3).
+
+    ``ceil_mode=True`` matches Caffe (and the ⌈·⌉ brackets of eq. (3));
+    ``ceil_mode=False`` gives the floor variant used by most later
+    frameworks.
+    """
+    h = _window_output(in_hw[0], kernel[0], stride[0], pad[0],
+                       ceil_mode=ceil_mode)
+    w = _window_output(in_hw[1], kernel[1], stride[1], pad[1],
+                       ceil_mode=ceil_mode)
+    return (h, w)

@@ -1,0 +1,73 @@
+"""Structural validation of IR networks.
+
+The constructor of :class:`~repro.ir.network.Network` already enforces the
+chain form, unique names, and successful shape inference.  This module adds
+the *mappability* checks the core logic needs before hardware generation:
+stage ordering (features extraction before classification, §2), and the
+constraints the accelerator template imposes (e.g. softmax only as the final
+normalization layer).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.ir.layers import (
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    Layer,
+    PoolLayer,
+    SoftmaxLayer,
+    Stage,
+)
+from repro.ir.network import Network
+
+
+def validate_network(net: Network) -> None:
+    """Raise :class:`ValidationError` if ``net`` cannot be mapped.
+
+    Checks:
+
+    * exactly one input layer, at position 0 (chain form is implied);
+    * no features-extraction layer (conv/pool) after the first
+      classification layer — the paper's two-phase structure;
+    * softmax, if present, is the final layer;
+    * at least one compute layer.
+    """
+    input_layers = [l for l in net.layers if isinstance(l, InputLayer)]
+    if len(input_layers) != 1 or net.layers[0] is not input_layers[0]:
+        raise ValidationError(
+            f"network {net.name!r} must have exactly one leading InputLayer")
+
+    if not net.compute_layers():
+        raise ValidationError(
+            f"network {net.name!r} has no compute layers")
+
+    seen_classifier = False
+    for layer in net.layers[1:]:
+        if isinstance(layer, FullyConnectedLayer):
+            seen_classifier = True
+        elif isinstance(layer, (ConvLayer, PoolLayer)) and seen_classifier:
+            raise ValidationError(
+                f"features-extraction layer {layer.name!r} appears after"
+                " the classification stage began")
+
+    for i, layer in enumerate(net.layers):
+        if isinstance(layer, SoftmaxLayer) and i != len(net.layers) - 1:
+            raise ValidationError(
+                f"softmax layer {layer.name!r} must be the final layer")
+
+    _validate_flatten_positions(net)
+
+
+def _validate_flatten_positions(net: Network) -> None:
+    """Flatten layers may only appear at the features/classifier boundary."""
+    for i, layer in enumerate(net.layers):
+        if not isinstance(layer, FlattenLayer):
+            continue
+        after = net.layers[i + 1:]
+        if any(isinstance(l, (ConvLayer, PoolLayer)) for l in after):
+            raise ValidationError(
+                f"flatten layer {layer.name!r} is followed by"
+                " features-extraction layers")

@@ -1,0 +1,116 @@
+"""The reference engine: execute an IR network with numpy kernels.
+
+This is the functional oracle for the generated accelerator and the software
+baseline for the evaluation harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.frontend.weights import WeightStore
+from repro.ir.layers import (
+    Activation,
+    ActivationLayer,
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    Layer,
+    PoolLayer,
+    PoolOp,
+    SoftmaxLayer,
+)
+from repro.ir.network import Network
+from repro.nn import functional as F
+
+_ACTIVATIONS = {
+    Activation.RELU: F.relu,
+    Activation.SIGMOID: F.sigmoid,
+    Activation.TANH: F.tanh,
+}
+
+
+class ReferenceEngine:
+    """Forward inference over a network with a weight store."""
+
+    def __init__(self, net: Network, weights: WeightStore):
+        weights.validate(net)
+        self.net = net
+        self.weights = weights
+
+    # -- single-layer dispatch ---------------------------------------------
+
+    def run_layer(self, layer: Layer, x: np.ndarray) -> np.ndarray:
+        """Execute one layer on a (C, H, W) activation."""
+        if isinstance(layer, InputLayer):
+            expected = layer.shape.as_tuple()
+            if tuple(x.shape) != expected:
+                raise ShapeError(
+                    f"input shape {tuple(x.shape)} does not match declared"
+                    f" {expected}")
+            return x
+        if isinstance(layer, ConvLayer):
+            out = F.conv2d(
+                x,
+                self.weights.get(layer.name, "weights"),
+                self.weights.get(layer.name, "bias") if layer.bias else None,
+                stride=layer.stride,
+                pad=layer.pad,
+            )
+            if layer.activation is not Activation.NONE:
+                out = _ACTIVATIONS[layer.activation](out)
+            return out
+        if isinstance(layer, PoolLayer):
+            assert layer.stride is not None
+            pool = F.max_pool2d if layer.op is PoolOp.MAX else F.avg_pool2d
+            return pool(x, layer.kernel, layer.stride, layer.pad,
+                        ceil_mode=layer.ceil_mode)
+        if isinstance(layer, ActivationLayer):
+            return _ACTIVATIONS[layer.kind](x)
+        if isinstance(layer, FlattenLayer):
+            return x.reshape(-1, 1, 1)
+        if isinstance(layer, FullyConnectedLayer):
+            out = F.fully_connected(
+                x,
+                self.weights.get(layer.name, "weights"),
+                self.weights.get(layer.name, "bias") if layer.bias else None,
+            )
+            if layer.activation is not Activation.NONE:
+                out = _ACTIVATIONS[layer.activation](out)
+            return out.reshape(-1, 1, 1)
+        if isinstance(layer, SoftmaxLayer):
+            fn = F.log_softmax if layer.log else F.softmax
+            return fn(x)
+        raise TypeError(f"unknown layer type {type(layer).__name__}")
+
+    # -- network-level API ----------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run one sample through the whole network."""
+        x = np.asarray(x, dtype=np.float32)
+        for layer in self.net.layers:
+            x = self.run_layer(layer, x)
+        return x
+
+    def forward_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Run a (N, C, H, W) batch, sample by sample."""
+        batch = np.asarray(batch, dtype=np.float32)
+        if batch.ndim != 4:
+            raise ShapeError(
+                f"forward_batch expects (N, C, H, W), got {batch.shape}")
+        return np.stack([self.forward(sample) for sample in batch])
+
+    def activations(self, x: np.ndarray) -> dict[str, np.ndarray]:
+        """Per-layer output activations for one sample (keyed by name)."""
+        x = np.asarray(x, dtype=np.float32)
+        outputs: dict[str, np.ndarray] = {}
+        for layer in self.net.layers:
+            x = self.run_layer(layer, x)
+            outputs[layer.name] = x
+        return outputs
+
+    def predict(self, x: np.ndarray) -> int:
+        """Class index of the most probable output."""
+        return int(np.argmax(self.forward(x)))

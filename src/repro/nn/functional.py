@@ -1,0 +1,200 @@
+"""Vectorized numpy kernels for the IR layer set.
+
+Layout convention: activations are ``(C, H, W)`` float arrays (one sample —
+the accelerator processes a stream of single images; batching is handled one
+level up).  Convolution is implemented with an im2col lowering (stride-trick
+view + one GEMM), the standard way to get near-BLAS throughput out of numpy;
+the window view avoids materializing patch copies until the single reshape
+before the GEMM, per the "views not copies" guidance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.errors import ShapeError
+
+
+def _check_chw(x: np.ndarray, who: str) -> None:
+    if x.ndim != 3:
+        raise ShapeError(f"{who} expects a (C, H, W) array, got shape"
+                         f" {x.shape}")
+
+
+def _pad_hw(x: np.ndarray, pad: tuple[int, int]) -> np.ndarray:
+    if pad == (0, 0):
+        return x
+    return np.pad(x, ((0, 0), (pad[0], pad[0]), (pad[1], pad[1])))
+
+
+def sliding_windows(x: np.ndarray, kernel: tuple[int, int],
+                    stride: tuple[int, int]) -> np.ndarray:
+    """Return a strided view ``(C, OH, OW, KH, KW)`` of all windows of ``x``.
+
+    The view shares memory with ``x``; callers must not write through it.
+    """
+    _check_chw(x, "sliding_windows")
+    c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    if kh > h or kw > w:
+        raise ShapeError(
+            f"window {kernel} does not fit input of shape {x.shape}")
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+    sc, srow, scol = x.strides
+    return as_strided(
+        x,
+        shape=(c, oh, ow, kh, kw),
+        strides=(sc, srow * sh, scol * sw, srow, scol),
+        writeable=False,
+    )
+
+
+def im2col(x: np.ndarray, kernel: tuple[int, int],
+           stride: tuple[int, int] = (1, 1),
+           pad: tuple[int, int] = (0, 0)) -> np.ndarray:
+    """Lower ``x`` to a ``(C*KH*KW, OH*OW)`` patch matrix."""
+    x = _pad_hw(x, pad)
+    windows = sliding_windows(x, kernel, stride)
+    c, oh, ow, kh, kw = windows.shape
+    # (C, KH, KW, OH, OW) -> (C*KH*KW, OH*OW); the transpose is a view, the
+    # reshape makes the single necessary copy.
+    cols = windows.transpose(0, 3, 4, 1, 2).reshape(c * kh * kw, oh * ow)
+    return cols
+
+
+def conv2d(x: np.ndarray, weights: np.ndarray,
+           bias: np.ndarray | None = None,
+           stride: tuple[int, int] = (1, 1),
+           pad: tuple[int, int] = (0, 0)) -> np.ndarray:
+    """2-D cross-correlation over all input channels — paper eq. (1).
+
+    ``weights`` has shape ``(F, C, KH, KW)``; the result has shape
+    ``(F, OH, OW)``.  (Like Caffe and every accelerator in this space, the
+    "convolution" does not flip the kernel.)
+    """
+    _check_chw(x, "conv2d")
+    if weights.ndim != 4:
+        raise ShapeError(
+            f"conv2d weights must be (F, C, KH, KW), got {weights.shape}")
+    f, c, kh, kw = weights.shape
+    if c != x.shape[0]:
+        raise ShapeError(
+            f"conv2d channel mismatch: input has {x.shape[0]}, weights"
+            f" expect {c}")
+    cols = im2col(x, (kh, kw), stride, pad)
+    out = weights.reshape(f, c * kh * kw) @ cols
+    if bias is not None:
+        if bias.shape != (f,):
+            raise ShapeError(
+                f"conv2d bias must have shape ({f},), got {bias.shape}")
+        out += bias[:, None]
+    h = x.shape[1] + 2 * pad[0]
+    w = x.shape[2] + 2 * pad[1]
+    oh = (h - kh) // stride[0] + 1
+    ow = (w - kw) // stride[1] + 1
+    return out.reshape(f, oh, ow)
+
+
+def _pool_pad(x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int],
+              pad: tuple[int, int], fill: float,
+              ceil_mode: bool) -> np.ndarray:
+    """Pad for pooling; with ceil_mode, extend so the last window fits."""
+    c, h, w = x.shape
+    ph, pw = pad
+    extra_h = extra_w = 0
+    if ceil_mode:
+        def need(size: int, k: int, s: int, p: int) -> int:
+            span = size + 2 * p - k
+            steps = -(-span // s)  # ceil division
+            out = steps + 1
+            if p > 0 and (out - 1) * s >= size + p:
+                out -= 1
+            return max(0, (out - 1) * s + k - (size + 2 * p))
+        extra_h = need(h, kernel[0], stride[0], ph)
+        extra_w = need(w, kernel[1], stride[1], pw)
+    if ph == 0 and pw == 0 and extra_h == 0 and extra_w == 0:
+        return x
+    return np.pad(x, ((0, 0), (ph, ph + extra_h), (pw, pw + extra_w)),
+                  constant_values=fill)
+
+
+def max_pool2d(x: np.ndarray, kernel: tuple[int, int],
+               stride: tuple[int, int] | None = None,
+               pad: tuple[int, int] = (0, 0),
+               *, ceil_mode: bool = True) -> np.ndarray:
+    """Max pooling — eq. (3) with the max operator."""
+    _check_chw(x, "max_pool2d")
+    stride = kernel if stride is None else stride
+    padded = _pool_pad(x, kernel, stride, pad, -np.inf, ceil_mode)
+    windows = sliding_windows(padded, kernel, stride)
+    return windows.max(axis=(3, 4))
+
+
+def avg_pool2d(x: np.ndarray, kernel: tuple[int, int],
+               stride: tuple[int, int] | None = None,
+               pad: tuple[int, int] = (0, 0),
+               *, ceil_mode: bool = True) -> np.ndarray:
+    """Average pooling — eq. (3) with the mean operator.
+
+    Padding elements (zeros) participate in the average, matching Caffe.
+    """
+    _check_chw(x, "avg_pool2d")
+    stride = kernel if stride is None else stride
+    padded = _pool_pad(x, kernel, stride, pad, 0.0, ceil_mode)
+    windows = sliding_windows(padded, kernel, stride)
+    return windows.mean(axis=(3, 4))
+
+
+def fully_connected(x: np.ndarray, weights: np.ndarray,
+                    bias: np.ndarray | None = None) -> np.ndarray:
+    """Fully-connected layer — eq. (4).  ``x`` is flattened implicitly."""
+    flat = x.reshape(-1)
+    if weights.ndim != 2 or weights.shape[1] != flat.shape[0]:
+        raise ShapeError(
+            f"fc weights must be (N, {flat.shape[0]}), got {weights.shape}")
+    out = weights @ flat
+    if bias is not None:
+        if bias.shape != (weights.shape[0],):
+            raise ShapeError(
+                f"fc bias must have shape ({weights.shape[0]},), got"
+                f" {bias.shape}")
+        out = out + bias
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit f(x) = max(0, x)."""
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid f(x) = 1 / (1 + e^-x), numerically stabilized."""
+    out = np.empty_like(x, dtype=np.result_type(x, np.float32))
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent."""
+    return np.tanh(x)
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    """Softmax normalization — eq. (5) without the log."""
+    flat = x.reshape(-1)
+    shifted = flat - flat.max()
+    ex = np.exp(shifted)
+    return (ex / ex.sum()).reshape(x.shape)
+
+
+def log_softmax(x: np.ndarray) -> np.ndarray:
+    """LogSoftMax — the paper's normalization operator (eq. 5, log form)."""
+    flat = x.reshape(-1)
+    shifted = flat - flat.max()
+    return (shifted - np.log(np.exp(shifted).sum())).reshape(x.shape)

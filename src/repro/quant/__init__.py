@@ -1,0 +1,35 @@
+"""Fixed-point quantization (framework extension).
+
+The related work the paper compares against ([14], Qiu et al. FPGA'16)
+shows that "data quantization is performed to reduce bandwidth
+requirements and resource utilization, with negligible impact on the
+resulting accuracy".  This package adds that capability to the framework:
+post-training symmetric linear quantization of weights and activations,
+fake-quantized inference for accuracy evaluation, and the corresponding
+resource-model scaling (int16/int8 MACs cost a fraction of an fp32
+DSP tree; storage shrinks with the word width).
+"""
+
+from repro.quant.scheme import (
+    PRECISIONS,
+    QuantScheme,
+    dequantize,
+    quantize,
+)
+from repro.quant.apply import (
+    LayerQuantStats,
+    QuantReport,
+    QuantizedEngine,
+    quantize_store,
+)
+
+__all__ = [
+    "PRECISIONS",
+    "QuantScheme",
+    "dequantize",
+    "quantize",
+    "LayerQuantStats",
+    "QuantReport",
+    "QuantizedEngine",
+    "quantize_store",
+]

@@ -1,0 +1,80 @@
+"""Symmetric per-tensor linear quantization.
+
+A tensor ``x`` quantizes to ``q = clip(round(x / scale))`` with
+``scale = max|x| / qmax`` — the standard post-training scheme.  Values
+come back as ``q * scale`` (fake quantization), which is numerically what
+the fixed-point datapath computes up to accumulator effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CondorError
+
+#: Supported datapath precisions and their MAC/storage characteristics.
+#: ``dsp_per_mac``: DSP48 slices per multiply-accumulate (an int8 MAC
+#: packs two per DSP; fp32 needs a 3-DSP multiplier + 2-DSP adder).
+PRECISIONS: dict[str, dict[str, float]] = {
+    "fp32": {"bits": 32, "dsp_per_mac": 5.0},
+    "int16": {"bits": 16, "dsp_per_mac": 1.0},
+    "int8": {"bits": 8, "dsp_per_mac": 0.5},
+}
+
+
+@dataclass(frozen=True)
+class QuantScheme:
+    """Bit width + derived ranges for symmetric signed quantization."""
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 2 or self.bits > 32:
+            raise CondorError(f"unsupported bit width {self.bits}")
+
+    @property
+    def qmax(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    @property
+    def qmin(self) -> int:
+        return -self.qmax  # symmetric: -(2^(b-1)-1), keeps zero exact
+
+    def scale_for(self, array: np.ndarray) -> float:
+        peak = float(np.max(np.abs(array))) if array.size else 0.0
+        if peak == 0.0:
+            return 1.0
+        return peak / self.qmax
+
+    @classmethod
+    def for_precision(cls, precision: str) -> "QuantScheme":
+        try:
+            return cls(bits=int(PRECISIONS[precision]["bits"]))
+        except KeyError:
+            raise CondorError(
+                f"unknown precision {precision!r}; known:"
+                f" {sorted(PRECISIONS)}") from None
+
+
+def quantize(array: np.ndarray, scheme: QuantScheme,
+             scale: float | None = None) -> tuple[np.ndarray, float]:
+    """Quantize to integers; returns ``(q, scale)``."""
+    array = np.asarray(array, dtype=np.float64)
+    if scale is None:
+        scale = scheme.scale_for(array)
+    q = np.clip(np.rint(array / scale), scheme.qmin, scheme.qmax)
+    return q.astype(np.int64), float(scale)
+
+
+def dequantize(q: np.ndarray, scale: float) -> np.ndarray:
+    """Map integers back to the real axis."""
+    return (np.asarray(q, dtype=np.float64) * scale).astype(np.float32)
+
+
+def fake_quantize(array: np.ndarray, scheme: QuantScheme,
+                  scale: float | None = None) -> np.ndarray:
+    """quantize → dequantize in one step (the datapath's rounding)."""
+    q, s = quantize(array, scheme, scale)
+    return dequantize(q, s)

@@ -1,0 +1,29 @@
+"""OpenCL-flavoured host runtime over the simulated device.
+
+Mirrors the subset of the OpenCL host API the generated host code uses:
+platform → device → context → program (from xclbin) → kernel → buffers →
+command queue.  Kernel execution reconstructs the accelerator from the
+network description embedded in the xclbin and runs it — on the
+discrete-event simulator for cycle-accurate runs, or on the reference
+engine + analytic timing for large batches.
+"""
+
+from repro.runtime.opencl import (
+    Buffer,
+    CommandQueue,
+    Context,
+    Kernel,
+    Program,
+    SimDevice,
+    get_platforms,
+)
+
+__all__ = [
+    "Buffer",
+    "CommandQueue",
+    "Context",
+    "Kernel",
+    "Program",
+    "SimDevice",
+    "get_platforms",
+]

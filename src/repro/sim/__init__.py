@@ -1,0 +1,27 @@
+"""Discrete-event simulation of the dataflow accelerator.
+
+* :mod:`repro.sim.core` — a from-scratch simulation kernel: coroutine
+  processes, blocking bounded channels (the FIFO semantics of §3.2:
+  "independent elements communicating over FIFOs using blocking reads and
+  writes"), deadlock detection;
+* :mod:`repro.sim.window` — the functional model of the filter-chain memory
+  subsystem (window extraction with the [28] buffering bound);
+* :mod:`repro.sim.dataflow` — accelerator execution: one process per PE plus
+  the datamover, functional results bit-comparable to the reference engine
+  and cycle counts cross-validated against :mod:`repro.hw.perf`.
+"""
+
+from repro.sim.core import Channel, Delay, Get, Put, Simulator
+from repro.sim.window import SlidingWindowBuffer
+from repro.sim.dataflow import SimulationResult, simulate_accelerator
+
+__all__ = [
+    "Channel",
+    "Delay",
+    "Get",
+    "Put",
+    "Simulator",
+    "SlidingWindowBuffer",
+    "SimulationResult",
+    "simulate_accelerator",
+]

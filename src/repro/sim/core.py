@@ -1,0 +1,253 @@
+"""A minimal discrete-event simulation kernel (simpy-flavoured, built from
+scratch).
+
+Processes are Python generators that yield *commands*:
+
+* ``Delay(cycles)`` — advance this process's local time;
+* ``Put(channel, value)`` — blocking write: suspends while the channel is
+  full;
+* ``Get(channel)`` — blocking read: suspends while the channel is empty;
+  the received value is the result of the ``yield``.
+
+Channels are bounded FIFOs.  The kernel is deterministic: simultaneous
+events run in creation order.  If every live process is blocked on a channel
+and no timed events remain, the system has deadlocked and
+:class:`~repro.errors.DeadlockError` is raised with a description of who
+waits on what — the failure mode a mis-sized FIFO produces in the real
+architecture.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Generator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import DeadlockError, SimulationError
+
+
+@dataclass(frozen=True)
+class Delay:
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise SimulationError(f"negative delay: {self.cycles}")
+
+
+@dataclass(frozen=True)
+class Put:
+    channel: "Channel"
+    value: Any
+
+
+@dataclass(frozen=True)
+class Get:
+    channel: "Channel"
+
+
+class Channel:
+    """A bounded FIFO with blocking put/get semantics."""
+
+    def __init__(self, name: str, capacity: int):
+        if capacity < 1:
+            raise SimulationError(
+                f"channel {name!r}: capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        #: Processes blocked on put (with their pending values) / get.
+        self.blocked_putters: deque[tuple["_Proc", Any]] = deque()
+        self.blocked_getters: deque["_Proc"] = deque()
+        #: High-water mark, for occupancy statistics.
+        self.max_occupancy = 0
+        self.total_puts = 0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self.items
+
+    def __repr__(self) -> str:
+        return (f"Channel({self.name!r}, {len(self.items)}/{self.capacity})")
+
+
+class _Proc:
+    """Internal process record."""
+
+    __slots__ = ("name", "gen", "waiting_on", "send_value", "done",
+                 "busy_cycles", "blocked_since")
+
+    def __init__(self, name: str, gen: Generator):
+        self.name = name
+        self.gen = gen
+        self.waiting_on: str | None = None   # for diagnostics
+        self.send_value: Any = None
+        self.done = False
+        self.busy_cycles = 0
+        self.blocked_since: int | None = None
+
+
+class Simulator:
+    """The event loop."""
+
+    def __init__(self):
+        self.now = 0
+        self._heap: list[tuple[int, int, _Proc]] = []
+        self._seq = 0
+        self._procs: list[_Proc] = []
+        self._channels: list[Channel] = []
+        self._blocked_time: dict[str, int] = {}
+        #: Optional observers called as ``observer(kind, time, **data)``
+        #: for kinds "put", "get", "block", "unblock" (see repro.sim.trace).
+        self.observers: list = []
+
+    def _notify(self, kind: str, **data) -> None:
+        for observer in self.observers:
+            observer(kind, self.now, **data)
+
+    # -- construction ---------------------------------------------------------
+
+    def channel(self, name: str, capacity: int) -> Channel:
+        ch = Channel(name, capacity)
+        self._channels.append(ch)
+        return ch
+
+    def process(self, name: str, gen: Generator) -> None:
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"process {name!r} must be a generator (got"
+                f" {type(gen).__name__})")
+        proc = _Proc(name, gen)
+        self._procs.append(proc)
+        self._blocked_time[name] = 0
+        self._schedule(proc, 0)
+
+    # -- internals --------------------------------------------------------------
+
+    def _schedule(self, proc: _Proc, delay: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, proc))
+
+    def _unblock(self, proc: _Proc) -> None:
+        if proc.blocked_since is not None:
+            self._blocked_time[proc.name] += self.now - proc.blocked_since
+            proc.blocked_since = None
+        if self.observers:
+            self._notify("unblock", process=proc.name,
+                         reason=proc.waiting_on)
+        proc.waiting_on = None
+        self._schedule(proc, 0)
+
+    def _step(self, proc: _Proc) -> None:
+        """Advance one process until it blocks, delays, or finishes."""
+        while True:
+            try:
+                command = proc.gen.send(proc.send_value)
+            except StopIteration:
+                proc.done = True
+                return
+            proc.send_value = None
+            if isinstance(command, Delay):
+                proc.busy_cycles += command.cycles
+                if command.cycles:
+                    self._schedule(proc, command.cycles)
+                    return
+                continue
+            if isinstance(command, Put):
+                ch = command.channel
+                if ch.full:
+                    ch.blocked_putters.append((proc, command.value))
+                    proc.waiting_on = f"put:{ch.name}"
+                    proc.blocked_since = self.now
+                    if self.observers:
+                        self._notify("block", process=proc.name,
+                                     reason=proc.waiting_on)
+                    return
+                self._do_put(ch, command.value)
+                continue
+            if isinstance(command, Get):
+                ch = command.channel
+                if ch.empty:
+                    ch.blocked_getters.append(proc)
+                    proc.waiting_on = f"get:{ch.name}"
+                    proc.blocked_since = self.now
+                    if self.observers:
+                        self._notify("block", process=proc.name,
+                                     reason=proc.waiting_on)
+                    return
+                proc.send_value = self._do_get(ch)
+                continue
+            raise SimulationError(
+                f"process {proc.name!r} yielded unknown command"
+                f" {command!r}")
+
+    def _do_put(self, ch: Channel, value: Any) -> None:
+        ch.items.append(value)
+        ch.total_puts += 1
+        ch.max_occupancy = max(ch.max_occupancy, len(ch.items))
+        if self.observers:
+            self._notify("put", channel=ch.name, occupancy=len(ch.items))
+        if ch.blocked_getters:
+            getter = ch.blocked_getters.popleft()
+            getter.send_value = self._do_get(ch)
+            self._unblock(getter)
+
+    def _do_get(self, ch: Channel) -> Any:
+        value = ch.items.popleft()
+        if self.observers:
+            self._notify("get", channel=ch.name, occupancy=len(ch.items))
+        if ch.blocked_putters:
+            putter, pending = ch.blocked_putters.popleft()
+            self._do_put(ch, pending)
+            self._unblock(putter)
+        return value
+
+    # -- run ---------------------------------------------------------------------
+
+    def run(self, max_cycles: int | None = None) -> int:
+        """Run to completion; returns the final simulation time.
+
+        Raises :class:`DeadlockError` when live processes remain but no
+        event can ever fire, and :class:`SimulationError` when
+        ``max_cycles`` is exceeded (a livelock guard).
+        """
+        while self._heap:
+            time, _, proc = heapq.heappop(self._heap)
+            if proc.done:
+                continue
+            if max_cycles is not None and time > max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles")
+            self.now = time
+            self._step(proc)
+        alive = [p for p in self._procs if not p.done]
+        if alive:
+            waits = ", ".join(f"{p.name} waiting on {p.waiting_on}"
+                              for p in alive)
+            raise DeadlockError(f"dataflow deadlock at cycle {self.now}:"
+                                f" {waits}")
+        return self.now
+
+    # -- statistics ----------------------------------------------------------------
+
+    def blocked_cycles(self, name: str) -> int:
+        return self._blocked_time[name]
+
+    def busy_cycles(self, name: str) -> int:
+        for proc in self._procs:
+            if proc.name == name:
+                return proc.busy_cycles
+        raise KeyError(name)
+
+    @property
+    def channels(self) -> list[Channel]:
+        return list(self._channels)

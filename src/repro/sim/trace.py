@@ -1,0 +1,135 @@
+"""Execution tracing and profiling for simulated runs.
+
+Attach a :class:`Trace` to a :class:`~repro.sim.core.Simulator` (or pass
+``trace=`` to :func:`~repro.sim.dataflow.simulate_accelerator`) to record
+FIFO occupancy over time and PE stall intervals.  The recorded data backs
+the kind of bottleneck analysis the paper's generated host code exists
+for: which FIFO backs up, which PE starves, what the occupancy high-water
+marks are — and exports to CSV for external tooling.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.sim.core import Simulator
+
+
+@dataclass(frozen=True)
+class StallInterval:
+    """One blocked interval of a process."""
+
+    process: str
+    reason: str  # "put:<channel>" or "get:<channel>"
+    start: int
+    end: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """Recorded channel occupancy samples and process stall intervals."""
+
+    #: channel -> [(time, occupancy)] samples (every put/get transition).
+    occupancy: dict[str, list[tuple[int, int]]] = field(
+        default_factory=lambda: defaultdict(list))
+    stalls: list[StallInterval] = field(default_factory=list)
+    end_time: int = 0
+    _open_blocks: dict[str, tuple[str, int]] = field(default_factory=dict)
+
+    # -- observer protocol ---------------------------------------------------
+
+    def __call__(self, kind: str, time: int, **data) -> None:
+        self.end_time = max(self.end_time, time)
+        if kind in ("put", "get"):
+            self.occupancy[data["channel"]].append(
+                (time, data["occupancy"]))
+        elif kind == "block":
+            self._open_blocks[data["process"]] = (data["reason"], time)
+        elif kind == "unblock":
+            entry = self._open_blocks.pop(data["process"], None)
+            if entry is not None:
+                reason, start = entry
+                self.stalls.append(StallInterval(
+                    process=data["process"], reason=reason, start=start,
+                    end=time))
+
+    def attach(self, sim: Simulator) -> "Trace":
+        sim.observers.append(self)
+        return self
+
+    # -- analysis ----------------------------------------------------------------
+
+    def channels(self) -> list[str]:
+        return sorted(self.occupancy)
+
+    def max_occupancy(self, channel: str) -> int:
+        samples = self.occupancy.get(channel, [])
+        return max((occ for _, occ in samples), default=0)
+
+    def mean_occupancy(self, channel: str) -> float:
+        """Time-weighted mean occupancy of a channel."""
+        samples = self.occupancy.get(channel, [])
+        if not samples:
+            return 0.0
+        total = 0.0
+        for (t0, occ), (t1, _) in zip(samples, samples[1:]):
+            total += occ * (t1 - t0)
+        last_t, last_occ = samples[-1]
+        total += last_occ * max(self.end_time - last_t, 0)
+        span = max(self.end_time - samples[0][0], 1)
+        return total / span
+
+    def stall_cycles(self, process: str) -> int:
+        return sum(s.cycles for s in self.stalls if s.process == process)
+
+    def stall_breakdown(self, process: str) -> dict[str, int]:
+        """Blocked cycles of a process, split by reason."""
+        out: dict[str, int] = defaultdict(int)
+        for stall in self.stalls:
+            if stall.process == process:
+                out[stall.reason] += stall.cycles
+        return dict(out)
+
+    def bottleneck_channels(self, top: int = 5) -> list[tuple[str, int]]:
+        """Channels ranked by the blocked cycles they caused."""
+        by_channel: dict[str, int] = defaultdict(int)
+        for stall in self.stalls:
+            channel = stall.reason.split(":", 1)[1]
+            by_channel[channel] += stall.cycles
+        ranked = sorted(by_channel.items(), key=lambda kv: -kv[1])
+        return ranked[:top]
+
+    # -- export ---------------------------------------------------------------------
+
+    def occupancy_csv(self) -> str:
+        lines = ["channel,time,occupancy"]
+        for channel in self.channels():
+            for time, occ in self.occupancy[channel]:
+                lines.append(f"{channel},{time},{occ}")
+        return "\n".join(lines) + "\n"
+
+    def stalls_csv(self) -> str:
+        lines = ["process,reason,start,end,cycles"]
+        for stall in sorted(self.stalls,
+                            key=lambda s: (s.start, s.process)):
+            lines.append(f"{stall.process},{stall.reason},{stall.start},"
+                         f"{stall.end},{stall.cycles}")
+        return "\n".join(lines) + "\n"
+
+    def report(self) -> str:
+        """A human-readable profile summary."""
+        from repro.util.tables import TextTable
+
+        table = TextTable(["channel", "max occ", "mean occ",
+                           "stall cycles caused"])
+        caused = dict(self.bottleneck_channels(top=10 ** 6))
+        for channel in self.channels():
+            table.add_row([channel, self.max_occupancy(channel),
+                           self.mean_occupancy(channel),
+                           caused.get(channel, 0)])
+        return table.render()

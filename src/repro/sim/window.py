@@ -1,0 +1,80 @@
+"""Functional model of the filter-chain memory subsystem.
+
+The hardware realizes the sliding window with the non-uniform partitioning
+of :mod:`repro.hw.partitioning`: one filter per window access, FIFOs sized
+to the reuse distances.  Functionally the chain is equivalent to a buffer
+holding the last ``(K_h − 1)·W + K_w`` stream elements, from which each
+complete window position can be read concurrently; this class implements
+that equivalent semantics while *asserting the [28] invariant* — the
+retained element count never exceeds the chain's buffered span (+ the
+in-flight element), which is exactly what the per-access FIFO sizing
+guarantees.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.hw.partitioning import FilterChainSpec
+
+
+class SlidingWindowBuffer:
+    """Push raster-order elements of one feature map, pop complete windows.
+
+    Padding and stride are applied by the caller pushing padded rows /
+    filtering emitted positions; this class handles the pure chain
+    semantics: a window is complete when its bottom-right access — the
+    *first* filter of the inverse-lexicographic chain — has received its
+    element.
+    """
+
+    def __init__(self, spec: FilterChainSpec, input_height: int):
+        self.spec = spec
+        self.height = input_height
+        self.width = spec.input_width
+        if input_height < spec.window[0]:
+            raise SimulationError(
+                f"input height {input_height} smaller than window"
+                f" {spec.window}")
+        self._buffer: deque[float] = deque()
+        self._pushed = 0
+
+    @property
+    def capacity_words(self) -> int:
+        """The chain's storage bound: buffered span + the in-flight word."""
+        return self.spec.buffered_words + 1
+
+    def push(self, value: float) -> np.ndarray | None:
+        """Push one element; returns the completed (K_h, K_w) window when
+        the element closes one, else ``None``."""
+        if self._pushed >= self.height * self.width:
+            raise SimulationError("pushed more elements than the feature"
+                                  " map holds; reset() between maps")
+        self._buffer.append(float(value))
+        if len(self._buffer) > self.capacity_words:
+            self._buffer.popleft()
+        assert len(self._buffer) <= self.capacity_words, \
+            "non-uniform partitioning bound violated"
+        pos = self._pushed
+        self._pushed += 1
+        row, col = divmod(pos, self.width)
+        kh, kw = self.spec.window
+        if row < kh - 1 or col < kw - 1:
+            return None
+        # The buffer's last element is (row, col); element (row-dm, col-dn)
+        # sits dm*W + dn places before it.
+        window = np.empty((kh, kw), dtype=np.float32)
+        last = len(self._buffer) - 1
+        for m in range(kh):
+            for n in range(kw):
+                distance = (kh - 1 - m) * self.width + (kw - 1 - n)
+                window[m, n] = self._buffer[last - distance]
+        return window
+
+    def reset(self) -> None:
+        """Prepare for the next feature map."""
+        self._buffer.clear()
+        self._pushed = 0

@@ -1,0 +1,35 @@
+"""The simulated Xilinx toolchain (see DESIGN.md substitutions).
+
+* :mod:`repro.toolchain.hls` — Vivado HLS: C source → synthesis report + IP;
+* :mod:`repro.toolchain.vivado` — IP packaging + IP Integrator block
+  designs (flow steps 3c and 5);
+* :mod:`repro.toolchain.xclbin` — the sectioned binary container format;
+* :mod:`repro.toolchain.sdaccel` — kernel XML, ``.xo`` packaging and the
+  ``xocc`` link stage (flow steps 6 and 7).
+"""
+
+from repro.toolchain.hls import HLSReport, VivadoHLS, parse_condor_metadata
+from repro.toolchain.vivado import BlockDesign, VivadoIP, package_ip
+from repro.toolchain.xclbin import Xclbin, read_xclbin, write_xclbin
+from repro.toolchain.sdaccel import (
+    XoFile,
+    generate_kernel_xml,
+    package_xo,
+    xocc_link,
+)
+
+__all__ = [
+    "HLSReport",
+    "VivadoHLS",
+    "parse_condor_metadata",
+    "BlockDesign",
+    "VivadoIP",
+    "package_ip",
+    "Xclbin",
+    "read_xclbin",
+    "write_xclbin",
+    "XoFile",
+    "generate_kernel_xml",
+    "package_xo",
+    "xocc_link",
+]

@@ -1,0 +1,233 @@
+"""Simulated Vivado HLS.
+
+Consumes the *generated C sources* (not the in-memory accelerator): it
+parses the ``@condor`` metadata header, the function signature and the
+pragmas out of the text, validates them, and produces the synthesis report
+(latency, II, resources, Fmax estimate) plus a packaged HLS IP.  This keeps
+the contract of the real flow — the downstream steps only ever see sources
+and reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import HLSError
+from repro.hw.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.hw.components import PEKind, ProcessingElement
+from repro.hw.estimate import estimate_pe_core
+from repro.hw.resources import DEVICES, ResourceVector
+from repro.util.logging import get_logger
+
+_log = get_logger("toolchain.hls")
+
+_METADATA_RE = re.compile(r"^//\s*@condor\s+([\w.]+)=(.*)$", re.MULTILINE)
+_SIGNATURE_RE = re.compile(
+    r"void\s+(\w+)\s*\(([^)]*)\)", re.DOTALL)
+_STREAM_ARG_RE = re.compile(r"hls::stream<\s*([\w:]+)\s*>\s*&\s*(\w+)")
+_PRAGMA_RE = re.compile(r"^\s*#pragma\s+HLS\s+(.*)$", re.MULTILINE)
+
+
+def parse_condor_metadata(source: str) -> dict[str, str]:
+    """Extract the ``@condor key=value`` header of a generated source."""
+    return {key: value.strip()
+            for key, value in _METADATA_RE.findall(source)}
+
+
+@dataclass(frozen=True)
+class HLSReport:
+    """The synthesis report of one kernel."""
+
+    kernel: str
+    latency_cycles: int
+    ii: int
+    resources: ResourceVector
+    fmax_hz: float
+
+    def meets(self, clock_hz: float) -> bool:
+        return self.fmax_hz >= clock_hz
+
+    def render(self, clock_hz: float | None = None) -> str:
+        """The ``*_csynth.rpt``-flavoured text report the real tool
+        writes next to each synthesized kernel."""
+        r = self.resources
+        lines = [
+            "=" * 54,
+            f"== Vivado HLS Report for '{self.kernel}' (simulated)",
+            "=" * 54,
+            "",
+            "== Performance Estimates",
+            f"  Estimated Fmax:        {self.fmax_hz / 1e6:10.2f} MHz",
+        ]
+        if clock_hz is not None:
+            lines.append(
+                f"  Target clock:          {clock_hz / 1e6:10.2f} MHz"
+                f"  ({'MET' if self.meets(clock_hz) else 'VIOLATED'})")
+        lines += [
+            f"  Latency (cycles):      {self.latency_cycles:10d}",
+            f"  Initiation Interval:   {self.ii:10d}",
+            "",
+            "== Utilization Estimates",
+            f"  LUT:     {r.lut:10.0f}",
+            f"  FF:      {r.ff:10.0f}",
+            f"  DSP48E:  {r.dsp:10.0f}",
+            f"  BRAM_18K:{r.bram_18k:10.0f}",
+        ]
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class HLSIP:
+    """A synthesized kernel, ready for IP packaging."""
+
+    name: str
+    report: HLSReport
+    #: (name, type) stream interfaces, in signature order.
+    stream_ports: list[tuple[str, str]] = field(default_factory=list)
+    metadata: dict[str, str] = field(default_factory=dict)
+    source_hash: str = ""
+
+
+class VivadoHLS:
+    """The HLS 'tool': configure with part + clock, then synthesize."""
+
+    def __init__(self, part: str, clock_hz: float,
+                 cal: Calibration = DEFAULT_CALIBRATION):
+        base = part.split("-")[0]
+        if base not in DEVICES:
+            raise HLSError(f"unknown part {part!r}")
+        self.part = base
+        self.device = DEVICES[base]
+        self.clock_hz = clock_hz
+        self.cal = cal
+        if clock_hz <= 0:
+            raise HLSError("clock must be positive")
+        #: Every report produced by this tool instance (the flow writes
+        #: them out as per-kernel ``*_csynth.rpt`` files).
+        self.reports: list[HLSReport] = []
+
+    # -- parsing ------------------------------------------------------------
+
+    def _parse_signature(self, source: str) -> tuple[str, list[tuple[str, str]]]:
+        match = _SIGNATURE_RE.search(source)
+        if not match:
+            raise HLSError("no top function found in source")
+        name, args = match.group(1), match.group(2)
+        streams = [(port, ctype)
+                   for ctype, port in _STREAM_ARG_RE.findall(args)]
+        return name, streams
+
+    def _check_pragmas(self, source: str, streams: list[tuple[str, str]]) \
+            -> None:
+        pragmas = _PRAGMA_RE.findall(source)
+        interface_ports = {p.split("port=")[-1].split()[0]
+                           for p in pragmas
+                           if p.startswith("INTERFACE") and "port=" in p}
+        for port, _ in streams:
+            if port not in interface_ports:
+                raise HLSError(
+                    f"stream port {port!r} has no INTERFACE pragma")
+        if not any(p.startswith("PIPELINE") for p in pragmas):
+            raise HLSError("no PIPELINE pragma found; the dataflow"
+                           " methodology requires II=1 inner loops")
+
+    # -- resource/timing reconstruction ---------------------------------------
+
+    def _pe_from_metadata(self, meta: dict[str, str]) -> ProcessingElement:
+        """Rebuild a core-resource-equivalent PE description from the
+        metadata the generator embedded."""
+        try:
+            kind = PEKind(meta["pe.kind"])
+            layers = tuple(meta["pe.layers"].split(","))
+            in_par = int(meta["pe.in_parallel"])
+            out_par = int(meta["pe.out_parallel"])
+            kh, kw = (int(v) for v in meta["pe.window"].split("x"))
+            weight_words = int(meta["pe.weight_words"])
+            buffer_words = int(meta["pe.buffer_words"])
+        except (KeyError, ValueError) as exc:
+            raise HLSError(f"malformed PE metadata: {exc}") from exc
+        # memory subsystems are separate kernels: attach empty placeholders
+        # (estimate_pe_core never reads them) so validation passes
+        memory = ()
+        if kind in (PEKind.CONV, PEKind.POOL):
+            memory = tuple(_dummy_subsystem((kh, kw))
+                           for _ in range(in_par))
+        return ProcessingElement(
+            name="synth", kind=kind, layer_names=layers,
+            in_parallel=in_par, out_parallel=out_par, memory=memory,
+            window=(kh, kw), weight_words=weight_words,
+            buffer_words=buffer_words,
+        )
+
+    def _fmax(self, resources: ResourceVector) -> float:
+        """Kernel-level Fmax: tighter logic (more LUTs per pipeline stage)
+        closes lower."""
+        density = resources.lut / max(self.device.capacity.lut, 1)
+        derate = 1.0 - 0.5 * min(density * 20.0, 0.5)
+        return self.device.fmax_hz * derate
+
+    # -- synthesis ------------------------------------------------------------
+
+    def synthesize(self, source: str) -> HLSIP:
+        """Synthesize one generated C source into an HLS IP + report."""
+        meta = parse_condor_metadata(source)
+        kind = meta.get("kind")
+        if kind not in ("pe", "filter", "datamover"):
+            raise HLSError(
+                f"source has no (or unknown) @condor kind: {kind!r}")
+        name, streams = self._parse_signature(source)
+        self._check_pragmas(source, streams)
+
+        cal = self.cal
+        if kind == "pe":
+            pe = self._pe_from_metadata(meta)
+            resources = estimate_pe_core(pe, cal)
+            ii = 1
+            latency = (cal.conv_pipeline_depth
+                       if pe.kind is PEKind.CONV
+                       else cal.fc_pipeline_depth
+                       if pe.kind is PEKind.FC
+                       else cal.pool_pipeline_depth)
+        elif kind == "filter":
+            resources = ResourceVector(lut=cal.filter_lut,
+                                       ff=cal.filter_ff).ceil()
+            ii, latency = 1, 2
+        else:  # datamover
+            ports = sum(1 for _, t in streams)
+            resources = ResourceVector(
+                lut=cal.datamover_lut + ports * cal.datamover_port_lut,
+                ff=cal.datamover_ff + ports * cal.datamover_port_ff,
+                dsp=cal.datamover_dsp,
+                bram_18k=cal.datamover_bram).ceil()
+            ii, latency = 1, 8
+
+        fmax = self._fmax(resources)
+        report = HLSReport(kernel=name, latency_cycles=latency, ii=ii,
+                           resources=resources, fmax_hz=fmax)
+        if not report.meets(self.clock_hz):
+            raise HLSError(
+                f"kernel {name!r} estimated Fmax"
+                f" {fmax / 1e6:.1f} MHz below requested"
+                f" {self.clock_hz / 1e6:.1f} MHz")
+        self.reports.append(report)
+        _log.debug("synthesized %s: II=%d latency=%d %s", name, ii,
+                   latency, resources)
+        return HLSIP(
+            name=name,
+            report=report,
+            stream_ports=streams,
+            metadata=meta,
+            source_hash=hashlib.sha256(source.encode()).hexdigest()[:16],
+        )
+
+
+def _dummy_subsystem(window: tuple[int, int]):
+    """A placeholder subsystem so the rebuilt PE passes validation; its
+    resources are not counted (memory kernels are synthesized separately)."""
+    from repro.hw.components import MemorySubsystem
+    from repro.hw.partitioning import partition_window_accesses
+
+    spec = partition_window_accesses(window, max(window[1], 2))
+    return MemorySubsystem(name="dummy", filters=(), fifos=(), spec=spec)

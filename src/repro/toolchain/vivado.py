@@ -1,0 +1,269 @@
+"""Simulated Vivado: IP packaging and IP Integrator block designs.
+
+Implements flow steps 3c ("an empty Vivado IP Integrator project is
+created, the filters are first linked together to form the memory subsystem
+and then connected to the PE to form the final structure of the layer;
+finally, the layer is packaged as a Vivado IP") and 5 ("all the IPs of the
+layers are linked together following the specified topology").
+
+The block design enforces the wiring rules a real IPI run would: stream
+ports connect one-to-one with matching data types, every port ends up
+connected, no double-driving.  A validated design can be packaged into a
+:class:`VivadoIP` whose resources aggregate its content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IPIntegratorError, PackagingError
+from repro.hw.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.hw.components import Fifo
+from repro.hw.estimate import estimate_fifo
+from repro.hw.resources import ResourceVector
+from repro.toolchain.hls import HLSIP
+from repro.util.logging import get_logger
+
+_log = get_logger("toolchain.vivado")
+
+
+@dataclass(frozen=True)
+class IPPort:
+    """A port of an IP: AXI4-Stream (``axis``), AXI4 master (``m_axi``) or
+    AXI4-Lite slave (``s_axilite``)."""
+
+    name: str
+    protocol: str
+    direction: str  # "in" | "out"
+
+    def __post_init__(self) -> None:
+        if self.protocol not in ("axis", "m_axi", "s_axilite"):
+            raise PackagingError(f"unknown protocol {self.protocol!r}")
+        if self.direction not in ("in", "out"):
+            raise PackagingError(f"bad direction {self.direction!r}")
+
+
+@dataclass
+class VivadoIP:
+    """A packaged IP: name/vendor/version triple, ports, resources."""
+
+    name: str
+    vendor: str = "polimi.it"
+    library: str = "condor"
+    version: str = "1.0"
+    ports: list[IPPort] = field(default_factory=list)
+    resources: ResourceVector = field(default_factory=ResourceVector)
+    #: Free-form info carried along (layer names, reports, ...).
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def vlnv(self) -> str:
+        return f"{self.vendor}:{self.library}:{self.name}:{self.version}"
+
+    def port(self, name: str) -> IPPort:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise KeyError(f"IP {self.name!r} has no port {name!r}")
+
+    def component_xml(self) -> str:
+        """The ``component.xml``-flavoured manifest of the packaged IP."""
+        lines = ['<?xml version="1.0" encoding="UTF-8"?>',
+                 f'<spirit:component name="{self.name}"'
+                 f' vendor="{self.vendor}" library="{self.library}"'
+                 f' version="{self.version}">',
+                 "  <spirit:busInterfaces>"]
+        for port in self.ports:
+            lines.append(
+                f'    <spirit:busInterface name="{port.name}"'
+                f' protocol="{port.protocol}"'
+                f' mode="{"master" if port.direction == "out" else "slave"}"/>')
+        lines.append("  </spirit:busInterfaces>")
+        r = self.resources
+        lines.append(
+            f'  <condor:resources lut="{r.lut:.0f}" ff="{r.ff:.0f}"'
+            f' dsp="{r.dsp:.0f}" bram18="{r.bram_18k:.0f}"/>')
+        lines.append("</spirit:component>")
+        return "\n".join(lines)
+
+
+def package_ip(hls_ip: HLSIP) -> VivadoIP:
+    """Package a synthesized HLS kernel as a Vivado IP (flow step 3a/3b
+    output)."""
+    ports: list[IPPort] = []
+    meta = hls_ip.metadata
+    for name, _ctype in hls_ip.stream_ports:
+        # generator naming convention: outputs are out_* / to_* and the
+        # datamover's per-PE weights_* feeds
+        direction = "out" if name.startswith(("out", "to_", "weights_")) \
+            else "in"
+        ports.append(IPPort(name=name, protocol="axis",
+                            direction=direction))
+    ports.append(IPPort(name="s_axi_control", protocol="s_axilite",
+                        direction="in"))
+    if meta.get("kind") == "datamover":
+        for bundle in ("gmem0", "gmem1", "gmem2"):
+            ports.append(IPPort(name=bundle, protocol="m_axi",
+                                direction="out"))
+    return VivadoIP(name=hls_ip.name, ports=ports,
+                    resources=hls_ip.report.resources,
+                    metadata=dict(meta))
+
+
+def interconnect_ip(name: str, n_slaves: int, n_masters: int,
+                    cal: Calibration = DEFAULT_CALIBRATION) -> VivadoIP:
+    """An AXI4-Stream interconnect (width/rate conversion between PEs with
+    different port counts): ``S00..`` slave ports in, ``M00..`` master
+    ports out."""
+    if n_slaves < 1 or n_masters < 1:
+        raise PackagingError("interconnect needs at least one port per"
+                             " side")
+    ports = [IPPort(f"S{i:02d}_AXIS", "axis", "in")
+             for i in range(n_slaves)]
+    ports += [IPPort(f"M{i:02d}_AXIS", "axis", "out")
+              for i in range(n_masters)]
+    lanes = n_slaves + n_masters
+    return VivadoIP(
+        name=name, vendor="xilinx.com", library="ip",
+        ports=ports,
+        resources=ResourceVector(lut=300.0 * lanes,
+                                 ff=450.0 * lanes).ceil(),
+        metadata={"kind": "axis_interconnect",
+                  "slaves": str(n_slaves), "masters": str(n_masters)},
+    )
+
+
+def fifo_ip(fifo: Fifo, cal: Calibration = DEFAULT_CALIBRATION) -> VivadoIP:
+    """An AXI4-Stream Data FIFO instance."""
+    return VivadoIP(
+        name=f"axis_data_fifo_{fifo.name}",
+        vendor="xilinx.com", library="ip",
+        ports=[IPPort("S_AXIS", "axis", "in"),
+               IPPort("M_AXIS", "axis", "out")],
+        resources=estimate_fifo(fifo, cal).ceil(),
+        metadata={"kind": "fifo", "depth": str(fifo.depth)},
+    )
+
+
+@dataclass
+class _Instance:
+    name: str
+    ip: VivadoIP
+
+
+class BlockDesign:
+    """An IP Integrator block design: instances + stream connections."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._instances: dict[str, _Instance] = {}
+        self._connections: list[tuple[str, str, str, str]] = []
+        #: (instance, port) pairs exported as the design's own interface.
+        self._external: list[tuple[str, str, str]] = []
+
+    # -- construction ----------------------------------------------------------
+
+    def add_ip(self, instance_name: str, ip: VivadoIP) -> None:
+        if instance_name in self._instances:
+            raise IPIntegratorError(
+                f"duplicate instance name {instance_name!r}")
+        self._instances[instance_name] = _Instance(instance_name, ip)
+
+    def connect(self, src: str, src_port: str, dst: str,
+                dst_port: str) -> None:
+        """Connect a master stream port to a slave stream port."""
+        source = self._port(src, src_port)
+        dest = self._port(dst, dst_port)
+        if source.protocol != "axis" or dest.protocol != "axis":
+            raise IPIntegratorError(
+                f"only axis ports can be stream-connected"
+                f" ({src}.{src_port} -> {dst}.{dst_port})")
+        if source.direction != "out":
+            raise IPIntegratorError(
+                f"{src}.{src_port} is not a stream master")
+        if dest.direction != "in":
+            raise IPIntegratorError(
+                f"{dst}.{dst_port} is not a stream slave")
+        for s, sp, d, dp in self._connections:
+            if (s, sp) == (src, src_port):
+                raise IPIntegratorError(
+                    f"{src}.{src_port} already drives {d}.{dp}")
+            if (d, dp) == (dst, dst_port):
+                raise IPIntegratorError(
+                    f"{dst}.{dst_port} already driven by {s}.{sp}")
+        self._connections.append((src, src_port, dst, dst_port))
+
+    def make_external(self, instance: str, port: str,
+                      external_name: str) -> None:
+        """Export an instance port as a port of the packaged design."""
+        self._port(instance, port)  # existence check
+        if any(n == external_name for _, _, n in self._external):
+            raise IPIntegratorError(
+                f"external name {external_name!r} already used")
+        self._external.append((instance, port, external_name))
+
+    def _port(self, instance: str, port: str) -> IPPort:
+        try:
+            inst = self._instances[instance]
+        except KeyError:
+            raise IPIntegratorError(
+                f"no instance {instance!r} in design {self.name!r}"
+            ) from None
+        return inst.ip.port(port)
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Every axis port must be either connected or made external."""
+        used: set[tuple[str, str]] = set()
+        for s, sp, d, dp in self._connections:
+            used.add((s, sp))
+            used.add((d, dp))
+        for inst, port, _name in self._external:
+            used.add((inst, port))
+        dangling = []
+        for inst in self._instances.values():
+            for port in inst.ip.ports:
+                if port.protocol != "axis":
+                    continue
+                if (inst.name, port.name) not in used:
+                    dangling.append(f"{inst.name}.{port.name}")
+        if dangling:
+            raise IPIntegratorError(
+                f"design {self.name!r} has unconnected stream ports:"
+                f" {sorted(dangling)}")
+
+    # -- packaging ---------------------------------------------------------------
+
+    def package(self, *, vendor: str = "polimi.it",
+                metadata: dict[str, str] | None = None) -> VivadoIP:
+        """Validate and package the design as a new IP; resources are the
+        sum of the content."""
+        self.validate()
+        total = ResourceVector()
+        for inst in self._instances.values():
+            total += inst.ip.resources
+        ports = []
+        for inst, port, external_name in self._external:
+            inner = self._port(inst, port)
+            ports.append(IPPort(name=external_name, protocol="axis",
+                                direction=inner.direction))
+        ports.append(IPPort(name="s_axi_control", protocol="s_axilite",
+                            direction="in"))
+        meta = {"kind": "block_design",
+                "instances": str(len(self._instances))}
+        if metadata:
+            meta.update(metadata)
+        _log.debug("packaged design %s: %d instances, %d connections",
+                   self.name, len(self._instances),
+                   len(self._connections))
+        return VivadoIP(name=self.name, vendor=vendor, ports=ports,
+                        resources=total.ceil(), metadata=meta)
+
+    @property
+    def instances(self) -> list[str]:
+        return sorted(self._instances)
+
+    @property
+    def connections(self) -> list[tuple[str, str, str, str]]:
+        return list(self._connections)

@@ -1,0 +1,25 @@
+"""Shared utilities: logging, unit formatting, identifier helpers."""
+
+from repro.util.logging import get_logger, log_context
+from repro.util.units import (
+    format_bytes,
+    format_freq,
+    format_seconds,
+    format_si,
+    parse_freq,
+)
+from repro.util.naming import sanitize_identifier, unique_name
+from repro.util.tables import TextTable
+
+__all__ = [
+    "get_logger",
+    "log_context",
+    "format_bytes",
+    "format_freq",
+    "format_seconds",
+    "format_si",
+    "parse_freq",
+    "sanitize_identifier",
+    "unique_name",
+    "TextTable",
+]

@@ -1,0 +1,49 @@
+"""Identifier helpers.
+
+Layer names from Caffe models ("conv1/3x3_reduce", "fire2/squeeze1x1") must
+become legal C identifiers for generated HLS kernels and legal Vivado IP
+names; :func:`sanitize_identifier` performs that mapping deterministically
+and :func:`unique_name` disambiguates collisions.
+"""
+
+from __future__ import annotations
+
+import re
+
+_INVALID = re.compile(r"[^A-Za-z0-9_]")
+_C_KEYWORDS = frozenset({
+    "auto", "break", "case", "char", "const", "continue", "default", "do",
+    "double", "else", "enum", "extern", "float", "for", "goto", "if",
+    "inline", "int", "long", "register", "restrict", "return", "short",
+    "signed", "sizeof", "static", "struct", "switch", "typedef", "union",
+    "unsigned", "void", "volatile", "while",
+})
+
+
+def sanitize_identifier(name: str, prefix: str = "m") -> str:
+    """Turn ``name`` into a valid C identifier.
+
+    Invalid characters become underscores; a leading digit or a C keyword
+    gets ``prefix`` + underscore prepended.  Empty input maps to ``prefix``.
+    """
+    ident = _INVALID.sub("_", name)
+    if not ident:
+        return prefix
+    if ident[0].isdigit() or ident in _C_KEYWORDS:
+        ident = f"{prefix}_{ident}"
+    return ident
+
+
+def unique_name(base: str, taken: set[str]) -> str:
+    """Return ``base`` or ``base_N`` such that the result is not in ``taken``.
+
+    The returned name is added to ``taken`` as a side effect so the same set
+    can be threaded through repeated calls.
+    """
+    name = base
+    counter = 1
+    while name in taken:
+        name = f"{base}_{counter}"
+        counter += 1
+    taken.add(name)
+    return name

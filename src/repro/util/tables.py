@@ -1,0 +1,54 @@
+"""Plain-text table rendering for reports and benchmark output.
+
+The evaluation harness prints the same rows the paper reports; this module
+keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class TextTable:
+    """A simple monospaced table with a header row.
+
+    >>> t = TextTable(["net", "GFLOPS"])
+    >>> t.add_row(["TC1", 8.36])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    net | GFLOPS
+    ----+-------
+    TC1 | 8.36
+    """
+
+    def __init__(self, headers: Sequence[str], *, float_format: str = "{:.2f}"):
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+        self.float_format = float_format
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = []
+        for value in values:
+            if isinstance(value, float):
+                row.append(self.float_format.format(value))
+            else:
+                row.append(str(value))
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)}"
+                " columns")
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [fmt(self.headers), sep]
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

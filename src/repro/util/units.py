@@ -1,0 +1,88 @@
+"""Unit parsing and human-readable formatting.
+
+Used by reports (resource tables, synthesis logs) and by the Condor JSON
+format, which lets users write frequencies as ``"100MHz"``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+_SI_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+]
+
+_FREQ_RE = re.compile(
+    r"^\s*([0-9]+(?:\.[0-9]+)?)\s*(t|g|m|k)?\s*hz\s*$", re.IGNORECASE)
+
+_FREQ_MULT = {None: 1.0, "k": 1e3, "m": 1e6, "g": 1e9, "t": 1e12}
+
+
+def format_si(value: float, unit: str = "", precision: int = 2) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(1.8e8, "Hz")``
+    → ``"180.00 MHz"``."""
+    if value == 0:
+        return f"0 {unit}".rstrip()
+    magnitude = abs(value)
+    for factor, prefix in _SI_PREFIXES:
+        if magnitude >= factor:
+            return f"{value / factor:.{precision}f} {prefix}{unit}".rstrip()
+    factor, prefix = _SI_PREFIXES[-1]
+    return f"{value / factor:.{precision}f} {prefix}{unit}".rstrip()
+
+
+def format_freq(hz: float) -> str:
+    """Format a frequency in Hz as e.g. ``"100.00 MHz"``."""
+    return format_si(hz, "Hz")
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration with an appropriate sub-second unit."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    return format_si(seconds, "s", precision=3)
+
+
+def format_bytes(n: int) -> str:
+    """Format a byte count using binary prefixes (KiB, MiB, ...)."""
+    if n < 0:
+        raise ValueError("byte count must be non-negative")
+    if n < 1024:
+        return f"{n} B"
+    units = ["KiB", "MiB", "GiB", "TiB"]
+    value = float(n)
+    for unit in units:
+        value /= 1024.0
+        if value < 1024.0 or unit == units[-1]:
+            return f"{value:.2f} {unit}"
+    raise AssertionError("unreachable")
+
+
+def parse_freq(text: str | float | int) -> float:
+    """Parse a frequency given as Hz (number) or a string like ``"180MHz"``.
+
+    Returns the frequency in Hz.  Raises :class:`ValueError` on malformed
+    input or non-positive frequencies.
+    """
+    if isinstance(text, (int, float)):
+        value = float(text)
+        if not math.isfinite(value) or value <= 0:
+            raise ValueError(f"invalid frequency: {text!r}")
+        return value
+    match = _FREQ_RE.match(text)
+    if not match:
+        raise ValueError(f"cannot parse frequency {text!r}")
+    number, prefix = match.groups()
+    value = float(number) * _FREQ_MULT[prefix.lower() if prefix else None]
+    if value <= 0:
+        raise ValueError(f"frequency must be positive: {text!r}")
+    return value

@@ -1,0 +1,172 @@
+"""AFI service + F1 instance tests."""
+
+import pytest
+
+from repro.cloud.afi import AFIService, AFIState, PENDING_TICKS
+from repro.cloud.client import AWSSession
+from repro.cloud.f1 import F1Instance, F1_INSTANCE_TYPES
+from repro.cloud.s3 import S3Store
+from repro.errors import AFIError, InstanceError
+from repro.frontend.condor_format import DeploymentOption
+from repro.frontend.zoo import tc1_model
+from repro.hw.accelerator import build_accelerator
+from repro.hw.resources import device_for_board
+from repro.toolchain.assemble import build_network_ip
+from repro.toolchain.hls import VivadoHLS
+from repro.toolchain.sdaccel import (
+    generate_kernel_xml,
+    package_xo,
+    xocc_link,
+)
+from repro.toolchain.xclbin import write_xclbin
+
+
+@pytest.fixture(scope="module")
+def xclbin_bytes():
+    model = tc1_model(DeploymentOption.AWS_F1)
+    acc = build_accelerator(model)
+    hls = VivadoHLS("xcvu9p", model.frequency_hz)
+    assembly = build_network_ip(acc, hls)
+    xo = package_xo(assembly.accelerator_ip,
+                    generate_kernel_xml(assembly.accelerator_ip),
+                    model=model)
+    return write_xclbin(
+        xocc_link(xo, device_for_board("aws-f1-xcvu9p"),
+                  model.frequency_hz))
+
+
+@pytest.fixture
+def service(xclbin_bytes):
+    s3 = S3Store()
+    s3.create_bucket("bkt")
+    s3.put_object("bkt", "dcp/tc1.xclbin", xclbin_bytes)
+    return AFIService(s3)
+
+
+class TestAFILifecycle:
+    def test_creation_is_asynchronous(self, service):
+        record = service.create_fpga_image(
+            name="tc1", input_storage_location="s3://bkt/dcp/tc1.xclbin")
+        assert record.afi_id.startswith("afi-")
+        assert record.agfi_id.startswith("agfi-")
+        assert record.state is AFIState.PENDING
+        for _ in range(PENDING_TICKS - 1):
+            service.tick()
+            assert record.state is AFIState.PENDING
+        service.tick()
+        assert record.state is AFIState.AVAILABLE
+        assert record.xclbin_bytes is not None
+
+    def test_wait_until_available(self, service):
+        record = service.create_fpga_image(
+            name="tc1", input_storage_location="s3://bkt/dcp/tc1.xclbin")
+        done = service.wait_until_available(record.afi_id)
+        assert done.state is AFIState.AVAILABLE
+
+    def test_ids_are_content_derived(self, service):
+        a = service.create_fpga_image(
+            name="a", input_storage_location="s3://bkt/dcp/tc1.xclbin")
+        b = service.create_fpga_image(
+            name="b", input_storage_location="s3://bkt/dcp/tc1.xclbin")
+        assert a.afi_id == b.afi_id  # same bytes -> same image id
+
+    def test_corrupt_payload_fails(self, service):
+        service.s3.put_object("bkt", "bad", b"garbage")
+        record = service.create_fpga_image(
+            name="bad", input_storage_location="s3://bkt/bad")
+        with pytest.raises(AFIError, match="failed"):
+            service.wait_until_available(record.afi_id)
+        assert record.state is AFIState.FAILED
+        assert "invalid design checkpoint" in record.error
+
+    def test_wrong_part_fails(self, service):
+        from repro.toolchain.xclbin import Xclbin, write_xclbin as wx
+        zynq = Xclbin(kernel_name="k", part="xc7z020",
+                      frequency_hz=100e6,
+                      sections={b"META": b"{}", b"BITS": b"\x00"})
+        service.s3.put_object("bkt", "zynq", wx(zynq))
+        record = service.create_fpga_image(
+            name="z", input_storage_location="s3://bkt/zynq")
+        with pytest.raises(AFIError):
+            service.wait_until_available(record.afi_id)
+        assert "requires xcvu9p" in record.error
+
+    def test_missing_input(self, service):
+        with pytest.raises(AFIError, match="unreadable"):
+            service.create_fpga_image(
+                name="x", input_storage_location="s3://bkt/missing")
+
+    def test_unknown_ids(self, service):
+        with pytest.raises(AFIError):
+            service.describe_fpga_image("afi-zzz")
+        with pytest.raises(AFIError):
+            service.resolve_agfi("agfi-zzz")
+
+    def test_empty_name_rejected(self, service):
+        with pytest.raises(AFIError, match="name"):
+            service.create_fpga_image(
+                name="", input_storage_location="s3://bkt/dcp/tc1.xclbin")
+
+
+class TestF1Instances:
+    def test_slot_counts(self, service):
+        for itype, slots in F1_INSTANCE_TYPES.items():
+            instance = F1Instance(itype, service)
+            assert len(instance.slots) == slots
+
+    def test_unknown_type(self, service):
+        with pytest.raises(InstanceError, match="unknown F1"):
+            F1Instance("f1.32xlarge", service)
+
+    def test_load_available_afi(self, service):
+        record = service.create_fpga_image(
+            name="tc1", input_storage_location="s3://bkt/dcp/tc1.xclbin")
+        service.wait_until_available(record.afi_id)
+        instance = F1Instance("f1.2xlarge", service)
+        slot = instance.load_afi(0, record.agfi_id)
+        assert slot.device.programmed is not None
+        assert slot.device.programmed.kernel_name == "tc1"
+        assert instance.describe_slots()[0]["programmed"] is True
+
+    def test_pending_afi_cannot_load(self, service):
+        record = service.create_fpga_image(
+            name="tc1", input_storage_location="s3://bkt/dcp/tc1.xclbin")
+        instance = F1Instance("f1.2xlarge", service)
+        with pytest.raises(InstanceError, match="pending"):
+            instance.load_afi(0, record.agfi_id)
+
+    def test_bad_slot_index(self, service):
+        instance = F1Instance("f1.2xlarge", service)
+        with pytest.raises(InstanceError, match="slot"):
+            instance.slot(1)
+
+    def test_clear_slot(self, service):
+        record = service.create_fpga_image(
+            name="tc1", input_storage_location="s3://bkt/dcp/tc1.xclbin")
+        service.wait_until_available(record.afi_id)
+        instance = F1Instance("f1.2xlarge", service)
+        instance.load_afi(0, record.agfi_id)
+        instance.clear_slot(0)
+        assert instance.describe_slots()[0]["programmed"] is False
+
+
+class TestAWSSession:
+    def test_end_to_end_verbs(self, xclbin_bytes):
+        aws = AWSSession()
+        uri = aws.upload("condor-bucket", "dcp/x.xclbin", xclbin_bytes)
+        assert uri == "s3://condor-bucket/dcp/x.xclbin"
+        record = aws.create_fpga_image(name="x", bucket="condor-bucket",
+                                       key="dcp/x.xclbin")
+        done = aws.wait_for_afi(record.afi_id)
+        assert done.state is AFIState.AVAILABLE
+        instance = aws.run_f1_instance("f1.16xlarge")
+        assert len(instance.slots) == 8
+        slot = instance.load_afi(3, done.agfi_id)
+        assert slot.agfi_id == done.agfi_id
+        assert aws.instances == [instance]
+
+    def test_upload_creates_bucket(self):
+        aws = AWSSession()
+        aws.upload("new-bucket", "k", b"x")
+        assert aws.s3.bucket_exists("new-bucket")
+        aws.upload("new-bucket", "k2", b"y")  # idempotent ensure

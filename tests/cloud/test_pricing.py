@@ -1,0 +1,85 @@
+"""F1 cost model tests."""
+
+import pytest
+
+from repro.cloud.pricing import (
+    F1_HOURLY_USD,
+    ON_PREMISE_BOARD_USD,
+    break_even_hours,
+    estimate_costs,
+    render_cost_table,
+)
+from repro.errors import CloudError
+from repro.frontend.zoo import tc1_model
+from repro.hw.accelerator import build_accelerator
+from repro.hw.perf import estimate_performance
+
+
+@pytest.fixture(scope="module")
+def perf():
+    return estimate_performance(build_accelerator(tc1_model()))
+
+
+class TestEstimates:
+    def test_all_instance_types_covered(self, perf):
+        estimates = estimate_costs(perf)
+        assert {e.instance_type for e in estimates} == \
+            set(F1_HOURLY_USD)
+
+    def test_aggregate_scales_with_slots(self, perf):
+        by_type = {e.instance_type: e for e in estimate_costs(perf)}
+        small = by_type["f1.2xlarge"]
+        big = by_type["f1.16xlarge"]
+        assert big.aggregate_images_per_second == \
+            8 * small.aggregate_images_per_second
+
+    def test_16x_is_cheapest_per_image(self, perf):
+        """The 8-slot instance costs 8x the 1-slot but its hourly rate is
+        exactly 8x too, so $/image matches; per-slot-hour it is never
+        worse.  With 2018 rates the family is linear."""
+        estimates = estimate_costs(perf)
+        per_image = [e.usd_per_million_images for e in estimates]
+        assert max(per_image) / min(per_image) < 1.01
+
+    def test_batch_affects_cost(self, perf):
+        batch1 = estimate_costs(perf, batch=1)[0]
+        steady = estimate_costs(perf)[0]
+        assert batch1.usd_per_million_images > \
+            steady.usd_per_million_images
+
+    def test_magnitudes_sane(self, perf):
+        est = estimate_costs(perf)[0]
+        # TC1 at ~58k images/s on one slot: cents per million images
+        assert 0.001 < est.usd_per_million_images < 1.0
+
+    def test_custom_rates(self, perf):
+        estimates = estimate_costs(perf, rates={
+            "f1.2xlarge": 10.0, "f1.4xlarge": 20.0, "f1.16xlarge": 80.0})
+        assert estimates[0].hourly_usd in (10.0, 80.0, 20.0)
+
+    def test_missing_rate(self, perf):
+        with pytest.raises(CloudError, match="no rate"):
+            estimate_costs(perf, rates={"f1.2xlarge": 1.0})
+
+
+class TestBreakEven:
+    def test_default(self):
+        hours = break_even_hours()
+        assert hours == pytest.approx(ON_PREMISE_BOARD_USD / 1.65)
+        # renting pays off for months of continuous use
+        assert hours > 24 * 30 * 5
+
+    def test_unknown_type(self):
+        with pytest.raises(CloudError):
+            break_even_hours("f1.32xlarge")
+
+    def test_bad_rate(self):
+        with pytest.raises(CloudError):
+            break_even_hours(rates={"f1.2xlarge": 0.0})
+
+
+class TestRendering:
+    def test_table(self, perf):
+        text = render_cost_table(estimate_costs(perf))
+        assert "f1.16xlarge" in text
+        assert "$/1M images" in text

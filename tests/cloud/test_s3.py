@@ -1,0 +1,91 @@
+"""S3 object store tests."""
+
+import pytest
+
+from repro.cloud.s3 import S3Store
+from repro.errors import S3Error
+
+
+@pytest.fixture
+def s3():
+    store = S3Store()
+    store.create_bucket("my-bucket")
+    return store
+
+
+class TestBuckets:
+    def test_create_and_list(self, s3):
+        s3.create_bucket("another")
+        assert s3.list_buckets() == ["another", "my-bucket"]
+        assert s3.bucket_exists("my-bucket")
+        assert not s3.bucket_exists("nope")
+
+    @pytest.mark.parametrize("bad", ["UPPER", "a", "-start", "end-",
+                                     "has_underscore", ""])
+    def test_invalid_names(self, s3, bad):
+        with pytest.raises(S3Error, match="invalid bucket name"):
+            s3.create_bucket(bad)
+
+    def test_duplicate_rejected(self, s3):
+        with pytest.raises(S3Error, match="already exists"):
+            s3.create_bucket("my-bucket")
+
+
+class TestObjects:
+    def test_put_get(self, s3):
+        obj = s3.put_object("my-bucket", "dcp/design.xclbin", b"data")
+        assert obj.uri == "s3://my-bucket/dcp/design.xclbin"
+        assert obj.size == 4
+        assert s3.get_object("my-bucket", "dcp/design.xclbin").data == \
+            b"data"
+
+    def test_etag_is_md5(self, s3):
+        import hashlib
+        obj = s3.put_object("my-bucket", "k", b"hello")
+        assert obj.etag == hashlib.md5(b"hello").hexdigest()
+
+    def test_missing_bucket_vs_key(self, s3):
+        with pytest.raises(S3Error, match="NoSuchBucket"):
+            s3.get_object("other", "k")
+        with pytest.raises(S3Error, match="NoSuchKey"):
+            s3.get_object("my-bucket", "k")
+
+    def test_head(self, s3):
+        s3.put_object("my-bucket", "k", b"12345")
+        assert s3.head_object("my-bucket", "k")["ContentLength"] == 5
+
+    def test_delete_idempotent(self, s3):
+        s3.put_object("my-bucket", "k", b"x")
+        s3.delete_object("my-bucket", "k")
+        s3.delete_object("my-bucket", "k")  # no error
+        with pytest.raises(S3Error):
+            s3.get_object("my-bucket", "k")
+
+    def test_list_with_prefix(self, s3):
+        s3.put_object("my-bucket", "a/1", b"")
+        s3.put_object("my-bucket", "a/2", b"")
+        s3.put_object("my-bucket", "b/1", b"")
+        assert s3.list_objects("my-bucket", "a/") == ["a/1", "a/2"]
+        assert len(s3.list_objects("my-bucket")) == 3
+
+    def test_invalid_key(self, s3):
+        with pytest.raises(S3Error, match="invalid key"):
+            s3.put_object("my-bucket", "", b"")
+        with pytest.raises(S3Error, match="invalid key"):
+            s3.put_object("my-bucket", "/abs", b"")
+
+    def test_overwrite_replaces(self, s3):
+        s3.put_object("my-bucket", "k", b"v1")
+        s3.put_object("my-bucket", "k", b"v2")
+        assert s3.get_object("my-bucket", "k").data == b"v2"
+
+
+class TestUriParsing:
+    def test_parse(self, s3):
+        assert s3.parse_uri("s3://b/k/x") == ("b", "k/x")
+
+    @pytest.mark.parametrize("bad", ["http://b/k", "s3://", "s3://bucket",
+                                     "bucket/key"])
+    def test_malformed(self, s3, bad):
+        with pytest.raises(S3Error):
+            s3.parse_uri(bad)

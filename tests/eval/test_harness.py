@@ -1,0 +1,67 @@
+"""Evaluation harness tests (fast checks; the full shape assertions live
+in benchmarks/)."""
+
+import pytest
+
+from repro.eval.figure5 import (
+    DEFAULT_BATCHES,
+    Figure5Series,
+    figure5_series,
+    render_figure5,
+)
+from repro.eval.table1 import PAPER_TABLE1, Table1Row, render_table1
+from repro.eval.table2 import PAPER_TABLE2, Table2Row, render_table2
+
+
+class TestPaperConstants:
+    def test_table1_values_match_publication(self):
+        assert PAPER_TABLE1["TC1"]["gflops"] == 8.36
+        assert PAPER_TABLE1["LeNet"]["bram"] == 24.38
+        assert PAPER_TABLE1["LeNet"]["gflops_per_w"] == 0.78
+
+    def test_table2_values_match_publication(self):
+        assert PAPER_TABLE2 == {"TC1": 16.56, "LeNet": 53.51,
+                                "VGG-16": 113.30}
+
+
+class TestRendering:
+    def test_table1_render_includes_paper_rows(self):
+        rows = [Table1Row("TC1", 11.4, 10.2, 4.0, 1.1, 6.97, 1.35)]
+        text = render_table1(rows)
+        assert "TC1 (paper)" in text
+        assert "8.36" in text
+        assert text.startswith("Table 1.")
+
+    def test_table2_render(self):
+        rows = [Table2Row("LeNet", 164.5, 4160, 2518.0, 118.0, False)]
+        text = render_table2(rows)
+        assert "53.51" in text and "164.50" in text
+
+    def test_figure5_render(self):
+        series = Figure5Series("X", [1, 2], [10.0, 7.0], 4, 6.0)
+        text = render_figure5([series])
+        assert "X (us/img)" in text
+        assert "asymptote 6.00" in text
+
+
+class TestFigure5Series:
+    def test_series_structure(self):
+        series = figure5_series(batches=(1, 4, 16))
+        assert [s.name for s in series] == ["TC1", "LeNet"]
+        for curve in series:
+            assert len(curve.mean_us_per_image) == 3
+            assert curve.asymptote_us > 0
+
+    def test_default_batches_cover_paper_range(self):
+        assert DEFAULT_BATCHES[0] == 1
+        assert DEFAULT_BATCHES[-1] >= 32
+
+    def test_convergence_batch(self):
+        series = Figure5Series("X", [1, 2, 4, 8],
+                               [20.0, 12.0, 10.5, 10.1], 3, 10.0)
+        assert series.convergence_batch(0.10) == 4
+        assert series.convergence_batch(0.50) == 2
+
+    def test_convergence_batch_never_reached(self):
+        series = Figure5Series("X", [1, 2], [30.0, 25.0], 3, 10.0)
+        assert series.convergence_batch(0.05) == 2

@@ -1,0 +1,143 @@
+"""CLI tests (driving main() directly)."""
+
+import pytest
+
+from repro.cli import main
+from repro.frontend.condor_format import save_condor_json
+from repro.frontend.onnx import save_onnx
+from repro.frontend.weights import WeightStore
+from repro.frontend.zoo import lenet_caffe_files, tc1_model, tc1_network
+
+
+@pytest.fixture
+def tc1_json(tmp_path):
+    return str(save_condor_json(tc1_model(), tmp_path / "tc1.json"))
+
+
+@pytest.fixture
+def tc1_onnx(tmp_path):
+    net = tc1_network()
+    return str(save_onnx(net, tmp_path / "tc1.onnx",
+                         WeightStore.initialize(net)))
+
+
+class TestInfo:
+    def test_info_json(self, tc1_json, tmp_path, capsys):
+        assert main(["--workdir", str(tmp_path / "w"), "info",
+                     tc1_json]) == 0
+        out = capsys.readouterr().out
+        assert "network: tc1" in out
+        assert "1x16x16" in out
+        assert "conv1" in out
+
+    def test_info_prototxt(self, tmp_path, capsys):
+        prototxt, caffemodel = lenet_caffe_files(tmp_path / "caffe")
+        assert main(["--workdir", str(tmp_path / "w"), "info",
+                     str(prototxt), "--weights", str(caffemodel)]) == 0
+        out = capsys.readouterr().out
+        assert "network: LeNet" in out
+        assert "431,080" in out  # LeNet parameter count
+
+    def test_info_onnx(self, tc1_onnx, tmp_path, capsys):
+        assert main(["--workdir", str(tmp_path / "w"), "info",
+                     tc1_onnx]) == 0
+        assert "tc1" in capsys.readouterr().out
+
+    def test_unknown_extension(self, tmp_path, capsys):
+        assert main(["--workdir", str(tmp_path / "w"), "info",
+                     "model.xyz"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBuild:
+    def test_build_on_premise(self, tc1_json, tmp_path, capsys):
+        workdir = tmp_path / "w"
+        assert main(["--workdir", str(workdir), "build", tc1_json]) == 0
+        out = capsys.readouterr().out
+        assert "GFLOPS" in out
+        assert (workdir / "tc1.xclbin").is_file()
+
+    def test_build_cloud_deploy(self, tc1_json, tmp_path, capsys):
+        workdir = tmp_path / "w"
+        assert main(["--workdir", str(workdir), "build", tc1_json,
+                     "--deploy", "aws-f1"]) == 0
+        out = capsys.readouterr().out
+        assert "AGFI" in out
+        assert (workdir / "afi.json").is_file()
+
+    def test_build_with_frequency_override(self, tc1_json, tmp_path,
+                                           capsys):
+        assert main(["--workdir", str(tmp_path / "w"), "build", tc1_json,
+                     "--frequency", "150MHz"]) == 0
+        assert "150 MHz" in capsys.readouterr().out
+
+    def test_build_failure_reported(self, tc1_json, tmp_path, capsys):
+        # TC1 cannot close timing at 400 MHz on the VU9P
+        assert main(["--workdir", str(tmp_path / "w"), "build", tc1_json,
+                     "--frequency", "400MHz"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDseSimulateFigure5:
+    def test_dse(self, tmp_path, capsys):
+        model = tc1_model()
+        from repro.frontend.condor_format import CondorModel
+        features = CondorModel(network=model.network.features_subnetwork())
+        path = save_condor_json(features, tmp_path / "f.json")
+        assert main(["--workdir", str(tmp_path / "w"), "dse",
+                     str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "best II" in out
+        assert "in=" in out
+
+    def test_simulate(self, tc1_json, tmp_path, capsys):
+        assert main(["--workdir", str(tmp_path / "w"), "simulate",
+                     tc1_json, "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated batch of 2" in out
+        assert "pe_conv1" in out
+
+    def test_figure5(self, tmp_path, capsys):
+        assert main(["--workdir", str(tmp_path / "w"), "figure5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "LeNet" in out
+
+
+class TestConvert:
+    def test_caffe_to_onnx(self, tmp_path, capsys):
+        prototxt, caffemodel = lenet_caffe_files(tmp_path / "caffe")
+        out = tmp_path / "lenet.onnx"
+        assert main(["--workdir", str(tmp_path / "w"), "convert",
+                     str(prototxt), str(out), "--weights",
+                     str(caffemodel)]) == 0
+        assert out.is_file()
+        # the produced ONNX converts back to the same topology
+        from repro.frontend.onnx import convert_onnx_model, load_onnx
+        back = convert_onnx_model(load_onnx(out))
+        assert back.network.output_shape().as_tuple() == (10, 1, 1)
+
+    def test_onnx_to_caffe(self, tc1_onnx, tmp_path, capsys):
+        out = tmp_path / "tc1.prototxt"
+        # TC1 ends in LogSoftmax which Caffe cannot express
+        assert main(["--workdir", str(tmp_path / "w"), "convert",
+                     tc1_onnx, str(out)]) == 1
+        assert "LogSoftmax" in capsys.readouterr().err
+
+    def test_json_to_caffe(self, tmp_path, capsys):
+        from repro.frontend.condor_format import CondorModel, \
+            save_condor_json
+        from repro.frontend.zoo import lenet_network
+
+        path = save_condor_json(CondorModel(network=lenet_network()),
+                                tmp_path / "lenet.json")
+        out = tmp_path / "out.prototxt"
+        assert main(["--workdir", str(tmp_path / "w"), "convert",
+                     str(path), str(out)]) == 0
+        assert out.is_file()
+        assert 'type: "InnerProduct"' in out.read_text()
+
+    def test_unknown_target(self, tc1_json, tmp_path, capsys):
+        assert main(["--workdir", str(tmp_path / "w"), "convert",
+                     tc1_json, str(tmp_path / "m.xyz")]) == 1
+        assert "unknown target" in capsys.readouterr().err

@@ -1,0 +1,203 @@
+"""End-to-end flow tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cloud.afi import AFIState
+from repro.cloud.client import AWSSession
+from repro.errors import FlowError
+from repro.flow import CondorFlow, FlowInputs
+from repro.frontend.condor_format import (
+    DeploymentOption,
+    load_condor_json,
+    save_condor_json,
+)
+from repro.frontend.weights import WeightStore
+from repro.frontend.zoo import lenet_caffe_files, tc1_model
+from repro.toolchain.xclbin import read_xclbin
+
+
+@pytest.fixture(scope="module")
+def tc1_result(tmp_path_factory):
+    flow = CondorFlow(tmp_path_factory.mktemp("tc1"))
+    return flow.run(FlowInputs(
+        model=tc1_model(DeploymentOption.ON_PREMISE)))
+
+
+class TestOnPremiseFlow:
+    def test_steps_without_afi(self, tc1_result):
+        names = [s.name for s in tc1_result.steps]
+        assert names[-1] == "7-deployment-on-board"
+        assert tc1_result.afi_id is None
+
+    def test_artifacts_written(self, tc1_result):
+        workdir = tc1_result.workdir
+        assert (workdir / "network.condor.json").is_file()
+        assert (workdir / "reports" / "resources.txt").is_file()
+        assert tc1_result.xclbin_path.is_file()
+        assert tc1_result.host_path.read_text().startswith("//")
+        assert len(list((workdir / "sources").rglob("*.cpp"))) > 50
+
+    def test_xclbin_readable(self, tc1_result):
+        xclbin = read_xclbin(tc1_result.xclbin_path)
+        assert xclbin.kernel_name == "tc1"
+        assert xclbin.network_json["name"] == "tc1"
+
+    def test_summary(self, tc1_result):
+        text = tc1_result.summary()
+        assert "GFLOPS" in text and "100 MHz" in text
+
+    def test_condor_json_artifact_reloadable(self, tc1_result):
+        model = load_condor_json(
+            tc1_result.workdir / "network.condor.json")
+        assert model.network.name == "tc1"
+
+    def test_weights_artifact_reloadable(self, tc1_result):
+        store = WeightStore.load(tc1_result.workdir / "weights")
+        store.validate(tc1_result.model.network)
+
+
+class TestCloudFlow:
+    def test_afi_created(self, tmp_path):
+        aws = AWSSession()
+        flow = CondorFlow(tmp_path, aws=aws)
+        result = flow.run(FlowInputs(
+            model=tc1_model(DeploymentOption.AWS_F1),
+            s3_bucket="test-bucket"))
+        assert result.afi_id and result.agfi_id
+        record = aws.afi.describe_fpga_image(result.afi_id)
+        assert record.state is AFIState.AVAILABLE
+        assert aws.s3.list_objects("test-bucket") == ["dcp/tc1.xclbin"]
+        doc = json.loads((tmp_path / "afi.json").read_text())
+        assert doc["agfi_id"] == result.agfi_id
+
+
+class TestInputVariants:
+    def test_caffe_input(self, tmp_path):
+        prototxt, caffemodel = lenet_caffe_files(tmp_path / "caffe",
+                                                 seed=2)
+        flow = CondorFlow(tmp_path / "flow")
+        result = flow.run(FlowInputs(prototxt=prototxt,
+                                     caffemodel=caffemodel,
+                                     frequency_hz=180e6))
+        assert result.model.network.name == "LeNet"
+        assert result.xclbin.frequency_hz == 180e6
+        # weights came from the caffemodel, not from initialization
+        expected = WeightStore.initialize(result.model.network, seed=2)
+        np.testing.assert_allclose(
+            result.weights.get("conv1", "weights"),
+            expected.get("conv1", "weights"), rtol=1e-6)
+
+    def test_condor_json_input(self, tmp_path):
+        path = save_condor_json(tc1_model(DeploymentOption.ON_PREMISE),
+                                tmp_path / "tc1.json")
+        flow = CondorFlow(tmp_path / "flow")
+        result = flow.run(FlowInputs(condor_json=path))
+        assert result.model.network.name == "tc1"
+
+    def test_weights_dir_input(self, tmp_path):
+        model = tc1_model(DeploymentOption.ON_PREMISE)
+        store = WeightStore.initialize(model.network, seed=77)
+        store.save(tmp_path / "w")
+        flow = CondorFlow(tmp_path / "flow")
+        result = flow.run(FlowInputs(model=model,
+                                     weights_dir=tmp_path / "w"))
+        np.testing.assert_array_equal(
+            result.weights.get("conv1", "weights"),
+            store.get("conv1", "weights"))
+
+    def test_dse_enabled(self, tmp_path):
+        model = tc1_model(DeploymentOption.ON_PREMISE)
+        features = model.network.features_subnetwork()
+        from repro.frontend.condor_format import CondorModel
+        fmodel = CondorModel(network=features,
+                             deployment=DeploymentOption.ON_PREMISE)
+        flow = CondorFlow(tmp_path)
+        result = flow.run(FlowInputs(model=fmodel, run_dse=True))
+        assert result.dse is not None
+        assert result.performance.ii_cycles < 1728
+
+    def test_board_override(self, tmp_path):
+        from repro.ir.layers import ConvLayer
+        from repro.ir.network import chain
+        from repro.frontend.condor_format import CondorModel
+        net = chain("tiny", (1, 8, 8), [
+            ConvLayer("c", num_output=2, kernel=3)])
+        flow = CondorFlow(tmp_path)
+        result = flow.run(FlowInputs(
+            model=CondorModel(network=net, frequency_hz=100e6),
+            board="pynq-z1"))
+        assert result.xclbin.part.startswith("xc7z020")
+
+
+class TestFailureModes:
+    def test_no_input_given(self, tmp_path):
+        with pytest.raises(FlowError, match="exactly one"):
+            CondorFlow(tmp_path).run(FlowInputs())
+
+    def test_two_inputs_given(self, tmp_path):
+        with pytest.raises(FlowError, match="exactly one"):
+            CondorFlow(tmp_path).run(FlowInputs(
+                model=tc1_model(), condor_json="x.json"))
+
+    def test_errors_wrapped_with_step(self, tmp_path):
+        model = tc1_model(DeploymentOption.ON_PREMISE)
+        model.board = "pynq-z1"  # TC1 logic exceeds the 7020 LUT budget
+        with pytest.raises(FlowError) as exc:
+            CondorFlow(tmp_path).run(FlowInputs(model=model))
+        assert exc.value.step in ("3-5-hardware-generation",
+                                  "7-deployment-on-board")
+
+    def test_timing_failure_surfaces(self, tmp_path):
+        model = tc1_model(DeploymentOption.ON_PREMISE)
+        with pytest.raises(FlowError):
+            CondorFlow(tmp_path).run(FlowInputs(model=model,
+                                                frequency_hz=400e6))
+
+
+class TestDseMappingPersistence:
+    def test_dse_mapping_survives_artifacts(self, tmp_path):
+        """The DSE-chosen configuration must be reconstructible from both
+        the saved Condor JSON and the xclbin-embedded network."""
+        from repro.frontend.condor_format import CondorModel
+        from repro.frontend.zoo import lenet_model
+        from repro.hw.accelerator import build_accelerator
+        from repro.hw.perf import estimate_performance
+        from repro.runtime.opencl import Context, Program, get_platforms
+
+        base = lenet_model()
+        fmodel = CondorModel(network=base.network.features_subnetwork(),
+                             frequency_hz=base.frequency_hz)
+        result = CondorFlow(tmp_path).run(
+            FlowInputs(model=fmodel, run_dse=True))
+        assert result.dse is not None
+
+        reloaded = load_condor_json(tmp_path / "network.condor.json")
+        assert reloaded.hints  # the chosen parallelism was recorded
+        perf_json = estimate_performance(build_accelerator(reloaded))
+        assert perf_json.ii_cycles == result.performance.ii_cycles
+
+        device = get_platforms()[0].get_devices()[0]
+        program = Program(Context(device),
+                          result.xclbin_path.read_bytes())
+        perf_bin = estimate_performance(program.accelerator)
+        assert perf_bin.ii_cycles == result.performance.ii_cycles
+
+
+class TestReportArtifacts:
+    def test_hls_reports_and_dot_written(self, tc1_result):
+        hls_dir = tc1_result.workdir / "reports" / "hls"
+        reports = list(hls_dir.glob("*_csynth.rpt"))
+        # 6 PEs + 58 filters + datamover
+        assert len(reports) == 6 + 58 + 1
+        text = (hls_dir / "pe_conv1_csynth.rpt").read_text()
+        assert "Vivado HLS Report" in text
+        assert "MET" in text
+        assert "Initiation Interval" in text
+
+        net_dot = (tc1_result.workdir / "network.dot").read_text()
+        acc_dot = (tc1_result.workdir / "accelerator.dot").read_text()
+        assert net_dot.startswith("digraph")
+        assert '"pe_conv1"' in acc_dot

@@ -1,0 +1,84 @@
+"""Caffe exporter tests: export → parse → convert round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnsupportedLayerError
+from repro.frontend.caffe.converter import convert_caffe_model
+from repro.frontend.caffe.export import export_caffe, save_caffe_files
+from repro.frontend.caffe.model import load_caffemodel, load_prototxt
+from repro.frontend.weights import WeightStore
+from repro.frontend.zoo import cifar10_network, lenet_network, tc1_network
+from repro.ir.layers import SoftmaxLayer
+from repro.ir.network import Network, chain
+from repro.nn.engine import ReferenceEngine
+
+
+def roundtrip(net, seed=0, tmp_path=None):
+    weights = WeightStore.initialize(net, seed)
+    prototxt_path, caffemodel_path = save_caffe_files(
+        net, tmp_path, weights)
+    converted = convert_caffe_model(load_prototxt(prototxt_path),
+                                    load_caffemodel(caffemodel_path))
+    return weights, converted
+
+
+@pytest.mark.parametrize("netf", [lenet_network, cifar10_network])
+def test_functional_roundtrip(netf, tmp_path):
+    net = netf()
+    weights, converted = roundtrip(net, seed=3, tmp_path=tmp_path)
+    x = np.random.default_rng(0).normal(
+        size=net.input_shape().as_tuple()).astype(np.float32)
+    original = ReferenceEngine(net, weights).forward(x)
+    back = ReferenceEngine(converted.network,
+                           converted.weights).forward(x)
+    np.testing.assert_array_equal(original, back)
+
+
+def test_fused_activation_becomes_inplace_layer(tmp_path):
+    net = lenet_network()  # ip1 carries a fused ReLU
+    model = export_caffe(net)
+    act_layers = [l for l in model.layer if l.type == "ReLU"]
+    assert len(act_layers) == 1
+    for layer in act_layers:
+        assert list(layer.bottom) == list(layer.top)  # in-place
+
+
+def test_logsoftmax_rejected(tmp_path):
+    net = tc1_network()  # ends in LogSoftmax
+    with pytest.raises(UnsupportedLayerError, match="LogSoftmax"):
+        export_caffe(net)
+
+
+def test_prototxt_has_no_blobs(tmp_path):
+    net = lenet_network()
+    prototxt_path, _ = save_caffe_files(net, tmp_path,
+                                        WeightStore.initialize(net))
+    text = prototxt_path.read_text()
+    assert "data:" not in text  # topology file carries no weights
+    assert 'type: "Convolution"' in text
+
+
+def test_rectangular_params_roundtrip(tmp_path):
+    from repro.ir.layers import ConvLayer, PoolLayer
+
+    net = chain("rect", (1, 12, 16), [
+        ConvLayer("c", num_output=2, kernel=(3, 5), stride=(1, 2),
+                  pad=(1, 2)),
+        PoolLayer("p", kernel=(2, 3), stride=(2, 3)),
+    ])
+    weights, converted = roundtrip(net, tmp_path=tmp_path)
+    conv = converted.network["c"]
+    assert conv.kernel == (3, 5)
+    assert conv.stride == (1, 2)
+    assert conv.pad == (1, 2)
+    assert converted.network["p"].kernel == (2, 3)
+
+
+def test_no_bias_preserved(tmp_path):
+    from repro.ir.layers import ConvLayer
+
+    net = chain("nb", (1, 8, 8), [
+        ConvLayer("c", num_output=2, kernel=3, bias=False)])
+    _, converted = roundtrip(net, tmp_path=tmp_path)
+    assert converted.network["c"].bias is False

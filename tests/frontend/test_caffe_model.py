@@ -1,0 +1,90 @@
+"""Caffe file IO + blob conversion tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError, WeightsError
+from repro.frontend.caffe import caffe_pb
+from repro.frontend.caffe.model import (
+    array_to_blob,
+    blob_to_array,
+    dumps_caffemodel,
+    load_caffemodel,
+    load_prototxt,
+    loads_caffemodel,
+    parse_prototxt,
+    save_caffemodel,
+    save_prototxt,
+)
+from repro.frontend.caffe.schema import Message
+
+
+class TestBlobConversion:
+    def test_modern_shape_roundtrip(self):
+        array = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        blob = array_to_blob(array)
+        np.testing.assert_array_equal(blob_to_array(blob), array)
+
+    def test_legacy_roundtrip(self):
+        array = np.arange(12, dtype=np.float32).reshape(3, 4)
+        blob = array_to_blob(array, legacy=True)
+        assert blob.num == 1 and blob.channels == 1
+        assert blob.height == 3 and blob.width == 4
+        out = blob_to_array(blob)
+        assert out.shape == (1, 1, 3, 4)
+        np.testing.assert_array_equal(out.reshape(3, 4), array)
+
+    def test_legacy_rank_limit(self):
+        with pytest.raises(WeightsError):
+            array_to_blob(np.zeros((1, 1, 1, 1, 2)), legacy=True)
+
+    def test_double_data_preferred(self):
+        blob = Message(caffe_pb.BLOB_PROTO)
+        blob.double_data = [1.0, 2.0]
+        shape = Message(caffe_pb.BLOB_SHAPE, dim=[2])
+        blob.shape = shape
+        out = blob_to_array(blob)
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, [1.0, 2.0])
+
+    def test_size_mismatch_rejected(self):
+        blob = Message(caffe_pb.BLOB_PROTO, data=[1.0, 2.0, 3.0])
+        blob.shape = Message(caffe_pb.BLOB_SHAPE, dim=[2])
+        with pytest.raises(WeightsError):
+            blob_to_array(blob)
+
+    def test_shapeless_blob_is_flat(self):
+        blob = Message(caffe_pb.BLOB_PROTO, data=[1.0, 2.0])
+        assert blob_to_array(blob).shape == (2,)
+
+
+class TestFileIO:
+    def test_prototxt_roundtrip(self, tmp_path):
+        net = parse_prototxt('name: "n" input: "data"'
+                             ' input_dim: [1, 1, 4, 4]')
+        path = save_prototxt(net, tmp_path / "n.prototxt")
+        assert load_prototxt(path) == net
+
+    def test_caffemodel_roundtrip(self, tmp_path):
+        net = caffe_pb.new_net("m")
+        layer = net.add("layer")
+        layer.name = "c"
+        layer.add("blobs").data = [1.0, 2.0]
+        path = save_caffemodel(net, tmp_path / "m.caffemodel")
+        back = load_caffemodel(path)
+        assert back == net
+        assert loads_caffemodel(dumps_caffemodel(net)) == net
+
+    def test_wrong_message_type_rejected(self, tmp_path):
+        blob = Message(caffe_pb.BLOB_PROTO)
+        with pytest.raises(SchemaError):
+            save_caffemodel(blob, tmp_path / "x")
+        with pytest.raises(SchemaError):
+            save_prototxt(blob, tmp_path / "x")
+
+    def test_caffemodel_is_binary_protobuf(self, tmp_path):
+        """The emitted file must be raw wire format (starts with a field-1
+        LEN tag for the name when set)."""
+        net = caffe_pb.new_net("N")
+        data = dumps_caffemodel(net)
+        assert data[:3] == b"\x0a\x01N"  # tag(1,LEN) len=1 'N'

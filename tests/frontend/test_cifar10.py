@@ -1,0 +1,89 @@
+"""CIFAR-10 quick model tests (padded convs + overlapping/avg pooling)."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.caffe.converter import convert_net
+from repro.frontend.caffe.model import parse_prototxt
+from repro.frontend.condor_format import CondorModel, DeploymentOption
+from repro.frontend.weights import WeightStore
+from repro.frontend.zoo import (
+    CIFAR10_PROTOTXT,
+    cifar10_model,
+    cifar10_network,
+)
+from repro.hw.accelerator import build_accelerator
+from repro.ir.layers import Activation, ActivationLayer, PoolOp
+from repro.ir.validate import validate_network
+from repro.nn.engine import ReferenceEngine
+from repro.sim.dataflow import simulate_accelerator
+
+
+class TestTopology:
+    def test_caffe_shapes(self):
+        net = cifar10_network()
+        validate_network(net)
+        # the canonical Caffe shapes (ceil-mode pooling)
+        assert net.output_shape("conv1").as_tuple() == (32, 32, 32)
+        assert net.output_shape("pool1").as_tuple() == (32, 16, 16)
+        assert net.output_shape("pool2").as_tuple() == (32, 8, 8)
+        assert net.output_shape("pool3").as_tuple() == (64, 4, 4)
+        assert net["ip1"].weight_shapes(
+            net.input_shape("ip1"))["weights"] == (64, 1024)
+
+    def test_prototxt_converts_identically(self):
+        converted = convert_net(parse_prototxt(CIFAR10_PROTOTXT))
+        hand = cifar10_network()
+        assert [l.name for l in converted] == [l.name for l in hand]
+        for layer in hand:
+            assert converted.output_shape(layer.name) == \
+                hand.output_shape(layer.name)
+
+    def test_relu1_standalone_after_pool(self):
+        net = cifar10_network()
+        assert isinstance(net["relu1"], ActivationLayer)
+        assert net["conv2"].activation is Activation.RELU  # fused
+
+    def test_mixed_pool_ops(self):
+        net = cifar10_network()
+        assert net["pool1"].op is PoolOp.MAX
+        assert net["pool2"].op is PoolOp.AVG
+
+    def test_model_defaults(self):
+        model = cifar10_model()
+        assert model.deployment is DeploymentOption.ON_PREMISE
+        assert model.frequency_hz == 150e6
+
+
+class TestExecution:
+    def test_reference_engine_runs(self):
+        net = cifar10_network()
+        engine = ReferenceEngine(net, WeightStore.initialize(net, 0))
+        out = engine.forward(np.random.default_rng(0).normal(
+            size=(3, 32, 32)).astype(np.float32))
+        assert out.shape == (10, 1, 1)
+        assert out.sum() == pytest.approx(1.0, rel=1e-4)
+
+    def test_event_sim_matches_reference(self):
+        """Overlapping stride-2 pooling + padded convs through the actual
+        dataflow structure."""
+        model = cifar10_model()
+        net = model.network
+        acc = build_accelerator(model)
+        weights = WeightStore.initialize(net, 3)
+        images = np.random.default_rng(1).normal(
+            size=(2, 3, 32, 32)).astype(np.float32)
+        result = simulate_accelerator(acc, weights, images)
+        ref = ReferenceEngine(net, weights).forward_batch(images)
+        for out, expected in zip(result.outputs, ref):
+            np.testing.assert_allclose(out, expected, rtol=1e-3,
+                                       atol=1e-5)
+
+    def test_flow_builds(self, tmp_path):
+        from repro.flow import CondorFlow, FlowInputs
+
+        result = CondorFlow(tmp_path).run(
+            FlowInputs(model=cifar10_model()))
+        assert result.xclbin.kernel_name == "CIFAR10_quick"
+        util = result.utilization
+        assert util["lut"] < 100 and util["bram_18k"] < 100

@@ -1,0 +1,153 @@
+"""Condor JSON format tests."""
+
+import json
+
+import pytest
+
+from repro.errors import ParseError, ValidationError
+from repro.frontend.condor_format import (
+    CondorModel,
+    DeploymentOption,
+    LayerHints,
+    load_condor_json,
+    model_from_json,
+    model_to_json,
+    save_condor_json,
+)
+from repro.ir.layers import (
+    Activation,
+    ConvLayer,
+    FullyConnectedLayer,
+    PoolLayer,
+    PoolOp,
+    SoftmaxLayer,
+)
+from repro.ir.network import chain
+
+
+@pytest.fixture
+def model():
+    net = chain("tc1", (1, 16, 16), [
+        ConvLayer("conv1", num_output=12, kernel=5,
+                  activation=Activation.RELU),
+        PoolLayer("pool1", op=PoolOp.MAX, kernel=2),
+        ConvLayer("conv2", num_output=12, kernel=5),
+        PoolLayer("pool2"),
+        FullyConnectedLayer("fc", num_output=10),
+        SoftmaxLayer("prob"),
+    ])
+    return CondorModel(
+        network=net,
+        board="aws-f1-xcvu9p",
+        frequency_hz=100e6,
+        deployment=DeploymentOption.AWS_F1,
+        hints={"conv1": LayerHints(in_ports=1, out_ports=2),
+               "conv2": LayerHints(cluster="pe0")},
+    )
+
+
+class TestRoundtrip:
+    def test_json_roundtrip(self, model):
+        doc = model_to_json(model)
+        back = model_from_json(doc)
+        assert back.network.name == "tc1"
+        assert [l.name for l in back.network] == \
+            [l.name for l in model.network]
+        assert back.frequency_hz == 100e6
+        assert back.deployment is DeploymentOption.AWS_F1
+        assert back.hints["conv1"].out_ports == 2
+        assert back.hints["conv2"].cluster == "pe0"
+
+    def test_layer_params_preserved(self, model):
+        back = model_from_json(model_to_json(model))
+        conv1 = back.network["conv1"]
+        assert conv1.kernel == (5, 5)
+        assert conv1.activation is Activation.RELU
+        pool = back.network["pool1"]
+        assert pool.op is PoolOp.MAX
+        assert back.network["prob"].log is True
+
+    def test_shapes_reinferred(self, model):
+        back = model_from_json(model_to_json(model))
+        assert back.network.output_shape("conv1") == \
+            model.network.output_shape("conv1")
+
+    def test_file_roundtrip(self, model, tmp_path):
+        path = save_condor_json(model, tmp_path / "tc1.json")
+        back = load_condor_json(path)
+        assert back.network.name == "tc1"
+        # document is valid, indented JSON
+        doc = json.loads(path.read_text())
+        assert doc["format_version"] == 1
+
+    def test_frequency_string_accepted(self, model):
+        doc = model_to_json(model)
+        doc["frequency"] = "180MHz"
+        assert model_from_json(doc).frequency_hz == 180e6
+
+
+class TestValidation:
+    def test_hints_for_unknown_layer(self, model):
+        with pytest.raises(ValidationError):
+            CondorModel(network=model.network,
+                        hints={"nope": LayerHints(in_ports=1)})
+
+    def test_bad_ports(self):
+        with pytest.raises(ValidationError):
+            LayerHints(in_ports=0)
+
+    def test_hint_for_default(self, model):
+        hint = model.hint_for("pool1")
+        assert hint.in_ports is None and hint.cluster is None
+
+    def test_invalid_network_rejected(self):
+        net = chain("bad", (4, 1, 1), [
+            SoftmaxLayer("s"),
+            FullyConnectedLayer("fc", num_output=2),
+        ])
+        with pytest.raises(ValidationError):
+            CondorModel(network=net)
+
+
+class TestParseErrors:
+    def test_unknown_layer_type(self, model):
+        doc = model_to_json(model)
+        doc["layers"][1]["type"] = "deconv"
+        with pytest.raises(ParseError, match="deconv"):
+            model_from_json(doc)
+
+    def test_missing_keys(self):
+        with pytest.raises(ParseError):
+            model_from_json({"layers": []})
+        with pytest.raises(ParseError):
+            model_from_json({"name": "x", "layers": []})
+
+    def test_bad_deployment(self, model):
+        doc = model_to_json(model)
+        doc["deployment"] = "mars"
+        with pytest.raises(ParseError, match="deployment"):
+            model_from_json(doc)
+
+    def test_bad_frequency(self, model):
+        doc = model_to_json(model)
+        doc["frequency"] = "fast"
+        with pytest.raises(ParseError):
+            model_from_json(doc)
+
+    def test_wrong_version(self, model):
+        doc = model_to_json(model)
+        doc["format_version"] = 99
+        with pytest.raises(ParseError, match="format_version"):
+            model_from_json(doc)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ParseError):
+            load_condor_json(path)
+
+    def test_bad_layer_params(self, model):
+        doc = model_to_json(model)
+        del doc["layers"][1]["num_output"]
+        with pytest.raises(ParseError, match="conv1"):
+            model_from_json(doc)

@@ -1,0 +1,300 @@
+"""Caffe -> Condor IR converter tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    SchemaError,
+    UnsupportedLayerError,
+    ValidationError,
+    WeightsError,
+)
+from repro.frontend.caffe import caffe_pb
+from repro.frontend.caffe.converter import (
+    convert_caffe_model,
+    convert_net,
+    extract_weights,
+)
+from repro.frontend.caffe.model import array_to_blob, parse_prototxt
+from repro.frontend.caffe.schema import Message
+from repro.ir.layers import (
+    Activation,
+    ActivationLayer,
+    ConvLayer,
+    FullyConnectedLayer,
+    PoolLayer,
+    PoolOp,
+    SoftmaxLayer,
+)
+
+
+def proto(text: str):
+    return parse_prototxt(text)
+
+
+BASE = 'name: "t" input: "data" input_dim: [1, 1, 12, 12]\n'
+
+
+class TestInputDeclaration:
+    def test_input_dim(self):
+        net = convert_net(proto(BASE))
+        assert net.input_shape().as_tuple() == (1, 12, 12)
+
+    def test_input_shape_field(self):
+        net = convert_net(proto(
+            'input: "data" input_shape { dim: 1 dim: 3 dim: 8 dim: 8 }'))
+        assert net.input_shape().as_tuple() == (3, 8, 8)
+
+    def test_input_layer(self):
+        net = convert_net(proto(
+            'layer { name: "data" type: "Input" top: "data"'
+            ' input_param { shape { dim: 1 dim: 2 dim: 6 dim: 6 } } }'))
+        assert net.input_shape().as_tuple() == (2, 6, 6)
+
+    def test_flat_input(self):
+        net = convert_net(proto(
+            'input: "data" input_dim: [1, 64]\n'
+            'layer { name: "fc" type: "InnerProduct" bottom: "data"'
+            ' top: "fc" inner_product_param { num_output: 4 } }'))
+        assert net.input_shape().as_tuple() == (64, 1, 1)
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(SchemaError, match="input"):
+            convert_net(proto('name: "t"'))
+
+    def test_input_without_dims_rejected(self):
+        with pytest.raises(SchemaError):
+            convert_net(proto('input: "data"'))
+
+
+class TestLayerConversion:
+    def test_convolution_params(self):
+        net = convert_net(proto(BASE +
+            'layer { name: "c" type: "Convolution" bottom: "data" top: "c"'
+            ' convolution_param { num_output: 8 kernel_size: 3 stride: 2'
+            ' pad: 1 bias_term: false } }'))
+        conv = net["c"]
+        assert isinstance(conv, ConvLayer)
+        assert conv.num_output == 8
+        assert conv.kernel == (3, 3)
+        assert conv.stride == (2, 2)
+        assert conv.pad == (1, 1)
+        assert conv.bias is False
+
+    def test_conv_hw_params(self):
+        net = convert_net(proto(BASE +
+            'layer { name: "c" type: "Convolution" bottom: "data" top: "c"'
+            ' convolution_param { num_output: 2 kernel_h: 3 kernel_w: 5 } }'))
+        assert net["c"].kernel == (3, 5)
+
+    def test_conv_missing_kernel_rejected(self):
+        with pytest.raises(SchemaError, match="kernel"):
+            convert_net(proto(BASE +
+                'layer { name: "c" type: "Convolution" bottom: "data"'
+                ' top: "c" convolution_param { num_output: 2 } }'))
+
+    def test_grouped_conv_unsupported(self):
+        with pytest.raises(UnsupportedLayerError, match="grouped"):
+            convert_net(proto(BASE +
+                'layer { name: "c" type: "Convolution" bottom: "data"'
+                ' top: "c" convolution_param { num_output: 2'
+                ' kernel_size: 3 group: 2 } }'))
+
+    def test_pooling_max_and_ave(self):
+        net = convert_net(proto(BASE +
+            'layer { name: "p" type: "Pooling" bottom: "data" top: "p"'
+            ' pooling_param { pool: AVE kernel_size: 2 stride: 2 } }'))
+        pool = net["p"]
+        assert isinstance(pool, PoolLayer)
+        assert pool.op is PoolOp.AVG
+
+    def test_global_pooling(self):
+        net = convert_net(proto(BASE +
+            'layer { name: "p" type: "Pooling" bottom: "data" top: "p"'
+            ' pooling_param { pool: MAX global_pooling: true } }'))
+        pool = net["p"]
+        assert pool.kernel == (12, 12)
+        assert net.output_shape("p").as_tuple() == (1, 1, 1)
+
+    def test_stochastic_pooling_unsupported(self):
+        with pytest.raises(UnsupportedLayerError):
+            convert_net(proto(BASE +
+                'layer { name: "p" type: "Pooling" bottom: "data" top: "p"'
+                ' pooling_param { pool: STOCHASTIC kernel_size: 2 } }'))
+
+    def test_inner_product(self):
+        net = convert_net(proto(BASE +
+            'layer { name: "fc" type: "InnerProduct" bottom: "data"'
+            ' top: "fc" inner_product_param { num_output: 7 } }'))
+        assert isinstance(net["fc"], FullyConnectedLayer)
+        assert net["fc"].num_output == 7
+
+    def test_softmax_with_loss_degrades(self):
+        net = convert_net(proto(BASE +
+            'layer { name: "fc" type: "InnerProduct" bottom: "data"'
+            ' top: "fc" inner_product_param { num_output: 7 } }'
+            'layer { name: "loss" type: "SoftmaxWithLoss" bottom: "fc"'
+            ' top: "loss" }'))
+        assert isinstance(net["loss"], SoftmaxLayer)
+
+    def test_unsupported_type(self):
+        with pytest.raises(UnsupportedLayerError, match="LRN"):
+            convert_net(proto(BASE +
+                'layer { name: "l" type: "LRN" bottom: "data" top: "l" }'))
+
+
+class TestFusionAndPruning:
+    def test_relu_fused_into_conv(self):
+        net = convert_net(proto(BASE +
+            'layer { name: "c" type: "Convolution" bottom: "data" top: "c"'
+            ' convolution_param { num_output: 2 kernel_size: 3 } }'
+            'layer { name: "r" type: "ReLU" bottom: "c" top: "c" }'))
+        assert "r" not in net
+        assert net["c"].activation is Activation.RELU
+
+    def test_second_activation_stays_standalone(self):
+        net = convert_net(proto(BASE +
+            'layer { name: "c" type: "Convolution" bottom: "data" top: "c"'
+            ' convolution_param { num_output: 2 kernel_size: 3 } }'
+            'layer { name: "r" type: "ReLU" bottom: "c" top: "c" }'
+            'layer { name: "s" type: "Sigmoid" bottom: "c" top: "c" }'))
+        assert isinstance(net["s"], ActivationLayer)
+        assert net["s"].kind is Activation.SIGMOID
+
+    def test_activation_after_pool_standalone(self):
+        net = convert_net(proto(BASE +
+            'layer { name: "p" type: "Pooling" bottom: "data" top: "p"'
+            ' pooling_param { pool: MAX kernel_size: 2 stride: 2 } }'
+            'layer { name: "t" type: "TanH" bottom: "p" top: "p" }'))
+        assert isinstance(net["t"], ActivationLayer)
+        assert net["t"].kind is Activation.TANH
+
+    def test_dropout_skipped(self):
+        net = convert_net(proto(BASE +
+            'layer { name: "fc" type: "InnerProduct" bottom: "data"'
+            ' top: "fc" inner_product_param { num_output: 7 } }'
+            'layer { name: "drop" type: "Dropout" bottom: "fc" top: "fc" }'
+            'layer { name: "fc2" type: "InnerProduct" bottom: "fc"'
+            ' top: "fc2" inner_product_param { num_output: 3 } }'))
+        assert "drop" not in net
+        assert "fc2" in net
+
+    def test_train_only_layers_dropped(self):
+        net = convert_net(proto(
+            'name: "t"\n'
+            'layer { name: "mnist" type: "Data" top: "data" top: "label"'
+            ' include { phase: TRAIN } }'
+            'layer { name: "data" type: "Input" top: "data"'
+            ' input_param { shape { dim: 1 dim: 1 dim: 8 dim: 8 } } }'
+            'layer { name: "c" type: "Convolution" bottom: "data" top: "c"'
+            ' convolution_param { num_output: 2 kernel_size: 3 } }'))
+        assert "c" in net
+
+    def test_non_chain_rejected(self):
+        with pytest.raises(ValidationError, match="chain"):
+            convert_net(proto(BASE +
+                'layer { name: "c" type: "Convolution" bottom: "data"'
+                ' top: "c" convolution_param { num_output: 2'
+                ' kernel_size: 3 } }'
+                'layer { name: "c2" type: "Convolution" bottom: "data"'
+                ' top: "c2" convolution_param { num_output: 2'
+                ' kernel_size: 3 } }'))
+
+
+class TestLegacyFormat:
+    LEGACY = (
+        'name: "old" input: "data" input_dim: [1, 1, 8, 8]\n'
+        'layers { name: "c" type: CONVOLUTION bottom: "data" top: "c"'
+        ' convolution_param { num_output: 2 kernel_size: 3 } }'
+        'layers { name: "r" type: RELU bottom: "c" top: "c" }'
+        'layers { name: "fc" type: INNER_PRODUCT bottom: "c" top: "fc"'
+        ' inner_product_param { num_output: 4 } }'
+        'layers { name: "prob" type: SOFTMAX bottom: "fc" top: "prob" }')
+
+    def test_v1_layers_convert(self):
+        net = convert_net(proto(self.LEGACY))
+        assert [l.name for l in net] == ["data", "c", "fc", "prob"]
+        assert net["c"].activation is Activation.RELU
+
+    def test_mixed_formats_rejected(self):
+        with pytest.raises(SchemaError, match="mixes"):
+            convert_net(proto(
+                BASE +
+                'layer { name: "a" type: "ReLU" bottom: "data"'
+                ' top: "data" }'
+                'layers { name: "b" type: RELU bottom: "data"'
+                ' top: "data" }'))
+
+
+class TestWeightExtraction:
+    def _model_with_blobs(self, conv_shape=(2, 1, 3, 3), bias=True,
+                          legacy_fc=False):
+        net = caffe_pb.new_net("t")
+        layer = net.add("layer")
+        layer.set_fields(name="c", type="Convolution")
+        rng = np.random.default_rng(0)
+        blobs = [array_to_blob(rng.normal(size=conv_shape))]
+        if bias:
+            blobs.append(array_to_blob(rng.normal(size=conv_shape[0])))
+        layer.blobs = blobs
+        fc = net.add("layer")
+        fc.set_fields(name="fc", type="InnerProduct")
+        w = rng.normal(size=(4, 2 * 10 * 10))
+        fc.blobs = [
+            array_to_blob(w.reshape(1, 1, 4, 200) if legacy_fc else w),
+            array_to_blob(rng.normal(size=4)),
+        ]
+        return net
+
+    def _network(self):
+        text = (
+            'name: "t" input: "data" input_dim: [1, 1, 12, 12]\n'
+            'layer { name: "c" type: "Convolution" bottom: "data" top: "c"'
+            ' convolution_param { num_output: 2 kernel_size: 3 } }'
+            'layer { name: "fc" type: "InnerProduct" bottom: "c" top: "fc"'
+            ' inner_product_param { num_output: 4 } }')
+        return convert_net(proto(text))
+
+    def test_extraction(self):
+        store = extract_weights(self._model_with_blobs(), self._network())
+        assert store.get("c", "weights").shape == (2, 1, 3, 3)
+        assert store.get("fc", "weights").shape == (4, 200)
+        store.validate(self._network())
+
+    def test_legacy_fc_blob_squeezed(self):
+        store = extract_weights(self._model_with_blobs(legacy_fc=True),
+                                self._network())
+        assert store.get("fc", "weights").shape == (4, 200)
+
+    def test_missing_layer(self):
+        net = caffe_pb.new_net("t")
+        with pytest.raises(WeightsError, match="no layer"):
+            extract_weights(net, self._network())
+
+    def test_missing_bias(self):
+        model = self._model_with_blobs(bias=False)
+        with pytest.raises(WeightsError, match="bias"):
+            extract_weights(model, self._network())
+
+    def test_wrong_weight_shape(self):
+        model = self._model_with_blobs(conv_shape=(2, 1, 4, 4))
+        with pytest.raises(WeightsError, match="incompatible"):
+            extract_weights(model, self._network())
+
+    def test_convert_caffe_model_validates(self):
+        text = (
+            'name: "t" input: "data" input_dim: [1, 1, 12, 12]\n'
+            'layer { name: "c" type: "Convolution" bottom: "data" top: "c"'
+            ' convolution_param { num_output: 2 kernel_size: 3 } }'
+            'layer { name: "fc" type: "InnerProduct" bottom: "c" top: "fc"'
+            ' inner_product_param { num_output: 4 } }')
+        converted = convert_caffe_model(proto(text),
+                                        self._model_with_blobs())
+        assert converted.caffe_name == "t"
+        assert converted.weights.total_parameters() > 0
+
+    def test_convert_without_weights(self):
+        converted = convert_caffe_model(proto(BASE +
+            'layer { name: "p" type: "Pooling" bottom: "data" top: "p"'
+            ' pooling_param { pool: MAX kernel_size: 2 stride: 2 } }'))
+        assert converted.weights.total_parameters() == 0

@@ -1,0 +1,127 @@
+"""Fuzz / failure-injection tests.
+
+Invariant: malformed external input (binary caffemodel bytes, prototxt
+text, ONNX bytes, xclbin blobs) must either parse or raise a
+:class:`~repro.errors.CondorError` subclass — never an arbitrary
+exception, never a hang.  These feed hypothesis-generated garbage and
+targeted mutations of valid artifacts through every decoder.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import CondorError
+from repro.frontend.caffe.caffe_pb import NET_PARAMETER
+from repro.frontend.caffe.model import loads_caffemodel, parse_prototxt
+from repro.frontend.caffe.schema import decode_message, encode_message
+from repro.frontend.onnx import schema as onnx_schema
+from repro.frontend.zoo import lenet_caffe_files
+from repro.toolchain.xclbin import read_xclbin, write_xclbin, Xclbin
+
+_FUZZ_SETTINGS = settings(max_examples=80, deadline=None,
+                          suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestWireFuzz:
+    @_FUZZ_SETTINGS
+    @given(st.binary(max_size=300))
+    def test_random_bytes_never_crash_decoder(self, data):
+        try:
+            loads_caffemodel(data)
+        except CondorError:
+            pass
+
+    @_FUZZ_SETTINGS
+    @given(st.binary(max_size=300))
+    def test_random_bytes_never_crash_onnx_decoder(self, data):
+        try:
+            decode_message(onnx_schema.MODEL_PROTO, data)
+        except CondorError:
+            pass
+
+    @pytest.fixture(scope="class")
+    def valid_caffemodel(self, tmp_path_factory):
+        _, path = lenet_caffe_files(tmp_path_factory.mktemp("caffe"))
+        return path.read_bytes()
+
+    def test_truncations_of_valid_model(self, valid_caffemodel):
+        # every truncation point of the header region must fail cleanly
+        # or parse a prefix (partial messages are legal protobuf)
+        for cut in range(0, 200, 7):
+            data = valid_caffemodel[:cut]
+            try:
+                loads_caffemodel(data)
+            except CondorError:
+                pass
+
+    def test_bitflips_of_valid_model(self, valid_caffemodel):
+        rng = np.random.default_rng(0)
+        blob = bytearray(valid_caffemodel[:4096])
+        for _ in range(60):
+            index = int(rng.integers(0, len(blob)))
+            mutated = bytearray(blob)
+            mutated[index] ^= 1 << int(rng.integers(0, 8))
+            try:
+                loads_caffemodel(bytes(mutated))
+            except CondorError:
+                pass
+
+    def test_decode_encode_idempotent_on_valid(self, valid_caffemodel):
+        msg = loads_caffemodel(valid_caffemodel)
+        again = loads_caffemodel(encode_message(msg))
+        assert again == msg
+
+
+class TestTextFuzz:
+    @_FUZZ_SETTINGS
+    @given(st.text(max_size=200))
+    def test_random_text_never_crashes_parser(self, text):
+        try:
+            parse_prototxt(text)
+        except CondorError:
+            pass
+
+    @_FUZZ_SETTINGS
+    @given(st.text(alphabet="layer{}:\"name type\n 0123456789", max_size=120))
+    def test_structured_garbage(self, text):
+        try:
+            parse_prototxt(text)
+        except CondorError:
+            pass
+
+    def test_deeply_nested_input(self):
+        # deep but bounded nesting parses or errors without blowing the
+        # recursion limit for realistic depths
+        text = 'layer { ' * 40 + 'name: "x"' + ' }' * 40
+        try:
+            parse_prototxt(text)
+        except CondorError:
+            pass
+
+
+class TestXclbinFuzz:
+    @_FUZZ_SETTINGS
+    @given(st.binary(max_size=300))
+    def test_random_bytes_never_crash_reader(self, data):
+        try:
+            read_xclbin(data)
+        except CondorError:
+            pass
+
+    @_FUZZ_SETTINGS
+    @given(st.integers(8, 200), st.integers(0, 7))
+    def test_bitflips_detected_or_clean(self, index, bit):
+        blob = bytearray(write_xclbin(Xclbin(
+            kernel_name="k", part="xcvu9p", frequency_hz=1e8,
+            sections={b"META": b"{}", b"BITS": b"\x01" * 64})))
+        if index >= len(blob):
+            return
+        blob[index] ^= 1 << bit
+        try:
+            xclbin = read_xclbin(bytes(blob))
+            # if it parsed, the payloads must be internally consistent
+            assert set(xclbin.sections) <= {b"META", b"RSRC", b"NETW",
+                                            b"BITS", b"MAPG"}
+        except CondorError:
+            pass

@@ -1,0 +1,188 @@
+"""ONNX frontend tests: schema, export/import round trip, conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError, UnsupportedLayerError, ValidationError
+from repro.frontend.caffe.schema import Message, decode_message, encode_message
+from repro.frontend.onnx import (
+    convert_onnx_model,
+    export_onnx,
+    load_onnx,
+    save_onnx,
+)
+from repro.frontend.onnx import schema as S
+from repro.frontend.onnx.convert import _tensor_to_array
+from repro.frontend.weights import WeightStore
+from repro.frontend.zoo import lenet_network, tc1_network, vgg16_network
+from repro.ir.layers import (
+    Activation,
+    ConvLayer,
+    FullyConnectedLayer,
+    PoolLayer,
+    PoolOp,
+)
+from repro.ir.network import chain
+from repro.nn.engine import ReferenceEngine
+
+
+class TestSchema:
+    def test_model_roundtrips_wire_format(self):
+        model = S.new_model()
+        graph = Message(S.GRAPH_PROTO)
+        graph.name = "g"
+        node = graph.add("node")
+        node.op_type = "Relu"
+        node.input = ["x"]
+        node.output = ["y"]
+        model.graph = graph
+        back = decode_message(S.MODEL_PROTO, encode_message(model))
+        assert back.graph.name == "g"
+        assert back.graph.node[0].op_type == "Relu"
+        assert back.producer_name == "condor"
+
+    def test_tensor_raw_data(self):
+        array = np.arange(6, dtype=np.float32).reshape(2, 3)
+        tensor = Message(S.TENSOR_PROTO)
+        tensor.dims = [2, 3]
+        tensor.data_type = S.TENSOR_DATA_TYPE.number_of("FLOAT")
+        tensor.raw_data = array.tobytes()
+        np.testing.assert_array_equal(_tensor_to_array(tensor), array)
+
+    def test_tensor_float_data(self):
+        tensor = Message(S.TENSOR_PROTO)
+        tensor.dims = [3]
+        tensor.data_type = S.TENSOR_DATA_TYPE.number_of("FLOAT")
+        tensor.float_data = [1.0, 2.0, 3.0]
+        np.testing.assert_array_equal(_tensor_to_array(tensor), [1, 2, 3])
+
+    def test_tensor_size_mismatch(self):
+        tensor = Message(S.TENSOR_PROTO)
+        tensor.dims = [4]
+        tensor.data_type = S.TENSOR_DATA_TYPE.number_of("FLOAT")
+        tensor.float_data = [1.0]
+        with pytest.raises(SchemaError):
+            _tensor_to_array(tensor)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("netf", [tc1_network, lenet_network])
+    def test_functional_equivalence(self, netf, tmp_path):
+        net = netf()
+        weights = WeightStore.initialize(net, 4)
+        path = save_onnx(net, tmp_path / "m.onnx", weights)
+        converted = convert_onnx_model(load_onnx(path))
+        x = np.random.default_rng(0).normal(
+            size=net.input_shape().as_tuple()).astype(np.float32)
+        original = ReferenceEngine(net, weights).forward(x)
+        back = ReferenceEngine(converted.network,
+                               converted.weights).forward(x)
+        np.testing.assert_array_equal(original, back)
+
+    def test_vgg16_exports(self, tmp_path):
+        net = vgg16_network(include_classifier=False)
+        model = export_onnx(net)  # zero weights
+        assert len(model.graph.node) >= 13 + 5 + 13  # convs+pools+relus
+
+    def test_activation_fused_back(self, tmp_path):
+        net = tc1_network()
+        weights = WeightStore.initialize(net, 1)
+        converted = convert_onnx_model(
+            export_onnx(net, weights))
+        conv1 = converted.network["conv1"]
+        assert conv1.activation is Activation.RELU
+
+    def test_shapes_preserved(self):
+        net = lenet_network()
+        converted = convert_onnx_model(
+            export_onnx(net, WeightStore.initialize(net)))
+        assert converted.network.input_shape() == net.input_shape()
+        assert converted.network.output_shape() == net.output_shape()
+
+
+class TestConversionDetails:
+    def _model(self, net, weights=None):
+        return export_onnx(net, weights or WeightStore.initialize(net, 0))
+
+    def test_conv_attributes(self):
+        net = chain("n", (1, 9, 9), [
+            ConvLayer("c", num_output=2, kernel=3, stride=2, pad=1)])
+        converted = convert_onnx_model(self._model(net))
+        conv = converted.network["c"]
+        assert conv.kernel == (3, 3)
+        assert conv.stride == (2, 2)
+        assert conv.pad == (1, 1)
+
+    def test_avg_pool(self):
+        net = chain("n", (2, 8, 8), [
+            PoolLayer("p", op=PoolOp.AVG, kernel=2)])
+        converted = convert_onnx_model(self._model(net, WeightStore()))
+        assert converted.network["p"].op is PoolOp.AVG
+
+    def test_gemm_without_transb(self):
+        # hand-build a Gemm node with transB=0 (weights stored K x N)
+        net = chain("n", (4, 1, 1), [
+            FullyConnectedLayer("fc", num_output=3)])
+        weights = WeightStore.initialize(net, 2)
+        model = export_onnx(net, weights)
+        gemm = next(n for n in model.graph.node if n.op_type == "Gemm")
+        attr = next(a for a in gemm.attribute if a.name == "transB")
+        attr.i = 0
+        for init in model.graph.initializer:
+            if init.name == "fc.weight":
+                w = np.frombuffer(init.raw_data,
+                                  dtype="<f4").reshape(3, 4)
+                init.raw_data = np.ascontiguousarray(w.T).tobytes()
+                init.dims = [4, 3]
+        converted = convert_onnx_model(model)
+        np.testing.assert_allclose(converted.weights.get("fc", "weights"),
+                                   weights.get("fc", "weights"))
+
+    def test_unsupported_op(self):
+        net = chain("n", (1, 8, 8), [
+            ConvLayer("c", num_output=2, kernel=3)])
+        model = self._model(net)
+        model.graph.node[0].op_type = "LRN"
+        with pytest.raises(UnsupportedLayerError, match="LRN"):
+            convert_onnx_model(model)
+
+    def test_non_chain_rejected(self):
+        net = chain("n", (1, 8, 8), [
+            ConvLayer("c", num_output=2, kernel=3)])
+        model = self._model(net)
+        model.graph.node[0].input = ["something_else", "c.weight",
+                                     "c.bias"]
+        with pytest.raises(ValidationError, match="chain"):
+            convert_onnx_model(model)
+
+    def test_missing_graph(self):
+        model = S.new_model()
+        with pytest.raises(SchemaError, match="no graph"):
+            convert_onnx_model(model)
+
+    def test_grouped_conv_unsupported(self):
+        net = chain("n", (2, 8, 8), [
+            ConvLayer("c", num_output=2, kernel=3)])
+        model = self._model(net)
+        from repro.frontend.onnx.export import _attr_int
+        node = model.graph.node[0]
+        node.attribute = list(node.attribute) + [_attr_int("group", 2)]
+        with pytest.raises(UnsupportedLayerError, match="grouped"):
+            convert_onnx_model(model)
+
+    def test_dropout_skipped(self):
+        net = chain("n", (4, 1, 1), [
+            FullyConnectedLayer("fc", num_output=3)])
+        model = self._model(net)
+        # splice a Dropout between input and Gemm
+        drop = Message(S.NODE_PROTO)
+        drop.op_type = "Dropout"
+        drop.name = "drop"
+        gemm = model.graph.node[-1]
+        drop.input = [gemm.input[0]]
+        drop.output = ["dropped"]
+        gemm.input = ["dropped"] + list(gemm.input)[1:]
+        model.graph.node = [drop] + list(model.graph.node)
+        converted = convert_onnx_model(model)
+        assert "drop" not in converted.network
+        assert "fc" in converted.network

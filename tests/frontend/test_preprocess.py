@@ -1,0 +1,118 @@
+"""Preprocessor (transform_param) tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.frontend.caffe.converter import (
+    convert_caffe_model,
+    extract_preprocessor,
+)
+from repro.frontend.caffe.model import parse_prototxt
+from repro.frontend.preprocess import Preprocessor
+
+
+class TestPreprocessor:
+    def test_identity(self):
+        pre = Preprocessor()
+        assert pre.is_identity
+        x = np.random.default_rng(0).normal(size=(3, 8, 8)) \
+            .astype(np.float32)
+        np.testing.assert_array_equal(pre.apply(x), x)
+
+    def test_scale(self):
+        pre = Preprocessor(scale=1 / 256.0)
+        x = np.full((1, 2, 2), 256.0, dtype=np.float32)
+        np.testing.assert_allclose(pre.apply(x), 1.0)
+
+    def test_single_mean_broadcasts(self):
+        pre = Preprocessor(mean_values=(10.0,))
+        x = np.full((3, 2, 2), 15.0, dtype=np.float32)
+        np.testing.assert_allclose(pre.apply(x), 5.0)
+
+    def test_per_channel_means(self):
+        pre = Preprocessor(mean_values=(1.0, 2.0, 3.0))
+        x = np.ones((3, 2, 2), dtype=np.float32)
+        out = pre.apply(x)
+        np.testing.assert_allclose(out[0], 0.0)
+        np.testing.assert_allclose(out[2], -2.0)
+
+    def test_mean_count_mismatch(self):
+        pre = Preprocessor(mean_values=(1.0, 2.0))
+        with pytest.raises(SchemaError, match="mean values"):
+            pre.apply(np.ones((3, 2, 2)))
+
+    def test_center_crop(self):
+        pre = Preprocessor(crop_size=2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        out = pre.apply(x)
+        np.testing.assert_array_equal(out, [[[5, 6], [9, 10]]])
+
+    def test_crop_too_large(self):
+        pre = Preprocessor(crop_size=8)
+        with pytest.raises(SchemaError, match="crop_size"):
+            pre.apply(np.ones((1, 4, 4)))
+
+    def test_order_crop_mean_scale(self):
+        pre = Preprocessor(scale=0.5, mean_values=(1.0,), crop_size=2)
+        x = np.full((1, 4, 4), 5.0, dtype=np.float32)
+        # (5 - 1) * 0.5 = 2
+        np.testing.assert_allclose(pre.apply(x), 2.0)
+
+    def test_batch(self):
+        pre = Preprocessor(scale=2.0)
+        batch = np.ones((4, 1, 2, 2), dtype=np.float32)
+        assert pre.apply_batch(batch).shape == (4, 1, 2, 2)
+
+    def test_bad_rank(self):
+        with pytest.raises(SchemaError):
+            Preprocessor().apply(np.ones((4, 4)))
+
+
+class TestExtractionFromPrototxt:
+    MNIST_STYLE = (
+        'name: "t" input: "data" input_dim: [1, 1, 8, 8]\n'
+        'layer { name: "c" type: "Convolution" bottom: "data" top: "c"'
+        ' transform_param { scale: 0.00390625 }'
+        ' convolution_param { num_output: 2 kernel_size: 3 } }')
+
+    def test_scale_extracted(self):
+        pre = extract_preprocessor(parse_prototxt(self.MNIST_STYLE))
+        assert pre.scale == pytest.approx(1 / 256.0)
+        assert not pre.is_identity
+
+    def test_convert_carries_preprocessor(self):
+        converted = convert_caffe_model(parse_prototxt(self.MNIST_STYLE))
+        assert converted.preprocessor is not None
+        assert converted.preprocessor.scale == pytest.approx(1 / 256.0)
+
+    def test_mean_values_extracted(self):
+        text = self.MNIST_STYLE.replace(
+            "transform_param { scale: 0.00390625 }",
+            "transform_param { mean_value: 104 mean_value: 117"
+            " mean_value: 123 crop_size: 4 }")
+        pre = extract_preprocessor(parse_prototxt(text))
+        assert pre.mean_values == (104.0, 117.0, 123.0)
+        assert pre.crop_size == 4
+
+    def test_train_only_transform_ignored(self):
+        text = (
+            'name: "t"\n'
+            'layer { name: "d" type: "Data" top: "data"'
+            ' include { phase: TRAIN }'
+            ' transform_param { scale: 0.5 } }'
+            'input: "data" input_dim: [1, 1, 8, 8]\n')
+        pre = extract_preprocessor(parse_prototxt(text))
+        assert pre.is_identity
+
+    def test_mean_file_rejected(self):
+        text = self.MNIST_STYLE.replace(
+            "transform_param { scale: 0.00390625 }",
+            'transform_param { mean_file: "mean.binaryproto" }')
+        with pytest.raises(SchemaError, match="mean_file"):
+            extract_preprocessor(parse_prototxt(text))
+
+    def test_no_transform_is_identity(self):
+        pre = extract_preprocessor(parse_prototxt(
+            'input: "data" input_dim: [1, 1, 4, 4]'))
+        assert pre.is_identity

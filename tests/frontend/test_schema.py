@@ -1,0 +1,207 @@
+"""Dynamic message / descriptor tests, including wire round-trips against
+the Caffe schema."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchemaError, WireFormatError
+from repro.frontend.caffe import caffe_pb
+from repro.frontend.caffe.schema import (
+    EnumDescriptor,
+    FieldDescriptor,
+    FieldType,
+    Label,
+    Message,
+    MessageDescriptor,
+    decode_message,
+    encode_message,
+)
+
+
+class TestDescriptors:
+    def test_duplicate_field_name_rejected(self):
+        with pytest.raises(SchemaError):
+            MessageDescriptor("M", [
+                FieldDescriptor("a", 1, FieldType.INT32),
+                FieldDescriptor("a", 2, FieldType.INT32),
+            ])
+
+    def test_duplicate_field_number_rejected(self):
+        with pytest.raises(SchemaError):
+            MessageDescriptor("M", [
+                FieldDescriptor("a", 1, FieldType.INT32),
+                FieldDescriptor("b", 1, FieldType.INT32),
+            ])
+
+    def test_message_field_needs_type(self):
+        with pytest.raises(SchemaError):
+            FieldDescriptor("m", 1, FieldType.MESSAGE)
+
+    def test_enum_field_needs_enum(self):
+        with pytest.raises(SchemaError):
+            FieldDescriptor("e", 1, FieldType.ENUM)
+
+    def test_packed_requires_repeated_scalar(self):
+        with pytest.raises(SchemaError):
+            FieldDescriptor("s", 1, FieldType.STRING,
+                            Label.REPEATED, packed=True)
+        with pytest.raises(SchemaError):
+            FieldDescriptor("i", 1, FieldType.INT32, packed=True)
+
+    def test_enum_descriptor_lookups(self):
+        enum = EnumDescriptor("E", {"A": 0, "B": 3})
+        assert enum.number_of("B") == 3
+        assert enum.name_of(0) == "A"
+        assert "A" in enum and "C" not in enum
+        with pytest.raises(SchemaError):
+            enum.number_of("C")
+        with pytest.raises(SchemaError):
+            enum.name_of(9)
+
+
+class TestMessageSemantics:
+    def test_defaults(self):
+        conv = Message(caffe_pb.CONVOLUTION_PARAMETER)
+        assert conv.bias_term is True          # explicit default
+        assert conv.num_output == 0            # type default
+        assert conv.kernel_size == []          # repeated default
+        assert conv.weight_filler is None      # message default
+
+    def test_has_field(self):
+        conv = Message(caffe_pb.CONVOLUTION_PARAMETER)
+        assert not conv.has_field("num_output")
+        conv.num_output = 0
+        assert conv.has_field("num_output")    # set-to-default still set
+        conv.clear_field("num_output")
+        assert not conv.has_field("num_output")
+
+    def test_repeated_empty_not_set(self):
+        net = Message(caffe_pb.NET_PARAMETER)
+        assert not net.has_field("layer")
+        net.add("layer")
+        assert net.has_field("layer")
+
+    def test_unknown_attribute(self):
+        conv = Message(caffe_pb.CONVOLUTION_PARAMETER)
+        with pytest.raises(AttributeError):
+            conv.zzz
+        with pytest.raises(AttributeError):
+            conv.zzz = 1
+
+    def test_add_on_scalar_rejected(self):
+        conv = Message(caffe_pb.CONVOLUTION_PARAMETER)
+        with pytest.raises(SchemaError):
+            conv.add("num_output")
+
+    def test_kwargs_and_set_fields(self):
+        conv = Message(caffe_pb.CONVOLUTION_PARAMETER, num_output=5)
+        conv.set_fields(kernel_size=[3], bias_term=False)
+        assert conv.num_output == 5
+        assert conv.kernel_size == [3]
+        assert conv.bias_term is False
+
+    def test_equality(self):
+        a = Message(caffe_pb.CONVOLUTION_PARAMETER, num_output=5)
+        b = Message(caffe_pb.CONVOLUTION_PARAMETER, num_output=5)
+        c = Message(caffe_pb.CONVOLUTION_PARAMETER, num_output=6)
+        assert a == b and a != c
+        assert a != 42
+
+    def test_enum_default_is_min_value(self):
+        pool = Message(caffe_pb.POOLING_PARAMETER)
+        assert pool.pool == 0  # MAX
+
+
+class TestWireRoundtrip:
+    def test_simple_message(self):
+        conv = Message(caffe_pb.CONVOLUTION_PARAMETER, num_output=20,
+                       kernel_size=[5], stride=[1], bias_term=True)
+        data = encode_message(conv)
+        back = decode_message(caffe_pb.CONVOLUTION_PARAMETER, data)
+        assert back == conv
+
+    def test_nested_and_repeated(self):
+        net = caffe_pb.new_net("test")
+        layer = net.add("layer")
+        layer.name = "conv1"
+        layer.type = "Convolution"
+        layer.bottom = ["data"]
+        layer.top = ["conv1"]
+        conv = Message(caffe_pb.CONVOLUTION_PARAMETER, num_output=4)
+        layer.convolution_param = conv
+        back = decode_message(caffe_pb.NET_PARAMETER, encode_message(net))
+        assert back.name == "test"
+        assert back.layer[0].name == "conv1"
+        assert back.layer[0].convolution_param.num_output == 4
+
+    def test_packed_floats(self):
+        blob = Message(caffe_pb.BLOB_PROTO, data=[1.0, 2.5, -3.0])
+        data = encode_message(blob)
+        back = decode_message(caffe_pb.BLOB_PROTO, data)
+        assert back.data == [1.0, 2.5, -3.0]
+
+    def test_unpacked_floats_accepted(self):
+        # Unpacked encoding of a packed-declared field must still decode.
+        from repro.frontend.caffe import wire
+        buf = b"".join(
+            wire.encode_tag(5, wire.WireType.I32) + wire.encode_float(v)
+            for v in (1.0, 2.0))
+        back = decode_message(caffe_pb.BLOB_PROTO, buf)
+        assert back.data == [1.0, 2.0]
+
+    def test_unknown_fields_preserved(self):
+        from repro.frontend.caffe import wire
+        payload = (wire.encode_tag(999, wire.WireType.VARINT) +
+                   wire.encode_varint(7))
+        msg = decode_message(caffe_pb.BLOB_SHAPE, payload)
+        assert msg.unknown_fields == [(999, wire.WireType.VARINT, 7)]
+        assert encode_message(msg) == payload
+
+    def test_negative_int32_roundtrip(self):
+        blob = Message(caffe_pb.BLOB_PROTO, num=-1)
+        back = decode_message(caffe_pb.BLOB_PROTO, encode_message(blob))
+        assert back.num == -1
+
+    def test_bool_roundtrip(self):
+        conv = Message(caffe_pb.CONVOLUTION_PARAMETER, bias_term=False)
+        back = decode_message(caffe_pb.CONVOLUTION_PARAMETER,
+                              encode_message(conv))
+        assert back.bias_term is False
+        assert back.has_field("bias_term")
+
+    def test_string_utf8(self):
+        net = caffe_pb.new_net("réseau")
+        back = decode_message(caffe_pb.NET_PARAMETER, encode_message(net))
+        assert back.name == "réseau"
+
+    def test_invalid_utf8_rejected(self):
+        from repro.frontend.caffe import wire
+        buf = (wire.encode_tag(1, wire.WireType.LEN) +
+               wire.encode_length_delimited(b"\xff\xfe"))
+        with pytest.raises(WireFormatError):
+            decode_message(caffe_pb.NET_PARAMETER, buf)
+
+    def test_last_one_wins_for_optional(self):
+        from repro.frontend.caffe import wire
+        buf = b"".join(
+            wire.encode_tag(1, wire.WireType.VARINT) + wire.encode_varint(v)
+            for v in (3, 9))
+        msg = decode_message(caffe_pb.CONVOLUTION_PARAMETER, buf)
+        assert msg.num_output == 9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        name=st.text(max_size=10),
+        dims=st.lists(st.integers(0, 2 ** 40), max_size=5),
+        data=st.lists(st.floats(width=32, allow_nan=False), max_size=20),
+    )
+    def test_blob_roundtrip_property(self, name, dims, data):
+        net = caffe_pb.new_net(name)
+        layer = net.add("layer")
+        layer.name = name
+        blob = layer.add("blobs")
+        shape = Message(caffe_pb.BLOB_SHAPE, dim=dims)
+        blob.shape = shape
+        blob.data = data
+        back = decode_message(caffe_pb.NET_PARAMETER, encode_message(net))
+        assert back == net

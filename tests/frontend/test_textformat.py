@@ -1,0 +1,173 @@
+"""Protobuf text format parser/serializer tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend.caffe import caffe_pb
+from repro.frontend.caffe.schema import Message
+from repro.frontend.caffe.textformat import (
+    TokenKind,
+    format_text,
+    parse_text,
+    tokenize,
+)
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize('name: "x" num: 5 { }')
+        kinds = [t.kind for t in tokens]
+        assert kinds == [TokenKind.IDENT, TokenKind.PUNCT, TokenKind.STRING,
+                         TokenKind.IDENT, TokenKind.PUNCT, TokenKind.NUMBER,
+                         TokenKind.PUNCT, TokenKind.PUNCT, TokenKind.EOF]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a: 1 # comment\nb: 2")
+        assert [t.text for t in tokens[:-1]] == ["a", ":", "1", "b", ":", "2"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a: 1\nbb: 2\n cc: 3")
+        by_text = {t.text: t for t in tokens}
+        assert by_text["a"].line == 1
+        assert by_text["bb"].line == 2
+        assert by_text["cc"].line == 3 and by_text["cc"].column == 2
+
+    def test_numbers(self):
+        texts = [t.text for t in tokenize("1 -2 3.5 .5 1e-3 0x1F 2.")[:-1]]
+        assert texts == ["1", "-2", "3.5", ".5", "1e-3", "0x1F", "2."]
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError) as exc:
+            tokenize("a: @")
+        assert exc.value.line == 1
+
+
+class TestParser:
+    def test_scalar_fields(self):
+        msg = parse_text('name: "net" input: "data" input_dim: 1',
+                         caffe_pb.NET_PARAMETER)
+        assert msg.name == "net"
+        assert msg.input == ["data"]
+        assert msg.input_dim == [1]
+
+    def test_nested_message_with_and_without_colon(self):
+        for sep in ("", ":"):
+            text = f'layer {sep} {{ name: "c" type: "Convolution" }}'
+            msg = parse_text(text, caffe_pb.NET_PARAMETER)
+            assert msg.layer[0].name == "c"
+
+    def test_angle_brackets(self):
+        msg = parse_text('layer < name: "c" >', caffe_pb.NET_PARAMETER)
+        assert msg.layer[0].name == "c"
+
+    def test_repeated_accumulates(self):
+        msg = parse_text("input_dim: 1 input_dim: 2 input_dim: 3",
+                         caffe_pb.NET_PARAMETER)
+        assert msg.input_dim == [1, 2, 3]
+
+    def test_list_syntax(self):
+        msg = parse_text("input_dim: [1, 2, 3]", caffe_pb.NET_PARAMETER)
+        assert msg.input_dim == [1, 2, 3]
+
+    def test_empty_list(self):
+        msg = parse_text("input_dim: []", caffe_pb.NET_PARAMETER)
+        assert msg.input_dim == []
+
+    def test_list_on_scalar_rejected(self):
+        with pytest.raises(ParseError):
+            parse_text('name: ["a"]', caffe_pb.NET_PARAMETER)
+
+    def test_enum_by_name_and_number(self):
+        msg = parse_text("pool: MAX kernel_size: 2",
+                         caffe_pb.POOLING_PARAMETER)
+        assert msg.pool == 0
+        msg = parse_text("pool: 1", caffe_pb.POOLING_PARAMETER)
+        assert msg.pool == 1
+
+    def test_unknown_enum_name(self):
+        with pytest.raises(ParseError):
+            parse_text("pool: MEDIAN", caffe_pb.POOLING_PARAMETER)
+
+    def test_bool_variants(self):
+        for text, value in [("true", True), ("false", False), ("1", True),
+                            ("0", False)]:
+            msg = parse_text(f"bias_term: {text}",
+                             caffe_pb.CONVOLUTION_PARAMETER)
+            assert msg.bias_term is value
+
+    def test_string_escapes(self):
+        msg = parse_text(r'name: "a\nb\t\"c\\"', caffe_pb.NET_PARAMETER)
+        assert msg.name == 'a\nb\t"c\\'
+
+    def test_adjacent_strings_concatenate(self):
+        msg = parse_text('name: "foo" "bar"', caffe_pb.NET_PARAMETER)
+        assert msg.name == "foobar"
+
+    def test_single_quoted_strings(self):
+        msg = parse_text("name: 'hi'", caffe_pb.NET_PARAMETER)
+        assert msg.name == "hi"
+
+    def test_unknown_field_rejected_with_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse_text("\n\n zzz: 3", caffe_pb.NET_PARAMETER)
+        assert exc.value.line == 3
+
+    def test_missing_colon_for_scalar(self):
+        with pytest.raises(ParseError):
+            parse_text('name "x"', caffe_pb.NET_PARAMETER)
+
+    def test_unterminated_message(self):
+        with pytest.raises(ParseError):
+            parse_text('layer { name: "c"', caffe_pb.NET_PARAMETER)
+
+    def test_float_f_suffix(self):
+        msg = parse_text("lr_mult: 1.5f", caffe_pb.PARAM_SPEC)
+        assert msg.lr_mult == 1.5
+
+    def test_negative_unsigned_rejected(self):
+        with pytest.raises(ParseError):
+            parse_text("num_output: -2", caffe_pb.CONVOLUTION_PARAMETER)
+
+    def test_separators_tolerated(self):
+        msg = parse_text("input_dim: 1, input_dim: 2;",
+                         caffe_pb.NET_PARAMETER)
+        assert msg.input_dim == [1, 2]
+
+
+class TestSerializer:
+    def test_roundtrip_simple(self):
+        msg = parse_text('name: "n" input: "data" input_dim: [1, 1, 8, 8]',
+                         caffe_pb.NET_PARAMETER)
+        text = format_text(msg)
+        back = parse_text(text, caffe_pb.NET_PARAMETER)
+        assert back == msg
+
+    def test_roundtrip_nested(self):
+        net = caffe_pb.new_net("x")
+        layer = net.add("layer")
+        layer.set_fields(name="conv", type="Convolution",
+                         bottom=["data"], top=["conv"])
+        conv = Message(caffe_pb.CONVOLUTION_PARAMETER, num_output=8,
+                       kernel_size=[3], bias_term=False)
+        layer.convolution_param = conv
+        back = parse_text(format_text(net), caffe_pb.NET_PARAMETER)
+        assert back == net
+
+    def test_bool_and_enum_formatting(self):
+        pool = Message(caffe_pb.POOLING_PARAMETER, pool=1,
+                       global_pooling=True)
+        text = format_text(pool)
+        assert "pool: AVE" in text
+        assert "global_pooling: true" in text
+
+    def test_string_quoting(self):
+        net = caffe_pb.new_net('we"ird\nname')
+        back = parse_text(format_text(net), caffe_pb.NET_PARAMETER)
+        assert back.name == 'we"ird\nname'
+
+    def test_indentation(self):
+        net = caffe_pb.new_net("x")
+        net.add("layer").name = "c"
+        lines = format_text(net).splitlines()
+        assert lines[1] == "layer {"
+        assert lines[2].startswith("  name:")

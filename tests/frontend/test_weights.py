@@ -1,0 +1,110 @@
+"""Weight store tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WeightsError
+from repro.frontend.weights import WeightStore
+from repro.ir.layers import ConvLayer, FullyConnectedLayer, PoolLayer
+from repro.ir.network import chain
+
+
+@pytest.fixture
+def net():
+    return chain("n", (1, 12, 12), [
+        ConvLayer("c1", num_output=4, kernel=3),
+        PoolLayer("p1"),
+        FullyConnectedLayer("fc", num_output=10),
+    ])
+
+
+class TestAccess:
+    def test_set_get(self):
+        store = WeightStore()
+        store.set("c1", "weights", np.ones((2, 1, 3, 3)))
+        assert store.get("c1", "weights").dtype == np.float32
+        assert "c1" in store
+
+    def test_missing_raises(self):
+        store = WeightStore()
+        with pytest.raises(WeightsError):
+            store.get("c1", "weights")
+        assert store.maybe_get("c1", "weights") is None
+
+    def test_constructor_from_dict(self):
+        store = WeightStore({"a": {"weights": np.zeros((2, 2))}})
+        assert store.get("a", "weights").shape == (2, 2)
+
+    def test_layers_sorted(self):
+        store = WeightStore()
+        store.set("b", "weights", np.zeros(1))
+        store.set("a", "weights", np.zeros(1))
+        assert store.layers() == ["a", "b"]
+
+    def test_total_parameters(self, net):
+        store = WeightStore.initialize(net)
+        # conv: 4*1*3*3 + 4; fc: 10*(4*5*5) + 10
+        assert store.total_parameters() == 36 + 4 + 10 * 100 + 10
+
+
+class TestInitializeAndValidate:
+    def test_initialize_passes_validation(self, net):
+        WeightStore.initialize(net).validate(net)
+
+    def test_initialize_deterministic(self, net):
+        a = WeightStore.initialize(net, seed=3)
+        b = WeightStore.initialize(net, seed=3)
+        np.testing.assert_array_equal(a.get("c1", "weights"),
+                                      b.get("c1", "weights"))
+
+    def test_initialize_seed_matters(self, net):
+        a = WeightStore.initialize(net, seed=3)
+        b = WeightStore.initialize(net, seed=4)
+        assert not np.array_equal(a.get("c1", "weights"),
+                                  b.get("c1", "weights"))
+
+    def test_validate_missing_blob(self, net):
+        store = WeightStore.initialize(net)
+        del store._blobs["fc"]["bias"]
+        with pytest.raises(WeightsError, match="bias"):
+            store.validate(net)
+
+    def test_validate_wrong_shape(self, net):
+        store = WeightStore.initialize(net)
+        store.set("c1", "weights", np.zeros((4, 1, 3, 2), dtype=np.float32))
+        with pytest.raises(WeightsError, match="shape"):
+            store.validate(net)
+
+    def test_pool_needs_no_weights(self, net):
+        store = WeightStore.initialize(net)
+        assert "p1" not in store
+
+
+class TestPersistence:
+    def test_roundtrip(self, net, tmp_path):
+        store = WeightStore.initialize(net, seed=11)
+        store.save(tmp_path / "w")
+        loaded = WeightStore.load(tmp_path / "w")
+        assert loaded.layers() == store.layers()
+        for layer in store.layers():
+            for blob, array in store.blobs(layer).items():
+                np.testing.assert_array_equal(loaded.get(layer, blob), array)
+
+    def test_slash_in_layer_name(self, tmp_path):
+        store = WeightStore()
+        store.set("conv1/3x3", "weights", np.ones(3))
+        store.save(tmp_path / "w")
+        loaded = WeightStore.load(tmp_path / "w")
+        np.testing.assert_array_equal(loaded.get("conv1/3x3", "weights"),
+                                      np.ones(3, dtype=np.float32))
+
+    def test_load_missing_manifest(self, tmp_path):
+        with pytest.raises(WeightsError, match="manifest"):
+            WeightStore.load(tmp_path)
+
+    def test_load_missing_file(self, net, tmp_path):
+        store = WeightStore.initialize(net)
+        store.save(tmp_path / "w")
+        (tmp_path / "w" / "c1.weights.npy").unlink()
+        with pytest.raises(WeightsError, match="missing file"):
+            WeightStore.load(tmp_path / "w")

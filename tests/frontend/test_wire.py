@@ -1,0 +1,159 @@
+"""Protobuf wire format tests, including round-trip properties."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WireFormatError
+from repro.frontend.caffe import wire
+from repro.frontend.caffe.wire import WireType
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value,encoded", [
+        (0, b"\x00"),
+        (1, b"\x01"),
+        (127, b"\x7f"),
+        (128, b"\x80\x01"),
+        (300, b"\xac\x02"),           # the canonical protobuf doc example
+        (2 ** 64 - 1, b"\xff" * 9 + b"\x01"),
+    ])
+    def test_known_encodings(self, value, encoded):
+        assert wire.encode_varint(value) == encoded
+        assert wire.decode_varint(encoded) == (value, len(encoded))
+
+    def test_negative_rejected(self):
+        with pytest.raises(WireFormatError):
+            wire.encode_varint(-1)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(WireFormatError):
+            wire.encode_varint(1 << 64)
+
+    def test_truncated(self):
+        with pytest.raises(WireFormatError):
+            wire.decode_varint(b"\x80")
+
+    def test_overlong_rejected(self):
+        with pytest.raises(WireFormatError):
+            wire.decode_varint(b"\x80" * 11 + b"\x01")
+
+    @given(st.integers(0, 2 ** 64 - 1))
+    def test_roundtrip(self, value):
+        encoded = wire.encode_varint(value)
+        assert wire.decode_varint(encoded) == (value, len(encoded))
+
+    @given(st.integers(0, 2 ** 64 - 1), st.binary(max_size=8))
+    def test_roundtrip_with_suffix(self, value, suffix):
+        encoded = wire.encode_varint(value)
+        decoded, pos = wire.decode_varint(encoded + suffix)
+        assert decoded == value and pos == len(encoded)
+
+
+class TestSignedVarint:
+    @given(st.integers(-(2 ** 63), 2 ** 63 - 1))
+    def test_roundtrip(self, value):
+        encoded = wire.encode_signed_varint(value)
+        assert wire.decode_signed_varint(encoded) == (value, len(encoded))
+
+    def test_negative_takes_ten_bytes(self):
+        # protobuf quirk: int32 -1 occupies 10 bytes on the wire
+        assert len(wire.encode_signed_varint(-1)) == 10
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("signed,unsigned", [
+        (0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4), (2147483647, 4294967294),
+    ])
+    def test_known_pairs(self, signed, unsigned):
+        assert wire.zigzag_encode(signed) == unsigned
+        assert wire.zigzag_decode(unsigned) == signed
+
+    @given(st.integers(-(2 ** 62), 2 ** 62))
+    def test_roundtrip(self, value):
+        assert wire.zigzag_decode(wire.zigzag_encode(value)) == value
+
+
+class TestTags:
+    def test_known_tag(self):
+        # field 1, varint -> 0x08
+        assert wire.encode_tag(1, WireType.VARINT) == b"\x08"
+        # field 2, len -> 0x12
+        assert wire.encode_tag(2, WireType.LEN) == b"\x12"
+
+    @given(st.integers(1, (1 << 29) - 1),
+           st.sampled_from(list(WireType)))
+    def test_roundtrip(self, number, wtype):
+        encoded = wire.encode_tag(number, wtype)
+        assert wire.decode_tag(encoded) == (number, wtype, len(encoded))
+
+    def test_invalid_field_number(self):
+        with pytest.raises(WireFormatError):
+            wire.encode_tag(0, WireType.VARINT)
+        with pytest.raises(WireFormatError):
+            wire.decode_tag(b"\x00")  # field 0
+
+    def test_group_wire_types_rejected(self):
+        # wire types 3 and 4 (groups) are unsupported
+        with pytest.raises(WireFormatError):
+            wire.decode_tag(bytes([1 << 3 | 3]))
+        with pytest.raises(WireFormatError):
+            wire.decode_tag(bytes([1 << 3 | 4]))
+
+
+class TestFixed:
+    @given(st.floats(width=32, allow_nan=False))
+    def test_float_roundtrip(self, value):
+        encoded = wire.encode_float(value)
+        assert len(encoded) == 4
+        assert wire.decode_float(encoded)[0] == value
+
+    @given(st.floats(allow_nan=False))
+    def test_double_roundtrip(self, value):
+        encoded = wire.encode_double(value)
+        assert len(encoded) == 8
+        assert wire.decode_double(encoded)[0] == value
+
+    def test_float_matches_struct(self):
+        assert wire.encode_float(1.5) == struct.pack("<f", 1.5)
+
+    def test_truncated(self):
+        with pytest.raises(WireFormatError):
+            wire.decode_float(b"\x00\x00")
+        with pytest.raises(WireFormatError):
+            wire.decode_double(b"\x00" * 7)
+
+
+class TestLengthDelimited:
+    @given(st.binary(max_size=200))
+    def test_roundtrip(self, payload):
+        encoded = wire.encode_length_delimited(payload)
+        assert wire.decode_length_delimited(encoded) == \
+            (payload, len(encoded))
+
+    def test_overrun(self):
+        with pytest.raises(WireFormatError):
+            wire.decode_length_delimited(b"\x05abc")
+
+
+class TestIterRecords:
+    def test_mixed_records(self):
+        buf = (wire.encode_tag(1, WireType.VARINT) + wire.encode_varint(7) +
+               wire.encode_tag(2, WireType.LEN) +
+               wire.encode_length_delimited(b"hi") +
+               wire.encode_tag(3, WireType.I32) + wire.encode_float(1.0) +
+               wire.encode_tag(4, WireType.I64) + wire.encode_double(2.0))
+        records = list(wire.iter_records(buf))
+        assert records[0] == (1, WireType.VARINT, 7)
+        assert records[1] == (2, WireType.LEN, b"hi")
+        assert wire.decode_float(records[2][2])[0] == 1.0
+        assert wire.decode_double(records[3][2])[0] == 2.0
+
+    def test_truncated_fixed(self):
+        buf = wire.encode_tag(3, WireType.I32) + b"\x00\x00"
+        with pytest.raises(WireFormatError):
+            list(wire.iter_records(buf))
+
+    def test_empty_buffer(self):
+        assert list(wire.iter_records(b"")) == []

@@ -1,0 +1,146 @@
+"""Model zoo tests: bundled networks match the paper's descriptions and the
+genuine Caffe LeNet file converts to the hand-built IR."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.caffe import load_caffemodel, load_prototxt
+from repro.frontend.caffe.converter import convert_caffe_model, convert_net
+from repro.frontend.caffe.model import parse_prototxt
+from repro.frontend.condor_format import DeploymentOption
+from repro.frontend.weights import WeightStore
+from repro.frontend.zoo import (
+    LENET_PROTOTXT,
+    lenet_caffe_files,
+    lenet_model,
+    lenet_network,
+    synthetic_digits,
+    tc1_model,
+    tc1_network,
+    vgg16_model,
+    vgg16_network,
+)
+from repro.ir.flops import network_flops, network_macs
+from repro.ir.layers import Activation
+from repro.ir.validate import validate_network
+from repro.nn.engine import ReferenceEngine
+
+
+class TestTC1:
+    def test_topology(self):
+        net = tc1_network()
+        validate_network(net)
+        assert net.input_shape().as_tuple() == (1, 16, 16)
+        assert net.output_shape().as_tuple() == (10, 1, 1)
+        # pool2 collapses to 1x1 as designed
+        assert net.output_shape("pool2").as_tuple() == (12, 1, 1)
+
+    def test_model_frequency(self):
+        model = tc1_model()
+        assert model.frequency_hz == 100e6
+        assert model.deployment is DeploymentOption.AWS_F1
+
+    def test_runs_on_synthetic_usps(self):
+        net = tc1_network()
+        engine = ReferenceEngine(net, WeightStore.initialize(net, 0))
+        images, _ = synthetic_digits(3, size=16, seed=0)
+        out = engine.forward_batch(images)
+        assert out.shape == (3, 10, 1, 1)
+
+
+class TestLeNet:
+    def test_topology_matches_caffe_example(self):
+        net = lenet_network()
+        assert net.output_shape("conv1").as_tuple() == (20, 24, 24)
+        assert net.output_shape("pool2").as_tuple() == (50, 4, 4)
+        assert net["ip1"].num_output == 500
+        assert net["ip1"].activation is Activation.RELU
+
+    def test_prototxt_converts_to_same_topology(self):
+        converted = convert_net(parse_prototxt(LENET_PROTOTXT))
+        hand = lenet_network()
+        assert [l.name for l in converted] == [l.name for l in hand]
+        for layer in hand:
+            assert converted.output_shape(layer.name) == \
+                hand.output_shape(layer.name)
+
+    def test_model_frequency(self):
+        assert lenet_model().frequency_hz == 180e6
+
+    def test_caffe_files_end_to_end(self, tmp_path):
+        prototxt, caffemodel = lenet_caffe_files(tmp_path, seed=5)
+        assert prototxt.read_text() == LENET_PROTOTXT
+        converted = convert_caffe_model(load_prototxt(prototxt),
+                                        load_caffemodel(caffemodel))
+        engine = ReferenceEngine(converted.network, converted.weights)
+        x = np.random.default_rng(0).normal(size=(1, 28, 28))
+        out = engine.forward(x)
+        assert out.shape == (10, 1, 1)
+        assert out.sum() == pytest.approx(1.0, rel=1e-4)
+
+    def test_caffemodel_weights_match_initializer(self, tmp_path):
+        """Weights surviving the wire format must equal the seed's values."""
+        _, caffemodel = lenet_caffe_files(tmp_path, seed=9)
+        converted = convert_caffe_model(
+            parse_prototxt(LENET_PROTOTXT), load_caffemodel(caffemodel))
+        expected = WeightStore.initialize(lenet_network(), seed=9)
+        got = converted.weights.get("conv1", "weights")
+        want = expected.get("conv1", "weights")
+        np.testing.assert_allclose(got, want, rtol=1e-6)
+
+
+class TestVGG16:
+    def test_full_topology(self):
+        net = vgg16_network()
+        validate_network(net)
+        assert len([l for l in net if l.type_name == "conv"]) == 13
+        assert net.output_shape("pool5").as_tuple() == (512, 7, 7)
+        assert net.output_shape().as_tuple() == (1000, 1, 1)
+
+    def test_features_only(self):
+        net = vgg16_network(include_classifier=False)
+        assert net.output_shape().as_tuple() == (512, 7, 7)
+        assert net.name == "vgg16_features"
+
+    def test_flop_count_is_canonical(self):
+        # VGG-16 is famously ~15.5 GMACs / ~31 GFLOPs for 224x224 input.
+        macs = network_macs(vgg16_network())
+        assert 15.0e9 < macs < 15.7e9
+        assert network_flops(vgg16_network()) > 2 * macs * 0.99
+
+    def test_model(self):
+        assert vgg16_model().network.name == "vgg16"
+
+
+class TestSyntheticDigits:
+    def test_shapes_and_range(self):
+        images, labels = synthetic_digits(10, size=16, seed=1)
+        assert images.shape == (10, 1, 16, 16)
+        assert labels.shape == (10,)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+        assert set(labels) <= set(range(10))
+
+    def test_deterministic(self):
+        a, la = synthetic_digits(4, seed=2)
+        b, lb = synthetic_digits(4, seed=2)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(la, lb)
+
+    def test_seed_changes_data(self):
+        a, _ = synthetic_digits(4, seed=2)
+        b, _ = synthetic_digits(4, seed=3)
+        assert not np.array_equal(a, b)
+
+    def test_mnist_size(self):
+        images, _ = synthetic_digits(2, size=28, seed=0)
+        assert images.shape == (2, 1, 28, 28)
+
+    def test_digits_have_ink(self):
+        images, _ = synthetic_digits(5, seed=0)
+        assert (images.reshape(5, -1).max(axis=1) > 0.5).all()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            synthetic_digits(0)
+        with pytest.raises(ValueError):
+            synthetic_digits(1, size=4)

@@ -1,0 +1,168 @@
+"""Accelerator builder tests."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.frontend.condor_format import CondorModel, LayerHints
+from repro.frontend.zoo import lenet_model, tc1_model, tc1_network
+from repro.hw.accelerator import build_accelerator
+from repro.hw.components import Fifo, PEKind
+
+
+@pytest.fixture
+def tc1_acc():
+    return build_accelerator(tc1_model())
+
+
+class TestStructure:
+    def test_one_pe_per_compute_layer(self, tc1_acc):
+        assert [pe.layer_names for pe in tc1_acc.pes] == [
+            ("conv1",), ("pool1",), ("conv2",), ("pool2",), ("fc",),
+            ("prob",)]
+
+    def test_pe_kinds(self, tc1_acc):
+        kinds = [pe.kind for pe in tc1_acc.pes]
+        assert kinds == [PEKind.CONV, PEKind.POOL, PEKind.CONV, PEKind.POOL,
+                         PEKind.FC, PEKind.SOFTMAX]
+
+    def test_conv_pe_has_filter_chain(self, tc1_acc):
+        conv1 = tc1_acc.pe_for_layer("conv1")
+        assert len(conv1.memory) == 1          # one parallel input map
+        subsystem = conv1.memory[0]
+        assert len(subsystem.filters) == 25    # 5x5 window
+        assert len(subsystem.fifos) == 24
+        # chain sized on the 16-wide input rows
+        assert subsystem.spec.buffered_words == 4 * 16 + 4
+
+    def test_classifier_pe_has_no_memory_subsystem(self, tc1_acc):
+        fc = tc1_acc.pe_for_layer("fc")
+        assert fc.memory == ()
+        assert fc.window == (1, 1)
+        assert fc.mac_units == 1
+
+    def test_weight_words(self, tc1_acc):
+        conv1 = tc1_acc.pe_for_layer("conv1")
+        assert conv1.weight_words == 12 * 1 * 25 + 12
+        fc = tc1_acc.pe_for_layer("fc")
+        assert fc.weight_words == 10 * 12 + 10
+        pool = tc1_acc.pe_for_layer("pool1")
+        assert pool.weight_words == 0
+
+    def test_buffer_words_for_sequential_rereads(self, tc1_acc):
+        # conv2 computes 12 output maps sequentially -> buffers its
+        # 12x6x6 input
+        conv2 = tc1_acc.pe_for_layer("conv2")
+        assert conv2.buffer_words == 12 * 6 * 6
+        # fc sweeps its input per output neuron
+        fc = tc1_acc.pe_for_layer("fc")
+        assert fc.buffer_words == 12
+
+
+class TestWiring:
+    def test_stream_chain(self, tc1_acc):
+        dm = tc1_acc.datamover.name
+        edges = [(e.source, e.dest) for e in tc1_acc.edges]
+        assert (dm, "pe_conv1") in edges
+        assert ("pe_conv1", "pe_pool1") in edges
+        assert ("pe_prob", dm) in edges
+
+    def test_weight_streams_only_for_weighted_pes(self, tc1_acc):
+        dm = tc1_acc.datamover.name
+        weight_edges = [e.dest for e in tc1_acc.edges
+                        if e.source == dm and e.fifo.name.endswith("weights")]
+        assert sorted(weight_edges) == ["pe_conv1", "pe_conv2", "pe_fc"]
+
+    def test_datamover_port_count_matches_edges(self, tc1_acc):
+        dm = tc1_acc.datamover.name
+        touching = sum(1 for e in tc1_acc.edges if dm in (e.source, e.dest))
+        assert tc1_acc.datamover.stream_ports == touching
+
+    def test_all_fifos_collects_everything(self, tc1_acc):
+        fifos = tc1_acc.all_fifos()
+        n_edge = len(tc1_acc.edges)
+        n_chain = sum(len(m.fifos) for pe in tc1_acc.pes
+                      for m in pe.memory)
+        assert len(fifos) == n_edge + n_chain
+
+
+class TestParallelismAndFusion:
+    def test_parallel_input_maps_get_own_chains(self):
+        model = lenet_model()
+        model.hints = {"conv2": LayerHints(in_ports=4, out_ports=5)}
+        acc = build_accelerator(model)
+        conv2 = acc.pe_for_layer("conv2")
+        assert conv2.in_parallel == 4
+        assert len(conv2.memory) == 4
+        assert conv2.mac_units == 20
+
+    def test_fused_pe_window_is_max(self):
+        model = tc1_model()
+        model.hints = {
+            "conv1": LayerHints(cluster="f"),
+            "pool1": LayerHints(cluster="f"),
+        }
+        acc = build_accelerator(model)
+        pe = acc.pe_for_layer("conv1")
+        assert pe.layer_names == ("conv1", "pool1")
+        assert pe.window == (5, 5)  # conv's 5x5 beats pool's 2x2
+
+    def test_fused_chain_sized_on_biggest_input(self):
+        model = tc1_model()
+        model.hints = {
+            "conv1": LayerHints(cluster="f"),
+            "pool1": LayerHints(cluster="f"),
+        }
+        acc = build_accelerator(model)
+        pe = acc.pe_for_layer("conv1")
+        # conv1 input rows (16) > pool1 input rows (12)
+        assert pe.memory[0].spec.input_width == 16
+
+    def test_buffer_absent_when_fully_parallel(self):
+        net = tc1_network()
+        model = CondorModel(network=net, hints={
+            "conv2": LayerHints(out_ports=12),
+        })
+        acc = build_accelerator(model)
+        assert acc.pe_for_layer("conv2").buffer_words == 0
+
+
+class TestAcceleratorAccessors:
+    def test_pe_lookup(self, tc1_acc):
+        assert tc1_acc.pe("pe_conv1").kind is PEKind.CONV
+        with pytest.raises(KeyError):
+            tc1_acc.pe("nope")
+        with pytest.raises(KeyError):
+            tc1_acc.pe_for_layer("nope")
+
+    def test_shapes(self, tc1_acc):
+        conv1 = tc1_acc.pe("pe_conv1")
+        assert tc1_acc.input_shape_of(conv1).as_tuple() == (1, 16, 16)
+        assert tc1_acc.output_shape_of(conv1).as_tuple() == (12, 12, 12)
+
+    def test_summary_mentions_all_pes(self, tc1_acc):
+        text = tc1_acc.summary()
+        for pe in tc1_acc.pes:
+            assert pe.name in text
+
+    def test_frequency_and_device(self, tc1_acc):
+        assert tc1_acc.frequency_hz == 100e6
+        assert tc1_acc.device_part == "xcvu9p"
+
+
+class TestComponentInvariants:
+    def test_fifo_validation(self):
+        with pytest.raises(HardwareError):
+            Fifo("f", depth=0)
+        with pytest.raises(HardwareError):
+            Fifo("f", depth=4, width_bits=0)
+
+    def test_pad_widens_filter_chain(self):
+        from repro.frontend.condor_format import CondorModel
+        from repro.ir.layers import ConvLayer
+        from repro.ir.network import chain
+        net = chain("p", (1, 8, 8), [
+            ConvLayer("c", num_output=2, kernel=3, pad=1),
+        ])
+        acc = build_accelerator(CondorModel(network=net))
+        # padded rows are 8 + 2*1 = 10 wide
+        assert acc.pe_for_layer("c").memory[0].spec.input_width == 10

@@ -1,0 +1,112 @@
+"""Direct tests of the hardware component dataclasses."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.frontend.zoo import tc1_model
+from repro.hw.accelerator import build_accelerator
+from repro.hw.components import (
+    DataMover,
+    Fifo,
+    FilterNode,
+    MemorySubsystem,
+    PEKind,
+    ProcessingElement,
+)
+from repro.hw.partitioning import partition_window_accesses
+
+
+def subsystem(window=(3, 3), width=8, name="mem0"):
+    spec = partition_window_accesses(window, width)
+    filters = tuple(FilterNode(name=f"{name}_f{i}", offset=off, position=i)
+                    for i, off in enumerate(spec.accesses))
+    fifos = tuple(Fifo(name=f"{name}_fifo{i}", depth=d)
+                  for i, d in enumerate(spec.fifo_depths))
+    return MemorySubsystem(name=name, filters=filters, fifos=fifos,
+                           spec=spec)
+
+
+class TestFifo:
+    def test_bits(self):
+        assert Fifo("f", depth=10, width_bits=32).bits == 320
+
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            Fifo("f", depth=0)
+
+
+class TestMemorySubsystem:
+    def test_fifo_count_enforced(self):
+        spec = partition_window_accesses((2, 2), 4)
+        filters = tuple(FilterNode(f"f{i}", off, i)
+                        for i, off in enumerate(spec.accesses))
+        with pytest.raises(HardwareError, match="one FIFO"):
+            MemorySubsystem(name="m", filters=filters, fifos=(),
+                            spec=spec)
+
+    def test_valid_chain(self):
+        mem = subsystem()
+        assert len(mem.filters) == 9
+        assert len(mem.fifos) == 8
+
+
+class TestProcessingElement:
+    def test_features_pe_needs_memory(self):
+        with pytest.raises(HardwareError, match="memory subsystem"):
+            ProcessingElement(name="pe", kind=PEKind.CONV,
+                              layer_names=("c",), window=(3, 3))
+
+    def test_memory_count_matches_parallelism(self):
+        with pytest.raises(HardwareError, match="memory subsystem"):
+            ProcessingElement(name="pe", kind=PEKind.CONV,
+                              layer_names=("c",), in_parallel=2,
+                              memory=(subsystem(),), window=(3, 3))
+
+    def test_classifier_pe_without_memory(self):
+        pe = ProcessingElement(name="pe", kind=PEKind.FC,
+                               layer_names=("fc",))
+        assert pe.mac_units == 1
+        assert pe.window_size == 1
+
+    def test_mac_units(self):
+        pe = ProcessingElement(
+            name="pe", kind=PEKind.CONV, layer_names=("c",),
+            in_parallel=2, out_parallel=3,
+            memory=(subsystem(name="a"), subsystem(name="b")),
+            window=(3, 3))
+        assert pe.mac_units == 6
+        assert pe.window_size == 9
+
+    def test_pool_pe_has_no_macs(self):
+        pe = ProcessingElement(
+            name="pe", kind=PEKind.POOL, layer_names=("p",),
+            memory=(subsystem(window=(2, 2)),), window=(2, 2))
+        assert pe.mac_units == 0
+
+    def test_no_layers_rejected(self):
+        with pytest.raises(HardwareError, match="no layers"):
+            ProcessingElement(name="pe", kind=PEKind.FC, layer_names=())
+
+    def test_bad_parallelism_rejected(self):
+        with pytest.raises(HardwareError):
+            ProcessingElement(name="pe", kind=PEKind.FC,
+                              layer_names=("fc",), in_parallel=0)
+
+
+class TestDataMover:
+    def test_defaults(self):
+        dm = DataMover()
+        assert dm.name == "datamover"
+        assert dm.stream_ports == 2
+
+
+class TestAcceleratorContainer:
+    def test_weight_streams_counted_in_ports(self):
+        acc = build_accelerator(tc1_model())
+        # input + output + 3 weight streams (conv1, conv2, fc)
+        assert acc.datamover.stream_ports == 5
+
+    def test_fifo_names_unique(self):
+        acc = build_accelerator(tc1_model())
+        names = [f.name for f in acc.all_fifos()]
+        assert len(names) == len(set(names))

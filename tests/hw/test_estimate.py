@@ -1,0 +1,136 @@
+"""Resource estimation tests."""
+
+import math
+
+import pytest
+
+from repro.frontend.condor_format import CondorModel, LayerHints
+from repro.frontend.zoo import lenet_model, tc1_model
+from repro.hw.accelerator import build_accelerator
+from repro.hw.calibration import DEFAULT_CALIBRATION as CAL
+from repro.hw.components import Fifo
+from repro.hw.estimate import (
+    estimate_accelerator,
+    estimate_fifo,
+    estimate_pe,
+)
+from repro.hw.resources import device_for_board
+
+
+@pytest.fixture(scope="module")
+def tc1_acc():
+    return build_accelerator(tc1_model())
+
+
+@pytest.fixture(scope="module")
+def lenet_acc():
+    return build_accelerator(lenet_model())
+
+
+class TestFifoEstimate:
+    def test_small_fifo_is_lutram(self):
+        vec = estimate_fifo(Fifo("f", depth=16))
+        assert vec.bram_18k == 0
+        assert vec.lut > 0
+
+    def test_deep_fifo_uses_bram(self):
+        vec = estimate_fifo(Fifo("f", depth=1024))
+        assert vec.bram_18k == math.ceil(1024 / 512)
+
+    def test_wide_fifo_scales_bram(self):
+        narrow = estimate_fifo(Fifo("f", depth=512, width_bits=32))
+        wide = estimate_fifo(Fifo("f", depth=512, width_bits=72))
+        assert wide.bram_18k == 2 * narrow.bram_18k
+
+    def test_monotone_in_depth(self):
+        costs = [estimate_fifo(Fifo("f", depth=d)).bram_18k
+                 for d in (128, 512, 1024, 4096)]
+        assert costs == sorted(costs)
+
+
+class TestPEEstimate:
+    def test_fc_pe_is_one_mac(self, tc1_acc):
+        fc = tc1_acc.pe_for_layer("fc")
+        vec = estimate_pe(fc)
+        # 1 multiplier + 1 accumulate adder = 3 + 2 = 5 DSP
+        assert vec.dsp == CAL.dsp_per_fmul + CAL.dsp_per_fadd
+
+    def test_conv_pe_dsp_scales_with_window(self, tc1_acc):
+        conv1 = tc1_acc.pe_for_layer("conv1")
+        vec = estimate_pe(conv1)
+        # 25 muls + 25 adds (24 tree + 1 accum) per mac unit
+        expected = 25 * CAL.dsp_per_fmul + 25 * CAL.dsp_per_fadd
+        assert vec.dsp == expected
+
+    def test_pool_pe_has_no_dsp(self, tc1_acc):
+        assert estimate_pe(tc1_acc.pe_for_layer("pool1")).dsp == 0
+
+    def test_parallelism_multiplies_dsp(self):
+        model = lenet_model()
+        model.hints = {"conv2": LayerHints(in_ports=2, out_ports=5)}
+        acc = build_accelerator(model)
+        conv2 = acc.pe_for_layer("conv2")
+        base_model = lenet_model()
+        base = build_accelerator(base_model).pe_for_layer("conv2")
+        assert estimate_pe(conv2).dsp == 10 * estimate_pe(base).dsp
+
+    def test_weight_bram_with_pingpong(self, tc1_acc):
+        conv1 = tc1_acc.pe_for_layer("conv1")
+        weight_words = math.ceil(conv1.weight_words * CAL.weight_pingpong)
+        weight_blocks = math.ceil(weight_words / CAL.bram18_words)
+        buffer_blocks = math.ceil(conv1.buffer_words / CAL.bram18_words)
+        vec = estimate_pe(conv1)
+        # chain FIFOs are LUTRAM-sized, so BRAM = weights + input buffer
+        assert vec.bram_18k == weight_blocks + buffer_blocks
+
+    def test_integral_outputs(self, tc1_acc):
+        for pe in tc1_acc.pes:
+            vec = estimate_pe(pe)
+            for f in ("lut", "ff", "dsp", "bram_18k"):
+                assert getattr(vec, f) == int(getattr(vec, f))
+
+
+class TestAcceleratorEstimate:
+    def test_breakdown_components(self, tc1_acc):
+        est = estimate_accelerator(tc1_acc)
+        assert "shell" in est.components
+        assert "datamover" in est.components
+        assert "stream_fifos" in est.components
+        for pe in tc1_acc.pes:
+            assert pe.name in est.components
+
+    def test_total_is_sum(self, tc1_acc):
+        est = estimate_accelerator(tc1_acc)
+        total = est.total
+        by_hand = sum((v for v in est.components.values()),
+                      start=type(total)())
+        assert total == by_hand
+
+    def test_shell_excludable(self, tc1_acc):
+        with_shell = estimate_accelerator(tc1_acc).total
+        without = estimate_accelerator(tc1_acc, include_shell=False).total
+        assert with_shell.lut - without.lut == CAL.shell_lut
+
+    def test_table1_shape_lenet_bram_dominates(self, tc1_acc, lenet_acc):
+        """The headline Table 1 shape: LeNet's BRAM% is an order of
+        magnitude above TC1's (on-chip FC weights), everything else is
+        comparable."""
+        cap = device_for_board("aws-f1-xcvu9p").capacity
+        tc1_util = estimate_accelerator(tc1_acc).utilization(cap)
+        lenet_util = estimate_accelerator(lenet_acc).utilization(cap)
+        assert lenet_util["bram_18k"] > 10 * tc1_util["bram_18k"]
+        assert lenet_util["bram_18k"] > 15.0          # paper: 24.38
+        assert tc1_util["bram_18k"] < 3.0             # paper: 0.97
+        for key in ("lut", "ff", "dsp"):
+            ratio = lenet_util[key] / tc1_util[key]
+            assert 0.5 < ratio < 2.0                  # same ballpark
+
+    def test_fits_on_f1(self, tc1_acc, lenet_acc):
+        cap = device_for_board("aws-f1-xcvu9p").capacity
+        estimate_accelerator(tc1_acc).total.check_fits(cap)
+        estimate_accelerator(lenet_acc).total.check_fits(cap)
+
+    def test_summary_renders(self, tc1_acc):
+        cap = device_for_board("aws-f1-xcvu9p").capacity
+        text = estimate_accelerator(tc1_acc).summary(cap)
+        assert "TOTAL" in text and "% of device" in text

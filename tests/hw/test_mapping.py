@@ -1,0 +1,137 @@
+"""Layer->PE mapping tests."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.frontend.condor_format import CondorModel, LayerHints
+from repro.frontend.zoo import lenet_network, tc1_network
+from repro.hw.mapping import (
+    MappingConfig,
+    PEMapping,
+    default_mapping,
+    mapping_from_model,
+    validate_mapping,
+)
+
+
+class TestDefaultMapping:
+    def test_one_pe_per_compute_layer(self):
+        net = lenet_network()
+        config = default_mapping(net)
+        compute = [l.name for l in net.compute_layers()]
+        assert [pe.layer_names for pe in config.pes] == \
+            [(name,) for name in compute]
+        assert all(pe.in_parallel == 1 and pe.out_parallel == 1
+                   for pe in config.pes)
+
+    def test_pe_of(self):
+        config = default_mapping(tc1_network())
+        assert config.pe_of("conv2").name == "pe_conv2"
+        with pytest.raises(KeyError):
+            config.pe_of("nope")
+
+
+class TestValidation:
+    def test_missing_layer_rejected(self):
+        net = tc1_network()
+        config = default_mapping(net)
+        config.pes.pop()
+        with pytest.raises(MappingError, match="covers"):
+            validate_mapping(net, config)
+
+    def test_out_of_order_rejected(self):
+        net = tc1_network()
+        config = default_mapping(net)
+        config.pes[0], config.pes[1] = config.pes[1], config.pes[0]
+        with pytest.raises(MappingError):
+            validate_mapping(net, config)
+
+    def test_mixed_stage_cluster_rejected(self):
+        net = tc1_network()
+        config = MappingConfig(pes=[
+            PEMapping("pe0", ("conv1", "pool1", "conv2", "pool2")),
+            PEMapping("pe1", ("fc", "prob")),
+        ])
+        validate_mapping(net, config)  # features + classifier clusters: ok
+        bad = MappingConfig(pes=[
+            PEMapping("pe0", ("conv1", "pool1", "conv2", "pool2", "fc")),
+            PEMapping("pe1", ("prob",)),
+        ])
+        with pytest.raises(MappingError, match="mixes"):
+            validate_mapping(net, bad)
+
+    def test_fc_must_be_scalar_ports(self):
+        net = tc1_network()
+        config = default_mapping(net)
+        idx = next(i for i, pe in enumerate(config.pes)
+                   if pe.layer_names == ("fc",))
+        config.pes[idx] = PEMapping("pe_fc", ("fc",), in_parallel=2)
+        with pytest.raises(MappingError, match="single-input"):
+            validate_mapping(net, config)
+
+    def test_parallelism_cannot_exceed_channels(self):
+        net = tc1_network()
+        config = default_mapping(net)
+        config.pes[0] = PEMapping("pe_conv1", ("conv1",), in_parallel=2)
+        with pytest.raises(MappingError, match="in_parallel"):
+            validate_mapping(net, config)  # conv1 input has 1 channel
+        config.pes[0] = PEMapping("pe_conv1", ("conv1",), out_parallel=13)
+        with pytest.raises(MappingError, match="out_parallel"):
+            validate_mapping(net, config)  # conv1 has 12 output maps
+
+    def test_pool_in_out_must_match(self):
+        net = tc1_network()
+        config = default_mapping(net)
+        idx = next(i for i, pe in enumerate(config.pes)
+                   if pe.layer_names == ("pool1",))
+        config.pes[idx] = PEMapping("pe_pool1", ("pool1",), in_parallel=2,
+                                    out_parallel=4)
+        with pytest.raises(MappingError, match="in_parallel must equal"):
+            validate_mapping(net, config)
+
+    def test_duplicate_pe_names_rejected(self):
+        net = tc1_network()
+        config = default_mapping(net)
+        config.pes[1] = PEMapping(config.pes[0].name,
+                                  config.pes[1].layer_names)
+        with pytest.raises(MappingError, match="duplicate"):
+            validate_mapping(net, config)
+
+    def test_empty_mapping_entry_rejected(self):
+        with pytest.raises(MappingError):
+            PEMapping("pe", ())
+
+    def test_bad_parallelism_rejected(self):
+        with pytest.raises(MappingError):
+            PEMapping("pe", ("a",), in_parallel=0)
+
+
+class TestMappingFromModel:
+    def test_clusters_from_hints(self):
+        net = tc1_network()
+        model = CondorModel(network=net, hints={
+            "conv1": LayerHints(cluster="feat"),
+            "pool1": LayerHints(cluster="feat"),
+            "conv2": LayerHints(cluster="feat2", out_ports=4),
+        })
+        config = mapping_from_model(model)
+        assert config.pes[0].layer_names == ("conv1", "pool1")
+        assert config.pes[1].layer_names == ("conv2",)
+        assert config.pes[1].out_parallel == 4
+
+    def test_no_hints_is_default(self):
+        model = CondorModel(network=tc1_network())
+        config = mapping_from_model(model)
+        assert [pe.layer_names for pe in config.pes] == \
+            [pe.layer_names for pe in default_mapping(model.network).pes]
+
+    def test_cluster_takes_max_hint(self):
+        net = lenet_network()
+        model = CondorModel(network=net, hints={
+            "conv2": LayerHints(cluster="c", in_ports=2),
+            "pool2": LayerHints(cluster="c", in_ports=4, out_ports=4),
+        })
+        config = mapping_from_model(model)
+        pe = config.pe_of("conv2")
+        assert pe.layer_names == ("conv2", "pool2")
+        assert pe.in_parallel == 4

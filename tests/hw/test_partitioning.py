@@ -1,0 +1,81 @@
+"""Non-uniform memory partitioning tests (Cong DAC'14 structure)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HardwareError
+from repro.hw.partitioning import (
+    partition_window_accesses,
+    window_accesses_inverse_lex,
+)
+
+
+class TestAccessOrdering:
+    def test_3x3_inverse_lex(self):
+        accesses = window_accesses_inverse_lex((3, 3))
+        assert accesses[0] == (2, 2)
+        assert accesses[-1] == (0, 0)
+        assert accesses == sorted(accesses, reverse=True)
+
+    def test_1x1_single_access(self):
+        assert window_accesses_inverse_lex((1, 1)) == [(0, 0)]
+
+    def test_rectangular(self):
+        accesses = window_accesses_inverse_lex((2, 3))
+        assert len(accesses) == 6
+        assert accesses[0] == (1, 2) and accesses[-1] == (0, 0)
+
+
+class TestFifoDepths:
+    def test_3x3_on_width_8(self):
+        spec = partition_window_accesses((3, 3), 8)
+        assert spec.num_filters == 9
+        assert len(spec.fifo_depths) == 8
+        # within a row the distance is 1, across rows it is W - K + 1
+        assert spec.fifo_depths == (1, 1, 6, 1, 1, 6, 1, 1)
+
+    def test_total_buffer_is_reuse_distance(self):
+        # total = (Kh-1)*W + (Kw-1)
+        spec = partition_window_accesses((5, 5), 28)
+        assert spec.buffered_words == 4 * 28 + 4
+
+    def test_saves_over_full_linebuffer(self):
+        spec = partition_window_accesses((5, 5), 28)
+        assert spec.buffered_words < spec.full_linebuffer_words
+        assert spec.full_linebuffer_words == 5 * 28
+
+    def test_1x1_has_no_fifos(self):
+        spec = partition_window_accesses((1, 1), 10)
+        assert spec.num_filters == 1
+        assert spec.fifo_depths == ()
+        assert spec.buffered_words == 0
+
+    def test_1xk_row_window(self):
+        spec = partition_window_accesses((1, 4), 16)
+        assert spec.fifo_depths == (1, 1, 1)
+
+    def test_kx1_column_window(self):
+        spec = partition_window_accesses((4, 1), 16)
+        assert spec.fifo_depths == (16, 16, 16)
+
+    def test_window_wider_than_row_rejected(self):
+        with pytest.raises(HardwareError):
+            partition_window_accesses((3, 9), 8)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(HardwareError):
+            partition_window_accesses((0, 3), 8)
+
+    @given(kh=st.integers(1, 6), kw=st.integers(1, 6),
+           width=st.integers(6, 64))
+    def test_invariants(self, kh, kw, width):
+        if kw > width:
+            return
+        spec = partition_window_accesses((kh, kw), width)
+        # one filter per window access
+        assert spec.num_filters == kh * kw
+        # depths positive, total = span between first and last access
+        assert all(d >= 1 for d in spec.fifo_depths)
+        assert spec.buffered_words == (kh - 1) * width + (kw - 1)
+        # on-chip storage never exceeds the full line buffer
+        assert spec.buffered_words <= spec.full_linebuffer_words

@@ -1,0 +1,165 @@
+"""Performance / power model tests, including the Figure 5 properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.frontend.condor_format import CondorModel, LayerHints
+from repro.frontend.zoo import lenet_model, tc1_model
+from repro.hw.accelerator import build_accelerator
+from repro.hw.perf import (
+    estimate_performance,
+    estimate_power_watts,
+    layer_cycles,
+    pe_cycles,
+)
+from repro.ir.flops import network_flops
+
+
+#: Shared instance for the hypothesis property (fixtures cannot feed
+#: @given-decorated tests).
+_TC1_PERF_CACHE = [estimate_performance(build_accelerator(tc1_model()))]
+
+
+@pytest.fixture(scope="module")
+def tc1_perf():
+    return _TC1_PERF_CACHE[0]
+
+
+@pytest.fixture(scope="module")
+def lenet_perf():
+    return estimate_performance(build_accelerator(lenet_model()))
+
+
+class TestLayerCycles:
+    def test_conv_sequential_maps(self, tc1_perf):
+        net = tc1_perf.accelerator.network
+        # conv1: 12 output maps x 1 input map x 12x12 outputs
+        assert layer_cycles(net, net["conv1"], 1, 1) == 12 * 144
+
+    def test_conv_parallelism_divides(self, tc1_perf):
+        net = tc1_perf.accelerator.network
+        # compute shrinks 144x (12*12) but the PE still has to ingest its
+        # 36-element input maps, so it bottoms out ingest-bound
+        assert layer_cycles(net, net["conv2"], 1, 1) == 576
+        assert layer_cycles(net, net["conv2"], 12, 12) == 36
+        assert layer_cycles(net, net["conv2"], 1, 12) == \
+            12 * 36  # in-groups still sequential
+
+    def test_conv_ingest_bound(self):
+        """A conv that computes less than it ingests is stream-bound."""
+        from repro.ir.layers import ConvLayer
+        from repro.ir.network import chain
+        net = chain("n", (4, 16, 16), [
+            ConvLayer("c", num_output=4, kernel=5, stride=4),
+        ])
+        # compute: 4*4 * 3x3 = 144 < ingest 4*256
+        assert layer_cycles(net, net["c"], 1, 4) == 4 * 256
+
+    def test_pool_is_ingest_bound(self, tc1_perf):
+        net = tc1_perf.accelerator.network
+        assert layer_cycles(net, net["pool1"], 1, 1) == 12 * 144
+
+    def test_fc_one_mac_per_cycle(self, lenet_perf):
+        net = lenet_perf.accelerator.network
+        assert layer_cycles(net, net["ip1"], 1, 1) == 500 * 800
+
+    def test_fused_layers_add(self, tc1_perf):
+        model = tc1_model()
+        model.hints = {"conv1": LayerHints(cluster="f"),
+                       "pool1": LayerHints(cluster="f")}
+        acc = build_accelerator(model)
+        net = acc.network
+        fused = acc.pe_for_layer("conv1")
+        assert pe_cycles(net, fused) == \
+            layer_cycles(net, net["conv1"], 1, 1) + \
+            layer_cycles(net, net["pool1"], 1, 1)
+
+
+class TestPipelineModel:
+    def test_bottleneck_is_ii(self, lenet_perf):
+        assert lenet_perf.ii_cycles == max(lenet_perf.stage_cycles)
+        # LeNet's bottleneck is ip1 (400k MACs)
+        assert lenet_perf.ii_cycles == 400_000
+
+    def test_latency_exceeds_ii(self, tc1_perf):
+        assert tc1_perf.pipeline_latency_cycles > tc1_perf.ii_cycles
+
+    def test_flops_match_network(self, tc1_perf):
+        assert tc1_perf.flops_per_image == \
+            network_flops(tc1_perf.accelerator.network)
+
+    def test_config_cycles_cover_weights(self, tc1_perf):
+        total_weights = sum(pe.weight_words
+                            for pe in tc1_perf.accelerator.pes)
+        assert tc1_perf.config_cycles >= total_weights
+
+
+class TestFigure5Properties:
+    def test_mean_time_decreases_with_batch(self, tc1_perf):
+        times = [tc1_perf.mean_time_per_image(b) for b in range(1, 65)]
+        assert all(t1 >= t2 for t1, t2 in zip(times, times[1:]))
+
+    def test_converges_to_ii(self, tc1_perf):
+        asymptote = tc1_perf.ii_cycles / tc1_perf.frequency_hz
+        assert tc1_perf.mean_time_per_image(4096) == \
+            pytest.approx(asymptote, rel=0.01)
+
+    def test_convergence_at_layer_count(self, tc1_perf, lenet_perf):
+        """The paper: convergence is reached approximately when the batch
+        exceeds the number of layers."""
+        for perf in (tc1_perf, lenet_perf):
+            n_layers = len(perf.accelerator.pes)
+            at_layers = perf.mean_time_per_image(4 * n_layers)
+            asymptote = perf.ii_cycles / perf.frequency_hz
+            assert at_layers < 1.35 * asymptote
+
+    def test_batch_one_is_full_latency(self, tc1_perf):
+        assert tc1_perf.batch_cycles(1) == tc1_perf.pipeline_latency_cycles
+
+    def test_invalid_batch(self, tc1_perf):
+        with pytest.raises(ValueError):
+            tc1_perf.mean_time_per_image(0)
+
+    @given(st.integers(1, 500), st.integers(1, 500))
+    def test_monotone_property(self, b1, b2):
+        perf = _TC1_PERF_CACHE[0]
+        t1 = perf.mean_time_per_image(min(b1, b2))
+        t2 = perf.mean_time_per_image(max(b1, b2))
+        assert t2 <= t1 + 1e-12
+
+
+class TestTable1Shape:
+    def test_tc1_beats_lenet_gflops(self, tc1_perf, lenet_perf):
+        """Table 1: TC1 8.36 vs LeNet 3.35 GFLOPS — TC1 wins by ~2.5x
+        despite running at a lower clock, because LeNet's ip1 is a serial
+        bottleneck."""
+        assert tc1_perf.gflops() > 2 * lenet_perf.gflops()
+
+    def test_gflops_magnitudes(self, tc1_perf, lenet_perf):
+        assert 3.0 < tc1_perf.gflops() < 15.0      # paper: 8.36
+        assert 1.0 < lenet_perf.gflops() < 6.0     # paper: 3.35
+
+    def test_gflops_per_watt_ordering(self, tc1_perf, lenet_perf):
+        p_tc1 = estimate_power_watts(tc1_perf.accelerator)
+        p_lenet = estimate_power_watts(lenet_perf.accelerator)
+        assert tc1_perf.gflops() / p_tc1 > lenet_perf.gflops() / p_lenet
+
+    def test_power_magnitude(self, tc1_perf, lenet_perf):
+        for perf in (tc1_perf, lenet_perf):
+            p = estimate_power_watts(perf.accelerator)
+            assert 3.0 < p < 10.0   # paper: 5.36 / 4.29 W
+
+    def test_gflops_batch_value_below_steady_state(self, tc1_perf):
+        assert tc1_perf.gflops(batch=1) < tc1_perf.gflops()
+
+
+class TestParallelismSpeedup:
+    def test_inter_layer_parallelism_reduces_ii(self):
+        base = estimate_performance(build_accelerator(lenet_model()))
+        model = lenet_model()
+        model.hints = {"conv2": LayerHints(in_ports=4, out_ports=10)}
+        par = estimate_performance(build_accelerator(model))
+        conv2_idx = [i for i, pe in enumerate(par.accelerator.pes)
+                     if "conv2" in pe.layer_names][0]
+        assert par.stage_cycles[conv2_idx] < \
+            base.stage_cycles[conv2_idx] / 30

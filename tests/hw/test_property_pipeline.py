@@ -1,0 +1,111 @@
+"""Property-based invariants over randomly generated networks.
+
+Any valid chain network must survive the whole core pipeline — build,
+estimate, perf — with structurally consistent results.  These are the
+invariants a user hits when bringing their own model.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.frontend.condor_format import CondorModel
+from repro.hw.accelerator import build_accelerator
+from repro.hw.estimate import estimate_accelerator, estimate_pe
+from repro.hw.perf import estimate_performance
+from repro.ir.flops import network_flops
+from repro.ir.layers import (
+    Activation,
+    ConvLayer,
+    FullyConnectedLayer,
+    PoolLayer,
+    PoolOp,
+    SoftmaxLayer,
+)
+from repro.ir.network import chain
+
+_SETTINGS = settings(max_examples=30, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def networks(draw):
+    """Random valid chain CNNs (small enough to stay fast)."""
+    channels = draw(st.sampled_from([1, 2, 3]))
+    size = draw(st.sampled_from([8, 12, 16, 20]))
+    layers = []
+    current = size
+    n_feature_blocks = draw(st.integers(1, 2))
+    for i in range(n_feature_blocks):
+        kernel = draw(st.sampled_from([1, 3, 5]))
+        if kernel > current:
+            kernel = 1
+        pad = draw(st.sampled_from([0, 1]))
+        activation = draw(st.sampled_from(list(Activation)))
+        layers.append(ConvLayer(
+            f"conv{i}", num_output=draw(st.integers(1, 8)),
+            kernel=kernel, pad=pad, activation=activation))
+        current = current + 2 * pad - kernel + 1
+        if current >= 2 and draw(st.booleans()):
+            op = draw(st.sampled_from([PoolOp.MAX, PoolOp.AVG]))
+            layers.append(PoolLayer(f"pool{i}", op=op, kernel=2))
+            current = -(-(current - 2) // 2) + 1
+    if draw(st.booleans()):
+        layers.append(FullyConnectedLayer(
+            "fc", num_output=draw(st.integers(1, 16))))
+        if draw(st.booleans()):
+            layers.append(SoftmaxLayer("sm", log=draw(st.booleans())))
+    return chain("prop", (channels, size, size), layers)
+
+
+class TestPipelineInvariants:
+    @_SETTINGS
+    @given(networks())
+    def test_build_estimate_perf_consistent(self, net):
+        model = CondorModel(network=net)
+        acc = build_accelerator(model)
+
+        # structural invariants
+        assert len(acc.pes) == len(net.compute_layers())
+        assert all(f.depth >= 1 for f in acc.all_fifos())
+        dm = acc.datamover.name
+        assert acc.edges[0].source == dm
+        assert any(e.dest == dm for e in acc.edges)
+
+        # resource invariants
+        estimate = estimate_accelerator(acc)
+        total = estimate.total
+        for f in ("lut", "ff", "dsp", "bram_18k"):
+            assert getattr(total, f) >= 0
+            assert getattr(total, f) == int(getattr(total, f))
+        for pe in acc.pes:
+            vec = estimate_pe(pe)
+            assert vec.lut > 0 and vec.ff > 0
+
+        # performance invariants
+        perf = estimate_performance(acc)
+        assert perf.ii_cycles >= 1
+        assert perf.pipeline_latency_cycles >= perf.ii_cycles
+        assert perf.flops_per_image == network_flops(net)
+        assert perf.mean_time_per_image(1) >= \
+            perf.mean_time_per_image(64) > 0
+        assert perf.gflops() > 0
+
+    @_SETTINGS
+    @given(networks(), st.integers(0, 2**31))
+    def test_sim_functional_on_random_nets(self, net, seed):
+        """Any random valid network must simulate to the reference
+        values (degree-1 configs)."""
+        from repro.frontend.weights import WeightStore
+        from repro.nn.engine import ReferenceEngine
+        from repro.sim.dataflow import simulate_accelerator
+
+        model = CondorModel(network=net)
+        acc = build_accelerator(model)
+        weights = WeightStore.initialize(net, seed % 1000)
+        image = np.random.default_rng(seed).normal(
+            size=net.input_shape().as_tuple()).astype(np.float32)
+        result = simulate_accelerator(acc, weights, [image])
+        expected = ReferenceEngine(net, weights).forward(image)
+        np.testing.assert_allclose(result.outputs[0], expected,
+                                   rtol=1e-3, atol=1e-4)

@@ -1,0 +1,156 @@
+"""Quantization tests: scheme math, engine accuracy, resource scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CondorError, ValidationError
+from repro.frontend.condor_format import CondorModel, model_from_json, model_to_json
+from repro.frontend.weights import WeightStore
+from repro.frontend.zoo import synthetic_digits, tc1_model, tc1_network
+from repro.hw.accelerator import build_accelerator
+from repro.hw.estimate import estimate_accelerator
+from repro.nn.engine import ReferenceEngine
+from repro.quant import (
+    QuantScheme,
+    QuantizedEngine,
+    dequantize,
+    quantize,
+    quantize_store,
+)
+from repro.quant.apply import top1_agreement
+from repro.quant.scheme import PRECISIONS, fake_quantize
+
+
+class TestScheme:
+    def test_ranges(self):
+        scheme = QuantScheme(8)
+        assert scheme.qmax == 127
+        assert scheme.qmin == -127
+
+    def test_invalid_bits(self):
+        with pytest.raises(CondorError):
+            QuantScheme(1)
+        with pytest.raises(CondorError):
+            QuantScheme(64)
+
+    def test_for_precision(self):
+        assert QuantScheme.for_precision("int8").bits == 8
+        assert QuantScheme.for_precision("int16").bits == 16
+        with pytest.raises(CondorError):
+            QuantScheme.for_precision("fp8")
+
+    def test_zero_is_exact(self):
+        scheme = QuantScheme(8)
+        q, scale = quantize(np.array([0.0, 1.0, -1.0]), scheme)
+        assert q[0] == 0
+        assert dequantize(q, scale)[0] == 0.0
+
+    def test_peak_maps_to_qmax(self):
+        scheme = QuantScheme(8)
+        q, _ = quantize(np.array([-2.0, 0.5, 2.0]), scheme)
+        assert q.max() == 127
+        assert q.min() == -127
+
+    def test_all_zero_tensor(self):
+        scheme = QuantScheme(8)
+        q, scale = quantize(np.zeros(4), scheme)
+        assert scale == 1.0
+        assert (q == 0).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=64),
+           st.sampled_from([4, 8, 16]))
+    def test_error_bounded_by_half_step(self, values, bits):
+        scheme = QuantScheme(bits)
+        array = np.array(values)
+        q, scale = quantize(array, scheme)
+        error = np.abs(dequantize(q, scale) - array)
+        assert error.max() <= scale / 2 + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31))
+    def test_more_bits_never_worse(self, seed):
+        array = np.random.default_rng(seed).normal(size=32)
+        errors = []
+        for bits in (4, 8, 16):
+            out = fake_quantize(array, QuantScheme(bits))
+            errors.append(float(np.abs(out - array).max()))
+        assert errors[0] >= errors[1] >= errors[2]
+
+
+class TestStoreQuantization:
+    def test_report_stats(self):
+        net = tc1_network()
+        store = WeightStore.initialize(net, 0)
+        quantized, report = quantize_store(store, QuantScheme(8))
+        assert quantized.total_parameters() == store.total_parameters()
+        assert report.worst_snr_db() > 20.0      # int8 keeps ~30+ dB
+        assert "conv1" in report.summary()
+
+    def test_int16_snr_much_better(self):
+        net = tc1_network()
+        store = WeightStore.initialize(net, 0)
+        _, report8 = quantize_store(store, QuantScheme(8))
+        _, report16 = quantize_store(store, QuantScheme(16))
+        assert report16.worst_snr_db() > report8.worst_snr_db() + 30
+
+
+class TestQuantizedEngine:
+    def test_outputs_close_to_fp32(self):
+        net = tc1_network()
+        store = WeightStore.initialize(net, 1)
+        fp32 = ReferenceEngine(net, store)
+        fixed = QuantizedEngine(net, store, QuantScheme(16))
+        x = np.random.default_rng(0).normal(size=(1, 16, 16)) \
+            .astype(np.float32)
+        np.testing.assert_allclose(fixed.forward(x), fp32.forward(x),
+                                   atol=0.02)
+
+    def test_top1_agreement_high_for_int16(self):
+        net = tc1_network()
+        store = WeightStore.initialize(net, 2)
+        images, _ = synthetic_digits(20, size=16, seed=0)
+        agreement = top1_agreement(net, store, QuantScheme(16), images)
+        assert agreement >= 0.95
+
+    def test_int4_visibly_degrades(self):
+        net = tc1_network()
+        store = WeightStore.initialize(net, 2)
+        x = np.random.default_rng(1).normal(size=(1, 16, 16))
+        fp32 = ReferenceEngine(net, store).forward(x)
+        crushed = QuantizedEngine(net, store, QuantScheme(4)).forward(x)
+        assert float(np.abs(crushed - fp32).max()) > 1e-3
+
+
+class TestHardwareScaling:
+    @pytest.fixture(scope="class")
+    def utils(self):
+        from repro.hw.resources import device_for_board
+
+        cap = device_for_board("aws-f1-xcvu9p").capacity
+        out = {}
+        for precision in PRECISIONS:
+            model = tc1_model()
+            model.precision = precision
+            acc = build_accelerator(model)
+            out[precision] = estimate_accelerator(acc).total
+        return out
+
+    def test_dsp_shrinks_with_precision(self, utils):
+        assert utils["int16"].dsp < 0.35 * utils["fp32"].dsp
+        assert utils["int8"].dsp < utils["int16"].dsp
+
+    def test_bram_shrinks_with_precision(self, utils):
+        assert utils["int8"].bram_18k <= utils["int16"].bram_18k <= \
+            utils["fp32"].bram_18k
+
+    def test_precision_in_condor_json(self):
+        model = tc1_model()
+        model.precision = "int8"
+        back = model_from_json(model_to_json(model))
+        assert back.precision == "int8"
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValidationError, match="precision"):
+            CondorModel(network=tc1_network(), precision="fp8")

@@ -1,0 +1,98 @@
+"""Resource vector / device catalog tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ResourceError
+from repro.hw.resources import (
+    BOARDS,
+    DEVICES,
+    Device,
+    ResourceVector,
+    device_for_board,
+)
+
+vec = st.builds(ResourceVector,
+                lut=st.floats(0, 1e6), ff=st.floats(0, 1e6),
+                dsp=st.floats(0, 1e4), bram_18k=st.floats(0, 1e4))
+
+
+class TestResourceVector:
+    def test_arithmetic(self):
+        a = ResourceVector(lut=10, ff=20, dsp=3, bram_18k=4)
+        b = ResourceVector(lut=1, ff=2, dsp=3, bram_18k=4)
+        assert a + b == ResourceVector(11, 22, 6, 8)
+        assert a - b == ResourceVector(9, 18, 0, 0)
+        assert a * 2 == ResourceVector(20, 40, 6, 8)
+        assert 2 * a == a * 2
+
+    def test_ceil(self):
+        v = ResourceVector(lut=10.2, ff=0.0, dsp=2.999999999, bram_18k=1.5)
+        c = v.ceil()
+        assert c == ResourceVector(11, 0, 3, 2)
+
+    def test_fits_in(self):
+        small = ResourceVector(10, 10, 1, 1)
+        big = ResourceVector(100, 100, 10, 10)
+        assert small.fits_in(big)
+        assert not big.fits_in(small)
+        assert small.fits_in(small)
+
+    def test_check_fits_names_resource(self):
+        need = ResourceVector(dsp=500)
+        cap = ResourceVector(lut=1e6, ff=1e6, dsp=100, bram_18k=100)
+        with pytest.raises(ResourceError) as exc:
+            need.check_fits(cap, context="kernel")
+        assert exc.value.resource == "dsp"
+        assert exc.value.required == 500
+        assert exc.value.available == 100
+
+    def test_utilization(self):
+        used = ResourceVector(lut=50, ff=0, dsp=10, bram_18k=25)
+        cap = ResourceVector(lut=100, ff=200, dsp=100, bram_18k=100)
+        util = used.utilization(cap)
+        assert util == {"lut": 50.0, "ff": 0.0, "dsp": 10.0,
+                        "bram_18k": 25.0}
+
+    def test_utilization_zero_capacity(self):
+        assert ResourceVector(lut=5).utilization(ResourceVector())["lut"] \
+            == 0.0
+
+    @given(vec, vec)
+    def test_add_then_subtract_roundtrip(self, a, b):
+        back = (a + b) - b
+        for f in ("lut", "ff", "dsp", "bram_18k"):
+            assert getattr(back, f) == pytest.approx(getattr(a, f), abs=1e-6)
+
+    @given(vec, vec)
+    def test_sum_fits_iff_parts_fit(self, a, b):
+        if (a + b).fits_in(a + b):
+            assert a.fits_in(a + b)
+            assert b.fits_in(a + b)
+
+
+class TestDeviceCatalog:
+    def test_f1_device_is_vu9p(self):
+        device = device_for_board("aws-f1-xcvu9p")
+        assert device.part.startswith("xcvu9p")
+        assert device.capacity.dsp == 6840
+        assert device.capacity.bram_18k == 4320
+        assert device.ddr_channels == 4
+
+    def test_all_boards_resolve(self):
+        for board in BOARDS:
+            assert isinstance(device_for_board(board), Device)
+
+    def test_bare_part_name_resolves(self):
+        assert device_for_board("xc7z020").part.startswith("xc7z020")
+
+    def test_unknown_board(self):
+        with pytest.raises(ResourceError, match="unknown board"):
+            device_for_board("de10-nano")
+
+    def test_devices_have_positive_capacity(self):
+        for device in DEVICES.values():
+            cap = device.capacity
+            assert cap.lut > 0 and cap.ff > 0 and cap.dsp > 0
+            assert cap.bram_18k > 0
+            assert device.fmax_hz > 0 and device.static_power_w > 0

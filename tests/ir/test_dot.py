@@ -1,0 +1,73 @@
+"""DOT export tests."""
+
+import re
+
+from repro.frontend.condor_format import CondorModel, LayerHints
+from repro.frontend.zoo import tc1_model, tc1_network
+from repro.hw.accelerator import build_accelerator
+from repro.ir.dot import accelerator_to_dot, network_to_dot
+
+
+def _balanced(text: str) -> bool:
+    return text.count("{") == text.count("}") and \
+        text.count("[") == text.count("]")
+
+
+class TestNetworkDot:
+    def test_all_layers_present(self):
+        net = tc1_network()
+        dot = network_to_dot(net)
+        for layer in net:
+            assert f'"{layer.name}"' in dot
+        assert dot.startswith('digraph "tc1"')
+        assert _balanced(dot)
+
+    def test_edges_carry_shapes(self):
+        dot = network_to_dot(tc1_network())
+        assert '"conv1" -> "pool1" [label="12x12x12"]' in dot
+
+    def test_edge_count_is_chain(self):
+        net = tc1_network()
+        dot = network_to_dot(net)
+        assert dot.count(" -> ") == len(net) - 1
+
+    def test_stage_coloring(self):
+        dot = network_to_dot(tc1_network())
+        assert "#cfe2ff" in dot   # features
+        assert "#ffe3cf" in dot   # classifier
+
+
+class TestAcceleratorDot:
+    def test_structure(self):
+        acc = build_accelerator(tc1_model())
+        dot = accelerator_to_dot(acc)
+        assert _balanced(dot)
+        for pe in acc.pes:
+            assert f'"{pe.name}"' in dot
+        assert '"datamover"' in dot
+        # every stream edge rendered with its fifo depth
+        assert dot.count(" -> ") == len(acc.edges)
+        assert re.search(r'fifo\[\d+\]', dot)
+
+    def test_weight_streams_dashed(self):
+        acc = build_accelerator(tc1_model())
+        dot = accelerator_to_dot(acc)
+        dashed = [line for line in dot.splitlines()
+                  if "style=dashed" in line]
+        assert len(dashed) == 3  # conv1, conv2, fc weight streams
+
+    def test_fused_pe_label(self):
+        model = tc1_model()
+        model.hints = {"conv1": LayerHints(cluster="f"),
+                       "pool1": LayerHints(cluster="f")}
+        acc = build_accelerator(model)
+        dot = accelerator_to_dot(acc)
+        assert "conv1+pool1" in dot
+
+    def test_spill_annotation(self):
+        from repro.frontend.zoo import vgg16_model
+
+        acc = build_accelerator(vgg16_model(frequency_hz=180e6))
+        dot = accelerator_to_dot(acc)
+        assert "DDR-streamed" in dot
+        assert "on-chip" in dot

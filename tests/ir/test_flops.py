@@ -1,0 +1,102 @@
+"""FLOP/MAC accounting tests."""
+
+import pytest
+
+from repro.ir.flops import layer_flops, layer_macs, network_flops, network_macs
+from repro.ir.layers import (
+    Activation,
+    ActivationLayer,
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    PoolLayer,
+    PoolOp,
+    SoftmaxLayer,
+)
+from repro.ir.network import chain
+from repro.ir.shapes import TensorShape
+
+
+class TestLayerMacs:
+    def test_conv(self):
+        layer = ConvLayer("c", num_output=20, kernel=5)
+        # 24*24 outputs * 20 maps * (1*5*5) per point
+        assert layer_macs(layer, TensorShape(1, 28, 28)) == \
+            24 * 24 * 20 * 25
+
+    def test_conv_multichannel(self):
+        layer = ConvLayer("c", num_output=50, kernel=5)
+        assert layer_macs(layer, TensorShape(20, 12, 12)) == \
+            8 * 8 * 50 * 20 * 25
+
+    def test_fc(self):
+        layer = FullyConnectedLayer("fc", num_output=500)
+        assert layer_macs(layer, TensorShape(50, 4, 4)) == 500 * 800
+
+    def test_non_compute_layers_zero(self):
+        assert layer_macs(PoolLayer("p"), TensorShape(4, 8, 8)) == 0
+        assert layer_macs(ActivationLayer("a"), TensorShape(4, 8, 8)) == 0
+
+
+class TestLayerFlops:
+    def test_conv_includes_bias_and_activation(self):
+        in_shape = TensorShape(1, 28, 28)
+        base = ConvLayer("c", num_output=20, kernel=5, bias=False)
+        biased = ConvLayer("c", num_output=20, kernel=5, bias=True)
+        fused = ConvLayer("c", num_output=20, kernel=5, bias=True,
+                          activation=Activation.RELU)
+        out_size = 20 * 24 * 24
+        assert layer_flops(base, in_shape) == 2 * layer_macs(base, in_shape)
+        assert layer_flops(biased, in_shape) == \
+            layer_flops(base, in_shape) + out_size
+        assert layer_flops(fused, in_shape) == \
+            layer_flops(biased, in_shape) + out_size
+
+    def test_max_pool(self):
+        layer = PoolLayer("p", op=PoolOp.MAX, kernel=2)
+        # 3 compares per 2x2 window
+        assert layer_flops(layer, TensorShape(20, 24, 24)) == \
+            20 * 12 * 12 * 3
+
+    def test_avg_pool(self):
+        layer = PoolLayer("p", op=PoolOp.AVG, kernel=2)
+        assert layer_flops(layer, TensorShape(20, 24, 24)) == \
+            20 * 12 * 12 * 4
+
+    def test_activation_and_softmax(self):
+        assert layer_flops(ActivationLayer("a"), TensorShape(10, 2, 2)) == 40
+        assert layer_flops(SoftmaxLayer("s"), TensorShape(10)) == 40
+
+    def test_zero_flop_layers(self):
+        assert layer_flops(InputLayer("d"), TensorShape(1, 1, 1)) == 0
+        assert layer_flops(FlattenLayer("f"), TensorShape(4, 2, 2)) == 0
+
+
+class TestNetworkTotals:
+    def test_lenet_flops_match_known_value(self):
+        # LeNet (Caffe mnist example): ~2.29 MMACs -> ~4.6 MFLOPs
+        net = chain("lenet", (1, 28, 28), [
+            ConvLayer("conv1", num_output=20, kernel=5),
+            PoolLayer("pool1"),
+            ConvLayer("conv2", num_output=50, kernel=5),
+            PoolLayer("pool2"),
+            FullyConnectedLayer("ip1", num_output=500,
+                                activation=Activation.RELU),
+            FullyConnectedLayer("ip2", num_output=10),
+            SoftmaxLayer("prob", log=False),
+        ])
+        macs = network_macs(net)
+        expected_macs = (24 * 24 * 20 * 25 + 8 * 8 * 50 * 20 * 25 +
+                         500 * 800 + 10 * 500)
+        assert macs == expected_macs == 2_293_000
+        assert network_flops(net) > 2 * macs  # bias/act/pool on top
+
+    def test_totals_are_sums(self):
+        net = chain("n", (1, 8, 8), [
+            ConvLayer("c", num_output=2, kernel=3),
+            PoolLayer("p"),
+        ])
+        assert network_flops(net) == (
+            layer_flops(net["c"], net.input_shape("c")) +
+            layer_flops(net["p"], net.input_shape("p")))

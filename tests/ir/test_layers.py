@@ -1,0 +1,120 @@
+"""Layer dataclass tests: shape inference, weight shapes, stages."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.ir.layers import (
+    Activation,
+    ActivationLayer,
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    PoolLayer,
+    PoolOp,
+    SoftmaxLayer,
+    Stage,
+)
+from repro.ir.shapes import TensorShape
+
+
+class TestConvLayer:
+    def test_scalar_params_become_pairs(self):
+        layer = ConvLayer("c", num_output=20, kernel=5, stride=2, pad=1)
+        assert layer.kernel == (5, 5)
+        assert layer.stride == (2, 2)
+        assert layer.pad == (1, 1)
+
+    def test_output_shape(self):
+        layer = ConvLayer("c", num_output=20, kernel=5)
+        assert layer.output_shape(TensorShape(1, 28, 28)) == \
+            TensorShape(20, 24, 24)
+
+    def test_weight_shapes(self):
+        layer = ConvLayer("c", num_output=20, kernel=5)
+        shapes = layer.weight_shapes(TensorShape(3, 28, 28))
+        assert shapes == {"weights": (20, 3, 5, 5), "bias": (20,)}
+
+    def test_no_bias(self):
+        layer = ConvLayer("c", num_output=4, kernel=3, bias=False)
+        assert "bias" not in layer.weight_shapes(TensorShape(1, 8, 8))
+
+    def test_stage(self):
+        assert ConvLayer("c", num_output=1).stage is Stage.FEATURES
+
+    def test_invalid_num_output(self):
+        with pytest.raises(ShapeError):
+            ConvLayer("c", num_output=0)
+
+    def test_bad_pair(self):
+        with pytest.raises(ShapeError):
+            ConvLayer("c", num_output=1, kernel=(1, 2, 3))  # type: ignore
+
+
+class TestPoolLayer:
+    def test_stride_defaults_to_kernel(self):
+        layer = PoolLayer("p", kernel=3)
+        assert layer.stride == (3, 3)
+
+    def test_output_shape_preserves_channels(self):
+        layer = PoolLayer("p", kernel=2)
+        assert layer.output_shape(TensorShape(20, 24, 24)) == \
+            TensorShape(20, 12, 12)
+
+    def test_no_weights(self):
+        assert PoolLayer("p").weight_shapes(TensorShape(1, 4, 4)) == {}
+
+    def test_ops(self):
+        assert PoolLayer("p", op=PoolOp.AVG).op is PoolOp.AVG
+
+
+class TestActivationLayer:
+    def test_identity_shape(self):
+        layer = ActivationLayer("r", kind=Activation.RELU)
+        s = TensorShape(5, 3, 3)
+        assert layer.output_shape(s) == s
+
+    def test_none_rejected(self):
+        with pytest.raises(ShapeError):
+            ActivationLayer("r", kind=Activation.NONE)
+
+
+class TestFullyConnected:
+    def test_output_shape(self):
+        layer = FullyConnectedLayer("fc", num_output=500)
+        assert layer.output_shape(TensorShape(50, 4, 4)) == \
+            TensorShape(500, 1, 1)
+
+    def test_weight_shapes_flatten_input(self):
+        layer = FullyConnectedLayer("fc", num_output=500)
+        shapes = layer.weight_shapes(TensorShape(50, 4, 4))
+        assert shapes["weights"] == (500, 800)
+        assert shapes["bias"] == (500,)
+
+    def test_stage(self):
+        assert FullyConnectedLayer("fc", num_output=1).stage is \
+            Stage.CLASSIFIER
+
+
+class TestOtherLayers:
+    def test_input_layer(self):
+        layer = InputLayer("data", shape=TensorShape(3, 32, 32))
+        assert layer.output_shape(TensorShape(1, 1, 1)) == \
+            TensorShape(3, 32, 32)
+
+    def test_flatten(self):
+        layer = FlattenLayer("flat")
+        assert layer.output_shape(TensorShape(50, 4, 4)) == \
+            TensorShape(800, 1, 1)
+
+    def test_softmax_requires_vector(self):
+        layer = SoftmaxLayer("prob")
+        assert layer.output_shape(TensorShape(10)) == TensorShape(10)
+        with pytest.raises(ShapeError):
+            layer.output_shape(TensorShape(10, 2, 2))
+
+    def test_type_names(self):
+        assert ConvLayer("c", num_output=1).type_name == "conv"
+        assert SoftmaxLayer("s").type_name == "softmax"
+        assert FullyConnectedLayer("f", num_output=1).type_name == \
+            "fullyconnected"

@@ -1,0 +1,131 @@
+"""Network container tests."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ir.layers import (
+    Activation,
+    ActivationLayer,
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    PoolLayer,
+    SoftmaxLayer,
+    Stage,
+)
+from repro.ir.network import Network, chain
+from repro.ir.shapes import TensorShape
+
+
+@pytest.fixture
+def lenet():
+    return chain("lenet", (1, 28, 28), [
+        ConvLayer("conv1", num_output=20, kernel=5),
+        PoolLayer("pool1"),
+        ConvLayer("conv2", num_output=50, kernel=5),
+        PoolLayer("pool2"),
+        FullyConnectedLayer("ip1", num_output=500,
+                            activation=Activation.RELU),
+        FullyConnectedLayer("ip2", num_output=10),
+        SoftmaxLayer("prob", log=False),
+    ])
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Network("n", [])
+
+    def test_must_start_with_input(self):
+        with pytest.raises(ValidationError):
+            Network("n", [ConvLayer("c", num_output=1)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError) as exc:
+            chain("n", (1, 8, 8), [
+                ConvLayer("c", num_output=1, kernel=3),
+                ActivationLayer("c"),
+            ])
+        assert "duplicate" in str(exc.value)
+
+    def test_shapes_precomputed(self, lenet):
+        assert lenet.input_shape() == TensorShape(1, 28, 28)
+        assert lenet.output_shape() == TensorShape(10, 1, 1)
+        assert lenet.output_shape("conv1") == TensorShape(20, 24, 24)
+        assert lenet.input_shape("conv2") == TensorShape(20, 12, 12)
+
+
+class TestAccess:
+    def test_getitem_by_name_and_index(self, lenet):
+        assert lenet["conv1"] is lenet[1]
+        assert lenet[0].name == "data"
+
+    def test_unknown_layer(self, lenet):
+        with pytest.raises(KeyError):
+            lenet["nope"]
+        with pytest.raises(KeyError):
+            lenet.index("nope")
+
+    def test_contains_len_iter(self, lenet):
+        assert "conv2" in lenet
+        assert "zzz" not in lenet
+        assert len(lenet) == 8
+        assert [l.name for l in lenet][0] == "data"
+
+    def test_index(self, lenet):
+        assert lenet.index("pool2") == 4
+
+
+class TestStages:
+    def test_stage_of(self, lenet):
+        assert lenet.stage_of("conv1") is Stage.FEATURES
+        assert lenet.stage_of("pool2") is Stage.FEATURES
+        assert lenet.stage_of("ip1") is Stage.CLASSIFIER
+        # softmax is neutral -> inherits classifier
+        assert lenet.stage_of("prob") is Stage.CLASSIFIER
+
+    def test_neutral_before_any_stage_is_features(self):
+        net = chain("n", (1, 8, 8), [
+            ActivationLayer("act"),
+            ConvLayer("c", num_output=2, kernel=3),
+        ])
+        assert net.stage_of("act") is Stage.FEATURES
+
+    def test_features_and_classifier_lists(self, lenet):
+        assert [l.name for l in lenet.features_layers()] == \
+            ["conv1", "pool1", "conv2", "pool2"]
+        assert [l.name for l in lenet.classifier_layers()] == \
+            ["ip1", "ip2", "prob"]
+
+    def test_features_subnetwork(self, lenet):
+        sub = lenet.features_subnetwork()
+        assert sub.name == "lenet_features"
+        assert len(sub) == 5
+        assert sub.output_shape() == TensorShape(50, 4, 4)
+
+    def test_features_subnetwork_empty_rejected(self):
+        net = chain("mlp", (16, 1, 1), [
+            FullyConnectedLayer("fc", num_output=4),
+        ])
+        with pytest.raises(ValidationError):
+            net.features_subnetwork()
+
+
+class TestMisc:
+    def test_compute_layers_excludes_input_and_flatten(self):
+        net = chain("n", (1, 8, 8), [
+            ConvLayer("c", num_output=2, kernel=3),
+            FlattenLayer("flat"),
+            FullyConnectedLayer("fc", num_output=4),
+        ])
+        assert [l.name for l in net.compute_layers()] == ["c", "fc"]
+
+    def test_summary_contains_all_layers(self, lenet):
+        text = lenet.summary()
+        for layer in lenet:
+            assert layer.name in text
+
+    def test_repr(self, lenet):
+        assert "lenet" in repr(lenet)
+        assert "8 layers" in repr(lenet)

@@ -1,0 +1,111 @@
+"""Shape inference tests — the paper's equations (2) and (3)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShapeError
+from repro.ir.shapes import TensorShape, conv_output_hw, pool_output_hw
+
+
+class TestTensorShape:
+    def test_basic(self):
+        s = TensorShape(20, 24, 24)
+        assert s.size == 20 * 24 * 24
+        assert s.spatial_size == 576
+        assert s.as_tuple() == (20, 24, 24)
+        assert str(s) == "20x24x24"
+
+    def test_vector(self):
+        assert TensorShape(500).is_vector()
+        assert not TensorShape(1, 2, 1).is_vector()
+
+    def test_flattened(self):
+        assert TensorShape(50, 4, 4).flattened() == TensorShape(800, 1, 1)
+
+    @pytest.mark.parametrize("bad", [(0, 1, 1), (1, -1, 1), (1, 1, 0)])
+    def test_nonpositive_rejected(self, bad):
+        with pytest.raises(ShapeError):
+            TensorShape(*bad)
+
+    def test_float_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorShape(1.5, 1, 1)  # type: ignore[arg-type]
+
+    def test_ordering_and_hash(self):
+        assert TensorShape(1, 2, 3) == TensorShape(1, 2, 3)
+        assert len({TensorShape(1, 2, 3), TensorShape(1, 2, 3)}) == 1
+
+
+class TestConvOutput:
+    def test_paper_eq2_unit_stride(self):
+        # eq. (2): out = in - k + 1
+        assert conv_output_hw((28, 28), (5, 5)) == (24, 24)
+        assert conv_output_hw((12, 12), (5, 5)) == (8, 8)
+
+    def test_stride_and_pad(self):
+        # AlexNet conv1-style: 224 input, k=11, s=4, p=2 -> 55 in Caffe's
+        # floor convention... (227+0-11)/4+1 = 55
+        assert conv_output_hw((227, 227), (11, 11), (4, 4)) == (55, 55)
+        # VGG 3x3 same-padding
+        assert conv_output_hw((224, 224), (3, 3), (1, 1), (1, 1)) == (224, 224)
+
+    def test_rectangular(self):
+        assert conv_output_hw((10, 20), (3, 5), (1, 2), (0, 0)) == (8, 8)
+
+    def test_window_too_large(self):
+        with pytest.raises(ShapeError):
+            conv_output_hw((4, 4), (5, 5))
+
+    def test_invalid_params(self):
+        with pytest.raises(ShapeError):
+            conv_output_hw((4, 4), (0, 1))
+        with pytest.raises(ShapeError):
+            conv_output_hw((4, 4), (2, 2), (0, 1))
+        with pytest.raises(ShapeError):
+            conv_output_hw((4, 4), (2, 2), (1, 1), (-1, 0))
+
+    @given(st.integers(1, 64), st.integers(1, 7), st.integers(1, 4),
+           st.integers(0, 3))
+    def test_matches_closed_form(self, size, k, s, p):
+        if k > size + 2 * p:
+            with pytest.raises(ShapeError):
+                conv_output_hw((size, size), (k, k), (s, s), (p, p))
+            return
+        out, _ = conv_output_hw((size, size), (k, k), (s, s), (p, p))
+        assert out == (size + 2 * p - k) // s + 1
+        assert out >= 1
+
+
+class TestPoolOutput:
+    def test_paper_eq3(self):
+        # eq. (3) with rho=2, 2x2 window: ceil((in-k)/rho)+1
+        assert pool_output_hw((24, 24), (2, 2), (2, 2)) == (12, 12)
+        assert pool_output_hw((8, 8), (2, 2), (2, 2)) == (4, 4)
+
+    def test_ceil_vs_floor(self):
+        # 5 input, 2x2 window stride 2: ceil -> 3, floor -> 2
+        assert pool_output_hw((5, 5), (2, 2), (2, 2), ceil_mode=True) == (3, 3)
+        assert pool_output_hw((5, 5), (2, 2), (2, 2), ceil_mode=False) == (2, 2)
+
+    def test_padding_without_clip(self):
+        # in=4, k=3, s=2, p=1: ceil((4+2-3)/2)+1 = 3; the last window starts
+        # at 4 < in+pad = 5 so no clipping happens.
+        assert pool_output_hw((4, 4), (3, 3), (2, 2), (1, 1)) == (3, 3)
+
+    def test_caffe_clip_with_padding(self):
+        # in=3, k=2, s=2, p=1: ceil((3+2-2)/2)+1 = 3, but the 3rd window
+        # would start at 4 >= in+pad = 4, so Caffe clips it to 2.
+        assert pool_output_hw((3, 3), (2, 2), (2, 2), (1, 1)) == (2, 2)
+
+    @given(st.integers(2, 64), st.integers(1, 5), st.integers(1, 5))
+    def test_ceil_ge_floor(self, size, k, s):
+        if k > size:
+            return
+        ceil_out = pool_output_hw((size, size), (k, k), (s, s),
+                                  ceil_mode=True)[0]
+        floor_out = pool_output_hw((size, size), (k, k), (s, s),
+                                   ceil_mode=False)[0]
+        assert floor_out <= ceil_out <= floor_out + 1
+        assert ceil_out == math.ceil((size - k) / s) + 1

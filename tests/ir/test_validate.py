@@ -1,0 +1,89 @@
+"""Structural validation tests."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ir.layers import (
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    PoolLayer,
+    SoftmaxLayer,
+)
+from repro.ir.network import Network, chain
+from repro.ir.shapes import TensorShape
+from repro.ir.validate import validate_network
+
+
+def test_valid_lenet_passes():
+    net = chain("ok", (1, 28, 28), [
+        ConvLayer("c1", num_output=20, kernel=5),
+        PoolLayer("p1"),
+        FullyConnectedLayer("fc", num_output=10),
+        SoftmaxLayer("prob"),
+    ])
+    validate_network(net)  # should not raise
+
+
+def test_conv_after_fc_rejected():
+    net = chain("bad", (1, 28, 28), [
+        ConvLayer("c1", num_output=4, kernel=5),
+        FullyConnectedLayer("fc", num_output=100),
+        # shape 100x1x1; a 1x1 conv is still a features layer -> illegal
+        ConvLayer("c2", num_output=4, kernel=1),
+    ])
+    with pytest.raises(ValidationError):
+        validate_network(net)
+
+
+def test_pool_after_fc_rejected():
+    net = chain("bad", (4, 4, 4), [
+        FullyConnectedLayer("fc", num_output=64),
+        PoolLayer("p", kernel=1),
+    ])
+    with pytest.raises(ValidationError):
+        validate_network(net)
+
+
+def test_softmax_must_be_last():
+    net = chain("bad", (4, 1, 1), [
+        SoftmaxLayer("prob"),
+        FullyConnectedLayer("fc", num_output=2),
+    ])
+    with pytest.raises(ValidationError):
+        validate_network(net)
+
+
+def test_extra_input_layer_rejected():
+    net = Network("bad", [
+        InputLayer("data", shape=TensorShape(1, 8, 8)),
+        InputLayer("data2", shape=TensorShape(1, 8, 8)),
+        ConvLayer("c", num_output=1, kernel=3),
+    ])
+    with pytest.raises(ValidationError):
+        validate_network(net)
+
+
+def test_no_compute_layers_rejected():
+    net = Network("bad", [InputLayer("data", shape=TensorShape(1, 8, 8))])
+    with pytest.raises(ValidationError):
+        validate_network(net)
+
+
+def test_flatten_before_conv_rejected():
+    net = chain("bad", (1, 10, 10), [
+        FlattenLayer("flat"),
+        ConvLayer("c", num_output=2, kernel=1),
+    ])
+    with pytest.raises(ValidationError):
+        validate_network(net)
+
+
+def test_flatten_at_boundary_ok():
+    net = chain("ok", (1, 10, 10), [
+        ConvLayer("c", num_output=2, kernel=3),
+        FlattenLayer("flat"),
+        FullyConnectedLayer("fc", num_output=4),
+    ])
+    validate_network(net)

@@ -1,0 +1,51 @@
+"""Configuration-phase simulation tests."""
+
+import pytest
+
+from repro.frontend.zoo import lenet_model, tc1_model, vgg16_model
+from repro.hw.accelerator import build_accelerator
+from repro.hw.perf import estimate_performance
+from repro.sim.config_phase import simulate_config_phase
+
+
+class TestConfigPhase:
+    def test_tc1_matches_analytic(self):
+        acc = build_accelerator(tc1_model())
+        result = simulate_config_phase(acc)
+        perf = estimate_performance(acc)
+        # all TC1 weights are on chip: measured == analytic preload
+        assert result.total_words == sum(pe.weight_words
+                                         for pe in acc.pes)
+        assert result.total_cycles == pytest.approx(perf.config_cycles,
+                                                    rel=0.02)
+
+    def test_lenet_dominated_by_ip1(self):
+        acc = build_accelerator(lenet_model())
+        result = simulate_config_phase(acc)
+        assert result.per_pe_words["pe_ip1"] == 500 * 800 + 500
+        assert result.per_pe_words["pe_ip1"] > \
+            0.9 * 0.95 * result.total_words  # ip1 is ~93% of the weights
+
+    def test_only_weighted_pes_participate(self):
+        acc = build_accelerator(tc1_model())
+        result = simulate_config_phase(acc)
+        assert set(result.per_pe_words) == {"pe_conv1", "pe_conv2",
+                                            "pe_fc"}
+
+    def test_spilled_weights_only_stage(self):
+        """VGG's spilled conv weights must not be preloaded in full."""
+        acc = build_accelerator(vgg16_model(frequency_hz=180e6))
+        result = simulate_config_phase(acc)
+        spilled = [pe for pe in acc.pes
+                   if pe.weight_words and not pe.weights_on_chip]
+        assert spilled
+        for pe in spilled:
+            assert result.per_pe_words[pe.name] < pe.weight_words
+
+    def test_config_amortized_over_batches(self):
+        """The one-off preload is negligible against a large batch —
+        the reason Table 1 reports steady-state GFLOPS."""
+        acc = build_accelerator(tc1_model())
+        perf = estimate_performance(acc)
+        config = simulate_config_phase(acc).total_cycles
+        assert config < 0.01 * perf.batch_cycles(512)

@@ -1,0 +1,247 @@
+"""Accelerator simulation tests: functional equivalence with the reference
+engine and cycle fidelity against the analytic model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.frontend.condor_format import CondorModel, LayerHints
+from repro.frontend.weights import WeightStore
+from repro.frontend.zoo import tc1_model
+from repro.hw.accelerator import build_accelerator
+from repro.hw.perf import estimate_performance
+from repro.ir.layers import (
+    Activation,
+    ActivationLayer,
+    ConvLayer,
+    FullyConnectedLayer,
+    PoolLayer,
+    PoolOp,
+    SoftmaxLayer,
+)
+from repro.ir.network import chain
+from repro.nn.engine import ReferenceEngine
+from repro.sim.dataflow import simulate_accelerator
+
+
+def run_both(net, batch=2, seed=0):
+    """Simulate and run the reference engine on the same inputs."""
+    model = CondorModel(network=net)
+    acc = build_accelerator(model)
+    weights = WeightStore.initialize(net, seed)
+    rng = np.random.default_rng(seed + 1)
+    images = rng.normal(size=(batch,) + net.input_shape().as_tuple()) \
+        .astype(np.float32)
+    result = simulate_accelerator(acc, weights, images)
+    reference = ReferenceEngine(net, weights).forward_batch(images)
+    return result, reference, acc
+
+
+class TestFunctionalEquivalence:
+    def test_single_conv(self):
+        net = chain("c", (1, 8, 8), [ConvLayer("conv", num_output=3,
+                                               kernel=3)])
+        result, reference, _ = run_both(net)
+        for out, ref in zip(result.outputs, reference):
+            np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+    def test_conv_with_stride_and_pad(self):
+        net = chain("c", (2, 9, 9), [
+            ConvLayer("conv", num_output=4, kernel=3, stride=2, pad=1,
+                      activation=Activation.RELU)])
+        result, reference, _ = run_both(net)
+        for out, ref in zip(result.outputs, reference):
+            np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+    def test_conv_no_bias_tanh(self):
+        net = chain("c", (1, 6, 6), [
+            ConvLayer("conv", num_output=2, kernel=3, bias=False,
+                      activation=Activation.TANH)])
+        result, reference, _ = run_both(net)
+        for out, ref in zip(result.outputs, reference):
+            np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+    def test_pool_avg_and_max(self):
+        for op in (PoolOp.MAX, PoolOp.AVG):
+            net = chain("p", (3, 8, 8), [PoolLayer("pool", op=op,
+                                                   kernel=2)])
+            result, reference, _ = run_both(net)
+            for out, ref in zip(result.outputs, reference):
+                np.testing.assert_allclose(out, ref, rtol=1e-5)
+
+    def test_standalone_activation(self):
+        net = chain("a", (2, 5, 5), [
+            ActivationLayer("act", kind=Activation.SIGMOID)])
+        result, reference, _ = run_both(net)
+        for out, ref in zip(result.outputs, reference):
+            np.testing.assert_allclose(out, ref, rtol=1e-5)
+
+    def test_fc_and_softmax(self):
+        net = chain("f", (4, 3, 3), [
+            FullyConnectedLayer("fc", num_output=6,
+                                activation=Activation.RELU),
+            SoftmaxLayer("prob", log=True)])
+        result, reference, _ = run_both(net)
+        for out, ref in zip(result.outputs, reference):
+            np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+    def test_full_tc1(self):
+        model = tc1_model()
+        net = model.network
+        acc = build_accelerator(model)
+        weights = WeightStore.initialize(net, 7)
+        images = np.random.default_rng(1).normal(
+            size=(3, 1, 16, 16)).astype(np.float32)
+        result = simulate_accelerator(acc, weights, images)
+        reference = ReferenceEngine(net, weights).forward_batch(images)
+        for out, ref in zip(result.outputs, reference):
+            np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-5)
+
+    def test_fused_pe(self):
+        net = chain("fused", (1, 10, 10), [
+            ConvLayer("conv", num_output=3, kernel=3),
+            PoolLayer("pool", kernel=2),
+        ])
+        model = CondorModel(network=net, hints={
+            "conv": LayerHints(cluster="pe0"),
+            "pool": LayerHints(cluster="pe0"),
+        })
+        acc = build_accelerator(model)
+        assert len(acc.pes) == 1
+        weights = WeightStore.initialize(net, 0)
+        images = np.random.default_rng(2).normal(
+            size=(2, 1, 10, 10)).astype(np.float32)
+        result = simulate_accelerator(acc, weights, images)
+        reference = ReferenceEngine(net, weights).forward_batch(images)
+        for out, ref in zip(result.outputs, reference):
+            np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+
+class TestCycleFidelity:
+    def test_tc1_within_tolerance_of_analytic(self):
+        model = tc1_model()
+        acc = build_accelerator(model)
+        weights = WeightStore.initialize(model.network, 0)
+        images = np.zeros((8, 1, 16, 16), dtype=np.float32)
+        result = simulate_accelerator(acc, weights, images)
+        perf = estimate_performance(acc)
+        ratio = result.total_cycles / perf.batch_cycles(8)
+        assert 0.85 < ratio < 1.15
+
+    def test_sim_ii_tracks_bottleneck(self):
+        model = tc1_model()
+        acc = build_accelerator(model)
+        weights = WeightStore.initialize(model.network, 0)
+        images = np.zeros((6, 1, 16, 16), dtype=np.float32)
+        result = simulate_accelerator(acc, weights, images)
+        done = result.image_done_cycles
+        deltas = [b - a for a, b in zip(done, done[1:])]
+        perf = estimate_performance(acc)
+        # steady-state image period within 15% of analytic II
+        assert deltas[-1] == pytest.approx(perf.ii_cycles, rel=0.15)
+
+    def test_batch_amortizes_latency(self):
+        """Figure 5 behaviour measured by the event simulator itself."""
+        model = tc1_model()
+        acc = build_accelerator(model)
+        weights = WeightStore.initialize(model.network, 0)
+        mean = []
+        for batch in (1, 4, 8):
+            images = np.zeros((batch, 1, 16, 16), dtype=np.float32)
+            result = simulate_accelerator(acc, weights, images)
+            mean.append(result.mean_cycles_per_image())
+        assert mean[0] > mean[1] > mean[2]
+
+    def test_bottleneck_pe_least_blocked(self):
+        model = tc1_model()
+        acc = build_accelerator(model)
+        weights = WeightStore.initialize(model.network, 0)
+        images = np.zeros((6, 1, 16, 16), dtype=np.float32)
+        result = simulate_accelerator(acc, weights, images)
+        busiest = max(result.pe_busy_cycles, key=result.pe_busy_cycles.get)
+        assert busiest in ("pe_conv1", "pe_pool1")
+
+
+class TestParallelConfigs:
+    def test_parallel_conv_matches_reference(self):
+        model = tc1_model()
+        model.hints = {"conv2": LayerHints(in_ports=4, out_ports=4)}
+        acc = build_accelerator(model)
+        weights = WeightStore.initialize(model.network, 0)
+        images = np.random.default_rng(0).normal(
+            size=(2, 1, 16, 16)).astype(np.float32)
+        result = simulate_accelerator(acc, weights, images)
+        ref = ReferenceEngine(model.network, weights) \
+            .forward_batch(images)
+        for out, expected in zip(result.outputs, ref):
+            np.testing.assert_allclose(out, expected, rtol=1e-3,
+                                       atol=1e-5)
+
+    def test_parallelism_speeds_up_simulated_run(self):
+        weights = WeightStore.initialize(tc1_model().network, 0)
+        images = np.zeros((6, 1, 16, 16), dtype=np.float32)
+
+        def ii_for(hints):
+            model = tc1_model()
+            model.hints = hints
+            acc = build_accelerator(model)
+            result = simulate_accelerator(acc, weights, images)
+            done = result.image_done_cycles
+            return done[-1] - done[-2]
+
+        serial = ii_for({})
+        parallel = ii_for({
+            "conv1": LayerHints(out_ports=4),
+            "pool1": LayerHints(in_ports=4, out_ports=4),
+            "conv2": LayerHints(in_ports=4, out_ports=4),
+            "pool2": LayerHints(in_ports=4, out_ports=4),
+        })
+        assert parallel < serial / 2
+
+    def test_parallel_ii_tracks_analytic(self):
+        model = tc1_model()
+        model.hints = {
+            "conv1": LayerHints(out_ports=2),
+            "pool1": LayerHints(in_ports=2, out_ports=2),
+            "conv2": LayerHints(in_ports=2, out_ports=2),
+            "pool2": LayerHints(in_ports=2, out_ports=2),
+        }
+        acc = build_accelerator(model)
+        weights = WeightStore.initialize(model.network, 0)
+        result = simulate_accelerator(
+            acc, weights, np.zeros((6, 1, 16, 16), dtype=np.float32))
+        done = result.image_done_cycles
+        perf = estimate_performance(acc)
+        assert done[-1] - done[-2] == pytest.approx(perf.ii_cycles,
+                                                    rel=0.25)
+
+
+class TestValidation:
+
+    def test_wrong_image_shape_rejected(self):
+        model = tc1_model()
+        acc = build_accelerator(model)
+        weights = WeightStore.initialize(model.network, 0)
+        with pytest.raises(SimulationError, match="shape"):
+            simulate_accelerator(acc, weights,
+                                 np.zeros((1, 1, 8, 8), dtype=np.float32))
+
+    def test_empty_batch_rejected(self):
+        model = tc1_model()
+        acc = build_accelerator(model)
+        weights = WeightStore.initialize(model.network, 0)
+        with pytest.raises(SimulationError):
+            simulate_accelerator(acc, weights, [])
+
+    def test_result_metadata(self):
+        model = tc1_model()
+        acc = build_accelerator(model)
+        weights = WeightStore.initialize(model.network, 0)
+        images = np.zeros((2, 1, 16, 16), dtype=np.float32)
+        result = simulate_accelerator(acc, weights, images)
+        assert result.batch == 2
+        assert len(result.image_done_cycles) == 2
+        assert result.image_done_cycles[-1] == result.total_cycles
+        assert result.mean_time_per_image(100e6) == \
+            result.total_cycles / 2 / 100e6
+        assert set(result.pe_busy_cycles) == {pe.name for pe in acc.pes}

@@ -1,0 +1,127 @@
+"""Trace / profiling tests."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.weights import WeightStore
+from repro.frontend.zoo import tc1_model
+from repro.hw.accelerator import build_accelerator
+from repro.sim.core import Delay, Get, Put, Simulator
+from repro.sim.dataflow import simulate_accelerator
+from repro.sim.trace import StallInterval, Trace
+
+
+def traced_producer_consumer(capacity=2, produce=6, consumer_lag=10):
+    sim = Simulator()
+    trace = Trace().attach(sim)
+    ch = sim.channel("c", capacity=capacity)
+
+    def producer():
+        for i in range(produce):
+            yield Put(ch, i)
+
+    def consumer():
+        yield Delay(consumer_lag)
+        for _ in range(produce):
+            value = yield Get(ch)
+            yield Delay(1)
+
+    sim.process("prod", producer())
+    sim.process("cons", consumer())
+    sim.run()
+    return sim, trace
+
+
+class TestTraceRecording:
+    def test_occupancy_samples(self):
+        _, trace = traced_producer_consumer()
+        assert trace.channels() == ["c"]
+        assert trace.max_occupancy("c") == 2
+        # occupancy never exceeds capacity and never goes negative
+        assert all(0 <= occ <= 2 for _, occ in trace.occupancy["c"])
+
+    def test_stalls_recorded(self):
+        sim, trace = traced_producer_consumer(capacity=2, produce=6,
+                                              consumer_lag=10)
+        # producer blocks on the full channel until the consumer starts
+        prod_stalls = [s for s in trace.stalls if s.process == "prod"]
+        assert prod_stalls
+        assert prod_stalls[0].reason == "put:c"
+        assert trace.stall_cycles("prod") == sim.blocked_cycles("prod")
+
+    def test_stall_breakdown(self):
+        _, trace = traced_producer_consumer()
+        breakdown = trace.stall_breakdown("prod")
+        assert set(breakdown) == {"put:c"}
+        assert breakdown["put:c"] > 0
+
+    def test_bottleneck_ranking(self):
+        _, trace = traced_producer_consumer()
+        ranked = trace.bottleneck_channels()
+        assert ranked[0][0] == "c"
+
+    def test_mean_occupancy_bounded(self):
+        _, trace = traced_producer_consumer()
+        assert 0.0 <= trace.mean_occupancy("c") <= 2.0
+
+    def test_empty_channel_stats(self):
+        trace = Trace()
+        assert trace.max_occupancy("x") == 0
+        assert trace.mean_occupancy("x") == 0.0
+        assert trace.stall_cycles("p") == 0
+
+
+class TestExport:
+    def test_csv_formats(self):
+        _, trace = traced_producer_consumer()
+        occ = trace.occupancy_csv()
+        assert occ.startswith("channel,time,occupancy\n")
+        assert "c," in occ
+        stalls = trace.stalls_csv()
+        assert stalls.startswith("process,reason,start,end,cycles\n")
+        assert "prod,put:c," in stalls
+
+    def test_report_renders(self):
+        _, trace = traced_producer_consumer()
+        text = trace.report()
+        assert "channel" in text and "c" in text
+
+
+class TestAcceleratorTracing:
+    def test_trace_through_simulate(self):
+        model = tc1_model()
+        acc = build_accelerator(model)
+        weights = WeightStore.initialize(model.network, 0)
+        trace = Trace()
+        images = np.zeros((3, 1, 16, 16), dtype=np.float32)
+        result = simulate_accelerator(acc, weights, images, trace=trace)
+        # every pipeline channel saw traffic
+        assert len(trace.channels()) == len(
+            [e for e in acc.edges
+             if not e.fifo.name.endswith("weights")])
+        # trace stall totals equal the kernel's blocked accounting
+        for pe in acc.pes:
+            assert trace.stall_cycles(pe.name) == \
+                result.pe_blocked_cycles[pe.name]
+        # the non-bottleneck PEs starve on their input: get-stalls exist
+        reasons = {s.reason.split(":")[0] for s in trace.stalls}
+        assert "get" in reasons
+
+    def test_trace_identifies_bottleneck_feeder(self):
+        """Downstream PEs spend their stall time waiting on the stream
+        out of the bottleneck region."""
+        model = tc1_model()
+        acc = build_accelerator(model)
+        weights = WeightStore.initialize(model.network, 0)
+        trace = Trace()
+        simulate_accelerator(acc, weights,
+                             np.zeros((4, 1, 16, 16), dtype=np.float32),
+                             trace=trace)
+        top_channel, cycles = trace.bottleneck_channels(1)[0]
+        assert cycles > 0
+
+
+class TestStallInterval:
+    def test_cycles(self):
+        stall = StallInterval("p", "get:c", 5, 12)
+        assert stall.cycles == 7

@@ -1,0 +1,94 @@
+"""VCD export tests."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.frontend.weights import WeightStore
+from repro.frontend.zoo import tc1_model
+from repro.hw.accelerator import build_accelerator
+from repro.sim.dataflow import simulate_accelerator
+from repro.sim.trace import Trace
+from repro.sim.vcd import _identifiers, trace_to_vcd, write_vcd
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    model = tc1_model()
+    acc = build_accelerator(model)
+    weights = WeightStore.initialize(model.network, 0)
+    trace = Trace()
+    simulate_accelerator(acc, weights,
+                         np.zeros((2, 1, 16, 16), dtype=np.float32),
+                         trace=trace)
+    return acc, trace
+
+
+class TestVcdStructure:
+    def test_header(self, traced_run):
+        _, trace = traced_run
+        vcd = trace_to_vcd(trace)
+        assert "$timescale 1 ns $end" in vcd
+        assert "$enddefinitions $end" in vcd
+        assert "$dumpvars" in vcd
+
+    def test_every_channel_and_pe_declared(self, traced_run):
+        acc, trace = traced_run
+        vcd = trace_to_vcd(trace)
+        for channel in trace.channels():
+            assert f"{channel}_occ" in vcd
+        stalled = {s.process for s in trace.stalls}
+        for pe in acc.pes:
+            if pe.name in stalled:
+                assert f"{pe.name}_stalled" in vcd
+
+    def test_identifiers_unique(self, traced_run):
+        _, trace = traced_run
+        vcd = trace_to_vcd(trace)
+        ids = re.findall(r"\$var wire \d+ (\S+) ", vcd)
+        assert len(ids) == len(set(ids))
+
+    def test_timestamps_monotonic(self, traced_run):
+        _, trace = traced_run
+        vcd = trace_to_vcd(trace)
+        times = [int(m) for m in re.findall(r"^#(\d+)$", vcd, re.M)]
+        assert times == sorted(times)
+        assert times[-1] == trace.end_time
+
+    def test_binary_values_wellformed(self, traced_run):
+        _, trace = traced_run
+        vcd = trace_to_vcd(trace)
+        for match in re.findall(r"^b([01]+) \S+$", vcd, re.M):
+            assert set(match) <= {"0", "1"}
+
+    def test_write_to_file(self, traced_run, tmp_path):
+        _, trace = traced_run
+        path = write_vcd(trace, tmp_path / "run.vcd", module="tc1")
+        text = path.read_text()
+        assert "$scope module tc1 $end" in text
+
+    def test_stall_edges_paired(self, traced_run):
+        """Every 1-edge on a stall wire is followed by a 0-edge."""
+        _, trace = traced_run
+        vcd = trace_to_vcd(trace)
+        state: dict[str, str] = {}
+        ok = True
+        for match in re.finditer(r"^([01])(\S+)$", vcd, re.M):
+            value, ident = match.groups()
+            previous = state.get(ident)
+            if previous == value == "1":
+                ok = False  # double-rise without fall
+            state[ident] = value
+        assert ok
+
+
+class TestIdentifierGenerator:
+    def test_uniqueness_over_many(self):
+        gen = _identifiers()
+        ids = [next(gen) for _ in range(500)]
+        assert len(ids) == len(set(ids))
+
+    def test_empty_trace(self):
+        vcd = trace_to_vcd(Trace())
+        assert "$enddefinitions $end" in vcd

@@ -1,0 +1,56 @@
+"""Every example script must run cleanly end to end.
+
+Executed via runpy in-process (same interpreter, real code paths); stdout
+is captured and sanity-checked for each script's headline output.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "generated accelerator structure" in out
+    assert "mean time per image" in out
+
+
+def test_cloud_deployment(capsys):
+    out = run_example("cloud_deployment.py", capsys)
+    assert "AFI: afi-" in out
+    assert "batch sweep on the F1 slot" in out
+    assert "break-even" in out
+
+
+def test_design_space_exploration(capsys):
+    out = run_example("design_space_exploration.py", capsys)
+    assert "chosen per-PE parallelism" in out
+    assert "Pareto frontier" in out
+
+
+def test_custom_network(capsys):
+    out = run_example("custom_network.py", capsys)
+    assert "functional check PASSED" in out
+
+
+def test_profiling_and_scaleout(capsys):
+    out = run_example("profiling_and_scaleout.py", capsys)
+    assert "waveform written to" in out
+    assert "aggregate:" in out
+
+
+def test_all_examples_covered():
+    """Keep this file in sync with the examples directory."""
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    tested = {"quickstart.py", "cloud_deployment.py",
+              "design_space_exploration.py", "custom_network.py",
+              "profiling_and_scaleout.py"}
+    assert scripts == tested

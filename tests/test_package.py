@@ -1,0 +1,23 @@
+"""Top-level package surface tests."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "0.1.0"
+
+
+def test_public_surface_importable():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_flow_reachable_from_top_level(tmp_path):
+    from repro import CondorFlow, CondorModel, FlowInputs, chain
+    from repro.ir.layers import ConvLayer
+
+    net = chain("tiny", (1, 8, 8), [ConvLayer("c", num_output=2,
+                                              kernel=3)])
+    result = CondorFlow(tmp_path).run(
+        FlowInputs(model=CondorModel(network=net)))
+    assert result.xclbin.kernel_name == "tiny"

@@ -1,0 +1,122 @@
+"""Layer/network IP assembly tests (flow steps 3c, 4, 5)."""
+
+import pytest
+
+from repro.frontend.condor_format import CondorModel, LayerHints
+from repro.frontend.zoo import tc1_model
+from repro.hw.accelerator import build_accelerator
+from repro.hw.estimate import (
+    estimate_fifo,
+    estimate_memory_subsystems,
+    estimate_pe_core,
+)
+from repro.toolchain.assemble import build_layer_ip, build_network_ip
+from repro.toolchain.hls import VivadoHLS
+
+
+@pytest.fixture(scope="module")
+def acc():
+    return build_accelerator(tc1_model())
+
+
+@pytest.fixture(scope="module")
+def hls():
+    return VivadoHLS("xcvu9p", 100e6)
+
+
+class TestLayerIP:
+    def test_conv_layer_ip(self, acc, hls):
+        pe = acc.pe("pe_conv1")
+        ip = build_layer_ip(acc, pe, hls)
+        assert ip.name == "layer_pe_conv1"
+        assert ip.metadata["layers"] == "conv1"
+        names = {p.name for p in ip.ports}
+        assert {"in_stream0", "out_stream0", "weight_stream"} <= names
+        # resources aggregate PE core + filters + chain FIFOs
+        expected = estimate_pe_core(pe) + estimate_memory_subsystems(pe)
+        assert ip.resources.dsp == expected.dsp
+        assert ip.resources.bram_18k == expected.bram_18k
+        # LUT within rounding of the estimate composition
+        assert abs(ip.resources.lut - expected.lut) < 100
+
+    def test_classifier_layer_ip_no_filters(self, acc, hls):
+        ip = build_layer_ip(acc, acc.pe("pe_fc"), hls)
+        # just the PE: core resources only
+        assert ip.resources == estimate_pe_core(acc.pe("pe_fc"))
+
+    def test_layer_ip_counts_filters(self, acc, hls):
+        ip = build_layer_ip(acc, acc.pe("pe_conv1"), hls)
+        # 25 filters + 24 fifos + 1 pe
+        assert int(ip.metadata["instances"]) == 25 + 24 + 1
+
+
+class TestNetworkIP:
+    def test_assembly(self, acc, hls):
+        result = build_network_ip(acc, hls)
+        ip = result.accelerator_ip
+        assert ip.metadata["kind"] == "accelerator"
+        assert ip.metadata["network"] == "tc1"
+        assert int(ip.metadata["pes"]) == 6
+        assert len(result.layer_ips) == 6
+        assert result.datamover_ip is not None
+
+    def test_resources_are_aggregate(self, acc, hls):
+        result = build_network_ip(acc, hls)
+        parts = sum((ip.resources for ip in result.layer_ips),
+                    start=result.datamover_ip.resources)
+        fifos = sum((estimate_fifo(e.fifo) for e in acc.edges),
+                    start=type(parts)())
+        total = (parts + fifos).ceil()
+        assert result.accelerator_ip.resources.dsp == total.dsp
+
+    def test_fused_accelerator_assembles(self, hls):
+        model = tc1_model()
+        model.hints = {"conv1": LayerHints(cluster="f"),
+                       "pool1": LayerHints(cluster="f")}
+        acc = build_accelerator(model)
+        result = build_network_ip(acc, hls)
+        assert int(result.accelerator_ip.metadata["pes"]) == 5
+
+
+class TestParallelAssembly:
+    def test_parallel_mapping_assembles_with_interconnects(self, hls):
+        """A DSE-style parallel configuration must wire through AXIS
+        interconnects wherever producer/consumer port counts differ."""
+        from repro.frontend.zoo import lenet_model
+
+        model = lenet_model()
+        model.hints = {
+            "conv1": LayerHints(out_ports=4),
+            "pool1": LayerHints(in_ports=4, out_ports=4),
+            "conv2": LayerHints(in_ports=4, out_ports=10),
+            "pool2": LayerHints(in_ports=10, out_ports=10),
+        }
+        acc = build_accelerator(model)
+        hls180 = VivadoHLS("xcvu9p", 180e6)
+        result = build_network_ip(acc, hls180)
+        ip = result.accelerator_ip
+        assert ip.metadata["kind"] == "accelerator"
+        # lanes multiply the arithmetic: conv2 alone has 40 MAC trees
+        conv2_ip = next(l for l in result.layer_ips
+                        if l.metadata["layers"] == "conv2")
+        base = build_network_ip(build_accelerator(lenet_model()),
+                                VivadoHLS("xcvu9p", 180e6))
+        conv2_base = next(l for l in base.layer_ips
+                          if l.metadata["layers"] == "conv2")
+        assert conv2_ip.resources.dsp == 40 * conv2_base.resources.dsp
+
+    def test_matched_lanes_use_plain_fifos(self, hls):
+        """pool->pool-successor edges with equal port counts get one FIFO
+        per lane, no interconnect."""
+        from repro.frontend.zoo import tc1_model as tc1
+
+        model = tc1()
+        model.hints = {
+            "conv1": LayerHints(out_ports=4),
+            "pool1": LayerHints(in_ports=4, out_ports=4),
+            "conv2": LayerHints(in_ports=4, out_ports=4),
+            "pool2": LayerHints(in_ports=4, out_ports=4),
+        }
+        acc = build_accelerator(model)
+        result = build_network_ip(acc, VivadoHLS("xcvu9p", 100e6))
+        assert result.accelerator_ip.metadata["kind"] == "accelerator"

@@ -1,0 +1,118 @@
+"""Simulated Vivado HLS tests."""
+
+import pytest
+
+from repro.codegen import generate_datamover_source, generate_pe_source
+from repro.codegen.filters import generate_filter_source
+from repro.errors import HLSError
+from repro.frontend.zoo import tc1_model
+from repro.hw.accelerator import build_accelerator
+from repro.hw.estimate import estimate_pe_core
+from repro.toolchain.hls import VivadoHLS, parse_condor_metadata
+
+
+@pytest.fixture(scope="module")
+def acc():
+    return build_accelerator(tc1_model())
+
+
+@pytest.fixture(scope="module")
+def hls():
+    return VivadoHLS("xcvu9p-flgb2104-2-i", 100e6)
+
+
+class TestMetadataParsing:
+    def test_parse(self):
+        src = "// @condor kind=pe\n// @condor pe.window=5x5\nint x;"
+        meta = parse_condor_metadata(src)
+        assert meta == {"kind": "pe", "pe.window": "5x5"}
+
+    def test_parse_empty(self):
+        assert parse_condor_metadata("int x;") == {}
+
+
+class TestConstruction:
+    def test_unknown_part(self):
+        with pytest.raises(HLSError, match="unknown part"):
+            VivadoHLS("xc7v2000t", 100e6)
+
+    def test_bad_clock(self):
+        with pytest.raises(HLSError):
+            VivadoHLS("xcvu9p", 0)
+
+    def test_part_normalized(self, hls):
+        assert hls.part == "xcvu9p"
+
+
+class TestSynthesis:
+    def test_pe_kernel(self, acc, hls):
+        pe = acc.pe("pe_conv1")
+        ip = hls.synthesize(generate_pe_source(acc, pe))
+        assert ip.name == "pe_conv1"
+        assert ip.report.ii == 1
+        assert ip.report.resources == estimate_pe_core(pe)
+        assert ip.report.meets(100e6)
+        port_names = [name for name, _ in ip.stream_ports]
+        assert port_names == ["in_stream0", "out_stream0", "weight_stream"]
+
+    def test_filter_kernel(self, acc, hls):
+        pe = acc.pe("pe_conv1")
+        subsystem = pe.memory[0]
+        src = generate_filter_source(subsystem, subsystem.filters[0], 16)
+        ip = hls.synthesize(src)
+        assert ip.metadata["kind"] == "filter"
+        assert ip.report.resources.dsp == 0
+
+    def test_datamover_kernel(self, acc, hls):
+        ip = hls.synthesize(generate_datamover_source(acc))
+        assert ip.metadata["kind"] == "datamover"
+        assert ip.report.resources.lut > 9000
+
+    def test_source_hash_stable(self, acc, hls):
+        src = generate_pe_source(acc, acc.pe("pe_fc"))
+        assert hls.synthesize(src).source_hash == \
+            hls.synthesize(src).source_hash
+
+    def test_missing_metadata_rejected(self, hls):
+        with pytest.raises(HLSError, match="kind"):
+            hls.synthesize("void f(hls::stream<float> &s) {}")
+
+    def test_missing_top_function_rejected(self, hls):
+        with pytest.raises(HLSError, match="top function"):
+            hls.synthesize("// @condor kind=pe\nint x;")
+
+    def test_missing_interface_pragma_rejected(self, hls):
+        src = ("// @condor kind=filter\n"
+               "void f(hls::stream<float> &in_stream) {\n"
+               "#pragma HLS PIPELINE II=1\n}")
+        with pytest.raises(HLSError, match="INTERFACE"):
+            hls.synthesize(src)
+
+    def test_missing_pipeline_pragma_rejected(self, hls):
+        src = ("// @condor kind=filter\n"
+               "void f(hls::stream<float> &in_stream) {\n"
+               "#pragma HLS INTERFACE axis port=in_stream\n}")
+        with pytest.raises(HLSError, match="PIPELINE"):
+            hls.synthesize(src)
+
+    def test_malformed_pe_metadata_rejected(self, acc, hls):
+        src = generate_pe_source(acc, acc.pe("pe_conv1"))
+        src = src.replace("// @condor pe.window=5x5\n", "")
+        with pytest.raises(HLSError, match="malformed PE metadata"):
+            hls.synthesize(src)
+
+
+class TestTiming:
+    def test_timing_failure_when_clock_too_fast(self, acc):
+        # the fabric model tops out at the device fmax (250 MHz on VU9P);
+        # asking for 400 MHz must fail for any non-trivial kernel
+        hls = VivadoHLS("xcvu9p", 400e6)
+        with pytest.raises(HLSError, match="Fmax"):
+            hls.synthesize(generate_pe_source(acc, acc.pe("pe_conv1")))
+
+    def test_fmax_degrades_with_size(self, acc, hls):
+        small = hls.synthesize(
+            generate_pe_source(acc, acc.pe("pe_prob"))).report
+        big = hls.synthesize(
+            generate_pe_source(acc, acc.pe("pe_conv1"))).report
+        assert big.fmax_hz < small.fmax_hz

@@ -1,0 +1,136 @@
+"""IP packaging / IP Integrator tests."""
+
+import pytest
+
+from repro.errors import IPIntegratorError, PackagingError
+from repro.hw.components import Fifo
+from repro.hw.resources import ResourceVector
+from repro.toolchain.vivado import (
+    BlockDesign,
+    IPPort,
+    VivadoIP,
+    fifo_ip,
+)
+
+
+def simple_ip(name: str, inputs=("in0",), outputs=("out0",)):
+    ports = [IPPort(p, "axis", "in") for p in inputs]
+    ports += [IPPort(p, "axis", "out") for p in outputs]
+    return VivadoIP(name=name, ports=ports,
+                    resources=ResourceVector(lut=100, ff=200))
+
+
+class TestVivadoIP:
+    def test_vlnv(self):
+        ip = simple_ip("pe0")
+        assert ip.vlnv == "polimi.it:condor:pe0:1.0"
+
+    def test_port_lookup(self):
+        ip = simple_ip("pe0")
+        assert ip.port("in0").direction == "in"
+        with pytest.raises(KeyError):
+            ip.port("zzz")
+
+    def test_component_xml(self):
+        xml = simple_ip("pe0").component_xml()
+        assert '<spirit:component name="pe0"' in xml
+        assert 'name="in0"' in xml and 'mode="slave"' in xml
+        assert 'lut="100"' in xml
+
+    def test_invalid_port(self):
+        with pytest.raises(PackagingError):
+            IPPort("p", "apb", "in")
+        with pytest.raises(PackagingError):
+            IPPort("p", "axis", "inout")
+
+    def test_fifo_ip(self):
+        ip = fifo_ip(Fifo("f0", depth=1024))
+        assert ip.vendor == "xilinx.com"
+        assert ip.resources.bram_18k == 2
+        assert ip.port("S_AXIS").direction == "in"
+
+
+class TestBlockDesign:
+    def test_connect_and_package(self):
+        design = BlockDesign("layer0")
+        design.add_ip("a", simple_ip("a"))
+        design.add_ip("b", simple_ip("b"))
+        design.connect("a", "out0", "b", "in0")
+        design.make_external("a", "in0", "in_stream0")
+        design.make_external("b", "out0", "out_stream0")
+        ip = design.package()
+        assert ip.resources.lut == 200
+        assert {p.name for p in ip.ports} >= {"in_stream0", "out_stream0"}
+        assert ip.port("in_stream0").direction == "in"
+        assert ip.port("out_stream0").direction == "out"
+
+    def test_duplicate_instance(self):
+        design = BlockDesign("d")
+        design.add_ip("a", simple_ip("a"))
+        with pytest.raises(IPIntegratorError, match="duplicate"):
+            design.add_ip("a", simple_ip("a2"))
+
+    def test_unknown_instance(self):
+        design = BlockDesign("d")
+        with pytest.raises(IPIntegratorError, match="no instance"):
+            design.connect("x", "out0", "y", "in0")
+
+    def test_direction_enforced(self):
+        design = BlockDesign("d")
+        design.add_ip("a", simple_ip("a"))
+        design.add_ip("b", simple_ip("b"))
+        with pytest.raises(IPIntegratorError, match="not a stream master"):
+            design.connect("a", "in0", "b", "in0")
+        with pytest.raises(IPIntegratorError, match="not a stream slave"):
+            design.connect("a", "out0", "b", "out0")
+
+    def test_double_drive_rejected(self):
+        design = BlockDesign("d")
+        design.add_ip("a", simple_ip("a"))
+        design.add_ip("b", simple_ip("b"))
+        design.add_ip("c", simple_ip("c"))
+        design.connect("a", "out0", "b", "in0")
+        with pytest.raises(IPIntegratorError, match="already drives"):
+            design.connect("a", "out0", "c", "in0")
+        with pytest.raises(IPIntegratorError, match="already driven"):
+            design.connect("c", "out0", "b", "in0")
+
+    def test_dangling_port_fails_validation(self):
+        design = BlockDesign("d")
+        design.add_ip("a", simple_ip("a"))
+        design.make_external("a", "in0", "in_stream0")
+        with pytest.raises(IPIntegratorError, match="unconnected"):
+            design.validate()  # a.out0 dangles
+
+    def test_external_name_collision(self):
+        design = BlockDesign("d")
+        design.add_ip("a", simple_ip("a"))
+        design.make_external("a", "in0", "x")
+        with pytest.raises(IPIntegratorError, match="already used"):
+            design.make_external("a", "out0", "x")
+
+    def test_non_axis_connect_rejected(self):
+        ip = VivadoIP("m", ports=[IPPort("ctrl", "s_axilite", "in"),
+                                  IPPort("out0", "axis", "out")])
+        design = BlockDesign("d")
+        design.add_ip("a", ip)
+        design.add_ip("b", simple_ip("b"))
+        with pytest.raises(IPIntegratorError, match="axis"):
+            design.connect("a", "ctrl", "b", "in0")
+
+    def test_metadata_carried(self):
+        design = BlockDesign("d")
+        design.add_ip("a", simple_ip("a"))
+        design.make_external("a", "in0", "i")
+        design.make_external("a", "out0", "o")
+        ip = design.package(metadata={"layers": "conv1"})
+        assert ip.metadata["layers"] == "conv1"
+        assert ip.metadata["kind"] == "block_design"
+
+    def test_accessors(self):
+        design = BlockDesign("d")
+        design.add_ip("b", simple_ip("b"))
+        design.add_ip("a", simple_ip("a"))
+        design.connect("a", "out0", "b", "in0")
+        assert design.instances == ["a", "b"]
+        assert design.connections == [("a", "out0", "b", "in0")]

@@ -1,0 +1,25 @@
+"""Logging helper tests."""
+
+from repro.util.logging import current_context, get_logger, log_context
+
+
+def test_namespacing():
+    assert get_logger("toolchain.hls").name == "repro.toolchain.hls"
+    assert get_logger("repro.flow").name == "repro.flow"
+
+
+def test_log_context_nesting():
+    assert current_context() == ""
+    with log_context("step1"):
+        assert current_context() == "step1"
+        with log_context("step2"):
+            assert current_context() == "step2"
+        assert current_context() == "step1"
+    assert current_context() == ""
+
+
+def test_filter_installed_once():
+    logger = get_logger("x.y")
+    n = len(logger.filters)
+    get_logger("x.y")
+    assert len(logger.filters) == n

@@ -1,0 +1,56 @@
+"""Identifier sanitation tests."""
+
+import keyword
+import re
+
+from hypothesis import given, strategies as st
+
+from repro.util.naming import sanitize_identifier, unique_name
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class TestSanitize:
+    def test_caffe_style_names(self):
+        assert sanitize_identifier("conv1/3x3_reduce") == "conv1_3x3_reduce"
+        assert sanitize_identifier("fire2/squeeze1x1") == "fire2_squeeze1x1"
+
+    def test_leading_digit(self):
+        assert sanitize_identifier("3conv") == "m_3conv"
+
+    def test_c_keyword(self):
+        assert sanitize_identifier("float") == "m_float"
+        assert sanitize_identifier("while") == "m_while"
+
+    def test_empty(self):
+        assert sanitize_identifier("") == "m"
+
+    def test_idempotent_on_valid(self):
+        assert sanitize_identifier("conv1") == "conv1"
+
+    @given(st.text(max_size=40))
+    def test_always_valid_c_identifier(self, name):
+        result = sanitize_identifier(name)
+        assert _IDENT.match(result), result
+
+    @given(st.text(max_size=40))
+    def test_deterministic(self, name):
+        assert sanitize_identifier(name) == sanitize_identifier(name)
+
+
+class TestUniqueName:
+    def test_no_collision(self):
+        taken: set[str] = set()
+        assert unique_name("pe", taken) == "pe"
+        assert taken == {"pe"}
+
+    def test_collisions_numbered(self):
+        taken = {"pe"}
+        assert unique_name("pe", taken) == "pe_1"
+        assert unique_name("pe", taken) == "pe_2"
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=30))
+    def test_never_repeats(self, bases):
+        taken: set[str] = set()
+        seen = [unique_name(b, taken) for b in bases]
+        assert len(seen) == len(set(seen))

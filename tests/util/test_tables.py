@@ -1,0 +1,43 @@
+"""TextTable rendering tests."""
+
+import pytest
+
+from repro.util.tables import TextTable
+
+
+def test_basic_render():
+    t = TextTable(["net", "GFLOPS"])
+    t.add_row(["TC1", 8.36])
+    t.add_row(["LeNet", 3.35])
+    out = t.render()
+    lines = out.splitlines()
+    assert lines[0].startswith("net")
+    assert "8.36" in out and "3.35" in out
+    assert set(lines[1]) <= {"-", "+"}
+
+
+def test_column_alignment():
+    t = TextTable(["a", "b"])
+    t.add_row(["xxxxxx", 1.0])
+    lines = t.render().splitlines()
+    # all rows have the same separator column position
+    positions = {line.find("|") for line in lines if "|" in line}
+    assert len(positions) == 1
+
+
+def test_wrong_arity_rejected():
+    t = TextTable(["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row([1])
+
+
+def test_float_format_override():
+    t = TextTable(["x"], float_format="{:.4f}")
+    t.add_row([1.23456])
+    assert "1.2346" in t.render()
+
+
+def test_str_protocol():
+    t = TextTable(["x"])
+    t.add_row([1])
+    assert str(t) == t.render()

@@ -1,0 +1,75 @@
+"""Unit parsing/formatting tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import (
+    format_bytes,
+    format_freq,
+    format_seconds,
+    format_si,
+    parse_freq,
+)
+
+
+class TestParseFreq:
+    @pytest.mark.parametrize("text,expected", [
+        ("100MHz", 100e6),
+        ("180 MHz", 180e6),
+        ("1.5GHz", 1.5e9),
+        ("250 khz", 250e3),
+        ("42Hz", 42.0),
+        ("0.5 THz", 0.5e12),
+    ])
+    def test_strings(self, text, expected):
+        assert parse_freq(text) == pytest.approx(expected)
+
+    def test_numeric_passthrough(self):
+        assert parse_freq(123e6) == 123e6
+        assert parse_freq(5) == 5.0
+
+    @pytest.mark.parametrize("bad", ["", "MHz", "100", "100 Mhzz", "-5MHz"])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_freq(bad)
+
+    @pytest.mark.parametrize("bad", [0, -1.0, float("nan"), float("inf")])
+    def test_invalid_numbers(self, bad):
+        with pytest.raises(ValueError):
+            parse_freq(bad)
+
+    @given(st.floats(min_value=1.0, max_value=1e11),
+           st.sampled_from(["Hz", "kHz", "MHz", "GHz"]))
+    def test_roundtrip_prefixes(self, value, unit):
+        mult = {"Hz": 1, "kHz": 1e3, "MHz": 1e6, "GHz": 1e9}[unit]
+        parsed = parse_freq(f"{value}{unit}")
+        assert math.isclose(parsed, value * mult, rel_tol=1e-9)
+
+
+class TestFormatting:
+    def test_format_freq(self):
+        assert format_freq(100e6) == "100.00 MHz"
+        assert format_freq(1.8e8) == "180.00 MHz"
+
+    def test_format_si_zero(self):
+        assert format_si(0, "W") == "0 W"
+
+    def test_format_si_small(self):
+        assert format_si(2.5e-3, "s") == "2.50 ms"
+
+    def test_format_seconds(self):
+        assert format_seconds(2.0) == "2.000 s"
+        assert "ms" in format_seconds(0.002)
+        assert "us" in format_seconds(2e-6)
+
+    def test_format_bytes(self):
+        assert format_bytes(0) == "0 B"
+        assert format_bytes(1023) == "1023 B"
+        assert format_bytes(1024) == "1.00 KiB"
+        assert format_bytes(5 * 1024 * 1024) == "5.00 MiB"
+
+    def test_format_bytes_negative(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
