@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
 """Profiling a deployed accelerator and scaling out across F1 slots.
 
-Part 1 runs TC1 through the discrete-event simulator with tracing
-attached: it prints the FIFO occupancy profile, ranks the channels by the
-stall cycles they cause (finding the pipeline bottleneck), and writes a
-GTKWave-compatible ``.vcd`` waveform of the run.
+Part 1 profiles the *flow itself*: every ``CondorFlow.run`` records a
+span tree, so afterwards we print the same per-step wall-time table that
+``condor profile <model>`` shows on the command line, point at the
+``telemetry.json`` manifest the run wrote, and export the span tree as
+Chrome trace-event JSON — drop it on https://ui.perfetto.dev to see the
+toolchain stages, DSE evaluations and cloud calls on a timeline.
 
-Part 2 deploys the same AFI onto all eight FPGA slots of an
+Part 2 profiles the *accelerator*: TC1 goes through the discrete-event
+simulator with tracing attached, which prints the FIFO occupancy
+profile, ranks the channels by the stall cycles they cause (finding the
+pipeline bottleneck), and writes both a GTKWave-compatible ``.vcd``
+waveform and a cycle-level Perfetto trace (1 cycle = 1 µs) of the run.
+
+Part 3 deploys the same AFI onto all eight FPGA slots of an
 ``f1.16xlarge`` and shows the aggregate throughput scaling — the reason
 the paper targets the cloud in the first place ("dramatically increasing
 the use case scenarios for FPGAs").
@@ -21,6 +29,7 @@ import numpy as np
 
 from repro.cloud.client import AWSSession
 from repro.flow import CondorFlow, FlowInputs
+from repro.obs import write_chrome_trace
 from repro.frontend.condor_format import DeploymentOption
 from repro.frontend.weights import WeightStore
 from repro.frontend.zoo import synthetic_digits, tc1_model
@@ -42,18 +51,32 @@ def main() -> None:
     aws = AWSSession()
 
     # ------------------------------------------------------------------
-    # Part 1 — profile the generated accelerator
+    # Part 1 — profile the flow run itself (what `condor profile` shows)
     # ------------------------------------------------------------------
     flow = CondorFlow(workdir, aws=aws)
     result = flow.run(FlowInputs(model=tc1_model(),
                                  deployment=DeploymentOption.AWS_F1))
+
+    print("per-step wall time (same table as `condor profile`):")
+    print(result.profile_table())
+    print(f"\nrun manifest: {result.telemetry_path}")
+
+    flow_trace = write_chrome_trace(workdir / "flow_trace.json",
+                                    recorder=flow.recorder)
+    print(f"flow timeline: {flow_trace}"
+          f" ({len(flow.recorder.spans)} spans;"
+          f" open at https://ui.perfetto.dev)")
+
+    # ------------------------------------------------------------------
+    # Part 2 — profile the generated accelerator cycle by cycle
+    # ------------------------------------------------------------------
     weights = WeightStore.load(workdir / "weights")
     images, _ = synthetic_digits(6, size=16, seed=0)
 
     trace = Trace()
     sim = simulate_accelerator(result.accelerator, weights, images,
                                trace=trace)
-    print(f"simulated {sim.batch} images in {sim.total_cycles} cycles\n")
+    print(f"\nsimulated {sim.batch} images in {sim.total_cycles} cycles\n")
     print("channel profile:")
     print(trace.report())
 
@@ -65,9 +88,12 @@ def main() -> None:
     vcd_path = write_vcd(trace, workdir / "tc1_run.vcd", module="tc1")
     print(f"\nwaveform written to {vcd_path}"
           f" ({vcd_path.stat().st_size} bytes, open with GTKWave)")
+    sim_trace = trace.write_chrome_trace(workdir / "sim_trace.json")
+    print(f"cycle timeline written to {sim_trace}"
+          f" (stalls + FIFO occupancy, 1 cycle = 1 us; Perfetto)")
 
     # ------------------------------------------------------------------
-    # Part 2 — scale out across the 8 slots of an f1.16xlarge
+    # Part 3 — scale out across the 8 slots of an f1.16xlarge
     # ------------------------------------------------------------------
     instance = aws.run_f1_instance("f1.16xlarge")
     print(f"\nlaunched {instance.instance_id}"

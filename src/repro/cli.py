@@ -6,11 +6,17 @@ Exposes the framework the way the paper's users would drive it::
     condor build  <model> [--deploy aws-f1]  # run the full flow
     condor dse    <model>                    # explore configurations
     condor simulate <model> --batch N        # event-driven simulation
+    condor profile <model>                   # flow + per-step timing
     condor figure5                           # regenerate Figure 5
 
 ``<model>`` is a ``.prototxt`` (with optional ``--weights x.caffemodel``),
 a ``.onnx`` file, or a Condor ``.json`` file; the format is picked by
 extension.
+
+``build``, ``dse``, ``simulate`` and ``profile`` accept
+``--trace-json PATH`` (Chrome trace-event JSON for
+https://ui.perfetto.dev) and ``--metrics PATH`` (Prometheus text
+exposition of the run's counters).
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from pathlib import Path
 from repro.errors import CondorError
 from repro.flow.condor import CondorFlow, FlowInputs
 from repro.frontend.condor_format import DeploymentOption
+from repro.obs import REGISTRY, recording, write_chrome_trace
 
 
 def _model_inputs(path: str, weights: str | None) -> FlowInputs:
@@ -43,6 +50,18 @@ def _load_model(args) -> tuple:
     flow = CondorFlow(args.workdir)
     inputs = _model_inputs(args.model, getattr(args, "weights", None))
     return flow._input_analysis(inputs), flow
+
+
+def _telemetry_outputs(args, recorder) -> None:
+    """Honour the global ``--trace-json`` / ``--metrics`` flags."""
+    if getattr(args, "trace_json", None):
+        path = write_chrome_trace(args.trace_json, recorder=recorder)
+        print(f"trace written to {path} (open at https://ui.perfetto.dev)")
+    if getattr(args, "metrics", None):
+        path = Path(args.metrics)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(REGISTRY.to_prometheus())
+        print(f"metrics written to {path}")
 
 
 def cmd_info(args) -> int:
@@ -75,13 +94,46 @@ def cmd_build(args) -> int:
     print(f"\nartifacts in {result.workdir}")
     for step in result.steps:
         print(f"  {step.name}: {step.seconds:.2f}s")
+    _telemetry_outputs(args, flow.recorder)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Run the full flow and report where the time went."""
+    flow = CondorFlow(args.workdir)
+    inputs = _model_inputs(args.model, args.weights)
+    if args.frequency:
+        from repro.util.units import parse_freq
+        inputs.frequency_hz = parse_freq(args.frequency)
+    if args.board:
+        inputs.board = args.board
+    inputs.run_dse = args.dse
+    result = flow.run(inputs)
+    print(f"profile of {result.model.network.name}"
+          f" ({result.xclbin.part})\n")
+    print(result.profile_table())
+    manifest_note = (f"  manifest:  {result.telemetry_path}"
+                     if result.telemetry_path else "")
+    trace_path = args.trace_json or (result.workdir / "trace.json")
+    write_chrome_trace(trace_path, recorder=flow.recorder)
+    print(f"\nspans recorded: {len(flow.recorder)}")
+    if manifest_note:
+        print(manifest_note)
+    print(f"  trace:     {trace_path}"
+          " (open at https://ui.perfetto.dev)")
+    if args.metrics:
+        path = Path(args.metrics)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(REGISTRY.to_prometheus())
+        print(f"  metrics:   {path}")
     return 0
 
 
 def cmd_dse(args) -> int:
-    (model, _), _ = _load_model(args)
-    from repro.dse import explore
-    result = explore(model)
+    with recording() as recorder:
+        (model, _), _ = _load_model(args)
+        from repro.dse import explore
+        result = explore(model)
     print(f"explored {len(result.explored)} configurations in"
           f" {result.steps} steps")
     print(f"best II: {result.performance.ii_cycles} cycles "
@@ -91,27 +143,30 @@ def cmd_dse(args) -> int:
     for pe in result.mapping.pes:
         print(f"  {pe.name}: {','.join(pe.layer_names)}"
               f"  in={pe.in_parallel} out={pe.out_parallel}")
+    _telemetry_outputs(args, recorder)
     return 0
 
 
 def cmd_simulate(args) -> int:
     import numpy as np
 
-    (model, weights), _ = _load_model(args)
-    from repro.frontend.weights import WeightStore
-    from repro.hw.accelerator import build_accelerator
-    from repro.hw.perf import estimate_performance
-    from repro.sim.dataflow import simulate_accelerator
+    with recording() as recorder:
+        (model, weights), _ = _load_model(args)
+        from repro.frontend.weights import WeightStore
+        from repro.hw.accelerator import build_accelerator
+        from repro.hw.perf import estimate_performance
+        from repro.sim.dataflow import simulate_accelerator
 
-    net = model.network
-    if not weights.layers():
-        weights = WeightStore.initialize(net)
-    acc = build_accelerator(model)
-    rng = np.random.default_rng(args.seed)
-    images = rng.normal(size=(args.batch,) + net.input_shape().as_tuple()) \
-        .astype(np.float32)
-    result = simulate_accelerator(acc, weights, images)
-    perf = estimate_performance(acc)
+        net = model.network
+        if not weights.layers():
+            weights = WeightStore.initialize(net)
+        acc = build_accelerator(model)
+        rng = np.random.default_rng(args.seed)
+        images = rng.normal(
+            size=(args.batch,) + net.input_shape().as_tuple()) \
+            .astype(np.float32)
+        result = simulate_accelerator(acc, weights, images)
+        perf = estimate_performance(acc)
     print(f"simulated batch of {args.batch}: {result.total_cycles} cycles"
           f" ({result.mean_time_per_image(acc.frequency_hz) * 1e6:.2f}"
           " us/image)")
@@ -120,6 +175,7 @@ def cmd_simulate(args) -> int:
     for name, busy in result.pe_busy_cycles.items():
         blocked = result.pe_blocked_cycles[name]
         print(f"  {name}: busy={busy} blocked={blocked}")
+    _telemetry_outputs(args, recorder)
     return 0
 
 
@@ -195,6 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--weights", help="caffemodel for .prototxt input")
     info.set_defaults(func=cmd_info)
 
+    def telemetry_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace-json", metavar="PATH",
+                       help="write a Chrome trace-event JSON"
+                            " (chrome://tracing / Perfetto)")
+        p.add_argument("--metrics", metavar="PATH",
+                       help="write a Prometheus text-format metrics dump")
+
     build = sub.add_parser("build", help="run the full automation flow")
     build.add_argument("model")
     build.add_argument("--weights")
@@ -204,11 +267,25 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--board")
     build.add_argument("--dse", action="store_true",
                        help="run the design-space explorer")
+    telemetry_flags(build)
     build.set_defaults(func=cmd_build)
+
+    profile = sub.add_parser(
+        "profile", help="run the flow and print a per-step timing"
+                        " profile")
+    profile.add_argument("model")
+    profile.add_argument("--weights")
+    profile.add_argument("--frequency", help="e.g. 180MHz")
+    profile.add_argument("--board")
+    profile.add_argument("--dse", action="store_true",
+                         help="include the design-space explorer")
+    telemetry_flags(profile)
+    profile.set_defaults(func=cmd_profile)
 
     dse = sub.add_parser("dse", help="explore parallelism configurations")
     dse.add_argument("model")
     dse.add_argument("--weights")
+    telemetry_flags(dse)
     dse.set_defaults(func=cmd_dse)
 
     simulate = sub.add_parser("simulate",
@@ -217,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--weights")
     simulate.add_argument("--batch", type=int, default=4)
     simulate.add_argument("--seed", type=int, default=0)
+    telemetry_flags(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     figure5 = sub.add_parser("figure5",

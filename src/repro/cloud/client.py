@@ -11,9 +11,15 @@ from __future__ import annotations
 from repro.cloud.afi import AFIRecord, AFIService
 from repro.cloud.f1 import F1Instance
 from repro.cloud.s3 import S3Store
+from repro.obs import REGISTRY, span
 from repro.util.logging import get_logger
 
 _log = get_logger("cloud.client")
+
+_API_CALLS = REGISTRY.counter(
+    "condor_cloud_api_calls_total", "AWS API calls issued, by verb")
+_UPLOAD_BYTES = REGISTRY.counter(
+    "condor_cloud_upload_bytes_total", "Bytes uploaded to S3")
 
 
 class AWSSession:
@@ -33,25 +39,34 @@ class AWSSession:
 
     def upload(self, bucket: str, key: str, data: bytes) -> str:
         """``aws s3 cp`` — returns the object URI."""
-        self.ensure_bucket(bucket)
-        return self.s3.put_object(bucket, key, data).uri
+        with span("cloud.s3-upload", bucket=bucket, key=key,
+                  bytes=len(data)):
+            _API_CALLS.inc(verb="s3-put-object")
+            _UPLOAD_BYTES.inc(len(data))
+            self.ensure_bucket(bucket)
+            return self.s3.put_object(bucket, key, data).uri
 
     # -- EC2/AFI verbs ----------------------------------------------------------
 
     def create_fpga_image(self, *, name: str, bucket: str, key: str,
                           description: str = "") -> AFIRecord:
         """``aws ec2 create-fpga-image``."""
-        return self.afi.create_fpga_image(
-            name=name, description=description,
-            input_storage_location=f"s3://{bucket}/{key}")
+        with span("cloud.create-fpga-image", image_name=name):
+            _API_CALLS.inc(verb="create-fpga-image")
+            return self.afi.create_fpga_image(
+                name=name, description=description,
+                input_storage_location=f"s3://{bucket}/{key}")
 
     def wait_for_afi(self, afi_id: str) -> AFIRecord:
         """Poll ``describe-fpga-images`` until the AFI is available."""
-        return self.afi.wait_until_available(afi_id)
+        with span("cloud.wait-for-afi", afi_id=afi_id):
+            _API_CALLS.inc(verb="describe-fpga-images")
+            return self.afi.wait_until_available(afi_id)
 
     def run_f1_instance(self, instance_type: str = "f1.2xlarge") \
             -> F1Instance:
         """``aws ec2 run-instances`` for an F1 type."""
+        _API_CALLS.inc(verb="run-instances")
         instance = F1Instance(
             instance_type, self.afi,
             instance_id=f"i-{len(self._instances):017x}")

@@ -23,9 +23,14 @@ from repro.hw.mapping import MappingConfig, default_mapping
 from repro.hw.perf import AcceleratorPerformance, estimate_performance
 from repro.hw.resources import ResourceVector, device_for_board
 from repro.dse.space import parallelism_moves
+from repro.obs import REGISTRY, span
 from repro.util.logging import get_logger
 
 _log = get_logger("dse")
+
+_POINTS = REGISTRY.counter(
+    "condor_dse_points_evaluated_total",
+    "Design points evaluated by the explorer")
 
 
 @dataclass
@@ -66,6 +71,7 @@ class DSEResult:
 
 def _evaluate(model: CondorModel, mapping: MappingConfig,
               cal: Calibration):
+    _POINTS.inc()
     acc = build_accelerator(model, mapping)
     perf = estimate_performance(acc, cal)
     estimate = estimate_accelerator(acc, cal)
@@ -78,6 +84,15 @@ def explore(model: CondorModel, *,
             max_steps: int = 64) -> DSEResult:
     """Run the greedy explorer for ``model``; returns the best mapping
     found under the calibration's DSP/BRAM budget fractions."""
+    with span("dse.explore", network=model.network.name):
+        return _explore(model, mapping=mapping, cal=cal,
+                        max_steps=max_steps)
+
+
+def _explore(model: CondorModel, *,
+             mapping: MappingConfig | None,
+             cal: Calibration,
+             max_steps: int) -> DSEResult:
     net = model.network
     device = device_for_board(model.board)
     budget = ResourceVector(

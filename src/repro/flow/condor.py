@@ -8,9 +8,10 @@ default host code, and — for cloud deployments — the AFI identifiers).
 
 from __future__ import annotations
 
+import contextlib
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.cloud.client import AWSSession
@@ -46,9 +47,27 @@ from repro.toolchain.sdaccel import (
     xocc_link,
 )
 from repro.toolchain.xclbin import Xclbin, write_xclbin
+from repro.obs import (
+    REGISTRY,
+    SpanRecorder,
+    append_ledger,
+    build_manifest,
+    recording,
+    span,
+    write_manifest,
+)
 from repro.util.logging import get_logger, log_context
 
 _log = get_logger("flow")
+
+_STEPS_STARTED = REGISTRY.counter(
+    "condor_flow_steps_started_total", "Flow steps entered")
+_STEPS_FAILED = REGISTRY.counter(
+    "condor_flow_steps_failed_total", "Flow steps that raised")
+_RUNS = REGISTRY.counter(
+    "condor_flow_runs_total", "Flow runs by final status")
+_STEP_SECONDS = REGISTRY.histogram(
+    "condor_flow_step_seconds", "Wall time per flow step")
 
 
 @dataclass
@@ -100,10 +119,25 @@ class FlowResult:
     dse: DSEResult | None = None
     afi_id: str | None = None
     agfi_id: str | None = None
+    #: Where the run's ``telemetry.json`` manifest landed (when enabled).
+    telemetry_path: Path | None = None
 
     @property
     def utilization(self) -> dict[str, float]:
         return self.xclbin.resources["utilization_pct"]
+
+    def profile_table(self) -> str:
+        """Per-step wall time and share of the run (``condor profile``)."""
+        from repro.util.tables import TextTable
+
+        total = sum(s.seconds for s in self.steps)
+        table = TextTable(["step", "seconds", "% of run"],
+                          float_format="{:.3f}")
+        for step in self.steps:
+            share = 100.0 * step.seconds / total if total else 0.0
+            table.add_row([step.name, step.seconds, f"{share:5.1f}"])
+        table.add_row(["TOTAL", total, "100.0"])
+        return table.render()
 
     def summary(self) -> str:
         from repro.util.tables import TextTable
@@ -143,39 +177,47 @@ class CondorFlow:
 
     def __init__(self, workdir: Path | str,
                  cal: Calibration = DEFAULT_CALIBRATION,
-                 aws: AWSSession | None = None):
+                 aws: AWSSession | None = None,
+                 telemetry: bool = True):
         self.workdir = Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
         self.cal = cal
         self.aws = aws or AWSSession()
+        self.telemetry = telemetry
+        #: Span recorder of the most recent :meth:`run` (telemetry on).
+        self.recorder: SpanRecorder | None = None
         self._steps: list[StepRecord] = []
 
     # -- step harness ---------------------------------------------------------
 
+    @contextlib.contextmanager
     def _step(self, name: str):
-        flow = self
+        """Run one flow step inside a telemetry span.
 
-        class _Ctx:
-            def __enter__(self):
-                self._t0 = time.perf_counter()
-                self._log_ctx = log_context(name)
-                self._log_ctx.__enter__()
+        The recorded :class:`StepRecord` takes its duration *from the
+        span*, so ``FlowResult.steps`` and ``telemetry.json`` can never
+        disagree.  Without an active recorder the span is a no-op and a
+        local :func:`time.perf_counter` interval is used instead.
+        """
+        _STEPS_STARTED.inc(step=name)
+        sp = None
+        t0 = time.perf_counter()
+        try:
+            with span(f"flow.{name}") as sp, log_context(name):
                 _log.info("step %s", name)
-                return self
-
-            def __exit__(self, exc_type, exc, tb):
-                self._log_ctx.__exit__(exc_type, exc, tb)
-                seconds = time.perf_counter() - self._t0
-                if exc is None:
-                    flow._steps.append(StepRecord(name, seconds))
-                    return False
-                if isinstance(exc, FlowError):
-                    return False
-                if isinstance(exc, CondorError):
+                try:
+                    yield
+                except FlowError:
+                    raise
+                except CondorError as exc:
                     raise FlowError(name, str(exc)) from exc
-                return False
-
-        return _Ctx()
+        except BaseException:
+            _STEPS_FAILED.inc(step=name)
+            raise
+        seconds = sp.seconds if sp is not None \
+            else time.perf_counter() - t0
+        _STEP_SECONDS.observe(seconds, step=name)
+        self._steps.append(StepRecord(name, seconds))
 
     # -- steps ------------------------------------------------------------------
 
@@ -228,7 +270,89 @@ class CondorFlow:
     # -- the public entry point ----------------------------------------------------
 
     def run(self, inputs: FlowInputs) -> FlowResult:
-        """Execute steps 1..7 (8 for AWS_F1 deployments)."""
+        """Execute steps 1..7 (8 for AWS_F1 deployments).
+
+        With ``telemetry`` enabled (the default) the whole run executes
+        under a ``condor.flow`` root span and leaves a ``telemetry.json``
+        manifest in the working directory — even when a step fails, so
+        failed runs stay diagnosable.
+        """
+        if not self.telemetry:
+            return self._execute(inputs)
+        self.recorder = SpanRecorder()
+        started_wall = time.time()
+        t0 = time.perf_counter()
+        status = "error"
+        error: str | None = None
+        result: FlowResult | None = None
+        try:
+            with recording(self.recorder), \
+                    span("condor.flow", workdir=str(self.workdir)):
+                result = self._execute(inputs)
+            status = "ok"
+            return result
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            _RUNS.inc(status=status)
+            manifest = self._build_manifest(
+                result, status=status, error=error,
+                started_wall=started_wall,
+                seconds=time.perf_counter() - t0)
+            path = write_manifest(self.workdir, manifest)
+            append_ledger(manifest)
+            if result is not None:
+                result.telemetry_path = path
+
+    def _build_manifest(self, result: FlowResult | None, *, status: str,
+                        error: str | None, started_wall: float,
+                        seconds: float) -> dict:
+        run: dict = {
+            "network": result.model.network.name if result else None,
+            "board": result.model.board if result else None,
+            "deployment": (result.model.deployment.name
+                           if result and result.model.deployment else None),
+            "status": status,
+            "started_at": started_wall,
+            "seconds": seconds,
+            "workdir": str(self.workdir),
+        }
+        if error:
+            run["error"] = error
+        steps = [{"name": s.name, "seconds": s.seconds,
+                  "detail": s.detail} for s in self._steps]
+        snapshots: dict = {}
+        if result is not None:
+            capacity = device_for_board(result.model.board).capacity
+            snapshots["resource_estimate"] = {
+                "components": {name: asdict(vec) for name, vec
+                               in result.estimate.components.items()},
+                "total": asdict(result.estimate.total),
+                "utilization_pct": result.estimate.utilization(capacity),
+            }
+            snapshots["performance"] = {
+                "ii_cycles": result.performance.ii_cycles,
+                "pipeline_latency_cycles":
+                    result.performance.pipeline_latency_cycles,
+                "gflops": result.performance.gflops(),
+                "frequency_hz": result.xclbin.frequency_hz,
+                "power_watts": result.power_watts,
+            }
+            if result.dse is not None:
+                snapshots["dse"] = {
+                    "points_explored": len(result.dse.explored),
+                    "steps": result.dse.steps,
+                    "best_ii_cycles": result.dse.performance.ii_cycles,
+                }
+            if result.afi_id:
+                snapshots["afi"] = {"afi_id": result.afi_id,
+                                    "agfi_id": result.agfi_id}
+        return build_manifest(
+            recorder=self.recorder, workdir=self.workdir, run=run,
+            steps=steps, snapshots=snapshots)
+
+    def _execute(self, inputs: FlowInputs) -> FlowResult:
         self._steps = []
         dse_result: DSEResult | None = None
 

@@ -513,13 +513,22 @@ def convert_caffe_model(prototxt: Message,
     """Full conversion: topology from ``prototxt``, weights from
     ``caffemodel`` (when given; otherwise the store is left empty for the
     caller to initialize or load separately)."""
-    folds: dict[str, list] = {}
-    network = convert_net(prototxt, folds)
-    if caffemodel is not None:
-        weights = extract_weights(caffemodel, network, folds)
-        weights.validate(network)
-    else:
-        weights = WeightStore()
-    return ConvertedModel(network=network, weights=weights,
-                          caffe_name=prototxt.name or network.name,
-                          preprocessor=extract_preprocessor(prototxt))
+    from repro.obs import REGISTRY, span
+
+    with span("frontend.caffe.convert",
+              has_weights=caffemodel is not None):
+        folds: dict[str, list] = {}
+        network = convert_net(prototxt, folds)
+        if caffemodel is not None:
+            with span("frontend.caffe.extract-weights"):
+                weights = extract_weights(caffemodel, network, folds)
+                weights.validate(network)
+        else:
+            weights = WeightStore()
+        REGISTRY.counter(
+            "condor_frontend_layers_converted_total",
+            "IR layers produced by the frontends").inc(
+                len(network.layers), frontend="caffe")
+        return ConvertedModel(network=network, weights=weights,
+                              caffe_name=prototxt.name or network.name,
+                              preprocessor=extract_preprocessor(prototxt))

@@ -185,6 +185,14 @@ def estimate_accelerator(acc: Accelerator,
                          *, include_shell: bool = True) -> ResourceEstimate:
     """Estimate the whole design (optionally including the static shell,
     which Table 1's percentages contain)."""
+    from repro.obs import span
+
+    with span("hw.estimate", accelerator=acc.name):
+        return _estimate_accelerator(acc, cal, include_shell=include_shell)
+
+
+def _estimate_accelerator(acc: Accelerator, cal: Calibration,
+                          *, include_shell: bool) -> ResourceEstimate:
     estimate = ResourceEstimate()
     if include_shell:
         estimate.components["shell"] = ResourceVector(

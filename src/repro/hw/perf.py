@@ -183,6 +183,14 @@ def estimate_performance(acc: Accelerator,
                          cal: Calibration = DEFAULT_CALIBRATION) \
         -> AcceleratorPerformance:
     """Evaluate the closed-form model for an accelerator."""
+    from repro.obs import span
+
+    with span("hw.perf", accelerator=acc.name):
+        return _estimate_performance(acc, cal)
+
+
+def _estimate_performance(acc: Accelerator, cal: Calibration) \
+        -> AcceleratorPerformance:
     net = acc.network
     cycles = [pe_cycles(net, pe, cal) for pe in acc.pes]
     latency = [c + pe_fill_cycles(pe, cal)

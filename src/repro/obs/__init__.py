@@ -1,0 +1,79 @@
+"""Telemetry for the Condor reproduction: spans, metrics, manifests,
+Chrome-trace export.
+
+The paper's framework is an automation *pipeline*; what makes such a tool
+usable is seeing what every stage did and where the time and resources
+went (fpgaConvNet-style per-stage reports).  This package is the single
+front door for that:
+
+* :mod:`repro.obs.spans` — hierarchical timed spans with contextvar
+  parent tracking (``span(...)`` context manager, ``@traced()``
+  decorator, ``recording()`` to activate a collector);
+* :mod:`repro.obs.metrics` — process-wide counters / gauges / histograms
+  with Prometheus text exposition and JSON snapshots;
+* :mod:`repro.obs.manifest` — the per-run ``telemetry.json`` written by
+  :class:`~repro.flow.condor.CondorFlow`, plus the opt-in
+  ``benchmarks/runs.jsonl`` ledger;
+* :mod:`repro.obs.chrometrace` — trace-event JSON for
+  https://ui.perfetto.dev, from flow spans and from cycle-level sim
+  traces.
+
+Everything here is stdlib-only and import-cheap; instrumented modules
+pay nothing unless a recorder is active.
+"""
+
+from repro.obs.chrometrace import (
+    chrome_trace,
+    sim_trace_events,
+    span_events,
+    write_chrome_trace,
+)
+from repro.obs.manifest import (
+    MANIFEST_NAME,
+    append_ledger,
+    build_manifest,
+    ledger_enabled,
+    peak_rss_bytes,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import (
+    Span,
+    SpanRecorder,
+    current_recorder,
+    current_span,
+    recording,
+    span,
+    traced,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "append_ledger",
+    "build_manifest",
+    "chrome_trace",
+    "current_recorder",
+    "current_span",
+    "ledger_enabled",
+    "peak_rss_bytes",
+    "recording",
+    "sim_trace_events",
+    "span",
+    "span_events",
+    "traced",
+    "write_chrome_trace",
+    "write_manifest",
+]

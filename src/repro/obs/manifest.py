@@ -1,0 +1,144 @@
+"""Per-run manifests and the benchmark ledger.
+
+Every :class:`~repro.flow.condor.CondorFlow` run writes a
+``telemetry.json`` into its working directory: the span tree, per-step
+durations (the *same* numbers carried by
+:class:`~repro.flow.condor.FlowResult` — both read the spans), a metrics
+snapshot, the resource-estimate / performance numbers, the artifacts the
+run left behind, and process stats (peak RSS, span count).  That file is
+the machine-readable record later benchmarking sessions diff against.
+
+Setting ``REPRO_BENCH_LEDGER=1`` additionally appends a one-line JSON
+summary of each run to ``benchmarks/runs.jsonl`` (path overridable via
+``REPRO_BENCH_LEDGER_PATH``), seeding a perf trajectory across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.spans import SpanRecorder
+
+__all__ = [
+    "MANIFEST_NAME",
+    "peak_rss_bytes",
+    "build_manifest",
+    "write_manifest",
+    "append_ledger",
+    "ledger_enabled",
+]
+
+MANIFEST_NAME = "telemetry.json"
+MANIFEST_SCHEMA = 1
+LEDGER_ENV = "REPRO_BENCH_LEDGER"
+LEDGER_PATH_ENV = "REPRO_BENCH_LEDGER_PATH"
+DEFAULT_LEDGER = Path("benchmarks") / "runs.jsonl"
+
+
+def peak_rss_bytes() -> int | None:
+    """Peak resident set size of this process, or ``None`` when the
+    platform doesn't expose it (``resource`` is POSIX-only)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS bytes.
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def _artifact_listing(workdir: Path) -> list[dict[str, Any]]:
+    if not workdir.is_dir():
+        return []
+    out = []
+    for path in sorted(workdir.rglob("*")):
+        if path.is_file() and path.name != MANIFEST_NAME:
+            out.append({"path": str(path.relative_to(workdir)),
+                        "bytes": path.stat().st_size})
+    return out
+
+
+def build_manifest(*, recorder: SpanRecorder | None,
+                   workdir: Path | str,
+                   run: dict[str, Any],
+                   steps: list[dict[str, Any]],
+                   registry: MetricsRegistry = REGISTRY,
+                   snapshots: dict[str, Any] | None = None) \
+        -> dict[str, Any]:
+    """Assemble the manifest dict.
+
+    ``run`` carries identity fields (network, board, status, timing);
+    ``steps`` is the flow's step table (name/seconds/status);
+    ``snapshots`` holds structured extras such as the resource estimate.
+    """
+    workdir = Path(workdir)
+    manifest: dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "generator": "repro.obs",
+        "written_at": time.time(),
+        "run": dict(run),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "pid": os.getpid(),
+        },
+        "process": {
+            "peak_rss_bytes": peak_rss_bytes(),
+            "span_count": len(recorder) if recorder is not None else 0,
+        },
+        "steps": list(steps),
+        "spans": recorder.span_tree() if recorder is not None else [],
+        "metrics": registry.to_dict(),
+        "artifacts": _artifact_listing(workdir),
+    }
+    if snapshots:
+        manifest.update(snapshots)
+    return manifest
+
+
+def write_manifest(workdir: Path | str, manifest: dict[str, Any]) -> Path:
+    path = Path(workdir) / MANIFEST_NAME
+    path.write_text(json.dumps(manifest, indent=2, default=str) + "\n")
+    return path
+
+
+def ledger_enabled() -> bool:
+    return os.environ.get(LEDGER_ENV, "") == "1"
+
+
+def ledger_path() -> Path:
+    return Path(os.environ.get(LEDGER_PATH_ENV, str(DEFAULT_LEDGER)))
+
+
+def append_ledger(manifest: dict[str, Any]) -> Path | None:
+    """Append a one-line summary of ``manifest`` to the run ledger.
+
+    No-op (returns ``None``) unless ``REPRO_BENCH_LEDGER=1``.
+    """
+    if not ledger_enabled():
+        return None
+    run = manifest.get("run", {})
+    process = manifest.get("process", {})
+    line = {
+        "ts": manifest.get("written_at"),
+        "network": run.get("network"),
+        "board": run.get("board"),
+        "status": run.get("status"),
+        "seconds": run.get("seconds"),
+        "steps": len(manifest.get("steps", [])),
+        "span_count": process.get("span_count"),
+        "peak_rss_bytes": process.get("peak_rss_bytes"),
+        "gflops": (manifest.get("performance") or {}).get("gflops"),
+    }
+    path = ledger_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(line) + "\n")
+    return path

@@ -1,0 +1,263 @@
+"""A small process-wide metrics registry (counters, gauges, histograms).
+
+Instrumented modules declare their metrics once at import time against the
+default :data:`REGISTRY` and bump them from hot paths; the registry
+renders either Prometheus text exposition (``to_prometheus``) or a plain
+JSON-able dict (``to_dict``) for the run manifest.
+
+Labels are passed as keyword arguments at update time::
+
+    CLOUD_CALLS = REGISTRY.counter(
+        "condor_cloud_api_calls_total", "AWS API calls issued by the flow")
+    CLOUD_CALLS.inc(verb="create-fpga-image")
+
+Everything is in-process and thread-safe; there is deliberately no
+dependency on ``prometheus_client`` — the exposition format is simple
+enough to emit directly, and the registry stays importable everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+]
+
+#: Default histogram buckets (seconds-flavoured, like Prometheus').
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    .005, .01, .025, .05, .1, .25, .5, 1., 2.5, 5., 10., 30., 60.)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()) \
+        -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def header(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class Counter(_Metric):
+    """Monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name}: cannot decrease (amount={amount})")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return sum(self._values.values())
+
+    def expose(self) -> list[str]:
+        lines = self.header()
+        for key in sorted(self._values):
+            lines.append(f"{self.name}{_render_labels(key)}"
+                         f" {_fmt(self._values[key])}")
+        return lines
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": self.kind, "help": self.help,
+                "values": [{"labels": dict(k), "value": v}
+                           for k, v in sorted(self._values.items())]}
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (set-only semantics plus inc/dec)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    expose = Counter.expose
+    snapshot = Counter.snapshot
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(buckets))
+        #: label key -> [per-bucket counts..., +Inf count]
+        self._counts: dict[_LabelKey, list[int]] = {}
+        self._sums: dict[_LabelKey, float] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            counts = self._counts.setdefault(
+                key, [0] * (len(self.buckets) + 1))
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+            counts[-1] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+
+    def count(self, **labels: Any) -> int:
+        counts = self._counts.get(_label_key(labels))
+        return counts[-1] if counts else 0
+
+    def sum(self, **labels: Any) -> float:
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def expose(self) -> list[str]:
+        lines = self.header()
+        for key in sorted(self._counts):
+            counts = self._counts[key]
+            for bound, count in zip(self.buckets, counts):
+                le = (("le", _fmt(bound)),)
+                lines.append(f"{self.name}_bucket"
+                             f"{_render_labels(key, le)} {count}")
+            lines.append(f"{self.name}_bucket"
+                         f"{_render_labels(key, (('le', '+Inf'),))}"
+                         f" {counts[-1]}")
+            lines.append(f"{self.name}_sum{_render_labels(key)}"
+                         f" {_fmt(self._sums[key])}")
+            lines.append(f"{self.name}_count{_render_labels(key)}"
+                         f" {counts[-1]}")
+        return lines
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": self.kind, "help": self.help,
+                "buckets": list(self.buckets),
+                "values": [{"labels": dict(k),
+                            "counts": list(self._counts[k]),
+                            "sum": self._sums[k],
+                            "count": self._counts[k][-1]}
+                           for k in sorted(self._counts)]}
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create declaration."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _declare(self, cls: type, name: str, help: str,
+                 **kwargs: Any) -> Any:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as"
+                        f" {existing.kind}, not {cls.kind}")
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._declare(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._declare(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) \
+            -> Histogram:
+        return self._declare(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every metric (keeps declarations).  Test helper."""
+        with self._lock:
+            for metric in self._metrics.values():
+                for attr in ("_values", "_counts", "_sums"):
+                    store = getattr(metric, attr, None)
+                    if store is not None:
+                        store.clear()
+
+    # -- export --------------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name in self.names():
+            lines.extend(self._metrics[name].expose())
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able snapshot of every metric."""
+        return {name: self._metrics[name].snapshot()
+                for name in self.names()}
+
+
+#: The process-wide default registry instrumented modules declare against.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,256 @@
+"""Hierarchical spans — the timing backbone of the telemetry layer.
+
+A *span* is one timed region of the flow (a step, a toolchain stage, a
+cloud call).  Spans nest: entering a span inside another records the
+parent, so a whole :class:`~repro.flow.condor.CondorFlow` run becomes a
+tree rooted at ``condor.flow`` that the manifest and the Chrome-trace
+exporter can walk.
+
+Recording is *opt-in*: spans only cost anything while a
+:class:`SpanRecorder` is active (see :func:`recording`).  With no
+recorder installed, :func:`span` yields ``None`` and returns immediately,
+so instrumented library code stays essentially free for callers that
+never asked for telemetry.
+
+    with recording() as rec:
+        with span("frontend.parse", path="lenet.prototxt"):
+            ...
+    rec.roots()[0].seconds
+
+Parent tracking uses a :mod:`contextvars` variable, so concurrently
+running tasks (threads with proper context propagation, asyncio tasks)
+each see their own span stack.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import functools
+import itertools
+import time
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "current_span",
+    "current_recorder",
+    "recording",
+    "span",
+    "traced",
+]
+
+_recorder: contextvars.ContextVar["SpanRecorder | None"] = \
+    contextvars.ContextVar("repro_obs_recorder", default=None)
+_current: contextvars.ContextVar["Span | None"] = \
+    contextvars.ContextVar("repro_obs_span", default=None)
+
+
+@dataclass
+class Span:
+    """One timed region.
+
+    Wall-clock timing uses :func:`time.perf_counter` (monotonic,
+    interval-safe); ``start_wall`` additionally anchors the span to the
+    epoch so exports can show absolute times.  CPU time comes from
+    :func:`time.process_time` and exposes how much of the wall time was
+    actually spent computing.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    depth: int
+    start_wall: float
+    start_perf: float
+    start_cpu: float
+    end_perf: float | None = None
+    end_cpu: float | None = None
+    status: str = "ok"
+    error: str | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_perf is not None
+
+    @property
+    def seconds(self) -> float:
+        """Wall seconds (0.0 while the span is still open)."""
+        if self.end_perf is None:
+            return 0.0
+        return self.end_perf - self.start_perf
+
+    @property
+    def cpu_seconds(self) -> float:
+        if self.end_cpu is None:
+            return 0.0
+        return self.end_cpu - self.start_cpu
+
+    def elapsed(self) -> float:
+        """Live wall seconds since the span started."""
+        return (self.end_perf or time.perf_counter()) - self.start_perf
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_wall": self.start_wall,
+            "seconds": self.seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "status": self.status,
+        }
+        if self.error:
+            out["error"] = self.error
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+class SpanRecorder:
+    """Collects finished spans (in completion order)."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._ids = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- construction (used by span()) ------------------------------------
+
+    def _open(self, name: str, attrs: dict[str, Any]) -> Span:
+        parent = _current.get()
+        return Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent else None,
+            depth=parent.depth + 1 if parent else 0,
+            start_wall=time.time(),
+            start_perf=time.perf_counter(),
+            start_cpu=time.process_time(),
+            attrs=attrs,
+        )
+
+    def _close(self, sp: Span) -> None:
+        sp.end_perf = time.perf_counter()
+        sp.end_cpu = time.process_time()
+        self.spans.append(sp)
+
+    # -- queries --------------------------------------------------------------
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, parent: Span) -> list[Span]:
+        kids = [s for s in self.spans if s.parent_id == parent.span_id]
+        return sorted(kids, key=lambda s: s.start_perf)
+
+    def total_seconds(self, name: str) -> float:
+        return sum(s.seconds for s in self.find(name))
+
+    def span_tree(self) -> list[dict[str, Any]]:
+        """The span forest as nested dicts (roots in start order)."""
+
+        def node(sp: Span) -> dict[str, Any]:
+            out = sp.to_dict()
+            kids = self.children(sp)
+            if kids:
+                out["children"] = [node(k) for k in kids]
+            return out
+
+        return [node(r) for r in
+                sorted(self.roots(), key=lambda s: s.start_perf)]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """All spans flat, in start order (parent_id links the tree)."""
+        return [s.to_dict() for s in
+                sorted(self.spans, key=lambda s: s.start_perf)]
+
+
+def current_recorder() -> SpanRecorder | None:
+    """The active recorder, or ``None`` when telemetry is off."""
+    return _recorder.get()
+
+
+def current_span() -> Span | None:
+    """The innermost open span, or ``None``."""
+    return _current.get()
+
+
+@contextlib.contextmanager
+def recording(recorder: SpanRecorder | None = None) \
+        -> Iterator[SpanRecorder]:
+    """Activate a recorder for the dynamic extent of the block.
+
+    Nesting replaces the active recorder (the inner block records into
+    its own recorder; the outer one resumes afterwards).
+    """
+    rec = recorder if recorder is not None else SpanRecorder()
+    token = _recorder.set(rec)
+    try:
+        yield rec
+    finally:
+        _recorder.reset(token)
+
+
+@contextlib.contextmanager
+def span(name: str, /, **attrs: Any) -> Iterator[Span | None]:
+    """Time a region.  Yields the open :class:`Span`, or ``None`` when no
+    recorder is active (the no-telemetry fast path).
+
+    An exception escaping the block marks the span ``status="error"`` and
+    captures ``type: message`` before re-raising.
+    """
+    rec = _recorder.get()
+    if rec is None:
+        yield None
+        return
+    sp = rec._open(name, attrs)
+    token = _current.set(sp)
+    try:
+        yield sp
+    except BaseException as exc:
+        sp.status = "error"
+        sp.error = f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        _current.reset(token)
+        rec._close(sp)
+
+
+def traced(name: str | None = None, **attrs: Any) -> Callable:
+    """Decorator form of :func:`span`.
+
+    >>> @traced()
+    ... def convert(model): ...
+
+    records a span named after the function (``module.qualname`` with the
+    ``repro.`` prefix dropped) on every call.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        label = name
+        if label is None:
+            module = fn.__module__.removeprefix("repro.")
+            label = f"{module}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -26,6 +26,14 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import DeadlockError, SimulationError
+from repro.obs import REGISTRY, span
+
+_SIM_RUNS = REGISTRY.counter(
+    "condor_sim_runs_total", "Discrete-event simulation runs")
+_SIM_CYCLES = REGISTRY.counter(
+    "condor_sim_cycles_total", "Simulated cycles executed")
+_SIM_EVENTS = REGISTRY.counter(
+    "condor_sim_events_total", "Scheduler events processed")
 
 
 @dataclass(frozen=True)
@@ -220,15 +228,25 @@ class Simulator:
         event can ever fire, and :class:`SimulationError` when
         ``max_cycles`` is exceeded (a livelock guard).
         """
-        while self._heap:
-            time, _, proc = heapq.heappop(self._heap)
-            if proc.done:
-                continue
-            if max_cycles is not None and time > max_cycles:
-                raise SimulationError(
-                    f"simulation exceeded {max_cycles} cycles")
-            self.now = time
-            self._step(proc)
+        start_cycle = self.now
+        events = 0
+        with span("sim.run", processes=len(self._procs),
+                  channels=len(self._channels)):
+            try:
+                while self._heap:
+                    time, _, proc = heapq.heappop(self._heap)
+                    if proc.done:
+                        continue
+                    if max_cycles is not None and time > max_cycles:
+                        raise SimulationError(
+                            f"simulation exceeded {max_cycles} cycles")
+                    self.now = time
+                    events += 1
+                    self._step(proc)
+            finally:
+                _SIM_RUNS.inc()
+                _SIM_CYCLES.inc(self.now - start_cycle)
+                _SIM_EVENTS.inc(events)
         alive = [p for p in self._procs if not p.done]
         if alive:
             waits = ", ".join(f"{p.name} waiting on {p.waiting_on}"

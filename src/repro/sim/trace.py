@@ -121,6 +121,28 @@ class Trace:
                          f"{stall.end},{stall.cycles}")
         return "\n".join(lines) + "\n"
 
+    def to_chrome_trace(self) -> dict:
+        """This trace as a Chrome trace-event JSON object.
+
+        Stall intervals become per-process duration tracks and FIFO
+        occupancy becomes counter tracks; open the written file at
+        https://ui.perfetto.dev (1 cycle == 1 us of trace time).
+        """
+        from repro.obs.chrometrace import chrome_trace
+
+        return chrome_trace(sim_trace=self,
+                            metadata={"end_time_cycles": self.end_time})
+
+    def write_chrome_trace(self, path) -> "Path":
+        """Write :meth:`to_chrome_trace` as JSON; returns the path."""
+        import json
+        from pathlib import Path
+
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome_trace(), indent=1)
+                        + "\n")
+        return path
+
     def report(self) -> str:
         """A human-readable profile summary."""
         from repro.util.tables import TextTable

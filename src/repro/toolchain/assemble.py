@@ -105,6 +105,15 @@ def build_network_ip(acc: Accelerator, hls: VivadoHLS,
                      cal: Calibration = DEFAULT_CALIBRATION) \
         -> AssemblyResult:
     """Flow step 5: link every layer IP into the accelerator IP."""
+    from repro.obs import span
+
+    with span("toolchain.build-network-ip", accelerator=acc.name,
+              pes=len(acc.pes)):
+        return _build_network_ip(acc, hls, cal)
+
+
+def _build_network_ip(acc: Accelerator, hls: VivadoHLS,
+                      cal: Calibration) -> AssemblyResult:
     layer_ips = [build_layer_ip(acc, pe, hls, cal) for pe in acc.pes]
     dm_ip = package_ip(hls.synthesize(generate_datamover_source(acc)))
 

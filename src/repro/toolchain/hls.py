@@ -172,7 +172,15 @@ class VivadoHLS:
 
     def synthesize(self, source: str) -> HLSIP:
         """Synthesize one generated C source into an HLS IP + report."""
+        from repro.obs import span
+
         meta = parse_condor_metadata(source)
+        with span("toolchain.hls-csynth",
+                  kernel=meta.get("name", "?"),
+                  kind=meta.get("kind", "?")):
+            return self._synthesize(source, meta)
+
+    def _synthesize(self, source: str, meta: dict[str, str]) -> HLSIP:
         kind = meta.get("kind")
         if kind not in ("pe", "filter", "datamover"):
             raise HLSError(

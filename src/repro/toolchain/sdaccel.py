@@ -96,6 +96,14 @@ def package_xo(ip: VivadoIP, kernel_xml: str,
     embed the network description into the xclbin (the runtime needs it
     to program the simulated device).
     """
+    from repro.obs import span
+
+    with span("toolchain.package-xo", kernel=ip.name):
+        return _package_xo(ip, kernel_xml, model=model)
+
+
+def _package_xo(ip: VivadoIP, kernel_xml: str,
+                *, model: CondorModel | None) -> XoFile:
     if ip.metadata.get("kind") != "accelerator":
         raise PackagingError(
             f"only the packaged accelerator IP can become a kernel, got"
@@ -143,6 +151,15 @@ def xocc_link(xo: XoFile, device: Device, requested_hz: float,
     frequency drops below 60% of the request — the same failure modes the
     real toolchain reports.
     """
+    from repro.obs import span
+
+    with span("toolchain.xocc-link", part=device.part):
+        return _xocc_link(xo, device, requested_hz, cal, shell=shell)
+
+
+def _xocc_link(xo: XoFile, device: Device, requested_hz: float,
+               cal: Calibration,
+               *, shell: ResourceVector | None) -> Xclbin:
     kernel_resources = xo.resources()
     if shell is None:
         # the per-device platform region; the calibration constants match

@@ -12,6 +12,7 @@ from __future__ import annotations
 import contextlib
 import contextvars
 import logging
+import threading
 from collections.abc import Iterator
 
 _context: contextvars.ContextVar[str] = contextvars.ContextVar(
@@ -19,22 +20,37 @@ _context: contextvars.ContextVar[str] = contextvars.ContextVar(
 
 
 class _ContextFilter(logging.Filter):
-    def filter(self, record: logging.LogRecord) -> bool:  # pragma: no cover
+    """Stamps every record with ``condor_ctx`` — the active flow-step
+    label, formatted for direct use in a format string
+    (``%(condor_ctx)s``)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
         ctx = _context.get()
         record.condor_ctx = f"[{ctx}] " if ctx else ""
         return True
+
+
+#: One shared filter instance: installation checks are identity-based and
+#: the filter itself is stateless (context lives in the contextvar).
+_filter = _ContextFilter()
+_install_lock = threading.Lock()
 
 
 def get_logger(name: str) -> logging.Logger:
     """Return a logger under the ``repro`` namespace.
 
     ``get_logger("toolchain.hls")`` → logger ``repro.toolchain.hls``.
+    Idempotent — including under concurrent first-calls for the same
+    name: the filter is installed at most once per logger.
     """
     if not name.startswith("repro"):
         name = f"repro.{name}"
     logger = logging.getLogger(name)
     if not any(isinstance(f, _ContextFilter) for f in logger.filters):
-        logger.addFilter(_ContextFilter())
+        with _install_lock:
+            if not any(isinstance(f, _ContextFilter)
+                       for f in logger.filters):
+                logger.addFilter(_filter)
     return logger
 
 

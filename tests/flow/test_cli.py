@@ -78,6 +78,85 @@ class TestBuild:
         assert "error:" in capsys.readouterr().err
 
 
+class TestProfile:
+    def test_profile_prints_step_table(self, tc1_json, tmp_path, capsys):
+        workdir = tmp_path / "w"
+        assert main(["--workdir", str(workdir), "profile",
+                     tc1_json]) == 0
+        out = capsys.readouterr().out
+        assert "% of run" in out
+        assert "1-input-analysis" in out
+        assert "TOTAL" in out
+        assert (workdir / "telemetry.json").is_file()
+        assert (workdir / "trace.json").is_file()
+
+    def test_profile_trace_is_valid_trace_event_json(self, tc1_json,
+                                                     tmp_path, capsys):
+        import json
+
+        workdir = tmp_path / "w"
+        trace_path = tmp_path / "flow_trace.json"
+        assert main(["--workdir", str(workdir), "profile", tc1_json,
+                     "--trace-json", str(trace_path)]) == 0
+        doc = json.loads(trace_path.read_text())
+        events = doc["traceEvents"]
+        assert any(e["name"] == "condor.flow" for e in events
+                   if e["ph"] == "X")
+        ts = [e["ts"] for e in events if e["ph"] != "M"]
+        assert ts == sorted(ts)
+        for event in events:
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+
+    def test_profile_metrics_dump(self, tc1_json, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.prom"
+        assert main(["--workdir", str(tmp_path / "w"), "profile",
+                     tc1_json, "--metrics", str(metrics_path)]) == 0
+        text = metrics_path.read_text()
+        assert "condor_flow_steps_started_total" in text
+        assert "# TYPE condor_flow_steps_started_total counter" in text
+
+
+class TestTelemetryFlags:
+    def test_build_trace_json(self, tc1_json, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "t.json"
+        assert main(["--workdir", str(tmp_path / "w"), "build", tc1_json,
+                     "--trace-json", str(trace_path)]) == 0
+        assert json.loads(trace_path.read_text())["traceEvents"]
+
+    def test_simulate_trace_and_metrics(self, tc1_json, tmp_path,
+                                        capsys):
+        import json
+
+        trace_path = tmp_path / "sim.json"
+        metrics_path = tmp_path / "m.prom"
+        assert main(["--workdir", str(tmp_path / "w"), "simulate",
+                     tc1_json, "--batch", "1",
+                     "--trace-json", str(trace_path),
+                     "--metrics", str(metrics_path)]) == 0
+        doc = json.loads(trace_path.read_text())
+        assert any(e["name"] == "sim.run" for e in doc["traceEvents"]
+                   if e["ph"] == "X")
+        assert "condor_sim_cycles_total" in metrics_path.read_text()
+
+    def test_dse_trace_json(self, tmp_path, capsys):
+        import json
+
+        from repro.frontend.condor_format import CondorModel, \
+            save_condor_json
+        model = tc1_model()
+        features = CondorModel(network=model.network.features_subnetwork())
+        path = save_condor_json(features, tmp_path / "f.json")
+        trace_path = tmp_path / "dse.json"
+        assert main(["--workdir", str(tmp_path / "w"), "dse", str(path),
+                     "--trace-json", str(trace_path)]) == 0
+        doc = json.loads(trace_path.read_text())
+        assert any(e["name"] == "dse.explore" for e in doc["traceEvents"]
+                   if e["ph"] == "X")
+
+
 class TestDseSimulateFigure5:
     def test_dse(self, tmp_path, capsys):
         model = tc1_model()

@@ -66,7 +66,10 @@ class TestScheme:
         array = np.array(values)
         q, scale = quantize(array, scheme)
         error = np.abs(dequantize(q, scale) - array)
-        assert error.max() <= scale / 2 + 1e-9
+        # dequantize returns float32, so allow one float32 ulp of the
+        # largest magnitude on top of the half-step rounding bound
+        fp32_ulp = np.abs(array).max() * np.finfo(np.float32).eps
+        assert error.max() <= scale / 2 + fp32_ulp + 1e-9
 
     @settings(max_examples=20, deadline=None)
     @given(st.integers(0, 2**31))

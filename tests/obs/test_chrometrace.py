@@ -1,0 +1,139 @@
+"""Chrome trace-event export tests (flow spans and sim traces)."""
+
+import json
+
+from repro.obs import chrome_trace, recording, span, write_chrome_trace
+from repro.sim.core import Delay, Get, Put, Simulator
+from repro.sim.trace import Trace
+
+
+def _recorded_spans():
+    with recording() as rec:
+        with span("flow.root"):
+            with span("flow.child-1"):
+                pass
+            with span("flow.child-2"):
+                pass
+    return rec
+
+
+def _two_pe_trace():
+    """A two-PE pipeline: fast producer PE, slow consumer PE, so the
+    inter-PE FIFO backs up and both block/unblock paths are exercised."""
+    sim = Simulator()
+    trace = Trace().attach(sim)
+    ch_in = sim.channel("dm_to_pe1", capacity=2)
+    ch_mid = sim.channel("pe1_to_pe2", capacity=2)
+    ch_out = sim.channel("pe2_to_dm", capacity=2)
+
+    def source(n=8):
+        for i in range(n):
+            yield Put(ch_in, i)
+
+    def pe1(n=8):
+        for _ in range(n):
+            v = yield Get(ch_in)
+            yield Delay(1)
+            yield Put(ch_mid, v + 1)
+
+    def pe2(n=8):
+        for _ in range(n):
+            v = yield Get(ch_mid)
+            yield Delay(5)  # the bottleneck stage
+            yield Put(ch_out, v * 2)
+
+    def sink(n=8):
+        for _ in range(n):
+            yield Get(ch_out)
+
+    sim.process("source", source())
+    sim.process("pe1", pe1())
+    sim.process("pe2", pe2())
+    sim.process("sink", sink())
+    sim.run()
+    return sim, trace
+
+
+class TestSpanExport:
+    def test_valid_schema(self):
+        rec = _recorded_spans()
+        doc = json.loads(json.dumps(chrome_trace(recorder=rec)))
+        events = doc["traceEvents"]
+        assert events, "no events exported"
+        for event in events:
+            assert event["ph"] in ("X", "M")
+            assert "pid" in event and "name" in event
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert event["ts"] >= 0
+
+    def test_ts_monotonic(self):
+        rec = _recorded_spans()
+        doc = chrome_trace(recorder=rec)
+        ts = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert ts == sorted(ts)
+
+    def test_error_span_carries_error_arg(self):
+        with recording() as rec:
+            try:
+                with span("flow.fails"):
+                    raise RuntimeError("nope")
+            except RuntimeError:
+                pass
+        doc = chrome_trace(recorder=rec)
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert event["args"]["status"] == "error"
+        assert "RuntimeError" in event["args"]["error"]
+
+
+class TestSimTraceExport:
+    def test_round_trip_valid_json(self, tmp_path):
+        _, trace = _two_pe_trace()
+        path = trace.write_chrome_trace(tmp_path / "sim.json")
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+        assert doc["otherData"]["end_time_cycles"] == trace.end_time
+
+    def test_ts_monotonic_and_complete_events(self):
+        _, trace = _two_pe_trace()
+        doc = trace.to_chrome_trace()
+        timed = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        ts = [e["ts"] for e in timed]
+        assert ts == sorted(ts)
+        # every duration event is a complete X event with matched extent
+        x_events = [e for e in timed if e["ph"] == "X"]
+        assert x_events
+        for event in x_events:
+            assert event["dur"] >= 0
+            assert event["ts"] + event["dur"] <= trace.end_time
+
+    def test_stall_tracks_match_trace(self):
+        _, trace = _two_pe_trace()
+        doc = trace.to_chrome_trace()
+        x_events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(x_events) == len(trace.stalls)
+        total_export = sum(e["dur"] for e in x_events)
+        total_trace = sum(s.cycles for s in trace.stalls)
+        assert total_export == total_trace
+
+    def test_fifo_counters_exported(self):
+        _, trace = _two_pe_trace()
+        doc = trace.to_chrome_trace()
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        names = {e["name"] for e in counters}
+        assert "fifo pe1_to_pe2" in names
+        samples = sum(len(v) for v in trace.occupancy.values())
+        assert len(counters) == samples
+
+
+class TestCombined:
+    def test_flow_and_sim_in_one_file(self, tmp_path):
+        rec = _recorded_spans()
+        _, trace = _two_pe_trace()
+        path = write_chrome_trace(tmp_path / "combined.json",
+                                  recorder=rec, sim_trace=trace)
+        doc = json.loads(path.read_text())
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {1, 2}
+        ts = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert ts == sorted(ts)

@@ -1,0 +1,138 @@
+"""Metrics registry tests."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import REGISTRY, MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("requests_total", "Requests served")
+        c.inc()
+        c.inc(2)
+        assert c.value() == 3
+        assert c.total() == 3
+
+    def test_labels_are_independent(self, registry):
+        c = registry.counter("calls_total")
+        c.inc(verb="put")
+        c.inc(verb="put")
+        c.inc(verb="get")
+        assert c.value(verb="put") == 2
+        assert c.value(verb="get") == 1
+        assert c.value(verb="delete") == 0
+        assert c.total() == 3
+
+    def test_decrease_rejected(self, registry):
+        c = registry.counter("ups_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_declaration_is_idempotent(self, registry):
+        a = registry.counter("once_total", "help")
+        b = registry.counter("once_total")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self, registry):
+        registry.counter("thing")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("thing")
+
+    def test_thread_safety(self, registry):
+        c = registry.counter("racy_total")
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 4000
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4
+
+    def test_labelled(self, registry):
+        g = registry.gauge("occupancy")
+        g.set(7, fifo="c1")
+        assert g.value(fifo="c1") == 7
+
+
+class TestHistogram:
+    def test_observe_counts_and_sum(self, registry):
+        h = registry.histogram("latency_seconds",
+                               buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(55.55)
+
+    def test_cumulative_buckets(self, registry):
+        h = registry.histogram("x", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(99.0)
+        text = registry.to_prometheus()
+        assert 'x_bucket{le="1"} 1' in text
+        assert 'x_bucket{le="2"} 2' in text
+        assert 'x_bucket{le="+Inf"} 3' in text
+        assert "x_count 3" in text
+
+
+class TestExposition:
+    def test_prometheus_format(self, registry):
+        c = registry.counter("flow_runs_total", "Flow runs")
+        c.inc(status="ok")
+        text = registry.to_prometheus()
+        assert "# HELP flow_runs_total Flow runs" in text
+        assert "# TYPE flow_runs_total counter" in text
+        assert 'flow_runs_total{status="ok"} 1' in text
+        assert text.endswith("\n")
+
+    def test_json_snapshot_roundtrips(self, registry):
+        registry.counter("a_total").inc(5)
+        registry.histogram("b_seconds", buckets=(1.0,)).observe(0.5)
+        snap = json.loads(json.dumps(registry.to_dict()))
+        assert snap["a_total"]["values"][0]["value"] == 5
+        assert snap["b_seconds"]["values"][0]["count"] == 1
+
+    def test_reset_zeroes_but_keeps_declarations(self, registry):
+        c = registry.counter("z_total")
+        c.inc()
+        registry.reset()
+        assert c.value() == 0
+        assert registry.get("z_total") is c
+
+
+class TestDefaultRegistry:
+    def test_instrumented_metrics_are_declared(self):
+        # importing the instrumented modules declares their metrics
+        import repro.flow.condor  # noqa: F401
+        import repro.sim.core  # noqa: F401
+        import repro.cloud.client  # noqa: F401
+        import repro.dse.explorer  # noqa: F401
+
+        names = REGISTRY.names()
+        for expected in ("condor_flow_steps_started_total",
+                         "condor_flow_steps_failed_total",
+                         "condor_dse_points_evaluated_total",
+                         "condor_sim_cycles_total",
+                         "condor_cloud_api_calls_total"):
+            assert expected in names

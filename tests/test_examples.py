@@ -43,6 +43,9 @@ def test_custom_network(capsys):
 
 def test_profiling_and_scaleout(capsys):
     out = run_example("profiling_and_scaleout.py", capsys)
+    assert "% of run" in out          # condor profile-style step table
+    assert "run manifest:" in out
+    assert "ui.perfetto.dev" in out
     assert "waveform written to" in out
     assert "aggregate:" in out
 

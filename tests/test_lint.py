@@ -1,0 +1,37 @@
+"""The telemetry-layer lint must hold on the shipped tree."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+
+
+def _load_linter():
+    spec = importlib.util.spec_from_file_location(
+        "lint_telemetry", TOOLS / "lint_telemetry.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("lint_telemetry", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_bare_print_or_getlogger_in_src():
+    linter = _load_linter()
+    assert linter.violations() == []
+
+
+def test_linter_catches_offenders(tmp_path, monkeypatch):
+    linter = _load_linter()
+    bad = tmp_path / "repro"
+    bad.mkdir()
+    (bad / "offender.py").write_text(
+        "import logging\n"
+        "log = logging.getLogger('x')\n"
+        "print('hello')\n"
+        "# print('comments are fine')\n")
+    monkeypatch.setattr(linter, "SRC", bad)
+    found = linter.violations()
+    assert len(found) == 2
+    assert any("getLogger" in v for v in found)
+    assert any("print" in v for v in found)

@@ -1,6 +1,14 @@
 """Logging helper tests."""
 
-from repro.util.logging import current_context, get_logger, log_context
+import logging
+import threading
+
+from repro.util.logging import (
+    _ContextFilter,
+    current_context,
+    get_logger,
+    log_context,
+)
 
 
 def test_namespacing():
@@ -23,3 +31,52 @@ def test_filter_installed_once():
     n = len(logger.filters)
     get_logger("x.y")
     assert len(logger.filters) == n
+
+
+def test_context_label_reaches_emitted_records():
+    """The filter is load-bearing: %(condor_ctx)s must carry the active
+    label into handler output, and be empty outside any context."""
+    logger = get_logger("test.ctx_records")
+    logger.setLevel(logging.INFO)
+    records = []
+
+    class Capture(logging.Handler):
+        def emit(self, record):
+            records.append((record.condor_ctx, self.format(record)))
+
+    handler = Capture()
+    handler.setFormatter(logging.Formatter("%(condor_ctx)s%(message)s"))
+    logger.addHandler(handler)
+    try:
+        with log_context("7-deployment-on-board"):
+            logger.info("linking")
+        logger.info("done")
+    finally:
+        logger.removeHandler(handler)
+
+    assert records[0] == ("[7-deployment-on-board] ",
+                          "[7-deployment-on-board] linking")
+    assert records[1] == ("", "done")
+
+
+def test_get_logger_idempotent_under_concurrent_first_calls():
+    """Racing first-calls for a brand-new logger name must not stack
+    duplicate filters."""
+    name = "test.concurrent_install"
+    barrier = threading.Barrier(8)
+
+    def hammer():
+        barrier.wait()
+        for _ in range(50):
+            get_logger(name)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    logger = logging.getLogger(f"repro.{name}")
+    installed = [f for f in logger.filters
+                 if isinstance(f, _ContextFilter)]
+    assert len(installed) == 1

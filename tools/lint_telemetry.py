@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Enforce the telemetry layer as the single front door.
+
+Library code under ``src/repro/`` must log through
+``repro.util.logging.get_logger`` (so records carry the flow-step
+context) and report through ``repro.obs`` — not scatter ``print(`` /
+``logging.getLogger(`` calls.  This linter fails CI on new offenders.
+
+Allowlisted:
+
+* ``util/logging.py`` — the one place that may call
+  ``logging.getLogger`` (it *is* the front door);
+* ``cli.py`` — the CLI's stdout *is* its user interface;
+* ``util/tables.py`` — ``print`` appears only in a doctest.
+
+Run:  python tools/lint_telemetry.py   (exits 1 on violations)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+ALLOW_GETLOGGER = {"util/logging.py"}
+ALLOW_PRINT = {"cli.py", "util/tables.py"}
+
+_PRINT = re.compile(r"(?<![\w.])print\(")
+_GETLOGGER = re.compile(r"logging\.getLogger\(")
+_COMMENT = re.compile(r"^\s*#")
+
+
+def violations() -> list[str]:
+    found: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            if _COMMENT.match(line):
+                continue
+            if rel not in ALLOW_PRINT and _PRINT.search(line):
+                found.append(
+                    f"{rel}:{lineno}: bare print() — route output"
+                    " through repro.util.logging / repro.obs")
+            if rel not in ALLOW_GETLOGGER and _GETLOGGER.search(line):
+                found.append(
+                    f"{rel}:{lineno}: direct logging.getLogger() — use"
+                    " repro.util.logging.get_logger")
+    return found
+
+
+def main() -> int:
+    found = violations()
+    for violation in found:
+        print(violation)
+    if found:
+        print(f"\n{len(found)} telemetry-layer violation(s)")
+        return 1
+    print("telemetry lint: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
