@@ -1,0 +1,39 @@
+"""Static analysis of models, mappings and generated designs.
+
+The analyzer runs ordered, individually-selectable passes over an
+:class:`AnalysisContext` and reports structured :class:`Diagnostic`
+objects instead of raising on the first defect.  ``condor check`` is the
+CLI front door; :func:`check_model` the API one; the flow runs the same
+pipeline as a gate before simulation and the toolchain.
+"""
+
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    Location,
+    Severity,
+)
+from repro.analysis.pipeline import (
+    PASS_REGISTRY,
+    AnalysisContext,
+    AnalysisPass,
+    AnalysisPipeline,
+    check_model,
+    register_pass,
+)
+
+# importing the package registers the built-in passes
+from repro.analysis import passes as _passes  # noqa: F401
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisPass",
+    "AnalysisPipeline",
+    "AnalysisReport",
+    "Diagnostic",
+    "Location",
+    "PASS_REGISTRY",
+    "Severity",
+    "check_model",
+    "register_pass",
+]

@@ -1,0 +1,23 @@
+"""The built-in analysis passes.
+
+Importing this package registers every pass with
+:data:`repro.analysis.pipeline.PASS_REGISTRY` (the ``@register_pass``
+decorator runs at import time).  Registry order is execution order:
+cheap structural checks first, derived-artifact checks after.
+"""
+
+from repro.analysis.passes.shapes import ShapeLegalityPass
+from repro.analysis.passes.deadcode import DeadLayerPass
+from repro.analysis.passes.numeric import NumericRangePass
+from repro.analysis.passes.fifo import FifoDeadlockPass
+from repro.analysis.passes.rates import RateMatchPass
+from repro.analysis.passes.budget import ResourceBudgetPass
+
+__all__ = [
+    "ShapeLegalityPass",
+    "DeadLayerPass",
+    "NumericRangePass",
+    "FifoDeadlockPass",
+    "RateMatchPass",
+    "ResourceBudgetPass",
+]

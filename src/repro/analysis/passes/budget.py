@@ -1,0 +1,97 @@
+"""Resource budget analysis (pass ``resource-budget``).
+
+Compares the design's estimated resource usage (Table 1 calibration)
+against the target device's capacity:
+
+* ``RES001`` — a resource over 100% of capacity: the design will not
+  place/route;
+* ``RES002`` — a resource above the :data:`_HEADROOM` fraction: routing
+  congestion and timing closure get hard well before 100%;
+* ``RES003`` — the requested clock exceeds the device's characterized
+  maximum;
+* ``RES004`` — weights or line buffers spilled to DDR (the on-chip
+  budget ran out): functional, but every image pays the streaming cost.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.pipeline import AnalysisPass, register_pass
+from repro.hw.resources import _FIELDS, ResourceVector
+
+#: Utilization fraction above which RES002 (headroom) fires.
+_HEADROOM = 0.85
+
+
+def _budget_total(ctx) -> ResourceVector:
+    """The design total as the link stage counts it: the kernel estimate
+    plus the *device's* platform shell (the calibration shell — the F1
+    one — only stands in when the device carries no shell data)."""
+    estimate = ctx.estimate
+    total = estimate.total
+    cal_shell = estimate.components.get("shell")
+    if cal_shell is not None and ctx.device.shell != ResourceVector():
+        total = total - cal_shell + ctx.device.shell
+    return total.ceil()
+
+
+@register_pass
+class ResourceBudgetPass(AnalysisPass):
+    id = "resource-budget"
+    description = ("estimated BRAM/DSP/LUT/FF usage vs. the target"
+                   " device, with headroom warnings")
+    requires = ("estimate",)
+
+    def run(self, ctx):
+        device = ctx.device
+        total = _budget_total(ctx)
+        capacity = device.capacity
+        for name in _FIELDS:
+            required = getattr(total, name)
+            available = getattr(capacity, name)
+            frac = required / available if available else float("inf")
+            if frac > 1.0:
+                yield self.diag(
+                    "RES001", Severity.ERROR,
+                    f"{name} over budget on {device.name}:"
+                    f" {required:.0f} required vs {available:.0f}"
+                    f" available ({frac:.0%})",
+                    resource=name,
+                    hint="lower the parallelism/precision, spill"
+                         " weights to DDR, or target a larger device")
+            elif frac > _HEADROOM:
+                yield self.diag(
+                    "RES002", Severity.WARNING,
+                    f"{name} at {frac:.0%} of {device.name} capacity"
+                    f" ({required:.0f}/{available:.0f}) — above the"
+                    f" {_HEADROOM:.0%} placement/timing headroom",
+                    resource=name,
+                    hint="expect long place-and-route runs; consider"
+                         " trimming the design")
+
+        if ctx.model.frequency_hz > device.fmax_hz:
+            yield self.diag(
+                "RES003", Severity.ERROR,
+                f"requested clock {ctx.model.frequency_hz / 1e6:.0f} MHz"
+                f" exceeds the {device.name} characterized maximum"
+                f" {device.fmax_hz / 1e6:.0f} MHz",
+                resource="fmax",
+                hint="lower frequency_hz in the model file")
+
+        for pe in ctx.accelerator.pes:
+            if pe.weight_words and not pe.weights_on_chip:
+                yield self.diag(
+                    "RES004", Severity.INFO,
+                    f"PE {pe.name}: {pe.weight_words} weight words"
+                    " spilled to DDR (streamed through the datamover"
+                    " every image)",
+                    pe=pe.name,
+                    hint="more BRAM (larger device or lower precision)"
+                         " would keep these on-chip")
+            if not pe.buffer_on_chip:
+                yield self.diag(
+                    "RES004", Severity.INFO,
+                    f"PE {pe.name}: line/staging buffers spilled to DDR",
+                    pe=pe.name,
+                    hint="more BRAM (larger device or lower precision)"
+                         " would keep these on-chip")

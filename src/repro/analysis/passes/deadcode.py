@@ -1,0 +1,88 @@
+"""Dead-layer / unused-weight detection (pass ``dead-layer``).
+
+Layers that compute nothing still cost FIFOs, control logic and a
+pipeline stage; weight blobs no layer reads still cost DDR space and
+preload time:
+
+* ``DEAD001`` — a weight-store entry whose layer is not in the network;
+* ``DEAD002`` — a learnable layer whose blobs are missing or mis-shaped
+  (the preload would fail on the board);
+* ``DEAD003`` — an identity pooling layer (1×1 window, 1×1 stride);
+* ``DEAD004`` — a standalone activation repeating the activation already
+  fused into the preceding compute layer (idempotent for ReLU, but a
+  wasted stage regardless).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.pipeline import AnalysisPass, register_pass
+from repro.ir.layers import ActivationLayer, ConvLayer, FullyConnectedLayer, PoolLayer
+
+
+@register_pass
+class DeadLayerPass(AnalysisPass):
+    id = "dead-layer"
+    description = "layers that compute nothing and weight blobs nothing reads"
+
+    def run(self, ctx):
+        net = ctx.network
+        if ctx.weights is not None:
+            yield from self._check_weights(net, ctx.weights)
+        prev_fused = None
+        for layer in net.layers:
+            if isinstance(layer, PoolLayer) and \
+                    layer.kernel == (1, 1) and layer.stride == (1, 1):
+                yield self.diag(
+                    "DEAD003", Severity.WARNING,
+                    f"pool layer {layer.name!r} is an identity (1x1"
+                    " window, 1x1 stride) — it forwards its input"
+                    " unchanged through a full pipeline stage",
+                    layer=layer.name,
+                    hint="remove the layer")
+            if isinstance(layer, ActivationLayer) and \
+                    prev_fused is not None and layer.kind is prev_fused:
+                yield self.diag(
+                    "DEAD004", Severity.WARNING,
+                    f"activation layer {layer.name!r} repeats the"
+                    f" {layer.kind.value!r} already fused into the"
+                    " preceding compute layer",
+                    layer=layer.name,
+                    hint="drop the standalone layer; the fused"
+                         " activation covers it")
+            if isinstance(layer, (ConvLayer, FullyConnectedLayer)):
+                prev_fused = layer.activation
+            elif not isinstance(layer, ActivationLayer):
+                prev_fused = None
+
+    def _check_weights(self, net, weights):
+        for name in weights.layers():
+            if name not in net:
+                yield self.diag(
+                    "DEAD001", Severity.WARNING,
+                    f"weight store carries blobs for layer {name!r},"
+                    " which is not in the network — dead DDR space and"
+                    " preload time",
+                    layer=name,
+                    hint="drop the entry from the weight store")
+        for layer in net.layers:
+            expected = layer.weight_shapes(net.input_shape(layer))
+            for blob, shape in expected.items():
+                array = weights.maybe_get(layer.name, blob)
+                if array is None:
+                    yield self.diag(
+                        "DEAD002", Severity.ERROR,
+                        f"layer {layer.name!r} is missing weight blob"
+                        f" {blob!r} (expected shape {tuple(shape)})",
+                        layer=layer.name,
+                        hint="initialize or convert the weights before"
+                             " deployment")
+                elif tuple(array.shape) != tuple(shape):
+                    yield self.diag(
+                        "DEAD002", Severity.ERROR,
+                        f"layer {layer.name!r} blob {blob!r} has shape"
+                        f" {tuple(array.shape)}, expected"
+                        f" {tuple(shape)}",
+                        layer=layer.name,
+                        hint="re-export the weights with the matching"
+                             " layer geometry")

@@ -1,0 +1,141 @@
+"""FIFO deadlock / depth analysis (pass ``fifo-deadlock``).
+
+Two families of channels exist in the generated design (paper §3.2):
+
+* **filter-chain FIFOs** — inside each memory subsystem, the FIFO between
+  consecutive window accesses must hold exactly the elements spatially
+  located between the two accesses (the Cong-style reuse distance,
+  recomputed here from the window and input width).  A configured depth
+  *below* that distance wedges the chain: the upstream filter can no
+  longer forward the stream before the downstream access needs it —
+  a hard deadlock in hardware (``FIFO001``);
+* **stream FIFOs** — the inter-PE / datamover decoupling channels.  A
+  depth below one transfer unit (a row of the consumer's input) stalls
+  the producer on every single transfer (``FIFO003``); a depth below the
+  two-consumer-maps decoupling rule leaves the producer's burst emission
+  exposed to the consumer's ingest phase and predicts the stalls the
+  event simulator measures as ``pe_blocked_cycles`` (``FIFO004``) — see
+  the cross-validation test in ``tests/analysis/test_sim_crossval.py``.
+
+``FIFO002`` flags significantly over-provisioned filter-chain FIFOs
+(wasted BRAM).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.pipeline import AnalysisPass, register_pass
+from repro.hw.components import Accelerator, PEKind, StreamEdge
+from repro.hw.partitioning import partition_window_accesses
+
+#: Over-provision factor (and absolute slack) above which FIFO002 fires.
+_OVERSIZE_FACTOR = 2.0
+_OVERSIZE_MIN_WASTE = 64
+
+
+def minimum_stream_depth(acc: Accelerator, edge: StreamEdge) \
+        -> tuple[int, int]:
+    """``(hard_min, decouple_min)`` for a stream edge.
+
+    ``hard_min`` is one transfer unit — a row of the consumer's input
+    (the whole remaining vector, capped at one chunk, for classifier
+    consumers).  ``decouple_min`` is the two-consumer-ingest-units rule
+    the builder applies (see ``repro.hw.accelerator._stream_depth``),
+    capped the same way the builder caps it.
+    """
+    from repro.hw.accelerator import (
+        _STREAM_FIFO_MAX_DEPTH,
+        _STREAM_FIFO_MIN_DEPTH,
+        _stream_depth,
+    )
+
+    net = acc.network
+    if edge.dest == acc.datamover.name:
+        # the datamover drains continuously: any depth works, but below
+        # the builder's minimum the output write bursts stall the last PE
+        return 1, _STREAM_FIFO_MIN_DEPTH
+    pe = acc.pe(edge.dest)
+    shape = net.input_shape(pe.layer_names[0])
+    if pe.kind in (PEKind.FC, PEKind.SOFTMAX):
+        hard = min(shape.size, 64)
+        consumer_unit = shape.size
+    else:
+        hard = shape.width
+        consumer_unit = shape.spatial_size * pe.in_parallel
+    decouple = min(_stream_depth(consumer_unit), _STREAM_FIFO_MAX_DEPTH)
+    return hard, decouple
+
+
+@register_pass
+class FifoDeadlockPass(AnalysisPass):
+    id = "fifo-deadlock"
+    description = ("minimum safe FIFO depths from the partitioning"
+                   " production/consumption patterns vs. configured"
+                   " depths")
+    requires = ("accelerator",)
+
+    def run(self, ctx):
+        acc = ctx.accelerator
+        for pe in acc.pes:
+            yield from self._check_filter_chains(pe)
+        for edge in acc.edges:
+            if edge.fifo.name.endswith("weights"):
+                continue  # configuration-time path, not a dataflow channel
+            yield from self._check_stream_edge(acc, edge)
+
+    def _check_filter_chains(self, pe):
+        for subsystem in pe.memory:
+            # recompute the safe depths from the production/consumption
+            # pattern rather than trusting the stored spec
+            spec = partition_window_accesses(subsystem.spec.window,
+                                             subsystem.spec.input_width)
+            for fifo, required in zip(subsystem.fifos, spec.fifo_depths):
+                if fifo.depth < required:
+                    yield self.diag(
+                        "FIFO001", Severity.ERROR,
+                        f"filter-chain FIFO {fifo.name!r} depth"
+                        f" {fifo.depth} below the reuse distance"
+                        f" {required} of its window accesses — the"
+                        " filter pipeline deadlocks once the stream"
+                        " wraps a row",
+                        pe=pe.name, channel=fifo.name,
+                        hint=f"set depth >= {required} (the linearized"
+                             " distance between the two accesses)")
+                elif (fifo.depth >= _OVERSIZE_FACTOR * required and
+                      fifo.depth - required >= _OVERSIZE_MIN_WASTE):
+                    yield self.diag(
+                        "FIFO002", Severity.INFO,
+                        f"filter-chain FIFO {fifo.name!r} depth"
+                        f" {fifo.depth} is {fifo.depth - required} words"
+                        f" above the required {required}",
+                        pe=pe.name, channel=fifo.name,
+                        hint="shrink to the reuse distance to save"
+                             " BRAM/LUTRAM")
+
+    def _check_stream_edge(self, acc, edge):
+        hard, decouple = minimum_stream_depth(acc, edge)
+        fifo = edge.fifo
+        where = dict(pe=edge.dest if edge.dest != acc.datamover.name
+                     else edge.source, channel=fifo.name)
+        if fifo.depth < hard:
+            yield self.diag(
+                "FIFO003", Severity.ERROR,
+                f"stream FIFO {fifo.name!r} ({edge.source} ->"
+                f" {edge.dest}) depth {fifo.depth} cannot hold one"
+                f" transfer unit ({hard} words) — the producer stalls on"
+                " every transfer and burst emission can wedge the"
+                " pipeline",
+                **where,
+                hint=f"set depth >= {decouple} (two consumer ingest"
+                     " units) to decouple the stages")
+        elif fifo.depth < decouple:
+            yield self.diag(
+                "FIFO004", Severity.WARNING,
+                f"stream FIFO {fifo.name!r} ({edge.source} ->"
+                f" {edge.dest}) depth {fifo.depth} is below the"
+                f" decoupling minimum {decouple} — expect producer"
+                " stalls (blocked cycles) during the consumer's ingest"
+                " phase",
+                **where,
+                hint=f"raise the depth to {decouple} unless the BRAM"
+                     " saving is worth the stalls")

@@ -1,0 +1,121 @@
+"""Numeric-range checks for quantization configs (pass ``numeric-range``).
+
+The symmetric per-tensor scheme derives its scale from the peak
+magnitude; a handful of outlier weights therefore crushes the bulk of a
+blob toward zero.  These checks predict that accuracy cliff statically,
+before any fixed-point deployment:
+
+* ``NUM001`` — under the model's precision, more than
+  :data:`_ZERO_FRACTION` of a blob's nonzero weights quantize to zero
+  (the scale is outlier-dominated);
+* ``NUM002`` — a nonlinear layer (sigmoid/tanh/softmax) runs in
+  fixed-point: the datapath approximates the transcendental;
+* ``NUM003`` — average pooling in fixed-point: the 1/K² division
+  truncates;
+* ``NUM004`` — non-finite values (NaN/Inf) in a weight blob: the design
+  computes garbage regardless of precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.pipeline import AnalysisPass, register_pass
+from repro.ir.layers import (
+    Activation,
+    ActivationLayer,
+    ConvLayer,
+    FullyConnectedLayer,
+    PoolLayer,
+    PoolOp,
+    SoftmaxLayer,
+)
+from repro.quant.scheme import QuantScheme
+
+#: Fraction of nonzero weights quantizing to zero above which NUM001 fires.
+_ZERO_FRACTION = 0.25
+
+_NONLINEAR = (Activation.SIGMOID, Activation.TANH)
+
+
+@register_pass
+class NumericRangePass(AnalysisPass):
+    id = "numeric-range"
+    description = ("quantization saturation/underflow risks for the"
+                   " model's fixed-point precision")
+
+    def run(self, ctx):
+        precision = ctx.model.precision
+        fixed_point = precision != "fp32"
+        scheme = QuantScheme.for_precision(precision) if fixed_point \
+            else None
+
+        if ctx.weights is not None:
+            yield from self._check_blobs(ctx, scheme)
+
+        if not fixed_point:
+            return
+        for layer in ctx.network.layers:
+            kind = getattr(layer, "activation", None)
+            if isinstance(layer, ActivationLayer):
+                kind = layer.kind
+            if kind in _NONLINEAR:
+                yield self.diag(
+                    "NUM002", Severity.INFO,
+                    f"layer {layer.name!r} uses {kind.value} in"
+                    f" {precision}: the datapath approximates the"
+                    " transcendental with a lookup table",
+                    layer=layer.name,
+                    hint="validate accuracy against the fp32 reference")
+            if isinstance(layer, SoftmaxLayer):
+                yield self.diag(
+                    "NUM002", Severity.INFO,
+                    f"softmax layer {layer.name!r} runs in {precision}:"
+                    " exp/log are approximated in fixed-point",
+                    layer=layer.name,
+                    hint="validate accuracy against the fp32 reference")
+            if isinstance(layer, PoolLayer) and layer.op is PoolOp.AVG:
+                kh, kw = layer.kernel
+                yield self.diag(
+                    "NUM003", Severity.INFO,
+                    f"average-pool layer {layer.name!r} divides by"
+                    f" {kh * kw} in {precision}: rounding accumulates",
+                    layer=layer.name,
+                    hint="max pooling avoids the division entirely")
+
+    def _check_blobs(self, ctx, scheme):
+        net = ctx.network
+        for layer in net.layers:
+            if not isinstance(layer, (ConvLayer, FullyConnectedLayer)):
+                continue
+            for blob_name, array in ctx.weights.blobs(layer.name).items():
+                values = np.asarray(array, dtype=np.float64)
+                if not np.isfinite(values).all():
+                    bad = int(np.size(values) - np.isfinite(values).sum())
+                    yield self.diag(
+                        "NUM004", Severity.ERROR,
+                        f"layer {layer.name!r} blob {blob_name!r}"
+                        f" contains {bad} non-finite value(s)",
+                        layer=layer.name,
+                        hint="re-export the weights; NaN/Inf poison the"
+                             " whole forward pass")
+                    continue
+                if scheme is None:
+                    continue
+                nonzero = values[values != 0.0]
+                if nonzero.size == 0:
+                    continue
+                scale = scheme.scale_for(values)
+                crushed = np.abs(nonzero) < scale / 2
+                frac = float(crushed.mean())
+                if frac > _ZERO_FRACTION:
+                    yield self.diag(
+                        "NUM001", Severity.WARNING,
+                        f"layer {layer.name!r} blob {blob_name!r}:"
+                        f" {frac:.0%} of nonzero weights quantize to 0"
+                        f" at {scheme.bits} bits (peak-derived scale"
+                        f" {scale:.3g} is outlier-dominated)",
+                        layer=layer.name,
+                        hint="clip outliers or use a percentile-based"
+                             " scale before quantizing")

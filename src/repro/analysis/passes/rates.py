@@ -1,0 +1,81 @@
+"""Rate-matching analysis (pass ``rate-mismatch``).
+
+The accelerator is a linear dataflow pipeline: its steady-state
+throughput is set by the slowest stage (the initiation interval, §4).  A
+stage much slower than its neighbour starves/back-pressures the rest of
+the pipeline — the parallelism spent on the fast stages is wasted.
+
+* ``RATE001`` — adjacent PEs whose steady-state cycle counts differ by
+  more than :data:`_ADJACENT_RATIO`;
+* ``RATE002`` — the global bottleneck stage, when it dominates the
+  median stage by more than :data:`_BOTTLENECK_RATIO` (advisory: points
+  at where extra ``in_parallel``/``out_parallel`` would pay off);
+* ``RATE003`` — the design is bandwidth-bound: the DDR interface needs
+  more cycles per image than any compute stage, so no amount of extra
+  PE parallelism helps.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.pipeline import AnalysisPass, register_pass
+
+#: Adjacent-stage cycle ratio above which RATE001 fires.
+_ADJACENT_RATIO = 4.0
+#: Bottleneck-vs-median ratio above which RATE002 fires.
+_BOTTLENECK_RATIO = 8.0
+
+
+@register_pass
+class RateMatchPass(AnalysisPass):
+    id = "rate-mismatch"
+    description = ("steady-state throughput mismatch between pipeline"
+                   " stages and DDR-bandwidth bottlenecks")
+    requires = ("performance",)
+
+    def run(self, ctx):
+        perf = ctx.performance
+        acc = ctx.accelerator
+        cycles = perf.stage_cycles
+        names = [pe.name for pe in acc.pes]
+
+        for (up_name, up), (down_name, down) in zip(
+                zip(names, cycles), zip(names[1:], cycles[1:])):
+            slow, fast = max(up, down), max(min(up, down), 1)
+            if slow / fast > _ADJACENT_RATIO:
+                slower = up_name if up >= down else down_name
+                yield self.diag(
+                    "RATE001", Severity.WARNING,
+                    f"adjacent stages {up_name} ({up} cyc) and"
+                    f" {down_name} ({down} cyc) are rate-mismatched"
+                    f" ({slow / fast:.1f}x); {slower} throttles the"
+                    " pipeline",
+                    pe=slower,
+                    hint=f"raise the parallelism of {slower} or fold it"
+                         " with a neighbour to balance the stages")
+
+        if len(cycles) >= 3:
+            median = max(statistics.median(cycles), 1)
+            worst = max(cycles)
+            if worst / median > _BOTTLENECK_RATIO:
+                bottleneck = names[cycles.index(worst)]
+                yield self.diag(
+                    "RATE002", Severity.INFO,
+                    f"stage {bottleneck} ({worst} cyc) dominates the"
+                    f" pipeline ({worst / median:.1f}x the median stage);"
+                    f" the initiation interval is {perf.ii_cycles} cyc",
+                    pe=bottleneck,
+                    hint="extra in_parallel/out_parallel on this PE"
+                         " shortens every image")
+
+        if perf.bandwidth_bound:
+            yield self.diag(
+                "RATE003", Severity.WARNING,
+                f"design is DDR-bandwidth-bound: {perf.ddr_cycles} DDR"
+                f" cycles/image vs {max(cycles)} for the slowest compute"
+                " stage — extra PE parallelism cannot raise throughput",
+                resource="ddr",
+                hint="move weights/buffers on-chip or lower the"
+                     " precision to cut the per-image DDR traffic")

@@ -1,0 +1,77 @@
+"""Shape/stride legality beyond the chain-form checks (pass
+``shape-legality``).
+
+Wraps :func:`repro.ir.validate.check_network` (codes ``NET001``–``NET005``)
+and adds the window-geometry checks the IR constructor cannot reject
+because the shapes still infer:
+
+* ``SHAPE001`` — padding as large as the window: some window positions
+  read only padding and produce constant outputs;
+* ``SHAPE002`` — stride larger than the kernel: input elements are never
+  read by any window;
+* ``SHAPE003`` — pooling window larger than the input map: the layer
+  reduces over a single partial window;
+* ``SHAPE004`` — no-op flatten (input is already a vector).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.pipeline import AnalysisPass, register_pass
+from repro.ir.layers import ConvLayer, FlattenLayer, PoolLayer
+from repro.ir.validate import check_network
+
+
+@register_pass
+class ShapeLegalityPass(AnalysisPass):
+    id = "shape-legality"
+    description = ("chain-form mappability plus window/stride/padding"
+                   " geometry checks")
+
+    def run(self, ctx):
+        net = ctx.network
+        yield from check_network(net)
+        for layer in net.layers:
+            if isinstance(layer, (ConvLayer, PoolLayer)):
+                yield from self._window_checks(net, layer)
+            elif isinstance(layer, FlattenLayer):
+                if net.input_shape(layer).is_vector():
+                    yield self.diag(
+                        "SHAPE004", Severity.INFO,
+                        f"flatten layer {layer.name!r} is a no-op (input"
+                        f" {net.input_shape(layer)} is already flat)",
+                        layer=layer.name,
+                        hint="drop the layer; it maps to nothing")
+
+    def _window_checks(self, net, layer):
+        kh, kw = layer.kernel
+        ph, pw = layer.pad
+        sh, sw = layer.stride
+        if ph >= kh or pw >= kw:
+            yield self.diag(
+                "SHAPE001", Severity.ERROR,
+                f"layer {layer.name!r}: padding {layer.pad} >= kernel"
+                f" {layer.kernel}; window positions covering only padding"
+                " produce constant outputs",
+                layer=layer.name,
+                hint="use pad < kernel in each dimension")
+        if sh > kh or sw > kw:
+            yield self.diag(
+                "SHAPE002", Severity.WARNING,
+                f"layer {layer.name!r}: stride {layer.stride} exceeds the"
+                f" kernel {layer.kernel}; input elements between windows"
+                " are never read",
+                layer=layer.name,
+                hint="shrink the stride or grow the kernel unless the"
+                     " subsampling is intentional")
+        if isinstance(layer, PoolLayer):
+            in_shape = net.input_shape(layer)
+            if kh > in_shape.height or kw > in_shape.width:
+                yield self.diag(
+                    "SHAPE003", Severity.WARNING,
+                    f"pool layer {layer.name!r}: window {layer.kernel}"
+                    f" larger than its input map"
+                    f" {in_shape.height}x{in_shape.width}",
+                    layer=layer.name,
+                    hint="use a global-pool kernel equal to the input"
+                         " extent instead")

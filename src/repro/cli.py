@@ -3,6 +3,7 @@
 Exposes the framework the way the paper's users would drive it::
 
     condor info   <model>                    # parse + summarize a model
+    condor check  <model>                    # static analysis (no build)
     condor build  <model> [--deploy aws-f1]  # run the full flow
     condor dse    <model>                    # explore configurations
     condor simulate <model> --batch N        # event-driven simulation
@@ -78,8 +79,63 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _zoo_models() -> list:
+    from repro.frontend.zoo import (
+        cifar10_model,
+        lenet_model,
+        tc1_model,
+        vgg16_model,
+    )
+    return [tc1_model(), lenet_model(), cifar10_model(), vgg16_model()]
+
+
+def cmd_check(args) -> int:
+    """Run the static analyzer; no hardware is generated on disk."""
+    import json as _json
+
+    from repro.analysis import PASS_REGISTRY, Severity, check_model
+    from repro.frontend.weights import WeightStore
+
+    if args.list_passes:
+        width = max(len(pass_id) for pass_id in PASS_REGISTRY)
+        for pass_id, cls in PASS_REGISTRY.items():
+            print(f"{pass_id:<{width}}  {cls.description}")
+        return 0
+    if bool(args.model) == bool(args.zoo):
+        raise CondorError("provide a model file or --zoo (not both)")
+
+    if args.zoo:
+        models = [(m, None) for m in _zoo_models()]
+    else:
+        (model, weights), _ = _load_model(args)
+        models = [(model, weights if weights.layers() else None)]
+
+    select = args.select.split(",") if args.select else None
+    fail_rank = Severity(args.fail_on).rank
+    worst_rank = Severity.INFO.rank + 1
+    reports = []
+    with recording() as recorder:
+        for model, weights in models:
+            if weights is None:
+                weights = WeightStore.initialize(model.network)
+            report = check_model(model, weights=weights, select=select)
+            reports.append(report)
+    for report in reports:
+        for diag in report:
+            worst_rank = min(worst_rank, diag.severity.rank)
+    if args.format == "json":
+        docs = [r.to_dict() for r in reports]
+        print(_json.dumps(docs[0] if not args.zoo else docs, indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+            print()
+    _telemetry_outputs(args, recorder)
+    return 1 if worst_rank <= fail_rank else 0
+
+
 def cmd_build(args) -> int:
-    flow = CondorFlow(args.workdir)
+    flow = CondorFlow(args.workdir, check=not args.no_check)
     inputs = _model_inputs(args.model, args.weights)
     inputs.deployment = (DeploymentOption.AWS_F1 if args.deploy == "aws-f1"
                          else DeploymentOption.ON_PREMISE)
@@ -100,7 +156,7 @@ def cmd_build(args) -> int:
 
 def cmd_profile(args) -> int:
     """Run the full flow and report where the time went."""
-    flow = CondorFlow(args.workdir)
+    flow = CondorFlow(args.workdir, check=not args.no_check)
     inputs = _model_inputs(args.model, args.weights)
     if args.frequency:
         from repro.util.units import parse_freq
@@ -161,6 +217,16 @@ def cmd_simulate(args) -> int:
         if not weights.layers():
             weights = WeightStore.initialize(net)
         acc = build_accelerator(model)
+        if not args.no_check:
+            from repro.analysis import check_model
+            from repro.errors import AnalysisError
+            report = check_model(model, weights=weights, accelerator=acc)
+            if not report.ok:
+                print(report.render(), file=sys.stderr)
+                raise AnalysisError(
+                    f"static analysis found {len(report.errors)}"
+                    " error(s); rerun with --no-check to simulate"
+                    " anyway", report=report)
         rng = np.random.default_rng(args.seed)
         images = rng.normal(
             size=(args.batch,) + net.input_shape().as_tuple()) \
@@ -258,6 +324,32 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics", metavar="PATH",
                        help="write a Prometheus text-format metrics dump")
 
+    def check_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--no-check", action="store_true",
+                       help="skip the static-analysis gate")
+
+    check = sub.add_parser(
+        "check", help="run the static analyzer over a model (or the"
+                      " whole zoo) without building anything")
+    check.add_argument("model", nargs="?",
+                       help="model file; omit with --zoo")
+    check.add_argument("--weights", help="caffemodel for .prototxt input")
+    check.add_argument("--zoo", action="store_true",
+                       help="check the built-in TC1/LeNet/CIFAR10/VGG-16"
+                            " models")
+    check.add_argument("--select", metavar="PASSES",
+                       help="comma-separated pass ids to run (default:"
+                            " all; see --list-passes)")
+    check.add_argument("--list-passes", action="store_true",
+                       help="list the registered analysis passes")
+    check.add_argument("--format", choices=["text", "json"],
+                       default="text")
+    check.add_argument("--fail-on", choices=["error", "warning"],
+                       default="error",
+                       help="lowest severity that makes the exit code 1")
+    telemetry_flags(check)
+    check.set_defaults(func=cmd_check)
+
     build = sub.add_parser("build", help="run the full automation flow")
     build.add_argument("model")
     build.add_argument("--weights")
@@ -267,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--board")
     build.add_argument("--dse", action="store_true",
                        help="run the design-space explorer")
+    check_flag(build)
     telemetry_flags(build)
     build.set_defaults(func=cmd_build)
 
@@ -279,6 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--board")
     profile.add_argument("--dse", action="store_true",
                          help="include the design-space explorer")
+    check_flag(profile)
     telemetry_flags(profile)
     profile.set_defaults(func=cmd_profile)
 
@@ -294,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--weights")
     simulate.add_argument("--batch", type=int, default=4)
     simulate.add_argument("--seed", type=int, default=0)
+    check_flag(simulate)
     telemetry_flags(simulate)
     simulate.set_defaults(func=cmd_simulate)
 

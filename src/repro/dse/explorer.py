@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import DSEError
+from repro.errors import CondorError, DSEError
 from repro.frontend.condor_format import CondorModel
 from repro.hw.accelerator import build_accelerator
 from repro.hw.calibration import DEFAULT_CALIBRATION, Calibration
@@ -128,7 +128,9 @@ def _explore(model: CondorModel, *,
                                           cal.max_ports):
                 try:
                     _, move_perf, move_res = _evaluate(model, move, cal)
-                except Exception:
+                except CondorError:
+                    # infeasible move (mapping/resource violation) —
+                    # not a candidate
                     continue
                 if not move_res.fits_in(budget):
                     continue

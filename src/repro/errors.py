@@ -176,6 +176,23 @@ class InstanceError(CloudError):
 
 
 # ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(CondorError):
+    """The static analyzer found ERROR-severity diagnostics.
+
+    Raised by the flow's analysis gate (not by the passes themselves —
+    they report).  Carries the report so callers can render it.
+    """
+
+    def __init__(self, message: str, *, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+# ---------------------------------------------------------------------------
 # Flow / DSE
 # ---------------------------------------------------------------------------
 

@@ -14,11 +14,12 @@ import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro.analysis import AnalysisContext, AnalysisPipeline
 from repro.cloud.client import AWSSession
 from repro.codegen.bundle import generate_sources
 from repro.codegen.host import generate_host_source
 from repro.dse.explorer import DSEResult, explore
-from repro.errors import CondorError, FlowError
+from repro.errors import AnalysisError, CondorError, FlowError
 from repro.frontend.caffe import load_caffemodel, load_prototxt
 from repro.frontend.caffe.converter import convert_caffe_model
 from repro.frontend.condor_format import (
@@ -178,12 +179,16 @@ class CondorFlow:
     def __init__(self, workdir: Path | str,
                  cal: Calibration = DEFAULT_CALIBRATION,
                  aws: AWSSession | None = None,
-                 telemetry: bool = True):
+                 telemetry: bool = True,
+                 check: bool = True):
         self.workdir = Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
         self.cal = cal
         self.aws = aws or AWSSession()
         self.telemetry = telemetry
+        #: Run the static-analysis gate before hardware generation
+        #: (``condor build --no-check`` disables it).
+        self.check = check
         #: Span recorder of the most recent :meth:`run` (telemetry on).
         self.recorder: SpanRecorder | None = None
         self._steps: list[StepRecord] = []
@@ -291,7 +296,7 @@ class CondorFlow:
                 result = self._execute(inputs)
             status = "ok"
             return result
-        except Exception as exc:
+        except CondorError as exc:
             error = f"{type(exc).__name__}: {exc}"
             raise
         finally:
@@ -379,8 +384,31 @@ class CondorFlow:
             else:
                 mapping = default_mapping(model.network)
 
+        accelerator: Accelerator | None = None
+        if self.check:
+            with self._step("2b-static-analysis"):
+                ctx = AnalysisContext(model, weights=weights,
+                                      mapping=mapping)
+                report = AnalysisPipeline().run(ctx)
+                reports_dir = self.workdir / "reports"
+                reports_dir.mkdir(exist_ok=True)
+                (reports_dir / "analysis.txt").write_text(
+                    report.render() + "\n")
+                (reports_dir / "analysis.json").write_text(
+                    report.to_json() + "\n")
+                _log.info("static analysis: %s", report.summary_line())
+                if not report.ok:
+                    raise AnalysisError(
+                        f"static analysis found {len(report.errors)}"
+                        f" error(s); see {reports_dir / 'analysis.txt'}"
+                        " (rerun with --no-check to bypass the gate)",
+                        report=report)
+                # the gate already built the design; reuse it downstream
+                accelerator = ctx.accelerator
+
         with self._step("3-5-hardware-generation"):
-            accelerator = build_accelerator(model, mapping)
+            if accelerator is None:
+                accelerator = build_accelerator(model, mapping)
             sources = generate_sources(accelerator)
             sources.write_to(self.workdir / "sources")
             hls = VivadoHLS(device_for_board(model.board).part,

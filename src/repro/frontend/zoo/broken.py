@@ -1,0 +1,181 @@
+"""Deliberately defective designs for exercising the static analyzer.
+
+Each factory seeds exactly the defect one analysis pass exists to catch;
+the tests in ``tests/analysis/`` assert the matching diagnostic code and
+location fire.  **Not** exported from :mod:`repro.frontend.zoo` — these
+are test fixtures, not models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.frontend.condor_format import CondorModel
+from repro.frontend.weights import WeightStore
+from repro.frontend.zoo.lenet import lenet_model
+from repro.frontend.zoo.vgg16 import vgg16_model
+from repro.hw.accelerator import build_accelerator
+from repro.hw.components import Accelerator, Fifo
+from repro.ir.layers import (
+    Activation,
+    ActivationLayer,
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    PoolLayer,
+    SoftmaxLayer,
+)
+from repro.ir.network import chain
+
+
+def _shrink_fifo(fifo: Fifo, depth: int) -> Fifo:
+    return dataclasses.replace(fifo, depth=depth)
+
+
+def undersized_stream_accelerator(depth: int = 4) \
+        -> tuple[CondorModel, Accelerator]:
+    """LeNet accelerator whose first inter-PE stream FIFO is shrunk to
+    ``depth`` words — the fifo-deadlock pass must flag it (FIFO004, or
+    FIFO003 below one row) and the event simulator must show producer
+    stalls (see ``tests/analysis/test_sim_crossval.py``)."""
+    model = lenet_model()
+    acc = build_accelerator(model)
+    edge = next(e for e in acc.edges
+                if e.source == acc.pes[0].name
+                and e.dest == acc.pes[1].name)
+    shrunk = dataclasses.replace(edge, fifo=_shrink_fifo(edge.fifo, depth))
+    acc.edges[acc.edges.index(edge)] = shrunk
+    return model, acc
+
+
+def undersized_filter_chain_accelerator(depth: int = 1) \
+        -> tuple[CondorModel, Accelerator]:
+    """LeNet accelerator whose first conv PE has a filter-chain FIFO
+    shallower than its reuse distance — a hard deadlock (FIFO001)."""
+    model = lenet_model()
+    acc = build_accelerator(model)
+    pe = next(p for p in acc.pes if p.memory)
+    subsystem = pe.memory[0]
+    # shrink the deepest chain FIFO (the row-spanning one) below its
+    # reuse distance; the unit-depth FIFOs cannot go lower than 1
+    deepest = max(range(len(subsystem.fifos)),
+                  key=lambda i: subsystem.fifos[i].depth)
+    fifos = tuple(
+        _shrink_fifo(f, depth) if i == deepest else f
+        for i, f in enumerate(subsystem.fifos))
+    new_sub = dataclasses.replace(subsystem, fifos=fifos)
+    new_pe = dataclasses.replace(
+        pe, memory=(new_sub,) + tuple(pe.memory[1:]))
+    acc.pes[acc.pes.index(pe)] = new_pe
+    return model, acc
+
+
+def rate_cliff_model() -> CondorModel:
+    """A pipeline with a catastrophic stage imbalance: a trivial conv
+    feeding a huge fully-connected layer (RATE001/RATE002)."""
+    net = chain("rate_cliff", (1, 32, 32), [
+        ConvLayer(name="conv1", num_output=2, kernel=3,
+                  activation=Activation.RELU),
+        PoolLayer(name="pool1", kernel=2),
+        ConvLayer(name="conv2", num_output=2, kernel=3,
+                  activation=Activation.RELU),
+        FlattenLayer(name="flatten"),
+        FullyConnectedLayer(name="fc1", num_output=4096,
+                            activation=Activation.RELU),
+        FullyConnectedLayer(name="fc2", num_output=10),
+        SoftmaxLayer(name="prob"),
+    ])
+    return CondorModel(network=net, board="aws-f1", frequency_hz=150e6)
+
+
+def overbudget_model() -> CondorModel:
+    """VGG-16 (with classifier) on the smallest device in the catalogue —
+    blows the BRAM/DSP budget (RES001)."""
+    big = vgg16_model(include_classifier=True)
+    return CondorModel(network=big.network, board="pynq-z1",
+                       frequency_hz=100e6, deployment=big.deployment)
+
+
+def overclocked_model() -> CondorModel:
+    """TC1-sized network asking for a clock above the device fmax
+    (RES003)."""
+    model = lenet_model()
+    return CondorModel(network=model.network, board="pynq-z1",
+                       frequency_hz=500e6, deployment=model.deployment)
+
+
+def illegal_window_model() -> CondorModel:
+    """Padding as large as the kernel plus stride larger than the kernel
+    (SHAPE001 error + SHAPE002 warning)."""
+    net = chain("illegal_window", (1, 16, 16), [
+        ConvLayer(name="conv_pad", num_output=4, kernel=3, pad=3,
+                  activation=Activation.RELU),
+        PoolLayer(name="pool_stride", kernel=2, stride=3),
+        FlattenLayer(name="flatten"),
+        FullyConnectedLayer(name="fc", num_output=10),
+    ])
+    return CondorModel(network=net, board="aws-f1", frequency_hz=100e6)
+
+
+def dead_layer_model() -> tuple[CondorModel, WeightStore]:
+    """An identity pool, a redundant activation, and an orphan weight
+    blob (DEAD001/DEAD003/DEAD004)."""
+    net = chain("dead_layers", (1, 16, 16), [
+        ConvLayer(name="conv1", num_output=4, kernel=3,
+                  activation=Activation.RELU),
+        ActivationLayer(name="relu_again", kind=Activation.RELU),
+        PoolLayer(name="pool_id", kernel=1, stride=1),
+        FlattenLayer(name="flatten"),
+        FullyConnectedLayer(name="fc", num_output=10),
+    ])
+    weights = WeightStore.initialize(net)
+    weights.set("ghost_layer", "weights", np.zeros((4, 4), dtype=np.float32))
+    model = CondorModel(network=net, board="aws-f1", frequency_hz=100e6)
+    return model, weights
+
+
+def missing_weights_model() -> tuple[CondorModel, WeightStore]:
+    """A learnable layer with no blobs in the store (DEAD002)."""
+    model, weights = dead_layer_model()
+    stripped = WeightStore()
+    for name in weights.layers():
+        if name == "fc":
+            continue
+        for blob, array in weights.blobs(name).items():
+            stripped.set(name, blob, array)
+    return model, stripped
+
+
+def saturating_quant_model() -> tuple[CondorModel, WeightStore]:
+    """int8 model whose conv weights carry one huge outlier: the
+    peak-derived scale crushes everything else to zero (NUM001)."""
+    model, weights = _small_int8_model()
+    w = weights.get("conv1", "weights").astype(np.float64)
+    w[:] = 0.01 * np.sign(np.where(w == 0, 1.0, w))
+    w.flat[0] = 100.0  # one outlier dominates max|x|
+    weights.set("conv1", "weights", w.astype(np.float32))
+    return model, weights
+
+
+def nonfinite_weights_model() -> tuple[CondorModel, WeightStore]:
+    """NaN in a weight blob (NUM004)."""
+    model, weights = _small_int8_model()
+    w = weights.get("conv1", "weights").copy()
+    w.flat[0] = np.nan
+    weights.set("conv1", "weights", w)
+    return model, weights
+
+
+def _small_int8_model() -> tuple[CondorModel, WeightStore]:
+    net = chain("quant_probe", (1, 16, 16), [
+        ConvLayer(name="conv1", num_output=4, kernel=3,
+                  activation=Activation.RELU),
+        PoolLayer(name="pool1", kernel=2),
+        FlattenLayer(name="flatten"),
+        FullyConnectedLayer(name="fc", num_output=10),
+    ])
+    model = CondorModel(network=net, board="aws-f1", frequency_hz=100e6,
+                        precision="int8")
+    return model, WeightStore.initialize(net)

@@ -6,9 +6,22 @@ the *mappability* checks the core logic needs before hardware generation:
 stage ordering (features extraction before classification, §2), and the
 constraints the accelerator template imposes (e.g. softmax only as the final
 normalization layer).
+
+Two entry points share one rule set:
+
+* :func:`check_network` reports **all** violations as
+  :class:`~repro.analysis.diagnostics.Diagnostic` objects (codes
+  ``NET001``–``NET005``) — the static analyzer's shape-legality pass
+  builds on it;
+* :func:`validate_network` is the historical raise-on-first-error wrapper
+  (it raises :class:`~repro.errors.ValidationError` with the first
+  violation's message), kept for constructors and converters that need a
+  hard failure.
 """
 
 from __future__ import annotations
+
+import typing
 
 from repro.errors import ValidationError
 from repro.ir.layers import (
@@ -16,58 +29,92 @@ from repro.ir.layers import (
     FlattenLayer,
     FullyConnectedLayer,
     InputLayer,
-    Layer,
     PoolLayer,
     SoftmaxLayer,
-    Stage,
 )
 from repro.ir.network import Network
 
+if typing.TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.analysis.diagnostics import Diagnostic
 
-def validate_network(net: Network) -> None:
-    """Raise :class:`ValidationError` if ``net`` cannot be mapped.
+
+def check_network(net: Network) -> "list[Diagnostic]":
+    """Collect every mappability violation of ``net`` (no raising).
 
     Checks:
 
-    * exactly one input layer, at position 0 (chain form is implied);
-    * no features-extraction layer (conv/pool) after the first
-      classification layer — the paper's two-phase structure;
-    * softmax, if present, is the final layer;
-    * at least one compute layer.
+    * ``NET001`` — exactly one input layer, at position 0 (chain form is
+      implied);
+    * ``NET002`` — at least one compute layer;
+    * ``NET003`` — no features-extraction layer (conv/pool) after the
+      first classification layer — the paper's two-phase structure;
+    * ``NET004`` — softmax, if present, is the final layer;
+    * ``NET005`` — flatten only at the features/classifier boundary.
     """
+    # local import: repro.analysis depends on repro.ir, not vice versa
+    from repro.analysis.diagnostics import Diagnostic, Location, Severity
+
+    def err(code: str, message: str, layer: str | None = None,
+            hint: str = "") -> Diagnostic:
+        return Diagnostic(pass_id="shape-legality", code=code,
+                          severity=Severity.ERROR, message=message,
+                          location=Location(layer=layer), hint=hint)
+
+    diags: list[Diagnostic] = []
     input_layers = [l for l in net.layers if isinstance(l, InputLayer)]
     if len(input_layers) != 1 or net.layers[0] is not input_layers[0]:
-        raise ValidationError(
-            f"network {net.name!r} must have exactly one leading InputLayer")
+        diags.append(err(
+            "NET001",
+            f"network {net.name!r} must have exactly one leading"
+            " InputLayer",
+            hint="declare the input shape once, as the first layer"))
 
     if not net.compute_layers():
-        raise ValidationError(
-            f"network {net.name!r} has no compute layers")
+        diags.append(err(
+            "NET002", f"network {net.name!r} has no compute layers",
+            hint="a mappable network needs at least one conv/pool/fc"
+                 " layer"))
 
     seen_classifier = False
     for layer in net.layers[1:]:
         if isinstance(layer, FullyConnectedLayer):
             seen_classifier = True
         elif isinstance(layer, (ConvLayer, PoolLayer)) and seen_classifier:
-            raise ValidationError(
+            diags.append(err(
+                "NET003",
                 f"features-extraction layer {layer.name!r} appears after"
-                " the classification stage began")
+                " the classification stage began", layer.name,
+                hint="move all conv/pool layers before the first"
+                     " fully-connected layer (paper §2)"))
 
     for i, layer in enumerate(net.layers):
         if isinstance(layer, SoftmaxLayer) and i != len(net.layers) - 1:
-            raise ValidationError(
-                f"softmax layer {layer.name!r} must be the final layer")
+            diags.append(err(
+                "NET004",
+                f"softmax layer {layer.name!r} must be the final layer",
+                layer.name,
+                hint="softmax is the output normalization (eq. 5); no"
+                     " layers may follow it"))
 
-    _validate_flatten_positions(net)
-
-
-def _validate_flatten_positions(net: Network) -> None:
-    """Flatten layers may only appear at the features/classifier boundary."""
     for i, layer in enumerate(net.layers):
         if not isinstance(layer, FlattenLayer):
             continue
         after = net.layers[i + 1:]
         if any(isinstance(l, (ConvLayer, PoolLayer)) for l in after):
-            raise ValidationError(
+            diags.append(err(
+                "NET005",
                 f"flatten layer {layer.name!r} is followed by"
-                " features-extraction layers")
+                " features-extraction layers", layer.name,
+                hint="flatten belongs at the features/classifier"
+                     " boundary"))
+    return diags
+
+
+def validate_network(net: Network) -> None:
+    """Raise :class:`ValidationError` on the first violation found.
+
+    Thin wrapper over :func:`check_network`, kept for the call sites
+    (model constructors, converters) that need raise-on-error semantics.
+    """
+    for diag in check_network(net):
+        raise ValidationError(diag.message)

@@ -17,7 +17,7 @@ import json
 import zipfile
 from dataclasses import dataclass
 
-from repro.errors import LinkError, PackagingError
+from repro.errors import LinkError, PackagingError, ResourceError
 from repro.frontend.condor_format import CondorModel, model_to_json
 from repro.hw.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.hw.resources import Device, ResourceVector
@@ -172,7 +172,7 @@ def _xocc_link(xo: XoFile, device: Device, requested_hz: float,
     total = (kernel_resources + shell).ceil()
     try:
         total.check_fits(device.capacity, context=f"kernel {xo.kernel_name}")
-    except Exception as exc:
+    except ResourceError as exc:
         raise LinkError(f"placement failed: {exc}") from exc
 
     utilization = total.lut / device.capacity.lut

@@ -1,0 +1,92 @@
+"""Diagnostic / report value semantics."""
+
+import json
+
+from repro.analysis import AnalysisReport, Diagnostic, Location, Severity
+
+
+def _diag(code="X001", severity=Severity.ERROR, **kw):
+    return Diagnostic(pass_id="test-pass", code=code, severity=severity,
+                      message=kw.pop("message", "something is wrong"),
+                      location=Location(**kw.pop("location", {})),
+                      hint=kw.pop("hint", ""))
+
+
+class TestSeverity:
+    def test_rank_ordering(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank \
+            < Severity.INFO.rank
+
+    def test_values_are_json_friendly(self):
+        assert Severity.WARNING.value == "warning"
+
+
+class TestLocation:
+    def test_str_empty(self):
+        assert str(Location()) == "-"
+
+    def test_str_fields(self):
+        loc = Location(layer="conv1", channel="fifo0")
+        assert str(loc) == "layer=conv1 channel=fifo0"
+
+    def test_to_dict_drops_unset(self):
+        assert Location(pe="pe_conv1").to_dict() == {"pe": "pe_conv1"}
+
+
+class TestDiagnostic:
+    def test_render_contains_all_parts(self):
+        diag = _diag(hint="fix it", location={"layer": "conv1"})
+        text = diag.render()
+        assert "error" in text and "X001" in text
+        assert "[test-pass]" in text and "layer=conv1" in text
+        assert "hint: fix it" in text
+
+    def test_to_dict_roundtrips_through_json(self):
+        doc = json.loads(json.dumps(_diag().to_dict()))
+        assert doc["code"] == "X001"
+        assert doc["severity"] == "error"
+        assert "hint" not in doc  # empty hint omitted
+
+
+class TestAnalysisReport:
+    def test_ok_tracks_errors_only(self):
+        report = AnalysisReport(model_name="m")
+        report.extend([_diag(severity=Severity.WARNING),
+                       _diag(severity=Severity.INFO)])
+        assert report.ok
+        report.extend([_diag(severity=Severity.ERROR)])
+        assert not report.ok
+
+    def test_selectors(self):
+        report = AnalysisReport()
+        report.extend([_diag(code="A1"), _diag(code="B2",
+                                               severity=Severity.WARNING)])
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert report.codes() == {"A1", "B2"}
+        assert len(report.with_code("A1")) == 1
+        assert len(report.by_pass("test-pass")) == 2
+
+    def test_render_sorts_errors_first(self):
+        report = AnalysisReport(model_name="m")
+        report.extend([_diag(code="LOW", severity=Severity.INFO),
+                       _diag(code="HIGH", severity=Severity.ERROR)])
+        text = report.render()
+        assert text.index("HIGH") < text.index("LOW")
+        assert "1 error(s)" in text
+
+    def test_render_min_severity_filters(self):
+        report = AnalysisReport()
+        report.extend([_diag(code="NOISY", severity=Severity.INFO)])
+        assert "NOISY" not in report.render(
+            min_severity=Severity.WARNING)
+
+    def test_to_json_shape(self):
+        report = AnalysisReport(model_name="m")
+        report.passes_run.append("test-pass")
+        report.extend([_diag()])
+        doc = json.loads(report.to_json())
+        assert doc["model"] == "m"
+        assert doc["passes"] == ["test-pass"]
+        assert doc["summary"]["errors"] == 1
+        assert len(doc["diagnostics"]) == 1

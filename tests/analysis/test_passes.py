@@ -1,0 +1,161 @@
+"""Every pass: clean on the shipped zoo, firing on the broken zoo.
+
+Each broken-zoo fixture seeds exactly the defect one pass exists to
+catch; the tests assert the diagnostic code AND the location so a pass
+cannot silently degrade into "fires somewhere".
+"""
+
+import pytest
+
+from repro.analysis import Severity, check_model
+from repro.frontend.weights import WeightStore
+from repro.frontend.zoo import (
+    broken,
+    cifar10_model,
+    lenet_model,
+    tc1_model,
+    vgg16_model,
+)
+
+
+class TestCleanZoo:
+    """The shipped models must pass the gate (no ERROR diagnostics)."""
+
+    @pytest.mark.parametrize("factory", [tc1_model, lenet_model,
+                                         cifar10_model, vgg16_model])
+    def test_zoo_model_is_clean(self, factory):
+        model = factory()
+        weights = WeightStore.initialize(model.network)
+        report = check_model(model, weights=weights)
+        assert report.ok, report.render()
+        # every pass ran (none skipped)
+        assert not any("skipped" in p for p in report.passes_run)
+
+
+class TestFifoDeadlockPass:
+    def test_undersized_filter_chain_fires(self):
+        model, acc = broken.undersized_filter_chain_accelerator()
+        report = check_model(model, accelerator=acc,
+                             select=["fifo-deadlock"])
+        diags = report.with_code("FIFO001")
+        assert len(diags) == 1
+        diag = diags[0]
+        assert diag.severity is Severity.ERROR
+        assert diag.location.pe == "pe_conv1"
+        assert diag.location.channel.startswith("pe_conv1_mem0")
+
+    def test_undersized_stream_fires(self):
+        model, acc = broken.undersized_stream_accelerator(depth=4)
+        report = check_model(model, accelerator=acc,
+                             select=["fifo-deadlock"])
+        assert not report.ok
+        diag = report.with_code("FIFO003")[0]
+        assert diag.location.channel == acc.edges[1].fifo.name
+
+    def test_clean_accelerator_quiet(self):
+        model = lenet_model()
+        report = check_model(model, select=["fifo-deadlock"])
+        assert len(report) == 0
+
+
+class TestRateMatchPass:
+    def test_rate_cliff_fires(self):
+        report = check_model(broken.rate_cliff_model(),
+                             select=["rate-mismatch"])
+        mismatches = report.with_code("RATE001")
+        assert mismatches
+        # the huge fc1 is the named culprit of at least one mismatch
+        assert any(d.location.pe == "pe_fc1" for d in mismatches)
+        bottleneck = report.with_code("RATE002")
+        assert bottleneck and bottleneck[0].location.pe == "pe_fc1"
+
+    def test_warnings_not_errors(self):
+        report = check_model(broken.rate_cliff_model(),
+                             select=["rate-mismatch"])
+        assert report.ok  # imbalance degrades, it does not break
+
+
+class TestResourceBudgetPass:
+    def test_overbudget_vgg_on_zynq_fires(self):
+        report = check_model(broken.overbudget_model(),
+                             select=["resource-budget"])
+        over = report.with_code("RES001")
+        assert over
+        assert {d.location.resource for d in over} & {"bram_18k", "dsp",
+                                                      "lut", "ff"}
+        assert not report.ok
+
+    def test_overclocked_fires(self):
+        report = check_model(broken.overclocked_model(),
+                             select=["resource-budget"])
+        diag = report.with_code("RES003")[0]
+        assert diag.severity is Severity.ERROR
+        assert diag.location.resource == "fmax"
+
+    def test_ddr_spill_is_informational(self):
+        report = check_model(vgg16_model(), select=["resource-budget"])
+        spills = report.with_code("RES004")
+        assert spills  # the VGG classifier cannot fit on-chip
+        assert all(d.severity is Severity.INFO for d in spills)
+
+
+class TestShapeLegalityPass:
+    def test_illegal_window_fires(self):
+        report = check_model(broken.illegal_window_model(),
+                             select=["shape-legality"])
+        pad = report.with_code("SHAPE001")[0]
+        assert pad.severity is Severity.ERROR
+        assert pad.location.layer == "conv_pad"
+        stride = report.with_code("SHAPE002")[0]
+        assert stride.severity is Severity.WARNING
+        assert stride.location.layer == "pool_stride"
+
+
+class TestDeadLayerPass:
+    def test_dead_layers_fire(self):
+        model, weights = broken.dead_layer_model()
+        report = check_model(model, weights=weights,
+                             select=["dead-layer"])
+        orphan = report.with_code("DEAD001")[0]
+        assert orphan.location.layer == "ghost_layer"
+        identity = report.with_code("DEAD003")[0]
+        assert identity.location.layer == "pool_id"
+        redundant = report.with_code("DEAD004")[0]
+        assert redundant.location.layer == "relu_again"
+
+    def test_missing_weights_fire(self):
+        model, weights = broken.missing_weights_model()
+        report = check_model(model, weights=weights,
+                             select=["dead-layer"])
+        missing = report.with_code("DEAD002")
+        assert missing and not report.ok
+        assert all(d.location.layer == "fc" for d in missing)
+
+
+class TestNumericRangePass:
+    def test_outlier_weights_fire(self):
+        model, weights = broken.saturating_quant_model()
+        report = check_model(model, weights=weights,
+                             select=["numeric-range"])
+        diag = report.with_code("NUM001")[0]
+        assert diag.severity is Severity.WARNING
+        assert diag.location.layer == "conv1"
+
+    def test_nonfinite_weights_fire(self):
+        model, weights = broken.nonfinite_weights_model()
+        report = check_model(model, weights=weights,
+                             select=["numeric-range"])
+        diag = report.with_code("NUM004")[0]
+        assert diag.severity is Severity.ERROR
+        assert not report.ok
+
+    def test_fp32_model_quiet_on_saturation(self):
+        # the same outlier weights are harmless in fp32
+        model, weights = broken.saturating_quant_model()
+        from repro.frontend.condor_format import CondorModel
+        fp32 = CondorModel(network=model.network, board=model.board,
+                           frequency_hz=model.frequency_hz,
+                           precision="fp32")
+        report = check_model(fp32, weights=weights,
+                             select=["numeric-range"])
+        assert "NUM001" not in report.codes()

@@ -220,3 +220,111 @@ class TestConvert:
         assert main(["--workdir", str(tmp_path / "w"), "convert",
                      tc1_json, str(tmp_path / "m.xyz")]) == 1
         assert "unknown target" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_check_clean_model(self, tc1_json, tmp_path, capsys):
+        assert main(["--workdir", str(tmp_path / "w"), "check",
+                     tc1_json]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_check_zoo(self, tmp_path, capsys):
+        assert main(["--workdir", str(tmp_path / "w"), "check",
+                     "--zoo"]) == 0
+        out = capsys.readouterr().out
+        for name in ("tc1", "LeNet", "CIFAR10_quick", "vgg16"):
+            assert name in out
+
+    def test_check_json_format(self, tc1_json, tmp_path, capsys):
+        import json
+
+        assert main(["--workdir", str(tmp_path / "w"), "check", tc1_json,
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["model"] == "tc1"
+        assert doc["summary"]["errors"] == 0
+        assert "fifo-deadlock" in doc["passes"]
+
+    def test_check_select_passes(self, tc1_json, tmp_path, capsys):
+        import json
+
+        assert main(["--workdir", str(tmp_path / "w"), "check", tc1_json,
+                     "--select", "shape-legality,dead-layer",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["passes"] == ["shape-legality", "dead-layer"]
+
+    def test_check_fail_on_warning(self, tc1_json, tmp_path, capsys):
+        # tc1 carries rate-mismatch warnings: --fail-on warning trips
+        assert main(["--workdir", str(tmp_path / "w"), "check", tc1_json,
+                     "--fail-on", "warning"]) == 1
+
+    def test_check_broken_model_exits_nonzero(self, tmp_path, capsys):
+        from repro.frontend.zoo.broken import overbudget_model
+
+        path = save_condor_json(overbudget_model(),
+                                tmp_path / "bad.json")
+        assert main(["--workdir", str(tmp_path / "w"), "check",
+                     str(path)]) == 1
+        assert "RES001" in capsys.readouterr().out
+
+    def test_check_list_passes(self, tmp_path, capsys):
+        assert main(["--workdir", str(tmp_path / "w"), "check",
+                     "--list-passes"]) == 0
+        out = capsys.readouterr().out
+        assert "fifo-deadlock" in out
+        assert "resource-budget" in out
+
+    def test_check_requires_model_or_zoo(self, tmp_path, capsys):
+        assert main(["--workdir", str(tmp_path / "w"), "check"]) == 1
+        assert "provide a model" in capsys.readouterr().err
+
+
+class TestCheckGate:
+    def test_build_gate_blocks_broken_model(self, tmp_path, capsys):
+        from repro.frontend.zoo.broken import overbudget_model
+
+        path = save_condor_json(overbudget_model(),
+                                tmp_path / "bad.json")
+        workdir = tmp_path / "w"
+        assert main(["--workdir", str(workdir), "build",
+                     str(path)]) == 1
+        assert "2b-static-analysis" in capsys.readouterr().err
+        # the gate leaves its reports behind for diagnosis
+        assert (workdir / "reports" / "analysis.txt").is_file()
+        assert (workdir / "reports" / "analysis.json").is_file()
+
+    def test_build_gate_writes_reports_on_success(self, tc1_json,
+                                                  tmp_path, capsys):
+        workdir = tmp_path / "w"
+        assert main(["--workdir", str(workdir), "build", tc1_json]) == 0
+        assert "2b-static-analysis" in capsys.readouterr().out
+        text = (workdir / "reports" / "analysis.txt").read_text()
+        assert "0 error(s)" in text
+
+    def test_no_check_bypasses_gate(self, tmp_path, capsys):
+        from repro.frontend.zoo.broken import overclocked_model
+
+        path = save_condor_json(overclocked_model(),
+                                tmp_path / "fast.json")
+        workdir = tmp_path / "w"
+        # with the gate: blocked by RES003
+        assert main(["--workdir", str(workdir), "check",
+                     str(path)]) == 1
+        capsys.readouterr()
+        # --no-check: the flow proceeds until the toolchain rejects the
+        # clock instead
+        assert main(["--workdir", str(workdir), "build", str(path),
+                     "--no-check"]) == 1
+        err = capsys.readouterr().err
+        assert "2b-static-analysis" not in err
+
+    def test_simulate_gate(self, tmp_path, capsys):
+        from repro.frontend.zoo.broken import overbudget_model
+
+        path = save_condor_json(overbudget_model(),
+                                tmp_path / "bad.json")
+        assert main(["--workdir", str(tmp_path / "w"), "simulate",
+                     str(path), "--batch", "1"]) == 1
+        assert "static analysis found" in capsys.readouterr().err

@@ -147,6 +147,18 @@ class TestFailureModes:
         model.board = "pynq-z1"  # TC1 logic exceeds the 7020 LUT budget
         with pytest.raises(FlowError) as exc:
             CondorFlow(tmp_path).run(FlowInputs(model=model))
+        # the static-analysis gate catches the budget violation first;
+        # with --no-check the toolchain would reject it instead
+        assert exc.value.step in ("2b-static-analysis",
+                                  "3-5-hardware-generation",
+                                  "7-deployment-on-board")
+
+    def test_no_check_defers_to_toolchain(self, tmp_path):
+        model = tc1_model(DeploymentOption.ON_PREMISE)
+        model.board = "pynq-z1"
+        flow = CondorFlow(tmp_path, check=False)
+        with pytest.raises(FlowError) as exc:
+            flow.run(FlowInputs(model=model))
         assert exc.value.step in ("3-5-hardware-generation",
                                   "7-deployment-on-board")
 

@@ -1,37 +1,132 @@
-"""The telemetry-layer lint must hold on the shipped tree."""
+"""The house lint rules must hold on the shipped tree, and each rule
+must catch its synthetic offender."""
 
-import importlib.util
+import subprocess
 import sys
 from pathlib import Path
 
-TOOLS = Path(__file__).resolve().parent.parent / "tools"
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO))
+
+from tools.lint import RULE_REGISTRY, run_lint  # noqa: E402
 
 
-def _load_linter():
-    spec = importlib.util.spec_from_file_location(
-        "lint_telemetry", TOOLS / "lint_telemetry.py")
-    module = importlib.util.module_from_spec(spec)
-    sys.modules.setdefault("lint_telemetry", module)
-    spec.loader.exec_module(module)
-    return module
+def _lint_source(tmp_path, source, name="offender.py", select=None):
+    (tmp_path / name).write_text(source)
+    return run_lint(tmp_path, select=select)
 
 
-def test_no_bare_print_or_getlogger_in_src():
-    linter = _load_linter()
-    assert linter.violations() == []
+def test_shipped_tree_is_clean():
+    assert run_lint() == []
 
 
-def test_linter_catches_offenders(tmp_path, monkeypatch):
-    linter = _load_linter()
-    bad = tmp_path / "repro"
-    bad.mkdir()
-    (bad / "offender.py").write_text(
+def test_cli_entry_point():
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.lint"], cwd=REPO,
+        capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "lint: ok" in proc.stdout
+
+
+def test_unknown_rule_rejected():
+    with pytest.raises(ValueError, match="unknown lint rule"):
+        run_lint(REPO / "tools", select=["no-such-rule"])
+
+
+def test_all_rules_registered():
+    assert set(RULE_REGISTRY) == {
+        "telemetry-print", "telemetry-getlogger", "broad-except",
+        "generic-raise", "sim-wallclock", "mutable-default",
+        "flow-step-span",
+    }
+
+
+def test_print_and_getlogger(tmp_path):
+    found = _lint_source(
+        tmp_path,
         "import logging\n"
         "log = logging.getLogger('x')\n"
         "print('hello')\n"
-        "# print('comments are fine')\n")
-    monkeypatch.setattr(linter, "SRC", bad)
-    found = linter.violations()
+        "# print('comments are fine')\n"
+        "DOC = \"print('strings are fine')\"\n")
+    rules = sorted(v.rule_id for v in found)
+    assert rules == ["telemetry-getlogger", "telemetry-print"]
+
+
+def test_print_allowed_in_cli(tmp_path):
+    found = _lint_source(tmp_path, "print('ui')\n", name="cli.py")
+    assert found == []
+
+
+def test_broad_except(tmp_path):
+    found = _lint_source(
+        tmp_path,
+        "try:\n    pass\nexcept Exception:\n    pass\n"
+        "try:\n    pass\nexcept (ValueError, BaseException):\n    pass\n"
+        "try:\n    pass\nexcept:\n    pass\n",
+        select=["broad-except"])
+    assert len(found) == 3
+
+
+def test_broad_except_reraise_allowed(tmp_path):
+    found = _lint_source(
+        tmp_path,
+        "try:\n    pass\n"
+        "except BaseException as exc:\n"
+        "    record(exc)\n"
+        "    raise\n",
+        select=["broad-except"])
+    assert found == []
+
+
+def test_generic_raise(tmp_path):
+    found = _lint_source(
+        tmp_path,
+        "def f():\n"
+        "    raise RuntimeError('nope')\n"
+        "def g():\n"
+        "    raise Exception\n"
+        "def ok():\n"
+        "    raise ValueError('fine')\n"
+        "def also_ok():\n"
+        "    raise NotImplementedError\n",
+        select=["generic-raise"])
     assert len(found) == 2
-    assert any("getLogger" in v for v in found)
-    assert any("print" in v for v in found)
+    assert {v.line for v in found} == {2, 4}
+
+
+def test_sim_wallclock_scoped(tmp_path):
+    source = ("import time\n"
+              "t = time.perf_counter()\n")
+    (tmp_path / "sim").mkdir()
+    (tmp_path / "sim" / "core.py").write_text(source)
+    (tmp_path / "flow.py").write_text(source)  # outside sim/: allowed
+    found = run_lint(tmp_path, select=["sim-wallclock"])
+    assert len(found) == 1
+    assert found[0].path == "sim/core.py"
+
+
+def test_mutable_default(tmp_path):
+    found = _lint_source(
+        tmp_path,
+        "def f(a, b=[], c={}, d=set(), e=None, g=()):\n"
+        "    pass\n"
+        "def h(*, k=list()):\n"
+        "    pass\n",
+        select=["mutable-default"])
+    assert len(found) == 4
+
+
+def test_flow_step_span(tmp_path):
+    (tmp_path / "flow").mkdir()
+    (tmp_path / "flow" / "driver.py").write_text(
+        "class Flow:\n"
+        "    def run(self):\n"
+        "        with self._step('gen'):\n"
+        "            acc = build_accelerator(model)\n"
+        "        estimate = estimate_accelerator(acc)\n")
+    found = run_lint(tmp_path, select=["flow-step-span"])
+    assert len(found) == 1
+    assert "estimate_accelerator" in found[0].message

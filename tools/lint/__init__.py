@@ -1,0 +1,26 @@
+"""The repo linter: an AST rule framework plus the house rules.
+
+Importing the package registers the built-in rules.  ``python -m
+tools.lint`` runs them over ``src/repro/``.
+"""
+
+from tools.lint.framework import (
+    DEFAULT_ROOT,
+    RULE_REGISTRY,
+    LintRule,
+    Violation,
+    lint_file,
+    register_rule,
+    run_lint,
+)
+from tools.lint import rules as _rules  # noqa: F401  (registers rules)
+
+__all__ = [
+    "DEFAULT_ROOT",
+    "LintRule",
+    "RULE_REGISTRY",
+    "Violation",
+    "lint_file",
+    "register_rule",
+    "run_lint",
+]

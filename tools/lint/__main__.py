@@ -1,0 +1,47 @@
+"""CLI: ``python -m tools.lint [--select rule,...] [--root PATH]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from tools.lint import DEFAULT_ROOT, RULE_REGISTRY, run_lint
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description="run the repo lint rules over a source tree")
+    parser.add_argument("--root", default=str(DEFAULT_ROOT),
+                        help="tree to lint (default: src/repro)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids (default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list the registered rules and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(rule_id) for rule_id in RULE_REGISTRY)
+        for rule_id, cls in RULE_REGISTRY.items():
+            scope = f" [scope: {cls.scope}]" if cls.scope else ""
+            print(f"{rule_id:<{width}}  {cls.description}{scope}")
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    try:
+        found = run_lint(args.root, select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for violation in sorted(found, key=lambda v: (v.path, v.line)):
+        print(violation.render())
+    if found:
+        print(f"\n{len(found)} lint violation(s)")
+        return 1
+    print(f"lint: ok ({len(RULE_REGISTRY) if select is None else len(select)}"
+          " rule(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

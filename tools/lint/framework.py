@@ -1,0 +1,116 @@
+"""AST-visitor lint framework for the repo's own conventions.
+
+A :class:`LintRule` inspects one parsed module and yields
+:class:`Violation` objects.  Rules register with the ``@register_rule``
+decorator; :func:`run_lint` walks a source root, parses each file once,
+and feeds the tree to every selected rule.  Per-rule *allowlists* name
+files (posix paths relative to the lint root) where the rule is
+intentionally off; a rule's *scope* restricts it to a subtree (e.g. only
+``sim/``).
+
+Run as ``python -m tools.lint`` (see ``__main__.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: Default tree the linter walks (the shipped package).
+DEFAULT_ROOT = Path(__file__).resolve().parent.parent.parent \
+    / "src" / "repro"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding of one rule in one file."""
+
+    rule_id: str
+    path: str  # relative posix path
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+
+
+class LintRule:
+    """Base class: subclass, set ``id``/``description``, implement
+    :meth:`check`.
+
+    ``allow`` lists relative posix paths exempt from the rule;
+    ``scope`` (when set) restricts the rule to paths under that prefix.
+    """
+
+    id: str = ""
+    description: str = ""
+    allow: frozenset[str] = frozenset()
+    scope: str | None = None
+
+    def applies_to(self, rel_path: str) -> bool:
+        if rel_path in self.allow:
+            return False
+        if self.scope is not None and not rel_path.startswith(self.scope):
+            return False
+        return True
+
+    def check(self, tree: ast.Module, rel_path: str) \
+            -> Iterator[Violation]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def violation(self, rel_path: str, node: ast.AST, message: str) \
+            -> Violation:
+        return Violation(rule_id=self.id, path=rel_path,
+                         line=getattr(node, "lineno", 0), message=message)
+
+
+#: Registered rule classes, in registration order.
+RULE_REGISTRY: dict[str, type[LintRule]] = {}
+
+
+def register_rule(cls: type[LintRule]) -> type[LintRule]:
+    if not cls.id:
+        raise ValueError(f"lint rule {cls.__name__} has no id")
+    if cls.id in RULE_REGISTRY:
+        raise ValueError(f"duplicate lint rule id {cls.id!r}")
+    RULE_REGISTRY[cls.id] = cls
+    return cls
+
+
+def _resolve(select: Iterable[str] | None) -> list[LintRule]:
+    if select is None:
+        return [cls() for cls in RULE_REGISTRY.values()]
+    unknown = [r for r in select if r not in RULE_REGISTRY]
+    if unknown:
+        raise ValueError(f"unknown lint rule(s) {sorted(set(unknown))};"
+                         f" known: {sorted(RULE_REGISTRY)}")
+    chosen = set(select)
+    return [cls() for rule_id, cls in RULE_REGISTRY.items()
+            if rule_id in chosen]
+
+
+def lint_file(path: Path, rel_path: str, rules: list[LintRule]) \
+        -> list[Violation]:
+    """Parse one file and run every applicable rule over it."""
+    applicable = [r for r in rules if r.applies_to(rel_path)]
+    if not applicable:
+        return []
+    tree = ast.parse(path.read_text(), filename=rel_path)
+    found: list[Violation] = []
+    for rule in applicable:
+        found.extend(rule.check(tree, rel_path))
+    return found
+
+
+def run_lint(root: Path | str = DEFAULT_ROOT,
+             select: Iterable[str] | None = None) -> list[Violation]:
+    """Lint every ``*.py`` under ``root`` with the selected rules."""
+    root = Path(root)
+    rules = _resolve(select)
+    found: list[Violation] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        found.extend(lint_file(path, rel, rules))
+    return found

@@ -1,0 +1,272 @@
+"""The repo's lint rules.
+
+Importing this module registers every rule with
+:data:`tools.lint.framework.RULE_REGISTRY`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.lint.framework import LintRule, register_rule
+
+
+@register_rule
+class TelemetryPrintRule(LintRule):
+    """Library code reports through ``repro.obs`` / the logging front
+    door; ``print`` is reserved for the CLI (its stdout *is* the user
+    interface)."""
+
+    id = "telemetry-print"
+    description = "ban print() outside the CLI"
+    allow = frozenset({"cli.py"})
+
+    def check(self, tree, rel_path):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id == "print":
+                yield self.violation(
+                    rel_path, node,
+                    "bare print() — route output through"
+                    " repro.util.logging / repro.obs")
+
+
+@register_rule
+class TelemetryGetLoggerRule(LintRule):
+    """``repro.util.logging.get_logger`` attaches the flow-step context;
+    raw ``logging.getLogger`` loses it."""
+
+    id = "telemetry-getlogger"
+    description = "ban logging.getLogger() outside the logging front door"
+    allow = frozenset({"util/logging.py"})
+
+    def check(self, tree, rel_path):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "getLogger" and \
+                    isinstance(node.func.value, ast.Name) and \
+                    node.func.value.id == "logging":
+                yield self.violation(
+                    rel_path, node,
+                    "direct logging.getLogger() — use"
+                    " repro.util.logging.get_logger")
+
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(n, ast.Raise) and n.exc is None
+               for n in ast.walk(handler))
+
+
+def _names_in_handler_type(node: ast.expr | None):
+    if node is None:
+        yield None  # bare except:
+    elif isinstance(node, ast.Tuple):
+        for element in node.elts:
+            yield from _names_in_handler_type(element)
+    elif isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, ast.Attribute):
+        yield node.attr
+
+
+@register_rule
+class BroadExceptRule(LintRule):
+    """Broad catch-and-swallow hides failures the typed
+    ``repro.errors`` hierarchy exists to surface.  A broad handler is
+    allowed only when it re-raises (telemetry record-and-rethrow)."""
+
+    id = "broad-except"
+    description = "ban bare/broad except unless the handler re-raises"
+
+    def check(self, tree, rel_path):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = set(_names_in_handler_type(node.type))
+            if None in names and not _handler_reraises(node):
+                yield self.violation(
+                    rel_path, node,
+                    "bare 'except:' — catch a repro.errors type")
+            elif names & _BROAD and not _handler_reraises(node):
+                caught = ", ".join(sorted(names & _BROAD))
+                yield self.violation(
+                    rel_path, node,
+                    f"broad 'except {caught}' without re-raise — catch"
+                    " a repro.errors type (CondorError at the outermost"
+                    " boundary)")
+
+
+_GENERIC_RAISES = {"Exception", "BaseException", "RuntimeError"}
+
+
+@register_rule
+class GenericRaiseRule(LintRule):
+    """API boundaries raise the typed hierarchy so callers can catch
+    ``CondorError`` (builtin ValueError/KeyError/NotImplementedError
+    keep their usual contract-violation/abstract-method meanings)."""
+
+    id = "generic-raise"
+    description = "ban raising Exception/BaseException/RuntimeError"
+
+    def check(self, tree, rel_path):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call) and \
+                    isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in _GENERIC_RAISES:
+                yield self.violation(
+                    rel_path, node,
+                    f"raise {name} — use a repro.errors type")
+
+
+_WALLCLOCK_TIME_ATTRS = {"time", "monotonic", "perf_counter",
+                         "monotonic_ns", "perf_counter_ns", "time_ns"}
+_WALLCLOCK_DT_ATTRS = {"now", "utcnow", "today"}
+
+
+@register_rule
+class SimWallclockRule(LintRule):
+    """The event simulator is deterministic virtual time; wall-clock
+    reads make runs irreproducible."""
+
+    id = "sim-wallclock"
+    description = "ban wall-clock time sources inside src/repro/sim/"
+    scope = "sim/"
+
+    def check(self, tree, rel_path):
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and
+                    isinstance(node.func, ast.Attribute)):
+                continue
+            func = node.func
+            if isinstance(func.value, ast.Name) and \
+                    func.value.id == "time" and \
+                    func.attr in _WALLCLOCK_TIME_ATTRS:
+                yield self.violation(
+                    rel_path, node,
+                    f"time.{func.attr}() in the simulator — use the"
+                    " event clock (Simulator.now)")
+            elif func.attr in _WALLCLOCK_DT_ATTRS and \
+                    isinstance(func.value, ast.Name) and \
+                    func.value.id in ("datetime", "date"):
+                yield self.violation(
+                    rel_path, node,
+                    f"{func.value.id}.{func.attr}() in the simulator —"
+                    " use the event clock (Simulator.now)")
+
+
+@register_rule
+class MutableDefaultRule(LintRule):
+    """A mutable default is shared across calls — the classic aliasing
+    bug."""
+
+    id = "mutable-default"
+    description = "ban mutable default argument values"
+
+    _MUTABLE_CALLS = {"list", "dict", "set"}
+
+    def _is_mutable(self, default: ast.expr) -> bool:
+        if isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (isinstance(default, ast.Call) and
+                isinstance(default.func, ast.Name) and
+                default.func.id in self._MUTABLE_CALLS and
+                not default.args and not default.keywords)
+
+    def check(self, tree, rel_path):
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            for default in (*args.defaults, *args.kw_defaults):
+                if default is not None and self._is_mutable(default):
+                    yield self.violation(
+                        rel_path, default,
+                        f"mutable default in {node.name}() — default to"
+                        " None and create inside the body")
+
+
+#: Calls that do real work inside the flow driver; each must run inside
+#: a ``with self._step(...)`` (or a raw ``with span(...)``) so the
+#: telemetry manifest accounts for it.
+_HEAVY_CALLS = {
+    "build_accelerator", "generate_sources", "build_network_ip",
+    "xocc_link", "package_xo", "explore", "estimate_accelerator",
+    "estimate_performance", "estimate_power_watts",
+    "generate_kernel_xml", "write_xclbin", "generate_host_source",
+    "check_model",
+}
+
+
+def _is_span_with(with_node: ast.With) -> bool:
+    for item in with_node.items:
+        call = item.context_expr
+        if not isinstance(call, ast.Call):
+            continue
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr == "_step":
+            return True
+        if isinstance(func, ast.Name) and func.id in ("span", "recording"):
+            return True
+    return False
+
+
+class _SpanVisitor(ast.NodeVisitor):
+    def __init__(self):
+        self.depth = 0
+        self.naked: list[ast.Call] = []
+
+    def visit_With(self, node: ast.With):
+        if _is_span_with(node):
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+        else:
+            self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call):
+        name = None
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        if name in _HEAVY_CALLS and self.depth == 0:
+            self.naked.append(node)
+        self.generic_visit(node)
+
+
+@register_rule
+class FlowStepSpanRule(LintRule):
+    """Flow steps must be span-instrumented: heavy generator/toolchain
+    calls inside ``src/repro/flow/`` belong under ``self._step(...)``
+    (or an explicit ``span(...)``) so ``telemetry.json`` stays
+    complete."""
+
+    id = "flow-step-span"
+    description = ("require span instrumentation around heavy calls in"
+                   " src/repro/flow/")
+    scope = "flow/"
+
+    def check(self, tree, rel_path):
+        visitor = _SpanVisitor()
+        visitor.visit(tree)
+        for call in visitor.naked:
+            name = (call.func.id if isinstance(call.func, ast.Name)
+                    else call.func.attr)
+            yield self.violation(
+                rel_path, call,
+                f"{name}() outside a step span — wrap it in 'with"
+                " self._step(...)' (or 'with span(...)')")
