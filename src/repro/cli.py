@@ -135,7 +135,8 @@ def cmd_check(args) -> int:
 
 
 def cmd_build(args) -> int:
-    flow = CondorFlow(args.workdir, check=not args.no_check)
+    flow = CondorFlow(args.workdir, check=not args.no_check,
+                      resume=args.resume)
     inputs = _model_inputs(args.model, args.weights)
     inputs.deployment = (DeploymentOption.AWS_F1 if args.deploy == "aws-f1"
                          else DeploymentOption.ON_PREMISE)
@@ -145,13 +146,104 @@ def cmd_build(args) -> int:
     if args.board:
         inputs.board = args.board
     inputs.run_dse = args.dse
+    inputs.afi_max_polls = args.afi_max_polls
     result = flow.run(inputs)
     print(result.summary())
+    if result.degraded:
+        print(f"\nWARNING: {result.degradation}")
+        print("AFI creation failed; local artifacts were kept and the"
+              " run status is 'partial'.  Re-run with --resume to retry"
+              " only the cloud step.")
     print(f"\nartifacts in {result.workdir}")
     for step in result.steps:
-        print(f"  {step.name}: {step.seconds:.2f}s")
+        note = "  (restored from checkpoint)" if step.skipped else ""
+        print(f"  {step.name}: {step.seconds:.2f}s{note}")
     _telemetry_outputs(args, flow.recorder)
     return 0
+
+
+def cmd_chaos(args) -> int:
+    """Chaos-test the flow: seeded fault plans over the cloud/toolchain
+    boundaries, reporting survival / retry / degradation statistics."""
+    import json
+    import shutil
+
+    from repro.frontend.condor_format import CondorModel
+    from repro.resilience import FaultPlan, inject_faults
+
+    if args.zoo:
+        # vgg16 is excluded: it does not fit the F1 device without DSE,
+        # and the chaos matrix runs the AWS deployment end to end
+        models = [m for m in _zoo_models() if m.network.name != "vgg16"]
+    elif args.model:
+        (model, _weights), _ = _load_model(args)
+        models = [model]
+    else:
+        raise CondorError("provide a model file or --zoo")
+
+    base = Path(args.workdir) / "chaos"
+    runs = []
+    for model in models:
+        model = CondorModel(network=model.network, board=model.board,
+                            frequency_hz=model.frequency_hz,
+                            deployment=DeploymentOption.AWS_F1,
+                            hints=model.hints)
+        for seed in range(args.seeds):
+            plan = FaultPlan.random(seed)
+            workdir = base / f"{model.network.name}-seed{seed}"
+            if workdir.exists():
+                shutil.rmtree(workdir)
+            flow = CondorFlow(workdir)
+            status, error = "ok", None
+            try:
+                with inject_faults(plan):
+                    result = flow.run(FlowInputs(model=model))
+                if result.degraded:
+                    status, error = "partial", result.degradation
+            except CondorError as exc:
+                status, error = "error", f"{type(exc).__name__}: {exc}"
+            stats = flow.boundary_stats
+            runs.append({
+                "network": model.network.name,
+                "seed": seed,
+                "status": status,
+                "error": error,
+                "faults": plan.stats(),
+                "resilience": stats.to_dict() if stats else {},
+            })
+
+    survived = [r for r in runs if r["status"] in ("ok", "partial")]
+    summary = {
+        "runs": len(runs),
+        "survived": len(survived),
+        "ok": sum(1 for r in runs if r["status"] == "ok"),
+        "partial": sum(1 for r in runs if r["status"] == "partial"),
+        "error": sum(1 for r in runs if r["status"] == "error"),
+        "faults_injected": sum(r["faults"]["injected_total"]
+                               for r in runs),
+        "retries": sum(sum(r["resilience"].get("retries", {}).values())
+                       for r in runs),
+    }
+    if args.format == "json":
+        print(json.dumps({"summary": summary, "runs": runs}, indent=2))
+    else:
+        from repro.util.tables import TextTable
+        table = TextTable(["network", "seed", "status", "faults",
+                           "retries", "detail"])
+        for r in runs:
+            table.add_row([
+                r["network"], r["seed"], r["status"],
+                r["faults"]["injected_total"],
+                sum(r["resilience"].get("retries", {}).values()),
+                r["error"] or "",
+            ])
+        print(table.render())
+        print(f"\n{summary['survived']}/{summary['runs']} runs survived"
+              f" ({summary['ok']} ok, {summary['partial']} partial,"
+              f" {summary['error']} error);"
+              f" {summary['faults_injected']} faults injected,"
+              f" {summary['retries']} retries")
+    return 0 if len(survived) == len(runs) else 1
 
 
 def cmd_profile(args) -> int:
@@ -359,9 +451,33 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--board")
     build.add_argument("--dse", action="store_true",
                        help="run the design-space explorer")
+    build.add_argument("--resume", action="store_true",
+                       help="skip steps whose checkpoints are still"
+                            " fresh (re-runs from the first stale or"
+                            " failed step)")
+    build.add_argument("--afi-max-polls", type=int, metavar="N",
+                       help="describe-fpga-images poll budget for the"
+                            " AFI wait (aws-f1 deployments)")
     check_flag(build)
     telemetry_flags(build)
     build.set_defaults(func=cmd_build)
+
+    chaos = sub.add_parser(
+        "chaos", help="run the flow under seeded fault injection and"
+                      " report survival statistics")
+    chaos.add_argument("model", nargs="?",
+                       help="model file; omit with --zoo")
+    chaos.add_argument("--weights", help="caffemodel for .prototxt"
+                                         " input")
+    chaos.add_argument("--zoo", action="store_true",
+                       help="chaos-test the built-in TC1/LeNet/CIFAR10"
+                            " models (vgg16 needs DSE to fit F1)")
+    chaos.add_argument("--seeds", type=int, default=3, metavar="N",
+                       help="fault plans per model (seeds 0..N-1,"
+                            " default 3)")
+    chaos.add_argument("--format", choices=["text", "json"],
+                       default="text")
+    chaos.set_defaults(func=cmd_chaos)
 
     profile = sub.add_parser(
         "profile", help="run the flow and print a per-step timing"

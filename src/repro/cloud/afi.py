@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from repro.errors import AFIError
 from repro.cloud.s3 import S3Store
 from repro.errors import ArtifactError, S3Error
+from repro.resilience.clock import VirtualClock
+from repro.resilience.retry import RetryPolicy
 from repro.toolchain.xclbin import read_xclbin
 from repro.util.logging import get_logger
 
@@ -53,6 +55,8 @@ class AFIRecord:
     state: AFIState = AFIState.PENDING
     error: str | None = None
     ticks_remaining: int = PENDING_TICKS
+    #: The raw design checkpoint pulled from S3 at creation time.
+    payload: bytes | None = field(default=None, repr=False)
     #: The validated xclbin payload (set once available).
     xclbin_bytes: bytes | None = field(default=None, repr=False)
 
@@ -85,8 +89,8 @@ class AFIService:
         agfi_id = f"agfi-{digest[17:34]}"
         record = AFIRecord(afi_id=afi_id, agfi_id=agfi_id, name=name,
                            description=description,
-                           source_uri=input_storage_location)
-        record._payload = obj.data  # type: ignore[attr-defined]
+                           source_uri=input_storage_location,
+                           payload=obj.data)
         self._records[afi_id] = record
         self._by_agfi[agfi_id] = afi_id
         _log.info("AFI creation started: %s (%s) seq=%d", afi_id, agfi_id,
@@ -118,7 +122,7 @@ class AFIService:
             record.ticks_remaining -= 1
             if record.ticks_remaining > 0:
                 continue
-            payload = record._payload  # type: ignore[attr-defined]
+            payload = record.payload
             try:
                 xclbin = read_xclbin(payload)
             except ArtifactError as exc:
@@ -136,10 +140,19 @@ class AFIService:
             record.xclbin_bytes = payload
             _log.info("AFI %s available", record.afi_id)
 
-    def wait_until_available(self, afi_id: str,
-                             max_polls: int = 100) -> AFIRecord:
-        """Poll (tick + describe) until available; raises on failure."""
-        for _ in range(max_polls):
+    def wait_until_available(self, afi_id: str, max_polls: int = 100,
+                             poll_policy: RetryPolicy | None = None,
+                             clock: VirtualClock | None = None) \
+            -> AFIRecord:
+        """Poll (tick + describe) until available; raises on failure.
+
+        ``poll_policy`` paces the polls: its backoff schedule is slept
+        on the (virtual) ``clock`` between ``describe`` calls, the way
+        the real CLI backs off between ``describe-fpga-images`` calls.
+        """
+        delays = poll_policy.delays(f"afi-poll:{afi_id}") \
+            if poll_policy is not None else None
+        for poll in range(max_polls):
             record = self.describe_fpga_image(afi_id)
             if record.state is AFIState.AVAILABLE:
                 return record
@@ -147,5 +160,8 @@ class AFIService:
                 raise AFIError(
                     f"AFI {afi_id} failed: {record.error}")
             self.tick()
+            if delays is not None and clock is not None \
+                    and poll < max_polls - 1:
+                clock.sleep(next(delays))
         raise AFIError(f"AFI {afi_id} still pending after {max_polls}"
                        " polls")

@@ -4,14 +4,29 @@ Bundles the region's S3 store + AFI service behind the CLI-flavoured verbs
 the paper's step 8 uses: upload the tarball to a user-specified bucket,
 ``create-fpga-image``, poll ``describe-fpga-images``, launch an F1
 instance, ``fpga-load-local-image``.
+
+Every verb is a *retryable boundary* (see
+:mod:`repro.resilience.boundary`): calls run under the session's
+:class:`~repro.resilience.retry.RetryPolicy` and a per-verb circuit
+breaker, and the active chaos :class:`~repro.resilience.faults.FaultPlan`
+hooks the same path.  Uploads additionally verify the stored object's
+digest against the local payload, so a corrupted transfer surfaces as a
+retryable :class:`~repro.errors.TransientError` instead of a poisoned
+AFI forty minutes later.
 """
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.cloud.afi import AFIRecord, AFIService
 from repro.cloud.f1 import F1Instance
 from repro.cloud.s3 import S3Store
+from repro.errors import TransientError
 from repro.obs import REGISTRY, span
+from repro.resilience.boundary import breaker_for, run_boundary
+from repro.resilience.faults import active_plan
+from repro.resilience.retry import DEFAULT_POLICY, RetryPolicy
 from repro.util.logging import get_logger
 
 _log = get_logger("cloud.client")
@@ -21,14 +36,31 @@ _API_CALLS = REGISTRY.counter(
 _UPLOAD_BYTES = REGISTRY.counter(
     "condor_cloud_upload_bytes_total", "Bytes uploaded to S3")
 
+#: ``describe-fpga-images`` poll budget (the real loop runs ~30-50 min).
+DEFAULT_AFI_MAX_POLLS = 100
+
 
 class AWSSession:
     """One simulated account/region."""
 
-    def __init__(self, region: str = "us-east-1"):
+    def __init__(self, region: str = "us-east-1", *,
+                 retry_policy: RetryPolicy | None = None,
+                 afi_max_polls: int = DEFAULT_AFI_MAX_POLLS,
+                 afi_poll_policy: RetryPolicy | None = None):
         self.region = region
         self.s3 = S3Store()
         self.afi = AFIService(self.s3)
+        #: Policy for the retryable API boundaries (upload / create /
+        #: wait); ``None`` falls back to the stock policy.
+        self.retry_policy = retry_policy if retry_policy is not None \
+            else DEFAULT_POLICY
+        #: Poll budget and per-poll backoff for :meth:`wait_for_afi`.
+        self.afi_max_polls = afi_max_polls
+        self.afi_poll_policy = afi_poll_policy if afi_poll_policy \
+            is not None else RetryPolicy(max_attempts=1,
+                                         base_delay_s=30.0,
+                                         multiplier=1.0,
+                                         max_delay_s=30.0)
         self._instances: list[F1Instance] = []
 
     # -- S3 verbs -----------------------------------------------------------
@@ -38,30 +70,73 @@ class AWSSession:
             self.s3.create_bucket(bucket)
 
     def upload(self, bucket: str, key: str, data: bytes) -> str:
-        """``aws s3 cp`` — returns the object URI."""
-        with span("cloud.s3-upload", bucket=bucket, key=key,
-                  bytes=len(data)):
-            _API_CALLS.inc(verb="s3-put-object")
-            _UPLOAD_BYTES.inc(len(data))
-            self.ensure_bucket(bucket)
-            return self.s3.put_object(bucket, key, data).uri
+        """``aws s3 cp`` — returns the object URI.
+
+        Each attempt re-sends the original payload and verifies the
+        stored object's SHA-256 against it; a mismatch (corruption in
+        transit) raises :class:`TransientError` and is retried.
+        """
+        expected = hashlib.sha256(data).hexdigest()
+
+        def attempt() -> str:
+            with span("cloud.s3-upload", bucket=bucket, key=key,
+                      bytes=len(data)):
+                _API_CALLS.inc(verb="s3-put-object")
+                _UPLOAD_BYTES.inc(len(data))
+                self.ensure_bucket(bucket)
+                plan = active_plan()
+                payload = plan.corrupt("cloud.upload", data) \
+                    if plan is not None else data
+                uri = self.s3.put_object(bucket, key, payload).uri
+                stored = self.s3.get_object(bucket, key).data
+                if hashlib.sha256(stored).hexdigest() != expected:
+                    raise TransientError(
+                        f"upload of s3://{bucket}/{key} corrupted in"
+                        " transit (digest mismatch)")
+                return uri
+
+        return run_boundary("cloud.upload", attempt,
+                            policy=self.retry_policy)
 
     # -- EC2/AFI verbs ----------------------------------------------------------
 
     def create_fpga_image(self, *, name: str, bucket: str, key: str,
                           description: str = "") -> AFIRecord:
         """``aws ec2 create-fpga-image``."""
-        with span("cloud.create-fpga-image", image_name=name):
-            _API_CALLS.inc(verb="create-fpga-image")
-            return self.afi.create_fpga_image(
-                name=name, description=description,
-                input_storage_location=f"s3://{bucket}/{key}")
 
-    def wait_for_afi(self, afi_id: str) -> AFIRecord:
-        """Poll ``describe-fpga-images`` until the AFI is available."""
-        with span("cloud.wait-for-afi", afi_id=afi_id):
-            _API_CALLS.inc(verb="describe-fpga-images")
-            return self.afi.wait_until_available(afi_id)
+        def attempt() -> AFIRecord:
+            with span("cloud.create-fpga-image", image_name=name):
+                _API_CALLS.inc(verb="create-fpga-image")
+                return self.afi.create_fpga_image(
+                    name=name, description=description,
+                    input_storage_location=f"s3://{bucket}/{key}")
+
+        return run_boundary("cloud.create-fpga-image", attempt,
+                            policy=self.retry_policy)
+
+    def wait_for_afi(self, afi_id: str, *,
+                     max_polls: int | None = None,
+                     poll_policy: RetryPolicy | None = None) -> AFIRecord:
+        """Poll ``describe-fpga-images`` until the AFI is available.
+
+        ``max_polls`` / ``poll_policy`` override the session defaults
+        (exposed through ``FlowInputs`` for flow runs).
+        """
+        polls = max_polls if max_polls is not None else self.afi_max_polls
+        pacing = poll_policy if poll_policy is not None \
+            else self.afi_poll_policy
+        breaker = breaker_for("cloud.wait-for-afi")
+
+        def attempt() -> AFIRecord:
+            with span("cloud.wait-for-afi", afi_id=afi_id,
+                      max_polls=polls):
+                _API_CALLS.inc(verb="describe-fpga-images")
+                return self.afi.wait_until_available(
+                    afi_id, max_polls=polls, poll_policy=pacing,
+                    clock=breaker.clock)
+
+        return run_boundary("cloud.wait-for-afi", attempt,
+                            policy=self.retry_policy, breaker=breaker)
 
     def run_f1_instance(self, instance_type: str = "f1.2xlarge") \
             -> F1Instance:

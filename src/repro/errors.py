@@ -176,6 +176,35 @@ class InstanceError(CloudError):
 
 
 # ---------------------------------------------------------------------------
+# Resilience (retry / circuit breaking / checkpointing)
+# ---------------------------------------------------------------------------
+
+
+class TransientError(CondorError):
+    """Infrastructure weather: an error expected to clear on retry.
+
+    Raised by the simulated cloud/toolchain boundaries for conditions
+    that are not the caller's fault (payload corrupted in transit,
+    injected chaos faults, ...).  :class:`repro.resilience.RetryPolicy`
+    treats these — and only these — as retryable.
+    """
+
+
+class CircuitOpenError(CondorError):
+    """A circuit breaker is open: the boundary failed repeatedly and
+    calls are rejected until the recovery window elapses."""
+
+    def __init__(self, boundary: str, message: str = ""):
+        detail = f": {message}" if message else ""
+        super().__init__(f"circuit open for boundary {boundary!r}{detail}")
+        self.boundary = boundary
+
+
+class CheckpointError(CondorError):
+    """A flow checkpoint is unreadable or inconsistent."""
+
+
+# ---------------------------------------------------------------------------
 # Static analysis
 # ---------------------------------------------------------------------------
 

@@ -19,13 +19,22 @@ from repro.cloud.client import AWSSession
 from repro.codegen.bundle import generate_sources
 from repro.codegen.host import generate_host_source
 from repro.dse.explorer import DSEResult, explore
-from repro.errors import AnalysisError, CondorError, FlowError
+from repro.errors import (
+    AnalysisError,
+    CircuitOpenError,
+    CloudError,
+    CondorError,
+    FlowError,
+    TransientError,
+)
 from repro.frontend.caffe import load_caffemodel, load_prototxt
 from repro.frontend.caffe.converter import convert_caffe_model
 from repro.frontend.condor_format import (
     CondorModel,
     DeploymentOption,
     load_condor_json,
+    model_from_json,
+    model_to_json,
     save_condor_json,
 )
 from repro.frontend.weights import WeightStore
@@ -40,14 +49,24 @@ from repro.hw.perf import (
     estimate_power_watts,
 )
 from repro.hw.resources import device_for_board
+from repro.resilience import (
+    BoundaryStats,
+    Checkpoint,
+    CheckpointStore,
+    chain_digest,
+    collecting_stats,
+    file_digest,
+)
 from repro.toolchain.assemble import AssemblyResult, build_network_ip
 from repro.toolchain.hls import VivadoHLS
 from repro.toolchain.sdaccel import (
+    XoFile,
     generate_kernel_xml,
     package_xo,
     xocc_link,
 )
-from repro.toolchain.xclbin import Xclbin, write_xclbin
+from repro.toolchain.vivado import VivadoIP
+from repro.toolchain.xclbin import Xclbin, read_xclbin, write_xclbin
 from repro.obs import (
     REGISTRY,
     SpanRecorder,
@@ -69,6 +88,12 @@ _RUNS = REGISTRY.counter(
     "condor_flow_runs_total", "Flow runs by final status")
 _STEP_SECONDS = REGISTRY.histogram(
     "condor_flow_step_seconds", "Wall time per flow step")
+_STEPS_SKIPPED = REGISTRY.counter(
+    "condor_flow_steps_skipped_total",
+    "Flow steps restored from checkpoints instead of re-running")
+_DEGRADED = REGISTRY.counter(
+    "condor_flow_degraded_total",
+    "Flow runs that kept a local build after a cloud failure")
 
 
 @dataclass
@@ -92,6 +117,9 @@ class FlowInputs:
     run_dse: bool = False
     #: Bucket used for AFI creation (cloud deployments).
     s3_bucket: str = "condor-afis"
+    #: ``describe-fpga-images`` poll budget override for step 8
+    #: (``None`` keeps the :class:`AWSSession` default).
+    afi_max_polls: int | None = None
 
 
 @dataclass
@@ -99,6 +127,8 @@ class StepRecord:
     name: str
     seconds: float
     detail: str = ""
+    #: True when the step was restored from a checkpoint, not re-run.
+    skipped: bool = False
 
 
 @dataclass
@@ -122,6 +152,11 @@ class FlowResult:
     agfi_id: str | None = None
     #: Where the run's ``telemetry.json`` manifest landed (when enabled).
     telemetry_path: Path | None = None
+    #: True when the cloud tail (step 8) failed but the local build was
+    #: kept — the run's manifest status is ``"partial"``.
+    degraded: bool = False
+    #: ``"ExcType: message"`` of the failure that caused the downgrade.
+    degradation: str | None = None
 
     @property
     def utilization(self) -> dict[str, float]:
@@ -159,6 +194,13 @@ class FlowResult:
         return table.render()
 
 
+def _files_under(directory: Path) -> list[Path]:
+    """Every file below ``directory`` (checkpoint artifact lists)."""
+    if not directory.is_dir():
+        return []
+    return sorted(p for p in directory.rglob("*") if p.is_file())
+
+
 def _hints_from_mapping(mapping: MappingConfig) -> dict:
     """Express a mapping as per-layer Condor JSON hardware hints."""
     from repro.frontend.condor_format import LayerHints
@@ -180,7 +222,8 @@ class CondorFlow:
                  cal: Calibration = DEFAULT_CALIBRATION,
                  aws: AWSSession | None = None,
                  telemetry: bool = True,
-                 check: bool = True):
+                 check: bool = True,
+                 resume: bool = False):
         self.workdir = Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
         self.cal = cal
@@ -189,6 +232,13 @@ class CondorFlow:
         #: Run the static-analysis gate before hardware generation
         #: (``condor build --no-check`` disables it).
         self.check = check
+        #: Skip steps whose checkpoints are still fresh
+        #: (``condor build --resume``).  Checkpoints are *written*
+        #: unconditionally; this only controls whether they are read.
+        self.resume = resume
+        self.checkpoints = CheckpointStore(self.workdir)
+        #: Retry/breaker accounting of the most recent :meth:`run`.
+        self.boundary_stats: BoundaryStats | None = None
         #: Span recorder of the most recent :meth:`run` (telemetry on).
         self.recorder: SpanRecorder | None = None
         self._steps: list[StepRecord] = []
@@ -223,6 +273,52 @@ class CondorFlow:
             else time.perf_counter() - t0
         _STEP_SECONDS.observe(seconds, step=name)
         self._steps.append(StepRecord(name, seconds))
+
+    def _skip_step(self, name: str,
+                   detail: str = "restored from checkpoint") -> None:
+        """Record a step satisfied from its checkpoint."""
+        _STEPS_SKIPPED.inc(step=name)
+        _log.info("step %s: %s", name, detail)
+        self._steps.append(StepRecord(name, 0.0, detail=detail,
+                                      skipped=True))
+
+    def _inputs_fingerprint(self, inputs: FlowInputs) -> str:
+        """Root of every step's checkpoint digest chain: the run inputs
+        (file contents, not paths) + flow configuration."""
+
+        def digest_of(path: Path | str | None) -> str | None:
+            # missing files are step 1's problem to report; the
+            # fingerprint just needs to be computable
+            if path is None or not Path(path).is_file():
+                return None
+            return file_digest(Path(path))
+
+        weights_dir = None
+        if inputs.weights_dir is not None:
+            root = Path(inputs.weights_dir)
+            if root.is_dir():
+                weights_dir = sorted(
+                    (p.relative_to(root).as_posix(), file_digest(p))
+                    for p in root.rglob("*") if p.is_file())
+        doc = {
+            "model": (model_to_json(inputs.model)
+                      if inputs.model is not None else None),
+            "condor_json": digest_of(inputs.condor_json),
+            "prototxt": digest_of(inputs.prototxt),
+            "caffemodel": digest_of(inputs.caffemodel),
+            "onnx": digest_of(inputs.onnx),
+            "weights_dir": weights_dir,
+            "deployment": (inputs.deployment.name
+                           if inputs.deployment else None),
+            "frequency_hz": inputs.frequency_hz,
+            "board": inputs.board,
+            "run_dse": inputs.run_dse,
+            "s3_bucket": inputs.s3_bucket,
+            "check": self.check,
+            "calibration": asdict(self.cal),
+        }
+        return chain_digest(None, "flow-inputs",
+                            json.dumps(doc, sort_keys=True))
 
     # -- steps ------------------------------------------------------------------
 
@@ -294,9 +390,11 @@ class CondorFlow:
             with recording(self.recorder), \
                     span("condor.flow", workdir=str(self.workdir)):
                 result = self._execute(inputs)
-            status = "ok"
+            status = "partial" if result.degraded else "ok"
             return result
-        except CondorError as exc:
+        except BaseException as exc:
+            # every failure mode lands in the manifest — not just
+            # CondorError subclasses (a crashed run must stay diagnosable)
             error = f"{type(exc).__name__}: {exc}"
             raise
         finally:
@@ -325,9 +423,16 @@ class CondorFlow:
         }
         if error:
             run["error"] = error
+        if result is not None and result.degraded:
+            run["degraded_step"] = "8-afi-creation"
+            run["degradation"] = result.degradation
         steps = [{"name": s.name, "seconds": s.seconds,
-                  "detail": s.detail} for s in self._steps]
+                  "detail": s.detail, "skipped": s.skipped}
+                 for s in self._steps]
         snapshots: dict = {}
+        stats = self.boundary_stats
+        if stats is not None and (stats.calls or stats.any_activity):
+            snapshots["resilience"] = stats.to_dict()
         if result is not None:
             capacity = device_for_board(result.model.board).capacity
             snapshots["resource_estimate"] = {
@@ -358,115 +463,278 @@ class CondorFlow:
             steps=steps, snapshots=snapshots)
 
     def _execute(self, inputs: FlowInputs) -> FlowResult:
+        with collecting_stats() as stats:
+            self.boundary_stats = stats
+            return self._pipeline(inputs)
+
+    def _pipeline(self, inputs: FlowInputs) -> FlowResult:
         self._steps = []
+        store = self.checkpoints
+        fingerprint = self._inputs_fingerprint(inputs)
+        resume_ok = self.resume
         dse_result: DSEResult | None = None
 
-        with self._step("1-input-analysis"):
-            model, weights = self._input_analysis(inputs)
+        def fresh(name: str, digest: str) -> Checkpoint | None:
+            """The step's reusable checkpoint, driving the resume
+            cascade: the first stale/missing step re-runs everything
+            after it."""
+            nonlocal resume_ok
+            if not resume_ok:
+                return None
+            checkpoint = store.valid(name, digest)
+            if checkpoint is None:
+                resume_ok = False
+            return checkpoint
 
-        with self._step("2-design-space-exploration"):
-            if inputs.run_dse:
-                dse_result = explore(model, cal=self.cal)
-                mapping = dse_result.mapping
-                # fold the chosen configuration back into the model's
-                # hardware hints so it travels inside every downstream
-                # artifact (Condor JSON, xclbin NETW section) and the
-                # runtime reconstructs the same accelerator
-                model = CondorModel(
-                    network=model.network, board=model.board,
-                    frequency_hz=model.frequency_hz,
-                    deployment=model.deployment,
-                    hints=_hints_from_mapping(mapping))
-                save_condor_json(model,
-                                 self.workdir / "network.condor.json")
-            elif model.hints:
-                mapping = mapping_from_model(model)
-            else:
-                mapping = default_mapping(model.network)
+        d1 = chain_digest(fingerprint, "1-input-analysis")
+        cp = fresh("1-input-analysis", d1)
+        if cp is not None:
+            with span("flow.restore", step="1-input-analysis"):
+                model = model_from_json(cp.state["model"])
+                weights = WeightStore.load(self.workdir / "weights")
+            self._skip_step("1-input-analysis")
+        else:
+            with self._step("1-input-analysis"):
+                model, weights = self._input_analysis(inputs)
+                store.save(
+                    "1-input-analysis", d1,
+                    artifacts=_files_under(self.workdir / "weights"),
+                    # the model travels in state, not as the
+                    # network.condor.json artifact: DSE rewrites that
+                    # file, which must not invalidate this step
+                    state={"model": model_to_json(model)})
+
+        d2 = chain_digest(d1, "2-design-space-exploration")
+        cp = fresh("2-design-space-exploration", d2)
+        if cp is not None:
+            with span("flow.restore",
+                      step="2-design-space-exploration"):
+                model = model_from_json(cp.state["model"])
+                mapping = mapping_from_model(model) if model.hints \
+                    else default_mapping(model.network)
+            detail = "restored from checkpoint"
+            if cp.state.get("used_dse"):
+                # the chosen configuration lives in the model hints; the
+                # search trace itself is not replayed (FlowResult.dse
+                # stays None on a resumed run)
+                detail += " (DSE mapping, trace not replayed)"
+            self._skip_step("2-design-space-exploration", detail)
+        else:
+            with self._step("2-design-space-exploration"):
+                if inputs.run_dse:
+                    dse_result = explore(model, cal=self.cal)
+                    mapping = dse_result.mapping
+                    # fold the chosen configuration back into the
+                    # model's hardware hints so it travels inside every
+                    # downstream artifact (Condor JSON, xclbin NETW
+                    # section) and the runtime reconstructs the same
+                    # accelerator
+                    model = CondorModel(
+                        network=model.network, board=model.board,
+                        frequency_hz=model.frequency_hz,
+                        deployment=model.deployment,
+                        hints=_hints_from_mapping(mapping))
+                    save_condor_json(model,
+                                     self.workdir / "network.condor.json")
+                elif model.hints:
+                    mapping = mapping_from_model(model)
+                else:
+                    mapping = default_mapping(model.network)
+                store.save(
+                    "2-design-space-exploration", d2,
+                    artifacts=["network.condor.json"]
+                    if inputs.run_dse else [],
+                    state={"used_dse": inputs.run_dse,
+                           "model": model_to_json(model)})
 
         accelerator: Accelerator | None = None
+        d_prev = d2
         if self.check:
-            with self._step("2b-static-analysis"):
-                ctx = AnalysisContext(model, weights=weights,
-                                      mapping=mapping)
-                report = AnalysisPipeline().run(ctx)
-                reports_dir = self.workdir / "reports"
-                reports_dir.mkdir(exist_ok=True)
-                (reports_dir / "analysis.txt").write_text(
-                    report.render() + "\n")
-                (reports_dir / "analysis.json").write_text(
-                    report.to_json() + "\n")
-                _log.info("static analysis: %s", report.summary_line())
-                if not report.ok:
-                    raise AnalysisError(
-                        f"static analysis found {len(report.errors)}"
-                        f" error(s); see {reports_dir / 'analysis.txt'}"
-                        " (rerun with --no-check to bypass the gate)",
-                        report=report)
-                # the gate already built the design; reuse it downstream
-                accelerator = ctx.accelerator
+            d2b = chain_digest(d2, "2b-static-analysis")
+            d_prev = d2b
+            cp = fresh("2b-static-analysis", d2b)
+            if cp is not None:
+                # the gate passed before on identical inputs; the
+                # accelerator is rebuilt in step 3-5
+                self._skip_step("2b-static-analysis")
+            else:
+                with self._step("2b-static-analysis"):
+                    ctx = AnalysisContext(model, weights=weights,
+                                          mapping=mapping)
+                    report = AnalysisPipeline().run(ctx)
+                    reports_dir = self.workdir / "reports"
+                    reports_dir.mkdir(exist_ok=True)
+                    (reports_dir / "analysis.txt").write_text(
+                        report.render() + "\n")
+                    (reports_dir / "analysis.json").write_text(
+                        report.to_json() + "\n")
+                    _log.info("static analysis: %s",
+                              report.summary_line())
+                    if not report.ok:
+                        raise AnalysisError(
+                            f"static analysis found"
+                            f" {len(report.errors)} error(s); see"
+                            f" {reports_dir / 'analysis.txt'} (rerun"
+                            " with --no-check to bypass the gate)",
+                            report=report)
+                    # the gate already built the design; reuse it
+                    # downstream
+                    accelerator = ctx.accelerator
+                    store.save("2b-static-analysis", d2b,
+                               artifacts=["reports/analysis.txt",
+                                          "reports/analysis.json"])
 
-        with self._step("3-5-hardware-generation"):
-            if accelerator is None:
-                accelerator = build_accelerator(model, mapping)
-            sources = generate_sources(accelerator)
-            sources.write_to(self.workdir / "sources")
-            hls = VivadoHLS(device_for_board(model.board).part,
-                            model.frequency_hz, self.cal)
-            assembly: AssemblyResult = build_network_ip(
-                accelerator, hls, self.cal)
-            estimate = estimate_accelerator(accelerator, self.cal)
-            (self.workdir / "reports").mkdir(exist_ok=True)
-            (self.workdir / "reports" / "resources.txt").write_text(
-                estimate.summary(
-                    device_for_board(model.board).capacity) + "\n")
-            hls_dir = self.workdir / "reports" / "hls"
-            hls_dir.mkdir(exist_ok=True)
-            for hls_report in hls.reports:
-                (hls_dir / f"{hls_report.kernel}_csynth.rpt").write_text(
-                    hls_report.render(model.frequency_hz))
-            from repro.ir.dot import accelerator_to_dot, network_to_dot
-            (self.workdir / "network.dot").write_text(
-                network_to_dot(model.network))
-            (self.workdir / "accelerator.dot").write_text(
-                accelerator_to_dot(accelerator))
+        d35 = chain_digest(d_prev, "3-5-hardware-generation")
+        cp = fresh("3-5-hardware-generation", d35)
+        if cp is not None:
+            with span("flow.restore", step="3-5-hardware-generation"):
+                if accelerator is None:
+                    accelerator = build_accelerator(model, mapping)
+                estimate = estimate_accelerator(accelerator, self.cal)
+                accelerator_ip = VivadoIP.from_dict(
+                    cp.state["accelerator_ip"])
+            self._skip_step("3-5-hardware-generation")
+        else:
+            with self._step("3-5-hardware-generation"):
+                if accelerator is None:
+                    accelerator = build_accelerator(model, mapping)
+                sources = generate_sources(accelerator)
+                sources.write_to(self.workdir / "sources")
+                hls = VivadoHLS(device_for_board(model.board).part,
+                                model.frequency_hz, self.cal)
+                assembly: AssemblyResult = build_network_ip(
+                    accelerator, hls, self.cal)
+                accelerator_ip = assembly.accelerator_ip
+                estimate = estimate_accelerator(accelerator, self.cal)
+                (self.workdir / "reports").mkdir(exist_ok=True)
+                (self.workdir / "reports" / "resources.txt").write_text(
+                    estimate.summary(
+                        device_for_board(model.board).capacity) + "\n")
+                hls_dir = self.workdir / "reports" / "hls"
+                hls_dir.mkdir(exist_ok=True)
+                for hls_report in hls.reports:
+                    (hls_dir / f"{hls_report.kernel}_csynth.rpt") \
+                        .write_text(hls_report.render(model.frequency_hz))
+                from repro.ir.dot import (
+                    accelerator_to_dot,
+                    network_to_dot,
+                )
+                (self.workdir / "network.dot").write_text(
+                    network_to_dot(model.network))
+                (self.workdir / "accelerator.dot").write_text(
+                    accelerator_to_dot(accelerator))
+                store.save(
+                    "3-5-hardware-generation", d35,
+                    artifacts=[
+                        *_files_under(self.workdir / "sources"),
+                        self.workdir / "reports" / "resources.txt",
+                        *_files_under(hls_dir),
+                        "network.dot", "accelerator.dot",
+                    ],
+                    state={"accelerator_ip": accelerator_ip.to_dict()})
 
-        with self._step("6-sdaccel-integration"):
-            kernel_xml = generate_kernel_xml(assembly.accelerator_ip)
-            (self.workdir / "kernel.xml").write_text(kernel_xml + "\n")
-            xo = package_xo(assembly.accelerator_ip, kernel_xml,
-                            model=model)
-            (self.workdir / f"{accelerator.name}.xo").write_bytes(xo.data)
+        d6 = chain_digest(d35, "6-sdaccel-integration")
+        cp = fresh("6-sdaccel-integration", d6)
+        xo_path = self.workdir / f"{accelerator.name}.xo"
+        if cp is not None:
+            with span("flow.restore", step="6-sdaccel-integration"):
+                xo = XoFile.open(xo_path.read_bytes())
+            self._skip_step("6-sdaccel-integration")
+        else:
+            with self._step("6-sdaccel-integration"):
+                kernel_xml = generate_kernel_xml(accelerator_ip)
+                (self.workdir / "kernel.xml").write_text(
+                    kernel_xml + "\n")
+                xo = package_xo(accelerator_ip, kernel_xml, model=model)
+                xo_path.write_bytes(xo.data)
+                store.save("6-sdaccel-integration", d6,
+                           artifacts=["kernel.xml", xo_path])
 
-        with self._step("7-deployment-on-board"):
-            device = device_for_board(model.board)
-            xclbin = xocc_link(xo, device, model.frequency_hz, self.cal)
-            xclbin_path = self.workdir / f"{accelerator.name}.xclbin"
-            write_xclbin(xclbin, xclbin_path)
-            accelerator.frequency_hz = xclbin.frequency_hz
-            host_path = self.workdir / "host.cpp"
-            host_path.write_text(generate_host_source(
-                accelerator, xclbin_name=xclbin_path.name))
-            performance = estimate_performance(accelerator, self.cal)
-            power = estimate_power_watts(accelerator, estimate, self.cal)
+        d7 = chain_digest(d6, "7-deployment-on-board")
+        cp = fresh("7-deployment-on-board", d7)
+        xclbin_path = self.workdir / f"{accelerator.name}.xclbin"
+        host_path = self.workdir / "host.cpp"
+        if cp is not None:
+            with span("flow.restore", step="7-deployment-on-board"):
+                xclbin_bytes = xclbin_path.read_bytes()
+                xclbin = read_xclbin(xclbin_bytes)
+                accelerator.frequency_hz = xclbin.frequency_hz
+                performance = estimate_performance(accelerator,
+                                                   self.cal)
+                power = estimate_power_watts(accelerator, estimate,
+                                             self.cal)
+            self._skip_step("7-deployment-on-board")
+        else:
+            with self._step("7-deployment-on-board"):
+                device = device_for_board(model.board)
+                xclbin = xocc_link(xo, device, model.frequency_hz,
+                                   self.cal)
+                # serialize exactly once; step 8 uploads these bytes
+                xclbin_bytes = write_xclbin(xclbin, xclbin_path)
+                accelerator.frequency_hz = xclbin.frequency_hz
+                host_path.write_text(generate_host_source(
+                    accelerator, xclbin_name=xclbin_path.name))
+                performance = estimate_performance(accelerator,
+                                                   self.cal)
+                power = estimate_power_watts(accelerator, estimate,
+                                             self.cal)
+                store.save("7-deployment-on-board", d7,
+                           artifacts=[xclbin_path, host_path])
 
         afi_id = agfi_id = None
+        degraded = False
+        degradation: str | None = None
         if model.deployment is DeploymentOption.AWS_F1:
-            with self._step("8-afi-creation"):
-                uri_key = f"dcp/{accelerator.name}.xclbin"
-                self.aws.upload(inputs.s3_bucket, uri_key,
-                                write_xclbin(xclbin))
-                record = self.aws.create_fpga_image(
-                    name=accelerator.name, bucket=inputs.s3_bucket,
-                    key=uri_key,
-                    description=f"Condor accelerator for"
-                                f" {model.network.name}")
-                record = self.aws.wait_for_afi(record.afi_id)
-                afi_id, agfi_id = record.afi_id, record.agfi_id
-                (self.workdir / "afi.json").write_text(json.dumps({
-                    "afi_id": afi_id, "agfi_id": agfi_id,
-                    "bucket": inputs.s3_bucket, "key": uri_key,
-                }, indent=2) + "\n")
+            d8 = chain_digest(d7, "8-afi-creation", inputs.s3_bucket)
+            cp = fresh("8-afi-creation", d8)
+            if cp is not None:
+                afi_id = cp.state["afi_id"]
+                agfi_id = cp.state["agfi_id"]
+                self._skip_step("8-afi-creation")
+            else:
+                try:
+                    with self._step("8-afi-creation"):
+                        uri_key = f"dcp/{accelerator.name}.xclbin"
+                        self.aws.upload(inputs.s3_bucket, uri_key,
+                                        xclbin_bytes)
+                        record = self.aws.create_fpga_image(
+                            name=accelerator.name,
+                            bucket=inputs.s3_bucket, key=uri_key,
+                            description=f"Condor accelerator for"
+                                        f" {model.network.name}")
+                        record = self.aws.wait_for_afi(
+                            record.afi_id,
+                            max_polls=inputs.afi_max_polls)
+                        afi_id, agfi_id = record.afi_id, record.agfi_id
+                        (self.workdir / "afi.json").write_text(
+                            json.dumps({
+                                "afi_id": afi_id, "agfi_id": agfi_id,
+                                "bucket": inputs.s3_bucket,
+                                "key": uri_key,
+                            }, indent=2) + "\n")
+                        store.save("8-afi-creation", d8,
+                                   artifacts=["afi.json"],
+                                   state={"afi_id": afi_id,
+                                          "agfi_id": agfi_id})
+                except FlowError as exc:
+                    cause = exc.__cause__
+                    if not isinstance(cause, (CloudError,
+                                              CircuitOpenError,
+                                              TransientError)):
+                        raise
+                    # the local build is complete and valid — keep it
+                    # and downgrade the run instead of discarding an
+                    # hour of toolchain work over cloud weather
+                    degraded = True
+                    degradation = f"{type(cause).__name__}: {cause}"
+                    _DEGRADED.inc()
+                    _log.warning(
+                        "AFI creation failed (%s); keeping the local"
+                        " build and degrading to a partial result",
+                        degradation)
+                    self._steps.append(StepRecord(
+                        "8-afi-creation", 0.0,
+                        detail=f"degraded: {degradation}"))
 
         return FlowResult(
             model=model, weights=weights, mapping=mapping,
@@ -475,4 +743,5 @@ class CondorFlow:
             workdir=self.workdir, xclbin_path=xclbin_path,
             host_path=host_path, steps=list(self._steps),
             dse=dse_result, afi_id=afi_id, agfi_id=agfi_id,
+            degraded=degraded, degradation=degradation,
         )

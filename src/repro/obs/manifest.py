@@ -133,6 +133,9 @@ def append_ledger(manifest: dict[str, Any]) -> Path | None:
         "status": run.get("status"),
         "seconds": run.get("seconds"),
         "steps": len(manifest.get("steps", [])),
+        "skipped_steps": sum(1 for s in manifest.get("steps", [])
+                             if s.get("skipped")),
+        "degraded_step": run.get("degraded_step"),
         "span_count": process.get("span_count"),
         "peak_rss_bytes": process.get("peak_rss_bytes"),
         "gflops": (manifest.get("performance") or {}).get("gflops"),

@@ -1,0 +1,150 @@
+"""Flow checkpoints: what ``condor build --resume`` skips from.
+
+Each completed flow step persists a small JSON record under
+``workdir/checkpoints/``: the step's *chained input digest* (a hash over
+the run inputs and every upstream step's configuration), the SHA-256 of
+each artifact the step wrote, and a free-form ``state`` dict with
+whatever downstream steps need to rehydrate.  On resume, a step is
+skipped iff its recorded digest matches the recomputed chain *and* every
+artifact is still on disk with the recorded hash — the first stale,
+missing or failed step re-runs, and everything after it re-runs too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CheckpointError
+from repro.util.logging import get_logger
+
+__all__ = ["Checkpoint", "CheckpointStore", "chain_digest", "file_digest"]
+
+_log = get_logger("resilience.checkpoint")
+
+CHECKPOINT_SCHEMA = 1
+CHECKPOINT_DIRNAME = "checkpoints"
+
+
+def chain_digest(prev: str | None, *parts: str) -> str:
+    """Extend a digest chain: ``sha256(prev || part || ...)``."""
+    h = hashlib.sha256()
+    if prev:
+        h.update(prev.encode())
+    for part in parts:
+        h.update(b"\x00")
+        h.update(part.encode())
+    return h.hexdigest()
+
+
+def file_digest(path: Path) -> str:
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+@dataclass
+class Checkpoint:
+    """One step's persisted completion record."""
+
+    step: str
+    digest: str
+    #: Workdir-relative artifact path -> sha256 hex digest.
+    artifacts: dict[str, str] = field(default_factory=dict)
+    state: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"schema": CHECKPOINT_SCHEMA, "step": self.step,
+                "digest": self.digest, "artifacts": self.artifacts,
+                "state": self.state}
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "Checkpoint":
+        try:
+            if doc["schema"] != CHECKPOINT_SCHEMA:
+                raise CheckpointError(
+                    f"unsupported checkpoint schema {doc['schema']!r}")
+            return cls(step=doc["step"], digest=doc["digest"],
+                       artifacts=dict(doc["artifacts"]),
+                       state=dict(doc.get("state", {})))
+        except (KeyError, TypeError) as exc:
+            raise CheckpointError(
+                f"malformed checkpoint document: {exc}") from exc
+
+
+class CheckpointStore:
+    """The ``workdir/checkpoints/`` directory."""
+
+    def __init__(self, workdir: Path | str):
+        self.workdir = Path(workdir)
+        self.directory = self.workdir / CHECKPOINT_DIRNAME
+
+    def _path(self, step: str) -> Path:
+        return self.directory / f"{step}.json"
+
+    # -- writing --------------------------------------------------------------
+
+    def save(self, step: str, digest: str, *,
+             artifacts: list[Path | str] = (),
+             state: dict[str, Any] | None = None) -> Checkpoint:
+        """Record a completed step (artifact hashes taken now)."""
+        workdir = self.workdir.resolve()
+        hashed: dict[str, str] = {}
+        for artifact in artifacts:
+            resolved = Path(artifact).resolve()
+            try:
+                rel = resolved.relative_to(workdir)
+            except ValueError:
+                # a workdir-relative name like "kernel.xml"
+                resolved = (self.workdir / artifact).resolve()
+                rel = resolved.relative_to(workdir)
+            hashed[rel.as_posix()] = file_digest(resolved)
+        checkpoint = Checkpoint(step=step, digest=digest,
+                                artifacts=hashed, state=state or {})
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._path(step).write_text(
+            json.dumps(checkpoint.to_dict(), indent=2) + "\n")
+        return checkpoint
+
+    def discard(self, step: str) -> None:
+        self._path(step).unlink(missing_ok=True)
+
+    # -- reading --------------------------------------------------------------
+
+    def load(self, step: str) -> Checkpoint | None:
+        path = self._path(step)
+        if not path.is_file():
+            return None
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint {path}: {exc}") from exc
+        return Checkpoint.from_dict(doc)
+
+    def valid(self, step: str, digest: str) -> Checkpoint | None:
+        """The checkpoint iff it is fresh: digest matches and every
+        artifact is intact on disk.  Returns ``None`` otherwise."""
+        try:
+            checkpoint = self.load(step)
+        except CheckpointError as exc:
+            _log.warning("ignoring %s: %s", step, exc)
+            return None
+        if checkpoint is None:
+            return None
+        if checkpoint.digest != digest:
+            _log.info("checkpoint %s is stale (inputs changed)", step)
+            return None
+        for rel, expected in checkpoint.artifacts.items():
+            path = self.workdir / rel
+            if not path.is_file() or file_digest(path) != expected:
+                _log.info("checkpoint %s: artifact %s missing or"
+                          " modified", step, rel)
+                return None
+        return checkpoint
+
+    def steps(self) -> list[str]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(p.stem for p in self.directory.glob("*.json"))

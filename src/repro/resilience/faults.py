@@ -1,0 +1,243 @@
+"""Seeded fault injection for chaos testing.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries that fire at
+the named retryable boundaries (the *same* boundaries production code
+runs through — see :mod:`repro.resilience.boundary`), so chaos runs
+exercise the exact retry / breaker / degradation paths a real
+infrastructure outage would:
+
+``transient``
+    raises :class:`~repro.errors.TransientError` for the first ``times``
+    invocations of the boundary, then clears — survivable via retry;
+``permanent``
+    raises the boundary's native error type (``AFIError`` for the AFI
+    service, ``HLSError`` for csynth, ...) on every invocation — the
+    kind of failure retry cannot fix;
+``slow``
+    advances the virtual clock by ``delay_s`` before the call — latency
+    weather that exercises breaker recovery windows;
+``corrupt-payload``
+    deterministically flips bytes in the payload a boundary transfers
+    (S3 upload) for ``times`` invocations — caught by the upload
+    integrity check and survivable via retry.
+
+Everything is driven by a seeded RNG and per-spec counters, so a plan
+with a fixed seed replays the exact same fault sequence.  A plan is
+*stateful*: build a fresh one per run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import enum
+import fnmatch
+import random
+import zlib
+from collections import Counter
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    AFIError,
+    CondorError,
+    HLSError,
+    LinkError,
+    PackagingError,
+    S3Error,
+    TransientError,
+)
+from repro.obs import REGISTRY
+from repro.resilience.clock import VirtualClock
+from repro.util.logging import get_logger
+
+__all__ = [
+    "ALL_BOUNDARIES",
+    "CLOUD_BOUNDARIES",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+]
+
+_log = get_logger("resilience.faults")
+
+_INJECTED = REGISTRY.counter(
+    "condor_resilience_faults_injected_total",
+    "Faults injected into boundaries, by boundary and kind")
+
+#: Native error type per boundary — what a *permanent* fault raises, so
+#: the caller sees exactly what the real subsystem would throw.
+BOUNDARY_ERRORS: dict[str, type[CondorError]] = {
+    "cloud.upload": S3Error,
+    "cloud.create-fpga-image": AFIError,
+    "cloud.wait-for-afi": AFIError,
+    "toolchain.hls-csynth": HLSError,
+    "toolchain.xocc-link": LinkError,
+    "toolchain.package-xo": PackagingError,
+}
+
+ALL_BOUNDARIES: tuple[str, ...] = tuple(BOUNDARY_ERRORS)
+CLOUD_BOUNDARIES: tuple[str, ...] = tuple(
+    b for b in ALL_BOUNDARIES if b.startswith("cloud."))
+
+
+class FaultKind(enum.Enum):
+    TRANSIENT = "transient"
+    PERMANENT = "permanent"
+    SLOW = "slow"
+    CORRUPT = "corrupt-payload"
+
+
+@dataclass
+class FaultSpec:
+    """One fault: where, what, and how often it fires."""
+
+    boundary: str  # exact boundary name, or an fnmatch pattern ("cloud.*")
+    kind: FaultKind
+    #: Invocations the fault fires on (ignored for PERMANENT: always).
+    times: int = 1
+    #: Virtual latency added by SLOW faults.
+    delay_s: float = 30.0
+    message: str = ""
+
+    def matches(self, boundary: str) -> bool:
+        return fnmatch.fnmatchcase(boundary, self.boundary)
+
+    def to_dict(self) -> dict:
+        return {"boundary": self.boundary, "kind": self.kind.value,
+                "times": self.times, "delay_s": self.delay_s}
+
+
+class FaultPlan:
+    """A seeded set of faults plus the injection bookkeeping."""
+
+    def __init__(self, specs: Iterator[FaultSpec] | list[FaultSpec] = (),
+                 seed: int = 0):
+        self.specs = list(specs)
+        self.seed = seed
+        self._rng = random.Random(
+            seed * 0x1_0000_0000 + zlib.crc32(b"fault-payload"))
+        self._remaining = [spec.times for spec in self.specs]
+        #: (boundary, kind-value) -> injection count.
+        self.injected: Counter[tuple[str, str]] = Counter()
+
+    # -- the hooks run_boundary calls --------------------------------------
+
+    def on_attempt(self, boundary: str, clock: VirtualClock) -> None:
+        """Fire SLOW / TRANSIENT / PERMANENT faults for one attempt."""
+        for index, spec in enumerate(self.specs):
+            if not spec.matches(boundary):
+                continue
+            if spec.kind is FaultKind.SLOW and self._remaining[index] > 0:
+                self._remaining[index] -= 1
+                self._record(boundary, spec)
+                clock.sleep(spec.delay_s)
+            elif spec.kind is FaultKind.TRANSIENT and \
+                    self._remaining[index] > 0:
+                self._remaining[index] -= 1
+                self._record(boundary, spec)
+                raise TransientError(
+                    spec.message or
+                    f"injected transient fault at {boundary}")
+            elif spec.kind is FaultKind.PERMANENT:
+                self._record(boundary, spec)
+                exc_type = BOUNDARY_ERRORS.get(boundary, CondorError)
+                raise exc_type(
+                    spec.message or
+                    f"injected permanent fault at {boundary}")
+
+    def corrupt(self, boundary: str, payload: bytes) -> bytes:
+        """Apply any armed CORRUPT fault to a payload in transit."""
+        for index, spec in enumerate(self.specs):
+            if spec.kind is not FaultKind.CORRUPT or \
+                    not spec.matches(boundary) or \
+                    self._remaining[index] <= 0 or not payload:
+                continue
+            self._remaining[index] -= 1
+            self._record(boundary, spec)
+            mutated = bytearray(payload)
+            flips = max(1, len(mutated) // 4096)
+            for pos in self._rng.sample(range(len(mutated)),
+                                        min(flips, len(mutated))):
+                mutated[pos] ^= 0xFF
+            return bytes(mutated)
+        return payload
+
+    def _record(self, boundary: str, spec: FaultSpec) -> None:
+        self.injected[(boundary, spec.kind.value)] += 1
+        _INJECTED.inc(boundary=boundary, kind=spec.kind.value)
+        _log.info("fault injected at %s: %s", boundary, spec.kind.value)
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def stats(self) -> dict:
+        by_kind: Counter[str] = Counter()
+        by_boundary: Counter[str] = Counter()
+        for (boundary, kind), count in self.injected.items():
+            by_kind[kind] += count
+            by_boundary[boundary] += count
+        return {
+            "seed": self.seed,
+            "specs": [spec.to_dict() for spec in self.specs],
+            "injected_total": self.total_injected,
+            "injected_by_kind": dict(sorted(by_kind.items())),
+            "injected_by_boundary": dict(sorted(by_boundary.items())),
+        }
+
+    # -- generation ----------------------------------------------------------
+
+    @classmethod
+    def random(cls, seed: int,
+               boundaries: tuple[str, ...] = ALL_BOUNDARIES, *,
+               max_transient: int = 2,
+               allow_permanent: bool = True) -> "FaultPlan":
+        """A seeded chaos plan (what ``condor chaos`` runs).
+
+        Transient/slow/corrupt faults land anywhere; permanent faults
+        are confined to cloud boundaries, where the flow degrades to a
+        partial run instead of dying.  ``max_transient`` stays below the
+        default retry budget so transient weather remains survivable.
+        """
+        rng = random.Random(
+            seed * 0x1_0000_0000 + zlib.crc32(b"fault-plan"))
+        specs: list[FaultSpec] = []
+        for boundary in boundaries:
+            roll = rng.random()
+            if roll < 0.45:
+                specs.append(FaultSpec(
+                    boundary, FaultKind.TRANSIENT,
+                    times=rng.randint(1, max(1, max_transient))))
+            elif roll < 0.60:
+                specs.append(FaultSpec(
+                    boundary, FaultKind.SLOW,
+                    delay_s=round(rng.uniform(5.0, 45.0), 1)))
+            if boundary == "cloud.upload" and rng.random() < 0.35:
+                specs.append(FaultSpec(boundary, FaultKind.CORRUPT))
+        cloud = [b for b in boundaries if b in CLOUD_BOUNDARIES]
+        if allow_permanent and cloud and rng.random() < 0.3:
+            specs.append(FaultSpec(rng.choice(cloud),
+                                   FaultKind.PERMANENT))
+        return cls(specs, seed=seed)
+
+
+_active_plan: contextvars.ContextVar[FaultPlan | None] = \
+    contextvars.ContextVar("repro_resilience_fault_plan", default=None)
+
+
+def active_plan() -> FaultPlan | None:
+    """The fault plan installed by ``inject_faults``, if any."""
+    return _active_plan.get()
+
+
+@contextlib.contextmanager
+def _activate(plan: FaultPlan) -> Iterator[FaultPlan]:
+    token = _active_plan.set(plan)
+    try:
+        yield plan
+    finally:
+        _active_plan.reset(token)

@@ -171,14 +171,25 @@ class VivadoHLS:
     # -- synthesis ------------------------------------------------------------
 
     def synthesize(self, source: str) -> HLSIP:
-        """Synthesize one generated C source into an HLS IP + report."""
+        """Synthesize one generated C source into an HLS IP + report.
+
+        Runs as the ``toolchain.hls-csynth`` retryable boundary: a
+        transient toolchain hiccup (license server drop, injected chaos
+        fault) is retried under the default policy instead of killing an
+        hour-scale build.
+        """
         from repro.obs import span
+        from repro.resilience.boundary import run_boundary
 
         meta = parse_condor_metadata(source)
-        with span("toolchain.hls-csynth",
-                  kernel=meta.get("name", "?"),
-                  kind=meta.get("kind", "?")):
-            return self._synthesize(source, meta)
+
+        def attempt() -> HLSIP:
+            with span("toolchain.hls-csynth",
+                      kernel=meta.get("name", "?"),
+                      kind=meta.get("kind", "?")):
+                return self._synthesize(source, meta)
+
+        return run_boundary("toolchain.hls-csynth", attempt)
 
     def _synthesize(self, source: str, meta: dict[str, str]) -> HLSIP:
         kind = meta.get("kind")

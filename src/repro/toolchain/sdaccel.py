@@ -97,9 +97,13 @@ def package_xo(ip: VivadoIP, kernel_xml: str,
     to program the simulated device).
     """
     from repro.obs import span
+    from repro.resilience.boundary import run_boundary
 
-    with span("toolchain.package-xo", kernel=ip.name):
-        return _package_xo(ip, kernel_xml, model=model)
+    def attempt() -> XoFile:
+        with span("toolchain.package-xo", kernel=ip.name):
+            return _package_xo(ip, kernel_xml, model=model)
+
+    return run_boundary("toolchain.package-xo", attempt)
 
 
 def _package_xo(ip: VivadoIP, kernel_xml: str,
@@ -152,9 +156,13 @@ def xocc_link(xo: XoFile, device: Device, requested_hz: float,
     real toolchain reports.
     """
     from repro.obs import span
+    from repro.resilience.boundary import run_boundary
 
-    with span("toolchain.xocc-link", part=device.part):
-        return _xocc_link(xo, device, requested_hz, cal, shell=shell)
+    def attempt() -> Xclbin:
+        with span("toolchain.xocc-link", part=device.part):
+            return _xocc_link(xo, device, requested_hz, cal, shell=shell)
+
+    return run_boundary("toolchain.xocc-link", attempt)
 
 
 def _xocc_link(xo: XoFile, device: Device, requested_hz: float,

@@ -60,6 +60,32 @@ class VivadoIP:
     def vlnv(self) -> str:
         return f"{self.vendor}:{self.library}:{self.name}:{self.version}"
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (flow checkpoints round-trip the
+        packaged accelerator IP through this)."""
+        return {
+            "name": self.name,
+            "vendor": self.vendor,
+            "library": self.library,
+            "version": self.version,
+            "ports": [{"name": p.name, "protocol": p.protocol,
+                       "direction": p.direction} for p in self.ports],
+            "resources": self.resources.as_dict(),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VivadoIP":
+        return cls(
+            name=data["name"],
+            vendor=data["vendor"],
+            library=data["library"],
+            version=data["version"],
+            ports=[IPPort(**p) for p in data["ports"]],
+            resources=ResourceVector(**data["resources"]),
+            metadata=dict(data["metadata"]),
+        )
+
     def port(self, name: str) -> IPPort:
         for port in self.ports:
             if port.name == name:

@@ -328,3 +328,60 @@ class TestCheckGate:
         assert main(["--workdir", str(tmp_path / "w"), "simulate",
                      str(path), "--batch", "1"]) == 1
         assert "static analysis found" in capsys.readouterr().err
+
+
+class TestResumeCLI:
+    @pytest.fixture
+    def cloud_json(self, tmp_path):
+        from repro.frontend.condor_format import DeploymentOption
+        from repro.frontend.zoo import lenet_model
+
+        model = lenet_model(DeploymentOption.AWS_F1)
+        return str(save_condor_json(model, tmp_path / "lenet.json"))
+
+    def test_resume_prints_restoration_notes(self, cloud_json, tmp_path,
+                                             capsys):
+        workdir = tmp_path / "w"
+        assert main(["--workdir", str(workdir), "build",
+                     cloud_json]) == 0
+        first = capsys.readouterr().out
+        assert "restored from checkpoint" not in first
+        assert main(["--workdir", str(workdir), "build", cloud_json,
+                     "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "(restored from checkpoint)" in resumed
+
+    def test_afi_max_polls_degrades_gracefully(self, cloud_json,
+                                               tmp_path, capsys):
+        workdir = tmp_path / "w"
+        assert main(["--workdir", str(workdir), "build", cloud_json,
+                     "--deploy", "aws-f1", "--afi-max-polls", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING" in out
+        assert "--resume" in out
+        assert (workdir / "LeNet.xclbin").is_file()
+
+
+class TestChaos:
+    def test_chaos_single_model(self, tc1_json, tmp_path, capsys):
+        assert main(["--workdir", str(tmp_path / "w"), "chaos",
+                     tc1_json, "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "survived" in out
+        assert "tc1" in out
+
+    def test_chaos_json_format(self, tc1_json, tmp_path, capsys):
+        import json
+
+        assert main(["--workdir", str(tmp_path / "w"), "chaos",
+                     tc1_json, "--seeds", "2", "--format",
+                     "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["runs"] == 2
+        assert doc["summary"]["survived"] == 2
+        assert {"network", "seed", "status", "faults",
+                "resilience"} <= set(doc["runs"][0])
+
+    def test_chaos_requires_model_or_zoo(self, tmp_path, capsys):
+        assert main(["--workdir", str(tmp_path / "w"), "chaos"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,211 @@
+"""Flow-level resilience: chaos survival, degraded runs, checkpoint
+resume, manifest error capture."""
+
+import json
+
+import pytest
+
+from repro.errors import FlowError
+from repro.flow import CondorFlow, FlowInputs
+from repro.frontend.condor_format import DeploymentOption
+from repro.frontend.zoo import lenet_model
+from repro.resilience import (
+    ALL_BOUNDARIES,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    inject_faults,
+)
+
+
+def aws_inputs(**overrides):
+    return FlowInputs(model=lenet_model(DeploymentOption.AWS_F1),
+                      **overrides)
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """A fault-free AWS-F1 build every scenario compares against."""
+    flow = CondorFlow(tmp_path_factory.mktemp("ref"))
+    result = flow.run(aws_inputs())
+    return result, result.xclbin_path.read_bytes()
+
+
+class TestChaosSurvival:
+    def test_transient_fault_at_every_boundary_survives(self, tmp_path,
+                                                        reference):
+        _, ref_bytes = reference
+        plan = FaultPlan([FaultSpec(b, FaultKind.TRANSIENT, times=1)
+                          for b in ALL_BOUNDARIES], seed=7)
+        flow = CondorFlow(tmp_path)
+        with inject_faults(plan):
+            result = flow.run(aws_inputs())
+        assert not result.degraded
+        assert result.afi_id
+        # every boundary actually fired its fault ...
+        fired = {b for (b, _) in plan.injected}
+        assert fired == set(ALL_BOUNDARIES)
+        # ... and the artifact is bit-identical to the fault-free build
+        assert result.xclbin_path.read_bytes() == ref_bytes
+        stats = flow.boundary_stats
+        assert stats is not None
+        assert stats.total_retries >= len(ALL_BOUNDARIES)
+
+    def test_corrupted_upload_caught_and_retried(self, tmp_path,
+                                                 reference):
+        _, ref_bytes = reference
+        plan = FaultPlan([FaultSpec("cloud.upload", FaultKind.CORRUPT)],
+                         seed=3)
+        flow = CondorFlow(tmp_path)
+        with inject_faults(plan):
+            result = flow.run(aws_inputs())
+        assert not result.degraded
+        assert flow.boundary_stats.retries["cloud.upload"] == 1
+        # the AFI was created from the *intact* payload
+        record = flow.aws.afi.describe_fpga_image(result.afi_id)
+        assert record.xclbin_bytes == ref_bytes
+
+    def test_no_wallclock_time_spent_on_backoff(self, tmp_path):
+        plan = FaultPlan([FaultSpec("cloud.*", FaultKind.SLOW,
+                                    delay_s=1800.0, times=3)], seed=0)
+        flow = CondorFlow(tmp_path)
+        import time
+        t0 = time.perf_counter()
+        with inject_faults(plan):
+            result = flow.run(aws_inputs())
+        # 3 x 30 virtual minutes of injected latency; wall time stays
+        # test-suite sized because everything sleeps on the VirtualClock
+        assert time.perf_counter() - t0 < 30.0
+        assert result.afi_id
+
+
+class TestDegradedRuns:
+    def test_permanent_afi_fault_degrades_to_partial(self, tmp_path,
+                                                     reference):
+        _, ref_bytes = reference
+        plan = FaultPlan([FaultSpec("cloud.create-fpga-image",
+                                    FaultKind.PERMANENT)], seed=1)
+        flow = CondorFlow(tmp_path)
+        with inject_faults(plan):
+            result = flow.run(aws_inputs())
+        assert result.degraded
+        assert "AFIError" in result.degradation
+        assert result.afi_id is None
+        # the local build is intact
+        assert result.xclbin_path.read_bytes() == ref_bytes
+        assert result.host_path.is_file()
+        manifest = json.loads(
+            (tmp_path / "telemetry.json").read_text())
+        assert manifest["run"]["status"] == "partial"
+        assert manifest["run"]["degraded_step"] == "8-afi-creation"
+        step8 = [s for s in manifest["steps"]
+                 if s["name"] == "8-afi-creation"]
+        assert step8 and "degraded" in step8[0]["detail"]
+
+    def test_afi_poll_budget_exhaustion_degrades(self, tmp_path):
+        # the AFI backend needs PENDING_TICKS polls; one poll cannot
+        # complete, and the resulting AFIError degrades the run
+        flow = CondorFlow(tmp_path)
+        result = flow.run(aws_inputs(afi_max_polls=1))
+        assert result.degraded
+        assert "still pending" in result.degradation
+
+    def test_toolchain_failure_does_not_degrade(self, tmp_path):
+        plan = FaultPlan([FaultSpec("toolchain.xocc-link",
+                                    FaultKind.PERMANENT)], seed=2)
+        flow = CondorFlow(tmp_path)
+        with inject_faults(plan), pytest.raises(FlowError):
+            flow.run(aws_inputs())
+
+
+class TestManifestErrorCapture:
+    def test_non_condor_error_recorded(self, tmp_path, monkeypatch):
+        import repro.flow.condor as condor_module
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(condor_module, "generate_host_source", boom)
+        flow = CondorFlow(tmp_path)
+        with pytest.raises(OSError):
+            flow.run(aws_inputs())
+        manifest = json.loads(
+            (tmp_path / "telemetry.json").read_text())
+        assert manifest["run"]["status"] == "error"
+        assert manifest["run"]["error"] == "OSError: disk full"
+
+
+class TestResume:
+    def test_full_resume_skips_everything(self, tmp_path, reference):
+        _, ref_bytes = reference
+        first = CondorFlow(tmp_path).run(aws_inputs())
+        resumed = CondorFlow(tmp_path, resume=True).run(aws_inputs())
+        assert all(s.skipped for s in resumed.steps)
+        assert [s.name for s in resumed.steps] == \
+            [s.name for s in first.steps]
+        assert resumed.xclbin_path.read_bytes() == ref_bytes
+        assert resumed.afi_id == first.afi_id
+        assert resumed.agfi_id == first.agfi_id
+        manifest = json.loads(
+            (tmp_path / "telemetry.json").read_text())
+        assert all(s["skipped"] for s in manifest["steps"])
+
+    def test_resume_after_crash_reruns_from_failure(self, tmp_path,
+                                                    reference):
+        _, ref_bytes = reference
+        plan = FaultPlan([FaultSpec("toolchain.xocc-link",
+                                    FaultKind.PERMANENT)], seed=4)
+        with inject_faults(plan), pytest.raises(FlowError):
+            CondorFlow(tmp_path).run(aws_inputs())
+        # steps 1..6 left checkpoints; 7 failed before writing one
+        resumed = CondorFlow(tmp_path, resume=True).run(aws_inputs())
+        by_name = {s.name: s for s in resumed.steps}
+        skipped = {n for n, s in by_name.items() if s.skipped}
+        assert skipped == {"1-input-analysis",
+                           "2-design-space-exploration",
+                           "2b-static-analysis",
+                           "3-5-hardware-generation",
+                           "6-sdaccel-integration"}
+        assert not by_name["7-deployment-on-board"].skipped
+        assert not by_name["8-afi-creation"].skipped
+        assert resumed.xclbin_path.read_bytes() == ref_bytes
+
+    def test_changed_inputs_invalidate_all_checkpoints(self, tmp_path):
+        CondorFlow(tmp_path).run(aws_inputs())
+        resumed = CondorFlow(tmp_path, resume=True).run(
+            aws_inputs(frequency_hz=150e6))
+        assert not any(s.skipped for s in resumed.steps)
+
+    def test_tampered_artifact_invalidates_step(self, tmp_path):
+        first = CondorFlow(tmp_path).run(aws_inputs())
+        first.xclbin_path.write_bytes(b"corrupted")
+        resumed = CondorFlow(tmp_path, resume=True).run(aws_inputs())
+        by_name = {s.name: s for s in resumed.steps}
+        assert by_name["6-sdaccel-integration"].skipped
+        assert not by_name["7-deployment-on-board"].skipped
+        # the re-run repaired the artifact
+        assert resumed.xclbin == first.xclbin
+
+    def test_without_resume_flag_checkpoints_ignored(self, tmp_path):
+        CondorFlow(tmp_path).run(aws_inputs())
+        rerun = CondorFlow(tmp_path).run(aws_inputs())
+        assert not any(s.skipped for s in rerun.steps)
+
+
+class TestPollingKnobs:
+    def test_default_poll_budget_succeeds(self, tmp_path):
+        result = CondorFlow(tmp_path).run(aws_inputs())
+        assert result.afi_id
+
+    def test_flow_inputs_override_reaches_session(self, tmp_path):
+        seen = {}
+        flow = CondorFlow(tmp_path)
+        original = flow.aws.wait_for_afi
+
+        def spy(afi_id, **kwargs):
+            seen.update(kwargs)
+            return original(afi_id, **kwargs)
+
+        flow.aws.wait_for_afi = spy
+        flow.run(aws_inputs(afi_max_polls=50))
+        assert seen["max_polls"] == 50

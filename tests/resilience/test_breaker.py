@@ -1,0 +1,81 @@
+"""CircuitBreaker state machine over the virtual clock."""
+
+import pytest
+
+from repro.errors import CircuitOpenError
+from repro.resilience import CircuitBreaker, VirtualClock
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker("cloud.upload", failure_threshold=3,
+                          recovery_s=60.0, clock=clock)
+
+
+def trip(breaker, n=3):
+    for _ in range(n):
+        breaker.record_failure()
+
+
+class TestStates:
+    def test_starts_closed(self, breaker):
+        assert breaker.state == "closed"
+        breaker.allow()  # no raise
+
+    def test_opens_at_threshold(self, breaker):
+        trip(breaker, 2)
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.allow()
+        assert info.value.boundary == "cloud.upload"
+
+    def test_success_resets_count(self, breaker):
+        trip(breaker, 2)
+        breaker.record_success()
+        trip(breaker, 2)
+        assert breaker.state == "closed"
+
+    def test_half_open_after_recovery(self, breaker, clock):
+        trip(breaker)
+        clock.sleep(59.9)
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        clock.sleep(0.2)
+        assert breaker.state == "half-open"
+        breaker.allow()  # the probe is admitted
+
+    def test_probe_success_recloses(self, breaker, clock):
+        trip(breaker)
+        clock.sleep(60.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0
+
+    def test_probe_failure_reopens_fresh_window(self, breaker, clock):
+        trip(breaker)
+        clock.sleep(60.0)
+        breaker.allow()
+        breaker.record_failure()  # probe fails -> reopen
+        assert breaker.state == "open"
+        clock.sleep(59.0)
+        assert breaker.state == "open"  # window restarted at reopen
+        clock.sleep(1.0)
+        assert breaker.state == "half-open"
+
+    def test_reset(self, breaker):
+        trip(breaker)
+        breaker.reset()
+        assert breaker.state == "closed"
+        breaker.allow()
+
+    def test_threshold_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker("b", failure_threshold=0, clock=clock)

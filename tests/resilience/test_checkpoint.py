@@ -1,0 +1,100 @@
+"""Checkpoint store: digests, artifact integrity, staleness."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience import CheckpointStore, chain_digest, file_digest
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(tmp_path)
+
+
+class TestChainDigest:
+    def test_deterministic(self):
+        assert chain_digest(None, "a", "b") == chain_digest(None, "a",
+                                                            "b")
+
+    def test_order_and_boundaries_matter(self):
+        assert chain_digest(None, "a", "b") != chain_digest(None, "b",
+                                                            "a")
+        assert chain_digest(None, "ab") != chain_digest(None, "a", "b")
+
+    def test_chaining(self):
+        d1 = chain_digest(None, "step1")
+        assert chain_digest(d1, "step2") != chain_digest(None, "step2")
+
+
+class TestStore:
+    def test_round_trip(self, store, tmp_path):
+        (tmp_path / "out.bin").write_bytes(b"artifact")
+        saved = store.save("step1", "d" * 64,
+                           artifacts=["out.bin"],
+                           state={"key": "value"})
+        loaded = store.load("step1")
+        assert loaded.digest == saved.digest
+        assert loaded.state == {"key": "value"}
+        assert loaded.artifacts == {"out.bin": file_digest(
+            tmp_path / "out.bin")}
+
+    def test_valid_happy_path(self, store, tmp_path):
+        (tmp_path / "out.bin").write_bytes(b"artifact")
+        store.save("step1", "d" * 64, artifacts=["out.bin"])
+        assert store.valid("step1", "d" * 64) is not None
+
+    def test_missing_checkpoint(self, store):
+        assert store.load("nope") is None
+        assert store.valid("nope", "x") is None
+
+    def test_stale_digest_rejected(self, store):
+        store.save("step1", "old-digest")
+        assert store.valid("step1", "new-digest") is None
+
+    def test_modified_artifact_rejected(self, store, tmp_path):
+        (tmp_path / "out.bin").write_bytes(b"artifact")
+        store.save("step1", "d" * 64, artifacts=["out.bin"])
+        (tmp_path / "out.bin").write_bytes(b"tampered")
+        assert store.valid("step1", "d" * 64) is None
+
+    def test_deleted_artifact_rejected(self, store, tmp_path):
+        (tmp_path / "out.bin").write_bytes(b"artifact")
+        store.save("step1", "d" * 64, artifacts=["out.bin"])
+        (tmp_path / "out.bin").unlink()
+        assert store.valid("step1", "d" * 64) is None
+
+    def test_absolute_and_relative_paths_agree(self, store, tmp_path):
+        (tmp_path / "out.bin").write_bytes(b"artifact")
+        by_rel = store.save("a", "d", artifacts=["out.bin"])
+        by_abs = store.save("b", "d",
+                            artifacts=[tmp_path / "out.bin"])
+        assert by_rel.artifacts == by_abs.artifacts
+
+    def test_discard(self, store):
+        store.save("step1", "d")
+        store.discard("step1")
+        assert store.load("step1") is None
+        store.discard("step1")  # idempotent
+
+    def test_steps_listing(self, store):
+        assert store.steps() == []
+        store.save("b-step", "d")
+        store.save("a-step", "d")
+        assert store.steps() == ["a-step", "b-step"]
+
+    def test_corrupt_json_ignored_by_valid(self, store, tmp_path):
+        store.save("step1", "d")
+        (store.directory / "step1.json").write_text("{not json")
+        with pytest.raises(CheckpointError):
+            store.load("step1")
+        assert store.valid("step1", "d") is None
+
+    def test_bad_schema_rejected(self, store):
+        store.save("step1", "d")
+        doc = json.loads((store.directory / "step1.json").read_text())
+        doc["schema"] = 999
+        (store.directory / "step1.json").write_text(json.dumps(doc))
+        with pytest.raises(CheckpointError):
+            store.load("step1")

@@ -1,0 +1,156 @@
+"""Fault plans: seeded determinism, boundary hooks, realm isolation."""
+
+import pytest
+
+from repro.errors import AFIError, CircuitOpenError, TransientError
+from repro.resilience import (
+    ALL_BOUNDARIES,
+    CLOUD_BOUNDARIES,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    VirtualClock,
+    active_plan,
+    breaker_for,
+    inject_faults,
+    run_boundary,
+)
+from repro.resilience.faults import BOUNDARY_ERRORS
+
+
+class TestSpecs:
+    def test_exact_match(self):
+        spec = FaultSpec("cloud.upload", FaultKind.TRANSIENT)
+        assert spec.matches("cloud.upload")
+        assert not spec.matches("cloud.wait-for-afi")
+
+    def test_glob_match(self):
+        spec = FaultSpec("cloud.*", FaultKind.TRANSIENT)
+        assert all(spec.matches(b) for b in CLOUD_BOUNDARIES)
+        assert not spec.matches("toolchain.hls-csynth")
+
+    def test_every_boundary_has_a_native_error(self):
+        for boundary in ALL_BOUNDARIES:
+            assert issubclass(BOUNDARY_ERRORS[boundary], Exception)
+
+
+class TestInjection:
+    def test_transient_clears_after_times(self):
+        plan = FaultPlan([FaultSpec("b", FaultKind.TRANSIENT, times=2)])
+        clock = VirtualClock()
+        for _ in range(2):
+            with pytest.raises(TransientError):
+                plan.on_attempt("b", clock)
+        plan.on_attempt("b", clock)  # cleared
+        assert plan.injected[("b", "transient")] == 2
+
+    def test_permanent_never_clears_and_is_native(self):
+        plan = FaultPlan([FaultSpec("cloud.create-fpga-image",
+                                    FaultKind.PERMANENT)])
+        clock = VirtualClock()
+        for _ in range(5):
+            with pytest.raises(AFIError):
+                plan.on_attempt("cloud.create-fpga-image", clock)
+
+    def test_slow_advances_clock(self):
+        plan = FaultPlan([FaultSpec("b", FaultKind.SLOW, delay_s=30.0)])
+        clock = VirtualClock()
+        plan.on_attempt("b", clock)
+        assert clock.now == 30.0
+        plan.on_attempt("b", clock)  # times=1: fired once
+        assert clock.now == 30.0
+
+    def test_corrupt_is_deterministic_and_bounded(self):
+        payload = bytes(range(256)) * 64
+        a = FaultPlan([FaultSpec("cloud.upload", FaultKind.CORRUPT)],
+                      seed=5)
+        b = FaultPlan([FaultSpec("cloud.upload", FaultKind.CORRUPT)],
+                      seed=5)
+        mutated = a.corrupt("cloud.upload", payload)
+        assert mutated != payload
+        assert len(mutated) == len(payload)
+        assert mutated == b.corrupt("cloud.upload", payload)
+        # exhausted after `times`
+        assert a.corrupt("cloud.upload", payload) == payload
+
+    def test_corrupt_other_boundary_untouched(self):
+        plan = FaultPlan([FaultSpec("cloud.upload", FaultKind.CORRUPT)])
+        assert plan.corrupt("toolchain.hls-csynth", b"abc") == b"abc"
+
+
+class TestDeterminism:
+    def test_random_plan_reproducible(self):
+        a, b = FaultPlan.random(11), FaultPlan.random(11)
+        assert [s.to_dict() for s in a.specs] == \
+            [s.to_dict() for s in b.specs]
+
+    def test_random_plans_differ_across_seeds(self):
+        plans = [[s.to_dict() for s in FaultPlan.random(seed).specs]
+                 for seed in range(8)]
+        assert len({str(p) for p in plans}) > 1
+
+    def test_permanent_confined_to_cloud(self):
+        for seed in range(64):
+            for spec in FaultPlan.random(seed).specs:
+                if spec.kind is FaultKind.PERMANENT:
+                    assert spec.boundary in CLOUD_BOUNDARIES
+
+    def test_transient_counts_stay_survivable(self):
+        for seed in range(64):
+            for spec in FaultPlan.random(seed).specs:
+                if spec.kind is FaultKind.TRANSIENT:
+                    assert spec.times <= 2  # below max_attempts=3
+
+    def test_replay_identical_injection_sequence(self):
+        clock = VirtualClock()
+        outcomes = []
+        for _ in range(2):
+            plan = FaultPlan.random(23)
+            seen = []
+            for boundary in ALL_BOUNDARIES * 3:
+                try:
+                    plan.on_attempt(boundary, clock)
+                    seen.append((boundary, None))
+                except Exception as exc:
+                    seen.append((boundary, type(exc).__name__))
+            outcomes.append(seen)
+        assert outcomes[0] == outcomes[1]
+
+
+class TestHarness:
+    def test_inject_faults_activates_plan(self):
+        plan = FaultPlan()
+        assert active_plan() is None
+        with inject_faults(plan):
+            assert active_plan() is plan
+        assert active_plan() is None
+
+    def test_run_boundary_retries_injected_transients(self):
+        plan = FaultPlan([FaultSpec("b", FaultKind.TRANSIENT, times=2)])
+        calls = []
+        with inject_faults(plan):
+            result = run_boundary("b", lambda: calls.append(1) or "ok")
+        assert result == "ok"
+        assert len(calls) == 1  # faults fired before fn on 2 attempts
+        assert plan.injected[("b", "transient")] == 2
+
+    def test_breaker_realm_isolated(self):
+        outside = breaker_for("realm-test")
+        with inject_faults(FaultPlan()):
+            inside = breaker_for("realm-test")
+            assert inside is not outside
+        assert breaker_for("realm-test") is outside
+
+    def test_breaker_opens_under_sustained_transients(self):
+        plan = FaultPlan([FaultSpec("b", FaultKind.TRANSIENT,
+                                    times=100)])
+        with inject_faults(plan):
+            # call 1: three transient failures, retry budget exhausted
+            with pytest.raises(TransientError):
+                run_boundary("b", lambda: "never")
+            # call 2: failures 4 and 5 trip the breaker (threshold 5);
+            # the third attempt is rejected by the open circuit
+            with pytest.raises(CircuitOpenError):
+                run_boundary("b", lambda: "never")
+            with pytest.raises(CircuitOpenError):
+                run_boundary("b", lambda: "never")

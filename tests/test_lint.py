@@ -39,7 +39,7 @@ def test_all_rules_registered():
     assert set(RULE_REGISTRY) == {
         "telemetry-print", "telemetry-getlogger", "broad-except",
         "generic-raise", "sim-wallclock", "mutable-default",
-        "flow-step-span",
+        "flow-step-span", "wallclock-sleep",
     }
 
 
@@ -117,6 +117,18 @@ def test_mutable_default(tmp_path):
         "    pass\n",
         select=["mutable-default"])
     assert len(found) == 4
+
+
+def test_wallclock_sleep(tmp_path):
+    found = _lint_source(
+        tmp_path,
+        "import time\n"
+        "time.sleep(5)\n"
+        "from time import sleep\n"
+        "clock.sleep(5)  # a VirtualClock: fine\n",
+        select=["wallclock-sleep"])
+    assert len(found) == 2
+    assert {v.line for v in found} == {2, 3}
 
 
 def test_flow_step_span(tmp_path):

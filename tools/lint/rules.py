@@ -167,6 +167,36 @@ class SimWallclockRule(LintRule):
 
 
 @register_rule
+class WallclockSleepRule(LintRule):
+    """Blocking the process on real time makes runs slow and
+    irreproducible: backoff and poll pacing go through the injectable
+    :class:`repro.resilience.clock.VirtualClock` instead, so an AFI
+    wait or a retry schedule is testable in microseconds."""
+
+    id = "wallclock-sleep"
+    description = "ban time.sleep() — sleep on the resilience clock"
+
+    def check(self, tree, rel_path):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "sleep" and \
+                    isinstance(node.func.value, ast.Name) and \
+                    node.func.value.id == "time":
+                yield self.violation(
+                    rel_path, node,
+                    "time.sleep() — sleep on a"
+                    " repro.resilience.clock.VirtualClock instead")
+            elif isinstance(node, ast.ImportFrom) and \
+                    node.module == "time" and \
+                    any(alias.name == "sleep" for alias in node.names):
+                yield self.violation(
+                    rel_path, node,
+                    "'from time import sleep' — sleep on a"
+                    " repro.resilience.clock.VirtualClock instead")
+
+
+@register_rule
 class MutableDefaultRule(LintRule):
     """A mutable default is shared across calls — the classic aliasing
     bug."""
