@@ -8,6 +8,7 @@ Exposes the framework the way the paper's users would drive it::
     condor dse    <model>                    # explore configurations
     condor simulate <model> --batch N        # event-driven simulation
     condor profile <model>                   # flow + per-step timing
+    condor bench [--quick]                   # hot-path benchmarks
     condor figure5                           # regenerate Figure 5
 
 ``<model>`` is a ``.prototxt`` (with optional ``--weights x.caffemodel``),
@@ -281,9 +282,11 @@ def cmd_dse(args) -> int:
     with recording() as recorder:
         (model, _), _ = _load_model(args)
         from repro.dse import explore
-        result = explore(model)
+        result = explore(model, jobs=args.jobs)
     print(f"explored {len(result.explored)} configurations in"
-          f" {result.steps} steps")
+          f" {result.steps} steps"
+          f" ({result.cache_misses} evaluated,"
+          f" {result.cache_hits} cache hits)")
     print(f"best II: {result.performance.ii_cycles} cycles "
           f"({result.performance.gflops():.2f} GFLOPS at"
           f" {model.frequency_hz / 1e6:.0f} MHz)")
@@ -334,6 +337,66 @@ def cmd_simulate(args) -> int:
         blocked = result.pe_blocked_cycles[name]
         print(f"  {name}: busy={busy} blocked={blocked}")
     _telemetry_outputs(args, recorder)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Time the hot paths on zoo models and gate against a baseline."""
+    import json as _json
+
+    from repro.perf.bench import (
+        compare_benchmarks,
+        load_benchmarks,
+        run_bench,
+        write_benchmarks,
+    )
+    from repro.util.tables import TextTable
+
+    with recording() as recorder:
+        results = run_bench(quick=args.quick, jobs=args.jobs,
+                            progress=lambda msg: print(msg,
+                                                       file=sys.stderr))
+
+    violations = []
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if baseline_path is not None and baseline_path.exists():
+        baseline = load_benchmarks(baseline_path)
+        violations = compare_benchmarks(
+            results, baseline, max_regression=args.max_regression)
+    elif baseline_path is not None:
+        print(f"note: baseline {baseline_path} not found; nothing to"
+              " compare against", file=sys.stderr)
+
+    # load the baseline *before* writing: --output may point at it
+    if args.output:
+        path = write_benchmarks(results, args.output)
+        print(f"benchmarks written to {path}", file=sys.stderr)
+
+    if args.format == "json":
+        from dataclasses import asdict
+        print(_json.dumps({"schema": "condor-bench/v1",
+                           "results": [asdict(r) for r in results],
+                           "violations": violations}, indent=2))
+    else:
+        table = TextTable(["op", "model", "wall (s)", "cycles",
+                           "cache hits", "speedup"],
+                          float_format="{:.4g}")
+        for r in results:
+            table.add_row([
+                r.op, r.model, r.wall_s,
+                r.cycles if r.cycles is not None else "-",
+                r.cache_hits if r.cache_hits is not None else "-",
+                f"{r.speedup_vs_baseline:.2f}x"
+                if r.speedup_vs_baseline is not None else "-",
+            ])
+        print(table.render())
+    _telemetry_outputs(args, recorder)
+    if violations:
+        print(f"\n{len(violations)} regression(s) beyond"
+              f" {args.max_regression * 100:.0f}%:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -495,6 +558,9 @@ def build_parser() -> argparse.ArgumentParser:
     dse = sub.add_parser("dse", help="explore parallelism configurations")
     dse.add_argument("model")
     dse.add_argument("--weights")
+    dse.add_argument("--jobs", type=int, default=1,
+                     help="evaluate candidate moves concurrently"
+                          " (identical result for any value)")
     telemetry_flags(dse)
     dse.set_defaults(func=cmd_dse)
 
@@ -507,6 +573,33 @@ def build_parser() -> argparse.ArgumentParser:
     check_flag(simulate)
     telemetry_flags(simulate)
     simulate.set_defaults(func=cmd_simulate)
+
+    bench = sub.add_parser(
+        "bench", help="time the batched engine, DSE and simulator hot"
+                      " paths on zoo models; diff against a committed"
+                      " baseline")
+    bench.add_argument("--quick", action="store_true",
+                       help="run the small CI suite (TC1/LeNet rows"
+                            " only)")
+    bench.add_argument("--jobs", type=int, default=4,
+                       help="DSE evaluation threads (default 4)")
+    bench.add_argument("--output", metavar="PATH",
+                       default="BENCH_perf.json",
+                       help="write results here (default:"
+                            " BENCH_perf.json; empty string to skip)")
+    bench.add_argument("--baseline", metavar="PATH",
+                       default="BENCH_perf.json",
+                       help="baseline to diff against (default:"
+                            " BENCH_perf.json; missing file skips the"
+                            " comparison)")
+    bench.add_argument("--max-regression", type=float, default=0.20,
+                       metavar="FRAC",
+                       help="fail when cycles grow or speedups decay by"
+                            " more than this fraction (default 0.20)")
+    bench.add_argument("--format", choices=["text", "json"],
+                       default="text")
+    telemetry_flags(bench)
+    bench.set_defaults(func=cmd_bench)
 
     figure5 = sub.add_parser("figure5",
                              help="regenerate the Figure 5 series")

@@ -6,8 +6,17 @@ consumption and performance models"); this package implements that future
 work on top of :mod:`repro.hw.estimate` and :mod:`repro.hw.perf`.
 """
 
+from repro.dse.evaluator import (
+    CachedEvaluator,
+    EvaluationCache,
+    ParallelEvaluator,
+    mapping_fingerprint,
+)
 from repro.dse.explorer import DSEResult, explore
+from repro.dse.frontier import ParetoFrontier, brute_force_frontier
 from repro.dse.space import fusion_candidates, parallelism_moves
 
-__all__ = ["DSEResult", "explore", "fusion_candidates",
+__all__ = ["CachedEvaluator", "DSEResult", "EvaluationCache",
+           "ParallelEvaluator", "ParetoFrontier", "brute_force_frontier",
+           "explore", "fusion_candidates", "mapping_fingerprint",
            "parallelism_moves"]

@@ -1,0 +1,211 @@
+"""Memoized, optionally parallel evaluation of DSE design points.
+
+The greedy explorer evaluates hundreds of neighbouring configurations, and
+each evaluation used to rebuild and re-estimate every PE from scratch.  Two
+observations make that cheap:
+
+* A candidate move changes the parallelism of exactly **one** PE, so per-PE
+  construction, resource estimation and cycle counting are content-keyed
+  and shared across evaluations (``PEMapping`` and ``ProcessingElement``
+  are frozen dataclasses, i.e. hashable values).
+* Whole configurations recur (the chosen move is re-evaluated as the next
+  step's baseline), so the full ``mapping fingerprint → (perf, resources)``
+  result is cached too, including *negative* entries: a mapping that
+  failed validation raises the same typed error again without re-running
+  the builder.
+
+:class:`ParallelEvaluator` fans the candidate evaluations of one explorer
+step out over a :mod:`concurrent.futures` thread pool and degrades to the
+serial path when the pool is unavailable or ``jobs <= 1``.  Results are
+returned in submission order, so the explorer's first-minimum-wins tie
+breaking is identical in serial and parallel runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CondorError
+from repro.frontend.condor_format import CondorModel
+from repro.hw.accelerator import build_accelerator
+from repro.hw.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.hw.estimate import estimate_accelerator
+from repro.hw.mapping import MappingConfig
+from repro.hw.perf import AcceleratorPerformance, estimate_performance
+from repro.hw.resources import ResourceVector
+from repro.obs import REGISTRY
+from repro.util.logging import get_logger
+
+_log = get_logger("dse.evaluator")
+
+_POINTS = REGISTRY.counter(
+    "condor_dse_points_evaluated_total",
+    "Design points evaluated by the explorer")
+_CACHE_HITS = REGISTRY.counter(
+    "condor_dse_cache_hits_total",
+    "Design-point evaluations answered from the evaluation cache")
+
+
+def mapping_fingerprint(model: CondorModel, mapping: MappingConfig,
+                        cal: Calibration) -> tuple:
+    """Content key of one evaluation.
+
+    Everything the estimate depends on: the PE mapping entries (frozen
+    dataclasses — compared by value), the target board, the datapath
+    precision, the clock, and the calibration constants.
+    """
+    return (tuple(mapping.pes), model.board, model.precision,
+            model.frequency_hz, cal)
+
+
+@dataclass
+class EvaluatedPoint:
+    """The outcome of evaluating one mapping configuration."""
+
+    mapping: MappingConfig
+    performance: AcceleratorPerformance
+    resources: ResourceVector
+
+
+@dataclass
+class EvaluationCache:
+    """Fingerprint-keyed results plus the shared per-PE sub-caches.
+
+    ``errors`` holds negative entries: evaluating an infeasible mapping
+    caches the typed :class:`~repro.errors.CondorError` so the explorer's
+    feasibility filtering costs one dict lookup on revisit.
+    """
+
+    results: dict = field(default_factory=dict)
+    errors: dict = field(default_factory=dict)
+    #: (pe_map, precision) -> ProcessingElement
+    pe_build: dict = field(default_factory=dict)
+    #: ProcessingElement -> ResourceVector
+    pe_resources: dict = field(default_factory=dict)
+    #: ProcessingElement -> (cycles, latency, flops)
+    pe_perf: dict = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def clear(self) -> None:
+        self.results.clear()
+        self.errors.clear()
+        self.pe_build.clear()
+        self.pe_resources.clear()
+        self.pe_perf.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class CachedEvaluator:
+    """Evaluate mappings for one model under one calibration, memoized."""
+
+    def __init__(self, model: CondorModel,
+                 cal: Calibration = DEFAULT_CALIBRATION,
+                 cache: EvaluationCache | None = None,
+                 memoize: bool = True):
+        self.model = model
+        self.cal = cal
+        self.cache = cache if cache is not None else EvaluationCache()
+        #: ``memoize=False`` re-runs every build/estimate from scratch —
+        #: the pre-cache behaviour ``condor bench`` measures speedup
+        #: against; not useful otherwise.
+        self.memoize = memoize
+
+    def evaluate(self, mapping: MappingConfig) -> EvaluatedPoint:
+        """Perf + resources for ``mapping``; raises the (possibly cached)
+        :class:`~repro.errors.CondorError` for infeasible mappings."""
+        if not self.memoize:
+            _POINTS.inc()
+            self.cache.misses += 1
+            acc = build_accelerator(self.model, mapping)
+            perf = estimate_performance(acc, self.cal)
+            estimate = estimate_accelerator(acc, self.cal)
+            return EvaluatedPoint(mapping=mapping, performance=perf,
+                                  resources=estimate.total)
+        cache = self.cache
+        key = mapping_fingerprint(self.model, mapping, self.cal)
+        cached = cache.results.get(key)
+        if cached is not None:
+            cache.hits += 1
+            _CACHE_HITS.inc()
+            return cached
+        error = cache.errors.get(key)
+        if error is not None:
+            cache.hits += 1
+            _CACHE_HITS.inc()
+            raise error
+        cache.misses += 1
+        _POINTS.inc()
+        try:
+            acc = build_accelerator(self.model, mapping,
+                                    pe_cache=cache.pe_build)
+            perf = estimate_performance(acc, self.cal,
+                                        pe_cache=cache.pe_perf)
+            estimate = estimate_accelerator(acc, self.cal,
+                                            pe_cache=cache.pe_resources)
+        except CondorError as exc:
+            cache.errors[key] = exc
+            raise
+        point = EvaluatedPoint(mapping=mapping, performance=perf,
+                               resources=estimate.total)
+        cache.results[key] = point
+        return point
+
+
+class ParallelEvaluator:
+    """Evaluate batches of mappings concurrently, in submission order.
+
+    Thread-based: the evaluation is pure Python, so the speedup is bounded
+    by the interpreter, but the shared :class:`EvaluationCache` is filled
+    cooperatively and the API is identical either way.  Any failure to
+    stand up the pool degrades to the serial path rather than failing the
+    exploration.
+    """
+
+    def __init__(self, evaluator: CachedEvaluator, jobs: int = 1):
+        self.evaluator = evaluator
+        self.jobs = max(1, int(jobs))
+        self._pool = None
+        if self.jobs > 1:
+            try:
+                from concurrent.futures import ThreadPoolExecutor
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.jobs,
+                    thread_name_prefix="condor-dse")
+            except (ImportError, OSError) as exc:
+                _log.warning("thread pool unavailable (%s); evaluating"
+                             " serially", exc)
+                self._pool = None
+
+    @property
+    def parallel(self) -> bool:
+        return self._pool is not None
+
+    def evaluate_many(self, mappings: list[MappingConfig]) \
+            -> list[EvaluatedPoint | CondorError]:
+        """Evaluate every mapping; infeasible ones yield their error
+        object instead of raising, and order matches the input."""
+        if self._pool is None:
+            return [self._evaluate_caught(m) for m in mappings]
+        futures = [self._pool.submit(self._evaluate_caught, m)
+                   for m in mappings]
+        return [f.result() for f in futures]
+
+    def _evaluate_caught(self, mapping: MappingConfig) \
+            -> EvaluatedPoint | CondorError:
+        try:
+            return self.evaluator.evaluate(mapping)
+        except CondorError as exc:
+            return exc
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -8,6 +8,13 @@ This mirrors how the authors describe choosing configurations by hand
 ("given the available FPGA resources, different configurations are
 explored to find the optimal tradeoff between resource consumption and
 performance") and converges to a balanced pipeline.
+
+Evaluation goes through :class:`repro.dse.evaluator.CachedEvaluator`
+(content-keyed memoization — a move re-estimates only the PE it changed)
+and, with ``jobs > 1``, a :class:`~repro.dse.evaluator.ParallelEvaluator`
+that fans one step's candidate moves out over a thread pool.  Candidate
+results are consumed in submission order, so the chosen trajectory is
+identical for any job count.
 """
 
 from __future__ import annotations
@@ -16,24 +23,24 @@ from dataclasses import dataclass, field
 
 from repro.errors import CondorError, DSEError
 from repro.frontend.condor_format import CondorModel
-from repro.hw.accelerator import build_accelerator
 from repro.hw.calibration import DEFAULT_CALIBRATION, Calibration
-from repro.hw.estimate import estimate_accelerator
 from repro.hw.mapping import MappingConfig, default_mapping
-from repro.hw.perf import AcceleratorPerformance, estimate_performance
+from repro.hw.perf import AcceleratorPerformance
 from repro.hw.resources import ResourceVector, device_for_board
+from repro.dse.evaluator import (
+    CachedEvaluator,
+    EvaluationCache,
+    ParallelEvaluator,
+)
+from repro.dse.frontier import ParetoFrontier
 from repro.dse.space import parallelism_moves
-from repro.obs import REGISTRY, span
+from repro.obs import span
 from repro.util.logging import get_logger
 
 _log = get_logger("dse")
 
-_POINTS = REGISTRY.counter(
-    "condor_dse_points_evaluated_total",
-    "Design points evaluated by the explorer")
 
-
-@dataclass
+@dataclass(slots=True)
 class DSEPoint:
     """One explored configuration."""
 
@@ -57,43 +64,47 @@ class DSEResult:
     resources: ResourceVector
     explored: list[DSEPoint] = field(default_factory=list)
     steps: int = 0
+    #: Evaluation-cache hits/misses of the run (0/0 when the caller
+    #: supplied no evaluator and caching found nothing to reuse).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def pareto_frontier(self) -> list[DSEPoint]:
-        frontier = [p for p in self.explored
-                    if not any(q.dominates(p) for q in self.explored)]
-        unique: dict[tuple[int, float], DSEPoint] = {}
-        for point in frontier:
-            unique.setdefault((point.ii_cycles, point.resources.dsp),
-                              point)
-        return sorted(unique.values(), key=lambda p: p.ii_cycles)
-
-
-def _evaluate(model: CondorModel, mapping: MappingConfig,
-              cal: Calibration):
-    _POINTS.inc()
-    acc = build_accelerator(model, mapping)
-    perf = estimate_performance(acc, cal)
-    estimate = estimate_accelerator(acc, cal)
-    return acc, perf, estimate.total
+        return ParetoFrontier(self.explored).points()
 
 
 def explore(model: CondorModel, *,
             mapping: MappingConfig | None = None,
             cal: Calibration = DEFAULT_CALIBRATION,
-            max_steps: int = 64) -> DSEResult:
+            max_steps: int = 64,
+            jobs: int = 1,
+            cache: EvaluationCache | None = None,
+            memoize: bool = True) -> DSEResult:
     """Run the greedy explorer for ``model``; returns the best mapping
-    found under the calibration's DSP/BRAM budget fractions."""
-    with span("dse.explore", network=model.network.name):
-        return _explore(model, mapping=mapping, cal=cal,
-                        max_steps=max_steps)
+    found under the calibration's DSP/BRAM budget fractions.
+
+    ``jobs`` evaluates each step's candidate moves concurrently (identical
+    result for any value); ``cache`` shares memoized evaluations across
+    calls for the same model and calibration.  ``memoize=False`` restores
+    the evaluate-from-scratch behaviour — the baseline ``condor bench``
+    reports DSE speedup against.
+    """
+    with span("dse.explore", network=model.network.name, jobs=jobs):
+        evaluator = CachedEvaluator(model, cal, cache=cache,
+                                    memoize=memoize)
+        with ParallelEvaluator(evaluator, jobs=jobs) as pool:
+            return _explore(model, mapping=mapping, cal=cal,
+                            max_steps=max_steps, pool=pool)
 
 
 def _explore(model: CondorModel, *,
              mapping: MappingConfig | None,
              cal: Calibration,
-             max_steps: int) -> DSEResult:
+             max_steps: int,
+             pool: ParallelEvaluator) -> DSEResult:
     net = model.network
+    evaluator = pool.evaluator
     device = device_for_board(model.board)
     budget = ResourceVector(
         lut=device.capacity.lut,
@@ -102,7 +113,8 @@ def _explore(model: CondorModel, *,
         bram_18k=device.capacity.bram_18k * cal.dse_bram_budget_fraction,
     )
     current = mapping or default_mapping(net)
-    _, perf, resources = _evaluate(model, current, cal)
+    baseline = evaluator.evaluate(current)
+    perf, resources = baseline.performance, baseline.resources
     if not resources.fits_in(budget):
         raise DSEError(
             f"the sequential baseline configuration already exceeds the"
@@ -121,24 +133,24 @@ def _explore(model: CondorModel, *,
         steps += 1
         ii = perf.ii_cycles
         tied = [i for i, c in enumerate(perf.stage_cycles) if c == ii]
-        best = None  # (objective, dsp, mapping, perf, resources)
+        moves: list[MappingConfig] = []
         for index in tied:
-            bottleneck = current.pes[index]
-            for move in parallelism_moves(net, current, bottleneck,
-                                          cal.max_ports):
-                try:
-                    _, move_perf, move_res = _evaluate(model, move, cal)
-                except CondorError:
-                    # infeasible move (mapping/resource violation) —
-                    # not a candidate
-                    continue
-                if not move_res.fits_in(budget):
-                    continue
-                key = (objective(move_perf), move_res.dsp)
-                if key[0] >= objective(perf):
-                    continue
-                if best is None or key < best[:2]:
-                    best = (key[0], key[1], move, move_perf, move_res)
+            moves.extend(parallelism_moves(net, current, current.pes[index],
+                                           cal.max_ports))
+        best = None  # (objective, dsp, mapping, perf, resources)
+        for move, outcome in zip(moves, pool.evaluate_many(moves)):
+            if isinstance(outcome, CondorError):
+                # infeasible move (mapping/resource violation) — not a
+                # candidate
+                continue
+            move_perf, move_res = outcome.performance, outcome.resources
+            if not move_res.fits_in(budget):
+                continue
+            key = (objective(move_perf), move_res.dsp)
+            if key[0] >= objective(perf):
+                continue
+            if best is None or key < best[:2]:
+                best = (key[0], key[1], move, move_perf, move_res)
         if best is None:
             break
         _, _, current, perf, resources = best
@@ -146,6 +158,9 @@ def _explore(model: CondorModel, *,
         _log.debug("step %d: II=%d DSP=%.0f", steps, perf.ii_cycles,
                    resources.dsp)
 
-    acc, perf, resources = _evaluate(model, current, cal)
-    return DSEResult(mapping=current, performance=perf,
-                     resources=resources, explored=explored, steps=steps)
+    final = evaluator.evaluate(current)
+    cache = evaluator.cache
+    return DSEResult(mapping=current, performance=final.performance,
+                     resources=final.resources, explored=explored,
+                     steps=steps, cache_hits=cache.hits,
+                     cache_misses=cache.misses)

@@ -122,6 +122,17 @@ class DeadlockError(SimulationError):
 
 
 # ---------------------------------------------------------------------------
+# Benchmarking
+# ---------------------------------------------------------------------------
+
+
+class BenchError(CondorError):
+    """Errors from the ``condor bench`` performance harness: malformed
+    benchmark files, self-check failures (a fast path disagreeing with
+    its baseline), or unknown benchmark operations."""
+
+
+# ---------------------------------------------------------------------------
 # Toolchain (simulated Vivado / SDAccel)
 # ---------------------------------------------------------------------------
 

@@ -113,12 +113,62 @@ def _buffer_words(net: Network, layers: list[Layer],
     return words
 
 
+def build_pe(net: Network, pe_map, precision: str) -> ProcessingElement:
+    """Construct one PE from its mapping entry.
+
+    Pure in ``(net, pe_map, precision)``: the result carries the default
+    storage placement (everything on chip) — :func:`build_accelerator`
+    applies the spill policy afterwards via ``dataclasses.replace``, so a
+    PE built here is safe to share across accelerator builds.  The DSE
+    evaluator caches these keyed by ``(pe_map, precision)``: a candidate
+    move changes a single PE's parallelism, so every other PE of the
+    configuration is a cache hit.
+    """
+    layers = [net[name] for name in pe_map.layer_names]
+    kind = _kind_of_cluster(layers)
+    window = _max_window(layers) if kind in (PEKind.CONV, PEKind.POOL) \
+        else (1, 1)
+    memory: tuple[MemorySubsystem, ...] = ()
+    if kind in (PEKind.CONV, PEKind.POOL):
+        width = _max_input_width(net, layers)
+        spec = partition_window_accesses(window, width)
+        subsystems = []
+        for port in range(pe_map.in_parallel):
+            base = f"{sanitize_identifier(pe_map.name)}_mem{port}"
+            filters = tuple(
+                FilterNode(name=f"{base}_f{i}", offset=offset,
+                           position=i)
+                for i, offset in enumerate(spec.accesses))
+            fifos = tuple(
+                Fifo(name=f"{base}_fifo{i}", depth=depth)
+                for i, depth in enumerate(spec.fifo_depths))
+            subsystems.append(MemorySubsystem(
+                name=base, filters=filters, fifos=fifos, spec=spec))
+        memory = tuple(subsystems)
+    return ProcessingElement(
+        name=sanitize_identifier(pe_map.name),
+        kind=kind,
+        layer_names=pe_map.layer_names,
+        in_parallel=pe_map.in_parallel,
+        out_parallel=pe_map.out_parallel,
+        memory=memory,
+        window=window,
+        weight_words=_weight_words(net, layers),
+        buffer_words=_buffer_words(net, layers, pe_map.out_parallel),
+        precision=precision,
+    )
+
+
 def build_accelerator(model: CondorModel,
-                      mapping: MappingConfig | None = None) -> Accelerator:
+                      mapping: MappingConfig | None = None,
+                      *, pe_cache: dict | None = None) -> Accelerator:
     """Construct the accelerator for ``model``.
 
     When ``mapping`` is omitted it is derived from the model's hardware
     hints (falling back to the 1:1 default when there are none).
+    ``pe_cache`` (keyed ``(pe_map, precision)`` → :class:`ProcessingElement`)
+    lets a caller that builds many neighbouring configurations — the DSE
+    explorer — reuse the PEs that did not change between them.
     """
     net = model.network
     device = device_for_board(model.board)
@@ -136,39 +186,15 @@ def build_accelerator(model: CondorModel,
     )
 
     for pe_map in mapping.pes:
-        layers = [net[name] for name in pe_map.layer_names]
-        kind = _kind_of_cluster(layers)
-        window = _max_window(layers) if kind in (PEKind.CONV, PEKind.POOL) \
-            else (1, 1)
-        memory: tuple[MemorySubsystem, ...] = ()
-        if kind in (PEKind.CONV, PEKind.POOL):
-            width = _max_input_width(net, layers)
-            spec = partition_window_accesses(window, width)
-            subsystems = []
-            for port in range(pe_map.in_parallel):
-                base = f"{sanitize_identifier(pe_map.name)}_mem{port}"
-                filters = tuple(
-                    FilterNode(name=f"{base}_f{i}", offset=offset,
-                               position=i)
-                    for i, offset in enumerate(spec.accesses))
-                fifos = tuple(
-                    Fifo(name=f"{base}_fifo{i}", depth=depth)
-                    for i, depth in enumerate(spec.fifo_depths))
-                subsystems.append(MemorySubsystem(
-                    name=base, filters=filters, fifos=fifos, spec=spec))
-            memory = tuple(subsystems)
-        acc.pes.append(ProcessingElement(
-            name=sanitize_identifier(pe_map.name),
-            kind=kind,
-            layer_names=pe_map.layer_names,
-            in_parallel=pe_map.in_parallel,
-            out_parallel=pe_map.out_parallel,
-            memory=memory,
-            window=window,
-            weight_words=_weight_words(net, layers),
-            buffer_words=_buffer_words(net, layers, pe_map.out_parallel),
-            precision=model.precision,
-        ))
+        if pe_cache is None:
+            pe = build_pe(net, pe_map, model.precision)
+        else:
+            key = (pe_map, model.precision)
+            pe = pe_cache.get(key)
+            if pe is None:
+                pe = build_pe(net, pe_map, model.precision)
+                pe_cache[key] = pe
+        acc.pes.append(pe)
 
     _assign_storage_placement(acc, device)
     _wire_streams(acc)

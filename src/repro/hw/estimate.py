@@ -182,17 +182,26 @@ class ResourceEstimate:
 
 def estimate_accelerator(acc: Accelerator,
                          cal: Calibration = DEFAULT_CALIBRATION,
-                         *, include_shell: bool = True) -> ResourceEstimate:
+                         *, include_shell: bool = True,
+                         pe_cache: dict | None = None) -> ResourceEstimate:
     """Estimate the whole design (optionally including the static shell,
-    which Table 1's percentages contain)."""
+    which Table 1's percentages contain).
+
+    ``pe_cache`` maps a :class:`ProcessingElement` (frozen, hashable) to
+    its :class:`ResourceVector`; callers that estimate many neighbouring
+    designs — the DSE explorer — pass one so unchanged PEs are not
+    re-estimated.  Entries are valid for a fixed calibration only.
+    """
     from repro.obs import span
 
     with span("hw.estimate", accelerator=acc.name):
-        return _estimate_accelerator(acc, cal, include_shell=include_shell)
+        return _estimate_accelerator(acc, cal, include_shell=include_shell,
+                                     pe_cache=pe_cache)
 
 
 def _estimate_accelerator(acc: Accelerator, cal: Calibration,
-                          *, include_shell: bool) -> ResourceEstimate:
+                          *, include_shell: bool,
+                          pe_cache: dict | None = None) -> ResourceEstimate:
     estimate = ResourceEstimate()
     if include_shell:
         estimate.components["shell"] = ResourceVector(
@@ -201,7 +210,14 @@ def _estimate_accelerator(acc: Accelerator, cal: Calibration,
     estimate.components[acc.datamover.name] = estimate_datamover(
         acc.datamover, cal)
     for pe in acc.pes:
-        estimate.components[pe.name] = estimate_pe(pe, cal)
+        if pe_cache is None:
+            vec = estimate_pe(pe, cal)
+        else:
+            vec = pe_cache.get(pe)
+            if vec is None:
+                vec = estimate_pe(pe, cal)
+                pe_cache[pe] = vec
+        estimate.components[pe.name] = vec
     stream_total = ResourceVector()
     for edge in acc.edges:
         stream_total += estimate_fifo(edge.fifo, cal)

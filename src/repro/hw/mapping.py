@@ -30,7 +30,7 @@ from repro.ir.network import Network
 from repro.ir.shapes import TensorShape
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PEMapping:
     """One PE: the (contiguous) layers it implements and its parallelism."""
 
@@ -47,7 +47,7 @@ class PEMapping:
                 f"PE mapping {self.name!r}: parallelism must be >= 1")
 
 
-@dataclass
+@dataclass(slots=True)
 class MappingConfig:
     """An ordered list of PE mappings covering every compute layer."""
 

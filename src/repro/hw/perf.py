@@ -180,23 +180,49 @@ def ddr_words_per_image(acc: Accelerator) -> int:
 
 
 def estimate_performance(acc: Accelerator,
-                         cal: Calibration = DEFAULT_CALIBRATION) \
+                         cal: Calibration = DEFAULT_CALIBRATION,
+                         *, pe_cache: dict | None = None) \
         -> AcceleratorPerformance:
-    """Evaluate the closed-form model for an accelerator."""
+    """Evaluate the closed-form model for an accelerator.
+
+    ``pe_cache`` maps a :class:`ProcessingElement` to its
+    ``(cycles, latency, flops)`` triple so repeated evaluations of
+    neighbouring designs (the DSE explorer) skip the per-layer walks for
+    PEs that did not change.  Entries assume a fixed network and
+    calibration.
+    """
     from repro.obs import span
 
     with span("hw.perf", accelerator=acc.name):
-        return _estimate_performance(acc, cal)
+        return _estimate_performance(acc, cal, pe_cache=pe_cache)
 
 
-def _estimate_performance(acc: Accelerator, cal: Calibration) \
+def _pe_perf(net: Network, pe: ProcessingElement,
+             cal: Calibration) -> tuple[int, int, int]:
+    cycles = pe_cycles(net, pe, cal)
+    latency = cycles + pe_fill_cycles(pe, cal)
+    flops = sum(layer_flops(net[name], net.input_shape(name))
+                for name in pe.layer_names)
+    return cycles, latency, flops
+
+
+def _estimate_performance(acc: Accelerator, cal: Calibration,
+                          *, pe_cache: dict | None = None) \
         -> AcceleratorPerformance:
     net = acc.network
-    cycles = [pe_cycles(net, pe, cal) for pe in acc.pes]
-    latency = [c + pe_fill_cycles(pe, cal)
-               for c, pe in zip(cycles, acc.pes)]
-    flops = sum(layer_flops(net[name], net.input_shape(name))
-                for pe in acc.pes for name in pe.layer_names)
+    triples = []
+    for pe in acc.pes:
+        if pe_cache is None:
+            triple = _pe_perf(net, pe, cal)
+        else:
+            triple = pe_cache.get(pe)
+            if triple is None:
+                triple = _pe_perf(net, pe, cal)
+                pe_cache[pe] = triple
+        triples.append(triple)
+    cycles = [t[0] for t in triples]
+    latency = [t[1] for t in triples]
+    flops = sum(t[2] for t in triples)
     onchip_weight_words = sum(pe.weight_words for pe in acc.pes
                               if pe.weights_on_chip)
     config = math.ceil(onchip_weight_words *

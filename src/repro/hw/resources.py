@@ -24,27 +24,40 @@ class ResourceVector:
     dsp: float = 0.0
     bram_18k: float = 0.0
 
+    # Arithmetic is spelled out field by field: these operators run
+    # hundreds of thousands of times per DSE sweep and the getattr
+    # generator-expression form showed up as a top-five profile entry.
+
     def __add__(self, other: "ResourceVector") -> "ResourceVector":
-        return ResourceVector(*(getattr(self, f) + getattr(other, f)
-                                for f in _FIELDS))
+        return ResourceVector(self.lut + other.lut,
+                              self.ff + other.ff,
+                              self.dsp + other.dsp,
+                              self.bram_18k + other.bram_18k)
 
     def __sub__(self, other: "ResourceVector") -> "ResourceVector":
-        return ResourceVector(*(getattr(self, f) - getattr(other, f)
-                                for f in _FIELDS))
+        return ResourceVector(self.lut - other.lut,
+                              self.ff - other.ff,
+                              self.dsp - other.dsp,
+                              self.bram_18k - other.bram_18k)
 
     def __mul__(self, scale: float) -> "ResourceVector":
-        return ResourceVector(*(getattr(self, f) * scale for f in _FIELDS))
+        return ResourceVector(self.lut * scale, self.ff * scale,
+                              self.dsp * scale, self.bram_18k * scale)
 
     __rmul__ = __mul__
 
     def ceil(self) -> "ResourceVector":
         """Round every component up to an integer (hardware is discrete)."""
         import math
-        return ResourceVector(*(float(math.ceil(getattr(self, f) - 1e-9))
-                                for f in _FIELDS))
+        return ResourceVector(float(math.ceil(self.lut - 1e-9)),
+                              float(math.ceil(self.ff - 1e-9)),
+                              float(math.ceil(self.dsp - 1e-9)),
+                              float(math.ceil(self.bram_18k - 1e-9)))
 
     def fits_in(self, capacity: "ResourceVector") -> bool:
-        return all(getattr(self, f) <= getattr(capacity, f) for f in _FIELDS)
+        return (self.lut <= capacity.lut and self.ff <= capacity.ff and
+                self.dsp <= capacity.dsp and
+                self.bram_18k <= capacity.bram_18k)
 
     def check_fits(self, capacity: "ResourceVector", *,
                    context: str = "design") -> None:

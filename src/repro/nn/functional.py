@@ -1,11 +1,28 @@
 """Vectorized numpy kernels for the IR layer set.
 
 Layout convention: activations are ``(C, H, W)`` float arrays (one sample —
-the accelerator processes a stream of single images; batching is handled one
-level up).  Convolution is implemented with an im2col lowering (stride-trick
-view + one GEMM), the standard way to get near-BLAS throughput out of numpy;
-the window view avoids materializing patch copies until the single reshape
-before the GEMM, per the "views not copies" guidance.
+the accelerator processes a stream of single images).  Convolution is
+implemented with an im2col lowering (stride-trick view + one GEMM), the
+standard way to get near-BLAS throughput out of numpy; the window view
+avoids materializing patch copies until the single reshape before the GEMM,
+per the "views not copies" guidance.
+
+Every kernel also has a ``*_batch`` variant over ``(N, C, H, W)`` arrays.
+The batched variants are **bit-identical** to mapping the per-sample kernel
+over the batch — the property the evaluation harness asserts with
+``np.array_equal`` — which constrains how they may vectorize:
+
+* windowed reductions (pooling) and row-wise reductions (softmax) keep the
+  same per-element reduction runs, so adding a leading batch axis does not
+  change any accumulation order;
+* the conv GEMM concatenates the per-sample patch matrices column-wise and
+  issues one GEMM — BLAS accumulates over K identically for every output
+  column regardless of how many columns the GEMM has — *except* when the
+  per-sample GEMM has a single output column (``OH*OW == 1``), where numpy
+  dispatches a matrix-vector product with a different accumulation order;
+  that case falls back to the per-sample kernel;
+* the fully-connected layer is always the single-column case, so its batch
+  variant loops the per-sample matrix-vector product.
 """
 
 from __future__ import annotations
@@ -22,10 +39,18 @@ def _check_chw(x: np.ndarray, who: str) -> None:
                          f" {x.shape}")
 
 
+def _check_nchw(x: np.ndarray, who: str) -> None:
+    if x.ndim != 4:
+        raise ShapeError(f"{who} expects an (N, C, H, W) array, got shape"
+                         f" {x.shape}")
+
+
 def _pad_hw(x: np.ndarray, pad: tuple[int, int]) -> np.ndarray:
+    """Zero-pad the trailing two (spatial) axes of a CHW or NCHW array."""
     if pad == (0, 0):
         return x
-    return np.pad(x, ((0, 0), (pad[0], pad[0]), (pad[1], pad[1])))
+    lead = ((0, 0),) * (x.ndim - 2)
+    return np.pad(x, lead + ((pad[0], pad[0]), (pad[1], pad[1])))
 
 
 def sliding_windows(x: np.ndarray, kernel: tuple[int, int],
@@ -98,11 +123,87 @@ def conv2d(x: np.ndarray, weights: np.ndarray,
     return out.reshape(f, oh, ow)
 
 
+def sliding_windows_batch(x: np.ndarray, kernel: tuple[int, int],
+                          stride: tuple[int, int]) -> np.ndarray:
+    """Batched :func:`sliding_windows`: ``(N, C, OH, OW, KH, KW)`` view."""
+    _check_nchw(x, "sliding_windows_batch")
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    if kh > h or kw > w:
+        raise ShapeError(
+            f"window {kernel} does not fit input of shape {x.shape}")
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+    sn, sc, srow, scol = x.strides
+    return as_strided(
+        x,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(sn, sc, srow * sh, scol * sw, srow, scol),
+        writeable=False,
+    )
+
+
+def im2col_batch(x: np.ndarray, kernel: tuple[int, int],
+                 stride: tuple[int, int] = (1, 1),
+                 pad: tuple[int, int] = (0, 0)) -> np.ndarray:
+    """Lower a batch to an ``(N, C*KH*KW, OH*OW)`` patch-matrix stack.
+
+    ``im2col_batch(x, ...)[n]`` equals ``im2col(x[n], ...)``, so a stacked
+    matmul against this array covers the whole batch in one call.
+    """
+    x = _pad_hw(x, pad)
+    windows = sliding_windows_batch(x, kernel, stride)
+    n, c, oh, ow, kh, kw = windows.shape
+    # (N, C, KH, KW, OH, OW) -> (N, C*KH*KW, OH*OW); the transpose is a
+    # view, the reshape makes the single necessary copy.
+    return windows.transpose(0, 1, 4, 5, 2, 3).reshape(
+        n, c * kh * kw, oh * ow)
+
+
+def conv2d_batch(x: np.ndarray, weights: np.ndarray,
+                 bias: np.ndarray | None = None,
+                 stride: tuple[int, int] = (1, 1),
+                 pad: tuple[int, int] = (0, 0)) -> np.ndarray:
+    """Batched :func:`conv2d`: ``(N, C, H, W)`` → ``(N, F, OH, OW)``.
+
+    Bit-identical to stacking per-sample :func:`conv2d` results: the
+    stacked ``(F, K) @ (N, K, OH*OW)`` matmul runs the *same* BLAS kernel
+    on the same 2-D operands per sample as the per-sample GEMM, so every
+    accumulation order is preserved (concatenating the batch into one wide
+    GEMM would not be — BLAS picks different kernels by column count).
+    The batch win is one im2col/pad/bias/dispatch per layer instead of N.
+    """
+    _check_nchw(x, "conv2d_batch")
+    if weights.ndim != 4:
+        raise ShapeError(
+            f"conv2d weights must be (F, C, KH, KW), got {weights.shape}")
+    f, c, kh, kw = weights.shape
+    if c != x.shape[1]:
+        raise ShapeError(
+            f"conv2d channel mismatch: input has {x.shape[1]}, weights"
+            f" expect {c}")
+    if bias is not None and bias.shape != (f,):
+        raise ShapeError(
+            f"conv2d bias must have shape ({f},), got {bias.shape}")
+    n = x.shape[0]
+    h = x.shape[2] + 2 * pad[0]
+    w = x.shape[3] + 2 * pad[1]
+    oh = (h - kh) // stride[0] + 1
+    ow = (w - kw) // stride[1] + 1
+    cols = im2col_batch(x, (kh, kw), stride, pad)
+    out = np.matmul(weights.reshape(f, c * kh * kw), cols)
+    if bias is not None:
+        out += bias[:, None]
+    return out.reshape(n, f, oh, ow)
+
+
 def _pool_pad(x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int],
               pad: tuple[int, int], fill: float,
               ceil_mode: bool) -> np.ndarray:
-    """Pad for pooling; with ceil_mode, extend so the last window fits."""
-    c, h, w = x.shape
+    """Pad the spatial axes for pooling; with ceil_mode, extend so the last
+    window fits.  Works on ``(C, H, W)`` and ``(N, C, H, W)`` alike."""
+    h, w = x.shape[-2:]
     ph, pw = pad
     extra_h = extra_w = 0
     if ceil_mode:
@@ -117,7 +218,8 @@ def _pool_pad(x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int],
         extra_w = need(w, kernel[1], stride[1], pw)
     if ph == 0 and pw == 0 and extra_h == 0 and extra_w == 0:
         return x
-    return np.pad(x, ((0, 0), (ph, ph + extra_h), (pw, pw + extra_w)),
+    lead = ((0, 0),) * (x.ndim - 2)
+    return np.pad(x, lead + ((ph, ph + extra_h), (pw, pw + extra_w)),
                   constant_values=fill)
 
 
@@ -148,6 +250,30 @@ def avg_pool2d(x: np.ndarray, kernel: tuple[int, int],
     return windows.mean(axis=(3, 4))
 
 
+def max_pool2d_batch(x: np.ndarray, kernel: tuple[int, int],
+                     stride: tuple[int, int] | None = None,
+                     pad: tuple[int, int] = (0, 0),
+                     *, ceil_mode: bool = True) -> np.ndarray:
+    """Batched :func:`max_pool2d` (bit-identical per sample)."""
+    _check_nchw(x, "max_pool2d_batch")
+    stride = kernel if stride is None else stride
+    padded = _pool_pad(x, kernel, stride, pad, -np.inf, ceil_mode)
+    windows = sliding_windows_batch(padded, kernel, stride)
+    return windows.max(axis=(4, 5))
+
+
+def avg_pool2d_batch(x: np.ndarray, kernel: tuple[int, int],
+                     stride: tuple[int, int] | None = None,
+                     pad: tuple[int, int] = (0, 0),
+                     *, ceil_mode: bool = True) -> np.ndarray:
+    """Batched :func:`avg_pool2d` (bit-identical per sample)."""
+    _check_nchw(x, "avg_pool2d_batch")
+    stride = kernel if stride is None else stride
+    padded = _pool_pad(x, kernel, stride, pad, 0.0, ceil_mode)
+    windows = sliding_windows_batch(padded, kernel, stride)
+    return windows.mean(axis=(4, 5))
+
+
 def fully_connected(x: np.ndarray, weights: np.ndarray,
                     bias: np.ndarray | None = None) -> np.ndarray:
     """Fully-connected layer — eq. (4).  ``x`` is flattened implicitly."""
@@ -161,6 +287,31 @@ def fully_connected(x: np.ndarray, weights: np.ndarray,
             raise ShapeError(
                 f"fc bias must have shape ({weights.shape[0]},), got"
                 f" {bias.shape}")
+        out = out + bias
+    return out
+
+
+def fully_connected_batch(x: np.ndarray, weights: np.ndarray,
+                          bias: np.ndarray | None = None) -> np.ndarray:
+    """Batched :func:`fully_connected`: ``(N, ...)`` → ``(N, F)``.
+
+    The per-sample kernel is a matrix-vector product; fusing the batch into
+    one wide GEMM would change the BLAS accumulation order (gemv vs gemm
+    kernels), so the batch runs as a stacked ``(F, K) @ (N, K, 1)`` matmul
+    — the same per-sample kernel, dispatched once — which keeps the result
+    bit-identical to the per-sample path.
+    """
+    n = x.shape[0]
+    flat = x.reshape(n, -1)
+    if weights.ndim != 2 or weights.shape[1] != flat.shape[1]:
+        raise ShapeError(
+            f"fc weights must be (N, {flat.shape[1]}), got {weights.shape}")
+    if bias is not None and bias.shape != (weights.shape[0],):
+        raise ShapeError(
+            f"fc bias must have shape ({weights.shape[0]},), got"
+            f" {bias.shape}")
+    out = np.matmul(weights, flat[:, :, None])[:, :, 0]
+    if bias is not None:
         out = out + bias
     return out
 
@@ -198,3 +349,25 @@ def log_softmax(x: np.ndarray) -> np.ndarray:
     flat = x.reshape(-1)
     shifted = flat - flat.max()
     return (shifted - np.log(np.exp(shifted).sum())).reshape(x.shape)
+
+
+def softmax_batch(x: np.ndarray) -> np.ndarray:
+    """Batched :func:`softmax`: normalizes each sample independently.
+
+    Row-wise max/sum reductions over the contiguous trailing axis run the
+    same per-row accumulation as the 1-D reductions of the per-sample
+    kernel, so the result is bit-identical.
+    """
+    flat = x.reshape(x.shape[0], -1)
+    shifted = flat - flat.max(axis=1, keepdims=True)
+    ex = np.exp(shifted)
+    return (ex / ex.sum(axis=1, keepdims=True)).reshape(x.shape)
+
+
+def log_softmax_batch(x: np.ndarray) -> np.ndarray:
+    """Batched :func:`log_softmax` (bit-identical per sample)."""
+    flat = x.reshape(x.shape[0], -1)
+    shifted = flat - flat.max(axis=1, keepdims=True)
+    return (shifted -
+            np.log(np.exp(shifted).sum(axis=1, keepdims=True))) \
+        .reshape(x.shape)

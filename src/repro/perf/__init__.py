@@ -1,0 +1,29 @@
+"""Performance benchmarking: the ``condor bench`` regression harness."""
+
+from repro.perf.bench import (
+    FULL_SUITE,
+    QUICK_SUITE,
+    SCHEMA,
+    BenchResult,
+    bench_dse,
+    bench_engine,
+    bench_sim,
+    compare_benchmarks,
+    load_benchmarks,
+    run_bench,
+    write_benchmarks,
+)
+
+__all__ = [
+    "FULL_SUITE",
+    "QUICK_SUITE",
+    "SCHEMA",
+    "BenchResult",
+    "bench_dse",
+    "bench_engine",
+    "bench_sim",
+    "compare_benchmarks",
+    "load_benchmarks",
+    "run_bench",
+    "write_benchmarks",
+]

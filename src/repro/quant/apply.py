@@ -105,6 +105,13 @@ class QuantizedEngine(ReferenceEngine):
         x = fake_quantize(np.asarray(x, dtype=np.float32), self.scheme)
         return super().forward(x)
 
+    def run_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Per-sample loop, deliberately: the activation grid uses a
+        dynamic per-tensor scale, so a whole-batch pass would calibrate
+        one scale across the batch and change every sample's rounding."""
+        batch = np.asarray(batch, dtype=np.float32)
+        return np.stack([self.forward(sample) for sample in batch])
+
 
 def top1_agreement(net: Network, weights: WeightStore,
                    scheme: QuantScheme, images: np.ndarray) -> float:

@@ -22,7 +22,7 @@ from repro.sim.core import Channel, Delay, Get, Put, Simulator
 _CHUNK = 256  # words per transfer beat
 
 
-@dataclass
+@dataclass(slots=True)
 class ConfigPhaseResult:
     total_cycles: int
     per_pe_words: dict[str, int]

@@ -36,7 +36,7 @@ _SIM_EVENTS = REGISTRY.counter(
     "condor_sim_events_total", "Scheduler events processed")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Delay:
     cycles: int
 
@@ -45,19 +45,22 @@ class Delay:
             raise SimulationError(f"negative delay: {self.cycles}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Put:
     channel: "Channel"
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Get:
     channel: "Channel"
 
 
 class Channel:
     """A bounded FIFO with blocking put/get semantics."""
+
+    __slots__ = ("name", "capacity", "items", "blocked_putters",
+                 "blocked_getters", "max_occupancy", "total_puts")
 
     def __init__(self, name: str, capacity: int):
         if capacity < 1:
@@ -107,6 +110,9 @@ class _Proc:
 class Simulator:
     """The event loop."""
 
+    __slots__ = ("now", "_heap", "_seq", "_procs", "_channels",
+                 "_blocked_time", "_ready", "observers")
+
     def __init__(self):
         self.now = 0
         self._heap: list[tuple[int, int, _Proc]] = []
@@ -114,6 +120,13 @@ class Simulator:
         self._procs: list[_Proc] = []
         self._channels: list[Channel] = []
         self._blocked_time: dict[str, int] = {}
+        #: Processes unblocked at the *current* time, run FIFO once the
+        #: heap holds no event for ``now``.  Every heap entry for the
+        #: current time predates (smaller seq than) any unblock made at
+        #: it — zero-delay scheduling only happens on unblock — so this
+        #: replays exactly the order the old unblock-via-heap produced,
+        #: minus two heap operations per transfer.
+        self._ready: deque[_Proc] = deque()
         #: Optional observers called as ``observer(kind, time, **data)``
         #: for kinds "put", "get", "block", "unblock" (see repro.sim.trace).
         self.observers: list = []
@@ -153,24 +166,36 @@ class Simulator:
             self._notify("unblock", process=proc.name,
                          reason=proc.waiting_on)
         proc.waiting_on = None
-        self._schedule(proc, 0)
+        self._ready.append(proc)
 
     def _step(self, proc: _Proc) -> None:
         """Advance one process until it blocks, delays, or finishes."""
+        send = proc.gen.send
         while True:
             try:
-                command = proc.gen.send(proc.send_value)
+                command = send(proc.send_value)
             except StopIteration:
                 proc.done = True
                 return
             proc.send_value = None
-            if isinstance(command, Delay):
+            # exact-type dispatch: this loop runs once per yielded
+            # command, and the three commands are final in practice —
+            # subclasses (if any) take the isinstance path below
+            kind = command.__class__
+            if kind is not Delay and kind is not Put and kind is not Get:
+                if isinstance(command, Delay):
+                    kind = Delay
+                elif isinstance(command, Put):
+                    kind = Put
+                elif isinstance(command, Get):
+                    kind = Get
+            if kind is Delay:
                 proc.busy_cycles += command.cycles
                 if command.cycles:
                     self._schedule(proc, command.cycles)
                     return
                 continue
-            if isinstance(command, Put):
+            if kind is Put:
                 ch = command.channel
                 if ch.full:
                     ch.blocked_putters.append((proc, command.value))
@@ -182,7 +207,7 @@ class Simulator:
                     return
                 self._do_put(ch, command.value)
                 continue
-            if isinstance(command, Get):
+            if kind is Get:
                 ch = command.channel
                 if ch.empty:
                     ch.blocked_getters.append(proc)
@@ -233,14 +258,23 @@ class Simulator:
         with span("sim.run", processes=len(self._procs),
                   channels=len(self._channels)):
             try:
-                while self._heap:
-                    time, _, proc = heapq.heappop(self._heap)
-                    if proc.done:
-                        continue
-                    if max_cycles is not None and time > max_cycles:
-                        raise SimulationError(
-                            f"simulation exceeded {max_cycles} cycles")
-                    self.now = time
+                heap = self._heap
+                ready = self._ready
+                while heap or ready:
+                    # heap entries for the current time carry a smaller
+                    # seq than anything in the ready queue (see _ready),
+                    # so they go first; ready procs then run FIFO before
+                    # time advances
+                    if ready and (not heap or heap[0][0] > self.now):
+                        proc = ready.popleft()
+                    else:
+                        time, _, proc = heapq.heappop(heap)
+                        if proc.done:
+                            continue
+                        if max_cycles is not None and time > max_cycles:
+                            raise SimulationError(
+                                f"simulation exceeded {max_cycles} cycles")
+                        self.now = time
                     events += 1
                     self._step(proc)
             finally:

@@ -44,7 +44,13 @@ from repro.ir.layers import (
     SoftmaxLayer,
 )
 
-_CHUNK = 64  # flat-vector transfer granularity (classifier stages)
+#: Flat-vector transfer granularity (classifier stages).  Deliberately
+#: NOT raised further: a larger chunk delays when the first partial FC
+#: output reaches the next stage, which measurably shifts cycle totals
+#: (LeNet: 1 281 920 at 64 vs 1 281 984 at 128), so only
+#: cycle-preserving optimizations (zero-delay elision, slotted events,
+#: ready-queue unblocks) are applied to this path.
+_CHUNK = 64
 
 _ACT = {
     Activation.NONE: lambda x: x,
@@ -54,7 +60,7 @@ _ACT = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class SimulationResult:
     """Outputs and measured timing of one simulated run."""
 
@@ -76,28 +82,26 @@ class SimulationResult:
         return self.mean_cycles_per_image() / frequency_hz
 
 
-def _group_paced_delay(channel_index: int, lanes: int, cycles: int):
-    """The Delay for one row of channel ``channel_index`` when ``lanes``
-    feature maps move concurrently: the first lane of each group pays the
-    cycles, the other lanes ride along."""
-    return Delay(cycles if channel_index % lanes == 0 else 0)
-
-
-def _rows(array2d: np.ndarray):
-    for row in array2d:
-        yield row.copy()
-
-
 def _source_process(acc: Accelerator, images: list[np.ndarray],
                     out_ch: Channel):
     """Datamover input side: stream each image channel-major, row by row,
-    paced at the first PE's ingest rate (its parallel lanes)."""
+    paced at the first PE's ingest rate (its parallel lanes).
+
+    Group pacing, here and below: with ``lanes`` feature maps moving
+    concurrently the first lane of each group pays the row's cycles and
+    the other lanes ride along.  Their zero-cycle delays are elided
+    entirely rather than yielded — a ``Delay(0)`` is a no-op in the
+    kernel, so skipping the yield preserves cycle totals while saving a
+    generator round-trip per row.
+    """
     lanes = acc.pes[0].in_parallel
     for image in images:
         for ci, channel in enumerate(image):
+            paced = ci % lanes == 0
             for row in channel:
-                yield Put(out_ch, row.astype(np.float32).copy())
-                yield _group_paced_delay(ci, lanes, len(row))
+                yield Put(out_ch, row.astype(np.float32))
+                if paced:
+                    yield Delay(len(row))
 
 
 def _sink_process(acc: Accelerator, in_ch: Channel, batch: int,
@@ -125,13 +129,15 @@ def _sink_process(acc: Accelerator, in_ch: Channel, batch: int,
             lanes = acc.pes[-1].out_parallel
             out = np.empty((c, h, w), dtype=np.float32)
             for ci in range(c):
+                paced = ci % lanes == 0
                 for r in range(h):
                     row = yield Get(in_ch)
                     if len(row) != w:
                         raise SimulationError(
                             f"sink expected rows of {w}, got {len(row)}")
                     out[ci, r] = row
-                    yield _group_paced_delay(ci, lanes, w)
+                    if paced:
+                        yield Delay(w)
         results.append(out)
         done_at.append(sim.now)
 
@@ -143,10 +149,12 @@ def _ingest_image(in_ch: Channel, shape: tuple[int, int, int],
     c, h, w = shape
     x = np.empty((c, h, w), dtype=np.float32)
     for ci in range(c):
+        paced = ci % lanes == 0
         for r in range(h):
             row = yield Get(in_ch)
             x[ci, r] = row
-            yield _group_paced_delay(ci, lanes, w)
+            if paced:
+                yield Delay(w)
     return x
 
 
@@ -155,7 +163,7 @@ def _emit_maps(out_ch: Channel, maps: np.ndarray):
     were already charged by the compute that produced it)."""
     for fmap in maps:
         for row in fmap:
-            yield Put(out_ch, row.astype(np.float32).copy())
+            yield Put(out_ch, row.astype(np.float32))
 
 
 def _conv_ingest_and_compute(layer: ConvLayer, weights: WeightStore,
@@ -208,10 +216,12 @@ def _conv_ingest_and_compute(layer: ConvLayer, weights: WeightStore,
 
         for r in range(ph):  # top padding rows (zero, no stream cycles)
             feed(x[ci, r], ci)
+        paced = ci % p_in == 0
         for r in range(h):
             row = yield Get(in_ch)
             x[ci, ph + r, pw:pw + w] = row
-            yield _group_paced_delay(ci, p_in, w)
+            if paced:
+                yield Delay(w)
             feed(x[ci, ph + r], ci)
         for r in range(ph):  # bottom padding rows
             feed(x[ci, hp - ph + r], ci)
@@ -258,11 +268,12 @@ def _ingest_vector(in_ch: Channel, size: int):
     x = np.empty(size, dtype=np.float32)
     pos = 0
     while pos < size:
-        chunk = yield Get(in_ch)
-        x[pos:pos + len(chunk)] = np.asarray(chunk, dtype=np.float32) \
+        chunk = np.asarray((yield Get(in_ch)), dtype=np.float32) \
             .reshape(-1)
-        yield Delay(len(np.asarray(chunk).reshape(-1)))
-        pos += len(np.asarray(chunk).reshape(-1))
+        n = len(chunk)
+        x[pos:pos + n] = chunk
+        yield Delay(n)
+        pos += n
     return x
 
 
@@ -295,10 +306,12 @@ def _pe_process(acc: Accelerator, pe: ProcessingElement,
             x = np.empty((c, h, w), dtype=np.float32)
             maps = []
             for ci in range(c):
+                paced = ci % pe.in_parallel == 0
                 for r in range(h):
                     row = yield Get(in_ch)
                     x[ci, r] = row
-                    yield _group_paced_delay(ci, pe.in_parallel, w)
+                    if paced:
+                        yield Delay(w)
                 pooled = _apply_fused_layer(net, first, x[ci:ci + 1],
                                             weights)
                 if not fused:
@@ -311,9 +324,11 @@ def _pe_process(acc: Accelerator, pe: ProcessingElement,
             c, h, w = in_shape.as_tuple()
             rows = []
             for ci in range(c):
+                paced = ci % pe.in_parallel == 0
                 for _r in range(h):
                     row = yield Get(in_ch)
-                    yield _group_paced_delay(ci, pe.in_parallel, w)
+                    if paced:
+                        yield Delay(w)
                     out_row = _ACT[first.kind](
                         np.asarray(row, dtype=np.float32))
                     if not fused:
@@ -332,7 +347,7 @@ def _pe_process(acc: Accelerator, pe: ProcessingElement,
                 for pos in range(0, len(out_flat), _CHUNK):
                     chunk = out_flat[pos:pos + _CHUNK]
                     yield Delay(len(chunk) * flat)
-                    yield Put(out_ch, chunk.astype(np.float32).copy())
+                    yield Put(out_ch, chunk.astype(np.float32))
                 emitted = True
             else:
                 yield Delay(first.num_output * flat)

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from repro.sim.core import Simulator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StallInterval:
     """One blocked interval of a process."""
 
@@ -30,7 +30,7 @@ class StallInterval:
         return self.end - self.start
 
 
-@dataclass
+@dataclass(slots=True)
 class Trace:
     """Recorded channel occupancy samples and process stall intervals."""
 

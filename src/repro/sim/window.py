@@ -31,6 +31,8 @@ class SlidingWindowBuffer:
     element.
     """
 
+    __slots__ = ("spec", "height", "width", "_buffer", "_pushed")
+
     def __init__(self, spec: FilterChainSpec, input_height: int):
         self.spec = spec
         self.height = input_height

@@ -8,24 +8,16 @@ cannot silently degrade into "fires somewhere".
 import pytest
 
 from repro.analysis import Severity, check_model
-from repro.frontend.weights import WeightStore
-from repro.frontend.zoo import (
-    broken,
-    cifar10_model,
-    lenet_model,
-    tc1_model,
-    vgg16_model,
-)
+from repro.frontend.zoo import broken, lenet_model, vgg16_model
 
 
 class TestCleanZoo:
     """The shipped models must pass the gate (no ERROR diagnostics)."""
 
-    @pytest.mark.parametrize("factory", [tc1_model, lenet_model,
-                                         cifar10_model, vgg16_model])
-    def test_zoo_model_is_clean(self, factory):
-        model = factory()
-        weights = WeightStore.initialize(model.network)
+    @pytest.mark.parametrize("name", ["tc1", "lenet", "cifar10", "vgg16"])
+    def test_zoo_model_is_clean(self, name, zoo_model, zoo_weights):
+        model = zoo_model(name)
+        weights = zoo_weights(name)
         report = check_model(model, weights=weights)
         assert report.ok, report.render()
         # every pass ran (none skipped)

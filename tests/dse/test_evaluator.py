@@ -1,0 +1,131 @@
+"""Memoized + parallel DSE evaluation must change nothing but the cost.
+
+The explorer's result — best mapping, explored-point count, step count —
+must be identical across serial, parallel, memoized and from-scratch
+runs; the cache and thread pool are pure accelerations.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.dse import (
+    CachedEvaluator,
+    EvaluationCache,
+    ParallelEvaluator,
+    explore,
+    mapping_fingerprint,
+)
+from repro.errors import MappingError
+from repro.hw.mapping import default_mapping
+
+
+def _bad_mapping(net):
+    """A mapping that fails validation (in_parallel > input channels)."""
+    mapping = default_mapping(net)
+    bad_pe = dataclasses.replace(mapping.pes[0], in_parallel=10_000)
+    return dataclasses.replace(mapping,
+                               pes=[bad_pe] + list(mapping.pes[1:]))
+
+
+@pytest.mark.parametrize("name", ["tc1", "lenet", "vgg16"])
+def test_parallel_memoized_explore_matches_serial(name, zoo_model):
+    model = zoo_model(name)
+    serial = explore(model, memoize=False)
+    fast = explore(model, jobs=4, cache=EvaluationCache())
+    assert fast.mapping == serial.mapping
+    assert fast.performance.ii_cycles == serial.performance.ii_cycles
+    assert fast.steps == serial.steps
+    assert len(fast.explored) == len(serial.explored)
+    assert [p.mapping for p in fast.explored] == \
+        [p.mapping for p in serial.explored]
+    assert fast.cache_misses <= serial.cache_misses
+
+
+def test_result_cache_hits(zoo_model):
+    model = zoo_model("tc1")
+    evaluator = CachedEvaluator(model)
+    mapping = default_mapping(model.network)
+    first = evaluator.evaluate(mapping)
+    assert (evaluator.cache.hits, evaluator.cache.misses) == (0, 1)
+    again = evaluator.evaluate(mapping)
+    assert again is first  # the cached object itself
+    assert (evaluator.cache.hits, evaluator.cache.misses) == (1, 1)
+    # an equal-by-value mapping built independently hits too
+    clone = default_mapping(model.network)
+    assert evaluator.evaluate(clone) is first
+    assert evaluator.cache.hits == 2
+
+
+def test_negative_caching(zoo_model):
+    model = zoo_model("tc1")
+    evaluator = CachedEvaluator(model)
+    bad = _bad_mapping(model.network)
+    with pytest.raises(MappingError) as first:
+        evaluator.evaluate(bad)
+    assert evaluator.cache.misses == 1
+    with pytest.raises(MappingError) as second:
+        evaluator.evaluate(bad)
+    assert second.value is first.value  # replayed, not recomputed
+    assert evaluator.cache.hits == 1
+
+
+def test_memoize_false_never_caches(zoo_model):
+    model = zoo_model("tc1")
+    evaluator = CachedEvaluator(model, memoize=False)
+    mapping = default_mapping(model.network)
+    first = evaluator.evaluate(mapping)
+    second = evaluator.evaluate(mapping)
+    assert first is not second
+    assert evaluator.cache.hits == 0
+    assert evaluator.cache.misses == 2
+    assert not evaluator.cache.results
+
+
+def test_fingerprint_is_content_keyed(zoo_model):
+    model = zoo_model("tc1")
+    mapping = default_mapping(model.network)
+    clone = default_mapping(model.network)
+    cal = CachedEvaluator(model).cal
+    assert mapping_fingerprint(model, mapping, cal) == \
+        mapping_fingerprint(model, clone, cal)
+    faster = dataclasses.replace(model, frequency_hz=2 * model.frequency_hz)
+    assert mapping_fingerprint(faster, mapping, cal) != \
+        mapping_fingerprint(model, mapping, cal)
+
+
+class TestParallelEvaluator:
+    def test_jobs_one_is_serial(self, zoo_model):
+        evaluator = CachedEvaluator(zoo_model("tc1"))
+        with ParallelEvaluator(evaluator, jobs=1) as pool:
+            assert not pool.parallel
+
+    def test_evaluate_many_order_and_errors(self, zoo_model):
+        model = zoo_model("tc1")
+        evaluator = CachedEvaluator(model)
+        good = default_mapping(model.network)
+        bad = _bad_mapping(model.network)
+        warm = evaluator.evaluate(good)  # fill the shared cache first
+        with ParallelEvaluator(evaluator, jobs=4) as pool:
+            assert pool.parallel
+            outcomes = pool.evaluate_many([good, bad, good])
+        assert outcomes[0] is warm  # answered from the shared cache
+        assert isinstance(outcomes[1], MappingError)
+        assert outcomes[2] is warm
+
+    def test_degrades_to_serial_when_pool_unavailable(self, zoo_model,
+                                                      monkeypatch):
+        import concurrent.futures
+
+        def refuse(*args, **kwargs):
+            raise OSError("no threads for you")
+
+        monkeypatch.setattr(concurrent.futures, "ThreadPoolExecutor",
+                            refuse)
+        model = zoo_model("tc1")
+        evaluator = CachedEvaluator(model)
+        with ParallelEvaluator(evaluator, jobs=4) as pool:
+            assert not pool.parallel
+            outcomes = pool.evaluate_many(
+                [default_mapping(model.network)])
+        assert outcomes[0].mapping == default_mapping(model.network)

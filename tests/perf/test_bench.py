@@ -1,0 +1,161 @@
+"""The ``condor bench`` harness: measurements, persistence, the gate."""
+
+import json
+
+import pytest
+
+from repro.errors import BenchError
+from repro.perf.bench import (
+    FULL_SUITE,
+    QUICK_SUITE,
+    SCHEMA,
+    BenchResult,
+    bench_dse,
+    bench_engine,
+    bench_sim,
+    compare_benchmarks,
+    load_benchmarks,
+    run_bench,
+    write_benchmarks,
+)
+
+
+def _result(op="engine", model="tc1", wall_s=1.0, cycles=None,
+            cache_hits=None, speedup=None):
+    return BenchResult(op=op, model=model, wall_s=wall_s, cycles=cycles,
+                       cache_hits=cache_hits, speedup_vs_baseline=speedup)
+
+
+class TestOps:
+    def test_engine_reports_speedup(self):
+        result = bench_engine("tc1", batch=8, reps=1)
+        assert (result.op, result.model) == ("engine", "tc1")
+        assert result.wall_s > 0
+        assert result.speedup_vs_baseline > 0
+        assert result.cycles is None and result.cache_hits is None
+
+    def test_dse_reports_cycles_and_hits(self):
+        result = bench_dse("tc1", jobs=2, reps=1)
+        assert (result.op, result.model) == ("dse", "tc1")
+        assert result.cycles > 0
+        assert result.cache_hits > 0  # the warm rerun hits the cache
+        assert result.speedup_vs_baseline > 1.0
+
+    def test_sim_cycles_deterministic(self):
+        first = bench_sim("tc1", batch=2, reps=1)
+        second = bench_sim("tc1", batch=2, reps=1)
+        assert first.cycles == second.cycles > 0
+        assert first.speedup_vs_baseline is None
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(BenchError, match="unknown zoo model"):
+            bench_engine("alexnet")
+
+
+def test_suites_are_subset():
+    quick = {(op, model) for op, model, _ in QUICK_SUITE}
+    full = {(op, model) for op, model, _ in FULL_SUITE}
+    assert quick <= full
+    assert {op for op, _ in full} == {"engine", "dse", "sim"}
+
+
+def test_run_bench_quick(monkeypatch):
+    """The quick suite runs end to end and yields one row per entry
+    (ops stubbed out — the real measurements are covered above)."""
+    import repro.perf.bench as bench_mod
+
+    calls = []
+
+    def fake(op):
+        def run(model, **kwargs):
+            calls.append((op, model, kwargs))
+            return _result(op=op, model=model)
+        return run
+
+    monkeypatch.setitem(bench_mod._OPS, "engine", fake("engine"))
+    monkeypatch.setitem(bench_mod._OPS, "dse", fake("dse"))
+    monkeypatch.setitem(bench_mod._OPS, "sim", fake("sim"))
+    results = run_bench(quick=True, jobs=3)
+    assert [(r.op, r.model) for r in results] == \
+        [(op, model) for op, model, _ in QUICK_SUITE]
+    # --jobs reaches every dse row
+    assert all(kwargs["jobs"] == 3 for op, _, kwargs in calls
+               if op == "dse")
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        results = [_result(speedup=2.5),
+                   _result(op="sim", cycles=8363)]
+        path = write_benchmarks(results, tmp_path / "BENCH_perf.json")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SCHEMA
+        assert load_benchmarks(path) == results
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope", "results": []}))
+        with pytest.raises(BenchError, match="schema"):
+            load_benchmarks(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(BenchError, match="cannot read"):
+            load_benchmarks(tmp_path / "absent.json")
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(
+            {"schema": SCHEMA, "results": [{"op": "engine"}]}))
+        with pytest.raises(BenchError, match="malformed"):
+            load_benchmarks(path)
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        rows = [_result(speedup=2.0), _result(op="sim", cycles=100)]
+        assert compare_benchmarks(rows, rows) == []
+
+    def test_cycles_regression_flagged(self):
+        base = [_result(op="sim", cycles=100)]
+        ok = [_result(op="sim", cycles=119)]
+        bad = [_result(op="sim", cycles=121)]
+        assert compare_benchmarks(ok, base) == []
+        violations = compare_benchmarks(bad, base)
+        assert len(violations) == 1
+        assert "cycles regressed" in violations[0]
+
+    def test_speedup_decay_flagged(self):
+        base = [_result(speedup=2.0)]
+        ok = [_result(speedup=1.61)]
+        bad = [_result(speedup=1.59)]
+        assert compare_benchmarks(ok, base) == []
+        violations = compare_benchmarks(bad, base)
+        assert len(violations) == 1
+        assert "speedup regressed" in violations[0]
+
+    def test_threshold_configurable(self):
+        base = [_result(op="sim", cycles=100)]
+        current = [_result(op="sim", cycles=130)]
+        assert compare_benchmarks(current, base,
+                                  max_regression=0.5) == []
+        assert compare_benchmarks(current, base,
+                                  max_regression=0.1) != []
+
+    def test_wall_clock_never_gated(self):
+        base = [_result(wall_s=1.0, speedup=2.0)]
+        current = [_result(wall_s=100.0, speedup=2.0)]
+        assert compare_benchmarks(current, base) == []
+
+    def test_unmatched_rows_ignored(self):
+        base = [_result(op="dse", model="vgg16", cycles=10,
+                        speedup=40.0)]
+        current = [_result(op="dse", model="tc1", cycles=99999,
+                           speedup=0.01)]
+        assert compare_benchmarks(current, base) == []
+
+    def test_improvements_pass(self):
+        base = [_result(op="sim", cycles=100),
+                _result(speedup=2.0)]
+        current = [_result(op="sim", cycles=50),
+                   _result(speedup=4.0)]
+        assert compare_benchmarks(current, base) == []

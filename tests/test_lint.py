@@ -39,7 +39,7 @@ def test_all_rules_registered():
     assert set(RULE_REGISTRY) == {
         "telemetry-print", "telemetry-getlogger", "broad-except",
         "generic-raise", "sim-wallclock", "mutable-default",
-        "flow-step-span", "wallclock-sleep",
+        "flow-step-span", "wallclock-sleep", "sim-slots",
     }
 
 
@@ -129,6 +129,39 @@ def test_wallclock_sleep(tmp_path):
         select=["wallclock-sleep"])
     assert len(found) == 2
     assert {v.line for v in found} == {2, 3}
+
+
+def test_sim_slots_scoped(tmp_path):
+    offender = ("class Event:\n"
+                "    def __init__(self):\n"
+                "        self.t = 0\n")
+    (tmp_path / "sim").mkdir()
+    (tmp_path / "sim" / "core.py").write_text(offender)
+    (tmp_path / "hw.py").write_text(offender)  # outside sim/: allowed
+    found = run_lint(tmp_path, select=["sim-slots"])
+    assert len(found) == 1
+    assert found[0].path == "sim/core.py"
+    assert "Event" in found[0].message
+
+
+def test_sim_slots_accepts_slotted_classes(tmp_path):
+    (tmp_path / "sim").mkdir()
+    (tmp_path / "sim" / "core.py").write_text(
+        "from dataclasses import dataclass\n"
+        "from enum import Enum\n"
+        "@dataclass(frozen=True, slots=True)\n"
+        "class Delay:\n"
+        "    cycles: int\n"
+        "class Channel:\n"
+        "    __slots__ = ('name',)\n"
+        "class Kind(Enum):\n"
+        "    PUT = 1\n"
+        "@dataclass\n"
+        "class Loose:\n"
+        "    t: int\n")
+    found = run_lint(tmp_path, select=["sim-slots"])
+    assert [v.rule_id for v in found] == ["sim-slots"]
+    assert "Loose" in found[0].message
 
 
 def test_flow_step_span(tmp_path):

@@ -229,6 +229,69 @@ class MutableDefaultRule(LintRule):
                         " None and create inside the body")
 
 
+def _has_slots_assignment(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def _is_slotted_dataclass(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        func = deco.func
+        name = func.id if isinstance(func, ast.Name) else \
+            func.attr if isinstance(func, ast.Attribute) else None
+        if name != "dataclass":
+            continue
+        for kw in deco.keywords:
+            if kw.arg == "slots" and \
+                    isinstance(kw.value, ast.Constant) and \
+                    kw.value.value is True:
+                return True
+    return False
+
+
+#: Base classes that manage their own storage layout; requiring
+#: ``__slots__`` on top of them is wrong or redundant.
+_SLOTS_EXEMPT_BASES = {"NamedTuple", "Enum", "IntEnum", "Flag",
+                       "Protocol", "TypedDict"}
+
+
+@register_rule
+class SimSlotsRule(LintRule):
+    """The simulator allocates events, processes and channel records on
+    every scheduler step; a slot-less class there pays a per-instance
+    ``__dict__`` on the hottest allocation path in the repo."""
+
+    id = "sim-slots"
+    description = ("require __slots__ (or dataclass(slots=True)) on"
+                   " classes in src/repro/sim/")
+    scope = "sim/"
+
+    def check(self, tree, rel_path):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = {b.id for b in node.bases if isinstance(b, ast.Name)}
+            if bases & _SLOTS_EXEMPT_BASES:
+                continue
+            if _has_slots_assignment(node) or _is_slotted_dataclass(node):
+                continue
+            yield self.violation(
+                rel_path, node,
+                f"class {node.name} has no __slots__ — simulator"
+                " objects are allocated per event; add __slots__ or"
+                " @dataclass(slots=True)")
+
+
 #: Calls that do real work inside the flow driver; each must run inside
 #: a ``with self._step(...)`` (or a raw ``with span(...)``) so the
 #: telemetry manifest accounts for it.
