@@ -347,13 +347,15 @@ def cmd_bench(args) -> int:
     from repro.perf.bench import (
         compare_benchmarks,
         load_benchmarks,
+        merge_benchmarks,
         run_bench,
         write_benchmarks,
     )
     from repro.util.tables import TextTable
 
+    ops = set(args.op) if args.op else None
     with recording() as recorder:
-        results = run_bench(quick=args.quick, jobs=args.jobs,
+        results = run_bench(quick=args.quick, jobs=args.jobs, ops=ops,
                             progress=lambda msg: print(msg,
                                                        file=sys.stderr))
 
@@ -369,7 +371,13 @@ def cmd_bench(args) -> int:
 
     # load the baseline *before* writing: --output may point at it
     if args.output:
-        path = write_benchmarks(results, args.output)
+        to_write = results
+        out_path = Path(args.output)
+        if ops is not None and out_path.exists():
+            # a partial (--op) run refreshes only its own rows
+            to_write = merge_benchmarks(load_benchmarks(out_path),
+                                        results)
+        path = write_benchmarks(to_write, out_path)
         print(f"benchmarks written to {path}", file=sys.stderr)
 
     if args.format == "json":
@@ -583,6 +591,12 @@ def build_parser() -> argparse.ArgumentParser:
                             " only)")
     bench.add_argument("--jobs", type=int, default=4,
                        help="DSE evaluation threads (default 4)")
+    bench.add_argument("--op", action="append", metavar="OP",
+                       choices=["engine", "engine-steady", "dse", "sim"],
+                       help="run only this operation's rows (repeatable;"
+                            " e.g. --op engine-steady); a partial run"
+                            " merges into --output instead of replacing"
+                            " it")
     bench.add_argument("--output", metavar="PATH",
                        default="BENCH_perf.json",
                        help="write results here (default:"

@@ -9,6 +9,7 @@ the in-memory object maps ``layer name → blob name → ndarray``.
 
 from __future__ import annotations
 
+import itertools
 import json
 from pathlib import Path
 
@@ -19,12 +20,26 @@ from repro.ir.network import Network
 
 _MANIFEST = "weights.json"
 
+#: Process-unique tokens so caches keyed on a store never collide across
+#: store instances (``id()`` can be recycled after garbage collection).
+_STORE_TOKENS = itertools.count()
+
 
 class WeightStore:
-    """Blobs for the learnable layers of a network."""
+    """Blobs for the learnable layers of a network.
+
+    Every store carries a process-unique :attr:`token` and a per-layer
+    mutation counter (:meth:`version_of`, bumped by :meth:`set`), so the
+    execution-plan cache (:mod:`repro.nn.plan`) — which bakes packed
+    weight views into compiled plans — can key plans on
+    ``(token, layer, version)`` and recompile automatically when a
+    layer's blobs are replaced.
+    """
 
     def __init__(self, blobs: dict[str, dict[str, np.ndarray]] | None = None):
         self._blobs: dict[str, dict[str, np.ndarray]] = {}
+        self._token = next(_STORE_TOKENS)
+        self._versions: dict[str, int] = {}
         if blobs:
             for layer, named in blobs.items():
                 for blob, array in named.items():
@@ -32,9 +47,19 @@ class WeightStore:
 
     # -- access ---------------------------------------------------------------
 
+    @property
+    def token(self) -> int:
+        """Process-unique identity of this store (stable for its lifetime)."""
+        return self._token
+
+    def version_of(self, layer: str) -> int:
+        """Mutation counter for ``layer`` (0 until its first :meth:`set`)."""
+        return self._versions.get(layer, 0)
+
     def set(self, layer: str, blob: str, array: np.ndarray) -> None:
         array = np.asarray(array, dtype=np.float32)
         self._blobs.setdefault(layer, {})[blob] = array
+        self._versions[layer] = self._versions.get(layer, 0) + 1
 
     def get(self, layer: str, blob: str) -> np.ndarray:
         try:

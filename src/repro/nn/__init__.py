@@ -19,6 +19,13 @@ from repro.nn.functional import (
     tanh,
 )
 from repro.nn.engine import ReferenceEngine
+from repro.nn.plan import (
+    ExecutionPlan,
+    PlanCache,
+    compile_plan,
+    default_plan_cache,
+    plans_disabled,
+)
 
 __all__ = [
     "avg_pool2d",
@@ -31,5 +38,10 @@ __all__ = [
     "sigmoid",
     "softmax",
     "tanh",
+    "ExecutionPlan",
+    "PlanCache",
     "ReferenceEngine",
+    "compile_plan",
+    "default_plan_cache",
+    "plans_disabled",
 ]

@@ -2,6 +2,22 @@
 
 This is the functional oracle for the generated accelerator and the software
 baseline for the evaluation harness.
+
+Two execution paths produce bit-identical outputs:
+
+* the **oracle** path (:meth:`ReferenceEngine.run_layer` /
+  :meth:`~ReferenceEngine.run_layer_batch`) — stride-trick kernels from
+  :mod:`repro.nn.functional` that re-derive geometry on every call;
+* the **planned** path — each (layer, input shape, dtype) configuration
+  is compiled once into an :class:`repro.nn.plan.ExecutionPlan`
+  (precomputed gather-index maps, packed weights, scratch buffers) and
+  replayed from a process-wide LRU cache on every subsequent call.
+
+Plans are on by default; ``REPRO_NO_PLAN_CACHE=1`` or
+``ReferenceEngine(..., use_plans=False)`` falls back to the oracle.  The
+engine hot loops deliberately allocate nothing shape-derived — all
+scratch lives inside plans (enforced by the ``engine-plan-alloc`` lint
+rule).
 """
 
 from __future__ import annotations
@@ -24,6 +40,12 @@ from repro.ir.layers import (
 )
 from repro.ir.network import Network
 from repro.nn import functional as F
+from repro.nn.plan import (
+    ExecutionPlan,
+    PlanCache,
+    default_plan_cache,
+    plans_disabled,
+)
 
 _ACTIVATIONS = {
     Activation.RELU: F.relu,
@@ -33,14 +55,30 @@ _ACTIVATIONS = {
 
 
 class ReferenceEngine:
-    """Forward inference over a network with a weight store."""
+    """Forward inference over a network with a weight store.
 
-    def __init__(self, net: Network, weights: WeightStore):
+    ``plan_cache`` defaults to the process-wide cache; pass a private
+    :class:`~repro.nn.plan.PlanCache` to isolate (e.g. one per thread —
+    plan scratch buffers are not thread-safe).  ``use_plans`` forces the
+    planned path on (``True``) or off (``False``); the default ``None``
+    follows the ``REPRO_NO_PLAN_CACHE`` environment escape hatch.
+    """
+
+    def __init__(self, net: Network, weights: WeightStore, *,
+                 plan_cache: PlanCache | None = None,
+                 use_plans: bool | None = None):
         weights.validate(net)
         self.net = net
         self.weights = weights
+        self.plan_cache = plan_cache if plan_cache is not None \
+            else default_plan_cache()
+        self._use_plans = use_plans
+        #: layer name -> (weight version, in_shape, dtype, plan) — the
+        #: steady-state fast path that skips the cache dict entirely.
+        self._resolved: dict[str, tuple[int, tuple[int, ...], np.dtype,
+                                        ExecutionPlan]] = {}
 
-    # -- single-layer dispatch ---------------------------------------------
+    # -- single-layer dispatch (the oracle path) -----------------------------
 
     def run_layer(self, layer: Layer, x: np.ndarray) -> np.ndarray:
         """Execute one layer on a (C, H, W) activation."""
@@ -133,14 +171,77 @@ class ReferenceEngine:
             return fn(x)
         raise TypeError(f"unknown layer type {type(layer).__name__}")
 
+    # -- execution plans ------------------------------------------------------
+
+    def plans_active(self) -> bool:
+        """Whether forward passes replay compiled execution plans."""
+        if self._use_plans is not None:
+            return self._use_plans
+        return not plans_disabled()
+
+    def _plan_for(self, layer: Layer, in_shape: tuple[int, ...],
+                  dtype: np.dtype) -> ExecutionPlan:
+        """Resolve the plan for one layer configuration.
+
+        The per-engine memo makes the steady-state path a dict probe and
+        a version compare; the shared LRU cache is only consulted when
+        the memo misses (first call, weight mutation, shape change).
+        """
+        version = self.weights.version_of(layer.name)
+        memo = self._resolved.get(layer.name)
+        if memo is not None:
+            if memo[0] == version and memo[1] == in_shape \
+                    and memo[2] == dtype:
+                self.plan_cache.record_hit()
+                return memo[3]
+        plan = self.plan_cache.lookup(layer, in_shape, self.weights, dtype)
+        self._resolved[layer.name] = (version, in_shape, dtype, plan)
+        return plan
+
+    def _post_layer(self, layer: Layer, out: np.ndarray) -> np.ndarray:
+        """Per-sample/per-batch hook applied after every planned layer.
+
+        The base engine is the identity; :class:`~repro.quant.apply.
+        QuantizedEngine` rounds activations here so its dynamic
+        per-tensor scales stay outside the shape-keyed plans.
+        """
+        return out
+
+    def plan_stats(self) -> dict:
+        """Plan-cache counters + this engine's resolution state."""
+        stats = self.plan_cache.stats()
+        stats["plans_active"] = self.plans_active()
+        stats["resolved_layers"] = len(self._resolved)
+        return stats
+
+    def invalidate_plans(self) -> int:
+        """Drop this engine's memo and its store's cached plans."""
+        self._resolved.clear()
+        return self.plan_cache.invalidate(store=self.weights)
+
     # -- network-level API ----------------------------------------------------
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Run one sample through the whole network."""
         x = np.asarray(x, dtype=np.float32)
+        if not self.plans_active():
+            for layer in self.net.layers:
+                x = self.run_layer(layer, x)
+            return x
+        owns_output = True
         for layer in self.net.layers:
-            x = self.run_layer(layer, x)
-        return x
+            plan = self._plan_for(layer, tuple(x.shape), x.dtype)
+            out = plan.run(x)
+            x = self._post_layer(layer, out)
+            owns_output = not plan.returns_scratch or x is not out
+        # never hand plan-owned scratch to the caller — the next forward
+        # pass would overwrite it in place
+        return x if owns_output else x.copy()
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Single-sample forward through the batched kernels."""
+        x = np.asarray(x, dtype=np.float32)
+        return self.run_batch(x[None])[0]
 
     def run_batch(self, batch: np.ndarray) -> np.ndarray:
         """Run an (N, C, H, W) batch through the batched kernels.
@@ -154,9 +255,18 @@ class ReferenceEngine:
         if batch.ndim != 4:
             raise ShapeError(
                 f"run_batch expects (N, C, H, W), got {batch.shape}")
+        if not self.plans_active():
+            for layer in self.net.layers:
+                batch = self.run_layer_batch(layer, batch)
+            return batch
+        x = batch
+        owns_output = True
         for layer in self.net.layers:
-            batch = self.run_layer_batch(layer, batch)
-        return batch
+            plan = self._plan_for(layer, tuple(x.shape[1:]), x.dtype)
+            out = plan.run_batch(x)
+            x = self._post_layer(layer, out)
+            owns_output = not plan.returns_scratch or x is not out
+        return x if owns_output else x.copy()
 
     def forward_batch(self, batch: np.ndarray) -> np.ndarray:
         """Run an (N, C, H, W) batch (alias of :meth:`run_batch`)."""
@@ -168,7 +278,11 @@ class ReferenceEngine:
         return np.argmax(out.reshape(out.shape[0], -1), axis=1)
 
     def activations(self, x: np.ndarray) -> dict[str, np.ndarray]:
-        """Per-layer output activations for one sample (keyed by name)."""
+        """Per-layer output activations for one sample (keyed by name).
+
+        Always runs the oracle kernels: every layer output must survive
+        the whole pass, which is exactly what plan scratch reuse forbids.
+        """
         x = np.asarray(x, dtype=np.float32)
         outputs: dict[str, np.ndarray] = {}
         for layer in self.net.layers:
@@ -177,5 +291,11 @@ class ReferenceEngine:
         return outputs
 
     def predict(self, x: np.ndarray) -> int:
-        """Class index of the most probable output."""
-        return int(np.argmax(self.forward(x)))
+        """Class index of the most probable output.
+
+        Routed through :meth:`run_batch` with a singleton batch so
+        single-sample serving shares the batched kernels and the plan
+        cache (bit-identical to ``argmax(forward(x))``).
+        """
+        x = np.asarray(x, dtype=np.float32)
+        return int(self.predict_batch(x[None])[0])

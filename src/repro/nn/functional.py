@@ -198,12 +198,17 @@ def conv2d_batch(x: np.ndarray, weights: np.ndarray,
     return out.reshape(n, f, oh, ow)
 
 
-def _pool_pad(x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int],
-              pad: tuple[int, int], fill: float,
-              ceil_mode: bool) -> np.ndarray:
-    """Pad the spatial axes for pooling; with ceil_mode, extend so the last
-    window fits.  Works on ``(C, H, W)`` and ``(N, C, H, W)`` alike."""
-    h, w = x.shape[-2:]
+def pool_pad_amounts(hw: tuple[int, int], kernel: tuple[int, int],
+                     stride: tuple[int, int], pad: tuple[int, int],
+                     ceil_mode: bool) -> tuple[int, int, int, int]:
+    """Per-edge spatial padding for pooling: ``(ph, pw, extra_h, extra_w)``.
+
+    ``extra_*`` is the ceil-mode extension on the bottom/right edge so the
+    last window fits.  Shared by :func:`_pool_pad` and the execution-plan
+    compiler (:mod:`repro.nn.plan`), which bakes the padded geometry into
+    a reusable scratch buffer.
+    """
+    h, w = hw
     ph, pw = pad
     extra_h = extra_w = 0
     if ceil_mode:
@@ -216,6 +221,16 @@ def _pool_pad(x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int],
             return max(0, (out - 1) * s + k - (size + 2 * p))
         extra_h = need(h, kernel[0], stride[0], ph)
         extra_w = need(w, kernel[1], stride[1], pw)
+    return ph, pw, extra_h, extra_w
+
+
+def _pool_pad(x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int],
+              pad: tuple[int, int], fill: float,
+              ceil_mode: bool) -> np.ndarray:
+    """Pad the spatial axes for pooling; with ceil_mode, extend so the last
+    window fits.  Works on ``(C, H, W)`` and ``(N, C, H, W)`` alike."""
+    ph, pw, extra_h, extra_w = pool_pad_amounts(
+        x.shape[-2:], kernel, stride, pad, ceil_mode)
     if ph == 0 and pw == 0 and extra_h == 0 and extra_w == 0:
         return x
     lead = ((0, 0),) * (x.ndim - 2)
@@ -371,3 +386,77 @@ def log_softmax_batch(x: np.ndarray) -> np.ndarray:
     return (shifted -
             np.log(np.exp(shifted).sum(axis=1, keepdims=True))) \
         .reshape(x.shape)
+
+
+# -- gather-index kernels (the execution-plan path) ---------------------------
+#
+# The stride-trick kernels above re-derive the window geometry on every
+# call.  When the same (shape, dtype) configuration recurs — steady-state
+# serving runs identical layer shapes millions of times — the geometry can
+# be compiled once into a flat gather-index map and replayed with a single
+# ``take``.  The maps below index into the *flattened padded* activation,
+# so one map serves both the single-sample path (``flat.take(map)``) and
+# the batched path (``np.take(flat2d, map, axis=1)``).  Output values are
+# bit-identical to the stride-trick kernels: a gather is a pure data
+# movement, and the downstream GEMM / max reduction sees the same operand
+# values in the same logical order.  (Average pooling is the exception:
+# ``mean`` over a gathered contiguous copy pairs partial sums differently
+# than over the strided window view, so avg-pool plans replay the
+# stride-trick kernel — see :mod:`repro.nn.plan`.)
+
+
+def im2col_index_map(in_shape: tuple[int, int, int],
+                     kernel: tuple[int, int],
+                     stride: tuple[int, int] = (1, 1),
+                     pad: tuple[int, int] = (0, 0)) -> np.ndarray:
+    """Gather map for :func:`im2col`: ``(C*KH*KW, OH*OW)`` flat indices.
+
+    Indexes into the flattened zero-padded ``(C, H+2PH, W+2PW)`` input;
+    ``padded.reshape(-1).take(map)`` equals ``im2col(x, ...)`` bit for
+    bit.
+    """
+    c, h, w = in_shape
+    kh, kw = kernel
+    sh, sw = stride
+    hp, wp = h + 2 * pad[0], w + 2 * pad[1]
+    if kh > hp or kw > wp:
+        raise ShapeError(
+            f"window {kernel} does not fit padded input ({c}, {hp}, {wp})")
+    oh = (hp - kh) // sh + 1
+    ow = (wp - kw) // sw + 1
+    ci = np.arange(c).reshape(c, 1, 1, 1, 1)
+    khi = np.arange(kh).reshape(1, kh, 1, 1, 1)
+    kwi = np.arange(kw).reshape(1, 1, kw, 1, 1)
+    ohi = np.arange(oh).reshape(1, 1, 1, oh, 1)
+    owi = np.arange(ow).reshape(1, 1, 1, 1, ow)
+    flat = ci * (hp * wp) + (ohi * sh + khi) * wp + (owi * sw + kwi)
+    return np.ascontiguousarray(flat.reshape(c * kh * kw, oh * ow))
+
+
+def pool_index_map(padded_shape: tuple[int, int, int],
+                   kernel: tuple[int, int],
+                   stride: tuple[int, int]) -> np.ndarray:
+    """Gather map for windowed reductions: ``(KH*KW, C*OH*OW)`` indices.
+
+    Transposed relative to :func:`im2col_index_map` so the reduction runs
+    over the *leading* axis — ``np.maximum.reduce(flat.take(map), axis=0)``
+    reduces KH·KW contiguous rows with one vectorized pass per row, which
+    is what makes the planned max-pool several times faster than the
+    strided-view reduction.  Sound for max (order-independent, exact);
+    not used for mean (accumulation order differs).
+    """
+    c, hp, wp = padded_shape
+    kh, kw = kernel
+    sh, sw = stride
+    if kh > hp or kw > wp:
+        raise ShapeError(
+            f"window {kernel} does not fit input of shape {padded_shape}")
+    oh = (hp - kh) // sh + 1
+    ow = (wp - kw) // sw + 1
+    khi = np.arange(kh).reshape(kh, 1, 1, 1, 1)
+    kwi = np.arange(kw).reshape(1, kw, 1, 1, 1)
+    ci = np.arange(c).reshape(1, 1, c, 1, 1)
+    ohi = np.arange(oh).reshape(1, 1, 1, oh, 1)
+    owi = np.arange(ow).reshape(1, 1, 1, 1, ow)
+    flat = ci * (hp * wp) + (ohi * sh + khi) * wp + (owi * sw + kwi)
+    return np.ascontiguousarray(flat.reshape(kh * kw, c * oh * ow))

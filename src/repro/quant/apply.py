@@ -90,13 +90,22 @@ class QuantizedEngine(ReferenceEngine):
     """
 
     def __init__(self, net: Network, weights: WeightStore,
-                 scheme: QuantScheme):
+                 scheme: QuantScheme, **engine_kwargs):
         quantized, self.report = quantize_store(weights, scheme)
-        super().__init__(net, quantized)
+        super().__init__(net, quantized, **engine_kwargs)
         self.scheme = scheme
 
     def run_layer(self, layer: Layer, x: np.ndarray) -> np.ndarray:
         out = super().run_layer(layer, x)
+        if isinstance(layer, SoftmaxLayer):
+            return out
+        return fake_quantize(out, self.scheme)
+
+    def _post_layer(self, layer: Layer, out: np.ndarray) -> np.ndarray:
+        """Planned-path twin of the :meth:`run_layer` wrapping: round
+        each layer output onto the activation grid.  The scale is
+        dynamic per tensor, so it stays *outside* the shape-keyed plans
+        — the plan replays the arithmetic, this hook quantizes."""
         if isinstance(layer, SoftmaxLayer):
             return out
         return fake_quantize(out, self.scheme)
@@ -119,8 +128,6 @@ def top1_agreement(net: Network, weights: WeightStore,
     as the fp32 engine — the "negligible impact on accuracy" metric."""
     fp32 = ReferenceEngine(net, weights)
     fixed = QuantizedEngine(net, weights, scheme)
-    agree = 0
-    for image in images:
-        if fp32.predict(image) == fixed.predict(image):
-            agree += 1
-    return agree / len(images)
+    images = np.asarray(images, dtype=np.float32)
+    agree = fp32.predict_batch(images) == fixed.predict_batch(images)
+    return float(np.mean(agree))

@@ -92,6 +92,10 @@ class Buffer:
         self.flags = flags
         self.size_bytes = size_bytes
         self.data = np.zeros(size_bytes // 4, dtype=np.float32)
+        #: bumped on every host write; lets the kernel reuse the engine
+        #: (and its compiled execution plans) built from a past read of
+        #: this buffer as long as the contents are unchanged
+        self.generation = 0
         context._buffers.append(self)
 
 
@@ -126,6 +130,10 @@ class Kernel:
         self.program = program
         self.name = name
         self.args: dict[int, object] = {}
+        #: (weights buffer, its generation, engine) of the last "fast"
+        #: mode launch — steady-state serving re-enqueues with the same
+        #: weights, so the engine and its warm plan cache are reused
+        self._engine: tuple[Buffer, int, ReferenceEngine] | None = None
 
     def set_arg(self, index: int, value: object) -> None:
         if index not in (0, 1, 2, 3):
@@ -166,6 +174,7 @@ class CommandQueue:
                 f"write of {flat.size} floats exceeds buffer"
                 f" ({buffer.data.size})")
         buffer.data[:flat.size] = flat
+        buffer.generation += 1
         seconds = flat.nbytes / self.context.device.hw.ddr_bandwidth
         event = Event("write_buffer", device_seconds=seconds)
         self._device_time_s += seconds
@@ -204,16 +213,23 @@ class CommandQueue:
         out_size = net.output_shape().size
         images = in_buf.data[:batch * int(np.prod(in_shape))] \
             .reshape((batch,) + in_shape)
-        weights = _weights_from_buffer(net, w_buf.data)
 
         wall_start = time.perf_counter()
         if self.emulation == "event":
             from repro.sim.dataflow import simulate_accelerator
+            weights = _weights_from_buffer(net, w_buf.data)
             result = simulate_accelerator(acc, weights, images)
             outputs = np.stack(result.outputs)
             cycles = result.total_cycles
         else:
-            engine = ReferenceEngine(net, weights)
+            cached = kernel._engine
+            if cached is not None and cached[0] is w_buf \
+                    and cached[1] == w_buf.generation:
+                engine = cached[2]
+            else:
+                weights = _weights_from_buffer(net, w_buf.data)
+                engine = ReferenceEngine(net, weights)
+                kernel._engine = (w_buf, w_buf.generation, engine)
             outputs = engine.forward_batch(images)
             perf = estimate_performance(acc)
             cycles = perf.batch_cycles(batch) + perf.config_cycles

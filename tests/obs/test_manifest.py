@@ -133,6 +133,43 @@ class TestMetricsCoverage:
                      "condor_cloud_api_calls_total"):
             assert name in text
 
+    def test_plan_cache_counters_reach_manifest(self, tmp_path):
+        """Running the planned engine bumps the plan-cache metrics and
+        they flow into the ``telemetry.json`` metrics block (the
+        manifest snapshots the whole registry)."""
+        import numpy as np
+
+        from repro.frontend.weights import WeightStore
+        from repro.nn.engine import ReferenceEngine
+        from repro.nn.plan import PlanCache
+        from repro.obs.manifest import build_manifest
+        from repro.obs.spans import SpanRecorder
+
+        net = tc1_model().network
+        engine = ReferenceEngine(net, WeightStore.initialize(net),
+                                 plan_cache=PlanCache(), use_plans=True)
+        image = np.zeros(net.input_shape().as_tuple(), dtype=np.float32)
+        engine.forward(image)
+        engine.forward(image)
+
+        hits = REGISTRY.get("condor_plan_cache_hits_total")
+        misses = REGISTRY.get("condor_plan_cache_misses_total")
+        compiles = REGISTRY.get("condor_plan_compiles_total")
+        assert hits.total() >= len(net.layers)
+        assert misses.total() >= len(net.layers)
+        assert compiles.total() >= len(net.layers)
+
+        manifest = build_manifest(recorder=SpanRecorder(),
+                                  workdir=tmp_path,
+                                  run={"status": "succeeded"}, steps=[])
+        metrics = manifest["metrics"]
+        for name in ("condor_plan_cache_hits_total",
+                     "condor_plan_cache_misses_total",
+                     "condor_plan_compiles_total",
+                     "condor_plan_cache_entries",
+                     "condor_plan_compile_seconds"):
+            assert name in metrics
+
 
 class TestLedger:
     def test_disabled_by_default(self, run, tmp_path, monkeypatch):

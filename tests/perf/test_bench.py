@@ -12,9 +12,11 @@ from repro.perf.bench import (
     BenchResult,
     bench_dse,
     bench_engine,
+    bench_engine_steady,
     bench_sim,
     compare_benchmarks,
     load_benchmarks,
+    merge_benchmarks,
     run_bench,
     write_benchmarks,
 )
@@ -47,6 +49,15 @@ class TestOps:
         assert first.cycles == second.cycles > 0
         assert first.speedup_vs_baseline is None
 
+    def test_engine_steady_reports_hits(self):
+        result = bench_engine_steady("tc1", batch=8, reps=1)
+        assert (result.op, result.model) == ("engine-steady", "tc1")
+        assert result.wall_s > 0
+        # the timed replay phase runs warm: every layer is a plan hit
+        assert result.cache_hits > 0
+        assert result.speedup_vs_baseline > 0
+        assert result.cycles is None
+
     def test_unknown_model_rejected(self):
         with pytest.raises(BenchError, match="unknown zoo model"):
             bench_engine("alexnet")
@@ -56,7 +67,11 @@ def test_suites_are_subset():
     quick = {(op, model) for op, model, _ in QUICK_SUITE}
     full = {(op, model) for op, model, _ in FULL_SUITE}
     assert quick <= full
-    assert {op for op, _ in full} == {"engine", "dse", "sim"}
+    assert {op for op, _ in full} == \
+        {"engine", "engine-steady", "dse", "sim"}
+    # the steady-state rows are part of the CI regression gate
+    assert {m for op, m, _ in QUICK_SUITE if op == "engine-steady"} == \
+        {"tc1", "lenet"}
 
 
 def test_run_bench_quick(monkeypatch):
@@ -72,15 +87,43 @@ def test_run_bench_quick(monkeypatch):
             return _result(op=op, model=model)
         return run
 
-    monkeypatch.setitem(bench_mod._OPS, "engine", fake("engine"))
-    monkeypatch.setitem(bench_mod._OPS, "dse", fake("dse"))
-    monkeypatch.setitem(bench_mod._OPS, "sim", fake("sim"))
+    for op in ("engine", "engine-steady", "dse", "sim"):
+        monkeypatch.setitem(bench_mod._OPS, op, fake(op))
     results = run_bench(quick=True, jobs=3)
     assert [(r.op, r.model) for r in results] == \
         [(op, model) for op, model, _ in QUICK_SUITE]
     # --jobs reaches every dse row
     assert all(kwargs["jobs"] == 3 for op, _, kwargs in calls
                if op == "dse")
+
+
+def test_run_bench_op_filter(monkeypatch):
+    import repro.perf.bench as bench_mod
+
+    for op in ("engine", "engine-steady", "dse", "sim"):
+        monkeypatch.setitem(
+            bench_mod._OPS, op,
+            lambda model, _op=op, **kw: _result(op=_op, model=model))
+    results = run_bench(quick=True, ops={"engine-steady"})
+    assert [(r.op, r.model) for r in results] == \
+        [(op, model) for op, model, _ in QUICK_SUITE
+         if op == "engine-steady"]
+    with pytest.raises(BenchError, match="unknown bench op"):
+        run_bench(quick=True, ops={"warp-drive"})
+
+
+def test_merge_benchmarks_overlays_by_key():
+    existing = [_result(op="engine", speedup=2.0),
+                _result(op="sim", cycles=100),
+                _result(op="dse", model="lenet", speedup=5.0)]
+    fresh = [_result(op="sim", cycles=90),
+             _result(op="engine-steady", speedup=3.0)]
+    merged = merge_benchmarks(existing, fresh)
+    assert [(r.op, r.model) for r in merged] == \
+        [("engine", "tc1"), ("sim", "tc1"), ("dse", "lenet"),
+         ("engine-steady", "tc1")]
+    assert merged[1].cycles == 90  # refreshed in place
+    assert merged[0].speedup_vs_baseline == 2.0  # untouched row survives
 
 
 class TestPersistence:

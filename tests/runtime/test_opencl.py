@@ -223,3 +223,44 @@ class TestWeightUpdateWithoutResynthesis:
         # and the device was programmed exactly once (no re-synthesis,
         # no re-program)
         assert context.device.programmed is program.xclbin
+
+
+class TestEngineReuse:
+    """Steady-state serving re-enqueues with the same weights buffer;
+    the kernel must reuse its engine (and warm execution plans) instead
+    of rebuilding a weight store per launch."""
+
+    def test_engine_reused_until_weights_rewritten(self, session):
+        context, program, kernel = session
+        net = program.accelerator.network
+        queue = CommandQueue(context, emulation="fast")
+        weights = WeightStore.initialize(net, 5)
+        images = np.random.default_rng(4).normal(
+            size=(2, 1, 16, 16)).astype(np.float32)
+        in_buf = Buffer(context, Buffer.READ_ONLY, images.nbytes)
+        out_buf = Buffer(context, Buffer.WRITE_ONLY,
+                         2 * net.output_shape().size * 4)
+        packed = pack_weights(net, weights)
+        w_buf = Buffer(context, Buffer.READ_ONLY, packed.nbytes)
+        queue.enqueue_write_buffer(in_buf, images)
+        queue.enqueue_write_buffer(w_buf, packed)
+        for index, value in enumerate((in_buf, out_buf, w_buf, 2)):
+            kernel.set_arg(index, value)
+
+        queue.enqueue_task(kernel)
+        first_engine = kernel._engine[2]
+        queue.enqueue_task(kernel)
+        assert kernel._engine[2] is first_engine  # same weights: reuse
+
+        # rewriting the weights buffer bumps its generation and forces
+        # a fresh engine (the §3.1.1 dynamic-update contract)
+        queue.enqueue_write_buffer(
+            w_buf, pack_weights(net, WeightStore.initialize(net, 6)))
+        queue.enqueue_task(kernel)
+        assert kernel._engine[2] is not first_engine
+        out = queue.enqueue_read_buffer(out_buf,
+                                        2 * net.output_shape().size)
+        ref = ReferenceEngine(
+            net, WeightStore.initialize(net, 6)).forward_batch(images)
+        np.testing.assert_allclose(out.reshape(2, -1),
+                                   ref.reshape(2, -1), rtol=1e-5)

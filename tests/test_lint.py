@@ -40,6 +40,7 @@ def test_all_rules_registered():
         "telemetry-print", "telemetry-getlogger", "broad-except",
         "generic-raise", "sim-wallclock", "mutable-default",
         "flow-step-span", "wallclock-sleep", "sim-slots",
+        "engine-plan-alloc",
     }
 
 
@@ -162,6 +163,22 @@ def test_sim_slots_accepts_slotted_classes(tmp_path):
     found = run_lint(tmp_path, select=["sim-slots"])
     assert [v.rule_id for v in found] == ["sim-slots"]
     assert "Loose" in found[0].message
+
+
+def test_engine_plan_alloc_scoped(tmp_path):
+    offender = ("import numpy as np\n"
+                "def forward(x):\n"
+                "    cols = np.empty((8, x.size))\n"
+                "    padded = np.pad(x, 1)\n"
+                "    y = np.asarray(x)  # not an allocation ban\n"
+                "    w = np.lib.stride_tricks.as_strided(x, (2, 2))\n")
+    (tmp_path / "nn").mkdir()
+    (tmp_path / "nn" / "engine.py").write_text(offender)
+    (tmp_path / "nn" / "plan.py").write_text(offender)  # plans may alloc
+    found = run_lint(tmp_path, select=["engine-plan-alloc"])
+    assert {v.path for v in found} == {"nn/engine.py"}
+    assert len(found) == 3
+    assert {v.line for v in found} == {3, 4, 6}
 
 
 def test_flow_step_span(tmp_path):

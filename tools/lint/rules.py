@@ -292,6 +292,49 @@ class SimSlotsRule(LintRule):
                 " @dataclass(slots=True)")
 
 
+#: numpy constructors that allocate (or re-stride) from shape arithmetic.
+#: Inside the engine hot loops every such buffer must come from a
+#: compiled execution plan (:mod:`repro.nn.plan`), where it is allocated
+#: once per (shape, dtype) configuration and replayed.
+_PLAN_ALLOC_CALLS = {"pad", "empty", "zeros", "ones", "full",
+                     "concatenate", "stack", "empty_like", "zeros_like",
+                     "full_like", "as_strided"}
+
+
+@register_rule
+class EnginePlanAllocRule(LintRule):
+    """The reference engine's forward loops are the serving hot path:
+    ad-hoc shape-derived allocations there defeat the execution-plan
+    cache (scratch reuse is the whole point).  Allocations belong in
+    ``nn/plan.py`` plan compilation or in the ``nn/functional`` oracle
+    kernels the unplanned fallback calls."""
+
+    id = "engine-plan-alloc"
+    description = ("ban ad-hoc numpy allocations in the engine hot"
+                   " loops — scratch must come from an execution plan")
+    scope = "nn/engine.py"
+
+    def check(self, tree, rel_path):
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and
+                    isinstance(node.func, ast.Attribute)):
+                continue
+            func = node.func
+            if func.attr not in _PLAN_ALLOC_CALLS:
+                continue
+            if isinstance(func.value, ast.Name) and \
+                    func.value.id in ("np", "numpy"):
+                yield self.violation(
+                    rel_path, node,
+                    f"np.{func.attr}() in the engine — allocate scratch"
+                    " inside an execution plan (repro.nn.plan)")
+            elif func.attr == "as_strided":
+                yield self.violation(
+                    rel_path, node,
+                    "as_strided() in the engine — precompute a gather"
+                    " index map in an execution plan (repro.nn.plan)")
+
+
 #: Calls that do real work inside the flow driver; each must run inside
 #: a ``with self._step(...)`` (or a raw ``with span(...)``) so the
 #: telemetry manifest accounts for it.
