@@ -19,6 +19,15 @@ _MODEL_CACHE: dict = {}
 _WEIGHT_CACHE: dict = {}
 
 
+@pytest.fixture(autouse=True)
+def _obs_enabled(monkeypatch):
+    """Strip the ``REPRO_NO_OBS`` kill switch from the environment so
+    telemetry assertions see the default (enabled) behaviour regardless
+    of the invoking shell; tests that cover the switch set it back
+    explicitly via ``monkeypatch.setenv``."""
+    monkeypatch.delenv("REPRO_NO_OBS", raising=False)
+
+
 def _builders():
     from repro.frontend.zoo import (
         cifar10_model,

@@ -9,6 +9,9 @@ Exposes the framework the way the paper's users would drive it::
     condor simulate <model> --batch N        # event-driven simulation
     condor profile <model>                   # flow + per-step timing
     condor bench [--quick]                   # hot-path benchmarks
+    condor obs report <run>                  # span latency quantiles
+    condor obs diff <base> <run>             # flag telemetry regressions
+    condor obs timeseries <run>              # sampler trajectory
     condor figure5                           # regenerate Figure 5
 
 ``<model>`` is a ``.prototxt`` (with optional ``--weights x.caffemodel``),
@@ -408,6 +411,82 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _obs_manifest(path: str) -> dict:
+    """Load a manifest from a file path or a workdir containing one."""
+    from repro.obs import MANIFEST_NAME
+    from repro.obs.analyze import load_manifest
+
+    p = Path(path)
+    if p.is_dir():
+        p = p / MANIFEST_NAME
+    if not p.is_file():
+        raise CondorError(
+            f"no telemetry manifest at {p}; run a flow with telemetry"
+            " enabled (the default) first")
+    return load_manifest(p)
+
+
+def cmd_obs_report(args) -> int:
+    """Per-span-name latency quantiles from a run's manifest."""
+    import json as _json
+
+    from repro.obs.analyze import format_report, span_report
+
+    rows = span_report(_obs_manifest(args.run))
+    key = {"total": "total_s", "count": "count", "p50": "p50_s",
+           "p95": "p95_s", "p99": "p99_s", "max": "max_s"}[args.sort]
+    rows.sort(key=lambda r: r.get(key) or 0, reverse=True)
+    if args.format == "json":
+        print(_json.dumps(rows[:args.limit] if args.limit else rows,
+                          indent=2))
+    else:
+        print(format_report(rows, limit=args.limit))
+    return 0
+
+
+def cmd_obs_diff(args) -> int:
+    """Compare two manifests and flag telemetry regressions."""
+    import json as _json
+
+    from repro.obs.analyze import diff_manifests, format_diff
+
+    findings = diff_manifests(
+        _obs_manifest(args.baseline), _obs_manifest(args.run),
+        latency_threshold=args.latency_threshold,
+        metric_threshold=args.metric_threshold)
+    if args.format == "json":
+        print(_json.dumps(findings, indent=2))
+    else:
+        print(format_diff(findings))
+    return 1 if findings and args.fail_on_regress else 0
+
+
+def cmd_obs_timeseries(args) -> int:
+    """Summarize a run's sampler trajectory (``timeseries.jsonl``)."""
+    import json as _json
+
+    from repro.obs import TIMESERIES_NAME
+    from repro.obs.analyze import (
+        format_timeseries,
+        load_timeseries,
+        summarize_timeseries,
+    )
+
+    p = Path(args.run)
+    if p.is_dir():
+        p = p / TIMESERIES_NAME
+    if not p.is_file():
+        raise CondorError(
+            f"no time series at {p}; run a flow with telemetry enabled"
+            " (the default) first")
+    summary = summarize_timeseries(load_timeseries(p))
+    if args.format == "json":
+        print(_json.dumps(summary, indent=2))
+    else:
+        print(format_timeseries(summary, limit=args.limit))
+    return 0
+
+
 def cmd_figure5(args) -> int:
     from repro.eval.figure5 import figure5_series, render_figure5
     print(render_figure5(figure5_series()))
@@ -592,7 +671,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--jobs", type=int, default=4,
                        help="DSE evaluation threads (default 4)")
     bench.add_argument("--op", action="append", metavar="OP",
-                       choices=["engine", "engine-steady", "dse", "sim"],
+                       choices=["engine", "engine-steady", "dse", "sim",
+                                "obs-overhead"],
                        help="run only this operation's rows (repeatable;"
                             " e.g. --op engine-steady); a partial run"
                             " merges into --output instead of replacing"
@@ -614,6 +694,58 @@ def build_parser() -> argparse.ArgumentParser:
                        default="text")
     telemetry_flags(bench)
     bench.set_defaults(func=cmd_bench)
+
+    obs = sub.add_parser(
+        "obs", help="offline analytics over telemetry artifacts"
+                    " (telemetry.json / timeseries.jsonl)")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_report = obs_sub.add_parser(
+        "report", help="per-span-name count / total / p50 / p95 / p99")
+    obs_report.add_argument("run",
+                            help="telemetry.json or a workdir holding"
+                                 " one")
+    obs_report.add_argument("--sort", default="total",
+                            choices=["total", "count", "p50", "p95",
+                                     "p99", "max"])
+    obs_report.add_argument("--limit", type=int, metavar="N",
+                            help="show only the top N spans")
+    obs_report.add_argument("--format", choices=["text", "json"],
+                            default="text")
+    obs_report.set_defaults(func=cmd_obs_report)
+
+    obs_diff = obs_sub.add_parser(
+        "diff", help="flag latency / metric / RSS regressions between"
+                     " two runs")
+    obs_diff.add_argument("baseline",
+                          help="baseline telemetry.json or workdir")
+    obs_diff.add_argument("run",
+                          help="current telemetry.json or workdir")
+    obs_diff.add_argument("--latency-threshold", type=float,
+                          default=0.25, metavar="FRAC",
+                          help="flag spans whose p95 grew by more than"
+                               " this fraction (default 0.25)")
+    obs_diff.add_argument("--metric-threshold", type=float,
+                          default=0.25, metavar="FRAC",
+                          help="flag counters / RSS that grew by more"
+                               " than this fraction (default 0.25)")
+    obs_diff.add_argument("--fail-on-regress", action="store_true",
+                          help="exit 1 when any regression is flagged")
+    obs_diff.add_argument("--format", choices=["text", "json"],
+                          default="text")
+    obs_diff.set_defaults(func=cmd_obs_diff)
+
+    obs_ts = obs_sub.add_parser(
+        "timeseries", help="summarize the background sampler's"
+                           " timeseries.jsonl")
+    obs_ts.add_argument("run",
+                        help="timeseries.jsonl or a workdir holding one")
+    obs_ts.add_argument("--limit", type=int, default=20, metavar="N",
+                        help="metrics to show, biggest movers first"
+                             " (default 20)")
+    obs_ts.add_argument("--format", choices=["text", "json"],
+                        default="text")
+    obs_ts.set_defaults(func=cmd_obs_timeseries)
 
     figure5 = sub.add_parser("figure5",
                              help="regenerate the Figure 5 series")

@@ -23,6 +23,7 @@ breaking is identical in serial and parallel runs.
 
 from __future__ import annotations
 
+import contextvars
 from dataclasses import dataclass, field
 
 from repro.errors import CondorError
@@ -33,7 +34,7 @@ from repro.hw.estimate import estimate_accelerator
 from repro.hw.mapping import MappingConfig
 from repro.hw.perf import AcceleratorPerformance, estimate_performance
 from repro.hw.resources import ResourceVector
-from repro.obs import REGISTRY
+from repro.obs import REGISTRY, span
 from repro.util.logging import get_logger
 
 _log = get_logger("dse.evaluator")
@@ -185,19 +186,29 @@ class ParallelEvaluator:
     def evaluate_many(self, mappings: list[MappingConfig]) \
             -> list[EvaluatedPoint | CondorError]:
         """Evaluate every mapping; infeasible ones yield their error
-        object instead of raising, and order matches the input."""
+        object instead of raising, and order matches the input.
+
+        Each submission runs in a copy of the submitting thread's
+        context (``contextvars.copy_context``), so the worker inherits
+        the active span/recorder and its ``dse.evaluate`` spans nest
+        under the caller (e.g. ``dse.explore``) instead of becoming
+        orphan roots — Python thread pools do *not* propagate context
+        on their own.
+        """
         if self._pool is None:
             return [self._evaluate_caught(m) for m in mappings]
-        futures = [self._pool.submit(self._evaluate_caught, m)
+        futures = [self._pool.submit(contextvars.copy_context().run,
+                                     self._evaluate_caught, m)
                    for m in mappings]
         return [f.result() for f in futures]
 
     def _evaluate_caught(self, mapping: MappingConfig) \
             -> EvaluatedPoint | CondorError:
-        try:
-            return self.evaluator.evaluate(mapping)
-        except CondorError as exc:
-            return exc
+        with span("dse.evaluate"):
+            try:
+                return self.evaluator.evaluate(mapping)
+            except CondorError as exc:
+                return exc
 
     def close(self) -> None:
         if self._pool is not None:

@@ -53,6 +53,7 @@ from repro.resilience import (
     BoundaryStats,
     Checkpoint,
     CheckpointStore,
+    breaker_states,
     chain_digest,
     collecting_stats,
     file_digest,
@@ -70,6 +71,7 @@ from repro.toolchain.xclbin import Xclbin, read_xclbin, write_xclbin
 from repro.obs import (
     REGISTRY,
     SpanRecorder,
+    TelemetrySampler,
     append_ledger,
     build_manifest,
     recording,
@@ -241,6 +243,9 @@ class CondorFlow:
         self.boundary_stats: BoundaryStats | None = None
         #: Span recorder of the most recent :meth:`run` (telemetry on).
         self.recorder: SpanRecorder | None = None
+        #: Background metrics sampler of the most recent :meth:`run`.
+        self.sampler: TelemetrySampler | None = None
+        self._timeseries_path: Path | None = None
         self._steps: list[StepRecord] = []
 
     # -- step harness ---------------------------------------------------------
@@ -375,12 +380,15 @@ class CondorFlow:
 
         With ``telemetry`` enabled (the default) the whole run executes
         under a ``condor.flow`` root span and leaves a ``telemetry.json``
-        manifest in the working directory — even when a step fails, so
+        manifest — plus a ``timeseries.jsonl`` of periodic metric
+        samples — in the working directory, even when a step fails, so
         failed runs stay diagnosable.
         """
         if not self.telemetry:
             return self._execute(inputs)
         self.recorder = SpanRecorder()
+        self.sampler = TelemetrySampler()
+        self.sampler.start()
         started_wall = time.time()
         t0 = time.perf_counter()
         status = "error"
@@ -399,6 +407,8 @@ class CondorFlow:
             raise
         finally:
             _RUNS.inc(status=status)
+            self.sampler.stop()
+            self._timeseries_path = self.sampler.flush(self.workdir)
             manifest = self._build_manifest(
                 result, status=status, error=error,
                 started_wall=started_wall,
@@ -433,6 +443,15 @@ class CondorFlow:
         stats = self.boundary_stats
         if stats is not None and (stats.calls or stats.any_activity):
             snapshots["resilience"] = stats.to_dict()
+            breakers = breaker_states()
+            if breakers:
+                snapshots["resilience"]["breakers"] = breakers
+        if self.sampler is not None:
+            snapshots["timeseries"] = {
+                "path": (self._timeseries_path.name
+                         if self._timeseries_path else None),
+                **self.sampler.overhead(),
+            }
         if result is not None:
             capacity = device_for_board(result.model.board).capacity
             snapshots["resource_estimate"] = {

@@ -46,6 +46,7 @@ from repro.nn.plan import (
     default_plan_cache,
     plans_disabled,
 )
+from repro.obs import current_recorder, span
 
 _ACTIVATIONS = {
     Activation.RELU: F.relu,
@@ -255,6 +256,8 @@ class ReferenceEngine:
         if batch.ndim != 4:
             raise ShapeError(
                 f"run_batch expects (N, C, H, W), got {batch.shape}")
+        if current_recorder() is not None:
+            return self._run_batch_traced(batch)
         if not self.plans_active():
             for layer in self.net.layers:
                 batch = self.run_layer_batch(layer, batch)
@@ -267,6 +270,34 @@ class ReferenceEngine:
             x = self._post_layer(layer, out)
             owns_output = not plan.returns_scratch or x is not out
         return x if owns_output else x.copy()
+
+    def _run_batch_traced(self, batch: np.ndarray) -> np.ndarray:
+        """The :meth:`run_batch` body with per-layer spans.
+
+        Kept as a separate method so the untraced hot path stays free
+        of span plumbing: the engine only pays for tracing while a
+        recorder is active (and the worker thread running this batch
+        inherited it via ``contextvars.copy_context``, so these spans
+        nest under the submitting request's span).  Same calls in the
+        same order — outputs are bit-identical to the untraced path.
+        """
+        with span("engine.run_batch", batch=int(batch.shape[0]),
+                  layers=len(self.net.layers)):
+            if not self.plans_active():
+                for layer in self.net.layers:
+                    with span("engine.layer", layer=layer.name):
+                        batch = self.run_layer_batch(layer, batch)
+                return batch
+            x = batch
+            owns_output = True
+            for layer in self.net.layers:
+                with span("engine.layer", layer=layer.name):
+                    plan = self._plan_for(layer, tuple(x.shape[1:]),
+                                          x.dtype)
+                    out = plan.run_batch(x)
+                    x = self._post_layer(layer, out)
+                    owns_output = not plan.returns_scratch or x is not out
+            return x if owns_output else x.copy()
 
     def forward_batch(self, batch: np.ndarray) -> np.ndarray:
         """Run an (N, C, H, W) batch (alias of :meth:`run_batch`)."""

@@ -48,20 +48,40 @@ def _metadata(pid: int, tid: int, kind: str, name: str) -> dict[str, Any]:
 
 def span_events(spans: list[Span] | SpanRecorder, *,
                 pid: int = FLOW_PID) -> list[dict[str, Any]]:
-    """Complete (``X``) events for finished spans, sorted by ``ts``."""
+    """Complete (``X``) events for finished spans, sorted by ``ts``.
+
+    Spans from different OS threads land on different tids — interval
+    containment only expresses nesting *within* one track, so putting a
+    worker's span on the submitting thread's track would render
+    overlapping siblings as bogus nesting.  The first-seen thread (the
+    one that opened the earliest span, normally the main thread) gets
+    tid 0; workers get tids in order of first appearance, labelled with
+    their thread names.
+    """
     if isinstance(spans, SpanRecorder):
         spans = spans.spans
     finished = [s for s in spans if s.finished]
     if not finished:
         return []
     origin = min(s.start_perf for s in finished)
+    ordered = sorted(finished, key=lambda s: s.start_perf)
     events: list[dict[str, Any]] = [
         _metadata(pid, 0, "process_name", "condor flow"),
-        _metadata(pid, 0, "thread_name", "flow spans"),
     ]
-    for sp in sorted(finished, key=lambda s: s.start_perf):
+    tids: dict[int, int] = {}
+    for sp in ordered:
+        if sp.thread_id not in tids:
+            tid = len(tids)
+            tids[sp.thread_id] = tid
+            label = "flow spans" if tid == 0 else \
+                (sp.thread_name or f"thread-{sp.thread_id}")
+            events.append(_metadata(pid, tid, "thread_name", label))
+    for sp in ordered:
         args: dict[str, Any] = {"status": sp.status,
-                                "cpu_ms": round(sp.cpu_seconds * 1e3, 3)}
+                                "cpu_ms": round(sp.cpu_seconds * 1e3, 3),
+                                "span_id": sp.span_id}
+        if sp.parent_id is not None:
+            args["parent_id"] = sp.parent_id
         if sp.error:
             args["error"] = sp.error
         args.update(sp.attrs)
@@ -69,7 +89,7 @@ def span_events(spans: list[Span] | SpanRecorder, *,
             "name": sp.name,
             "ph": "X",
             "pid": pid,
-            "tid": 0,
+            "tid": tids[sp.thread_id],
             "ts": round((sp.start_perf - origin) * 1e6, 3),
             "dur": round(sp.seconds * 1e6, 3),
             "cat": "flow",

@@ -15,6 +15,7 @@ summary of each run to ``benchmarks/runs.jsonl`` (path overridable via
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 import platform
@@ -28,6 +29,7 @@ from repro.obs.spans import SpanRecorder
 
 __all__ = [
     "MANIFEST_NAME",
+    "git_sha",
     "peak_rss_bytes",
     "build_manifest",
     "write_manifest",
@@ -36,10 +38,47 @@ __all__ = [
 ]
 
 MANIFEST_NAME = "telemetry.json"
-MANIFEST_SCHEMA = 1
+#: Schema 2 (this PR): ``host.hostname``, ``git_sha``,
+#: ``span_summaries`` (per-span-name streaming quantiles), span dicts
+#: carry ``thread_id``, and ledger lines are attributable
+#: (schema/git_sha/hostname).
+MANIFEST_SCHEMA = 2
 LEDGER_ENV = "REPRO_BENCH_LEDGER"
 LEDGER_PATH_ENV = "REPRO_BENCH_LEDGER_PATH"
 DEFAULT_LEDGER = Path("benchmarks") / "runs.jsonl"
+
+
+@functools.lru_cache(maxsize=1)
+def git_sha() -> str | None:
+    """The checked-out commit, or ``None`` outside a git checkout.
+
+    Reads ``.git`` directly (HEAD -> ref file or packed-refs) so the
+    manifest stays attributable without shelling out to git; cached
+    because the answer cannot change within one process run.
+    """
+    try:
+        cwd = Path.cwd()
+        for root in (cwd, *cwd.parents):
+            git_dir = root / ".git"
+            head = git_dir / "HEAD"
+            if not head.is_file():
+                continue
+            content = head.read_text().strip()
+            if not content.startswith("ref: "):
+                return content or None  # detached HEAD
+            ref = content[len("ref: "):]
+            ref_file = git_dir / ref
+            if ref_file.is_file():
+                return ref_file.read_text().strip() or None
+            packed = git_dir / "packed-refs"
+            if packed.is_file():
+                for line in packed.read_text().splitlines():
+                    if line.endswith(" " + ref):
+                        return line.split(" ", 1)[0]
+            return None
+    except OSError:
+        return None
+    return None
 
 
 def peak_rss_bytes() -> int | None:
@@ -83,9 +122,11 @@ def build_manifest(*, recorder: SpanRecorder | None,
         "schema": MANIFEST_SCHEMA,
         "generator": "repro.obs",
         "written_at": time.time(),
+        "git_sha": git_sha(),
         "run": dict(run),
         "host": {
             "platform": platform.platform(),
+            "hostname": platform.node(),
             "python": platform.python_version(),
             "pid": os.getpid(),
         },
@@ -95,6 +136,8 @@ def build_manifest(*, recorder: SpanRecorder | None,
         },
         "steps": list(steps),
         "spans": recorder.span_tree() if recorder is not None else [],
+        "span_summaries":
+            recorder.summaries() if recorder is not None else {},
         "metrics": registry.to_dict(),
         "artifacts": _artifact_listing(workdir),
     }
@@ -128,6 +171,9 @@ def append_ledger(manifest: dict[str, Any]) -> Path | None:
     process = manifest.get("process", {})
     line = {
         "ts": manifest.get("written_at"),
+        "schema": manifest.get("schema"),
+        "git_sha": manifest.get("git_sha"),
+        "hostname": (manifest.get("host") or {}).get("hostname"),
         "network": run.get("network"),
         "board": run.get("board"),
         "status": run.get("status"),

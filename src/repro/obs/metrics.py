@@ -1,4 +1,5 @@
-"""A small process-wide metrics registry (counters, gauges, histograms).
+"""A small process-wide metrics registry (counters, gauges, histograms,
+summaries).
 
 Instrumented modules declare their metrics once at import time against the
 default :data:`REGISTRY` and bump them from hot paths; the registry
@@ -11,6 +12,19 @@ Labels are passed as keyword arguments at update time::
         "condor_cloud_api_calls_total", "AWS API calls issued by the flow")
     CLOUD_CALLS.inc(verb="create-fpga-image")
 
+:class:`Summary` and :class:`Histogram` additionally stream every
+observation through a :class:`~repro.obs.quantiles.QuantileSketch`, so
+accurate p50/p95/p99 are available with O(1) memory (``.quantile()``,
+the ``summary`` exposition type).  Observations made while a span is
+open record an *exemplar* — the worst value seen so far plus the span
+that produced it — so a p99 outlier in a report points straight at its
+trace.
+
+The default :data:`REGISTRY` honours the ``REPRO_NO_OBS=1`` kill switch
+(updates become no-ops); explicitly constructed registries do not, the
+same way an explicit ``plan_cache=`` argument overrides
+``REPRO_NO_PLAN_CACHE``.
+
 Everything is in-process and thread-safe; there is deliberately no
 dependency on ``prometheus_client`` — the exposition format is simple
 enough to emit directly, and the registry stays importable everywhere.
@@ -18,14 +32,24 @@ enough to emit directly, and the registry stays importable everywhere.
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
+import time
 from typing import Any
+
+from repro.obs.quantiles import (
+    DEFAULT_QUANTILES,
+    DEFAULT_SKETCH_K,
+    QuantileSketch,
+)
+from repro.obs.spans import current_span, obs_disabled
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Summary",
     "MetricsRegistry",
     "REGISTRY",
 ]
@@ -58,6 +82,15 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
+def _exemplar(value: float) -> dict[str, Any] | None:
+    """Link ``value`` to the innermost open span, if any."""
+    sp = current_span()
+    if sp is None:
+        return None
+    return {"span_id": sp.span_id, "span": sp.name,
+            "value": value, "ts": time.time()}
+
+
 class _Metric:
     kind = "untyped"
 
@@ -65,6 +98,11 @@ class _Metric:
         self.name = name
         self.help = help
         self._lock = threading.Lock()
+        #: set by a gated registry; gated metrics honour REPRO_NO_OBS
+        self._gated = False
+
+    def _off(self) -> bool:
+        return self._gated and obs_disabled()
 
     def header(self) -> list[str]:
         lines = []
@@ -87,6 +125,8 @@ class Counter(_Metric):
         if amount < 0:
             raise ValueError(
                 f"counter {self.name}: cannot decrease (amount={amount})")
+        if self._off():
+            return
         key = _label_key(labels)
         with self._lock:
             self._values[key] = self._values.get(key, 0.0) + amount
@@ -121,10 +161,14 @@ class Gauge(_Metric):
         self._values: dict[_LabelKey, float] = {}
 
     def set(self, value: float, **labels: Any) -> None:
+        if self._off():
+            return
         with self._lock:
             self._values[_label_key(labels)] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if self._off():
+            return
         key = _label_key(labels)
         with self._lock:
             self._values[key] = self._values.get(key, 0.0) + amount
@@ -140,69 +184,203 @@ class Gauge(_Metric):
 
 
 class Histogram(_Metric):
-    """Cumulative-bucket histogram (Prometheus semantics)."""
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    Bucket bounds are the *finite* upper edges; the implicit ``+Inf``
+    bucket is always emitted exactly once (a non-finite bound passed by
+    a caller is dropped rather than duplicating it).  Counts are stored
+    per-bucket and cumulated at exposition, so ``observe`` is one
+    bisect + one increment.  Every observation also feeds a streaming
+    :class:`QuantileSketch` per label set, making ``quantile()``
+    accurate far beyond bucket resolution.
+    """
 
     kind = "histogram"
 
     def __init__(self, name: str, help: str = "",
                  buckets: tuple[float, ...] = DEFAULT_BUCKETS):
         super().__init__(name, help)
-        self.buckets = tuple(sorted(buckets))
-        #: label key -> [per-bucket counts..., +Inf count]
+        self.buckets = tuple(sorted(
+            {float(b) for b in buckets if math.isfinite(b)}))
+        #: label key -> per-bucket counts (non-cumulative) + overflow slot
         self._counts: dict[_LabelKey, list[int]] = {}
         self._sums: dict[_LabelKey, float] = {}
+        self._sketches: dict[_LabelKey, QuantileSketch] = {}
+        self._exemplars: dict[_LabelKey, dict[str, Any]] = {}
 
     def observe(self, value: float, **labels: Any) -> None:
+        if self._off():
+            return
+        value = float(value)
+        if math.isnan(value):
+            return  # NaN orders arbitrarily; dropping beats poisoning
         key = _label_key(labels)
         with self._lock:
-            counts = self._counts.setdefault(
-                key, [0] * (len(self.buckets) + 1))
-            for i, bound in enumerate(self.buckets):
-                if value <= bound:
-                    counts[i] += 1
-            counts[-1] += 1
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = self._counts[key] = \
+                    [0] * (len(self.buckets) + 1)
+                self._sketches[key] = QuantileSketch()
+            counts[bisect.bisect_left(self.buckets, value)] += 1
             self._sums[key] = self._sums.get(key, 0.0) + value
+            self._sketches[key].observe(value)
+            prev = self._exemplars.get(key)
+            if prev is None or value >= prev["value"]:
+                ex = _exemplar(value)
+                if ex is not None:
+                    self._exemplars[key] = ex
 
     def count(self, **labels: Any) -> int:
         counts = self._counts.get(_label_key(labels))
-        return counts[-1] if counts else 0
+        return sum(counts) if counts else 0
 
     def sum(self, **labels: Any) -> float:
         return self._sums.get(_label_key(labels), 0.0)
 
+    def quantile(self, q: float, **labels: Any) -> float | None:
+        """Streaming quantile estimate for one label set (``None``
+        before any observation)."""
+        sketch = self._sketches.get(_label_key(labels))
+        return None if sketch is None else sketch.quantile(q)
+
+    def _cumulative(self, counts: list[int]) -> list[int]:
+        """Running totals per finite bucket, then the +Inf total."""
+        out: list[int] = []
+        cum = 0
+        for c in counts[:-1]:
+            cum += c
+            out.append(cum)
+        out.append(cum + counts[-1])
+        return out
+
     def expose(self) -> list[str]:
         lines = self.header()
         for key in sorted(self._counts):
-            counts = self._counts[key]
-            for bound, count in zip(self.buckets, counts):
+            cumulative = self._cumulative(self._counts[key])
+            for bound, count in zip(self.buckets, cumulative):
                 le = (("le", _fmt(bound)),)
                 lines.append(f"{self.name}_bucket"
                              f"{_render_labels(key, le)} {count}")
             lines.append(f"{self.name}_bucket"
                          f"{_render_labels(key, (('le', '+Inf'),))}"
-                         f" {counts[-1]}")
+                         f" {cumulative[-1]}")
             lines.append(f"{self.name}_sum{_render_labels(key)}"
                          f" {_fmt(self._sums[key])}")
             lines.append(f"{self.name}_count{_render_labels(key)}"
-                         f" {counts[-1]}")
+                         f" {cumulative[-1]}")
         return lines
 
     def snapshot(self) -> dict[str, Any]:
+        values = []
+        for k in sorted(self._counts):
+            cumulative = self._cumulative(self._counts[k])
+            entry: dict[str, Any] = {
+                "labels": dict(k),
+                "counts": cumulative,
+                "sum": self._sums[k],
+                "count": cumulative[-1],
+                "quantiles": self._sketches[k].snapshot()["quantiles"],
+            }
+            if k in self._exemplars:
+                entry["exemplar"] = dict(self._exemplars[k])
+            values.append(entry)
         return {"type": self.kind, "help": self.help,
-                "buckets": list(self.buckets),
-                "values": [{"labels": dict(k),
-                            "counts": list(self._counts[k]),
-                            "sum": self._sums[k],
-                            "count": self._counts[k][-1]}
-                           for k in sorted(self._counts)]}
+                "buckets": list(self.buckets), "values": values}
+
+
+class Summary(_Metric):
+    """Streaming-quantile summary (Prometheus ``summary`` semantics).
+
+    Unlike :class:`Histogram` there are no predeclared buckets: each
+    label set owns a :class:`QuantileSketch` and the exposition reports
+    the configured quantiles directly::
+
+        condor_request_seconds{quantile="0.5"} 0.0123
+        condor_request_seconds{quantile="0.99"} 0.0871
+        condor_request_seconds_sum 12.3
+        condor_request_seconds_count 1000
+    """
+
+    kind = "summary"
+
+    def __init__(self, name: str, help: str = "",
+                 quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+                 sketch_k: int = DEFAULT_SKETCH_K):
+        super().__init__(name, help)
+        self.quantiles = tuple(quantiles)
+        self._sketch_k = int(sketch_k)
+        self._sketches: dict[_LabelKey, QuantileSketch] = {}
+        self._exemplars: dict[_LabelKey, dict[str, Any]] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        if self._off():
+            return
+        value = float(value)
+        if math.isnan(value):
+            return
+        key = _label_key(labels)
+        with self._lock:
+            sketch = self._sketches.get(key)
+            if sketch is None:
+                sketch = self._sketches[key] = \
+                    QuantileSketch(self._sketch_k)
+            sketch.observe(value)
+            prev = self._exemplars.get(key)
+            if prev is None or value >= prev["value"]:
+                ex = _exemplar(value)
+                if ex is not None:
+                    self._exemplars[key] = ex
+
+    def count(self, **labels: Any) -> int:
+        sketch = self._sketches.get(_label_key(labels))
+        return sketch.count if sketch else 0
+
+    def sum(self, **labels: Any) -> float:
+        sketch = self._sketches.get(_label_key(labels))
+        return sketch.sum if sketch else 0.0
+
+    def quantile(self, q: float, **labels: Any) -> float | None:
+        sketch = self._sketches.get(_label_key(labels))
+        return None if sketch is None else sketch.quantile(q)
+
+    def expose(self) -> list[str]:
+        lines = self.header()
+        for key in sorted(self._sketches):
+            sketch = self._sketches[key]
+            estimates = sketch.quantiles(self.quantiles)
+            for q in self.quantiles:
+                ql = (("quantile", _fmt(q)),)
+                lines.append(f"{self.name}{_render_labels(key, ql)}"
+                             f" {_fmt(estimates[q])}")
+            lines.append(f"{self.name}_sum{_render_labels(key)}"
+                         f" {_fmt(sketch.sum)}")
+            lines.append(f"{self.name}_count{_render_labels(key)}"
+                         f" {sketch.count}")
+        return lines
+
+    def snapshot(self) -> dict[str, Any]:
+        values = []
+        for k in sorted(self._sketches):
+            entry: dict[str, Any] = {"labels": dict(k)}
+            entry.update(self._sketches[k].snapshot(self.quantiles))
+            if k in self._exemplars:
+                entry["exemplar"] = dict(self._exemplars[k])
+            values.append(entry)
+        return {"type": self.kind, "help": self.help,
+                "quantiles": list(self.quantiles), "values": values}
 
 
 class MetricsRegistry:
-    """Named metrics with get-or-create declaration."""
+    """Named metrics with get-or-create declaration.
 
-    def __init__(self) -> None:
+    A *gated* registry's metrics become no-ops while ``REPRO_NO_OBS=1``
+    is set; only the process-wide default :data:`REGISTRY` is gated.
+    """
+
+    def __init__(self, *, gated: bool = False) -> None:
         self._metrics: dict[str, _Metric] = {}
         self._lock = threading.Lock()
+        self._gated = gated
 
     def _declare(self, cls: type, name: str, help: str,
                  **kwargs: Any) -> Any:
@@ -215,6 +393,7 @@ class MetricsRegistry:
                         f" {existing.kind}, not {cls.kind}")
                 return existing
             metric = cls(name, help, **kwargs)
+            metric._gated = self._gated
             self._metrics[name] = metric
             return metric
 
@@ -229,6 +408,11 @@ class MetricsRegistry:
             -> Histogram:
         return self._declare(Histogram, name, help, buckets=buckets)
 
+    def summary(self, name: str, help: str = "",
+                quantiles: tuple[float, ...] = DEFAULT_QUANTILES) \
+            -> Summary:
+        return self._declare(Summary, name, help, quantiles=quantiles)
+
     def get(self, name: str) -> _Metric | None:
         return self._metrics.get(name)
 
@@ -239,7 +423,8 @@ class MetricsRegistry:
         """Zero every metric (keeps declarations).  Test helper."""
         with self._lock:
             for metric in self._metrics.values():
-                for attr in ("_values", "_counts", "_sums"):
+                for attr in ("_values", "_counts", "_sums",
+                             "_sketches", "_exemplars"):
                     store = getattr(metric, attr, None)
                     if store is not None:
                         store.clear()
@@ -258,6 +443,31 @@ class MetricsRegistry:
         return {name: self._metrics[name].snapshot()
                 for name in self.names()}
 
+    def scalars(self) -> dict[str, float]:
+        """One flat number per series — the time-series sampler's row.
+
+        Counters and gauges collapse to the sum over label sets;
+        histograms and summaries contribute ``<name>_count`` and
+        ``<name>_sum``.  Per-metric locks make this safe against
+        concurrent updates (the sampler calls it from its own thread).
+        """
+        out: dict[str, float] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            with metric._lock:
+                if isinstance(metric, (Counter, Gauge)):
+                    out[name] = sum(metric._values.values())
+                elif isinstance(metric, Histogram):
+                    out[f"{name}_count"] = float(
+                        sum(sum(c) for c in metric._counts.values()))
+                    out[f"{name}_sum"] = sum(metric._sums.values())
+                elif isinstance(metric, Summary):
+                    sketches = metric._sketches.values()
+                    out[f"{name}_count"] = float(
+                        sum(s.count for s in sketches))
+                    out[f"{name}_sum"] = sum(s.sum for s in sketches)
+        return out
+
 
 #: The process-wide default registry instrumented modules declare against.
-REGISTRY = MetricsRegistry()
+REGISTRY = MetricsRegistry(gated=True)

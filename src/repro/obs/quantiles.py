@@ -1,0 +1,252 @@
+"""Streaming quantile estimation with bounded memory.
+
+The serving roadmap needs accurate p50/p95/p99 latency over millions of
+observations without keeping them all.  :class:`QuantileSketch` is a
+deterministic variant of the KLL compactor sketch (Karnin, Lang,
+Liberty 2016): a stack of buffers where level ``h`` holds items of
+weight ``2**h``.  New observations land in level 0; when a buffer
+fills, it is sorted and every other item of its *middle* section is
+promoted to the next level with doubled weight while the rest are
+discarded.  Successive compactions alternate between keeping odd and
+even positions, so the rank errors they introduce largely cancel
+instead of accumulating — and, unlike the randomized original, results
+are reproducible run-to-run.
+
+Two refinements sharpen the tails, where serving SLOs live:
+
+* each level's smallest and largest items are *protected* — never
+  promoted or discarded (the REQ-sketch idea) — so the extreme order
+  statistics of the stream survive at full resolution and p99 stays
+  accurate even on heavy-tailed latency distributions;
+* queries linearly interpolate between retained items on the midpoint
+  of each item's rank interval rather than snapping to the nearest one.
+
+Memory is bounded by ``k * ceil(log2(n / k))`` retained items (a few
+thousand floats for any realistic stream), updates are amortized O(1),
+and two sketches merge losslessly-in-structure, which is what lets
+per-thread recorders and per-shard servers aggregate.
+
+Accuracy is empirical, not worst-case: with the default ``k`` the
+p50/p95/p99 estimates stay well within 1% of exact quantiles on 10k+
+sample streams (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any
+
+__all__ = [
+    "DEFAULT_QUANTILES",
+    "DEFAULT_SKETCH_K",
+    "QuantileSketch",
+]
+
+#: Quantiles reported by default (Prometheus summary convention).
+DEFAULT_QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.95, 0.99)
+
+#: Default per-level buffer size.  1024 keeps worst-case retention in
+#: the few-thousand-floats range while holding observed quantile error
+#: under the 1% acceptance bound across heavy-tailed distributions.
+DEFAULT_SKETCH_K = 1024
+
+
+class QuantileSketch:
+    """Mergeable, deterministic streaming quantile estimator.
+
+    >>> sk = QuantileSketch()
+    >>> for v in range(10_000):
+    ...     sk.observe(v)
+    >>> 4800 < sk.quantile(0.5) < 5200
+    True
+
+    ``count``/``sum``/``min``/``max`` are tracked exactly; quantiles are
+    estimates.  Not thread-safe on its own — callers that share a sketch
+    across threads hold their own lock (see ``repro.obs.metrics``).
+    """
+
+    __slots__ = ("_k", "_protect", "_levels", "_odd",
+                 "_count", "_sum", "_min", "_max")
+
+    def __init__(self, k: int = DEFAULT_SKETCH_K):
+        if k < 8:
+            raise ValueError(f"sketch size k must be >= 8, got {k}")
+        self._k = int(k)
+        #: items protected at each end of a level during compaction
+        self._protect = max(1, self._k // 8)
+        #: level h holds unsorted items of weight 2**h
+        self._levels: list[list[float]] = [[]]
+        #: per-level alternating compaction offset
+        self._odd: list[bool] = [False]
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # -- exact aggregates ---------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self) -> float | None:
+        return None if self._count == 0 else self._min
+
+    @property
+    def max(self) -> float | None:
+        return None if self._count == 0 else self._max
+
+    def retained(self) -> int:
+        """Items currently held across all levels (the memory bound)."""
+        return sum(len(buf) for buf in self._levels)
+
+    # -- updates ------------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        level0 = self._levels[0]
+        level0.append(value)
+        if len(level0) >= self._k:
+            self._compact_from(0)
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch (``other`` is left untouched)."""
+        if other._count == 0:
+            return self
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        while len(self._levels) < len(other._levels):
+            self._levels.append([])
+            self._odd.append(False)
+        for h, buf in enumerate(other._levels):
+            self._levels[h].extend(buf)
+        self._compact_from(0)
+        return self
+
+    def _compact_from(self, start: int) -> None:
+        """Halve every over-full buffer from ``start`` upward.
+
+        A compaction sorts the level, sets aside its ``_protect``
+        smallest and largest items (they stay at the level, keeping the
+        stream's extremes at full resolution), promotes every other
+        middle item (doubled weight) to the level above and discards
+        the rest.  Promotion may overflow the level above — the
+        ascending scan handles the cascade in one pass.  Total weight
+        is preserved exactly: an odd-length middle parks one item with
+        the protected set instead of splitting it.
+        """
+        h = start
+        while h < len(self._levels):
+            buf = self._levels[h]
+            if len(buf) < self._k:
+                h += 1
+                continue
+            buf.sort()
+            t = self._protect
+            head, mid, tail = buf[:t], buf[t:-t], buf[-t:]
+            if len(mid) % 2:
+                head.append(mid.pop(0))
+            offset = 1 if self._odd[h] else 0
+            self._odd[h] = not self._odd[h]
+            promoted = mid[offset::2]
+            if h + 1 == len(self._levels):
+                self._levels.append([])
+                self._odd.append(False)
+            self._levels[h + 1].extend(promoted)
+            self._levels[h] = head + tail
+            h += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``).
+
+        Returns ``None`` on an empty sketch.  ``q=0``/``q=1`` return the
+        exact tracked min/max.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return None
+        return self._query(self._weighted_items(), (q,))[q]
+
+    def quantiles(self, qs: tuple[float, ...] = DEFAULT_QUANTILES) \
+            -> dict[float, float]:
+        """Several quantiles at once (one sort, not one per query)."""
+        if self._count == 0:
+            return {}
+        return self._query(self._weighted_items(), qs)
+
+    def _weighted_items(self) -> list[tuple[float, int]]:
+        items: list[tuple[float, int]] = []
+        for h, buf in enumerate(self._levels):
+            weight = 1 << h
+            items.extend((value, weight) for value in buf)
+        items.sort(key=lambda item: item[0])
+        return items
+
+    def _query(self, items: list[tuple[float, int]],
+               qs: tuple[float, ...]) -> dict[float, float]:
+        total = sum(weight for _, weight in items)
+        # Each retained item stands for a rank interval of its weight;
+        # anchor it at the interval midpoint and interpolate between
+        # neighbouring anchors.
+        ranks: list[float] = []
+        cum = 0
+        for _, weight in items:
+            ranks.append(cum + weight / 2.0)
+            cum += weight
+        out: dict[float, float] = {}
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile must be in [0, 1], got {q}")
+            if q == 0.0:
+                out[q] = self._min
+                continue
+            if q == 1.0:
+                out[q] = self._max
+                continue
+            target = q * total
+            if target <= ranks[0]:
+                out[q] = items[0][0]
+                continue
+            if target >= ranks[-1]:
+                out[q] = items[-1][0]
+                continue
+            i = bisect.bisect_left(ranks, target)
+            r0, v0 = ranks[i - 1], items[i - 1][0]
+            r1, v1 = ranks[i], items[i][0]
+            out[q] = v0 if r1 == r0 else \
+                v0 + (v1 - v0) * (target - r0) / (r1 - r0)
+        return out
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self, qs: tuple[float, ...] = DEFAULT_QUANTILES) \
+            -> dict[str, Any]:
+        """JSON-able summary: exact aggregates + estimated quantiles."""
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self.min,
+            "max": self.max,
+            "quantiles": {str(q): v for q, v in self.quantiles(qs).items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"QuantileSketch(k={self._k}, count={self._count},"
+                f" retained={self.retained()})")

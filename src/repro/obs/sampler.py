@@ -1,0 +1,170 @@
+"""Background time-series sampling of the metrics registry.
+
+End-of-run manifests answer *what happened overall*; a serving process
+needs *what was happening at 14:03:07*.  :class:`TelemetrySampler` runs
+a daemon thread that snapshots the registry's scalar view
+(:meth:`~repro.obs.metrics.MetricsRegistry.scalars`) plus peak RSS into
+a bounded ring buffer every ``period`` seconds, and flushes the rows as
+``timeseries.jsonl`` (one JSON object per line) next to
+``telemetry.json``.
+
+The sampler accounts for its own cost: every snapshot's wall time feeds
+``condor_obs_sampler_seconds_total``, so the observability layer's
+overhead is itself observable.  Under ``REPRO_NO_OBS=1`` ``start()`` is
+a no-op — no thread, no samples, no file.
+
+Pacing uses ``threading.Event.wait`` (interruptible, no wall-clock
+sleep), so ``stop()`` returns promptly and a crashed main thread never
+leaves a spinning sampler behind (the thread is a daemon).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+from repro.obs.manifest import peak_rss_bytes
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.spans import obs_disabled
+
+__all__ = [
+    "TIMESERIES_NAME",
+    "TelemetrySampler",
+]
+
+TIMESERIES_NAME = "timeseries.jsonl"
+PERIOD_ENV = "REPRO_OBS_SAMPLE_PERIOD"
+DEFAULT_PERIOD = 0.5
+#: Ring-buffer bound: 1200 samples = 10 minutes at the default period.
+DEFAULT_CAPACITY = 1200
+
+SAMPLER_SAMPLES = REGISTRY.counter(
+    "condor_obs_sampler_samples_total",
+    "Time-series snapshots taken by the telemetry sampler")
+SAMPLER_DROPPED = REGISTRY.counter(
+    "condor_obs_sampler_dropped_total",
+    "Time-series snapshots evicted by the ring-buffer bound")
+SAMPLER_SECONDS = REGISTRY.counter(
+    "condor_obs_sampler_seconds_total",
+    "Wall seconds spent taking time-series snapshots (obs"
+    " self-accounting)")
+
+
+def _env_period() -> float:
+    raw = os.environ.get(PERIOD_ENV, "")
+    if not raw:
+        return DEFAULT_PERIOD
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_PERIOD
+    return value if value > 0 else DEFAULT_PERIOD
+
+
+class TelemetrySampler:
+    """Periodic registry snapshots into a bounded ring buffer.
+
+    >>> sampler = TelemetrySampler(period=0.2).start()
+    >>> ...  # run the workload
+    >>> sampler.stop().flush(workdir)
+
+    One sample is taken synchronously on ``start()`` and one on
+    ``stop()``, so even runs shorter than a period produce a usable
+    (>= 2 row) series.
+    """
+
+    def __init__(self, registry: MetricsRegistry = REGISTRY,
+                 period: float | None = None,
+                 capacity: int = DEFAULT_CAPACITY):
+        self._registry = registry
+        self._period = _env_period() if period is None else float(period)
+        self._samples: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started = False
+        self._dropped = 0
+        self._spent = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "TelemetrySampler":
+        if obs_disabled() or self._thread is not None:
+            return self
+        self._started = True
+        self._stop.clear()
+        self._sample()
+        self._thread = threading.Thread(
+            target=self._run, name="obs-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> "TelemetrySampler":
+        thread = self._thread
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+            self._thread = None
+            self._sample()  # final row: the run's end state
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._period):
+            self._sample()
+
+    # -- sampling -----------------------------------------------------------
+
+    def _sample(self) -> None:
+        t0 = time.perf_counter()
+        row = {
+            "ts": time.time(),
+            "peak_rss_bytes": peak_rss_bytes(),
+            "metrics": self._registry.scalars(),
+        }
+        with self._lock:
+            if len(self._samples) == self._samples.maxlen:
+                self._dropped += 1
+                SAMPLER_DROPPED.inc()
+            self._samples.append(row)
+        spent = time.perf_counter() - t0
+        self._spent += spent
+        SAMPLER_SAMPLES.inc()
+        SAMPLER_SECONDS.inc(spent)
+
+    # -- results ------------------------------------------------------------
+
+    def samples(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return list(self._samples)
+
+    def overhead(self) -> dict[str, Any]:
+        """Self-accounting: what the sampler itself cost this run."""
+        with self._lock:
+            return {"samples": len(self._samples) + self._dropped,
+                    "dropped": self._dropped,
+                    "seconds": self._spent}
+
+    def flush(self, path: Path | str) -> Path | None:
+        """Write the buffered rows as JSONL.
+
+        ``path`` may be a directory (the row file becomes
+        ``<path>/timeseries.jsonl``) or a file path.  Returns ``None``
+        without writing when no samples were taken (e.g. under
+        ``REPRO_NO_OBS=1``).
+        """
+        rows = self.samples()
+        if not rows:
+            return None
+        path = Path(path)
+        if path.is_dir():
+            path = path / TIMESERIES_NAME
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            for row in rows:
+                fh.write(json.dumps(row) + "\n")
+        return path

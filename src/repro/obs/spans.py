@@ -28,20 +28,40 @@ import contextlib
 import contextvars
 import functools
 import itertools
+import os
+import threading
 import time
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.quantiles import QuantileSketch
+
 __all__ = [
+    "DISABLE_ENV",
     "Span",
     "SpanRecorder",
     "current_span",
     "current_recorder",
+    "no_recording",
+    "obs_disabled",
     "recording",
     "span",
     "traced",
 ]
+
+#: Kill switch: ``REPRO_NO_OBS=1`` turns the whole telemetry layer off —
+#: ``recording()`` stops installing recorders (so ``span()`` takes its
+#: no-op fast path), default-registry metrics stop updating, and the
+#: sampler never starts.  Explicitly constructed private registries
+#: keep working, mirroring how ``REPRO_NO_PLAN_CACHE`` interacts with
+#: explicit constructor arguments.
+DISABLE_ENV = "REPRO_NO_OBS"
+
+
+def obs_disabled() -> bool:
+    """True when ``REPRO_NO_OBS=1`` (the telemetry kill switch)."""
+    return os.environ.get(DISABLE_ENV, "") == "1"
 
 _recorder: contextvars.ContextVar["SpanRecorder | None"] = \
     contextvars.ContextVar("repro_obs_recorder", default=None)
@@ -72,6 +92,8 @@ class Span:
     status: str = "ok"
     error: str | None = None
     attrs: dict[str, Any] = field(default_factory=dict)
+    thread_id: int = 0
+    thread_name: str = ""
 
     @property
     def finished(self) -> bool:
@@ -107,7 +129,10 @@ class Span:
             "seconds": self.seconds,
             "cpu_seconds": self.cpu_seconds,
             "status": self.status,
+            "thread_id": self.thread_id,
         }
+        if self.thread_name:
+            out["thread_name"] = self.thread_name
         if self.error:
             out["error"] = self.error
         if self.attrs:
@@ -116,11 +141,22 @@ class Span:
 
 
 class SpanRecorder:
-    """Collects finished spans (in completion order)."""
+    """Collects finished spans (in completion order).
+
+    Alongside the raw span list the recorder feeds one streaming
+    :class:`~repro.obs.quantiles.QuantileSketch` per span name, so
+    p50/p95/p99 per operation are available (``summaries()``) without
+    re-walking — or even keeping — every span of a long-running
+    process.  ``_close`` may be called from worker threads (spans
+    propagated via ``contextvars.copy_context``); the internal lock
+    keeps both structures consistent.
+    """
 
     def __init__(self) -> None:
         self.spans: list[Span] = []
         self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._sketches: dict[str, QuantileSketch] = {}
 
     def __len__(self) -> int:
         return len(self.spans)
@@ -129,6 +165,7 @@ class SpanRecorder:
 
     def _open(self, name: str, attrs: dict[str, Any]) -> Span:
         parent = _current.get()
+        thread = threading.current_thread()
         return Span(
             name=name,
             span_id=next(self._ids),
@@ -138,12 +175,19 @@ class SpanRecorder:
             start_perf=time.perf_counter(),
             start_cpu=time.process_time(),
             attrs=attrs,
+            thread_id=thread.ident or 0,
+            thread_name=thread.name,
         )
 
     def _close(self, sp: Span) -> None:
         sp.end_perf = time.perf_counter()
         sp.end_cpu = time.process_time()
-        self.spans.append(sp)
+        with self._lock:
+            self.spans.append(sp)
+            sketch = self._sketches.get(sp.name)
+            if sketch is None:
+                sketch = self._sketches[sp.name] = QuantileSketch()
+            sketch.observe(sp.seconds)
 
     # -- queries --------------------------------------------------------------
 
@@ -178,6 +222,17 @@ class SpanRecorder:
         return [s.to_dict() for s in
                 sorted(self.spans, key=lambda s: s.start_perf)]
 
+    def sketch(self, name: str) -> QuantileSketch | None:
+        """The streaming duration sketch for one span name."""
+        return self._sketches.get(name)
+
+    def summaries(self) -> dict[str, dict[str, Any]]:
+        """Per-span-name duration summaries from the streaming sketches:
+        ``{name: {count, sum, min, max, quantiles}}`` (seconds)."""
+        with self._lock:
+            return {name: self._sketches[name].snapshot()
+                    for name in sorted(self._sketches)}
+
 
 def current_recorder() -> SpanRecorder | None:
     """The active recorder, or ``None`` when telemetry is off."""
@@ -196,8 +251,15 @@ def recording(recorder: SpanRecorder | None = None) \
 
     Nesting replaces the active recorder (the inner block records into
     its own recorder; the outer one resumes afterwards).
+
+    Under ``REPRO_NO_OBS=1`` the recorder is yielded but *not*
+    installed: callers keep a working (empty) recorder object while
+    every ``span()`` inside the block takes the no-op fast path.
     """
     rec = recorder if recorder is not None else SpanRecorder()
+    if obs_disabled():
+        yield rec
+        return
     token = _recorder.set(rec)
     try:
         yield rec
@@ -206,28 +268,59 @@ def recording(recorder: SpanRecorder | None = None) \
 
 
 @contextlib.contextmanager
-def span(name: str, /, **attrs: Any) -> Iterator[Span | None]:
-    """Time a region.  Yields the open :class:`Span`, or ``None`` when no
-    recorder is active (the no-telemetry fast path).
+def no_recording() -> Iterator[None]:
+    """Suspend span recording for the dynamic extent of the block.
 
-    An exception escaping the block marks the span ``status="error"`` and
-    captures ``type: message`` before re-raising.
+    Used where an instrumented caller must measure *uninstrumented*
+    cost (the ``obs-overhead`` bench op) or run a hot region without
+    trace overhead; the surrounding recorder resumes afterwards.
     """
-    rec = _recorder.get()
-    if rec is None:
-        yield None
-        return
-    sp = rec._open(name, attrs)
-    token = _current.set(sp)
+    token = _recorder.set(None)
     try:
-        yield sp
-    except BaseException as exc:
-        sp.status = "error"
-        sp.error = f"{type(exc).__name__}: {exc}"
-        raise
+        yield None
     finally:
-        _current.reset(token)
-        rec._close(sp)
+        _recorder.reset(token)
+
+
+class span:
+    """Time a region.  ``with span("name") as sp:`` yields the open
+    :class:`Span`, or ``None`` when no recorder is active (the
+    no-telemetry fast path).
+
+    An exception escaping the block marks the span ``status="error"``
+    and captures ``type: message`` before propagating.
+
+    A hand-written context manager rather than
+    ``@contextlib.contextmanager``: spans wrap per-layer engine work and
+    per-candidate DSE evaluations, where the generator machinery itself
+    was the dominant telemetry cost.
+    """
+
+    __slots__ = ("_name", "_attrs", "_rec", "_sp", "_token")
+
+    def __init__(self, name: str, /, **attrs: Any) -> None:
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> Span | None:
+        rec = self._rec = _recorder.get()
+        if rec is None:
+            self._sp = None
+            return None
+        sp = self._sp = rec._open(self._name, self._attrs)
+        self._token = _current.set(sp)
+        return sp
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        sp = self._sp
+        if sp is None:
+            return False
+        if exc_type is not None:
+            sp.status = "error"
+            sp.error = f"{exc_type.__name__}: {exc}"
+        _current.reset(self._token)
+        self._rec._close(sp)
+        return False
 
 
 def traced(name: str | None = None, **attrs: Any) -> Callable:

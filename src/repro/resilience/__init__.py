@@ -24,6 +24,7 @@ survive that weather instead of discarding completed work:
 from repro.resilience.boundary import (
     BoundaryStats,
     breaker_for,
+    breaker_states,
     collecting_stats,
     current_stats,
     inject_faults,
@@ -64,6 +65,7 @@ __all__ = [
     "VirtualClock",
     "active_plan",
     "breaker_for",
+    "breaker_states",
     "chain_digest",
     "collecting_stats",
     "current_stats",

@@ -35,6 +35,7 @@ from repro.resilience.retry import DEFAULT_POLICY, RetryPolicy, is_transient
 __all__ = [
     "BoundaryStats",
     "breaker_for",
+    "breaker_states",
     "collecting_stats",
     "current_stats",
     "inject_faults",
@@ -60,6 +61,22 @@ def breaker_for(boundary: str, *,
 def reset_breakers() -> None:
     """Drop every breaker in the current realm (tests / fresh runs)."""
     _BREAKERS.clear()
+
+
+def breaker_states() -> dict[str, dict]:
+    """Snapshot of every breaker in the current realm, by boundary.
+
+    The manifest records this so a post-mortem can tell *which* edge
+    tripped and how often, not just the per-run rejection counters.
+    """
+    return {
+        name: {
+            "state": b.state,
+            "opened_count": b.opened_count,
+            "consecutive_failures": b.consecutive_failures,
+        }
+        for name, b in sorted(_BREAKERS.items())
+    }
 
 
 @dataclass

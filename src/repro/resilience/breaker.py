@@ -51,6 +51,7 @@ class CircuitBreaker:
         self._failures = 0
         self._state = CLOSED
         self._opened_at = 0.0
+        self._opened_count = 0
 
     @property
     def state(self) -> str:
@@ -63,6 +64,11 @@ class CircuitBreaker:
     @property
     def consecutive_failures(self) -> int:
         return self._failures
+
+    @property
+    def opened_count(self) -> int:
+        """Times this breaker has tripped closed/half-open -> open."""
+        return self._opened_count
 
     def allow(self) -> None:
         """Admit or reject the next call (raises when open)."""
@@ -91,6 +97,7 @@ class CircuitBreaker:
         if self._state == HALF_OPEN or \
                 self._failures >= self.failure_threshold:
             if self._state != OPEN:
+                self._opened_count += 1
                 _OPENED.inc(boundary=self.boundary)
                 _log.warning(
                     "breaker %s: open after %d consecutive failure(s)",

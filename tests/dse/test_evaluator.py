@@ -113,6 +113,42 @@ class TestParallelEvaluator:
         assert isinstance(outcomes[1], MappingError)
         assert outcomes[2] is warm
 
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_worker_spans_nest_under_submitting_span(self, zoo_model,
+                                                     jobs):
+        """Tentpole acceptance: trace context crosses the thread pool,
+        so per-candidate ``dse.evaluate`` spans parent under the span
+        open at submit time — for any ``--jobs``."""
+        from repro.obs import recording, span
+
+        model = zoo_model("tc1")
+        evaluator = CachedEvaluator(model, memoize=False)
+        mappings = [default_mapping(model.network) for _ in range(3)]
+        with recording() as rec:
+            with span("dse.explore") as root:
+                with ParallelEvaluator(evaluator, jobs=jobs) as pool:
+                    pool.evaluate_many(mappings)
+        evals = rec.find("dse.evaluate")
+        assert len(evals) == 3
+        assert all(sp.parent_id == root.span_id for sp in evals)
+        assert all(sp.depth == root.depth + 1 for sp in evals)
+        if jobs > 1:
+            # at least one span really ran off the main thread
+            main = rec.find("dse.explore")[0].thread_id
+            assert any(sp.thread_id != main for sp in evals)
+
+    def test_explore_span_tree(self, zoo_model):
+        from repro.obs import recording
+
+        with recording() as rec:
+            explore(zoo_model("tc1"), jobs=2, cache=EvaluationCache())
+        (root,) = rec.find("dse.explore")
+        assert root.attrs["network"] == "tc1"
+        assert root.attrs["jobs"] == 2
+        evals = rec.find("dse.evaluate")
+        assert evals
+        assert all(sp.parent_id == root.span_id for sp in evals)
+
     def test_degrades_to_serial_when_pool_unavailable(self, zoo_model,
                                                       monkeypatch):
         import concurrent.futures

@@ -118,6 +118,37 @@ class TestDegradedRuns:
             flow.run(aws_inputs())
 
 
+class TestBreakerSnapshot:
+    def test_breaker_states_reach_manifest(self, tmp_path):
+        """Satellite: the manifest's resilience block names every
+        breaker the run touched, with state and trip odometer."""
+        plan = FaultPlan([FaultSpec("cloud.upload", FaultKind.TRANSIENT,
+                                    times=1)], seed=5)
+        flow = CondorFlow(tmp_path)
+        with inject_faults(plan):
+            flow.run(aws_inputs())
+        manifest = json.loads(
+            (tmp_path / "telemetry.json").read_text())
+        res = manifest["resilience"]
+        assert res["retries"]["cloud.upload"] == 1
+        entry = res["breakers"]["cloud.upload"]
+        # one transient failure, then success: closed again, never open
+        assert entry["state"] == "closed"
+        assert entry["opened_count"] == 0
+        assert entry["consecutive_failures"] == 0
+
+    def test_clean_run_has_no_resilience_block(self, tmp_path):
+        flow = CondorFlow(tmp_path)
+        flow.run(aws_inputs())
+        manifest = json.loads(
+            (tmp_path / "telemetry.json").read_text())
+        # calls happened, so the block exists — with quiet breakers
+        res = manifest.get("resilience")
+        if res is not None:
+            assert all(b["opened_count"] == 0
+                       for b in res.get("breakers", {}).values())
+
+
 class TestManifestErrorCapture:
     def test_non_condor_error_recorded(self, tmp_path, monkeypatch):
         import repro.flow.condor as condor_module

@@ -86,6 +86,78 @@ class TestSpanExport:
         assert "RuntimeError" in event["args"]["error"]
 
 
+class TestConcurrentSpans:
+    """Satellite: spans closed by worker threads (trace context
+    propagated via ``copy_context``) export to distinct tids — interval
+    containment only means nesting *within* one track, so overlapping
+    worker spans must never share the submitter's track."""
+
+    def _concurrent_recorder(self, workers=3):
+        import contextvars
+        import threading
+
+        barrier = threading.Barrier(workers)
+
+        def work(idx):
+            with span(f"flow.worker-{idx}"):
+                barrier.wait(timeout=5)  # force wall-clock overlap
+
+        with recording() as rec:
+            with span("flow.submit"):
+                # one context copy per thread — a Context object can
+                # only be entered by one thread at a time
+                threads = [
+                    threading.Thread(
+                        target=contextvars.copy_context().run,
+                        args=(work, i), name=f"dse-worker-{i}")
+                    for i in range(workers)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        return rec
+
+    def test_workers_get_distinct_tids(self):
+        rec = self._concurrent_recorder()
+        doc = chrome_trace(recorder=rec)
+        x_events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in x_events}
+        submit_tid = by_name["flow.submit"]["tid"]
+        worker_tids = {e["tid"] for n, e in by_name.items()
+                       if n.startswith("flow.worker-")}
+        assert submit_tid == 0  # first-seen thread is the main track
+        assert 0 not in worker_tids
+        assert len(worker_tids) == 3  # one track per OS thread
+
+    def test_worker_tracks_are_labelled(self):
+        rec = self._concurrent_recorder()
+        doc = chrome_trace(recorder=rec)
+        labels = {e["args"]["name"]
+                  for e in doc["traceEvents"]
+                  if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert "flow spans" in labels
+        assert {f"dse-worker-{i}" for i in range(3)} <= labels
+
+    def test_parent_ids_cross_threads(self):
+        rec = self._concurrent_recorder()
+        submit = rec.find("flow.submit")[0]
+        doc = chrome_trace(recorder=rec)
+        workers = [e for e in doc["traceEvents"]
+                   if e["ph"] == "X" and
+                   e["name"].startswith("flow.worker-")]
+        assert len(workers) == 3
+        # the span args keep the true tree even though the events sit
+        # on different tracks
+        assert all(e["args"]["parent_id"] == submit.span_id
+                   for e in workers)
+
+    def test_export_is_valid_and_sorted(self):
+        rec = self._concurrent_recorder()
+        doc = json.loads(json.dumps(chrome_trace(recorder=rec)))
+        ts = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert ts == sorted(ts)
+
+
 class TestSimTraceExport:
     def test_round_trip_valid_json(self, tmp_path):
         _, trace = _two_pe_trace()

@@ -97,6 +97,63 @@ class TestManifest:
         assert result.telemetry_path is None
         assert result.steps  # step timing still recorded
 
+    def test_schema_2_provenance_fields(self, run):
+        """Satellite: git SHA, schema version and hostname make runs
+        attributable across machines."""
+        import platform
+
+        from repro.obs.manifest import MANIFEST_SCHEMA, git_sha
+
+        _, result = run
+        manifest = json.loads(result.telemetry_path.read_text())
+        assert manifest["schema"] == MANIFEST_SCHEMA == 2
+        assert manifest["git_sha"] == git_sha()
+        sha = manifest["git_sha"]
+        assert sha is None or (len(sha) == 40 and
+                               all(c in "0123456789abcdef" for c in sha))
+        assert manifest["host"]["hostname"] == platform.node()
+
+    def test_span_summaries_present(self, run):
+        """Schema 2 carries streaming-sketch quantiles per span name."""
+        _, result = run
+        manifest = json.loads(result.telemetry_path.read_text())
+        summaries = manifest["span_summaries"]
+        assert "flow.1-input-analysis" in summaries
+        entry = summaries["flow.1-input-analysis"]
+        assert entry["count"] >= 1
+        assert entry["quantiles"]["0.5"] >= 0
+        assert entry["min"] <= entry["max"]
+
+    def test_timeseries_written_and_referenced(self, run):
+        """The sampler flushes timeseries.jsonl next to telemetry.json
+        and the manifest records the file plus self-accounting."""
+        flow, result = run
+        manifest = json.loads(result.telemetry_path.read_text())
+        ts = manifest["timeseries"]
+        assert ts["path"] == "timeseries.jsonl"
+        assert ts["samples"] >= 2
+        assert ts["seconds"] >= 0
+        series = flow.workdir / "timeseries.jsonl"
+        assert series.is_file()
+        rows = [json.loads(l) for l in
+                series.read_text().splitlines()]
+        assert len(rows) >= 2
+        assert all("metrics" in r for r in rows)
+
+    def test_no_obs_flow_skips_sampler_and_recording(
+            self, tmp_path, monkeypatch):
+        """REPRO_NO_OBS=1: the flow still succeeds and writes a (bare)
+        manifest, but no spans are recorded and no timeseries exists."""
+        monkeypatch.setenv("REPRO_NO_OBS", "1")
+        flow = CondorFlow(tmp_path / "w")
+        result = flow.run(FlowInputs(model=tc1_model()))
+        assert result.steps  # step timing still works
+        manifest = json.loads(
+            (flow.workdir / MANIFEST_NAME).read_text())
+        assert manifest["spans"] == []
+        assert manifest["span_summaries"] == {}
+        assert not (flow.workdir / "timeseries.jsonl").exists()
+
 
 class TestMetricsCoverage:
     def test_flow_dse_sim_cloud_all_covered(self, tmp_path):
@@ -190,12 +247,20 @@ class TestLedger:
         lines = [json.loads(l) for l in
                  ledger.read_text().strip().splitlines()]
         assert len(lines) == 2
+        from repro.obs.manifest import MANIFEST_SCHEMA, git_sha
+
+        import platform
+
         for line in lines:
             assert line["network"] == "tc1"
             assert line["status"] == "ok"
             assert line["seconds"] > 0
             assert line["span_count"] > 0
             assert line["gflops"] > 0
+            # provenance satellite: every ledger line is attributable
+            assert line["schema"] == MANIFEST_SCHEMA
+            assert line["git_sha"] == git_sha()
+            assert line["hostname"] == platform.node()
 
 
 class TestOverhead:

@@ -1,11 +1,13 @@
 """Metrics registry tests."""
 
 import json
+import math
+import re
 import threading
 
 import pytest
 
-from repro.obs import REGISTRY, MetricsRegistry
+from repro.obs import REGISTRY, MetricsRegistry, recording, span
 
 
 @pytest.fixture
@@ -94,6 +96,158 @@ class TestHistogram:
         assert 'x_bucket{le="2"} 2' in text
         assert 'x_bucket{le="+Inf"} 3' in text
         assert "x_count 3" in text
+
+    def test_explicit_inf_bucket_not_duplicated(self, registry):
+        """A caller passing +Inf (or a duplicate bound) must still get
+        exactly one +Inf line — Prometheus scrapers reject dupes."""
+        h = registry.histogram(
+            "y", buckets=(1.0, 1.0, math.inf, float("nan"), 2.0))
+        assert h.buckets == (1.0, 2.0)
+        h.observe(99.0)
+        text = registry.to_prometheus()
+        assert text.count('le="+Inf"') == 1
+        assert 'y_bucket{le="+Inf"} 1' in text
+
+    def test_streaming_quantile(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(1.0,))
+        for v in range(1, 101):
+            h.observe(v / 100.0)
+        assert h.quantile(0.5) == pytest.approx(0.5, abs=0.02)
+        assert h.quantile(0.99) == pytest.approx(0.99, abs=0.02)
+        assert h.quantile(0.5, missing="labels") is None
+
+    def test_nan_observation_dropped(self, registry):
+        h = registry.histogram("z", buckets=(1.0,))
+        h.observe(float("nan"))
+        assert h.count() == 0
+
+
+class TestSummary:
+    def test_observe_and_quantiles(self, registry):
+        s = registry.summary("req_seconds", "Request latency")
+        for v in range(1, 1001):
+            s.observe(v / 1000.0)
+        assert s.count() == 1000
+        assert s.sum() == pytest.approx(500.5)
+        assert s.quantile(0.5) == pytest.approx(0.5, abs=0.01)
+        assert s.quantile(0.99) == pytest.approx(0.99, abs=0.01)
+
+    def test_exposition_format(self, registry):
+        s = registry.summary("api_seconds", "API latency",
+                             quantiles=(0.5, 0.99))
+        s.observe(0.25, verb="get")
+        text = registry.to_prometheus()
+        assert "# TYPE api_seconds summary" in text
+        assert 'api_seconds{verb="get",quantile="0.5"} 0.25' in text
+        assert 'api_seconds{verb="get",quantile="0.99"} 0.25' in text
+        assert 'api_seconds_sum{verb="get"} 0.25' in text
+        assert 'api_seconds_count{verb="get"} 1' in text
+
+    def test_snapshot_carries_quantiles(self, registry):
+        s = registry.summary("s_seconds")
+        s.observe(1.0)
+        snap = s.snapshot()
+        assert snap["type"] == "summary"
+        assert snap["values"][0]["count"] == 1
+        assert snap["values"][0]["quantiles"]["0.5"] == 1.0
+
+    def test_kind_mismatch_with_histogram(self, registry):
+        registry.histogram("mixed_seconds")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.summary("mixed_seconds")
+
+
+class TestExemplars:
+    def test_worst_observation_links_to_span(self, registry):
+        h = registry.histogram("ex_seconds", buckets=(1.0,))
+        with recording():
+            with span("slow.op") as sp:
+                h.observe(0.2)
+                h.observe(0.9)  # worst: becomes the exemplar
+                h.observe(0.5)
+        entry = h.snapshot()["values"][0]
+        assert entry["exemplar"]["value"] == 0.9
+        assert entry["exemplar"]["span"] == "slow.op"
+        assert entry["exemplar"]["span_id"] == sp.span_id
+
+    def test_no_span_no_exemplar(self, registry):
+        s = registry.summary("plain_seconds")
+        s.observe(1.0)
+        assert "exemplar" not in s.snapshot()["values"][0]
+
+
+class TestScalars:
+    def test_flat_view_of_every_kind(self, registry):
+        registry.counter("c_total").inc(2, kind="a")
+        registry.counter("c_total").inc(3, kind="b")
+        registry.gauge("g_entries").set(7)
+        h = registry.histogram("h_seconds", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(2.0)
+        registry.summary("s_seconds").observe(4.0)
+        flat = registry.scalars()
+        assert flat["c_total"] == 5
+        assert flat["g_entries"] == 7
+        assert flat["h_seconds_count"] == 2
+        assert flat["h_seconds_sum"] == pytest.approx(2.5)
+        assert flat["s_seconds_count"] == 1
+        assert flat["s_seconds_sum"] == pytest.approx(4.0)
+
+
+class TestExpositionRoundTrip:
+    def test_text_format_parses_back(self, registry):
+        """Satellite check: the exposition is valid Prometheus text —
+        every sample line parses, histogram series are complete and
+        +Inf appears exactly once per label set."""
+        registry.counter("rt_total", "Round trip").inc(2, verb="put")
+        registry.gauge("rt_entries").set(3)
+        h = registry.histogram("rt_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05, step="a")
+        h.observe(5.0, step="a")
+        registry.summary("rt_sum_seconds").observe(0.25)
+
+        sample_re = re.compile(
+            r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"          # metric name
+            r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""  # first label
+            r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+            r" (\+Inf|-?[0-9.e+-]+)$")
+        parsed = {}
+        for line in registry.to_prometheus().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            m = sample_re.match(line)
+            assert m, f"unparseable exposition line: {line!r}"
+            series = line.rsplit(" ", 1)[0]
+            assert series not in parsed, f"duplicate series {series!r}"
+            parsed[series] = float(m.group(4).replace("+Inf", "inf"))
+
+        assert parsed['rt_total{verb="put"}'] == 2
+        assert parsed["rt_entries"] == 3
+        assert parsed['rt_seconds_bucket{step="a",le="+Inf"}'] == 2
+        assert parsed['rt_seconds_count{step="a"}'] == 2
+        assert parsed['rt_sum_seconds{quantile="0.5"}'] == 0.25
+
+
+class TestKillSwitch:
+    def test_default_registry_gated(self, monkeypatch):
+        c = REGISTRY.counter("condor_gate_probe_total")
+        before = c.total()
+        monkeypatch.setenv("REPRO_NO_OBS", "1")
+        c.inc()
+        REGISTRY.gauge("condor_gate_probe_entries").set(5)
+        assert c.total() == before
+        assert REGISTRY.get("condor_gate_probe_entries").value() == 0
+        monkeypatch.delenv("REPRO_NO_OBS")
+        c.inc()
+        assert c.total() == before + 1
+
+    def test_private_registry_stays_live(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_OBS", "1")
+        reg = MetricsRegistry()
+        reg.counter("live_total").inc()
+        reg.summary("live_seconds").observe(1.0)
+        assert reg.get("live_total").total() == 1
+        assert reg.get("live_seconds").count() == 1
 
 
 class TestExposition:

@@ -1,0 +1,175 @@
+"""Streaming quantile sketch: accuracy, determinism, merge, bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import QuantileSketch
+from repro.obs.quantiles import DEFAULT_QUANTILES, DEFAULT_SKETCH_K
+
+
+def _exact(values, q):
+    return float(np.quantile(np.asarray(values), q))
+
+
+def _rel_err(estimate, exact, spread):
+    # error normalized by the distribution spread: the acceptance bound
+    # is "within 1% of exact" and spread-relative keeps that meaningful
+    # for quantiles near zero
+    return abs(estimate - exact) / spread
+
+
+DISTRIBUTIONS = {
+    "uniform": lambda rng, n: rng.uniform(0.0, 1.0, n),
+    "normal": lambda rng, n: rng.normal(10.0, 2.0, n),
+    "lognormal": lambda rng, n: rng.lognormal(0.0, 1.5, n),
+    "exponential": lambda rng, n: rng.exponential(0.01, n),
+}
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+    def test_within_one_percent_on_10k(self, dist):
+        """Acceptance bound: p50/p90/p95/p99 within 1% of exact on a
+        10k-sample stream (spread-normalized)."""
+        rng = np.random.default_rng(42)
+        values = DISTRIBUTIONS[dist](rng, 10_000)
+        sk = QuantileSketch()
+        for v in values:
+            sk.observe(v)
+        spread = float(values.max() - values.min())
+        for q in DEFAULT_QUANTILES:
+            err = _rel_err(sk.quantile(q), _exact(values, q), spread)
+            assert err <= 0.01, f"{dist} q={q}: error {err:.4f}"
+
+    def test_small_stream_is_exact_order_statistics(self):
+        sk = QuantileSketch()
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            sk.observe(v)
+        # everything is still retained at level 0: interpolated answers
+        assert sk.quantile(0.5) == pytest.approx(3.0)
+        assert sk.quantile(0.0) == 1.0
+        assert sk.quantile(1.0) == 5.0
+
+    def test_endpoints_are_exact_min_max(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=50_000)
+        sk = QuantileSketch()
+        for v in values:
+            sk.observe(v)
+        assert sk.quantile(0.0) == float(values.min())
+        assert sk.quantile(1.0) == float(values.max())
+        assert sk.min == float(values.min())
+        assert sk.max == float(values.max())
+
+
+class TestExactAggregates:
+    def test_count_sum_min_max(self):
+        sk = QuantileSketch()
+        for v in range(1, 101):
+            sk.observe(float(v))
+        assert sk.count == 100
+        assert sk.sum == pytest.approx(5050.0)
+        assert sk.min == 1.0
+        assert sk.max == 100.0
+
+    def test_empty_sketch(self):
+        sk = QuantileSketch()
+        assert sk.count == 0
+        assert sk.min is None and sk.max is None
+        assert sk.quantile(0.5) is None
+        assert sk.quantiles() == {}
+        assert sk.snapshot()["quantiles"] == {}
+
+
+class TestDeterminism:
+    def test_same_stream_same_answers(self):
+        rng = np.random.default_rng(3)
+        values = list(rng.lognormal(0.0, 1.0, 30_000))
+        a, b = QuantileSketch(), QuantileSketch()
+        for v in values:
+            a.observe(v)
+            b.observe(v)
+        for q in DEFAULT_QUANTILES:
+            assert a.quantile(q) == b.quantile(q)
+
+
+class TestMerge:
+    def test_merged_matches_combined_stream(self):
+        rng = np.random.default_rng(11)
+        left = rng.normal(0.0, 1.0, 20_000)
+        right = rng.normal(5.0, 1.0, 20_000)
+        a, b = QuantileSketch(), QuantileSketch()
+        for v in left:
+            a.observe(v)
+        for v in right:
+            b.observe(v)
+        a.merge(b)
+        combined = np.concatenate([left, right])
+        assert a.count == 40_000
+        assert a.sum == pytest.approx(float(combined.sum()))
+        spread = float(combined.max() - combined.min())
+        for q in DEFAULT_QUANTILES:
+            err = _rel_err(a.quantile(q), _exact(combined, q), spread)
+            assert err <= 0.01, f"merged q={q}: error {err:.4f}"
+
+    def test_merge_empty_is_noop(self):
+        a = QuantileSketch()
+        a.observe(1.0)
+        a.merge(QuantileSketch())
+        assert a.count == 1
+        assert a.quantile(0.5) == 1.0
+
+    def test_merge_leaves_other_untouched(self):
+        a, b = QuantileSketch(), QuantileSketch()
+        b.observe(2.0)
+        a.merge(b)
+        assert b.count == 1
+        assert b.quantile(1.0) == 2.0
+
+
+class TestBounds:
+    def test_memory_bounded_on_long_stream(self):
+        sk = QuantileSketch(k=64)
+        n = 200_000
+        for v in range(n):
+            sk.observe(float(v))
+        # k * ceil(log2(n / k)) with slack for the in-fill level-0 buffer
+        bound = 64 * (math.ceil(math.log2(n / 64)) + 2)
+        assert sk.retained() <= bound
+        assert sk.count == n
+
+    def test_total_weight_preserved(self):
+        sk = QuantileSketch(k=32)
+        for v in range(10_000):
+            sk.observe(float(v))
+        weight = sum((1 << h) * len(buf)
+                     for h, buf in enumerate(sk._levels))
+        assert weight == 10_000
+
+    def test_tiny_k_rejected(self):
+        with pytest.raises(ValueError, match=">= 8"):
+            QuantileSketch(k=4)
+
+    def test_bad_quantile_rejected(self):
+        sk = QuantileSketch()
+        sk.observe(1.0)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            sk.quantile(1.5)
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        sk = QuantileSketch()
+        for v in (0.1, 0.2, 0.3):
+            sk.observe(v)
+        snap = sk.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(0.6)
+        assert snap["min"] == pytest.approx(0.1)
+        assert snap["max"] == pytest.approx(0.3)
+        assert set(snap["quantiles"]) == {"0.5", "0.9", "0.95", "0.99"}
+
+    def test_default_k_is_documented_default(self):
+        assert QuantileSketch()._k == DEFAULT_SKETCH_K

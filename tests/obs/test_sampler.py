@@ -1,0 +1,114 @@
+"""Background telemetry sampler: rows, ring bound, flush, kill switch."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, TelemetrySampler
+from repro.obs.sampler import PERIOD_ENV, TIMESERIES_NAME
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("condor_demo_events_total").inc(3)
+    reg.gauge("condor_demo_depth_count").set(7)
+    return reg
+
+
+class TestSampling:
+    def test_start_stop_bookends_produce_rows(self, registry):
+        sampler = TelemetrySampler(registry, period=30.0)
+        sampler.start().stop()
+        rows = sampler.samples()
+        # one synchronous sample on start() and one on stop(), even when
+        # the run is far shorter than a period
+        assert len(rows) == 2
+        for row in rows:
+            assert row["ts"] > 0
+            assert row["peak_rss_bytes"] > 0
+            assert row["metrics"]["condor_demo_events_total"] == 3
+            assert row["metrics"]["condor_demo_depth_count"] == 7
+
+    def test_periodic_rows_accumulate(self, registry):
+        sampler = TelemetrySampler(registry, period=0.01)
+        sampler.start()
+        sampler._stop.wait(0.08)
+        sampler.stop()
+        assert len(sampler.samples()) >= 3
+
+    def test_rows_see_metric_updates(self, registry):
+        sampler = TelemetrySampler(registry, period=30.0)
+        sampler.start()
+        registry.get("condor_demo_events_total").inc(10)
+        sampler.stop()
+        first, last = sampler.samples()[0], sampler.samples()[-1]
+        assert first["metrics"]["condor_demo_events_total"] == 3
+        assert last["metrics"]["condor_demo_events_total"] == 13
+
+    def test_ring_buffer_bound_counts_drops(self, registry):
+        sampler = TelemetrySampler(registry, period=30.0, capacity=3)
+        for _ in range(5):
+            sampler._sample()
+        assert len(sampler.samples()) == 3
+        overhead = sampler.overhead()
+        assert overhead["samples"] == 5
+        assert overhead["dropped"] == 2
+        assert overhead["seconds"] > 0
+
+    def test_double_start_is_idempotent(self, registry):
+        sampler = TelemetrySampler(registry, period=30.0)
+        sampler.start()
+        thread = sampler._thread
+        sampler.start()
+        assert sampler._thread is thread
+        sampler.stop()
+
+    def test_stop_without_start_is_noop(self, registry):
+        sampler = TelemetrySampler(registry, period=30.0)
+        sampler.stop()
+        assert sampler.samples() == []
+
+
+class TestFlush:
+    def test_flush_to_directory_writes_jsonl(self, registry, tmp_path):
+        sampler = TelemetrySampler(registry, period=30.0)
+        sampler.start().stop()
+        path = sampler.flush(tmp_path)
+        assert path == tmp_path / TIMESERIES_NAME
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(sampler.samples())
+        for line in lines:
+            row = json.loads(line)
+            assert {"ts", "peak_rss_bytes", "metrics"} <= set(row)
+
+    def test_flush_to_explicit_file(self, registry, tmp_path):
+        sampler = TelemetrySampler(registry, period=30.0)
+        sampler.start().stop()
+        target = tmp_path / "deep" / "series.jsonl"
+        assert sampler.flush(target) == target
+        assert target.exists()
+
+    def test_flush_empty_writes_nothing(self, registry, tmp_path):
+        sampler = TelemetrySampler(registry, period=30.0)
+        assert sampler.flush(tmp_path) is None
+        assert not (tmp_path / TIMESERIES_NAME).exists()
+
+
+class TestKillSwitch:
+    def test_no_obs_disables_sampling(self, registry, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_OBS", "1")
+        sampler = TelemetrySampler(registry, period=0.01)
+        sampler.start()
+        assert sampler._thread is None
+        sampler.stop()
+        assert sampler.samples() == []
+
+    def test_period_env_override(self, monkeypatch, registry):
+        monkeypatch.setenv(PERIOD_ENV, "2.5")
+        assert TelemetrySampler(registry)._period == 2.5
+        monkeypatch.setenv(PERIOD_ENV, "garbage")
+        assert TelemetrySampler(registry)._period == \
+            TelemetrySampler(registry, period=0.5)._period
+        monkeypatch.setenv(PERIOD_ENV, "-1")
+        assert TelemetrySampler(registry)._period > 0

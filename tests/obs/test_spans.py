@@ -1,5 +1,6 @@
 """Span API tests."""
 
+import threading
 import time
 
 import pytest
@@ -8,6 +9,7 @@ from repro.obs import (
     SpanRecorder,
     current_recorder,
     current_span,
+    no_recording,
     recording,
     span,
     traced,
@@ -110,6 +112,101 @@ class TestRecording:
                     pass
         assert len(rec.find("loop")) == 3
         assert rec.total_seconds("loop") >= 0
+
+
+class TestNoRecording:
+    def test_suspends_and_restores_recorder(self):
+        with recording() as rec:
+            with span("kept"):
+                pass
+            with no_recording():
+                assert current_recorder() is None
+                with span("suppressed") as sp:
+                    assert sp is None
+            assert current_recorder() is rec
+            with span("kept-again"):
+                pass
+        assert [s.name for s in rec.spans] == ["kept", "kept-again"]
+
+
+class TestKillSwitch:
+    def test_no_obs_disables_recording(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_OBS", "1")
+        with recording() as rec:
+            assert current_recorder() is None
+            with span("invisible") as sp:
+                assert sp is None
+        assert len(rec) == 0
+
+    def test_explicit_recorder_also_bypassed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_OBS", "1")
+        mine = SpanRecorder()
+        with recording(mine) as rec:
+            assert rec is mine  # caller still gets a usable object
+            with span("invisible"):
+                pass
+        assert len(mine) == 0
+
+
+class TestThreads:
+    def test_spans_carry_thread_identity(self):
+        import contextvars
+
+        with recording() as rec:
+            with span("main-side"):
+                pass
+
+            def work():
+                with span("worker-side"):
+                    pass
+
+            # threads start with an empty context: propagate the
+            # recorder the same way ParallelEvaluator does
+            ctx = contextvars.copy_context()
+            t = threading.Thread(target=ctx.run, args=(work,),
+                                 name="obs-test-worker")
+            t.start()
+            t.join()
+        main_sp = rec.find("main-side")[0]
+        worker_sp = rec.find("worker-side")[0]
+        assert main_sp.thread_id == threading.get_ident()
+        assert worker_sp.thread_name == "obs-test-worker"
+        assert worker_sp.thread_id != main_sp.thread_id
+
+
+class TestSummaries:
+    def test_streaming_sketch_per_span_name(self):
+        with recording() as rec:
+            for _ in range(20):
+                with span("op"):
+                    pass
+            with span("other"):
+                pass
+        summaries = rec.summaries()
+        assert set(summaries) == {"op", "other"}
+        op = summaries["op"]
+        assert op["count"] == 20
+        assert op["sum"] == pytest.approx(
+            rec.total_seconds("op"), rel=1e-9)
+        assert op["min"] <= op["quantiles"]["0.5"] <= op["max"]
+        sketch = rec.sketch("op")
+        assert sketch is not None and sketch.count == 20
+        assert rec.sketch("never-seen") is None
+
+
+class TestSpanAttrs:
+    def test_set_attr_on_open_span(self):
+        with recording() as rec:
+            with span("op") as sp:
+                sp.set_attr("points", 42)
+        assert rec.find("op")[0].attrs == {"points": 42}
+
+    def test_elapsed_live(self):
+        with recording():
+            with span("op") as sp:
+                assert sp.elapsed() >= 0
+                assert not sp.finished
+        assert sp.finished
 
 
 class TestTraced:

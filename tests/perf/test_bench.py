@@ -7,12 +7,14 @@ import pytest
 from repro.errors import BenchError
 from repro.perf.bench import (
     FULL_SUITE,
+    OBS_OVERHEAD_LIMIT,
     QUICK_SUITE,
     SCHEMA,
     BenchResult,
     bench_dse,
     bench_engine,
     bench_engine_steady,
+    bench_obs_overhead,
     bench_sim,
     compare_benchmarks,
     load_benchmarks,
@@ -62,13 +64,21 @@ class TestOps:
         with pytest.raises(BenchError, match="unknown zoo model"):
             bench_engine("alexnet")
 
+    def test_obs_overhead_reports_ratio(self):
+        result = bench_obs_overhead("tc1", batch=4, reps=3)
+        assert (result.op, result.model) == ("obs-overhead", "tc1")
+        assert result.wall_s > 0
+        # instrumented/plain wall ratio: near 1.0, positive by nature
+        assert result.speedup_vs_baseline > 0
+        assert result.cycles is None and result.cache_hits is None
+
 
 def test_suites_are_subset():
     quick = {(op, model) for op, model, _ in QUICK_SUITE}
     full = {(op, model) for op, model, _ in FULL_SUITE}
     assert quick <= full
     assert {op for op, _ in full} == \
-        {"engine", "engine-steady", "dse", "sim"}
+        {"engine", "engine-steady", "dse", "sim", "obs-overhead"}
     # the steady-state rows are part of the CI regression gate
     assert {m for op, m, _ in QUICK_SUITE if op == "engine-steady"} == \
         {"tc1", "lenet"}
@@ -87,7 +97,7 @@ def test_run_bench_quick(monkeypatch):
             return _result(op=op, model=model)
         return run
 
-    for op in ("engine", "engine-steady", "dse", "sim"):
+    for op in ("engine", "engine-steady", "dse", "sim", "obs-overhead"):
         monkeypatch.setitem(bench_mod._OPS, op, fake(op))
     results = run_bench(quick=True, jobs=3)
     assert [(r.op, r.model) for r in results] == \
@@ -100,7 +110,7 @@ def test_run_bench_quick(monkeypatch):
 def test_run_bench_op_filter(monkeypatch):
     import repro.perf.bench as bench_mod
 
-    for op in ("engine", "engine-steady", "dse", "sim"):
+    for op in ("engine", "engine-steady", "dse", "sim", "obs-overhead"):
         monkeypatch.setitem(
             bench_mod._OPS, op,
             lambda model, _op=op, **kw: _result(op=_op, model=model))
@@ -195,6 +205,24 @@ class TestCompare:
         current = [_result(op="dse", model="tc1", cycles=99999,
                            speedup=0.01)]
         assert compare_benchmarks(current, base) == []
+
+    def test_obs_overhead_gated_absolutely(self):
+        # no baseline row needed: the budget is absolute
+        over = [_result(op="obs-overhead", model="lenet",
+                        speedup=OBS_OVERHEAD_LIMIT + 0.01)]
+        violations = compare_benchmarks(over, [])
+        assert len(violations) == 1
+        assert "telemetry overhead" in violations[0]
+        assert "budget" in violations[0]
+
+    def test_obs_overhead_under_budget_passes(self):
+        ok = [_result(op="obs-overhead", model="lenet",
+                      speedup=OBS_OVERHEAD_LIMIT - 0.01)]
+        assert compare_benchmarks(ok, []) == []
+        # and the relative-decay rule never applies to this op, even
+        # when a (better) baseline row exists
+        base = [_result(op="obs-overhead", model="lenet", speedup=1.00)]
+        assert compare_benchmarks(ok, base) == []
 
     def test_improvements_pass(self):
         base = [_result(op="sim", cycles=100),

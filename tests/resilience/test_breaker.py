@@ -79,3 +79,43 @@ class TestStates:
     def test_threshold_validation(self, clock):
         with pytest.raises(ValueError):
             CircuitBreaker("b", failure_threshold=0, clock=clock)
+
+
+class TestTripAccounting:
+    def test_opened_count_tracks_trips(self, breaker, clock):
+        assert breaker.opened_count == 0
+        trip(breaker)
+        assert breaker.opened_count == 1
+        trip(breaker, 5)  # already open: no double counting
+        assert breaker.opened_count == 1
+        clock.sleep(60.0)
+        breaker.allow()
+        breaker.record_failure()  # probe fails -> second trip
+        assert breaker.opened_count == 2
+
+    def test_reset_keeps_history(self, breaker):
+        trip(breaker)
+        breaker.reset()
+        # the trip count is an odometer, not current state
+        assert breaker.opened_count == 1
+
+
+class TestBreakerStates:
+    def test_registry_snapshot(self, clock):
+        from repro.resilience import breaker_states
+        from repro.resilience.boundary import breaker_for, reset_breakers
+
+        reset_breakers()
+        breaker_for("cloud.upload", clock=clock)
+        hot = breaker_for("cloud.build", clock=clock)
+        for _ in range(hot.failure_threshold):
+            hot.record_failure()
+        snap = breaker_states()
+        assert list(snap) == ["cloud.build", "cloud.upload"]  # sorted
+        assert snap["cloud.build"] == {
+            "state": "open", "opened_count": 1,
+            "consecutive_failures": hot.failure_threshold}
+        assert snap["cloud.upload"] == {
+            "state": "closed", "opened_count": 0,
+            "consecutive_failures": 0}
+        reset_breakers()

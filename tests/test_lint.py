@@ -40,7 +40,7 @@ def test_all_rules_registered():
         "telemetry-print", "telemetry-getlogger", "broad-except",
         "generic-raise", "sim-wallclock", "mutable-default",
         "flow-step-span", "wallclock-sleep", "sim-slots",
-        "engine-plan-alloc",
+        "engine-plan-alloc", "metric-name",
     }
 
 
@@ -179,6 +179,34 @@ def test_engine_plan_alloc_scoped(tmp_path):
     assert {v.path for v in found} == {"nn/engine.py"}
     assert len(found) == 3
     assert {v.line for v in found} == {3, 4, 6}
+
+
+def test_metric_name(tmp_path):
+    found = _lint_source(
+        tmp_path,
+        "reg.counter('condor_cache_hits_total', 'ok')\n"
+        "reg.counter('condor_cache_hits', 'missing _total')\n"
+        "reg.counter('cache_hits_total', 'missing prefix')\n"
+        "reg.gauge('condor_plan_cache_entries', 'ok')\n"
+        "reg.gauge('condor_Plan_Cache', 'bad case + suffix')\n"
+        "reg.histogram('condor_flow_step_seconds', 'ok')\n"
+        "reg.histogram('condor_flow_step_ms', 'bad unit')\n"
+        "reg.summary('condor_eval_seconds', 'ok')\n"
+        "reg.summary(name, 'dynamic names are not checked')\n"
+        "table.summary()  # unrelated call, no args\n",
+        select=["metric-name"])
+    assert len(found) == 4
+    assert {v.line for v in found} == {2, 3, 5, 7}
+
+
+def test_metric_name_messages(tmp_path):
+    found = _lint_source(
+        tmp_path,
+        "reg.counter('hits', 'x')\n"
+        "reg.gauge('condor_depth', 'x')\n",
+        select=["metric-name"])
+    assert "condor_" in found[0].message
+    assert "unit suffix" in found[1].message
 
 
 def test_flow_step_span(tmp_path):

@@ -7,6 +7,7 @@ Importing this module registers every rule with
 from __future__ import annotations
 
 import ast
+import re
 
 from tools.lint.framework import LintRule, register_rule
 
@@ -333,6 +334,58 @@ class EnginePlanAllocRule(LintRule):
                     rel_path, node,
                     "as_strided() in the engine — precompute a gather"
                     " index map in an execution plan (repro.nn.plan)")
+
+
+_METRIC_NAME = re.compile(r"^condor_[a-z][a-z0-9_]*$")
+
+#: Allowed unit/semantic suffixes per declaration kind.  Counters count
+#: events (``_total``); gauges and distribution metrics say what they
+#: measure so the series is self-describing on a dashboard.
+_METRIC_SUFFIXES = {
+    "counter": ("_total",),
+    "gauge": ("_entries", "_bytes", "_seconds", "_ratio", "_count",
+              "_percent"),
+    "histogram": ("_seconds", "_bytes", "_cycles", "_ratio"),
+    "summary": ("_seconds", "_bytes", "_cycles", "_ratio"),
+}
+
+
+@register_rule
+class MetricNameRule(LintRule):
+    """Prometheus metric names are an API: the shared ``condor_`` prefix
+    keeps every series greppable to this codebase, and the unit suffix
+    (``_seconds``, ``_bytes``, ``_total``, ...) is what makes a bare
+    number on a dashboard interpretable.  Checked at the registry
+    declaration site — the only place a name is ever spelled."""
+
+    id = "metric-name"
+    description = ("enforce condor_* snake-case metric names with a"
+                   " unit suffix at registry declaration sites")
+
+    def check(self, tree, rel_path):
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and
+                    isinstance(node.func, ast.Attribute) and
+                    node.func.attr in _METRIC_SUFFIXES and
+                    node.args):
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and
+                    isinstance(first.value, str)):
+                continue
+            kind, name = node.func.attr, first.value
+            if not _METRIC_NAME.match(name):
+                yield self.violation(
+                    rel_path, node,
+                    f"metric name {name!r} — use"
+                    " condor_<subsystem>_<what>_<unit> (lower-case"
+                    " snake_case, condor_ prefix)")
+            elif not name.endswith(_METRIC_SUFFIXES[kind]):
+                allowed = "/".join(_METRIC_SUFFIXES[kind])
+                yield self.violation(
+                    rel_path, node,
+                    f"{kind} {name!r} lacks a unit suffix — end it in"
+                    f" {allowed}")
 
 
 #: Calls that do real work inside the flow driver; each must run inside
