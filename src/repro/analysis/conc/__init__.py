@@ -1,0 +1,31 @@
+"""Static concurrency analysis (the ``condor audit`` CONC rules).
+
+:mod:`repro.analysis.conc.model` builds a whole-program model of locks,
+guarded accesses, the call graph and the static lock-order graph;
+:mod:`repro.analysis.conc.rules` runs the CONC001–CONC006 rule family
+over it; :mod:`repro.analysis.conc.audit` applies waiver comments and
+packages everything as an :class:`~repro.analysis.diagnostics.AnalysisReport`.
+
+The lock vocabulary is shared with the runtime sanitizer
+(:mod:`repro.sanitizer`): both identify locks by the name passed to
+:func:`repro.util.sync.new_lock`, so the observed lock-order graph can
+be checked against the static one (observed ⊆ static).
+"""
+
+from repro.analysis.conc.audit import (AuditResult, audit_tree,
+                                       default_audit_root,
+                                       static_lock_order)
+from repro.analysis.conc.model import ProgramModel, build_program
+from repro.analysis.conc.rules import ALL_RULES, RULE_PASSES, run_rules
+
+__all__ = [
+    "ALL_RULES",
+    "AuditResult",
+    "ProgramModel",
+    "RULE_PASSES",
+    "audit_tree",
+    "build_program",
+    "default_audit_root",
+    "run_rules",
+    "static_lock_order",
+]

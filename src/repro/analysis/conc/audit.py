@@ -1,0 +1,156 @@
+"""The ``condor audit`` driver: model build, rules, waivers, metrics.
+
+A finding is *waived* by a comment on the flagged line or the line
+directly above it::
+
+    PASS_REGISTRY[cls.id] = cls  # conc: allow CONC001 -- import-time
+
+Waivers name the code they suppress (``CONC001``; several comma-separated
+codes are accepted) and should carry a reason after ``--``.  Unmatched
+waivers (a comment that suppressed nothing) are reported as INFO
+diagnostics so dead waivers do not accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.diagnostics import (AnalysisReport, Diagnostic,
+                                        Location, Severity)
+from repro.analysis.conc.model import ProgramModel, build_program
+from repro.analysis.conc.rules import RULE_PASSES, run_rules
+from repro.obs import REGISTRY
+
+__all__ = ["AuditResult", "audit_tree", "default_audit_root",
+           "static_lock_order"]
+
+_WAIVER_RE = re.compile(
+    r"#\s*conc:\s*allow\s+(?P<codes>CONC\d{3}(?:\s*,\s*CONC\d{3})*)"
+    r"(?:\s*(?:--|—)\s*(?P<reason>.*))?")
+
+_AUDIT_FINDINGS = REGISTRY.counter(
+    "condor_audit_findings_total",
+    "Concurrency-audit findings produced (pre-waiver)")
+_AUDIT_WAIVED = REGISTRY.counter(
+    "condor_audit_waived_total",
+    "Concurrency-audit findings suppressed by waiver comments")
+_AUDIT_FILES = REGISTRY.gauge(
+    "condor_audit_files_count",
+    "Source files covered by the last concurrency audit")
+
+
+@dataclass(frozen=True)
+class Waiver:
+    path: str
+    line: int
+    codes: frozenset[str]
+    reason: str
+
+
+@dataclass
+class AuditResult:
+    """Everything one audit run produced."""
+
+    report: AnalysisReport
+    program: ProgramModel
+    waived: list[Diagnostic] = field(default_factory=list)
+    waivers: list[Waiver] = field(default_factory=list)
+
+    def lock_order_edges(self) -> set[tuple[str, str]]:
+        return self.program.edge_set()
+
+
+def default_audit_root() -> Path:
+    """The package's own source tree (``src/repro``)."""
+    return Path(__file__).resolve().parents[2]
+
+
+def _collect_waivers(program: ProgramModel) -> list[Waiver]:
+    """Waiver comments, via the tokenizer — only real ``#`` comments
+    count, so rule documentation quoting the syntax in docstrings (this
+    module included) cannot waive anything."""
+    waivers: list[Waiver] = []
+    for module in program.modules.values():
+        source = "\n".join(module.source_lines) + "\n"
+        try:
+            tokens = tokenize.generate_tokens(
+                io.StringIO(source).readline)
+            comments = [(tok.start[0], tok.string) for tok in tokens
+                        if tok.type == tokenize.COMMENT]
+        except tokenize.TokenizeError:  # pragma: no cover
+            continue
+        for lineno, text in comments:
+            match = _WAIVER_RE.search(text)
+            if match is None:
+                continue
+            codes = frozenset(
+                c.strip() for c in match.group("codes").split(","))
+            waivers.append(Waiver(
+                path=module.rel_path, line=lineno, codes=codes,
+                reason=(match.group("reason") or "").strip()))
+    return waivers
+
+
+def _waiver_matches(waiver: Waiver, diag: Diagnostic) -> bool:
+    if diag.code not in waiver.codes:
+        return False
+    if diag.location.path != waiver.path:
+        return False
+    line = diag.location.line
+    if line is None:
+        return False
+    # same line, or the comment sits on the line directly above
+    return waiver.line in (line, line - 1)
+
+
+def audit_tree(root: Path | None = None, *,
+               select: set[str] | None = None) -> AuditResult:
+    """Build the program model under ``root`` and run every CONC rule.
+
+    The returned report holds only *unwaived* diagnostics (plus an INFO
+    entry per dead waiver); suppressed findings are kept on
+    :attr:`AuditResult.waived` for ``--format json`` transparency.
+    """
+    root = Path(root) if root is not None else default_audit_root()
+    program = build_program(root)
+    raw = run_rules(program, select=select)
+    waivers = _collect_waivers(program)
+    used: set[Waiver] = set()
+    kept: list[Diagnostic] = []
+    waived: list[Diagnostic] = []
+    for diag in raw:
+        matched = next((w for w in waivers
+                        if _waiver_matches(w, diag)), None)
+        if matched is not None:
+            used.add(matched)
+            waived.append(diag)
+        else:
+            kept.append(diag)
+    for waiver in waivers:
+        if waiver in used:
+            continue
+        kept.append(Diagnostic(
+            pass_id="conc-waiver", code="CONC000",
+            severity=Severity.INFO,
+            message=f"waiver for {', '.join(sorted(waiver.codes))}"
+                    " suppressed nothing; delete it",
+            location=Location(path=waiver.path, line=waiver.line)))
+    report = AnalysisReport(
+        model_name=f"audit:{root.name}", diagnostics=kept,
+        passes_run=sorted(set(RULE_PASSES.values())))
+    for diag in raw:
+        _AUDIT_FINDINGS.inc(code=diag.code)
+    if waived:
+        _AUDIT_WAIVED.inc(len(waived))
+    _AUDIT_FILES.set(len(program.modules))
+    return AuditResult(report=report, program=program, waived=waived,
+                       waivers=waivers)
+
+
+def static_lock_order(root: Path | None = None) -> set[tuple[str, str]]:
+    """The static lock-order edge set (for runtime cross-validation)."""
+    return audit_tree(root).lock_order_edges()

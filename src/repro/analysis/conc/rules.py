@@ -1,0 +1,258 @@
+"""The CONC rule family: concurrency findings over a :class:`ProgramModel`.
+
+Each rule is a function taking the program model and yielding
+:class:`~repro.analysis.diagnostics.Diagnostic` objects with ``path`` /
+``line`` locations.  Codes are stable (waiver comments reference them):
+
+=========  ==================  ========================================
+code       pass id             finding
+=========  ==================  ========================================
+CONC001    conc-global         module-level mutable global written
+                               without holding any lock
+CONC002    conc-guard          attribute guarded by the class lock at
+                               some sites but accessed unguarded at
+                               others (or written unguarded from a
+                               thread-entry path)
+CONC003    conc-order          cycle in the static lock-order graph
+                               (potential deadlock), including
+                               non-reentrant self-loops
+CONC004    conc-blocking       blocking call (sleep / join / wait /
+                               queue / file IO) while holding a lock
+CONC005    conc-foreign-lock   acquiring or poking another object's
+                               private ``_lock``
+CONC006    conc-raw-lock       raw ``threading.Lock()`` outside the
+                               named-lock factory and the sanitizer
+=========  ==================  ========================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.analysis.conc.model import FunctionInfo, ProgramModel
+
+__all__ = ["ALL_RULES", "RULE_PASSES", "run_rules"]
+
+#: Modules allowed to call ``threading.Lock()`` directly: the factory
+#: itself and the sanitizer it swaps in (whose internal state must be
+#: guarded by *uninstrumented* locks to avoid self-recursion).
+RAW_LOCK_ALLOWED = {"util.sync", "sanitizer.lockcheck"}
+
+RULE_PASSES = {
+    "CONC001": "conc-global",
+    "CONC002": "conc-guard",
+    "CONC003": "conc-order",
+    "CONC004": "conc-blocking",
+    "CONC005": "conc-foreign-lock",
+    "CONC006": "conc-raw-lock",
+}
+
+
+def _loc(program: ProgramModel, module_name: str, line: int) -> Location:
+    module = program.modules[module_name]
+    return Location(path=module.rel_path, line=line)
+
+
+def _diag(program: ProgramModel, code: str, severity: Severity,
+          module: str, line: int, message: str, hint: str = "") \
+        -> Diagnostic:
+    return Diagnostic(pass_id=RULE_PASSES[code], code=code,
+                      severity=severity, message=message,
+                      location=_loc(program, module, line), hint=hint)
+
+
+def rule_global_writes(program: ProgramModel) -> Iterator[Diagnostic]:
+    """CONC001 — unguarded writes to module-level mutable globals."""
+    for fn in program.functions.values():
+        for access in fn.global_writes:
+            if access.guards:
+                continue
+            yield _diag(
+                program, "CONC001", Severity.WARNING, fn.module,
+                access.line,
+                f"{fn.qualname} writes module global"
+                f" '{access.attr}' without holding a lock",
+                hint="guard the write with a module lock from"
+                     " repro.util.sync.new_lock, or waive with"
+                     " '# conc: allow CONC001 -- reason' if it only"
+                     " runs at import time")
+
+
+def _class_accesses(program: ProgramModel, cls_qual: str) \
+        -> dict[str, list[tuple[FunctionInfo, object]]]:
+    """attr -> [(method, Access)] over the class's own methods."""
+    cls = program.classes[cls_qual]
+    table: dict[str, list] = {}
+    for ancestor in program.mro(cls):
+        for meth in ancestor.methods.values():
+            for access in meth.accesses:
+                table.setdefault(access.attr, []).append((meth, access))
+    return table
+
+
+def rule_guard_consistency(program: ProgramModel) -> Iterator[Diagnostic]:
+    """CONC002 — inconsistently guarded shared attributes.
+
+    Two triggers, both scoped to attributes *written* outside
+    ``__init__`` (immutable configuration can never race):
+
+    * the attribute is accessed under the class's own lock somewhere
+      and accessed without it somewhere else, or
+    * the class has a thread-entry method (a ``Thread`` target /
+      ``submit`` callee) and the attribute is written unguarded on a
+      worker-reachable path.
+    """
+    for cls_qual, cls in sorted(program.classes.items()):
+        own_locks = {d.name
+                     for d in program.class_lock_attrs(cls).values()}
+        safe = program.class_safe_attrs(cls)
+        lock_attr_names = set(program.class_lock_attrs(cls))
+        has_entry = any(m.qualname in program.entries
+                        for a in program.mro(cls)
+                        for m in a.methods.values())
+        if not own_locks and not has_entry:
+            continue
+        for attr, sites in sorted(_class_accesses(program,
+                                                  cls_qual).items()):
+            if attr in safe or attr in lock_attr_names:
+                continue
+            outside = [(m, a) for m, a in sites if not a.in_init]
+            writes = [(m, a) for m, a in outside if a.is_write]
+            if not writes:
+                continue
+            guarded = [(m, a) for m, a in outside
+                       if a.guards & own_locks]
+            unguarded = [(m, a) for m, a in outside
+                         if not (a.guards & own_locks)]
+            flagged: list[tuple[FunctionInfo, object, str]] = []
+            if guarded and unguarded:
+                for meth, access in unguarded:
+                    kind = "written" if access.is_write else "read"
+                    flagged.append((meth, access,
+                                    f"{kind} without the lock that"
+                                    f" guards it elsewhere"))
+            elif has_entry and own_locks:
+                for meth, access in writes:
+                    if access.guards & own_locks:
+                        continue
+                    if meth.qualname in program.worker_reachable:
+                        flagged.append((meth, access,
+                                        "written unguarded on a"
+                                        " thread-entry path"))
+            seen_lines: set[tuple[str, int]] = set()
+            for meth, access, why in flagged:
+                key = (meth.qualname, access.line)
+                if key in seen_lines:
+                    continue
+                seen_lines.add(key)
+                yield _diag(
+                    program, "CONC002", Severity.WARNING, meth.module,
+                    access.line,
+                    f"{cls.name}.{attr} {why}"
+                    f" (in {meth.qualname})",
+                    hint=f"hold {sorted(own_locks)[0]!r} (with"
+                         " self._lock:) around the access, or waive"
+                         " with '# conc: allow CONC002 -- reason'")
+
+
+def rule_lock_order(program: ProgramModel) -> Iterator[Diagnostic]:
+    """CONC003 — cycles in the static lock-order graph."""
+    for cycle in program.lock_cycles():
+        chain = " -> ".join(cycle)
+        witnesses = []
+        for src, dst in zip(cycle, cycle[1:]):
+            site = program.lock_edges.get((src, dst))
+            if site:
+                witnesses.append(f"{src}->{dst} at {site}")
+        # anchor the diagnostic at the first witness site we can map
+        module, line = _witness_location(program, witnesses)
+        yield Diagnostic(
+            pass_id=RULE_PASSES["CONC003"], code="CONC003",
+            severity=Severity.ERROR,
+            message=f"lock-order cycle: {chain}"
+                    + (f" ({'; '.join(witnesses)})" if witnesses else ""),
+            location=Location(path=module, line=line),
+            hint="impose a total order on these locks (see the lock"
+                 " hierarchy in docs/INTERNALS.md) or collapse them")
+
+
+def _witness_location(program: ProgramModel, witnesses: list[str]) \
+        -> tuple[str | None, int | None]:
+    for witness in witnesses:
+        site = witness.split(" at ", 1)[-1]
+        qual = site.split(":", 1)[0]
+        fn = program.functions.get(qual)
+        if fn is not None:
+            module = program.modules[fn.module]
+            try:
+                line = int(site.split(":", 1)[1].split()[0])
+            except (IndexError, ValueError):
+                line = fn.node.lineno
+            return module.rel_path, line
+    return None, None
+
+
+def rule_blocking_under_lock(program: ProgramModel) \
+        -> Iterator[Diagnostic]:
+    """CONC004 — blocking calls while holding a lock."""
+    for fn in program.functions.values():
+        for what, held, line in fn.blocking:
+            yield _diag(
+                program, "CONC004", Severity.WARNING, fn.module, line,
+                f"{fn.qualname} calls blocking '{what}' while"
+                f" holding {sorted(held)}",
+                hint="move the blocking call outside the critical"
+                     " section; snapshot state under the lock, then"
+                     " block")
+
+
+def rule_foreign_lock(program: ProgramModel) -> Iterator[Diagnostic]:
+    """CONC005 — touching another object's private lock."""
+    for fn in program.functions.values():
+        for expr, line in fn.foreign_locks:
+            yield _diag(
+                program, "CONC005", Severity.WARNING, fn.module, line,
+                f"{fn.qualname} reaches into foreign private lock"
+                f" '{expr}'",
+                hint="add a locked public method on the owning class"
+                     " instead of acquiring its private lock")
+
+
+def rule_raw_lock(program: ProgramModel) -> Iterator[Diagnostic]:
+    """CONC006 — raw ``threading.Lock()`` outside the factory."""
+    for module in program.modules.values():
+        if module.name in RAW_LOCK_ALLOWED:
+            continue
+        for line in module.raw_lock_lines:
+            yield _diag(
+                program, "CONC006", Severity.WARNING, module.name, line,
+                f"raw threading.Lock()/RLock() in {module.name};"
+                " unnamed locks are invisible to the sanitizer and"
+                " the lock-order graph",
+                hint="create locks via repro.util.sync.new_lock(name)"
+                     " / new_rlock(name)")
+
+
+ALL_RULES = [
+    rule_global_writes,
+    rule_guard_consistency,
+    rule_lock_order,
+    rule_blocking_under_lock,
+    rule_foreign_lock,
+    rule_raw_lock,
+]
+
+
+def run_rules(program: ProgramModel,
+              select: set[str] | None = None) -> list[Diagnostic]:
+    """Run every (selected) rule, sorted by path/line for stable output."""
+    out: list[Diagnostic] = []
+    for rule in ALL_RULES:
+        for diag in rule(program):
+            if select is not None and diag.code not in select:
+                continue
+            out.append(diag)
+    out.sort(key=lambda d: (d.location.path or "", d.location.line or 0,
+                            d.code))
+    return out

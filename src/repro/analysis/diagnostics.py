@@ -36,31 +36,39 @@ class Severity(enum.Enum):
 
 @dataclass(frozen=True)
 class Location:
-    """Where in the design a diagnostic points.
+    """Where a diagnostic points.
 
-    All fields are optional; a network-level finding leaves everything
-    unset.  ``channel`` names a FIFO, ``resource`` a device resource
-    (``lut`` / ``dsp`` / ...).
+    All fields are optional.  Design-level findings use ``layer`` / ``pe``
+    / ``channel`` (a FIFO) / ``resource`` (``lut`` / ``dsp`` / ...);
+    code-level findings (the ``condor audit`` concurrency rules) use
+    ``path`` (repo-relative source file) and ``line``.
     """
 
     layer: str | None = None
     pe: str | None = None
     channel: str | None = None
     resource: str | None = None
+    path: str | None = None
+    line: int | None = None
+
+    def _pairs(self) -> tuple:
+        return (("layer", self.layer), ("pe", self.pe),
+                ("channel", self.channel), ("resource", self.resource),
+                ("path", self.path), ("line", self.line))
 
     def __str__(self) -> str:
-        parts = [f"{name}={value}"
-                 for name, value in (("layer", self.layer), ("pe", self.pe),
-                                     ("channel", self.channel),
-                                     ("resource", self.resource))
+        if self.path is not None:
+            where = self.path if self.line is None \
+                else f"{self.path}:{self.line}"
+            rest = [f"{name}={value}" for name, value in self._pairs()
+                    if value is not None and name not in ("path", "line")]
+            return " ".join([where] + rest)
+        parts = [f"{name}={value}" for name, value in self._pairs()
                  if value is not None]
         return " ".join(parts) if parts else "-"
 
     def to_dict(self) -> dict:
-        return {name: value
-                for name, value in (("layer", self.layer), ("pe", self.pe),
-                                    ("channel", self.channel),
-                                    ("resource", self.resource))
+        return {name: value for name, value in self._pairs()
                 if value is not None}
 
 

@@ -36,6 +36,7 @@ from repro.hw.perf import AcceleratorPerformance, estimate_performance
 from repro.hw.resources import ResourceVector
 from repro.obs import REGISTRY, span
 from repro.util.logging import get_logger
+from repro.util.sync import new_lock
 
 _log = get_logger("dse.evaluator")
 
@@ -75,6 +76,13 @@ class EvaluationCache:
     ``errors`` holds negative entries: evaluating an infeasible mapping
     caches the typed :class:`~repro.errors.CondorError` so the explorer's
     feasibility filtering costs one dict lookup on revisit.
+
+    Shared by every worker of a :class:`ParallelEvaluator`, so the
+    result/error tables and the hit/miss statistics mutate only through
+    the locked methods below.  The ``pe_*`` sub-caches are deliberately
+    *not* locked: they are filled content-keyed by the hw builders
+    (identical key -> identical value), so the worst concurrent outcome
+    is a redundant recomputation, never a wrong entry.
     """
 
     results: dict = field(default_factory=dict)
@@ -88,14 +96,51 @@ class EvaluationCache:
     hits: int = 0
     misses: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = new_lock("dse.EvaluationCache")
+
+    def lookup(self, key) -> "EvaluatedPoint | CondorError | None":
+        """The cached outcome for a fingerprint (counts a hit), or
+        ``None`` (counts a miss).  One locked read-modify-write, so
+        parallel workers never tear the statistics."""
+        with self._lock:
+            cached = self.results.get(key)
+            if cached is None:
+                cached = self.errors.get(key)
+            if cached is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
+            return cached
+
+    def store(self, key, point: "EvaluatedPoint") -> None:
+        with self._lock:
+            self.results[key] = point
+
+    def store_error(self, key, error: CondorError) -> None:
+        with self._lock:
+            self.errors[key] = error
+
+    def count_miss(self) -> None:
+        """Statistics-only miss (the ``memoize=False`` bench path)."""
+        with self._lock:
+            self.misses += 1
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "results": len(self.results),
+                    "errors": len(self.errors)}
+
     def clear(self) -> None:
-        self.results.clear()
-        self.errors.clear()
-        self.pe_build.clear()
-        self.pe_resources.clear()
-        self.pe_perf.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self.results.clear()
+            self.errors.clear()
+            self.pe_build.clear()
+            self.pe_resources.clear()
+            self.pe_perf.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 class CachedEvaluator:
@@ -118,7 +163,7 @@ class CachedEvaluator:
         :class:`~repro.errors.CondorError` for infeasible mappings."""
         if not self.memoize:
             _POINTS.inc()
-            self.cache.misses += 1
+            self.cache.count_miss()
             acc = build_accelerator(self.model, mapping)
             perf = estimate_performance(acc, self.cal)
             estimate = estimate_accelerator(acc, self.cal)
@@ -126,17 +171,12 @@ class CachedEvaluator:
                                   resources=estimate.total)
         cache = self.cache
         key = mapping_fingerprint(self.model, mapping, self.cal)
-        cached = cache.results.get(key)
+        cached = cache.lookup(key)
         if cached is not None:
-            cache.hits += 1
             _CACHE_HITS.inc()
+            if isinstance(cached, CondorError):
+                raise cached
             return cached
-        error = cache.errors.get(key)
-        if error is not None:
-            cache.hits += 1
-            _CACHE_HITS.inc()
-            raise error
-        cache.misses += 1
         _POINTS.inc()
         try:
             acc = build_accelerator(self.model, mapping,
@@ -146,11 +186,11 @@ class CachedEvaluator:
             estimate = estimate_accelerator(acc, self.cal,
                                             pe_cache=cache.pe_resources)
         except CondorError as exc:
-            cache.errors[key] = exc
+            cache.store_error(key, exc)
             raise
         point = EvaluatedPoint(mapping=mapping, performance=perf,
                                resources=estimate.total)
-        cache.results[key] = point
+        cache.store(key, point)
         return point
 
 

@@ -232,6 +232,12 @@ class AnalysisError(CondorError):
         self.report = report
 
 
+class SanitizerError(CondorError):
+    """The runtime lock sanitizer caught a fatal lock misuse — a thread
+    re-acquiring a non-reentrant lock it already holds.  Raised instead
+    of letting the real lock deadlock the process."""
+
+
 # ---------------------------------------------------------------------------
 # Flow / DSE
 # ---------------------------------------------------------------------------

@@ -58,9 +58,11 @@ _ACTIVATIONS = {
 class ReferenceEngine:
     """Forward inference over a network with a weight store.
 
-    ``plan_cache`` defaults to the process-wide cache; pass a private
-    :class:`~repro.nn.plan.PlanCache` to isolate (e.g. one per thread —
-    plan scratch buffers are not thread-safe).  ``use_plans`` forces the
+    ``plan_cache`` defaults to the process-wide cache, which is safe to
+    share across threads — compiled plans keep their replay scratch in
+    per-thread storage; pass a private
+    :class:`~repro.nn.plan.PlanCache` only to isolate cache statistics
+    or eviction behaviour.  ``use_plans`` forces the
     planned path on (``True``) or off (``False``); the default ``None``
     follows the ``REPRO_NO_PLAN_CACHE`` environment escape hatch.
     """

@@ -31,10 +31,13 @@ the LRU.  ``REPRO_NO_PLAN_CACHE=1`` disables planning engine-wide (the
 escape hatch the equivalence tests exercise), and
 ``REPRO_PLAN_CACHE_SIZE`` overrides the default LRU capacity.
 
-Plans own their scratch buffers and replay mutates them, so a plan — and
-therefore an engine, and a shared :class:`PlanCache` — must not be
-driven from two threads at once.  Concurrent engines should use separate
-caches (``ReferenceEngine(..., plan_cache=PlanCache())``).
+Plans are safe to replay from multiple threads at once: the compiled
+geometry (index maps, packed weights, bias columns) is immutable and
+shared, while the mutable scratch buffers live in per-thread storage
+(:class:`_PerThread`), allocated lazily on each thread's first replay.
+Engines on different threads may therefore share one :class:`PlanCache`
+— including the process-wide :func:`default_plan_cache` — at the cost
+of one scratch set per (plan, thread) pair.
 """
 
 from __future__ import annotations
@@ -62,6 +65,7 @@ from repro.ir.layers import (
 )
 from repro.nn import functional as F
 from repro.obs import REGISTRY, span
+from repro.util.sync import new_lock, new_rlock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.frontend.weights import WeightStore
@@ -181,7 +185,11 @@ class _InputPlan(ExecutionPlan):
 
 
 class _BatchScratch:
-    """Per-batch-size scratch buffers, bounded to MAX_BATCH_VARIANTS."""
+    """Per-batch-size scratch buffers, bounded to MAX_BATCH_VARIANTS.
+
+    Always owned by exactly one thread (see :class:`_PerThread`), so the
+    LRU bookkeeping needs no lock.
+    """
 
     def __init__(self, make: Callable[[int], tuple]):
         self._make = make
@@ -197,6 +205,27 @@ class _BatchScratch:
         else:
             self._bufs.move_to_end(n)
         return bufs
+
+
+class _PerThread:
+    """Lazily-built per-thread value (one ``make()`` result per thread).
+
+    Replay scratch is write-hot, so a plan shared through a
+    :class:`PlanCache` gives every replaying thread its own buffers;
+    everything else on the plan is immutable after compilation.
+    """
+
+    __slots__ = ("_make", "_tls")
+
+    def __init__(self, make: Callable[[], object]):
+        self._make = make
+        self._tls = threading.local()
+
+    def get(self):
+        value = getattr(self._tls, "value", None)
+        if value is None:
+            value = self._tls.value = self._make()
+        return value
 
 
 class _ConvPlan(ExecutionPlan):
@@ -225,17 +254,17 @@ class _ConvPlan(ExecutionPlan):
                                                       copy=False))
         self._activation = layer.activation
         self._padded_shape = (c, hp, wp)
-        self._pad_buf = None
-        if (ph, pw) != (0, 0):
-            self._pad_buf = np.zeros(self._padded_shape, dtype)
-            self._pad_flat = self._pad_buf.reshape(-1)
+        self._needs_pad = (ph, pw) != (0, 0)
+        if self._needs_pad:
             self._interior = (slice(None), slice(ph, ph + h),
                               slice(pw, pw + w))
-        self._cols = np.empty(self._index_map.shape, dtype)
-        self._out = np.empty((f, oh * ow), out_dtype)
-        self._out3d = self._out.reshape(f, oh, ow)
-        self._batch = _BatchScratch(self._make_batch)
-        steps = ["pad"] if self._pad_buf is not None else []
+        self._out_shape = (f, oh * ow)
+        self._out3_shape = (f, oh, ow)
+        self._out_dtype = out_dtype
+        self._single = _PerThread(self._make_single)
+        self._batch = _PerThread(
+            lambda: _BatchScratch(self._make_batch))
+        steps = ["pad"] if self._needs_pad else []
         steps += ["gather", "gemm"]
         if self._bias_col is not None:
             steps.append("bias")
@@ -243,14 +272,23 @@ class _ConvPlan(ExecutionPlan):
             steps.append(self._activation.value)
         super().__init__(layer, tuple(in_shape), dtype, tuple(steps))
 
+    def _make_single(self) -> tuple:
+        pad_buf = pad_flat = None
+        if self._needs_pad:
+            pad_buf = np.zeros(self._padded_shape, self.dtype)
+            pad_flat = pad_buf.reshape(-1)
+        cols = np.empty(self._index_map.shape, self.dtype)
+        out = np.empty(self._out_shape, self._out_dtype)
+        return pad_buf, pad_flat, cols, out, out.reshape(self._out3_shape)
+
     def _make_batch(self, n: int) -> tuple:
-        f, m = self._out.shape
+        f, m = self._out_shape
         pad_buf = None
-        if self._pad_buf is not None:
+        if self._needs_pad:
             pad_buf = np.zeros((n,) + self._padded_shape, self.dtype)
         cols = np.empty((n,) + self._index_map.shape, self.dtype)
-        out = np.empty((n, f, m), self._out.dtype)
-        return pad_buf, cols, out, out.reshape((n,) + self._out3d.shape)
+        out = np.empty((n, f, m), self._out_dtype)
+        return pad_buf, cols, out, out.reshape((n,) + self._out3_shape)
 
     def _finish(self, out: np.ndarray) -> np.ndarray:
         if self._activation is Activation.RELU:
@@ -263,21 +301,22 @@ class _ConvPlan(ExecutionPlan):
 
     def run(self, x):
         self._check(tuple(x.shape), batched=False)
-        if self._pad_buf is not None:
-            self._pad_buf[self._interior] = x
-            flat = self._pad_flat
+        pad_buf, pad_flat, cols, out, out3d = self._single.get()
+        if pad_buf is not None:
+            pad_buf[self._interior] = x
+            flat = pad_flat
         else:
             flat = x.reshape(-1)
-        flat.take(self._index_map, out=self._cols)
-        np.matmul(self._packed, self._cols, out=self._out)
+        flat.take(self._index_map, out=cols)
+        np.matmul(self._packed, cols, out=out)
         if self._bias_col is not None:
-            np.add(self._out, self._bias_col, out=self._out)
-        return self._finish(self._out3d)
+            np.add(out, self._bias_col, out=out)
+        return self._finish(out3d)
 
     def run_batch(self, xb):
         self._check(tuple(xb.shape), batched=True)
         n = xb.shape[0]
-        pad_buf, cols, out, out4d = self._batch.get(n)
+        pad_buf, cols, out, out4d = self._batch.get().get(n)
         if pad_buf is not None:
             pad_buf[(slice(None),) + self._interior] = xb
             flat = pad_buf.reshape(n, -1)
@@ -308,45 +347,55 @@ class _MaxPoolPlan(ExecutionPlan):
                                            layer.kernel, stride)
         oh = (hp - layer.kernel[0]) // stride[0] + 1
         ow = (wp - layer.kernel[1]) // stride[1] + 1
-        self._pad_buf = None
-        if (hp, wp) != (h, w):
-            self._pad_buf = np.full(self._padded_shape, -np.inf, dtype)
-            self._pad_flat = self._pad_buf.reshape(-1)
+        self._needs_pad = (hp, wp) != (h, w)
+        if self._needs_pad:
             self._interior = (slice(None), slice(ph, ph + h),
                               slice(pw, pw + w))
-        self._gathered = np.empty(self._index_map.shape, dtype)
-        self._out = np.empty(c * oh * ow, dtype)
-        self._out3d = self._out.reshape(c, oh, ow)
-        self._batch = _BatchScratch(self._make_batch)
-        steps = ["pad"] if self._pad_buf is not None else []
+        self._out_len = c * oh * ow
+        self._out3_shape = (c, oh, ow)
+        self._single = _PerThread(self._make_single)
+        self._batch = _PerThread(
+            lambda: _BatchScratch(self._make_batch))
+        steps = ["pad"] if self._needs_pad else []
         super().__init__(layer, tuple(in_shape), np.dtype(dtype),
                          tuple(steps + ["gather", "max"]))
 
+    def _make_single(self) -> tuple:
+        pad_buf = pad_flat = None
+        if self._needs_pad:
+            pad_buf = np.full(self._padded_shape, -np.inf, self.dtype)
+            pad_flat = pad_buf.reshape(-1)
+        gathered = np.empty(self._index_map.shape, self.dtype)
+        out = np.empty(self._out_len, self.dtype)
+        return (pad_buf, pad_flat, gathered, out,
+                out.reshape(self._out3_shape))
+
     def _make_batch(self, n: int) -> tuple:
         pad_buf = None
-        if self._pad_buf is not None:
+        if self._needs_pad:
             pad_buf = np.full((n,) + self._padded_shape, -np.inf,
                               self.dtype)
         gathered = np.empty((n,) + self._index_map.shape, self.dtype)
-        out = np.empty((n, self._out.shape[0]), self.dtype)
-        c, oh, ow = self._out3d.shape
+        out = np.empty((n, self._out_len), self.dtype)
+        c, oh, ow = self._out3_shape
         return pad_buf, gathered, out, out.reshape(n, c, oh, ow)
 
     def run(self, x):
         self._check(tuple(x.shape), batched=False)
-        if self._pad_buf is not None:
-            self._pad_buf[self._interior] = x
-            flat = self._pad_flat
+        pad_buf, pad_flat, gathered, out, out3d = self._single.get()
+        if pad_buf is not None:
+            pad_buf[self._interior] = x
+            flat = pad_flat
         else:
             flat = x.reshape(-1)
-        flat.take(self._index_map, out=self._gathered)
-        np.maximum.reduce(self._gathered, axis=0, out=self._out)
-        return self._out3d
+        flat.take(self._index_map, out=gathered)
+        np.maximum.reduce(gathered, axis=0, out=out)
+        return out3d
 
     def run_batch(self, xb):
         self._check(tuple(xb.shape), batched=True)
         n = xb.shape[0]
-        pad_buf, gathered, out, out4d = self._batch.get(n)
+        pad_buf, gathered, out, out4d = self._batch.get().get(n)
         if pad_buf is not None:
             pad_buf[(slice(None),) + self._interior] = xb
             flat = pad_buf.reshape(n, -1)
@@ -376,9 +425,11 @@ class _FCPlan(ExecutionPlan):
         self._bias = None if bias is None else \
             np.ascontiguousarray(bias.astype(out_dtype, copy=False))
         self._activation = layer.activation
-        self._out = np.empty(f, out_dtype)
-        self._out3d = self._out.reshape(f, 1, 1)
-        self._batch = _BatchScratch(self._make_batch)
+        self._features = f
+        self._out_dtype = out_dtype
+        self._single = _PerThread(self._make_single)
+        self._batch = _PerThread(
+            lambda: _BatchScratch(self._make_batch))
         steps = ["gemv"]
         if self._bias is not None:
             steps.append("bias")
@@ -387,9 +438,13 @@ class _FCPlan(ExecutionPlan):
         super().__init__(layer, tuple(in_shape), np.dtype(dtype),
                          tuple(steps))
 
+    def _make_single(self) -> tuple:
+        out = np.empty(self._features, self._out_dtype)
+        return out, out.reshape(self._features, 1, 1)
+
     def _make_batch(self, n: int) -> tuple:
-        f = self._out.shape[0]
-        out = np.empty((n, f, 1), self._out.dtype)
+        f = self._features
+        out = np.empty((n, f, 1), self._out_dtype)
         return out, out.reshape(n, f), out.reshape(n, f, 1, 1)
 
     def _finish(self, out: np.ndarray) -> np.ndarray:
@@ -403,16 +458,17 @@ class _FCPlan(ExecutionPlan):
 
     def run(self, x):
         self._check(tuple(x.shape), batched=False)
-        np.matmul(self._weights, x.reshape(-1), out=self._out)
+        out, out3d = self._single.get()
+        np.matmul(self._weights, x.reshape(-1), out=out)
         if self._bias is not None:
-            np.add(self._out, self._bias, out=self._out)
-        self._finish(self._out)
-        return self._out3d
+            np.add(out, self._bias, out=out)
+        self._finish(out)
+        return out3d
 
     def run_batch(self, xb):
         self._check(tuple(xb.shape), batched=True)
         n = xb.shape[0]
-        out3, out2, out4 = self._batch.get(n)
+        out3, out2, out4 = self._batch.get().get(n)
         np.matmul(self._weights, xb.reshape(n, -1)[:, :, None], out=out3)
         if self._bias is not None:
             np.add(out2, self._bias, out=out2)
@@ -548,7 +604,7 @@ class PlanCache:
                              f" got {capacity}")
         self.capacity = capacity
         self._plans: OrderedDict[tuple, ExecutionPlan] = OrderedDict()
-        self._lock = threading.RLock()
+        self._lock = new_rlock("nn.plan.PlanCache")
         self._stats = {"hits": 0, "misses": 0, "compiles": 0,
                        "evictions": 0, "invalidations": 0}
         self._compile_seconds = 0.0
@@ -621,7 +677,8 @@ class PlanCache:
         self.invalidate()
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def stats(self) -> dict:
         """Counters + current size (the ``plan_stats`` payload)."""
@@ -634,12 +691,22 @@ class PlanCache:
 
 
 _DEFAULT_CACHE: PlanCache | None = None
-_DEFAULT_LOCK = threading.Lock()
+_DEFAULT_LOCK = new_lock("nn.plan.default-cache")
 
 
 def default_plan_cache() -> PlanCache:
-    """The process-wide cache engines share unless given their own."""
+    """The process-wide cache engines share unless given their own.
+
+    Double-checked initialization: the steady-state path is a single
+    unlocked read (the cache is published only after ``PlanCache()``
+    returns, so a non-None value is always fully constructed), and
+    racing first calls serialize on the module lock so exactly one
+    instance is ever built.
+    """
     global _DEFAULT_CACHE
+    cache = _DEFAULT_CACHE
+    if cache is not None:
+        return cache
     with _DEFAULT_LOCK:
         if _DEFAULT_CACHE is None:
             _DEFAULT_CACHE = PlanCache()

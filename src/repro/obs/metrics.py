@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import bisect
 import math
-import threading
 import time
 from typing import Any
 
@@ -44,6 +43,7 @@ from repro.obs.quantiles import (
     QuantileSketch,
 )
 from repro.obs.spans import current_span, obs_disabled
+from repro.util.sync import new_lock
 
 __all__ = [
     "Counter",
@@ -93,16 +93,38 @@ def _exemplar(value: float) -> dict[str, Any] | None:
 
 class _Metric:
     kind = "untyped"
+    #: per-label-set stores ``clear_values`` empties (subclass-declared)
+    _store_attrs: tuple[str, ...] = ()
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.metrics.Metric")
         #: set by a gated registry; gated metrics honour REPRO_NO_OBS
         self._gated = False
 
     def _off(self) -> bool:
         return self._gated and obs_disabled()
+
+    def clear_values(self) -> None:
+        """Drop every recorded sample, keeping the declaration.
+
+        The public locked mutator the registry's :meth:`MetricsRegistry.reset`
+        uses — callers never reach into another object's ``_lock``.
+        """
+        with self._lock:
+            for attr in self._store_attrs:
+                getattr(self, attr).clear()
+
+    def scalar_samples(self) -> dict[str, float]:
+        """One flat number per series, read under this metric's lock.
+
+        The public locked accessor behind
+        :meth:`MetricsRegistry.scalars`; subclasses define the collapse
+        (counters/gauges sum label sets, histograms/summaries expose
+        ``_count`` and ``_sum``).
+        """
+        raise NotImplementedError
 
     def header(self) -> list[str]:
         lines = []
@@ -116,6 +138,7 @@ class Counter(_Metric):
     """Monotonically increasing value."""
 
     kind = "counter"
+    _store_attrs = ("_values",)
 
     def __init__(self, name: str, help: str = ""):
         super().__init__(name, help)
@@ -132,29 +155,38 @@ class Counter(_Metric):
             self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
-        return self._values.get(_label_key(labels), 0.0)
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
 
     def total(self) -> float:
         """Sum over every label combination."""
-        return sum(self._values.values())
+        with self._lock:
+            return sum(self._values.values())
+
+    def scalar_samples(self) -> dict[str, float]:
+        with self._lock:
+            return {self.name: sum(self._values.values())}
 
     def expose(self) -> list[str]:
         lines = self.header()
-        for key in sorted(self._values):
-            lines.append(f"{self.name}{_render_labels(key)}"
-                         f" {_fmt(self._values[key])}")
+        with self._lock:
+            for key in sorted(self._values):
+                lines.append(f"{self.name}{_render_labels(key)}"
+                             f" {_fmt(self._values[key])}")
         return lines
 
     def snapshot(self) -> dict[str, Any]:
-        return {"type": self.kind, "help": self.help,
-                "values": [{"labels": dict(k), "value": v}
-                           for k, v in sorted(self._values.items())]}
+        with self._lock:
+            return {"type": self.kind, "help": self.help,
+                    "values": [{"labels": dict(k), "value": v}
+                               for k, v in sorted(self._values.items())]}
 
 
 class Gauge(_Metric):
     """A value that can go up and down (set-only semantics plus inc/dec)."""
 
     kind = "gauge"
+    _store_attrs = ("_values",)
 
     def __init__(self, name: str, help: str = ""):
         super().__init__(name, help)
@@ -177,10 +209,12 @@ class Gauge(_Metric):
         self.inc(-amount, **labels)
 
     def value(self, **labels: Any) -> float:
-        return self._values.get(_label_key(labels), 0.0)
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
 
     expose = Counter.expose
     snapshot = Counter.snapshot
+    scalar_samples = Counter.scalar_samples
 
 
 class Histogram(_Metric):
@@ -196,6 +230,7 @@ class Histogram(_Metric):
     """
 
     kind = "histogram"
+    _store_attrs = ("_counts", "_sums", "_sketches", "_exemplars")
 
     def __init__(self, name: str, help: str = "",
                  buckets: tuple[float, ...] = DEFAULT_BUCKETS):
@@ -231,17 +266,28 @@ class Histogram(_Metric):
                     self._exemplars[key] = ex
 
     def count(self, **labels: Any) -> int:
-        counts = self._counts.get(_label_key(labels))
-        return sum(counts) if counts else 0
+        with self._lock:
+            counts = self._counts.get(_label_key(labels))
+            return sum(counts) if counts else 0
 
     def sum(self, **labels: Any) -> float:
-        return self._sums.get(_label_key(labels), 0.0)
+        with self._lock:
+            return self._sums.get(_label_key(labels), 0.0)
 
     def quantile(self, q: float, **labels: Any) -> float | None:
         """Streaming quantile estimate for one label set (``None``
         before any observation)."""
-        sketch = self._sketches.get(_label_key(labels))
-        return None if sketch is None else sketch.quantile(q)
+        with self._lock:
+            sketch = self._sketches.get(_label_key(labels))
+            return None if sketch is None else sketch.quantile(q)
+
+    def scalar_samples(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                f"{self.name}_count": float(
+                    sum(sum(c) for c in self._counts.values())),
+                f"{self.name}_sum": sum(self._sums.values()),
+            }
 
     def _cumulative(self, counts: list[int]) -> list[int]:
         """Running totals per finite bucket, then the +Inf total."""
@@ -255,35 +301,37 @@ class Histogram(_Metric):
 
     def expose(self) -> list[str]:
         lines = self.header()
-        for key in sorted(self._counts):
-            cumulative = self._cumulative(self._counts[key])
-            for bound, count in zip(self.buckets, cumulative):
-                le = (("le", _fmt(bound)),)
+        with self._lock:
+            for key in sorted(self._counts):
+                cumulative = self._cumulative(self._counts[key])
+                for bound, count in zip(self.buckets, cumulative):
+                    le = (("le", _fmt(bound)),)
+                    lines.append(f"{self.name}_bucket"
+                                 f"{_render_labels(key, le)} {count}")
                 lines.append(f"{self.name}_bucket"
-                             f"{_render_labels(key, le)} {count}")
-            lines.append(f"{self.name}_bucket"
-                         f"{_render_labels(key, (('le', '+Inf'),))}"
-                         f" {cumulative[-1]}")
-            lines.append(f"{self.name}_sum{_render_labels(key)}"
-                         f" {_fmt(self._sums[key])}")
-            lines.append(f"{self.name}_count{_render_labels(key)}"
-                         f" {cumulative[-1]}")
+                             f"{_render_labels(key, (('le', '+Inf'),))}"
+                             f" {cumulative[-1]}")
+                lines.append(f"{self.name}_sum{_render_labels(key)}"
+                             f" {_fmt(self._sums[key])}")
+                lines.append(f"{self.name}_count{_render_labels(key)}"
+                             f" {cumulative[-1]}")
         return lines
 
     def snapshot(self) -> dict[str, Any]:
         values = []
-        for k in sorted(self._counts):
-            cumulative = self._cumulative(self._counts[k])
-            entry: dict[str, Any] = {
-                "labels": dict(k),
-                "counts": cumulative,
-                "sum": self._sums[k],
-                "count": cumulative[-1],
-                "quantiles": self._sketches[k].snapshot()["quantiles"],
-            }
-            if k in self._exemplars:
-                entry["exemplar"] = dict(self._exemplars[k])
-            values.append(entry)
+        with self._lock:
+            for k in sorted(self._counts):
+                cumulative = self._cumulative(self._counts[k])
+                entry: dict[str, Any] = {
+                    "labels": dict(k),
+                    "counts": cumulative,
+                    "sum": self._sums[k],
+                    "count": cumulative[-1],
+                    "quantiles": self._sketches[k].snapshot()["quantiles"],
+                }
+                if k in self._exemplars:
+                    entry["exemplar"] = dict(self._exemplars[k])
+                values.append(entry)
         return {"type": self.kind, "help": self.help,
                 "buckets": list(self.buckets), "values": values}
 
@@ -302,6 +350,7 @@ class Summary(_Metric):
     """
 
     kind = "summary"
+    _store_attrs = ("_sketches", "_exemplars")
 
     def __init__(self, name: str, help: str = "",
                  quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
@@ -332,40 +381,54 @@ class Summary(_Metric):
                     self._exemplars[key] = ex
 
     def count(self, **labels: Any) -> int:
-        sketch = self._sketches.get(_label_key(labels))
-        return sketch.count if sketch else 0
+        with self._lock:
+            sketch = self._sketches.get(_label_key(labels))
+            return sketch.count if sketch else 0
 
     def sum(self, **labels: Any) -> float:
-        sketch = self._sketches.get(_label_key(labels))
-        return sketch.sum if sketch else 0.0
+        with self._lock:
+            sketch = self._sketches.get(_label_key(labels))
+            return sketch.sum if sketch else 0.0
 
     def quantile(self, q: float, **labels: Any) -> float | None:
-        sketch = self._sketches.get(_label_key(labels))
-        return None if sketch is None else sketch.quantile(q)
+        with self._lock:
+            sketch = self._sketches.get(_label_key(labels))
+            return None if sketch is None else sketch.quantile(q)
+
+    def scalar_samples(self) -> dict[str, float]:
+        with self._lock:
+            sketches = self._sketches.values()
+            return {
+                f"{self.name}_count": float(
+                    sum(s.count for s in sketches)),
+                f"{self.name}_sum": sum(s.sum for s in sketches),
+            }
 
     def expose(self) -> list[str]:
         lines = self.header()
-        for key in sorted(self._sketches):
-            sketch = self._sketches[key]
-            estimates = sketch.quantiles(self.quantiles)
-            for q in self.quantiles:
-                ql = (("quantile", _fmt(q)),)
-                lines.append(f"{self.name}{_render_labels(key, ql)}"
-                             f" {_fmt(estimates[q])}")
-            lines.append(f"{self.name}_sum{_render_labels(key)}"
-                         f" {_fmt(sketch.sum)}")
-            lines.append(f"{self.name}_count{_render_labels(key)}"
-                         f" {sketch.count}")
+        with self._lock:
+            for key in sorted(self._sketches):
+                sketch = self._sketches[key]
+                estimates = sketch.quantiles(self.quantiles)
+                for q in self.quantiles:
+                    ql = (("quantile", _fmt(q)),)
+                    lines.append(f"{self.name}{_render_labels(key, ql)}"
+                                 f" {_fmt(estimates[q])}")
+                lines.append(f"{self.name}_sum{_render_labels(key)}"
+                             f" {_fmt(sketch.sum)}")
+                lines.append(f"{self.name}_count{_render_labels(key)}"
+                             f" {sketch.count}")
         return lines
 
     def snapshot(self) -> dict[str, Any]:
         values = []
-        for k in sorted(self._sketches):
-            entry: dict[str, Any] = {"labels": dict(k)}
-            entry.update(self._sketches[k].snapshot(self.quantiles))
-            if k in self._exemplars:
-                entry["exemplar"] = dict(self._exemplars[k])
-            values.append(entry)
+        with self._lock:
+            for k in sorted(self._sketches):
+                entry: dict[str, Any] = {"labels": dict(k)}
+                entry.update(self._sketches[k].snapshot(self.quantiles))
+                if k in self._exemplars:
+                    entry["exemplar"] = dict(self._exemplars[k])
+                values.append(entry)
         return {"type": self.kind, "help": self.help,
                 "quantiles": list(self.quantiles), "values": values}
 
@@ -379,7 +442,7 @@ class MetricsRegistry:
 
     def __init__(self, *, gated: bool = False) -> None:
         self._metrics: dict[str, _Metric] = {}
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.metrics.MetricsRegistry")
         self._gated = gated
 
     def _declare(self, cls: type, name: str, help: str,
@@ -414,58 +477,63 @@ class MetricsRegistry:
         return self._declare(Summary, name, help, quantiles=quantiles)
 
     def get(self, name: str) -> _Metric | None:
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
+
+    def _snapshot_metrics(self) -> list[_Metric]:
+        """Name-ordered metric list, read under the registry lock.
+
+        Exports iterate this snapshot *after* releasing the registry
+        lock: each metric then locks itself, so no export path ever
+        nests registry -> metric (only :meth:`reset` takes that edge,
+        deliberately, in hierarchy order).
+        """
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
 
     def reset(self) -> None:
-        """Zero every metric (keeps declarations).  Test helper."""
+        """Zero every metric (keeps declarations).  Test helper.
+
+        Holds the registry lock across the sweep so a concurrent
+        ``_declare`` cannot slip a half-reset view in between; the
+        nested ``metric.clear_values()`` acquisitions follow the
+        documented registry -> metric lock order.
+        """
         with self._lock:
             for metric in self._metrics.values():
-                for attr in ("_values", "_counts", "_sums",
-                             "_sketches", "_exemplars"):
-                    store = getattr(metric, attr, None)
-                    if store is not None:
-                        store.clear()
+                metric.clear_values()
 
     # -- export --------------------------------------------------------------
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (version 0.0.4)."""
         lines: list[str] = []
-        for name in self.names():
-            lines.extend(self._metrics[name].expose())
+        for metric in self._snapshot_metrics():
+            lines.extend(metric.expose())
         return "\n".join(lines) + "\n"
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able snapshot of every metric."""
-        return {name: self._metrics[name].snapshot()
-                for name in self.names()}
+        return {metric.name: metric.snapshot()
+                for metric in self._snapshot_metrics()}
 
     def scalars(self) -> dict[str, float]:
         """One flat number per series — the time-series sampler's row.
 
         Counters and gauges collapse to the sum over label sets;
         histograms and summaries contribute ``<name>_count`` and
-        ``<name>_sum``.  Per-metric locks make this safe against
-        concurrent updates (the sampler calls it from its own thread).
+        ``<name>_sum``.  Each metric's :meth:`~_Metric.scalar_samples`
+        reads under its own lock, so this is safe against concurrent
+        updates (the sampler calls it from its own thread) without the
+        registry ever touching another object's private lock.
         """
         out: dict[str, float] = {}
-        for name in self.names():
-            metric = self._metrics[name]
-            with metric._lock:
-                if isinstance(metric, (Counter, Gauge)):
-                    out[name] = sum(metric._values.values())
-                elif isinstance(metric, Histogram):
-                    out[f"{name}_count"] = float(
-                        sum(sum(c) for c in metric._counts.values()))
-                    out[f"{name}_sum"] = sum(metric._sums.values())
-                elif isinstance(metric, Summary):
-                    sketches = metric._sketches.values()
-                    out[f"{name}_count"] = float(
-                        sum(s.count for s in sketches))
-                    out[f"{name}_sum"] = sum(s.sum for s in sketches)
+        for metric in self._snapshot_metrics():
+            out.update(metric.scalar_samples())
         return out
 
 

@@ -31,6 +31,7 @@ from typing import Any
 from repro.obs.manifest import peak_rss_bytes
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.spans import obs_disabled
+from repro.util.sync import new_lock
 
 __all__ = [
     "TIMESERIES_NAME",
@@ -84,7 +85,7 @@ class TelemetrySampler:
         self._registry = registry
         self._period = _env_period() if period is None else float(period)
         self._samples: deque[dict[str, Any]] = deque(maxlen=capacity)
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.sampler.TelemetrySampler")
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._started = False
@@ -126,13 +127,15 @@ class TelemetrySampler:
             "peak_rss_bytes": peak_rss_bytes(),
             "metrics": self._registry.scalars(),
         }
+        spent = time.perf_counter() - t0
         with self._lock:
             if len(self._samples) == self._samples.maxlen:
                 self._dropped += 1
                 SAMPLER_DROPPED.inc()
             self._samples.append(row)
-        spent = time.perf_counter() - t0
-        self._spent += spent
+            # read-modify-write shared with overhead(); must sit under
+            # the same lock the readers take
+            self._spent += spent
         SAMPLER_SAMPLES.inc()
         SAMPLER_SECONDS.inc(spent)
 

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.obs.quantiles import QuantileSketch
+from repro.util.sync import new_lock
 
 __all__ = [
     "DISABLE_ENV",
@@ -155,11 +156,12 @@ class SpanRecorder:
     def __init__(self) -> None:
         self.spans: list[Span] = []
         self._ids = itertools.count(1)
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.spans.SpanRecorder")
         self._sketches: dict[str, QuantileSketch] = {}
 
     def __len__(self) -> int:
-        return len(self.spans)
+        with self._lock:
+            return len(self.spans)
 
     # -- construction (used by span()) ------------------------------------
 
@@ -191,14 +193,25 @@ class SpanRecorder:
 
     # -- queries --------------------------------------------------------------
 
+    def _spans_view(self) -> list[Span]:
+        """A consistent copy of the finished-span list.
+
+        Queries may run while worker threads are still closing spans;
+        snapshotting under the lock keeps iteration safe without
+        holding the lock across caller code.
+        """
+        with self._lock:
+            return list(self.spans)
+
     def find(self, name: str) -> list[Span]:
-        return [s for s in self.spans if s.name == name]
+        return [s for s in self._spans_view() if s.name == name]
 
     def roots(self) -> list[Span]:
-        return [s for s in self.spans if s.parent_id is None]
+        return [s for s in self._spans_view() if s.parent_id is None]
 
     def children(self, parent: Span) -> list[Span]:
-        kids = [s for s in self.spans if s.parent_id == parent.span_id]
+        kids = [s for s in self._spans_view()
+                if s.parent_id == parent.span_id]
         return sorted(kids, key=lambda s: s.start_perf)
 
     def total_seconds(self, name: str) -> float:
@@ -220,11 +233,12 @@ class SpanRecorder:
     def to_dicts(self) -> list[dict[str, Any]]:
         """All spans flat, in start order (parent_id links the tree)."""
         return [s.to_dict() for s in
-                sorted(self.spans, key=lambda s: s.start_perf)]
+                sorted(self._spans_view(), key=lambda s: s.start_perf)]
 
     def sketch(self, name: str) -> QuantileSketch | None:
         """The streaming duration sketch for one span name."""
-        return self._sketches.get(name)
+        with self._lock:
+            return self._sketches.get(name)
 
     def summaries(self) -> dict[str, dict[str, Any]]:
         """Per-span-name duration summaries from the streaming sketches:

@@ -31,6 +31,7 @@ from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.clock import VirtualClock
 from repro.resilience.faults import FaultPlan, _activate, active_plan
 from repro.resilience.retry import DEFAULT_POLICY, RetryPolicy, is_transient
+from repro.util.sync import new_lock
 
 __all__ = [
     "BoundaryStats",
@@ -45,22 +46,26 @@ __all__ = [
 
 #: The process-wide breaker realm (boundary name -> breaker).
 _BREAKERS: dict[str, CircuitBreaker] = {}
+#: Guards realm membership (get-or-create, reset, the chaos swap) — a
+#: serving fleet drives boundaries from many threads at once.
+_BREAKERS_LOCK = new_lock("resilience.boundary.breakers")
 
 
 def breaker_for(boundary: str, *,
                 clock: VirtualClock | None = None) -> CircuitBreaker:
     """The realm's breaker for a boundary (created on first use)."""
-    try:
-        return _BREAKERS[boundary]
-    except KeyError:
-        breaker = CircuitBreaker(boundary, clock=clock)
-        _BREAKERS[boundary] = breaker
+    with _BREAKERS_LOCK:
+        breaker = _BREAKERS.get(boundary)
+        if breaker is None:
+            breaker = _BREAKERS[boundary] = \
+                CircuitBreaker(boundary, clock=clock)
         return breaker
 
 
 def reset_breakers() -> None:
     """Drop every breaker in the current realm (tests / fresh runs)."""
-    _BREAKERS.clear()
+    with _BREAKERS_LOCK:
+        _BREAKERS.clear()
 
 
 def breaker_states() -> dict[str, dict]:
@@ -69,13 +74,15 @@ def breaker_states() -> dict[str, dict]:
     The manifest records this so a post-mortem can tell *which* edge
     tripped and how often, not just the per-run rejection counters.
     """
+    with _BREAKERS_LOCK:
+        realm = sorted(_BREAKERS.items())
     return {
         name: {
             "state": b.state,
             "opened_count": b.opened_count,
             "consecutive_failures": b.consecutive_failures,
         }
-        for name, b in sorted(_BREAKERS.items())
+        for name, b in realm
     }
 
 
@@ -136,13 +143,15 @@ def inject_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
     and pre-existing breaker state must not skew a seeded chaos run.
     """
     global _BREAKERS
-    saved = _BREAKERS
-    _BREAKERS = {}
+    with _BREAKERS_LOCK:
+        saved = _BREAKERS
+        _BREAKERS = {}
     try:
         with _activate(plan):
             yield plan
     finally:
-        _BREAKERS = saved
+        with _BREAKERS_LOCK:
+            _BREAKERS = saved
 
 
 def run_boundary(boundary: str, fn: Callable[[], Any], *,

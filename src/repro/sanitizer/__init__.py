@@ -1,0 +1,26 @@
+"""Runtime lock sanitizer (enabled with ``REPRO_TSAN=1``).
+
+See :mod:`repro.sanitizer.lockcheck` for the mechanism and
+:mod:`repro.util.sync` for the named-lock factory it instruments.
+"""
+
+from repro.errors import SanitizerError
+from repro.sanitizer.lockcheck import (
+    Finding,
+    InstrumentedLock,
+    InstrumentedRLock,
+    STATE,
+    SanitizerState,
+)
+from repro.util.sync import ENABLE_ENV, tsan_enabled
+
+__all__ = [
+    "ENABLE_ENV",
+    "Finding",
+    "InstrumentedLock",
+    "InstrumentedRLock",
+    "STATE",
+    "SanitizerError",
+    "SanitizerState",
+    "tsan_enabled",
+]

@@ -1,0 +1,351 @@
+"""Runtime lock sanitizer — TSan-style dynamic checking of lock usage.
+
+With ``REPRO_TSAN=1`` in the environment, the :mod:`repro.util.sync`
+factories hand out :class:`InstrumentedLock` / :class:`InstrumentedRLock`
+wrappers instead of plain :mod:`threading` primitives.  Every acquire
+and release reports into the process-wide :data:`STATE`, which keeps:
+
+* the per-thread *held stack* (which named locks this thread holds, in
+  acquisition order);
+* the *observed lock-order graph* over lock names — an edge ``A -> B``
+  means some thread acquired ``B`` while holding ``A``.  The
+  cross-validation tests assert this graph is a subgraph of the static
+  one ``condor audit`` computes from the source;
+* :class:`Finding` records for the three failure modes:
+
+  - ``order-inversion`` (error): acquiring ``B`` while holding ``A``
+    when the graph already shows ``B`` (transitively) acquired before
+    ``A`` — two threads interleaving those paths can deadlock.  Nesting
+    two distinct *instances* of the same lock name is reported the same
+    way (same-rank nesting deadlocks against a peer doing the reverse).
+  - ``double-acquire`` (error): a thread re-acquiring a non-reentrant
+    lock it already holds.  The real lock would block forever, so the
+    wrapper raises :class:`~repro.errors.SanitizerError` instead of
+    deadlocking the suite.
+  - ``slow-hold`` (warning): a lock held longer than
+    ``REPRO_TSAN_HOLD_SECONDS`` (default 0.5 s) — a latency hazard for
+    every thread contending on it, not a correctness bug.
+
+The sanitizer's own bookkeeping runs under a *raw* ``threading.Lock``
+(never instrumented) and never touches the metrics registry from the
+acquire path — metric locks are themselves instrumented, so bumping a
+counter per acquire would recurse.  Totals are copied into the
+``condor_tsan_*`` gauges on demand via :meth:`SanitizerState.publish`
+(the pytest fixture and CLI call it once at the end).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import SanitizerError
+
+__all__ = [
+    "DEFAULT_HOLD_SECONDS",
+    "Finding",
+    "HOLD_ENV",
+    "InstrumentedLock",
+    "InstrumentedRLock",
+    "MAX_FINDINGS",
+    "STATE",
+    "SanitizerState",
+]
+
+HOLD_ENV = "REPRO_TSAN_HOLD_SECONDS"
+DEFAULT_HOLD_SECONDS = 0.5
+#: Findings kept per state; a deadlock-prone suite would otherwise flood.
+MAX_FINDINGS = 200
+
+FINDING_KINDS = ("order-inversion", "double-acquire", "slow-hold")
+
+
+def _hold_threshold() -> float:
+    raw = os.environ.get(HOLD_ENV, "")
+    if not raw:
+        return DEFAULT_HOLD_SECONDS
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_HOLD_SECONDS
+    return value if value > 0 else DEFAULT_HOLD_SECONDS
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One sanitizer observation."""
+
+    kind: str       # one of FINDING_KINDS
+    severity: str   # "error" | "warning"
+    lock: str       # lock name
+    thread: str
+    detail: str
+
+    def render(self) -> str:
+        return (f"{self.severity}: {self.kind} on {self.lock!r}"
+                f" [{self.thread}]: {self.detail}")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "severity": self.severity,
+                "lock": self.lock, "thread": self.thread,
+                "detail": self.detail}
+
+
+class SanitizerState:
+    """All dynamic-checking bookkeeping for one sanitizer realm.
+
+    The process-wide realm is :data:`STATE`; tests that provoke findings
+    on purpose construct a private state so they never pollute the
+    suite-failing fixture.
+    """
+
+    def __init__(self, hold_threshold: float | None = None):
+        #: raw lock — the sanitizer must never instrument itself
+        self._mu = threading.Lock()
+        self._tls = threading.local()
+        #: name -> set of names acquired while holding it
+        self._edges: dict[str, set[str]] = {}
+        self._findings: list[Finding] = []
+        self._acquires = 0
+        self._lock_names: set[str] = set()
+        self._max_hold = 0.0
+        self._hold_threshold = (_hold_threshold() if hold_threshold is None
+                                else float(hold_threshold))
+
+    # -- per-thread held stack ------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def held_names(self) -> list[str]:
+        """Names this thread currently holds, outermost first."""
+        return [entry[1] for entry in self._stack()]
+
+    # -- the acquire/release protocol (called by the wrappers) ---------------
+
+    def before_acquire(self, lock, *, reentrant: bool) -> None:
+        """Checks that must run *before* blocking on the real lock."""
+        stack = self._stack()
+        thread = threading.current_thread().name
+        if not reentrant:
+            for entry in stack:
+                if entry[0] is lock:
+                    finding = Finding(
+                        "double-acquire", "error", lock.name, thread,
+                        "thread re-acquired a non-reentrant lock it"
+                        " already holds; a real Lock would deadlock here")
+                    self._record(finding)
+                    raise SanitizerError(finding.render())
+        name = lock.name
+        with self._mu:
+            self._acquires += 1
+            self._lock_names.add(name)
+            for entry in stack:
+                held_lock, held_name = entry[0], entry[1]
+                if held_lock is lock:
+                    continue  # RLock re-entry: no new ordering information
+                if held_name == name:
+                    self._record_locked(Finding(
+                        "order-inversion", "error", name, thread,
+                        f"nested two distinct {name!r} locks (same-rank"
+                        " nesting deadlocks against a peer thread nesting"
+                        " them the other way round)"))
+                    continue
+                if self._reaches_locked(name, held_name):
+                    self._record_locked(Finding(
+                        "order-inversion", "error", name, thread,
+                        f"acquired while holding {held_name!r}, but the"
+                        f" observed order graph already has"
+                        f" {name!r} -> ... -> {held_name!r}"))
+                self._edges.setdefault(held_name, set()).add(name)
+
+    def after_acquire(self, lock) -> None:
+        self._stack().append([lock, lock.name, time.perf_counter()])
+
+    def on_release(self, lock) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][0] is lock:
+                entry = stack.pop(i)
+                hold = time.perf_counter() - entry[2]
+                with self._mu:
+                    if hold > self._max_hold:
+                        self._max_hold = hold
+                if hold > self._hold_threshold:
+                    self._record(Finding(
+                        "slow-hold", "warning", lock.name,
+                        threading.current_thread().name,
+                        f"held for {hold:.3f}s (threshold"
+                        f" {self._hold_threshold:g}s)"))
+                return
+        # Not held by this thread: let the inner lock raise its own error.
+
+    # -- graph + findings -----------------------------------------------------
+
+    def _reaches_locked(self, src: str, dst: str) -> bool:
+        """True when ``src -> ... -> dst`` exists.  Call with _mu held."""
+        seen = {src}
+        frontier = [src]
+        while frontier:
+            node = frontier.pop()
+            for nxt in self._edges.get(node, ()):
+                if nxt == dst:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    def _record(self, finding: Finding) -> None:
+        with self._mu:
+            self._record_locked(finding)
+
+    def _record_locked(self, finding: Finding) -> None:
+        if len(self._findings) < MAX_FINDINGS:
+            self._findings.append(finding)
+
+    # -- queries --------------------------------------------------------------
+
+    def findings(self, *, severity: str | None = None) -> list[Finding]:
+        with self._mu:
+            found = list(self._findings)
+        if severity is not None:
+            found = [f for f in found if f.severity == severity]
+        return found
+
+    def error_count(self) -> int:
+        return len(self.findings(severity="error"))
+
+    def order_edges(self) -> set[tuple[str, str]]:
+        """The observed lock-order graph as (held, acquired) name pairs."""
+        with self._mu:
+            return {(src, dst) for src, dsts in self._edges.items()
+                    for dst in dsts}
+
+    def lock_names(self) -> set[str]:
+        with self._mu:
+            return set(self._lock_names)
+
+    def acquire_count(self) -> int:
+        with self._mu:
+            return self._acquires
+
+    def reset(self) -> None:
+        """Drop the graph, findings and counters (held stacks persist —
+        they reflect locks genuinely still held)."""
+        with self._mu:
+            self._edges.clear()
+            self._findings.clear()
+            self._acquires = 0
+            self._lock_names.clear()
+            self._max_hold = 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-able summary (the ``condor audit --tsan`` payload)."""
+        with self._mu:
+            edges = sorted((src, dst) for src, dsts in self._edges.items()
+                           for dst in dsts)
+            findings = [f.to_dict() for f in self._findings]
+            return {
+                "acquires": self._acquires,
+                "locks": sorted(self._lock_names),
+                "order_edges": [list(e) for e in edges],
+                "max_hold_seconds": self._max_hold,
+                "findings": findings,
+            }
+
+    def publish(self, registry=None) -> None:
+        """Copy totals into the ``condor_tsan_*`` gauges.
+
+        On-demand rather than per-acquire: metric locks are instrumented
+        too, so updating a metric from inside acquire bookkeeping would
+        recurse.  Gauges (``set`` semantics) keep repeated publishes
+        idempotent.
+        """
+        if registry is None:
+            from repro.obs.metrics import REGISTRY
+            registry = REGISTRY
+        snap = self.snapshot()
+        registry.gauge(
+            "condor_tsan_acquires_count",
+            "Lock acquisitions observed by the runtime sanitizer",
+        ).set(snap["acquires"])
+        registry.gauge(
+            "condor_tsan_order_edges_count",
+            "Distinct edges in the observed lock-order graph",
+        ).set(len(snap["order_edges"]))
+        registry.gauge(
+            "condor_tsan_max_hold_seconds",
+            "Longest single lock hold observed by the sanitizer",
+        ).set(snap["max_hold_seconds"])
+        findings = registry.gauge(
+            "condor_tsan_findings_count",
+            "Sanitizer findings by kind (order-inversion, double-acquire,"
+            " slow-hold)")
+        by_kind = {kind: 0 for kind in FINDING_KINDS}
+        for f in snap["findings"]:
+            by_kind[f["kind"]] = by_kind.get(f["kind"], 0) + 1
+        for kind, count in by_kind.items():
+            findings.set(count, kind=kind)
+
+
+#: The process-wide sanitizer realm every factory-made lock reports to.
+STATE = SanitizerState()
+
+
+class InstrumentedLock:
+    """A named, checked, non-reentrant mutex (drop-in for Lock)."""
+
+    reentrant = False
+    __slots__ = ("name", "_inner", "_state")
+
+    def __init__(self, name: str, state: SanitizerState | None = None):
+        self.name = name
+        self._inner = threading.Lock()
+        self._state = state if state is not None else STATE
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._state.before_acquire(self, reentrant=self.reentrant)
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._state.after_acquire(self)
+        return ok
+
+    def release(self) -> None:
+        self._state.on_release(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class InstrumentedRLock(InstrumentedLock):
+    """A named, checked, reentrant mutex (drop-in for RLock)."""
+
+    reentrant = True
+    __slots__ = ()
+
+    def __init__(self, name: str, state: SanitizerState | None = None):
+        super().__init__(name, state)
+        self._inner = threading.RLock()
+
+    def locked(self) -> bool:  # RLock has no .locked() before 3.12
+        if self._inner.acquire(blocking=False):
+            self._inner.release()
+            return False
+        return True

@@ -1,0 +1,59 @@
+"""Named lock construction — the factory every :mod:`repro` lock uses.
+
+Locks created here carry a *name* (a string literal at the creation
+site, e.g. ``"obs.metrics.MetricsRegistry"``).  Names identify a lock's
+*role* rather than its instance: every metric shares the name
+``"obs.metrics.Metric"``, every plan cache ``"nn.plan.PlanCache"``.
+That makes two things possible:
+
+* the runtime lock sanitizer (:mod:`repro.sanitizer.lockcheck`) builds
+  its observed lock-order graph over names, so it can be compared
+  against the *static* lock-order graph ``condor audit`` derives from
+  the source — same node vocabulary on both sides;
+* the documented lock hierarchy (docs/INTERNALS.md, "Concurrency
+  model") is stated in terms of these names.
+
+Under ``REPRO_TSAN=1`` (read at lock-creation time) the factories
+return instrumented wrappers that track per-thread held-sets and report
+order inversions, double acquires and slow holds; otherwise they return
+plain :mod:`threading` primitives with zero overhead.
+
+Direct ``threading.Lock()`` construction elsewhere in ``src/repro`` is
+flagged by the ``conc-raw-lock`` audit rule — the factory is how a lock
+joins the checked hierarchy.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+__all__ = [
+    "ENABLE_ENV",
+    "new_lock",
+    "new_rlock",
+    "tsan_enabled",
+]
+
+ENABLE_ENV = "REPRO_TSAN"
+
+
+def tsan_enabled() -> bool:
+    """True when ``REPRO_TSAN=1`` (the runtime lock sanitizer switch)."""
+    return os.environ.get(ENABLE_ENV, "") == "1"
+
+
+def new_lock(name: str):
+    """A named, non-reentrant mutex (instrumented under ``REPRO_TSAN=1``)."""
+    if tsan_enabled():
+        from repro.sanitizer.lockcheck import InstrumentedLock
+        return InstrumentedLock(name)
+    return threading.Lock()
+
+
+def new_rlock(name: str):
+    """A named reentrant mutex (instrumented under ``REPRO_TSAN=1``)."""
+    if tsan_enabled():
+        from repro.sanitizer.lockcheck import InstrumentedRLock
+        return InstrumentedRLock(name)
+    return threading.RLock()

@@ -1,0 +1,295 @@
+"""The whole-program model behind ``condor audit``: lock discovery,
+guard inference, call resolution, the static lock-order graph and
+thread-entry reachability — all on synthetic source trees."""
+
+import textwrap
+
+from repro.analysis.conc.model import build_program
+
+
+def _tree(tmp_path, **files):
+    for name, source in files.items():
+        path = tmp_path.joinpath(*name.split(".")).with_suffix(".py")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return build_program(tmp_path)
+
+
+def test_lock_discovery_module_and_attr(tmp_path):
+    program = _tree(tmp_path, mod="""
+        from repro.util.sync import new_lock, new_rlock
+
+        _GUARD = new_lock("mod.guard")
+
+        class Box:
+            def __init__(self):
+                self._lock = new_rlock("mod.Box")
+                self.items = []
+        """)
+    assert program.locks == {"mod.guard": False, "mod.Box": True}
+    box = program.classes["mod.Box"]
+    assert box.lock_attrs["_lock"].name == "mod.Box"
+    assert box.lock_attrs["_lock"].reentrant
+
+
+def test_guard_inference_from_with_blocks(tmp_path):
+    program = _tree(tmp_path, mod="""
+        from repro.util.sync import new_lock
+
+        class Box:
+            def __init__(self):
+                self._lock = new_lock("mod.Box")
+                self.items = []
+
+            def add(self, x):
+                with self._lock:
+                    self.items.append(x)
+
+            def peek(self):
+                return self.items
+        """)
+    add = program.functions["mod.Box.add"]
+    peek = program.functions["mod.Box.peek"]
+    (write,) = [a for a in add.accesses if a.attr == "items"
+                and a.is_write]
+    assert write.guards == frozenset({"mod.Box"})
+    (read,) = [a for a in peek.accesses if a.attr == "items"]
+    assert read.guards == frozenset()
+
+
+def test_direct_nested_acquisition_edge(tmp_path):
+    program = _tree(tmp_path, mod="""
+        from repro.util.sync import new_lock
+
+        _A = new_lock("A")
+        _B = new_lock("B")
+
+        def nested():
+            with _A:
+                with _B:
+                    pass
+        """)
+    assert program.edge_set() == {("A", "B")}
+
+
+def test_edge_through_resolved_call(tmp_path):
+    # holding the Outer lock while calling a method whose lock closure
+    # acquires the Inner lock adds Outer -> Inner
+    program = _tree(tmp_path, mod="""
+        from repro.util.sync import new_lock
+
+        class Inner:
+            def __init__(self):
+                self._lock = new_lock("Inner")
+                self.n = 0
+
+            def bump(self):
+                with self._lock:
+                    self.n += 1
+
+        INSTANCE = Inner()
+
+        class Outer:
+            def __init__(self):
+                self._lock = new_lock("Outer")
+
+            def work(self):
+                with self._lock:
+                    INSTANCE.bump()
+        """)
+    assert ("Outer", "Inner") in program.edge_set()
+
+
+def test_reentrant_self_nesting_is_not_an_edge(tmp_path):
+    program = _tree(tmp_path, mod="""
+        from repro.util.sync import new_rlock
+
+        class Box:
+            def __init__(self):
+                self._lock = new_rlock("Box")
+
+            def outer(self):
+                with self._lock:
+                    self.inner()
+
+            def inner(self):
+                with self._lock:
+                    pass
+        """)
+    assert program.edge_set() == set()
+    assert program.lock_cycles() == []
+
+
+def test_cycle_detection(tmp_path):
+    program = _tree(tmp_path, mod="""
+        from repro.util.sync import new_lock
+
+        _A = new_lock("A")
+        _B = new_lock("B")
+
+        def forward():
+            with _A:
+                with _B:
+                    pass
+
+        def backward():
+            with _B:
+                with _A:
+                    pass
+        """)
+    (cycle,) = program.lock_cycles()
+    assert set(cycle) == {"A", "B"}
+
+
+def test_thread_entry_and_reachability(tmp_path):
+    program = _tree(tmp_path, mod="""
+        import threading
+
+        def helper():
+            pass
+
+        class Worker:
+            def start(self):
+                self._thread = threading.Thread(target=self._run)
+                self._thread.start()
+
+            def _run(self):
+                helper()
+        """)
+    assert "mod.Worker._run" in program.entries
+    assert "mod.helper" in program.worker_reachable
+
+
+def test_submit_args_are_entries(tmp_path):
+    program = _tree(tmp_path, mod="""
+        class Pool:
+            def go(self, pool, ctx):
+                pool.submit(ctx.run, self._work, 1)
+
+            def _work(self, x):
+                return x
+        """)
+    assert "mod.Pool._work" in program.entries
+
+
+def test_unique_name_fallback_excludes_builtin_names(tmp_path):
+    # `self.data.clear()` (a dict) must NOT resolve to Other.clear even
+    # though Other is the only program class defining `clear`
+    program = _tree(tmp_path, mod="""
+        from repro.util.sync import new_lock
+
+        class Other:
+            def __init__(self):
+                self._lock = new_lock("Other")
+
+            def clear(self):
+                with self._lock:
+                    pass
+
+        class Box:
+            def __init__(self):
+                self._lock = new_lock("Box")
+                self.data = {}
+
+            def wipe(self):
+                with self._lock:
+                    self.data.clear()
+        """)
+    assert ("Box", "Other") not in program.edge_set()
+
+
+def test_unique_name_fallback_resolves_distinctive_method(tmp_path):
+    program = _tree(tmp_path, mod="""
+        from repro.util.sync import new_lock
+
+        class Leaf:
+            def __init__(self):
+                self._lock = new_lock("Leaf")
+
+            def drain_values(self):
+                with self._lock:
+                    pass
+
+        class Root:
+            def __init__(self):
+                self._lock = new_lock("Root")
+                self.kids = []
+
+            def sweep(self):
+                with self._lock:
+                    for kid in self.kids:
+                        kid.drain_values()
+        """)
+    assert ("Root", "Leaf") in program.edge_set()
+
+
+def test_locked_suffix_convention_seeds_guards(tmp_path):
+    # *_locked methods are documented to run under the class's own lock
+    program = _tree(tmp_path, mod="""
+        from repro.util.sync import new_lock
+
+        class Box:
+            def __init__(self):
+                self._lock = new_lock("Box")
+                self.n = 0
+
+            def bump(self):
+                with self._lock:
+                    self._bump_locked()
+
+            def _bump_locked(self):
+                self.n += 1
+        """)
+    helper = program.functions["mod.Box._bump_locked"]
+    (write,) = [a for a in helper.accesses if a.attr == "n"]
+    assert write.guards == frozenset({"Box"})
+
+
+def test_global_instance_typing_via_factory_annotation(tmp_path):
+    # X = REGISTRY.make(...) types X by make()'s return annotation
+    program = _tree(tmp_path, mod="""
+        from repro.util.sync import new_lock
+
+        class Counter:
+            def __init__(self):
+                self._lock = new_lock("Counter")
+
+            def inc(self):
+                with self._lock:
+                    pass
+
+        class Registry:
+            def make(self) -> Counter:
+                return Counter()
+
+        REGISTRY = Registry()
+        HITS = REGISTRY.make()
+
+        class Cache:
+            def __init__(self):
+                self._lock = new_lock("Cache")
+
+            def lookup(self):
+                with self._lock:
+                    HITS.inc()
+        """)
+    assert ("Cache", "Counter") in program.edge_set()
+
+
+def test_inherited_lock_attr_guards_subclass(tmp_path):
+    program = _tree(tmp_path, mod="""
+        from repro.util.sync import new_lock
+
+        class Base:
+            def __init__(self):
+                self._lock = new_lock("Base")
+                self.n = 0
+
+        class Child(Base):
+            def bump(self):
+                with self._lock:
+                    self.n += 1
+        """)
+    bump = program.functions["mod.Child.bump"]
+    (write,) = [a for a in bump.accesses if a.attr == "n"]
+    assert write.guards == frozenset({"Base"})

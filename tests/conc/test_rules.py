@@ -1,0 +1,275 @@
+"""Each CONC rule catches its synthetic offender and stays quiet on the
+equivalent correct code."""
+
+import textwrap
+
+from repro.analysis.conc import audit_tree
+
+
+def _audit(tmp_path, source, name="mod.py", select=None):
+    (tmp_path / name).write_text(textwrap.dedent(source))
+    return audit_tree(tmp_path, select=select)
+
+
+def _codes(result):
+    return [d.code for d in result.report]
+
+
+def test_conc001_unguarded_global_write(tmp_path):
+    result = _audit(tmp_path, """
+        REGISTRY = {}
+
+        def register(key, value):
+            REGISTRY[key] = value
+        """, select={"CONC001"})
+    (diag,) = result.report
+    assert diag.code == "CONC001"
+    assert "REGISTRY" in diag.message
+    assert diag.location.path == "mod.py"
+
+
+def test_conc001_guarded_write_is_clean(tmp_path):
+    result = _audit(tmp_path, """
+        from repro.util.sync import new_lock
+
+        REGISTRY = {}
+        _LOCK = new_lock("mod.registry")
+
+        def register(key, value):
+            with _LOCK:
+                REGISTRY[key] = value
+        """, select={"CONC001"})
+    assert _codes(result) == []
+
+
+def test_conc001_global_statement_rebind(tmp_path):
+    result = _audit(tmp_path, """
+        STATE = {}
+
+        def swap():
+            global STATE
+            STATE = {}
+        """, select={"CONC001"})
+    assert _codes(result) == ["CONC001"]
+
+
+def test_conc002_inconsistent_guard(tmp_path):
+    result = _audit(tmp_path, """
+        from repro.util.sync import new_lock
+
+        class Box:
+            def __init__(self):
+                self._lock = new_lock("Box")
+                self.items = []
+
+            def add(self, x):
+                with self._lock:
+                    self.items.append(x)
+
+            def rogue(self, x):
+                self.items.append(x)
+        """, select={"CONC002"})
+    (diag,) = result.report
+    assert diag.code == "CONC002"
+    assert "Box.items" in diag.message
+    assert "rogue" in diag.message
+
+
+def test_conc002_init_only_attrs_exempt(tmp_path):
+    result = _audit(tmp_path, """
+        from repro.util.sync import new_lock
+
+        class Box:
+            def __init__(self, size):
+                self._lock = new_lock("Box")
+                self.size = size
+                self.items = []
+
+            def add(self, x):
+                with self._lock:
+                    self.items.append(x)
+
+            def capacity(self):
+                return self.size
+        """, select={"CONC002"})
+    assert _codes(result) == []
+
+
+def test_conc002_worker_reachable_unguarded_write(tmp_path):
+    result = _audit(tmp_path, """
+        import threading
+
+        from repro.util.sync import new_lock
+
+        class Worker:
+            def __init__(self):
+                self._lock = new_lock("Worker")
+                self.done = []
+
+            def start(self):
+                threading.Thread(target=self._run).start()
+
+            def _run(self):
+                self.done.append(1)
+        """, select={"CONC002"})
+    (diag,) = result.report
+    assert diag.code == "CONC002"
+    assert "thread-entry" in diag.message
+
+
+def test_conc002_safe_primitives_exempt(tmp_path):
+    result = _audit(tmp_path, """
+        import threading
+
+        from repro.util.sync import new_lock
+
+        class Worker:
+            def __init__(self):
+                self._lock = new_lock("Worker")
+                self._stop = threading.Event()
+                self.jobs = []
+
+            def halt(self):
+                self._stop.set()
+
+            def add(self, j):
+                with self._lock:
+                    self.jobs.append(j)
+        """, select={"CONC002"})
+    assert _codes(result) == []
+
+
+def test_conc003_lock_order_cycle_is_error(tmp_path):
+    result = _audit(tmp_path, """
+        from repro.util.sync import new_lock
+
+        _A = new_lock("A")
+        _B = new_lock("B")
+
+        def forward():
+            with _A:
+                with _B:
+                    pass
+
+        def backward():
+            with _B:
+                with _A:
+                    pass
+        """, select={"CONC003"})
+    (diag,) = result.report
+    assert diag.code == "CONC003"
+    assert diag.severity.value == "error"
+    assert "A" in diag.message and "B" in diag.message
+    assert not result.report.ok
+
+
+def test_conc004_blocking_under_lock(tmp_path):
+    result = _audit(tmp_path, """
+        import time
+
+        from repro.util.sync import new_lock
+
+        _LOCK = new_lock("mod.lock")
+
+        def poll():
+            with _LOCK:
+                time.sleep(0.1)
+        """, select={"CONC004"})
+    (diag,) = result.report
+    assert diag.code == "CONC004"
+    assert "sleep" in diag.message
+
+
+def test_conc004_plain_dict_get_not_blocking(tmp_path):
+    result = _audit(tmp_path, """
+        from repro.util.sync import new_lock
+
+        _LOCK = new_lock("mod.lock")
+        TABLE = {}
+
+        def fetch(key):
+            with _LOCK:
+                return TABLE.get(key)
+        """, select={"CONC004"})
+    assert _codes(result) == []
+
+
+def test_conc005_foreign_private_lock(tmp_path):
+    result = _audit(tmp_path, """
+        def poke(other):
+            with other._lock:
+                return other.value
+        """, select={"CONC005"})
+    (diag,) = result.report
+    assert diag.code == "CONC005"
+    assert "other._lock" in diag.message
+
+
+def test_conc006_raw_threading_lock(tmp_path):
+    result = _audit(tmp_path, """
+        import threading
+
+        _LOCK = threading.Lock()
+        """, select={"CONC006"})
+    (diag,) = result.report
+    assert diag.code == "CONC006"
+    assert "new_lock" in diag.hint
+
+
+def test_waiver_suppresses_and_survives_in_payload(tmp_path):
+    result = _audit(tmp_path, """
+        REGISTRY = {}
+
+        def register(key, value):
+            # conc: allow CONC001 -- import-time only
+            REGISTRY[key] = value
+        """, select={"CONC001"})
+    assert _codes(result) == []
+    (waived,) = result.waived
+    assert waived.code == "CONC001"
+    (waiver,) = result.waivers
+    assert waiver.reason == "import-time only"
+
+
+def test_waiver_on_same_line(tmp_path):
+    result = _audit(tmp_path, """
+        REGISTRY = {}
+
+        def register(key, value):
+            REGISTRY[key] = value  # conc: allow CONC001 -- boot only
+        """, select={"CONC001"})
+    assert _codes(result) == []
+
+
+def test_dead_waiver_reported_as_info(tmp_path):
+    result = _audit(tmp_path, """
+        # conc: allow CONC001 -- nothing here to waive
+        VALUE = 3
+        """, select={"CONC001"})
+    (diag,) = result.report
+    assert diag.code == "CONC000"
+    assert diag.severity.value == "info"
+    assert "suppressed nothing" in diag.message
+
+
+def test_waiver_in_docstring_does_not_count(tmp_path):
+    result = _audit(tmp_path, '''
+        REGISTRY = {}
+
+        def register(key, value):
+            """Next line is hot.  # conc: allow CONC001 -- not a comment"""
+            REGISTRY[key] = value
+        ''', select={"CONC001"})
+    assert _codes(result) == ["CONC001"]
+
+
+def test_waiver_does_not_leak_to_other_codes(tmp_path):
+    result = _audit(tmp_path, """
+        import threading
+
+        # conc: allow CONC001 -- wrong code on purpose
+        _LOCK = threading.Lock()
+        """, select={"CONC001", "CONC006"})
+    codes = _codes(result)
+    assert "CONC006" in codes      # still flagged
+    assert "CONC000" in codes      # and the waiver is dead

@@ -72,13 +72,24 @@ class TestOps:
         assert result.speedup_vs_baseline > 0
         assert result.cycles is None and result.cache_hits is None
 
+    def test_tsan_overhead_reports_ratio(self):
+        from repro.perf.bench import bench_tsan_overhead
+
+        result = bench_tsan_overhead("locks", iters=200, reps=3)
+        assert (result.op, result.model) == ("tsan-overhead", "locks")
+        assert result.wall_s > 0
+        # instrumented/plain acquire ratio: positive by nature
+        assert result.speedup_vs_baseline > 0
+        assert result.cycles is None and result.cache_hits is None
+
 
 def test_suites_are_subset():
     quick = {(op, model) for op, model, _ in QUICK_SUITE}
     full = {(op, model) for op, model, _ in FULL_SUITE}
     assert quick <= full
     assert {op for op, _ in full} == \
-        {"engine", "engine-steady", "dse", "sim", "obs-overhead"}
+        {"engine", "engine-steady", "dse", "sim", "obs-overhead",
+         "tsan-overhead"}
     # the steady-state rows are part of the CI regression gate
     assert {m for op, m, _ in QUICK_SUITE if op == "engine-steady"} == \
         {"tc1", "lenet"}
@@ -97,7 +108,8 @@ def test_run_bench_quick(monkeypatch):
             return _result(op=op, model=model)
         return run
 
-    for op in ("engine", "engine-steady", "dse", "sim", "obs-overhead"):
+    for op in ("engine", "engine-steady", "dse", "sim", "obs-overhead",
+               "tsan-overhead"):
         monkeypatch.setitem(bench_mod._OPS, op, fake(op))
     results = run_bench(quick=True, jobs=3)
     assert [(r.op, r.model) for r in results] == \
@@ -110,7 +122,8 @@ def test_run_bench_quick(monkeypatch):
 def test_run_bench_op_filter(monkeypatch):
     import repro.perf.bench as bench_mod
 
-    for op in ("engine", "engine-steady", "dse", "sim", "obs-overhead"):
+    for op in ("engine", "engine-steady", "dse", "sim", "obs-overhead",
+               "tsan-overhead"):
         monkeypatch.setitem(
             bench_mod._OPS, op,
             lambda model, _op=op, **kw: _result(op=_op, model=model))
@@ -223,6 +236,15 @@ class TestCompare:
         # when a (better) baseline row exists
         base = [_result(op="obs-overhead", model="lenet", speedup=1.00)]
         assert compare_benchmarks(ok, base) == []
+
+    def test_tsan_overhead_never_gated(self):
+        # informational row: neither the relative-decay rule nor any
+        # absolute budget applies, however bad the ratio looks
+        slow = [_result(op="tsan-overhead", model="locks",
+                        speedup=50.0)]
+        assert compare_benchmarks(slow, []) == []
+        base = [_result(op="tsan-overhead", model="locks", speedup=1.5)]
+        assert compare_benchmarks(slow, base) == []
 
     def test_improvements_pass(self):
         base = [_result(op="sim", cycles=100),

@@ -56,9 +56,28 @@ def test_print_and_getlogger(tmp_path):
     assert rules == ["telemetry-getlogger", "telemetry-print"]
 
 
-def test_print_allowed_in_cli(tmp_path):
-    found = _lint_source(tmp_path, "print('ui')\n", name="cli.py")
-    assert found == []
+def test_print_allow_is_anchored_to_shipped_cli(tmp_path):
+    # allow entries exempt the real DEFAULT_ROOT file only: a
+    # same-named cli.py in a different lint root is still checked
+    found = _lint_source(tmp_path, "print('ui')\n", name="cli.py",
+                         select=["telemetry-print"])
+    assert [v.rule_id for v in found] == ["telemetry-print"]
+
+
+def test_print_allowed_in_shipped_cli():
+    from tools.lint.framework import DEFAULT_ROOT
+    found = [v for v in run_lint(DEFAULT_ROOT, select=["telemetry-print"])
+             if v.path == "cli.py"]
+    assert found == []  # the UI surface prints by design
+
+
+def test_allowlist_anchor_outside_default_root(tmp_path):
+    # every allowlisted file name is fair game in a foreign tree
+    from tools.lint.framework import RULE_REGISTRY
+    rule = RULE_REGISTRY["telemetry-print"]()
+    assert any(rule.allow), "rule lost its allowlist"
+    for entry in sorted(rule.allow):
+        assert rule.applies_to(entry, tmp_path / entry)
 
 
 def test_broad_except(tmp_path):

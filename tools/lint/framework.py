@@ -49,12 +49,26 @@ class LintRule:
     allow: frozenset[str] = frozenset()
     scope: str | None = None
 
-    def applies_to(self, rel_path: str) -> bool:
-        if rel_path in self.allow:
+    def applies_to(self, rel_path: str,
+                   abs_path: Path | None = None) -> bool:
+        if rel_path in self.allow and self._allow_matches(rel_path,
+                                                          abs_path):
             return False
         if self.scope is not None and not rel_path.startswith(self.scope):
             return False
         return True
+
+    @staticmethod
+    def _allow_matches(rel_path: str, abs_path: Path | None) -> bool:
+        """Allow entries are anchored to the shipped tree: ``cli.py``
+        exempts exactly ``DEFAULT_ROOT/cli.py``, never a same-named
+        file in some other lint root (tests lint temp trees)."""
+        if abs_path is None:
+            return True  # no anchor available: legacy behaviour
+        try:
+            return abs_path.resolve() == (DEFAULT_ROOT / rel_path).resolve()
+        except OSError:  # pragma: no cover - unresolvable path
+            return False
 
     def check(self, tree: ast.Module, rel_path: str) \
             -> Iterator[Violation]:  # pragma: no cover - interface
@@ -94,7 +108,7 @@ def _resolve(select: Iterable[str] | None) -> list[LintRule]:
 def lint_file(path: Path, rel_path: str, rules: list[LintRule]) \
         -> list[Violation]:
     """Parse one file and run every applicable rule over it."""
-    applicable = [r for r in rules if r.applies_to(rel_path)]
+    applicable = [r for r in rules if r.applies_to(rel_path, path)]
     if not applicable:
         return []
     tree = ast.parse(path.read_text(), filename=rel_path)
