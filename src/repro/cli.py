@@ -12,6 +12,7 @@ Exposes the framework the way the paper's users would drive it::
     condor obs report <run>                  # span latency quantiles
     condor obs diff <base> <run>             # flag telemetry regressions
     condor obs timeseries <run>              # sampler trajectory
+    condor fleet drill                       # fault-kind survival matrix
     condor figure5                           # regenerate Figure 5
 
 ``<model>`` is a ``.prototxt`` (with optional ``--weights x.caffemodel``),
@@ -218,9 +219,60 @@ def cmd_build(args) -> int:
     return 0
 
 
+def _chaos_fleet_exercise(flow, result, seed: int) -> dict:
+    """Serve a short fleet workload under the armed fault plan.
+
+    Runs inside the chaos ``inject_faults`` context after a flow run
+    produced an AFI: one f1.4xlarge is launched from the flow's AWS
+    session and a paced workload (plus a final verified submission)
+    exercises the device-level fault kinds end to end.
+    """
+    import numpy as np
+
+    from repro.errors import FleetError
+    from repro.fleet import FleetConfig, FleetManager
+    from repro.frontend.weights import WeightStore
+    from repro.resilience.clock import VirtualClock
+
+    clock = VirtualClock()
+    instance = flow.aws.run_f1_instance("f1.4xlarge")
+    net = result.model.network
+    weights = WeightStore.initialize(net)
+    config = FleetConfig(scrub_every=2, recovery_s=120.0, capacity=4)
+    fleet = FleetManager([instance], result.agfi_id, weights,
+                         config=config, clock=clock)
+    rng = np.random.default_rng(seed * 7919 + 3)
+    in_shape = net.input_shape().as_tuple()
+    errors = 0
+    for _ in range(6):
+        images = rng.standard_normal((2,) + in_shape).astype(np.float32)
+        try:
+            fleet.run(images)
+        except FleetError:
+            errors += 1
+        clock.sleep(30.0)
+    clock.sleep(config.recovery_s)
+    final = rng.standard_normal((2,) + in_shape).astype(np.float32)
+    golden = fleet.golden.forward_batch(final).reshape(2, -1)
+    try:
+        bit_correct = bool(np.array_equal(
+            fleet.run(final, verify=True), golden))
+    except FleetError:
+        bit_correct = False
+    stats = fleet.stats()
+    return {
+        "bit_correct": bit_correct,
+        "errors": errors,
+        "healthy_slots": stats["healthy_slots"],
+        "quarantined": stats["quarantined"],
+        "actions": stats["actions"],
+    }
+
+
 def cmd_chaos(args) -> int:
     """Chaos-test the flow: seeded fault plans over the cloud/toolchain
-    boundaries, reporting survival / retry / degradation statistics."""
+    boundaries — and, unless ``--no-devices``, over the FPGA slots of a
+    post-build fleet exercise — reporting survival statistics."""
     import json
     import shutil
 
@@ -245,19 +297,26 @@ def cmd_chaos(args) -> int:
                             deployment=DeploymentOption.AWS_F1,
                             hints=model.hints)
         for seed in range(args.seeds):
-            plan = FaultPlan.random(seed)
+            include_devices = not args.no_devices
+            plan = FaultPlan.random(seed,
+                                    include_devices=include_devices)
             workdir = base / f"{model.network.name}-seed{seed}"
             if workdir.exists():
                 shutil.rmtree(workdir)
             flow = CondorFlow(workdir)
-            status, error = "ok", None
+            status, error, fleet = "ok", None, None
             try:
                 with inject_faults(plan):
                     result = flow.run(FlowInputs(model=model))
+                    if include_devices and result.agfi_id:
+                        fleet = _chaos_fleet_exercise(flow, result, seed)
                 if result.degraded:
                     status, error = "partial", result.degradation
             except CondorError as exc:
                 status, error = "error", f"{type(exc).__name__}: {exc}"
+            if fleet is not None and not fleet["bit_correct"]:
+                status = "error"
+                error = "fleet exercise outputs diverged from golden"
             stats = flow.boundary_stats
             runs.append({
                 "network": model.network.name,
@@ -265,6 +324,7 @@ def cmd_chaos(args) -> int:
                 "status": status,
                 "error": error,
                 "faults": plan.stats(),
+                "fleet": fleet,
                 "resilience": stats.to_dict() if stats else {},
             })
 
@@ -285,12 +345,21 @@ def cmd_chaos(args) -> int:
     else:
         from repro.util.tables import TextTable
         table = TextTable(["network", "seed", "status", "faults",
-                           "retries", "detail"])
+                           "retries", "fleet", "detail"])
         for r in runs:
+            fleet = r["fleet"]
+            if fleet is None:
+                fleet_note = "-"
+            elif fleet["bit_correct"]:
+                fleet_note = "ok" if not fleet["quarantined"] \
+                    else "degraded"
+            else:
+                fleet_note = "FAIL"
             table.add_row([
                 r["network"], r["seed"], r["status"],
                 r["faults"]["injected_total"],
                 sum(r["resilience"].get("retries", {}).values()),
+                fleet_note,
                 r["error"] or "",
             ])
         print(table.render())
@@ -300,6 +369,49 @@ def cmd_chaos(args) -> int:
               f" {summary['faults_injected']} faults injected,"
               f" {summary['retries']} retries")
     return 0 if len(survived) == len(runs) else 1
+
+
+def cmd_fleet_drill(args) -> int:
+    """Run the fleet survival drill and render the matrix."""
+    import json as _json
+
+    from repro.fleet import run_drill
+
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip()) \
+        if args.kinds else None
+    report = run_drill(seeds=tuple(range(args.seeds)), kinds=kinds)
+    if args.json_out:
+        path = Path(args.json_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps(report, indent=2))
+        print(f"report written to {path}", file=sys.stderr)
+    if args.format == "json":
+        print(_json.dumps(report, indent=2))
+    else:
+        from repro.util.tables import TextTable
+        table = TextTable(["kind", "seed", "status", "expected",
+                           "bit-correct", "faults", "recovery actions",
+                           "quarantined"])
+        for cell in report["cells"]:
+            table.add_row([
+                cell["kind"], cell["seed"], cell["status"],
+                cell["expected"],
+                "yes" if cell["bit_correct"] else "NO",
+                cell["injected_total"],
+                ",".join(cell["recovery_actions"]) or "absorbed",
+                ",".join(cell["quarantined"]) or "-",
+            ])
+        print(table.render())
+        print(f"\n{report['cells_total']} cell(s);"
+              f" recoverable kinds fully recovered:"
+              f" {report['survived_recoverable']};"
+              f" all as expected: {report['all_as_expected']}")
+    if args.fail_on == "recoverable":
+        ok = report["survived_recoverable"] and not report["any_failed"]
+        return 0 if ok else 1
+    if args.fail_on == "failed":
+        return 0 if not report["any_failed"] else 1
+    return 0
 
 
 def cmd_profile(args) -> int:
@@ -697,9 +809,38 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seeds", type=int, default=3, metavar="N",
                        help="fault plans per model (seeds 0..N-1,"
                             " default 3)")
+    chaos.add_argument("--no-devices", action="store_true",
+                       help="skip the device-level fault kinds and the"
+                            " post-build fleet exercise")
     chaos.add_argument("--format", choices=["text", "json"],
                        default="text")
     chaos.set_defaults(func=cmd_chaos)
+
+    fleet = sub.add_parser(
+        "fleet", help="health-managed execution over F1 FPGA slots:"
+                      " watchdogs, scrubbing, quarantine, failover")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    drill = fleet_sub.add_parser(
+        "drill", help="seeded survival matrix: device fault kind x"
+                      " recovery action x result correctness")
+    drill.add_argument("--seeds", type=int, default=2, metavar="N",
+                       help="drill every fault kind with seeds 0..N-1"
+                            " (default 2)")
+    drill.add_argument("--kinds", metavar="K1,K2",
+                       help="comma-separated fault kinds (default: all;"
+                            " seu-bitflip, kernel-hang, slow-device,"
+                            " slot-crash, instance-loss)")
+    drill.add_argument("--json-out", metavar="PATH",
+                       help="also write the full JSON report here")
+    drill.add_argument("--format", choices=["text", "json"],
+                       default="text")
+    drill.add_argument("--fail-on",
+                       choices=["recoverable", "failed", "none"],
+                       default="recoverable",
+                       help="exit 1 when a recoverable kind does not"
+                            " fully recover (default), only on hard"
+                            " failures, or never")
+    drill.set_defaults(func=cmd_fleet_drill)
 
     profile = sub.add_parser(
         "profile", help="run the flow and print a per-step timing"

@@ -142,9 +142,9 @@ class AWSSession:
             -> F1Instance:
         """``aws ec2 run-instances`` for an F1 type."""
         _API_CALLS.inc(verb="run-instances")
-        instance = F1Instance(
-            instance_type, self.afi,
-            instance_id=f"i-{len(self._instances):017x}")
+        # ids come from the process-wide launch sequence so instances
+        # from different sessions never alias each other
+        instance = F1Instance(instance_type, self.afi)
         self._instances.append(instance)
         _log.info("launched %s (%s)", instance.instance_id, instance_type)
         return instance

@@ -7,6 +7,8 @@ which the OpenCL runtime can open it like a local board.
 
 from __future__ import annotations
 
+import itertools
+import zlib
 from dataclasses import dataclass
 
 from repro.cloud.afi import AFIService, AFIState
@@ -25,6 +27,24 @@ F1_INSTANCE_TYPES: dict[str, int] = {
     "f1.16xlarge": 8,
 }
 
+#: Process-wide launch sequence: every instance gets a distinct id, so
+#: fleet membership and metric labels are unambiguous.  (``next`` on an
+#: ``itertools.count`` is atomic under the GIL.)
+_LAUNCH_SEQUENCE = itertools.count(0)
+
+
+def new_instance_id(instance_type: str) -> str:
+    """A deterministic, process-unique EC2-style instance id.
+
+    The id mixes the launch sequence number with a checksum of the
+    instance type, so runs that launch the same instances in the same
+    order get the same ids (seeded drills stay replayable) while two
+    live instances can never collide.
+    """
+    seq = next(_LAUNCH_SEQUENCE)
+    tag = zlib.crc32(f"{instance_type}:{seq}".encode())
+    return f"i-{seq:09x}{tag:08x}"
+
 
 @dataclass
 class FpgaSlot:
@@ -37,7 +57,7 @@ class F1Instance:
     """One running F1 instance."""
 
     def __init__(self, instance_type: str, afi_service: AFIService,
-                 instance_id: str = "i-0123456789abcdef0"):
+                 instance_id: str | None = None):
         try:
             slots = F1_INSTANCE_TYPES[instance_type]
         except KeyError:
@@ -45,7 +65,8 @@ class F1Instance:
                 f"unknown F1 instance type {instance_type!r}; known:"
                 f" {sorted(F1_INSTANCE_TYPES)}") from None
         self.instance_type = instance_type
-        self.instance_id = instance_id
+        self.instance_id = instance_id if instance_id is not None \
+            else new_instance_id(instance_type)
         self.afi_service = afi_service
         hw = device_for_board("aws-f1-xcvu9p")
         self.slots = [
@@ -53,6 +74,9 @@ class F1Instance:
                      device=SimDevice(f"xilinx_aws-vu9p-f1_slot{i}", hw))
             for i in range(slots)
         ]
+        for slot in self.slots:
+            slot.device.fault_boundary = \
+                f"device.{self.instance_id}.slot{slot.index}"
 
     def slot(self, index: int) -> FpgaSlot:
         if not 0 <= index < len(self.slots):
@@ -76,11 +100,21 @@ class F1Instance:
                   self.instance_id)
         return slot
 
-    def clear_slot(self, slot_index: int) -> None:
-        """``fpga-clear-local-image``."""
+    def clear_slot(self, slot_index: int) -> FpgaSlot:
+        """``fpga-clear-local-image``.
+
+        Clearing a slot that holds no image is an error (mirrors the
+        real CLI's "no loaded image" failure) — it usually means two
+        managers believe they own the same slot.
+        """
         slot = self.slot(slot_index)
+        if slot.agfi_id is None:
+            raise InstanceError(
+                f"slot {slot_index} of {self.instance_id} has no image"
+                " loaded; nothing to clear")
         slot.device.programmed = None
         slot.agfi_id = None
+        return slot
 
     def describe_slots(self) -> list[dict]:
         return [{"slot": s.index, "agfi": s.agfi_id,

@@ -186,6 +186,28 @@ class InstanceError(CloudError):
     """F1 instance / slot management failures."""
 
 
+class DeviceLostError(RuntimeAPIError):
+    """An FPGA card stopped responding (crashed, powered off, or its
+    whole instance was lost).  The device stays dead until it is
+    reprogrammed (an AFI re-load); the fleet layer treats this as a
+    slot failure and fails the in-flight work over to a healthy slot."""
+
+
+class WatchdogTimeoutError(RuntimeAPIError):
+    """A kernel invocation exceeded its watchdog deadline on the
+    virtual clock — a hung or pathologically slow device.  The fleet
+    layer kills the invocation, records a slot failure and retries the
+    work elsewhere."""
+
+
+class ScrubMismatchError(RuntimeAPIError):
+    """A scrub pass caught silent corruption on a slot: either the
+    loaded weight buffer's digest no longer matches the golden digest
+    recorded at AFI load (an SEU bit-flip), or a probe inference
+    diverged from the reference engine's golden result.  The triggering
+    submission's output is discarded and retried after repair."""
+
+
 # ---------------------------------------------------------------------------
 # Resilience (retry / circuit breaking / checkpointing)
 # ---------------------------------------------------------------------------
@@ -253,3 +275,14 @@ class FlowError(CondorError):
 
 class DSEError(CondorError):
     """Design-space exploration failed (e.g. no feasible configuration)."""
+
+
+# ---------------------------------------------------------------------------
+# Fleet (health-managed multi-device execution)
+# ---------------------------------------------------------------------------
+
+
+class FleetError(CondorError):
+    """The fleet could not complete a submission: no healthy slot was
+    available, or the failover budget was exhausted.  Degradation, not
+    a hang — the caller always gets an answer or this error."""

@@ -1,0 +1,425 @@
+"""The fleet manager: watchdogs, scrubbing, quarantine and failover.
+
+:class:`FleetManager` owns every FPGA slot of a set of F1 instances
+loaded with the same AFI and the same weights, and exposes one verb —
+:meth:`FleetManager.run` — that executes a batch on *some* healthy slot
+and returns bit-correct outputs or raises
+:class:`~repro.errors.FleetError`.  Between those two outcomes sits the
+health machinery:
+
+* **watchdog** — every kernel invocation is deadlined on the fleet's
+  virtual clock; a hung or pathologically slow device trips
+  :class:`~repro.errors.WatchdogTimeoutError` instead of wedging the
+  caller;
+* **scrubbing** — every ``scrub_every``-th submission per slot (and
+  every ``verify=True`` submission) checks the slot's loaded weight
+  buffer digest against the golden digest recorded at attach, and the
+  submission's outputs against the reference engine's golden results.
+  Silent SEU corruption is repaired on the spot (AFI re-load + weight
+  rewrite) and the tainted submission is retried elsewhere;
+* **quarantine** — each slot's failures feed a
+  :class:`~repro.resilience.breaker.CircuitBreaker` registered in the
+  current realm (boundary ``fleet.<label>``), so fleet health shows up
+  in ``breaker_states()`` snapshots, manifests and ``condor obs diff``.
+  An open breaker removes the slot from rotation; once its recovery
+  window elapses the manager re-loads the AFI, rewrites the weights and
+  re-probes the slot against the golden engine before trusting it again;
+* **failover** — a failed invocation moves to the next healthy slot
+  (round-robin), up to ``max_attempts``; a fleet with no healthy slot
+  degrades to :class:`~repro.errors.FleetError` rather than hanging.
+
+Nothing here sleeps on the wall clock, so drills over hours of modeled
+weather run in milliseconds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import (
+    DeviceLostError,
+    FleetError,
+    ScrubMismatchError,
+    WatchdogTimeoutError,
+)
+from repro.frontend.condor_format import model_from_json
+from repro.nn.engine import ReferenceEngine
+from repro.obs import REGISTRY
+from repro.resilience.boundary import breaker_for
+from repro.resilience.breaker import HALF_OPEN, OPEN
+from repro.resilience.clock import DEFAULT_CLOCK, VirtualClock
+from repro.runtime.opencl import (
+    Buffer,
+    CommandQueue,
+    Context,
+    Kernel,
+    Program,
+    pack_weights,
+)
+from repro.toolchain.xclbin import read_xclbin
+from repro.util.logging import get_logger
+from repro.util.sync import new_lock
+
+from repro.fleet.health import ManagedSlot, SlotState
+
+__all__ = ["FleetConfig", "FleetManager"]
+
+_log = get_logger("fleet.manager")
+
+_SUBMISSIONS = REGISTRY.counter(
+    "condor_fleet_submissions_total",
+    "Batches submitted to the fleet, by final status")
+_FAILOVERS = REGISTRY.counter(
+    "condor_fleet_failovers_total",
+    "In-flight work moved off a failing slot, by failure reason")
+_WATCHDOG_TRIPS = REGISTRY.counter(
+    "condor_fleet_watchdog_trips_total",
+    "Kernel invocations killed by the watchdog deadline")
+_SCRUB_CATCHES = REGISTRY.counter(
+    "condor_fleet_scrub_catches_total",
+    "Corruption caught by scrubbing, by check (digest|golden)")
+_QUARANTINES = REGISTRY.counter(
+    "condor_fleet_quarantines_total",
+    "Slots quarantined (circuit opened), by slot label")
+_RELOADS = REGISTRY.counter(
+    "condor_fleet_reloads_total",
+    "AFI re-loads issued for repair or recovery")
+_HEALTHY_SLOTS = REGISTRY.gauge(
+    "condor_fleet_healthy_slots_count",
+    "Slots currently not quarantined")
+
+#: Failure types that trigger failover (everything else propagates —
+#: a shape error is the caller's bug, not slot weather).
+FAILOVER_ERRORS = (DeviceLostError, WatchdogTimeoutError,
+                   ScrubMismatchError)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet policy knobs (all times in virtual seconds)."""
+
+    #: Kernel invocation deadline; hung devices trip this.
+    watchdog_s: float = 60.0
+    #: Scrub every Nth submission per slot (0 disables periodic scrubs;
+    #: ``verify=True`` submissions are always scrubbed).
+    scrub_every: int = 4
+    #: Consecutive slot failures before quarantine.
+    failure_threshold: int = 2
+    #: Quarantine duration before a recovery probe is attempted.
+    recovery_s: float = 240.0
+    #: Failover budget per submission.
+    max_attempts: int = 12
+    #: Largest batch a submission may carry (sizes the device buffers).
+    capacity: int = 8
+    #: Seed for the golden probe input used by recovery checks.
+    probe_seed: int = 7
+
+
+class FleetManager:
+    """Health-managed execution over the slots of ``instances``.
+
+    All instances are loaded with ``agfi_id`` and the packed ``weights``
+    at attach time; attach performs no kernel launches, so building a
+    fleet under an armed fault plan is deterministic and fault-free.
+    """
+
+    def __init__(self, instances, agfi_id: str, weights, *,
+                 config: FleetConfig | None = None,
+                 clock: VirtualClock | None = None):
+        if not instances:
+            raise FleetError("a fleet needs at least one instance")
+        self.instances = list(instances)
+        self.agfi_id = agfi_id
+        self.config = config if config is not None else FleetConfig()
+        self.clock = clock if clock is not None else DEFAULT_CLOCK
+
+        record = self.instances[0].afi_service.resolve_agfi(agfi_id)
+        if record.xclbin_bytes is None:
+            raise FleetError(
+                f"AFI {agfi_id} is not available; wait for it first")
+        self._xclbin = read_xclbin(record.xclbin_bytes)
+        self.net = model_from_json(self._xclbin.network_json).network
+        self.golden = ReferenceEngine(self.net, weights)
+        self._packed = pack_weights(self.net, weights)
+        self._golden_digest = hashlib.sha256(
+            self._packed.tobytes()).hexdigest()
+        self._in_size = int(np.prod(self.net.input_shape().as_tuple()))
+        self._out_size = self.net.output_shape().size
+        rng = np.random.default_rng(self.config.probe_seed)
+        self._probe_in = rng.standard_normal(
+            (1,) + self.net.input_shape().as_tuple()).astype(np.float32)
+        self._probe_out = self.golden.forward_batch(self._probe_in) \
+            .reshape(1, self._out_size)
+
+        #: Guards the round-robin cursor, slot busy flags and counters,
+        #: and the action tally.  Never held across device work or
+        #: metric increments.
+        self._lock = new_lock("fleet.manager.FleetManager")
+        self._cursor = 0
+        self._actions: Counter[str] = Counter()
+        self.slots: list[ManagedSlot] = []
+        for j, instance in enumerate(self.instances):
+            for slot in instance.slots:
+                self.slots.append(
+                    self._attach(f"i{j}.slot{slot.index}", instance,
+                                 slot))
+        self._update_health_gauge()
+        _log.info("fleet attached: %d slot(s) across %d instance(s)",
+                  len(self.slots), len(self.instances))
+
+    # -- attach / repair ----------------------------------------------------
+
+    def _attach(self, label: str, instance, slot) -> ManagedSlot:
+        """Load the AFI and build the runtime plumbing for one slot."""
+        instance.load_afi(slot.index, self.agfi_id)
+        context = Context(slot.device)
+        program = Program(context, self._xclbin)
+        kernel = Kernel(program, program.kernel_names()[0])
+        capacity = self.config.capacity
+        in_buf = Buffer(context, Buffer.READ_ONLY,
+                        capacity * self._in_size * 4)
+        out_buf = Buffer(context, Buffer.WRITE_ONLY,
+                         capacity * self._out_size * 4)
+        w_buf = Buffer(context, Buffer.READ_ONLY, self._packed.size * 4)
+        queue = CommandQueue(context, emulation="fast", clock=self.clock)
+        queue.enqueue_write_buffer(w_buf, self._packed)
+        kernel.set_arg(0, in_buf)
+        kernel.set_arg(1, out_buf)
+        kernel.set_arg(2, w_buf)
+        kernel.set_arg(3, 1)
+        breaker = breaker_for(
+            f"fleet.{label}", clock=self.clock,
+            failure_threshold=self.config.failure_threshold,
+            recovery_s=self.config.recovery_s)
+        return ManagedSlot(label=label, instance=instance, slot=slot,
+                           breaker=breaker, context=context,
+                           kernel=kernel, queue=queue, in_buf=in_buf,
+                           out_buf=out_buf, w_buf=w_buf)
+
+    def _repair(self, managed: ManagedSlot) -> None:
+        """Re-load the AFI and rewrite golden weights on a held slot."""
+        managed.instance.load_afi(managed.slot.index, self.agfi_id)
+        managed.queue.enqueue_write_buffer(managed.w_buf, self._packed)
+        _RELOADS.inc()
+        with self._lock:
+            managed.reloads += 1
+            self._actions["reload"] += 1
+        _log.info("slot %s: AFI re-loaded, weights rewritten",
+                  managed.label)
+
+    # -- the public verb ----------------------------------------------------
+
+    def run(self, images, *, verify: bool = False) -> np.ndarray:
+        """Execute one batch on a healthy slot; outputs are
+        ``(batch, output_size)`` float32, bit-identical to the golden
+        reference engine.
+
+        ``verify=True`` forces a scrub on the serving slot before the
+        outputs are accepted.  Raises :class:`FleetError` when the
+        failover budget is exhausted or no healthy slot remains.
+        """
+        batch = np.asarray(images, dtype=np.float32)
+        batch = batch.reshape((batch.shape[0],) +
+                              self.net.input_shape().as_tuple())
+        if not 1 <= batch.shape[0] <= self.config.capacity:
+            raise FleetError(
+                f"batch of {batch.shape[0]} exceeds fleet capacity"
+                f" {self.config.capacity}")
+        failures = 0
+        last_error: Exception | None = None
+        while failures < self.config.max_attempts:
+            self._heal()
+            managed = self._acquire()
+            if managed is None:
+                break
+            try:
+                outputs = self._invoke(managed, batch, verify=verify)
+            except FAILOVER_ERRORS as exc:
+                last_error = exc
+                failures += 1
+                self._record_failure(managed, exc)
+                _FAILOVERS.inc(reason=type(exc).__name__)
+                with self._lock:
+                    self._actions["failover"] += 1
+                continue
+            finally:
+                self._release(managed)
+            managed.breaker.record_success()
+            self._update_health_gauge()
+            _SUBMISSIONS.inc(status="ok")
+            with self._lock:
+                self._actions["submission"] += 1
+            return outputs
+        _SUBMISSIONS.inc(status="failed")
+        detail = f" (last error: {last_error})" if last_error else ""
+        raise FleetError(
+            f"submission failed after {failures} attempt(s);"
+            f" {self.healthy_slot_count()} healthy slot(s)"
+            f" remain{detail}") from last_error
+
+    # -- slot selection -----------------------------------------------------
+
+    def _acquire(self) -> ManagedSlot | None:
+        """Claim the next non-quarantined idle slot, round-robin."""
+        with self._lock:
+            count = len(self.slots)
+            for offset in range(count):
+                index = (self._cursor + offset) % count
+                managed = self.slots[index]
+                if managed.busy or managed.breaker.state == OPEN:
+                    continue
+                managed.busy = True
+                self._cursor = (index + 1) % count
+                return managed
+        return None
+
+    def _release(self, managed: ManagedSlot) -> None:
+        with self._lock:
+            managed.busy = False
+
+    def _record_failure(self, managed: ManagedSlot,
+                        exc: Exception) -> None:
+        opened_before = managed.breaker.opened_count
+        managed.breaker.record_failure()
+        quarantined = managed.breaker.opened_count > opened_before
+        if quarantined:
+            _QUARANTINES.inc(slot=managed.label)
+            _log.warning("slot %s quarantined: %s", managed.label, exc)
+        else:
+            _log.info("slot %s failure (%s): %s", managed.label,
+                      managed.breaker.state, exc)
+        with self._lock:
+            managed.failures += 1
+            if quarantined:
+                self._actions["quarantine"] += 1
+        self._update_health_gauge()
+
+    # -- recovery -----------------------------------------------------------
+
+    def _heal(self) -> None:
+        """Probe every quarantined slot whose recovery window elapsed."""
+        for managed in self.slots:
+            with self._lock:
+                if managed.busy or managed.breaker.state != HALF_OPEN:
+                    continue
+                managed.busy = True
+            try:
+                self._recover(managed)
+            finally:
+                self._release(managed)
+
+    def _recover(self, managed: ManagedSlot) -> None:
+        """Half-open recovery probe: re-load, rewrite, verify golden."""
+        managed.breaker.allow()  # materialize the half-open probe
+        with self._lock:
+            self._actions["recovery"] += 1
+        try:
+            self._repair(managed)
+            self._probe(managed)
+        except FAILOVER_ERRORS as exc:
+            self._record_failure(managed, exc)
+            return
+        managed.breaker.record_success()
+        self._update_health_gauge()
+        _log.info("slot %s recovered", managed.label)
+
+    def _probe(self, managed: ManagedSlot) -> None:
+        """Run the golden probe batch; raises on any divergence."""
+        outputs = self._execute(managed, self._probe_in)
+        if not np.array_equal(outputs, self._probe_out):
+            raise ScrubMismatchError(
+                f"slot {managed.label}: probe outputs diverge from the"
+                " golden reference")
+
+    # -- execution ----------------------------------------------------------
+
+    def _execute(self, managed: ManagedSlot,
+                 batch: np.ndarray) -> np.ndarray:
+        """One watchdogged kernel invocation on a held slot."""
+        count = batch.shape[0]
+        managed.queue.enqueue_write_buffer(managed.in_buf, batch)
+        managed.kernel.set_arg(3, count)
+        start = self.clock.now
+        event = managed.queue.enqueue_task(managed.kernel)
+        elapsed = (self.clock.now - start) + event.device_seconds
+        if elapsed > self.config.watchdog_s:
+            _WATCHDOG_TRIPS.inc()
+            with self._lock:
+                self._actions["watchdog_trip"] += 1
+            raise WatchdogTimeoutError(
+                f"slot {managed.label}: invocation took {elapsed:.1f}s"
+                f" (virtual), watchdog deadline is"
+                f" {self.config.watchdog_s:.1f}s")
+        return managed.queue.enqueue_read_buffer(
+            managed.out_buf, count * self._out_size) \
+            .reshape(count, self._out_size)
+
+    def _invoke(self, managed: ManagedSlot, batch: np.ndarray, *,
+                verify: bool) -> np.ndarray:
+        with self._lock:
+            managed.submissions += 1
+            serial = managed.submissions
+        outputs = self._execute(managed, batch)
+        every = self.config.scrub_every
+        if verify or (every > 0 and serial % every == 0):
+            self._scrub(managed, batch, outputs)
+        return outputs
+
+    def _scrub(self, managed: ManagedSlot, batch: np.ndarray,
+               outputs: np.ndarray) -> None:
+        """Spot-check a held slot: weight digest + golden outputs.
+
+        A mismatch repairs the slot immediately (re-load + rewrite) and
+        raises :class:`ScrubMismatchError` so the tainted submission is
+        retried; the repair means the slot is trustworthy again as soon
+        as its breaker lets it back into rotation.
+        """
+        digest = hashlib.sha256(
+            managed.w_buf.data[:self._packed.size].tobytes()).hexdigest()
+        if digest != self._golden_digest:
+            _SCRUB_CATCHES.inc(check="digest")
+            with self._lock:
+                self._actions["scrub_catch"] += 1
+            self._repair(managed)
+            raise ScrubMismatchError(
+                f"slot {managed.label}: weight buffer digest mismatch"
+                " (SEU corruption); slot repaired")
+        golden = self.golden.forward_batch(batch) \
+            .reshape(outputs.shape)
+        if not np.array_equal(golden, outputs):
+            _SCRUB_CATCHES.inc(check="golden")
+            with self._lock:
+                self._actions["scrub_catch"] += 1
+            self._repair(managed)
+            raise ScrubMismatchError(
+                f"slot {managed.label}: outputs diverge from the golden"
+                " reference; slot repaired")
+
+    # -- introspection ------------------------------------------------------
+
+    def healthy_slot_count(self) -> int:
+        return sum(1 for s in self.slots
+                   if s.breaker.state != OPEN)
+
+    def _update_health_gauge(self) -> None:
+        _HEALTHY_SLOTS.set(self.healthy_slot_count())
+
+    def health(self) -> dict[str, SlotState]:
+        return {s.label: s.health for s in self.slots}
+
+    def stats(self) -> dict:
+        """Deterministic snapshot for reports and manifests."""
+        with self._lock:
+            actions = dict(sorted(self._actions.items()))
+        return {
+            "slots": {s.label: s.snapshot() for s in self.slots},
+            "actions": actions,
+            "healthy_slots": self.healthy_slot_count(),
+            "quarantined": sorted(
+                s.label for s in self.slots
+                if s.health is SlotState.QUARANTINED),
+        }

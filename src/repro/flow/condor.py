@@ -443,9 +443,11 @@ class CondorFlow:
         stats = self.boundary_stats
         if stats is not None and (stats.calls or stats.any_activity):
             snapshots["resilience"] = stats.to_dict()
-            breakers = breaker_states()
-            if breakers:
-                snapshots["resilience"]["breakers"] = breakers
+        # the breaker realm covers more than boundary calls (fleet slot
+        # health lands here too), so snapshot it whenever it is non-empty
+        breakers = breaker_states()
+        if breakers:
+            snapshots.setdefault("resilience", {})["breakers"] = breakers
         if self.sampler is not None:
             snapshots["timeseries"] = {
                 "path": (self._timeseries_path.name

@@ -113,6 +113,10 @@ def span_report(manifest: dict[str, Any]) -> list[dict[str, Any]]:
 # -- manifest diff ------------------------------------------------------------
 
 
+#: Breaker states ordered by badness (for the ``breaker`` finding kind).
+_BREAKER_RANK = {"closed": 0, "half-open": 1, "open": 2}
+
+
 def _metric_scalars(metrics: dict[str, Any]) -> dict[str, float]:
     """Flatten a manifest's metrics snapshot to one number per series
     (mirrors ``MetricsRegistry.scalars`` for already-written JSON)."""
@@ -141,6 +145,10 @@ def diff_manifests(baseline: dict[str, Any], current: dict[str, Any], *,
     * ``metric``: a counter-style scalar that grew by more than
       ``metric_threshold`` (only for baseline values > 0);
     * ``rss``: peak RSS grew by more than ``metric_threshold``;
+    * ``breaker``: a circuit breaker in the resilience snapshot is in a
+      worse state than the baseline, or tripped more often — this is
+      how fleet-health regressions (``fleet.*`` slot breakers opening)
+      surface in a diff;
     * ``status``: the run stopped succeeding.
 
     Returns findings sorted worst-ratio first; empty list == clean.
@@ -183,6 +191,28 @@ def diff_manifests(baseline: dict[str, Any], current: dict[str, Any], *,
             findings.append({"kind": "rss", "name": "peak_rss_bytes",
                              "measure": "bytes", "before": base_rss,
                              "after": cur_rss, "ratio": ratio})
+
+    base_breakers = (baseline.get("resilience") or {}) \
+        .get("breakers") or {}
+    cur_breakers = (current.get("resilience") or {}) \
+        .get("breakers") or {}
+    for name, cur_b in sorted(cur_breakers.items()):
+        base_b = base_breakers.get(name) or {}
+        before_state = base_b.get("state", "closed")
+        after_state = cur_b.get("state", "closed")
+        before_rank = _BREAKER_RANK.get(before_state, 0)
+        after_rank = _BREAKER_RANK.get(after_state, 0)
+        before_opened = base_b.get("opened_count", 0)
+        after_opened = cur_b.get("opened_count", 0)
+        if after_rank <= before_rank and after_opened <= before_opened:
+            continue
+        ratio = math.inf if after_rank > before_rank \
+            else (after_opened + 1.0) / (before_opened + 1.0)
+        findings.append({
+            "kind": "breaker", "name": name, "measure": "state",
+            "before": f"{before_state} (opened {before_opened}x)",
+            "after": f"{after_state} (opened {after_opened}x)",
+            "ratio": ratio})
 
     base_status = (baseline.get("run") or {}).get("status")
     cur_status = (current.get("run") or {}).get("status")
@@ -262,6 +292,10 @@ def format_diff(findings: list[dict[str, Any]]) -> str:
     for f in findings:
         if f["kind"] == "status":
             lines.append(f"[status ] run.status: {f['before']}"
+                         f" -> {f['after']}")
+            continue
+        if f["kind"] == "breaker":
+            lines.append(f"[breaker] {f['name']}: {f['before']}"
                          f" -> {f['after']}")
             continue
         lines.append(

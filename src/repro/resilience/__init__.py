@@ -42,6 +42,8 @@ from repro.resilience.clock import DEFAULT_CLOCK, VirtualClock
 from repro.resilience.faults import (
     ALL_BOUNDARIES,
     CLOUD_BOUNDARIES,
+    DEVICE_FAULT_KINDS,
+    DEVICE_PATTERN,
     FaultKind,
     FaultPlan,
     FaultSpec,
@@ -58,6 +60,8 @@ __all__ = [
     "CircuitBreaker",
     "DEFAULT_CLOCK",
     "DEFAULT_POLICY",
+    "DEVICE_FAULT_KINDS",
+    "DEVICE_PATTERN",
     "FaultKind",
     "FaultPlan",
     "FaultSpec",

@@ -21,6 +21,25 @@ infrastructure outage would:
     (S3 upload) for ``times`` invocations — caught by the upload
     integrity check and survivable via retry.
 
+A second family of *device-level* kinds fires at the run-path
+boundaries (``device.<instance>.slot<k>``, the simulated FPGA cards in
+:mod:`repro.runtime.opencl`) instead of the build-path ones:
+
+``seu-bitflip``
+    flips bits in the loaded weight buffer of a programmed slot —
+    *silent* corruption, caught only by the fleet's scrubbing;
+``slot-crash``
+    kills the card mid-invocation (``DeviceLostError``); the device
+    stays dead until an AFI re-load reprograms it;
+``kernel-hang``
+    the kernel never returns — modeled as the invocation consuming
+    ``delay_s`` of virtual time so the fleet watchdog trips;
+``slow-device``
+    like a hang but survivable latency weather (smaller ``delay_s``).
+
+``permanent`` at a device boundary means a dead card every attempt —
+re-loads do not revive it (whole-instance loss).
+
 Everything is driven by a seeded RNG and per-spec counters, so a plan
 with a fixed seed replays the exact same fault sequence.  A plan is
 *stateful*: build a fresh one per run.
@@ -41,6 +60,7 @@ from dataclasses import dataclass, field
 from repro.errors import (
     AFIError,
     CondorError,
+    DeviceLostError,
     HLSError,
     LinkError,
     PackagingError,
@@ -54,6 +74,8 @@ from repro.util.logging import get_logger
 __all__ = [
     "ALL_BOUNDARIES",
     "CLOUD_BOUNDARIES",
+    "DEVICE_FAULT_KINDS",
+    "DEVICE_PATTERN",
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
@@ -87,6 +109,25 @@ class FaultKind(enum.Enum):
     PERMANENT = "permanent"
     SLOW = "slow"
     CORRUPT = "corrupt-payload"
+    # device-level kinds (fire at device.* boundaries only)
+    BITFLIP = "seu-bitflip"
+    SLOT_CRASH = "slot-crash"
+    KERNEL_HANG = "kernel-hang"
+    SLOW_DEVICE = "slow-device"
+
+
+#: Kinds that fire at the run-path ``device.*`` boundaries (plus
+#: PERMANENT, which means a dead card there); :meth:`FaultPlan.on_attempt`
+#: ignores these, :meth:`FaultPlan.on_device_attempt` ignores the rest.
+DEVICE_FAULT_KINDS: frozenset[FaultKind] = frozenset({
+    FaultKind.BITFLIP,
+    FaultKind.SLOT_CRASH,
+    FaultKind.KERNEL_HANG,
+    FaultKind.SLOW_DEVICE,
+})
+
+#: The fnmatch pattern covering every simulated FPGA slot.
+DEVICE_PATTERN = "device.*"
 
 
 @dataclass
@@ -127,7 +168,8 @@ class FaultPlan:
     def on_attempt(self, boundary: str, clock: VirtualClock) -> None:
         """Fire SLOW / TRANSIENT / PERMANENT faults for one attempt."""
         for index, spec in enumerate(self.specs):
-            if not spec.matches(boundary):
+            if spec.kind in DEVICE_FAULT_KINDS or \
+                    not spec.matches(boundary):
                 continue
             if spec.kind is FaultKind.SLOW and self._remaining[index] > 0:
                 self._remaining[index] -= 1
@@ -146,6 +188,75 @@ class FaultPlan:
                 raise exc_type(
                     spec.message or
                     f"injected permanent fault at {boundary}")
+
+    def on_device_attempt(self, boundary: str, clock: VirtualClock, *,
+                          device=None) -> None:
+        """Fire device-level faults for one kernel invocation.
+
+        ``boundary`` is the slot's fault boundary
+        (``device.<instance>.slot<k>``); ``device`` is the
+        :class:`~repro.runtime.opencl.SimDevice` being launched on, so
+        crash faults can mark the card dead.  A ``PERMANENT`` spec at a
+        device boundary means the card dies on *every* attempt — AFI
+        re-loads revive it only until the next launch.
+        """
+        for index, spec in enumerate(self.specs):
+            if not spec.matches(boundary):
+                continue
+            if spec.kind is FaultKind.SLOW_DEVICE and \
+                    self._remaining[index] > 0:
+                self._remaining[index] -= 1
+                self._record(boundary, spec)
+                clock.sleep(spec.delay_s)
+            elif spec.kind is FaultKind.KERNEL_HANG and \
+                    self._remaining[index] > 0:
+                # a hung kernel never returns: the invocation soaks up
+                # delay_s of virtual time, which the fleet watchdog
+                # deadline then converts into a WatchdogTimeoutError
+                self._remaining[index] -= 1
+                self._record(boundary, spec)
+                clock.sleep(spec.delay_s)
+            elif spec.kind is FaultKind.SLOT_CRASH and \
+                    self._remaining[index] > 0:
+                self._remaining[index] -= 1
+                self._record(boundary, spec)
+                if device is not None:
+                    device.alive = False
+                raise DeviceLostError(
+                    spec.message or
+                    f"injected slot crash at {boundary}")
+            elif spec.kind is FaultKind.PERMANENT:
+                self._record(boundary, spec)
+                if device is not None:
+                    device.alive = False
+                raise DeviceLostError(
+                    spec.message or
+                    f"injected permanent device loss at {boundary}")
+
+    def corrupt_device_weights(self, boundary: str, flat) -> int:
+        """Apply any armed SEU fault to a loaded weight buffer in place.
+
+        ``flat`` is the slot's float32 weight array (a
+        :class:`~repro.runtime.opencl.Buffer` backing store); random
+        bits of random words are flipped through a ``uint32`` view.
+        Returns the number of words corrupted — silently: no error is
+        raised and no health signal fires, exactly the failure mode the
+        fleet's scrubbing exists to catch.
+        """
+        flipped = 0
+        for index, spec in enumerate(self.specs):
+            if spec.kind is not FaultKind.BITFLIP or \
+                    not spec.matches(boundary) or \
+                    self._remaining[index] <= 0 or flat.size == 0:
+                continue
+            self._remaining[index] -= 1
+            self._record(boundary, spec)
+            words = flat.view("uint32")
+            count = min(max(1, words.size // 1024), 8)
+            for pos in self._rng.sample(range(words.size), count):
+                words[pos] ^= 1 << self._rng.randrange(31)
+            flipped += count
+        return flipped
 
     def corrupt(self, boundary: str, payload: bytes) -> bytes:
         """Apply any armed CORRUPT fault to a payload in transit."""
@@ -195,13 +306,18 @@ class FaultPlan:
     def random(cls, seed: int,
                boundaries: tuple[str, ...] = ALL_BOUNDARIES, *,
                max_transient: int = 2,
-               allow_permanent: bool = True) -> "FaultPlan":
+               allow_permanent: bool = True,
+               include_devices: bool = False) -> "FaultPlan":
         """A seeded chaos plan (what ``condor chaos`` runs).
 
         Transient/slow/corrupt faults land anywhere; permanent faults
         are confined to cloud boundaries, where the flow degrades to a
         partial run instead of dying.  ``max_transient`` stays below the
         default retry budget so transient weather remains survivable.
+        ``include_devices`` adds run-path weather over the FPGA slots
+        (``device.*``): recoverable SEU bit-flips, crashes, hangs and
+        slowdowns — never a permanent device loss, so a healthy fleet
+        must always fully recover.
         """
         rng = random.Random(
             seed * 0x1_0000_0000 + zlib.crc32(b"fault-plan"))
@@ -222,6 +338,21 @@ class FaultPlan:
         if allow_permanent and cloud and rng.random() < 0.3:
             specs.append(FaultSpec(rng.choice(cloud),
                                    FaultKind.PERMANENT))
+        if include_devices:
+            if rng.random() < 0.5:
+                specs.append(FaultSpec(DEVICE_PATTERN, FaultKind.BITFLIP))
+            if rng.random() < 0.35:
+                specs.append(FaultSpec(
+                    DEVICE_PATTERN, FaultKind.KERNEL_HANG,
+                    delay_s=round(rng.uniform(300.0, 900.0), 1)))
+            if rng.random() < 0.5:
+                specs.append(FaultSpec(
+                    DEVICE_PATTERN, FaultKind.SLOW_DEVICE,
+                    times=rng.randint(1, 2),
+                    delay_s=round(rng.uniform(15.0, 50.0), 1)))
+            if rng.random() < 0.35:
+                specs.append(FaultSpec(DEVICE_PATTERN,
+                                       FaultKind.SLOT_CRASH))
         return cls(specs, seed=seed)
 
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import RuntimeAPIError
+from repro.errors import DeviceLostError, RuntimeAPIError
 from repro.frontend.condor_format import model_from_json
 from repro.frontend.weights import WeightStore
 from repro.hw.accelerator import build_accelerator
@@ -41,12 +41,20 @@ class SimDevice:
         self.name = name
         self.hw = hw
         self.programmed: Xclbin | None = None
+        #: False once the card crashed or its instance was lost; kernel
+        #: launches raise :class:`DeviceLostError` until reprogrammed.
+        self.alive = True
+        #: The fault boundary device-level chaos specs match against
+        #: (F1 slots override this with ``device.<instance>.slot<k>``).
+        self.fault_boundary = f"device.{name}"
 
     def program(self, xclbin: Xclbin) -> None:
         if xclbin.part != self.hw.part:
             raise RuntimeAPIError(
                 f"xclbin targets {xclbin.part}, device is {self.hw.part}")
         self.programmed = xclbin
+        # reprogramming (an AFI re-load) revives a crashed card
+        self.alive = True
 
     def __repr__(self) -> str:
         return f"SimDevice({self.name!r})"
@@ -92,9 +100,10 @@ class Buffer:
         self.flags = flags
         self.size_bytes = size_bytes
         self.data = np.zeros(size_bytes // 4, dtype=np.float32)
-        #: bumped on every host write; lets the kernel reuse the engine
-        #: (and its compiled execution plans) built from a past read of
-        #: this buffer as long as the contents are unchanged
+        #: bumped on every content change (host writes, and injected
+        #: SEU corruption); lets the kernel reuse the engine (and its
+        #: compiled execution plans) built from a past read of this
+        #: buffer as long as the contents are unchanged
         self.generation = 0
         context._buffers.append(self)
 
@@ -154,13 +163,22 @@ class Event:
 
 
 class CommandQueue:
-    """In-order command queue with modeled device timing."""
+    """In-order command queue with modeled device timing.
 
-    def __init__(self, context: Context, *, emulation: str = "fast"):
+    ``clock`` opts the queue into device-level fault injection: when an
+    armed :class:`~repro.resilience.faults.FaultPlan` carries device
+    faults, hangs/slowdowns advance this virtual clock and crashes kill
+    the card.  Queues without a clock (benches, plain runtime use) are
+    never injected — only the fleet layer passes one.
+    """
+
+    def __init__(self, context: Context, *, emulation: str = "fast",
+                 clock=None):
         if emulation not in ("fast", "event"):
             raise RuntimeAPIError(f"unknown emulation mode {emulation!r}")
         self.context = context
         self.emulation = emulation
+        self.clock = clock
         self.events: list[Event] = []
         self._device_time_s = 0.0
 
@@ -205,6 +223,21 @@ class CommandQueue:
             raise RuntimeAPIError("kernel args 0..2 must be Buffers")
         if batch < 1:
             raise RuntimeAPIError("batch must be >= 1")
+
+        device = self.context.device
+        if not device.alive:
+            raise DeviceLostError(
+                f"device {device.name} is not available (crashed or"
+                " lost); reprogram it to recover")
+        if self.clock is not None:
+            from repro.resilience.faults import active_plan
+            plan = active_plan()
+            if plan is not None:
+                if plan.corrupt_device_weights(device.fault_boundary,
+                                               w_buf.data):
+                    w_buf.generation += 1
+                plan.on_device_attempt(device.fault_boundary, self.clock,
+                                       device=device)
 
         program = kernel.program
         acc = program.accelerator

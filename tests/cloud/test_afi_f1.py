@@ -149,6 +149,71 @@ class TestF1Instances:
         instance.clear_slot(0)
         assert instance.describe_slots()[0]["programmed"] is False
 
+    def test_load_afi_unknown_slot_index(self, service):
+        record = service.create_fpga_image(
+            name="tc1", input_storage_location="s3://bkt/dcp/tc1.xclbin")
+        service.wait_until_available(record.afi_id)
+        instance = F1Instance("f1.2xlarge", service)
+        with pytest.raises(InstanceError, match="no slot 3"):
+            instance.load_afi(3, record.agfi_id)
+
+    def test_load_afi_unknown_agfi(self, service):
+        instance = F1Instance("f1.2xlarge", service)
+        with pytest.raises(AFIError, match="unknown AGFI"):
+            instance.load_afi(0, "agfi-doesnotexist")
+
+    def test_load_afi_failed_image_cannot_load(self, service):
+        service.s3.put_object("bkt", "bad", b"garbage")
+        record = service.create_fpga_image(
+            name="bad", input_storage_location="s3://bkt/bad")
+        for _ in range(PENDING_TICKS):
+            service.tick()
+        assert record.state is AFIState.FAILED
+        instance = F1Instance("f1.2xlarge", service)
+        with pytest.raises(InstanceError, match="failed"):
+            instance.load_afi(0, record.agfi_id)
+
+    def test_double_clear_is_an_error(self, service):
+        record = service.create_fpga_image(
+            name="tc1", input_storage_location="s3://bkt/dcp/tc1.xclbin")
+        service.wait_until_available(record.afi_id)
+        instance = F1Instance("f1.2xlarge", service)
+        instance.load_afi(0, record.agfi_id)
+        instance.clear_slot(0)
+        with pytest.raises(InstanceError, match="no image loaded"):
+            instance.clear_slot(0)
+
+    def test_clear_never_loaded_slot_is_an_error(self, service):
+        instance = F1Instance("f1.2xlarge", service)
+        with pytest.raises(InstanceError, match="no image loaded"):
+            instance.clear_slot(0)
+
+    def test_clear_slot_unknown_index(self, service):
+        instance = F1Instance("f1.2xlarge", service)
+        with pytest.raises(InstanceError, match="no slot 5"):
+            instance.clear_slot(5)
+
+    def test_instance_ids_are_unique(self, service):
+        ids = {F1Instance("f1.2xlarge", service).instance_id
+               for _ in range(16)}
+        assert len(ids) == 16
+        for instance_id in ids:
+            assert instance_id.startswith("i-")
+            assert len(instance_id) == len("i-") + 17
+
+    def test_explicit_instance_id_is_kept(self, service):
+        instance = F1Instance("f1.2xlarge", service,
+                              instance_id="i-deadbeef")
+        assert instance.instance_id == "i-deadbeef"
+
+    def test_slot_fault_boundaries_name_the_instance(self, service):
+        instance = F1Instance("f1.4xlarge", service)
+        boundaries = [s.device.fault_boundary for s in instance.slots]
+        assert boundaries == [
+            f"device.{instance.instance_id}.slot0",
+            f"device.{instance.instance_id}.slot1",
+        ]
+
 
 class TestAWSSession:
     def test_end_to_end_verbs(self, xclbin_bytes):
@@ -164,6 +229,14 @@ class TestAWSSession:
         slot = instance.load_afi(3, done.agfi_id)
         assert slot.agfi_id == done.agfi_id
         assert aws.instances == [instance]
+
+    def test_session_instance_ids_never_collide(self):
+        # two sessions used to hand out the same per-session sequence
+        # ids; the process-wide launch sequence makes them unique
+        a, b = AWSSession(), AWSSession()
+        ids = [a.run_f1_instance().instance_id for _ in range(3)]
+        ids += [b.run_f1_instance().instance_id for _ in range(3)]
+        assert len(set(ids)) == 6
 
     def test_upload_creates_bucket(self):
         aws = AWSSession()

@@ -125,6 +125,43 @@ class TestDiff:
         cur = _manifest(summaries={"op": _summary(10, 9.0, 1, 1, 1)})
         assert diff_manifests(base, cur) == []
 
+    def test_breaker_state_regression_flagged(self):
+        def with_breakers(breakers):
+            doc = _manifest()
+            doc["resilience"] = {"breakers": breakers}
+            return doc
+        base = with_breakers({"fleet.i0.slot0": {
+            "state": "closed", "opened_count": 0,
+            "consecutive_failures": 0}})
+        cur = with_breakers({"fleet.i0.slot0": {
+            "state": "open", "opened_count": 1,
+            "consecutive_failures": 2}})
+        findings = diff_manifests(base, cur)
+        assert [f["kind"] for f in findings] == ["breaker"]
+        assert findings[0]["name"] == "fleet.i0.slot0"
+        assert findings[0]["ratio"] == math.inf
+        assert findings[0]["before"] == "closed (opened 0x)"
+        assert findings[0]["after"] == "open (opened 1x)"
+        # same state both sides, no new trips -> clean
+        assert diff_manifests(cur, cur) == []
+        # more trips at the same state is still a regression
+        more = with_breakers({"fleet.i0.slot0": {
+            "state": "open", "opened_count": 3,
+            "consecutive_failures": 2}})
+        (finding,) = diff_manifests(cur, more)
+        assert finding["kind"] == "breaker"
+        assert finding["ratio"] == pytest.approx(2.0)
+
+    def test_breaker_new_in_current_only_flagged_if_bad(self):
+        base = _manifest()
+        cur = _manifest()
+        cur["resilience"] = {"breakers": {
+            "fleet.i0.slot0": {"state": "closed", "opened_count": 0},
+            "fleet.i0.slot1": {"state": "half-open",
+                               "opened_count": 1}}}
+        findings = diff_manifests(base, cur)
+        assert [f["name"] for f in findings] == ["fleet.i0.slot1"]
+
 
 class TestTimeseries:
     def test_summary_of_rows(self):
@@ -178,6 +215,14 @@ class TestFormatting:
         assert "run.status: succeeded -> failed" in text
         assert "op" in text and "+100.0%" in text
         assert format_diff([]) == "no regressions"
+
+    def test_breaker_rendering(self):
+        text = format_diff([{
+            "kind": "breaker", "name": "fleet.i0.slot0",
+            "measure": "state", "before": "closed (opened 0x)",
+            "after": "open (opened 1x)", "ratio": math.inf}])
+        assert text == ("[breaker] fleet.i0.slot0:"
+                        " closed (opened 0x) -> open (opened 1x)")
 
     def test_timeseries_rendering(self):
         rows = [

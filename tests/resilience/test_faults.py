@@ -154,3 +154,106 @@ class TestHarness:
                 run_boundary("b", lambda: "never")
             with pytest.raises(CircuitOpenError):
                 run_boundary("b", lambda: "never")
+
+
+class TestDeviceFaults:
+    """The device-level kinds fire only through the device hooks."""
+
+    def _device(self):
+        from repro.hw.resources import device_for_board
+        from repro.runtime.opencl import SimDevice
+        return SimDevice("card", device_for_board("aws-f1-xcvu9p"))
+
+    def test_on_attempt_ignores_device_kinds(self):
+        from repro.resilience import DEVICE_PATTERN
+        clock = VirtualClock()
+        plan = FaultPlan([
+            FaultSpec(DEVICE_PATTERN, FaultKind.SLOT_CRASH),
+            FaultSpec(DEVICE_PATTERN, FaultKind.KERNEL_HANG),
+            FaultSpec(DEVICE_PATTERN, FaultKind.SLOW_DEVICE),
+        ])
+        plan.on_attempt("device.i-1.slot0", clock)  # no raise, no sleep
+        assert clock.now == 0.0
+        assert plan.total_injected == 0
+
+    def test_device_hook_ignores_build_kinds(self):
+        clock = VirtualClock()
+        plan = FaultPlan([FaultSpec("device.*", FaultKind.TRANSIENT),
+                          FaultSpec("device.*", FaultKind.SLOW)])
+        plan.on_device_attempt("device.i-1.slot0", clock)
+        assert clock.now == 0.0
+        assert plan.total_injected == 0
+
+    def test_slot_crash_kills_the_card_once(self):
+        clock = VirtualClock()
+        device = self._device()
+        plan = FaultPlan([FaultSpec("device.*", FaultKind.SLOT_CRASH)])
+        from repro.errors import DeviceLostError
+        with pytest.raises(DeviceLostError):
+            plan.on_device_attempt("device.i-1.slot0", clock,
+                                   device=device)
+        assert device.alive is False
+        # cleared after `times`
+        plan.on_device_attempt("device.i-1.slot0", clock, device=device)
+
+    def test_permanent_device_loss_never_clears(self):
+        clock = VirtualClock()
+        device = self._device()
+        plan = FaultPlan([FaultSpec("device.*", FaultKind.PERMANENT)])
+        from repro.errors import DeviceLostError
+        for _ in range(3):
+            device.alive = True
+            with pytest.raises(DeviceLostError):
+                plan.on_device_attempt("device.i-1.slot0", clock,
+                                       device=device)
+            assert device.alive is False
+
+    def test_hang_and_slow_advance_the_clock(self):
+        clock = VirtualClock()
+        plan = FaultPlan([
+            FaultSpec("device.*", FaultKind.KERNEL_HANG, delay_s=600.0),
+            FaultSpec("device.*", FaultKind.SLOW_DEVICE, delay_s=20.0),
+        ])
+        plan.on_device_attempt("device.i-1.slot0", clock)
+        assert clock.now == 620.0
+        plan.on_device_attempt("device.i-1.slot0", clock)  # exhausted
+        assert clock.now == 620.0
+
+    def test_bitflip_corrupts_in_place_and_is_seeded(self):
+        import numpy as np
+        a = FaultPlan([FaultSpec("device.*", FaultKind.BITFLIP)], seed=9)
+        b = FaultPlan([FaultSpec("device.*", FaultKind.BITFLIP)], seed=9)
+        buf_a = np.arange(512, dtype=np.float32)
+        buf_b = np.arange(512, dtype=np.float32)
+        assert a.corrupt_device_weights("device.i-1.slot0", buf_a) > 0
+        assert not np.array_equal(buf_a, np.arange(512,
+                                                   dtype=np.float32))
+        b.corrupt_device_weights("device.i-1.slot0", buf_b)
+        assert np.array_equal(buf_a, buf_b)  # same seed, same flips
+        # exhausted after `times`
+        before = buf_a.copy()
+        assert a.corrupt_device_weights("device.i-1.slot0", buf_a) == 0
+        assert np.array_equal(buf_a, before)
+
+    def test_random_with_devices_is_recoverable_only(self):
+        from repro.resilience import DEVICE_FAULT_KINDS, DEVICE_PATTERN
+        saw_device_spec = False
+        for seed in range(64):
+            plan = FaultPlan.random(seed, include_devices=True)
+            for spec in plan.specs:
+                if spec.boundary == DEVICE_PATTERN:
+                    saw_device_spec = True
+                    assert spec.kind in DEVICE_FAULT_KINDS
+                    if spec.kind is FaultKind.SLOW_DEVICE:
+                        assert spec.delay_s < 60.0  # under the watchdog
+                    if spec.kind is FaultKind.KERNEL_HANG:
+                        assert spec.delay_s > 60.0  # trips the watchdog
+        assert saw_device_spec
+
+    def test_random_without_devices_unchanged(self):
+        a = FaultPlan.random(17)
+        b = FaultPlan.random(17, include_devices=False)
+        assert [s.to_dict() for s in a.specs] == \
+            [s.to_dict() for s in b.specs]
+        assert all(not s.boundary.startswith("device")
+                   for s in a.specs)

@@ -264,3 +264,81 @@ class TestEngineReuse:
             net, WeightStore.initialize(net, 6)).forward_batch(images)
         np.testing.assert_allclose(out.reshape(2, -1),
                                    ref.reshape(2, -1), rtol=1e-5)
+
+
+class TestDeviceLifecycle:
+    """Dead-card semantics and the clock-gated device fault hook."""
+
+    def _weights(self, program):
+        return WeightStore.initialize(program.accelerator.network)
+
+    def test_dead_device_rejects_tasks_until_reprogrammed(self, session):
+        from repro.errors import DeviceLostError
+        context, program, kernel = session
+        net = program.accelerator.network
+        images = np.zeros((1,) + net.input_shape().as_tuple(),
+                          dtype=np.float32)
+        store = self._weights(program)
+        context.device.alive = False
+        with pytest.raises(DeviceLostError, match="reprogram"):
+            run_batch(context, program, kernel, images, store)
+        # reprogramming (an AFI re-load) revives the card
+        Program(context, program.xclbin)
+        assert context.device.alive is True
+        run_batch(context, program, kernel, images, store)
+
+    def test_device_faults_only_fire_with_a_clock(self, session):
+        from repro.resilience import (
+            FaultKind,
+            FaultPlan,
+            FaultSpec,
+            VirtualClock,
+            inject_faults,
+        )
+        context, program, kernel = session
+        net = program.accelerator.network
+        images = np.zeros((1,) + net.input_shape().as_tuple(),
+                          dtype=np.float32)
+        store = self._weights(program)
+        plan = FaultPlan([FaultSpec("device.*", FaultKind.SLOW_DEVICE,
+                                    delay_s=40.0, times=100)])
+        with inject_faults(plan):
+            # no clock on the queue: plain runtime users are never
+            # injected with device weather
+            run_batch(context, program, kernel, images, store)
+            assert plan.total_injected == 0
+            # a clocked queue opts in (what the fleet layer does)
+            clock = VirtualClock()
+            queue = CommandQueue(context, clock=clock)
+            queue.enqueue_task(kernel)
+            assert plan.total_injected == 1
+            assert clock.now == 40.0
+
+    def test_bitflip_changes_outputs_and_generation(self, session):
+        from repro.resilience import (
+            FaultKind,
+            FaultPlan,
+            FaultSpec,
+            VirtualClock,
+            inject_faults,
+        )
+        context, program, kernel = session
+        net = program.accelerator.network
+        rng = np.random.default_rng(3)
+        images = rng.standard_normal(
+            (2,) + net.input_shape().as_tuple()).astype(np.float32)
+        store = self._weights(program)
+        _, clean, _ = run_batch(context, program, kernel, images, store)
+        plan = FaultPlan([FaultSpec("device.*", FaultKind.BITFLIP)],
+                         seed=4)
+        w_buf = kernel.args[2]
+        generation = w_buf.generation
+        with inject_faults(plan):
+            queue = CommandQueue(context, clock=VirtualClock())
+            queue.enqueue_task(kernel)
+            corrupted = queue.enqueue_read_buffer(
+                kernel.args[1], 2 * net.output_shape().size) \
+                .reshape(2, -1)
+        # silent corruption: no error, wrong answer, generation bumped
+        assert w_buf.generation == generation + 1
+        assert not np.array_equal(corrupted, clean)
