@@ -13,6 +13,7 @@ Exposes the framework the way the paper's users would drive it::
     condor obs diff <base> <run>             # flag telemetry regressions
     condor obs timeseries <run>              # sampler trajectory
     condor fleet drill                       # fault-kind survival matrix
+    condor serve                             # synthetic serving load demo
     condor figure5                           # regenerate Figure 5
 
 ``<model>`` is a ``.prototxt`` (with optional ``--weights x.caffemodel``),
@@ -414,6 +415,132 @@ def cmd_fleet_drill(args) -> int:
     return 0
 
 
+def _parse_tenants(spec: str) -> tuple:
+    """``name[:weight[:quota_rps]],...`` → tenant specs.
+
+    Weight defaults to 1, quota to unlimited; ``0`` (or omitted) quota
+    means unlimited.
+    """
+    import math
+
+    from repro.serve import TenantSpec
+
+    tenants = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        fields = part.split(":")
+        try:
+            weight = float(fields[1]) if len(fields) > 1 and fields[1] \
+                else 1.0
+            quota = float(fields[2]) if len(fields) > 2 and fields[2] \
+                else 0.0
+        except ValueError as exc:
+            raise CondorError(
+                f"bad tenant spec {part!r} (want"
+                f" name[:weight[:quota_rps]]): {exc}") from None
+        tenants.append(TenantSpec(
+            fields[0], quota_rps=quota if quota > 0 else math.inf,
+            weight=weight))
+    if not tenants:
+        raise CondorError(f"no tenants in {spec!r}")
+    return tuple(tenants)
+
+
+def cmd_serve(args) -> int:
+    """Serve a seeded synthetic load on a simulated fleet."""
+    import json as _json
+
+    from repro.cloud.f1 import F1Instance
+    from repro.obs import build_manifest, write_manifest
+    from repro.resilience.clock import VirtualClock
+    from repro.serve import (
+        Autoscaler,
+        AutoscalerConfig,
+        InferenceServer,
+        LoadSpec,
+        ServeConfig,
+        build_serving_fleet,
+        run_load,
+    )
+
+    tenants = _parse_tenants(args.tenants)
+    try:
+        buckets = tuple(int(b) for b in args.buckets.split(",")
+                        if b.strip())
+    except ValueError as exc:
+        raise CondorError(f"bad --buckets {args.buckets!r}: {exc}") \
+            from None
+    clock = VirtualClock()
+    with recording() as recorder:
+        fleet, service = build_serving_fleet(
+            args.model, instances=args.instances,
+            instance_type=args.instance_type, clock=clock)
+        server = InferenceServer(
+            fleet, tenants,
+            config=ServeConfig(name=args.model,
+                               slo_s=args.slo_ms / 1e3,
+                               buckets=buckets,
+                               max_queue_depth=args.max_queue),
+            clock=clock)
+        autoscaler = None
+        if args.autoscale:
+            def launch() -> F1Instance:
+                return F1Instance(args.instance_type, service)
+            autoscaler = Autoscaler(
+                server, launch,
+                config=AutoscalerConfig(
+                    max_instances=args.max_instances))
+        spec = LoadSpec(rate_rps=args.rate, duration_s=args.duration,
+                        seed=args.seed, tenants=tenants)
+        report = run_load(server, spec, autoscaler=autoscaler)
+    doc = report.to_dict()
+    workdir = Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    manifest = build_manifest(
+        recorder=recorder, workdir=workdir,
+        run={"command": "serve", "network": args.model,
+             "rate_rps": args.rate, "duration_s": args.duration,
+             "seed": args.seed, "status": "ok"},
+        steps=[], snapshots={"serve": doc})
+    manifest_path = write_manifest(workdir, manifest)
+    print(f"telemetry manifest written to {manifest_path}",
+          file=sys.stderr)
+    if args.report:
+        report_path = Path(args.report)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(_json.dumps(doc, indent=2) + "\n")
+        print(f"load report written to {report_path}", file=sys.stderr)
+    if args.format == "json":
+        print(_json.dumps(doc, indent=2))
+    else:
+        def ms(value) -> str:
+            return f"{value * 1e3:.2f}ms" if value is not None else "-"
+        latency = doc["latency"]
+        print(f"model {doc['model']}: {doc['completed']}/"
+              f"{doc['offered']} requests in {doc['makespan_s']:.3f}s"
+              f" virtual -> {doc['throughput_rps']:.0f} req/s")
+        print(f"latency p50 {ms(latency['p50_s'])} "
+              f" p95 {ms(latency['p95_s'])} "
+              f" p99 {ms(latency['p99_s'])} "
+              f" max {ms(latency['max_s'])}")
+        print(f"batches {doc['batches']} triggers {doc['triggers']}"
+              f" padded {doc['padded_samples']}")
+        print(f"shed {sum(doc['shed'].values())} ({doc['shed']}) "
+              f" failed {doc['failed']} "
+              f" instances {doc['fleet']['instances']} "
+              f" autoscale events {len(doc['autoscale'])}")
+    _telemetry_outputs(args, recorder)
+    if args.fail_under_rps and \
+            doc["throughput_rps"] < args.fail_under_rps:
+        print(f"throughput {doc['throughput_rps']:.0f} req/s is under"
+              f" the --fail-under-rps {args.fail_under_rps:g} floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_profile(args) -> int:
     """Run the full flow and report where the time went."""
     flow = CondorFlow(args.workdir, check=not args.no_check)
@@ -527,11 +654,15 @@ def cmd_bench(args) -> int:
                                                        file=sys.stderr))
 
     violations = []
+    notes: list[str] = []
     baseline_path = Path(args.baseline) if args.baseline else None
     if baseline_path is not None and baseline_path.exists():
         baseline = load_benchmarks(baseline_path)
         violations = compare_benchmarks(
-            results, baseline, max_regression=args.max_regression)
+            results, baseline, max_regression=args.max_regression,
+            notes=notes)
+        for note in notes:
+            print(f"note: {note}", file=sys.stderr)
     elif baseline_path is not None:
         print(f"note: baseline {baseline_path} not found; nothing to"
               " compare against", file=sys.stderr)
@@ -842,6 +973,62 @@ def build_parser() -> argparse.ArgumentParser:
                             " failures, or never")
     drill.set_defaults(func=cmd_fleet_drill)
 
+    serve = sub.add_parser(
+        "serve", help="multi-tenant dynamic-batching inference serving"
+                      " on a simulated fleet: seeded synthetic load,"
+                      " throughput and p50/p95/p99 on the virtual"
+                      " clock")
+    serve.add_argument("--model", default="tc1",
+                       choices=["tc1", "lenet", "cifar10"],
+                       help="zoo model to build and serve"
+                            " (default tc1)")
+    serve.add_argument("--instances", type=int, default=2,
+                       help="initial F1 instances (default 2)")
+    serve.add_argument("--instance-type", default="f1.4xlarge",
+                       choices=["f1.2xlarge", "f1.4xlarge",
+                                "f1.16xlarge"],
+                       help="instance type (default f1.4xlarge)")
+    serve.add_argument("--rate", type=float, default=2000.0,
+                       metavar="RPS",
+                       help="offered request rate (default 2000)")
+    serve.add_argument("--duration", type=float, default=4.0,
+                       metavar="S",
+                       help="virtual seconds of load (default 4)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="arrival-process seed (default 0)")
+    serve.add_argument("--slo-ms", type=float, default=10.0,
+                       metavar="MS",
+                       help="batching latency budget (default 10ms)")
+    serve.add_argument("--buckets", default="1,2,4,8",
+                       metavar="B1,B2",
+                       help="batch-size ladder flushes snap to"
+                            " (default 1,2,4,8)")
+    serve.add_argument("--max-queue", type=int, default=512,
+                       metavar="N",
+                       help="queue depth beyond which requests shed"
+                            " (default 512)")
+    serve.add_argument("--tenants", default="alpha:3,beta:1",
+                       metavar="NAME[:WEIGHT[:QUOTA_RPS]],...",
+                       help="tenant mix; weight shapes the synthetic"
+                            " load, quota 0/omitted = unlimited"
+                            " (default alpha:3,beta:1)")
+    serve.add_argument("--autoscale", action="store_true",
+                       help="enable the registry-driven autoscaler"
+                            " (queue depth + p99)")
+    serve.add_argument("--max-instances", type=int, default=4,
+                       metavar="N",
+                       help="autoscaler instance ceiling (default 4)")
+    serve.add_argument("--report", metavar="PATH",
+                       help="also write the JSON load report here")
+    serve.add_argument("--format", choices=["text", "json"],
+                       default="text")
+    serve.add_argument("--fail-under-rps", type=float, default=0.0,
+                       metavar="RPS",
+                       help="exit 1 when sustained throughput falls"
+                            " under this floor (default: no floor)")
+    telemetry_flags(serve)
+    serve.set_defaults(func=cmd_serve)
+
     profile = sub.add_parser(
         "profile", help="run the flow and print a per-step timing"
                         " profile")
@@ -885,7 +1072,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="DSE evaluation threads (default 4)")
     bench.add_argument("--op", action="append", metavar="OP",
                        choices=["engine", "engine-steady", "dse", "sim",
-                                "obs-overhead", "tsan-overhead"],
+                                "serve", "obs-overhead",
+                                "tsan-overhead"],
                        help="run only this operation's rows (repeatable;"
                             " e.g. --op engine-steady); a partial run"
                             " merges into --output instead of replacing"

@@ -286,3 +286,29 @@ class FleetError(CondorError):
     """The fleet could not complete a submission: no healthy slot was
     available, or the failover budget was exhausted.  Degradation, not
     a hang — the caller always gets an answer or this error."""
+
+
+# ---------------------------------------------------------------------------
+# Serving (multi-tenant dynamic batching over the fleet)
+# ---------------------------------------------------------------------------
+
+
+class ServeError(CondorError):
+    """The serving layer is misconfigured or misused: unknown tenants,
+    invalid bucket/SLO settings, or a request malformed in a way that
+    is the caller's bug rather than load weather."""
+
+
+class ShedError(ServeError):
+    """A request was refused by admission control — typed load
+    shedding.  The tenant's token bucket is empty (``reason="quota"``)
+    or the request queue hit its depth bound (``reason="queue"``).  The
+    caller gets an immediate, explicit back-off signal instead of an
+    unbounded queue."""
+
+    def __init__(self, tenant: str, reason: str, message: str = ""):
+        detail = f": {message}" if message else ""
+        super().__init__(
+            f"request from tenant {tenant!r} shed ({reason}){detail}")
+        self.tenant = tenant
+        self.reason = reason

@@ -19,7 +19,12 @@ execution fleet:
 
 from repro.fleet.drill import DRILL_KINDS, RECOVERABLE_KINDS, run_drill
 from repro.fleet.health import ManagedSlot, SlotState
-from repro.fleet.manager import FleetConfig, FleetManager
+from repro.fleet.image import (
+    SERVABLE_MODELS,
+    build_fleet_image,
+    servable_model,
+)
+from repro.fleet.manager import FleetConfig, FleetManager, Submission
 
 __all__ = [
     "DRILL_KINDS",
@@ -27,6 +32,10 @@ __all__ = [
     "FleetManager",
     "ManagedSlot",
     "RECOVERABLE_KINDS",
+    "SERVABLE_MODELS",
     "SlotState",
+    "Submission",
+    "build_fleet_image",
     "run_drill",
+    "servable_model",
 ]

@@ -28,13 +28,10 @@ import numpy as np
 
 from repro.cloud.afi import AFIService
 from repro.cloud.f1 import F1Instance
-from repro.cloud.s3 import S3Store
 from repro.errors import FleetError
 from repro.frontend.condor_format import DeploymentOption, model_from_json
 from repro.frontend.weights import WeightStore
 from repro.frontend.zoo import tc1_model
-from repro.hw.accelerator import build_accelerator
-from repro.hw.resources import device_for_board
 from repro.resilience.boundary import breaker_states, inject_faults
 from repro.resilience.clock import VirtualClock
 from repro.resilience.faults import (
@@ -43,16 +40,10 @@ from repro.resilience.faults import (
     FaultPlan,
     FaultSpec,
 )
-from repro.toolchain.assemble import build_network_ip
-from repro.toolchain.hls import VivadoHLS
-from repro.toolchain.sdaccel import (
-    generate_kernel_xml,
-    package_xo,
-    xocc_link,
-)
-from repro.toolchain.xclbin import read_xclbin, write_xclbin
+from repro.toolchain.xclbin import read_xclbin
 from repro.util.logging import get_logger
 
+from repro.fleet.image import build_fleet_image
 from repro.fleet.manager import FleetConfig, FleetManager
 
 __all__ = ["DRILL_KINDS", "RECOVERABLE_KINDS", "run_drill"]
@@ -88,25 +79,8 @@ def build_drill_image() -> tuple[AFIService, str, bytes]:
     Returns ``(afi_service, agfi_id, xclbin_bytes)``; every drill cell
     launches fresh instances against this shared service.
     """
-    model = tc1_model(DeploymentOption.AWS_F1)
-    acc = build_accelerator(model)
-    hls = VivadoHLS("xcvu9p", model.frequency_hz)
-    assembly = build_network_ip(acc, hls)
-    xo = package_xo(assembly.accelerator_ip,
-                    generate_kernel_xml(assembly.accelerator_ip),
-                    model=model)
-    xclbin_bytes = write_xclbin(
-        xocc_link(xo, device_for_board("aws-f1-xcvu9p"),
-                  model.frequency_hz))
-    s3 = S3Store()
-    s3.create_bucket("fleet-drill")
-    s3.put_object("fleet-drill", "dcp/tc1.xclbin", xclbin_bytes)
-    service = AFIService(s3)
-    record = service.create_fpga_image(
-        name="fleet-drill-tc1",
-        input_storage_location="s3://fleet-drill/dcp/tc1.xclbin")
-    service.wait_until_available(record.afi_id)
-    return service, record.agfi_id, xclbin_bytes
+    return build_fleet_image(tc1_model(DeploymentOption.AWS_F1),
+                             name="fleet-drill-tc1")
 
 
 def _specs_for(kind: str, instances: list[F1Instance]) \

@@ -35,6 +35,7 @@ weather run in milliseconds.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import Counter
 from dataclasses import dataclass
 
@@ -66,7 +67,7 @@ from repro.util.sync import new_lock
 
 from repro.fleet.health import ManagedSlot, SlotState
 
-__all__ = ["FleetConfig", "FleetManager"]
+__all__ = ["FleetConfig", "FleetManager", "Submission"]
 
 _log = get_logger("fleet.manager")
 
@@ -119,6 +120,22 @@ class FleetConfig:
     probe_seed: int = 7
 
 
+@dataclass(frozen=True)
+class Submission:
+    """Receipt for one completed fleet submission.
+
+    ``device_seconds`` is the *modeled* time the serving slot spent on
+    the batch (queue delay + kernel cycles at the accelerator clock) —
+    the serving layer uses it to place completions on its virtual
+    timeline.  ``attempts`` counts invocations including failovers.
+    """
+
+    outputs: np.ndarray
+    device_seconds: float
+    slot: str
+    attempts: int
+
+
 class FleetManager:
     """Health-managed execution over the slots of ``instances``.
 
@@ -159,6 +176,11 @@ class FleetManager:
         #: and the action tally.  Never held across device work or
         #: metric increments.
         self._lock = new_lock("fleet.manager.FleetManager")
+        #: Pulsed (outside the lock) whenever a slot goes idle or joins
+        #: the rotation, so ``submit(..., wait=True)`` callers blocked
+        #: on an all-busy fleet re-scan promptly.  Waits are bounded,
+        #: so a missed pulse costs latency, never liveness.
+        self._slot_freed = threading.Event()
         self._cursor = 0
         self._actions: Counter[str] = Counter()
         self.slots: list[ManagedSlot] = []
@@ -167,6 +189,9 @@ class FleetManager:
                 self.slots.append(
                     self._attach(f"i{j}.slot{slot.index}", instance,
                                  slot))
+        #: Monotonic instance ordinal for slot labels — never reused,
+        #: so labels stay unique across add/drain cycles.
+        self._next_ordinal = len(self.instances)
         self._update_health_gauge()
         _log.info("fleet attached: %d slot(s) across %d instance(s)",
                   len(self.slots), len(self.instances))
@@ -222,6 +247,19 @@ class FleetManager:
         outputs are accepted.  Raises :class:`FleetError` when the
         failover budget is exhausted or no healthy slot remains.
         """
+        return self.submit(images, verify=verify).outputs
+
+    def submit(self, images, *, verify: bool = False,
+               wait: bool = False) -> Submission:
+        """Like :meth:`run`, but returns a :class:`Submission` receipt
+        (outputs + modeled device seconds + serving slot).
+
+        ``wait=True`` is the concurrent-submitter mode: when every
+        healthy slot is busy the caller blocks (bounded re-scans on the
+        slot-freed signal) until one frees up, instead of failing.  A
+        fleet with no healthy slot still raises :class:`FleetError` —
+        waiting is for contention, not for quarantine recovery.
+        """
         batch = np.asarray(images, dtype=np.float32)
         batch = batch.reshape((batch.shape[0],) +
                               self.net.input_shape().as_tuple())
@@ -230,14 +268,17 @@ class FleetManager:
                 f"batch of {batch.shape[0]} exceeds fleet capacity"
                 f" {self.config.capacity}")
         failures = 0
+        attempts = 0
         last_error: Exception | None = None
         while failures < self.config.max_attempts:
             self._heal()
-            managed = self._acquire()
+            managed = self._acquire(wait=wait)
             if managed is None:
                 break
+            attempts += 1
             try:
-                outputs = self._invoke(managed, batch, verify=verify)
+                outputs, device_seconds = self._invoke(
+                    managed, batch, verify=verify)
             except FAILOVER_ERRORS as exc:
                 last_error = exc
                 failures += 1
@@ -253,7 +294,9 @@ class FleetManager:
             _SUBMISSIONS.inc(status="ok")
             with self._lock:
                 self._actions["submission"] += 1
-            return outputs
+            return Submission(outputs=outputs,
+                              device_seconds=device_seconds,
+                              slot=managed.label, attempts=attempts)
         _SUBMISSIONS.inc(status="failed")
         detail = f" (last error: {last_error})" if last_error else ""
         raise FleetError(
@@ -263,23 +306,46 @@ class FleetManager:
 
     # -- slot selection -----------------------------------------------------
 
-    def _acquire(self) -> ManagedSlot | None:
-        """Claim the next non-quarantined idle slot, round-robin."""
-        with self._lock:
-            count = len(self.slots)
-            for offset in range(count):
-                index = (self._cursor + offset) % count
-                managed = self.slots[index]
-                if managed.busy or managed.breaker.state == OPEN:
-                    continue
-                managed.busy = True
-                self._cursor = (index + 1) % count
-                return managed
+    def _next_idle_locked(self) -> ManagedSlot | None:
+        """The next idle, healthy, non-draining slot (lock held)."""
+        count = len(self.slots)
+        for offset in range(count):
+            index = (self._cursor + offset) % count
+            managed = self.slots[index]
+            if managed.busy or managed.draining or \
+                    managed.breaker.state == OPEN:
+                continue
+            self._cursor = (index + 1) % count
+            return managed
         return None
+
+    def _acquire(self, *, wait: bool = False) -> ManagedSlot | None:
+        """Claim the next non-quarantined idle slot, round-robin.
+
+        ``wait=True``: while no slot is idle but at least one is busy
+        (so a release is coming), block on the slot-freed signal and
+        re-scan.  The wait is time-bounded, so a signal lost to the
+        benign clear/set race below costs one re-scan interval, never
+        a hang; and a fleet whose busy slots all quarantined on release
+        is noticed at the next re-scan and gives up cleanly.
+        """
+        while True:
+            with self._lock:
+                managed = self._next_idle_locked()
+                if managed is not None:
+                    managed.busy = True
+                    return managed
+                if not wait or not any(s.busy for s in self.slots):
+                    return None
+                self._slot_freed.clear()
+            self._slot_freed.wait(timeout=0.05)
 
     def _release(self, managed: ManagedSlot) -> None:
         with self._lock:
             managed.busy = False
+            if managed.draining:
+                self._reap_drained_locked()
+        self._slot_freed.set()
 
     def _record_failure(self, managed: ManagedSlot,
                         exc: Exception) -> None:
@@ -302,9 +368,12 @@ class FleetManager:
 
     def _heal(self) -> None:
         """Probe every quarantined slot whose recovery window elapsed."""
-        for managed in self.slots:
+        with self._lock:
+            snapshot = list(self.slots)
+        for managed in snapshot:
             with self._lock:
-                if managed.busy or managed.breaker.state != HALF_OPEN:
+                if managed.busy or managed.draining or \
+                        managed.breaker.state != HALF_OPEN:
                     continue
                 managed.busy = True
             try:
@@ -329,7 +398,7 @@ class FleetManager:
 
     def _probe(self, managed: ManagedSlot) -> None:
         """Run the golden probe batch; raises on any divergence."""
-        outputs = self._execute(managed, self._probe_in)
+        outputs, _ = self._execute(managed, self._probe_in)
         if not np.array_equal(outputs, self._probe_out):
             raise ScrubMismatchError(
                 f"slot {managed.label}: probe outputs diverge from the"
@@ -338,8 +407,12 @@ class FleetManager:
     # -- execution ----------------------------------------------------------
 
     def _execute(self, managed: ManagedSlot,
-                 batch: np.ndarray) -> np.ndarray:
-        """One watchdogged kernel invocation on a held slot."""
+                 batch: np.ndarray) -> tuple[np.ndarray, float]:
+        """One watchdogged kernel invocation on a held slot.
+
+        Returns ``(outputs, elapsed)`` where ``elapsed`` is the modeled
+        device seconds the invocation took (the watchdogged quantity).
+        """
         count = batch.shape[0]
         managed.queue.enqueue_write_buffer(managed.in_buf, batch)
         managed.kernel.set_arg(3, count)
@@ -354,20 +427,21 @@ class FleetManager:
                 f"slot {managed.label}: invocation took {elapsed:.1f}s"
                 f" (virtual), watchdog deadline is"
                 f" {self.config.watchdog_s:.1f}s")
-        return managed.queue.enqueue_read_buffer(
+        outputs = managed.queue.enqueue_read_buffer(
             managed.out_buf, count * self._out_size) \
             .reshape(count, self._out_size)
+        return outputs, elapsed
 
     def _invoke(self, managed: ManagedSlot, batch: np.ndarray, *,
-                verify: bool) -> np.ndarray:
+                verify: bool) -> tuple[np.ndarray, float]:
         with self._lock:
             managed.submissions += 1
             serial = managed.submissions
-        outputs = self._execute(managed, batch)
+        outputs, elapsed = self._execute(managed, batch)
         every = self.config.scrub_every
         if verify or (every > 0 and serial % every == 0):
             self._scrub(managed, batch, outputs)
-        return outputs
+        return outputs, elapsed
 
     def _scrub(self, managed: ManagedSlot, batch: np.ndarray,
                outputs: np.ndarray) -> None:
@@ -399,27 +473,91 @@ class FleetManager:
                 f"slot {managed.label}: outputs diverge from the golden"
                 " reference; slot repaired")
 
+    # -- elastic capacity ---------------------------------------------------
+
+    def add_instance(self, instance) -> list[str]:
+        """Attach every slot of a new instance and put it in rotation.
+
+        The autoscaler's scale-up verb.  AFI load + weight rewrite
+        happen outside the fleet lock (attach performs no kernel
+        launches); the slots only become acquirable once appended.
+        Returns the new slot labels.
+        """
+        with self._lock:
+            ordinal = self._next_ordinal
+            self._next_ordinal += 1
+        attached = [
+            self._attach(f"i{ordinal}.slot{slot.index}", instance, slot)
+            for slot in instance.slots]
+        with self._lock:
+            self.instances.append(instance)
+            self.slots.extend(attached)
+        self._slot_freed.set()
+        self._update_health_gauge()
+        _log.info("instance %s joined the fleet: %d new slot(s)",
+                  instance.instance_id, len(attached))
+        return [m.label for m in attached]
+
+    def drain_instance(self) -> str:
+        """Remove the most recently added instance from rotation.
+
+        The autoscaler's scale-down verb.  Idle slots detach
+        immediately; busy slots finish their in-flight submission and
+        are reaped on release (no work is ever aborted).  The last
+        instance cannot be drained.  Returns the drained instance id.
+        """
+        with self._lock:
+            if len(self.instances) <= 1:
+                raise FleetError("cannot drain the last fleet instance")
+            instance = self.instances.pop()
+            for managed in self.slots:
+                if managed.instance is instance:
+                    managed.draining = True
+            self._reap_drained_locked()
+        self._update_health_gauge()
+        _log.info("instance %s draining out of the fleet",
+                  instance.instance_id)
+        return instance.instance_id
+
+    def _reap_drained_locked(self) -> None:
+        """Drop idle draining slots from the rotation (lock held)."""
+        keep = [s for s in self.slots if s.busy or not s.draining]
+        if len(keep) != len(self.slots):
+            self.slots[:] = keep
+            self._cursor %= max(1, len(self.slots))
+
     # -- introspection ------------------------------------------------------
 
+    def _snapshot_slots(self) -> "list[ManagedSlot]":
+        """A point-in-time copy of the slot list (it resizes under the
+        lock on ``add_instance``/``drain_instance``)."""
+        with self._lock:
+            return list(self.slots)
+
     def healthy_slot_count(self) -> int:
-        return sum(1 for s in self.slots
-                   if s.breaker.state != OPEN)
+        return sum(1 for s in self._snapshot_slots()
+                   if s.breaker.state != OPEN and not s.draining)
 
     def _update_health_gauge(self) -> None:
         _HEALTHY_SLOTS.set(self.healthy_slot_count())
 
     def health(self) -> dict[str, SlotState]:
-        return {s.label: s.health for s in self.slots}
+        return {s.label: s.health for s in self._snapshot_slots()}
 
     def stats(self) -> dict:
         """Deterministic snapshot for reports and manifests."""
         with self._lock:
             actions = dict(sorted(self._actions.items()))
+            snapshot = list(self.slots)
+            instances = len(self.instances)
         return {
-            "slots": {s.label: s.snapshot() for s in self.slots},
+            "instances": instances,
+            "slots": {s.label: s.snapshot() for s in snapshot},
             "actions": actions,
-            "healthy_slots": self.healthy_slot_count(),
+            "healthy_slots": sum(
+                1 for s in snapshot
+                if s.breaker.state != OPEN and not s.draining),
             "quarantined": sorted(
-                s.label for s in self.slots
+                s.label for s in snapshot
                 if s.health is SlotState.QUARANTINED),
         }

@@ -29,6 +29,12 @@ Per-op semantics:
 * ``sim`` — :func:`repro.sim.dataflow.simulate_accelerator` on a small
   batch.  ``cycles`` is the simulated total — fully deterministic, so
   the regression gate can hold it to zero drift across machines.
+* ``serve`` — the dynamic-batching serving path
+  (:mod:`repro.serve`) against the same seeded saturating workload
+  served one request per fleet submission.  ``speedup_vs_baseline``
+  is the single/batched virtual-makespan ratio — the throughput
+  multiple batching buys — fully deterministic, and per-request
+  outputs are asserted bit-identical across the two runs first.
 * ``obs-overhead`` — batched inference with a live span recorder
   against the same inference with recording suspended and
   ``REPRO_NO_OBS=1``.  ``speedup_vs_baseline`` holds the
@@ -397,6 +403,88 @@ def bench_tsan_overhead(name: str, *, iters: int = 20_000,
                        speedup_vs_baseline=float(np.median(ratios)))
 
 
+def bench_serve(name: str, *, requests: int = 2048,
+                rate_rps: float = 100_000.0,
+                seed: int = 0) -> BenchResult:
+    """Dynamic batching vs the batch-size-1 serving path.
+
+    Builds one AFI, then serves the *same* seeded workload twice on
+    fresh single-slot fleets over fresh virtual clocks: once with the
+    full bucket ladder (requests coalesce into padded batches), once
+    with ``buckets=(1,)`` (every request is its own fleet submission).
+    The offered rate saturates the slot, so both runs are
+    service-limited and ``speedup_vs_baseline`` — the single/batched
+    *virtual makespan* ratio — is exactly the throughput multiple that
+    batching buys the serving path.  Fully deterministic (modeled
+    device time, seeded arrivals), so the regression gate can hold it;
+    per-request outputs are asserted bit-identical across the two runs
+    before any number is reported.
+    """
+    from repro.cloud.f1 import F1Instance
+    from repro.fleet import (
+        FleetConfig,
+        FleetManager,
+        build_fleet_image,
+        servable_model,
+    )
+    from repro.frontend.condor_format import model_from_json
+    from repro.resilience.clock import VirtualClock
+    from repro.serve import (
+        InferenceServer,
+        LoadSpec,
+        ServeConfig,
+        TenantSpec,
+        run_load,
+    )
+    from repro.toolchain.xclbin import read_xclbin
+
+    with span("bench.serve", model=name, requests=requests):
+        service, agfi_id, xclbin_bytes = build_fleet_image(
+            servable_model(name), name=f"bench-serve-{name}")
+        net = model_from_json(
+            read_xclbin(xclbin_bytes).network_json).network
+        weights = WeightStore.initialize(net, seed=0)
+        tenants = (TenantSpec("bench"),)
+        spec = LoadSpec(rate_rps=rate_rps,
+                        duration_s=requests / rate_rps, seed=seed,
+                        tenants=tenants)
+
+        def run_once(buckets, tag):
+            clock = VirtualClock()
+            fleet = FleetManager(
+                [F1Instance("f1.2xlarge", service)], agfi_id, weights,
+                config=FleetConfig(scrub_every=0), clock=clock)
+            server = InferenceServer(
+                fleet, tenants,
+                config=ServeConfig(name=f"bench-{name}-{tag}",
+                                   buckets=buckets,
+                                   max_queue_depth=10 ** 9),
+                clock=clock)
+            start = timeit.default_timer()
+            report = run_load(server, spec, keep_requests=True)
+            return report, timeit.default_timer() - start
+
+        with no_recording():
+            batched, batched_wall = run_once((1, 2, 4, 8), "batched")
+            single, _ = run_once((1,), "single")
+        if batched.completed != batched.offered or \
+                single.completed != single.offered:
+            raise BenchError(
+                f"serve bench shed or failed requests (batched"
+                f" {batched.completed}/{batched.offered}, single"
+                f" {single.completed}/{single.offered})")
+        for left, right in zip(batched.requests, single.requests):
+            if not np.array_equal(left.output, right.output):
+                raise BenchError(
+                    f"serve bench: coalesced output for request"
+                    f" {left.request_id} diverges from the"
+                    " batch-size-1 path")
+        return BenchResult(
+            op="serve", model=name, wall_s=batched_wall,
+            cycles=None, cache_hits=None,
+            speedup_vs_baseline=single.makespan_s / batched.makespan_s)
+
+
 #: (op, model, kwargs) rows of the two suites.  The quick suite is the
 #: CI gate; the full suite adds the slow rows (VGG-16 DSE carries the
 #: headline cache+parallel speedup) and produces the committed baseline.
@@ -407,6 +495,7 @@ QUICK_SUITE: tuple[tuple[str, str, dict], ...] = (
     ("dse", "tc1", {}),
     ("dse", "lenet", {}),
     ("sim", "tc1", {"batch": 4}),
+    ("serve", "tc1", {}),
     ("obs-overhead", "lenet", {"batch": 64}),
     ("tsan-overhead", "locks", {}),
 )
@@ -423,6 +512,7 @@ _OPS: dict[str, Callable[..., BenchResult]] = {
     "engine-steady": bench_engine_steady,
     "dse": bench_dse,
     "sim": bench_sim,
+    "serve": bench_serve,
     "obs-overhead": bench_obs_overhead,
     "tsan-overhead": bench_tsan_overhead,
 }
@@ -503,15 +593,20 @@ def load_benchmarks(path: str | Path) -> list[BenchResult]:
 
 def compare_benchmarks(current: list[BenchResult],
                        baseline: list[BenchResult],
-                       max_regression: float = 0.20) -> list[str]:
+                       max_regression: float = 0.20,
+                       notes: list[str] | None = None) -> list[str]:
     """Regressions of ``current`` against ``baseline``.
 
     Gated per matching ``(op, model)`` row: simulated ``cycles`` may not
     grow, and ``speedup_vs_baseline`` may not decay, by more than
     ``max_regression`` (fractional).  ``wall_s`` is never gated — it
     measures the machine, not the code.  Rows present on only one side
-    are ignored (the quick suite is a subset of the committed full one),
-    except ``obs-overhead``, whose ratio is gated *absolutely* at
+    are *informational, never a failure*: the quick suite is a subset
+    of the committed full one, and a brand-new op must be able to land
+    in the same PR that refreshes ``BENCH_perf.json``.  Pass ``notes``
+    (a list) to collect one message per candidate row the baseline
+    lacks, so new-op runs are visible in CI logs instead of silently
+    skipped.  ``obs-overhead`` is gated *absolutely* at
     :data:`OBS_OVERHEAD_LIMIT` whether or not the baseline has the row —
     telemetry overhead is a budget, not a trend.  ``tsan-overhead`` is
     never gated at all: the row exists to make the sanitizer's cost
@@ -539,6 +634,14 @@ def compare_benchmarks(current: list[BenchResult],
             continue
         ref = base.get(cur.key())
         if ref is None:
+            if notes is not None:
+                speedup = (f" (speedup {cur.speedup_vs_baseline:.2f}x)"
+                           if cur.speedup_vs_baseline is not None
+                           else "")
+                notes.append(
+                    f"{tag}: not in baseline — informational only;"
+                    f" commit a refreshed BENCH_perf.json to gate"
+                    f" it{speedup}")
             continue
         if (cur.cycles is not None and ref.cycles is not None
                 and ref.cycles > 0

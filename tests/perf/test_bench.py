@@ -15,6 +15,7 @@ from repro.perf.bench import (
     bench_engine,
     bench_engine_steady,
     bench_obs_overhead,
+    bench_serve,
     bench_sim,
     compare_benchmarks,
     load_benchmarks,
@@ -72,6 +73,16 @@ class TestOps:
         assert result.speedup_vs_baseline > 0
         assert result.cycles is None and result.cache_hits is None
 
+    def test_serve_batching_beats_batch_size_one(self):
+        result = bench_serve("tc1", requests=1024)
+        assert (result.op, result.model) == ("serve", "tc1")
+        assert result.wall_s > 0
+        # the acceptance bar: coalescing at least doubles serving
+        # throughput over the per-request path (same seeded workload,
+        # bit-identical outputs asserted inside the op)
+        assert result.speedup_vs_baseline >= 2.0
+        assert result.cycles is None and result.cache_hits is None
+
     def test_tsan_overhead_reports_ratio(self):
         from repro.perf.bench import bench_tsan_overhead
 
@@ -88,8 +99,10 @@ def test_suites_are_subset():
     full = {(op, model) for op, model, _ in FULL_SUITE}
     assert quick <= full
     assert {op for op, _ in full} == \
-        {"engine", "engine-steady", "dse", "sim", "obs-overhead",
-         "tsan-overhead"}
+        {"engine", "engine-steady", "dse", "sim", "serve",
+         "obs-overhead", "tsan-overhead"}
+    # the serving path rides the CI regression gate
+    assert ("serve", "tc1") in quick
     # the steady-state rows are part of the CI regression gate
     assert {m for op, m, _ in QUICK_SUITE if op == "engine-steady"} == \
         {"tc1", "lenet"}
@@ -108,8 +121,8 @@ def test_run_bench_quick(monkeypatch):
             return _result(op=op, model=model)
         return run
 
-    for op in ("engine", "engine-steady", "dse", "sim", "obs-overhead",
-               "tsan-overhead"):
+    for op in ("engine", "engine-steady", "dse", "sim", "serve",
+               "obs-overhead", "tsan-overhead"):
         monkeypatch.setitem(bench_mod._OPS, op, fake(op))
     results = run_bench(quick=True, jobs=3)
     assert [(r.op, r.model) for r in results] == \
@@ -122,8 +135,8 @@ def test_run_bench_quick(monkeypatch):
 def test_run_bench_op_filter(monkeypatch):
     import repro.perf.bench as bench_mod
 
-    for op in ("engine", "engine-steady", "dse", "sim", "obs-overhead",
-               "tsan-overhead"):
+    for op in ("engine", "engine-steady", "dse", "sim", "serve",
+               "obs-overhead", "tsan-overhead"):
         monkeypatch.setitem(
             bench_mod._OPS, op,
             lambda model, _op=op, **kw: _result(op=_op, model=model))
@@ -218,6 +231,23 @@ class TestCompare:
         current = [_result(op="dse", model="tc1", cycles=99999,
                            speedup=0.01)]
         assert compare_benchmarks(current, base) == []
+
+    def test_new_op_is_informational_not_a_failure(self):
+        # a brand-new op must be able to land in the same PR that
+        # refreshes the committed baseline, so a missing baseline row
+        # is a note, never a violation
+        current = [_result(op="serve", model="tc1", speedup=3.3)]
+        notes: list[str] = []
+        assert compare_benchmarks(current, [], notes=notes) == []
+        assert len(notes) == 1
+        assert "serve:tc1" in notes[0]
+        assert "informational" in notes[0]
+        assert "3.30x" in notes[0]
+
+    def test_notes_are_opt_in(self):
+        current = [_result(op="serve", model="tc1", speedup=3.3)]
+        # the default call stays silent and still passes
+        assert compare_benchmarks(current, []) == []
 
     def test_obs_overhead_gated_absolutely(self):
         # no baseline row needed: the budget is absolute

@@ -1,0 +1,82 @@
+"""Token buckets and admission control on the virtual timeline."""
+
+import math
+
+import pytest
+
+from repro.errors import ServeError, ShedError
+from repro.serve import AdmissionController, TenantSpec, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_continuous_refill(self):
+        bucket = TokenBucket(10.0, 2, start_s=0.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)  # burst exhausted
+        assert not bucket.try_take(0.05)  # only half a token back
+        assert bucket.try_take(0.1)  # 10 rps -> one token per 100ms
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(1000.0, 4, start_s=0.0)
+        assert bucket.tokens(100.0) == 4.0
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(10.0, 1, start_s=5.0)
+        assert bucket.try_take(5.0)
+        # a stale timestamp neither refills nor corrupts the bucket
+        assert not bucket.try_take(0.0)
+        assert bucket.tokens(5.05) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ServeError, match="rate must be positive"):
+            TokenBucket(0.0, 4)
+        with pytest.raises(ServeError, match="burst must be >= 1"):
+            TokenBucket(10.0, 0)
+
+
+class TestAdmissionController:
+    def test_unknown_tenant_is_a_caller_bug(self):
+        gate = AdmissionController([TenantSpec("alpha")])
+        with pytest.raises(ServeError, match="unknown tenant"):
+            gate.admit("nobody", 0.0, 0)
+
+    def test_infinite_quota_never_sheds_on_rate(self):
+        gate = AdmissionController([TenantSpec("alpha")])
+        for _ in range(1000):
+            assert gate.admit("alpha", 0.0, 0).name == "alpha"
+
+    def test_quota_shed_reason(self):
+        gate = AdmissionController(
+            [TenantSpec("alpha", quota_rps=10.0, burst=1)], start_s=0.0)
+        gate.admit("alpha", 0.0, 0)
+        with pytest.raises(ShedError) as info:
+            gate.admit("alpha", 0.0, 0)
+        assert info.value.tenant == "alpha"
+        assert info.value.reason == "quota"
+        # the bucket refills on the virtual clock
+        assert gate.admit("alpha", 0.1, 0).name == "alpha"
+
+    def test_queue_shed_happens_before_the_quota_is_charged(self):
+        gate = AdmissionController(
+            [TenantSpec("alpha", quota_rps=10.0, burst=1)],
+            max_queue_depth=4, start_s=0.0)
+        with pytest.raises(ShedError) as info:
+            gate.admit("alpha", 0.0, 4)
+        assert info.value.reason == "queue"
+        # the token survived the queue shed and still admits
+        assert gate.admit("alpha", 0.0, 0).name == "alpha"
+
+    def test_validation(self):
+        with pytest.raises(ServeError, match="at least one tenant"):
+            AdmissionController([])
+        with pytest.raises(ServeError, match="duplicate tenant"):
+            AdmissionController([TenantSpec("a"), TenantSpec("a")])
+        with pytest.raises(ServeError, match="depth bound"):
+            AdmissionController([TenantSpec("a")], max_queue_depth=0)
+
+    def test_spec_defaults(self):
+        spec = TenantSpec("alpha")
+        assert math.isinf(spec.quota_rps)
+        assert spec.burst == 32
+        assert spec.weight == 1.0

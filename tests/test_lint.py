@@ -151,6 +151,21 @@ def test_wallclock_sleep(tmp_path):
     assert {v.line for v in found} == {2, 3}
 
 
+def test_wallclock_sleep_covers_the_serving_layer(tmp_path):
+    # the rule is unscoped, so the serving event loop cannot smuggle a
+    # wall-clock sleep in: everything must ride the VirtualClock
+    offender = tmp_path / "src" / "repro" / "serve"
+    offender.mkdir(parents=True)
+    (offender / "handler.py").write_text(
+        "import time\n"
+        "def wait_for_batch():\n"
+        "    time.sleep(0.010)\n")
+    found = run_lint(tmp_path, select=["wallclock-sleep"])
+    assert len(found) == 1
+    assert found[0].line == 3
+    assert "serve" in found[0].path
+
+
 def test_sim_slots_scoped(tmp_path):
     offender = ("class Event:\n"
                 "    def __init__(self):\n"
